@@ -1,0 +1,32 @@
+//! Criterion bench regenerating the Fig. 8 conv sweep (E1): one
+//! measurement per kernel config at C=64, plus the full-sweep planner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nm_bench::fig8::conv_sweep;
+use nm_compiler::plan::{plan_conv, Options};
+use nm_compiler::{KernelChoice, Target};
+use nm_core::sparsity::Nm;
+use nm_core::ConvGeom;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_conv");
+    g.sample_size(10);
+    let geom = ConvGeom::square(64, 256, 8, 3, 1, 1).unwrap();
+    let opts = Options::new(Target::SparseIsa);
+    for (name, choice) in [
+        ("dense_1x2", KernelChoice::ConvDense1x2),
+        ("pulp_nn", KernelChoice::ConvDensePulpNn),
+        ("sw_1_8", KernelChoice::ConvSparseSw(Nm::ONE_OF_EIGHT)),
+        ("isa_1_8", KernelChoice::ConvSparseIsa(Nm::ONE_OF_EIGHT)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(plan_conv(0, &geom, choice, &opts).unwrap().cycles))
+        });
+    }
+    g.bench_function("full_sweep", |b| b.iter(|| black_box(conv_sweep().len())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench regenerating the Fig. 8 FC sweep (E2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nm_bench::fig8::fc_sweep;
+use nm_compiler::plan::{plan_fc, Options};
+use nm_compiler::{KernelChoice, Target};
+use nm_core::sparsity::Nm;
+use nm_core::FcGeom;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_fc");
+    g.sample_size(10);
+    let geom = FcGeom::new(1024, 256).unwrap();
+    let opts = Options::new(Target::SparseIsa);
+    for (name, choice) in [
+        ("dense_1x2", KernelChoice::FcDense),
+        ("sw_1_8", KernelChoice::FcSparseSw(Nm::ONE_OF_EIGHT)),
+        ("isa_1_8", KernelChoice::FcSparseIsa(Nm::ONE_OF_EIGHT)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(plan_fc(0, &geom, 1, choice, &opts).unwrap().cycles))
+        });
+    }
+    g.bench_function("full_sweep", |b| b.iter(|| black_box(fc_sweep().len())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion micro-bench: N:M pack/unpack throughput (E9 support).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nm_core::format::{NmMatrix, OffsetLayout};
+use nm_core::sparsity::Nm;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nm_format");
+    let (rows, cols) = (256, 1152);
+    let nm = Nm::ONE_OF_EIGHT;
+    let mut dense = vec![0i8; rows * cols];
+    for (i, block) in dense.chunks_mut(8).enumerate() {
+        block[i % 8] = (i % 127) as i8 + 1;
+    }
+    g.throughput(Throughput::Bytes((rows * cols) as u64));
+    g.bench_function("pack_1_8", |b| {
+        b.iter(|| {
+            black_box(
+                NmMatrix::from_dense(&dense, rows, cols, nm, OffsetLayout::Plain).unwrap().values().len(),
+            )
+        })
+    });
+    let packed = NmMatrix::from_dense(&dense, rows, cols, nm, OffsetLayout::Plain).unwrap();
+    g.bench_function("unpack_1_8", |b| b.iter(|| black_box(packed.to_dense().len())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

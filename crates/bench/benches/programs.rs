@@ -1,0 +1,80 @@
+//! Criterion micro-bench: interpreter throughput over the executable
+//! Fig. 4 inner-loop programs, and the per-channel mixed kernel vs the
+//! uniform kernels at matched work.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nm_core::sparsity::Nm;
+use nm_core::ConvGeom;
+use nm_isa::asm::Interp;
+use nm_isa::programs::{self, reg};
+use nm_isa::{Core, CostModel, DecimateMode, FlatMem, Memory};
+use nm_kernels::conv::per_channel::{conv_channel_mixed, ChannelConvJob, ChannelEngine};
+use nm_kernels::conv::ConvJob;
+use nm_kernels::Ctx;
+use nm_platform::Cluster;
+use std::hint::black_box;
+
+fn bench_programs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_programs");
+    let chunks = 64u32;
+    // 8 MACs per chunk in every conv program.
+    g.throughput(Throughput::Elements(u64::from(chunks) * 8));
+    let mut mem = FlatMem::new(64 * 1024);
+    for i in 0..64 * 1024 {
+        mem.store_u8(i as u32, (i % 251) as u8);
+    }
+    let progs = [
+        ("dense_1x2", programs::conv_dense_1x2(chunks)),
+        ("sparse_sw_1_8", programs::conv_sparse_sw(DecimateMode::OneOfEight, chunks)),
+        ("sparse_isa_1_8", programs::conv_sparse_isa(DecimateMode::OneOfEight, chunks)),
+    ];
+    for (name, prog) in progs {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut core = Core::new(CostModel::default());
+                let mut interp = Interp::new();
+                interp.set(reg::W_PTR, 0);
+                interp.set(reg::O_PTR, 0x1000);
+                interp.set(reg::BUF0, 0x2000);
+                interp.set(reg::BUF1, 0x6000);
+                interp.run(&prog, &mut core, &mut mem);
+                black_box((interp.get(reg::ACC0), core.cycles()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_per_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("per_channel_kernel");
+    let geom = ConvGeom::square(64, 64, 8, 3, 1, 1).unwrap();
+    let cluster = Cluster::new(8, CostModel::default());
+    let conv = ConvJob { geom, requant: Default::default(), bufs: Default::default() };
+    let mixed: Vec<Option<Nm>> = (0..geom.k)
+        .map(|i| match i % 4 {
+            0 => None,
+            1 => Some(Nm::ONE_OF_FOUR),
+            2 => Some(Nm::ONE_OF_EIGHT),
+            _ => Some(Nm::ONE_OF_SIXTEEN),
+        })
+        .collect();
+    for (name, patterns) in [
+        ("all_dense", vec![None; geom.k]),
+        ("mixed_ladder", mixed),
+        ("all_1_16", vec![Some(Nm::ONE_OF_SIXTEEN); geom.k]),
+    ] {
+        let job = ChannelConvJob::new(conv, patterns);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let stats =
+                    conv_channel_mixed(&mut Ctx::Analytic, &job, &cluster, ChannelEngine::Isa)
+                        .unwrap();
+                black_box(stats.cycles())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_programs, bench_per_channel);
+criterion_main!(benches);

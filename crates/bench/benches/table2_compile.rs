@@ -1,0 +1,30 @@
+//! Criterion bench for the Table 2 end-to-end compilation (E3/E4):
+//! ResNet18 per target (ViT compiles too but is reserved for the binary
+//! to keep bench walltime sane).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nm_compiler::plan::{compile, Options};
+use nm_compiler::Target;
+use nm_core::sparsity::Nm;
+use nm_models::resnet18_cifar;
+use nm_nn::prune::{prune_graph, resnet_policy};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_resnet18");
+    g.sample_size(10);
+    let dense = resnet18_cifar(100, 1).unwrap();
+    let mut sparse = resnet18_cifar(100, 1).unwrap();
+    let nm = Nm::ONE_OF_EIGHT;
+    prune_graph(&mut sparse, nm, resnet_policy(nm)).unwrap();
+    g.bench_function("dense_pulp_nn", |b| {
+        b.iter(|| black_box(compile(&dense, &Options::new(Target::DensePulpNn)).unwrap().total_cycles()))
+    });
+    g.bench_function("sparse_isa_1_8", |b| {
+        b.iter(|| black_box(compile(&sparse, &Options::new(Target::SparseIsa)).unwrap().total_cycles()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion micro-bench: xDecimate XFU functional-model throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nm_rtl::{DecimateMode, DecimateXfu};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xfu");
+    let mem: Vec<u8> = (0..4096).map(|i| i as u8).collect();
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("xdecimate_1_8", |b| {
+        b.iter(|| {
+            let mut xfu = DecimateXfu::new();
+            let mut rd = 0u32;
+            for i in 0..1024u32 {
+                let rs2 = 0x7531_7531u32.rotate_left(i % 32);
+                rd = xfu.execute(DecimateMode::OneOfEight, 0, rs2, rd, |a| {
+                    mem[(a as usize) % mem.len()]
+                });
+            }
+            black_box(rd)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! The xDecimate area claim (Sec. 4.3 / Table 3: 5 % core overhead).
+
+use nm_rtl::{ri5cy_area, xfu_area, GateLibrary};
+
+/// The area comparison.
+#[derive(Debug, Clone)]
+pub struct AreaSummary {
+    /// XFU gate-equivalents.
+    pub xfu_ge: f64,
+    /// Baseline core gate-equivalents.
+    pub core_ge: f64,
+    /// Overhead percentage.
+    pub overhead_pct: f64,
+    /// Full component breakdowns, pre-rendered.
+    pub xfu_breakdown: String,
+    /// Core breakdown.
+    pub core_breakdown: String,
+}
+
+/// Computes the area summary with the default gate library.
+pub fn report() -> AreaSummary {
+    let lib = GateLibrary::default();
+    let xfu = xfu_area(&lib);
+    let core = ri5cy_area(&lib);
+    AreaSummary {
+        xfu_ge: xfu.total_ge(),
+        core_ge: core.total_ge(),
+        overhead_pct: 100.0 * xfu.fraction_of(&core),
+        xfu_breakdown: xfu.to_string(),
+        core_breakdown: core.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn overhead_reproduces_paper_five_percent() {
+        let s = super::report();
+        assert!((3.0..7.0).contains(&s.overhead_pct), "{}", s.overhead_pct);
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the Sec. 4.3 area claim: xDecimate XFU vs RI5CY core.
+
+use nm_bench::area::report;
+
+fn main() {
+    let s = report();
+    println!("\n== xDecimate XFU area ==\n{}", s.xfu_breakdown);
+    println!("\n== RI5CY-class core area ==\n{}", s.core_breakdown);
+    println!(
+        "\nXFU {:.0} GE / core {:.0} GE = {:.1}% overhead (paper: 5.0%)",
+        s.xfu_ge, s.core_ge, s.overhead_pct
+    );
+}

@@ -1,0 +1,42 @@
+//! F2 — kernel energy estimation (the paper's future work; activity-based
+//! model, see DESIGN.md).
+
+use nm_bench::energy::{fc_energy_rows, model_energy_rows};
+use nm_bench::table;
+
+fn main() {
+    for c in [512usize, 2048] {
+        println!("\n== Energy — FC layer C={c}, K=256 (emulated instruction mix) ==");
+        let cols = [("kernel", 10), ("cycles", 9), ("nJ", 9), ("EDP", 10), ("vs dense", 9)];
+        table::header(&cols);
+        for r in fc_energy_rows(c) {
+            table::row(
+                &cols,
+                &[
+                    r.kernel.clone(),
+                    r.cycles.to_string(),
+                    format!("{:.1}", r.energy_nj),
+                    format!("{:.2}", r.edp),
+                    format!("{:.2}x", r.vs_dense),
+                ],
+            );
+        }
+    }
+
+    for model in ["dscnn", "resnet18"] {
+        println!("\n== Energy — end-to-end {model} (analytic instruction mix) ==");
+        let cols = [("config", 10), ("Mcycles", 9), ("uJ", 9), ("vs dense", 9)];
+        table::header(&cols);
+        for r in model_energy_rows(1, model).expect("model energy") {
+            table::row(
+                &cols,
+                &[
+                    r.config.clone(),
+                    format!("{:.2}", r.mcycles),
+                    format!("{:.1}", r.energy_uj),
+                    format!("{:.2}x", r.vs_dense),
+                ],
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 8: single-layer MACs/cycle for conv and FC kernels.
+//!
+//! Usage: `fig8 [conv|fc]` (both when omitted).
+
+use nm_bench::fig8::{conv_sweep, fc_sweep, Fig8Row};
+use nm_bench::table;
+
+fn print(rows: &[Fig8Row], title: &str) {
+    println!("\n== Fig. 8 — {title} (K=256) ==");
+    let cols = [("C", 5), ("kernel", 12), ("MAC/cyc", 9), ("cycles", 12), ("vs 1x2", 8)];
+    table::header(&cols);
+    for r in rows {
+        table::row(
+            &cols,
+            &[
+                r.c.to_string(),
+                r.kernel.clone(),
+                table::f2(r.macs_per_cycle),
+                r.cycles.to_string(),
+                format!("{:.2}x", r.speedup_vs_1x2),
+            ],
+        );
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg.is_empty() || arg == "conv" {
+        print(&conv_sweep(), "convolutional layers");
+    }
+    if arg.is_empty() || arg == "fc" {
+        print(&fc_sweep(), "fully-connected layers");
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates the Sec. 2.1/4 format memory comparison.
+
+use nm_bench::memory::rows;
+use nm_bench::table;
+
+fn main() {
+    println!("\n== Format memory (64x512 int8 weights) ==");
+    let cols = [("pattern", 8), ("format", 15), ("bytes", 9), ("ratio", 7)];
+    table::header(&cols);
+    for r in rows(64, 512, 3) {
+        table::row(
+            &cols,
+            &[r.pattern.clone(), r.format.to_string(), r.bytes.to_string(), format!("{:.2}x", r.ratio)],
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates the Sec. 4 inner-loop analysis: instructions/iteration and
+//! MACs/instruction peaks for every kernel.
+
+use nm_bench::peaks::rows;
+use nm_bench::table;
+
+fn main() {
+    println!("\n== Sec. 4 — inner-loop peaks ==");
+    let cols = [("kernel", 22), ("instrs", 7), ("MACs", 5), ("peak", 6), ("dense-eq", 9)];
+    table::header(&cols);
+    for r in rows() {
+        table::row(
+            &cols,
+            &[
+                r.kernel.clone(),
+                r.instrs.to_string(),
+                r.macs.to_string(),
+                table::f2(r.peak),
+                table::f2(r.dense_equivalent),
+            ],
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates Table 2: end-to-end ResNet18 and ViT rows.
+//!
+//! Usage: `table2 [resnet18|vit]` (both when omitted; ViT takes longer).
+
+use nm_bench::table;
+use nm_bench::table2::{resnet_rows, vit_rows, Table2Row};
+
+fn print(rows: &[Table2Row]) {
+    let cols =
+        [("model", 9), ("sparsity", 9), ("kernels", 8), ("MAC/cyc", 8), ("Mcyc", 9), ("Mem MB", 7)];
+    table::header(&cols);
+    for r in rows {
+        table::row(
+            &cols,
+            &[
+                r.model.to_string(),
+                r.sparsity.clone(),
+                r.kernels.to_string(),
+                table::f2(r.mac_per_cyc),
+                table::mcyc(r.cycles),
+                table::mb(r.mem_bytes),
+            ],
+        );
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg.is_empty() || arg == "resnet18" {
+        println!("\n== Table 2 — ResNet18 / CIFAR-100 geometry ==");
+        print(&resnet_rows(1).expect("resnet rows"));
+    }
+    if arg.is_empty() || arg == "vit" {
+        println!("\n== Table 2 — ViT-Small / 224x224 ==");
+        print(&vit_rows(1).expect("vit rows"));
+    }
+    println!("\naccuracy columns: see `cargo run -p nm-bench --bin accuracy` (training proxy, DESIGN.md)");
+}

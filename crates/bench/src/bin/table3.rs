@@ -1,0 +1,26 @@
+//! Regenerates Table 3: comparison with the state of the art
+//! (our rows measured, related work quoted from the papers).
+
+use nm_bench::table;
+use nm_bench::table3::{ds_cnn_rows, literature_rows, our_rows};
+
+fn main() {
+    println!("\n== Table 3 — SotA comparison ==");
+    let cols = [("benchmark", 28), ("sparsity", 13), ("speedup", 8), ("area %", 7), ("source", 38)];
+    table::header(&cols);
+    let mut rows = literature_rows();
+    rows.extend(our_rows(1).expect("our rows"));
+    rows.extend(ds_cnn_rows(1).expect("ds-cnn rows"));
+    for r in rows {
+        table::row(
+            &cols,
+            &[
+                r.benchmark.clone(),
+                r.sparsity.clone(),
+                format!("{:.2}x", r.speedup),
+                r.area_pct.map_or("-".into(), |a| format!("{a:.1}")),
+                r.source.to_string(),
+            ],
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Sec. 2.1 / Sec. 4 — format memory comparison: N:M vs COO vs CSR vs
+//! blockwise at matched sparsity.
+
+use nm_core::format::{BlockwiseMatrix, CooMatrix, CsrMatrix, NmMatrix, OffsetLayout};
+use nm_core::sparsity::Nm;
+use nm_nn::rng::XorShift;
+
+/// One memory-comparison row.
+#[derive(Debug, Clone)]
+pub struct MemoryRow {
+    /// Pattern label.
+    pub pattern: String,
+    /// Format name.
+    pub format: &'static str,
+    /// Stored bytes.
+    pub bytes: usize,
+    /// Compression versus dense int8.
+    pub ratio: f64,
+}
+
+/// Builds the comparison for a `rows x cols` weight matrix at each
+/// kernel pattern.
+pub fn rows(rows_n: usize, cols: usize, seed: u64) -> Vec<MemoryRow> {
+    let mut out = Vec::new();
+    let dense_bytes = rows_n * cols;
+    for nm in Nm::KERNEL_PATTERNS {
+        let mut rng = XorShift::new(seed);
+        // An exactly-N:M matrix.
+        let mut w = vec![0i8; rows_n * cols];
+        for block in w.chunks_mut(nm.m()) {
+            let pos = (rng.next_u64() as usize) % block.len();
+            block[pos] = rng.next_i8(100) | 1;
+        }
+        let push = |out: &mut Vec<MemoryRow>, format, bytes| {
+            out.push(MemoryRow {
+                pattern: nm.to_string(),
+                format,
+                bytes,
+                ratio: dense_bytes as f64 / bytes as f64,
+            });
+        };
+        let nm_sw = NmMatrix::from_dense(&w, rows_n, cols, nm, OffsetLayout::Plain).unwrap();
+        push(&mut out, "n:m (sw)", nm_sw.memory_bits_nominal() / 8);
+        let nm_isa = NmMatrix::from_dense(&w, rows_n, cols, nm, OffsetLayout::Duplicated).unwrap();
+        push(&mut out, "n:m (isa conv)", nm_isa.memory_bits_nominal() / 8);
+        let coo = CooMatrix::from_dense(&w, rows_n, cols).unwrap();
+        push(&mut out, "coo", coo.memory_bytes());
+        let csr = CsrMatrix::from_dense(&w, rows_n, cols).unwrap();
+        push(&mut out, "csr", csr.memory_bytes());
+        let keep = (cols / 4) * nm.n() / nm.m().min(cols);
+        let bw = BlockwiseMatrix::prune_from_dense(&w, rows_n, cols, 4, keep.max(1)).unwrap();
+        push(&mut out, "blockwise 1x4", bw.memory_bytes());
+        push(&mut out, "dense int8", dense_bytes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nm_beats_coo_and_csr_at_every_pattern() {
+        let rows = rows(64, 512, 3);
+        for nm in Nm::KERNEL_PATTERNS {
+            let get = |f: &str| {
+                rows.iter().find(|r| r.pattern == nm.to_string() && r.format == f).unwrap().bytes
+            };
+            assert!(get("n:m (sw)") < get("coo"), "{nm}");
+            assert!(get("n:m (sw)") < get("csr"), "{nm}");
+            assert!(get("n:m (sw)") < get("dense int8"), "{nm}");
+            assert!(get("n:m (isa conv)") >= get("n:m (sw)"), "{nm}");
+        }
+    }
+
+    #[test]
+    fn compression_matches_paper_ratios() {
+        let rows = rows(64, 512, 3);
+        let sw_1_8 = rows
+            .iter()
+            .find(|r| r.pattern == "1:8" && r.format == "n:m (sw)")
+            .unwrap();
+        // 81.25% reduction -> ratio 16/3.
+        assert!((sw_1_8.ratio - 16.0 / 3.0).abs() < 0.05, "{}", sw_1_8.ratio);
+    }
+}

@@ -1,0 +1,37 @@
+//! Minimal fixed-width table printing for the bench binaries.
+
+/// Prints a header row and a separator.
+pub fn header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    let mut sep = String::new();
+    for (name, w) in cols {
+        line.push_str(&format!("{name:>w$}  ", w = w));
+        sep.push_str(&format!("{:->w$}  ", "", w = w));
+    }
+    println!("{line}");
+    println!("{sep}");
+}
+
+/// Prints one row of already-formatted cells using the same widths.
+pub fn row(cols: &[(&str, usize)], cells: &[String]) {
+    let mut line = String::new();
+    for ((_, w), cell) in cols.iter().zip(cells) {
+        line.push_str(&format!("{cell:>w$}  ", w = w));
+    }
+    println!("{line}");
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats cycles as mega-cycles with 2 decimals.
+pub fn mcyc(v: u64) -> String {
+    format!("{:.2}", v as f64 / 1e6)
+}
+
+/// Formats bytes as MB with 2 decimals.
+pub fn mb(v: usize) -> String {
+    format!("{:.2}", v as f64 / 1e6)
+}

@@ -1,0 +1,275 @@
+//! Per-channel variable-sparsity study (paper future work, Sec. 6:
+//! "variable sparsity patterns (e.g., per-layer or per-channel)").
+//!
+//! [`conv_channel_sweep`] sweeps a density budget over one convolution:
+//! each budget point assigns an N:M pattern per output channel with
+//! [`nm_nn::prune::assign_channel_patterns`] (keeping maximal weight
+//! mass, the accuracy proxy), then projects latency with the per-channel
+//! mixed kernel's analytic twin and memory with the per-channel format.
+//!
+//! The complement of [`crate::mixed`]: `mixed` assigns patterns at layer
+//! granularity across the network under a latency objective; this module
+//! assigns at channel granularity inside one layer under a mass
+//! objective. Together they cover both axes the paper names.
+
+use nm_core::format::{ChannelNmMatrix, OffsetLayout};
+use nm_core::sparsity::Nm;
+use nm_core::{ConvGeom, Result};
+use nm_kernels::conv::per_channel::{conv_channel_mixed, ChannelConvJob, ChannelEngine};
+use nm_kernels::conv::ConvJob;
+use nm_kernels::Ctx;
+use nm_nn::prune::{assign_channel_patterns, channel_density};
+use nm_platform::Cluster;
+
+/// One point of the per-channel density sweep.
+#[derive(Debug, Clone)]
+pub struct ChannelSweepPoint {
+    /// Requested kept-weight density.
+    pub target_density: f64,
+    /// Achieved density (the ladder is discrete, so it can undershoot).
+    pub density: f64,
+    /// Projected layer latency (L1-resident, analytic kernel model).
+    pub cycles: u64,
+    /// Nominal weight storage in bits (values + packed offsets).
+    pub weight_bits: usize,
+    /// Fraction of the dense |W| mass retained — the accuracy proxy.
+    pub mass_kept: f64,
+    /// Channels per ladder level: `[dense, 1:4, 1:8, 1:16]`.
+    pub histogram: [usize; 4],
+    /// The assignment itself.
+    pub patterns: Vec<Option<Nm>>,
+}
+
+fn ladder_index(p: Option<Nm>) -> usize {
+    match p {
+        None => 0,
+        Some(nm) if nm == Nm::ONE_OF_FOUR => 1,
+        Some(nm) if nm == Nm::ONE_OF_EIGHT => 2,
+        _ => 3,
+    }
+}
+
+fn mass(dense: &[i8]) -> f64 {
+    dense.iter().map(|&v| f64::from(i32::from(v).abs())).sum()
+}
+
+/// Sweeps per-channel assignments over `targets` for one convolution.
+///
+/// `dense_weights` is the unpruned `K x FY*FX*C` matrix; latency comes
+/// from the per-channel kernel's analytic twin on `cluster`, memory from
+/// the per-channel N:M format in the layout matching `engine`.
+///
+/// # Errors
+/// Propagates shape errors from the assignment, format packing or the
+/// kernel (e.g. a patch length no ladder level divides).
+pub fn conv_channel_sweep(
+    geom: &ConvGeom,
+    dense_weights: &[i8],
+    engine: ChannelEngine,
+    cluster: &Cluster,
+    targets: &[f64],
+) -> Result<Vec<ChannelSweepPoint>> {
+    let layout = match engine {
+        ChannelEngine::Software => OffsetLayout::Plain,
+        ChannelEngine::Isa => OffsetLayout::Duplicated,
+    };
+    let total_mass = mass(dense_weights);
+    let mut out = Vec::with_capacity(targets.len());
+    for &target in targets {
+        let patterns =
+            assign_channel_patterns(dense_weights, geom.k, geom.patch_len(), target)?;
+        let packed = ChannelNmMatrix::prune_from_dense(
+            dense_weights,
+            geom.k,
+            geom.patch_len(),
+            &patterns,
+            layout,
+        )?;
+        let job = ChannelConvJob::new(
+            ConvJob { geom: *geom, requant: Default::default(), bufs: Default::default() },
+            patterns.clone(),
+        );
+        let stats = conv_channel_mixed(&mut Ctx::Analytic, &job, cluster, engine)?;
+        let mut histogram = [0usize; 4];
+        for &p in &patterns {
+            histogram[ladder_index(p)] += 1;
+        }
+        out.push(ChannelSweepPoint {
+            target_density: target,
+            density: channel_density(&patterns),
+            cycles: stats.cycles(),
+            weight_bits: packed.memory_bits_nominal(),
+            mass_kept: if total_mass == 0.0 {
+                1.0
+            } else {
+                mass(&packed.to_dense()) / total_mass
+            },
+            histogram,
+            patterns,
+        })
+    }
+    Ok(out)
+}
+
+/// Sweeps per-channel assignments over `targets` for one fully-connected
+/// layer (software engine; see [`nm_kernels::fc::per_channel`] for why
+/// the interleaved `xDecimate` FC kernel cannot mix patterns within a
+/// channel pair).
+///
+/// # Errors
+/// Propagates shape errors from the assignment, packing or the kernel.
+pub fn fc_channel_sweep(
+    geom: &nm_core::FcGeom,
+    dense_weights: &[i8],
+    cluster: &Cluster,
+    targets: &[f64],
+) -> Result<Vec<ChannelSweepPoint>> {
+    use nm_kernels::fc::per_channel::{fc_channel_mixed, ChannelFcJob};
+    use nm_kernels::fc::FcJob;
+    let total_mass = mass(dense_weights);
+    let mut out = Vec::with_capacity(targets.len());
+    for &target in targets {
+        let patterns = assign_channel_patterns(dense_weights, geom.k, geom.c, target)?;
+        let packed = ChannelNmMatrix::prune_from_dense(
+            dense_weights,
+            geom.k,
+            geom.c,
+            &patterns,
+            OffsetLayout::Plain,
+        )?;
+        let job = ChannelFcJob::new(
+            FcJob { geom: *geom, requant: Default::default(), bufs: Default::default() },
+            patterns.clone(),
+        );
+        let stats = fc_channel_mixed(&mut Ctx::Analytic, &job, cluster)?;
+        let mut histogram = [0usize; 4];
+        for &p in &patterns {
+            histogram[ladder_index(p)] += 1;
+        }
+        out.push(ChannelSweepPoint {
+            target_density: target,
+            density: channel_density(&patterns),
+            cycles: stats.cycles(),
+            weight_bits: packed.memory_bits_nominal(),
+            mass_kept: if total_mass == 0.0 {
+                1.0
+            } else {
+                mass(&packed.to_dense()) / total_mass
+            },
+            histogram,
+            patterns,
+        })
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_isa::CostModel;
+    use nm_kernels::conv::dense::conv_dense_1x2;
+    use nm_kernels::conv::sparse_isa::conv_sparse_isa;
+    use nm_kernels::conv::sparse_sw::SparseConvJob;
+    use nm_nn::rng::XorShift;
+
+    const TARGETS: [f64; 5] = [1.0, 0.5, 0.25, 0.125, 1.0 / 16.0];
+
+    fn sweep(engine: ChannelEngine) -> (ConvGeom, Vec<ChannelSweepPoint>) {
+        let geom = ConvGeom::square(16, 12, 8, 3, 1, 1).unwrap();
+        let mut rng = XorShift::new(41);
+        let w = rng.fill_weights(geom.weight_elems(), 40);
+        let cluster = Cluster::new(8, CostModel::default());
+        (geom, conv_channel_sweep(&geom, &w, engine, &cluster, &TARGETS).unwrap())
+    }
+
+    #[test]
+    fn dense_endpoint_matches_dense_kernel() {
+        let (geom, points) = sweep(ChannelEngine::Software);
+        let cluster = Cluster::new(8, CostModel::default());
+        let dense = conv_dense_1x2(
+            &mut Ctx::Analytic,
+            &ConvJob { geom, requant: Default::default(), bufs: Default::default() },
+            &cluster,
+        )
+        .unwrap();
+        assert_eq!(points[0].density, 1.0);
+        assert_eq!(points[0].cycles, dense.cycles());
+        assert_eq!(points[0].histogram, [geom.k, 0, 0, 0]);
+        assert!((points[0].mass_kept - 1.0).abs() < 1e-12);
+        assert_eq!(points[0].weight_bits, geom.weight_elems() * 8);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_density_mass_and_memory() {
+        for engine in [ChannelEngine::Software, ChannelEngine::Isa] {
+            let (_, points) = sweep(engine);
+            for pair in points.windows(2) {
+                assert!(pair[1].density <= pair[0].density + 1e-12, "{engine:?}");
+                assert!(pair[1].mass_kept <= pair[0].mass_kept + 1e-12, "{engine:?}");
+                assert!(pair[1].weight_bits <= pair[0].weight_bits, "{engine:?}");
+            }
+            // The sparsest point must be faster than the dense endpoint.
+            assert!(points.last().unwrap().cycles < points[0].cycles, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn iso_density_mix_is_no_slower_than_uniform_1_4() {
+        // At a 0.25 density budget the greedy may mix dense with 1:8 /
+        // 1:16 channels; the result must not lose to uniform 1:4.
+        let (geom, points) = sweep(ChannelEngine::Isa);
+        let at_quarter =
+            points.iter().find(|p| (p.target_density - 0.25).abs() < 1e-9).unwrap();
+        let cluster = Cluster::new(8, CostModel::default());
+        let uniform = conv_sparse_isa(
+            &mut Ctx::Analytic,
+            &SparseConvJob {
+                conv: ConvJob { geom, requant: Default::default(), bufs: Default::default() },
+                nm: Nm::ONE_OF_FOUR,
+            },
+            &cluster,
+        )
+        .unwrap();
+        assert!(
+            at_quarter.cycles <= uniform.cycles(),
+            "mixed {} vs uniform {}",
+            at_quarter.cycles,
+            uniform.cycles()
+        );
+        assert!(at_quarter.density <= 0.25 + 1e-9);
+    }
+
+    #[test]
+    fn fc_sweep_mirrors_the_conv_invariants() {
+        use nm_kernels::fc::dense::fc_dense;
+        use nm_kernels::fc::FcJob;
+        let geom = nm_core::FcGeom::new(128, 32).unwrap();
+        let mut rng = XorShift::new(43);
+        let w = rng.fill_weights(geom.weight_elems(), 40);
+        let cluster = Cluster::new(8, CostModel::default());
+        let points = fc_channel_sweep(&geom, &w, &cluster, &TARGETS).unwrap();
+        // Dense endpoint equals the dense kernel exactly.
+        let dense = fc_dense(
+            &mut Ctx::Analytic,
+            &FcJob { geom, requant: Default::default(), bufs: Default::default() },
+            &cluster,
+        )
+        .unwrap();
+        assert_eq!(points[0].cycles, dense.cycles());
+        for pair in points.windows(2) {
+            assert!(pair[1].density <= pair[0].density + 1e-12);
+            assert!(pair[1].mass_kept <= pair[0].mass_kept + 1e-12);
+            assert!(pair[1].weight_bits <= pair[0].weight_bits);
+        }
+        assert!(points.last().unwrap().cycles < points[0].cycles);
+    }
+
+    #[test]
+    fn histogram_counts_every_channel() {
+        for (_, points) in [sweep(ChannelEngine::Software)] {
+            for p in points {
+                assert_eq!(p.histogram.iter().sum::<usize>(), p.patterns.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Emulated execution of a compiled model: every Conv/Linear tile runs
+//! bit-exactly on the simulated cluster (real packed weights, real DMA'd
+//! tile data), non-matmul ops use the reference implementations.
+//!
+//! Used by the integration tests to prove the compiled sparse execution
+//! is bit-identical to dense execution of the same masked weights, and
+//! that the emulated tile compute cycles equal the analytic plan.
+
+use crate::patterns::{select_kernel, KernelChoice};
+use crate::plan::{conv_tile_specs, fc_tile_specs, Options};
+use crate::tiling::{tile_conv, tile_fc};
+use nm_core::format::{NmMatrix, OffsetLayout};
+use nm_core::{Error, Result, Tensor};
+use nm_isa::Memory;
+use nm_kernels::conv::dense::{conv_dense_1x2, conv_dense_4x2};
+use nm_kernels::conv::sparse_isa::conv_sparse_isa;
+use nm_kernels::conv::sparse_sw::{conv_sparse_sw, SparseConvJob};
+use nm_kernels::conv::ConvJob;
+use nm_kernels::fc::dense::fc_dense;
+use nm_kernels::fc::sparse_isa::fc_sparse_isa;
+use nm_kernels::fc::sparse_sw::{fc_sparse_sw, SparseFcJob};
+use nm_kernels::fc::FcJob;
+use nm_kernels::layout::{stage_conv_dense, stage_conv_sparse, stage_fc_dense, stage_fc_sparse};
+use nm_kernels::{Ctx, KernelStats};
+use nm_nn::graph::{Graph, OpKind};
+use nm_nn::layer::{ConvLayer, LinearLayer};
+use nm_nn::{exec as nnexec, ops};
+use nm_platform::Scratchpad;
+
+/// The result of an emulated run.
+#[derive(Debug, Clone)]
+pub struct EmulatedRun {
+    /// The network output (bit-exact int8).
+    pub output: Tensor<i8>,
+    /// Total emulated compute cycles of the Conv/Linear tiles — must
+    /// equal the analytic plan's compute cycles.
+    pub matmul_compute_cycles: u64,
+}
+
+fn l1(opts: &Options) -> Scratchpad {
+    Scratchpad::new("L1", opts.l1_budget)
+}
+
+fn offset_layout(choice: &KernelChoice) -> Option<OffsetLayout> {
+    match choice {
+        KernelChoice::ConvSparseSw(_) | KernelChoice::FcSparseSw(_) => Some(OffsetLayout::Plain),
+        KernelChoice::ConvSparseIsa(_) => Some(OffsetLayout::Duplicated),
+        KernelChoice::FcSparseIsa(_) => Some(OffsetLayout::Interleaved),
+        _ => None,
+    }
+}
+
+fn run_conv_layer(
+    layer: &ConvLayer,
+    input: &Tensor<i8>,
+    choice: KernelChoice,
+    opts: &Options,
+) -> Result<(Tensor<i8>, u64)> {
+    let geom = &layer.geom;
+    let cluster = opts.cluster();
+    let tiling = tile_conv(geom, &choice, opts.l1_budget, opts.cores)?;
+    let specs = conv_tile_specs(geom, &tiling);
+    // Materialize the zero-padded input once (the 2-D DMA does this on
+    // the real platform when fetching halo tiles).
+    let (py, px) = (geom.iy + 2 * geom.pad, geom.ix + 2 * geom.pad);
+    let mut padded = vec![0i8; py * px * geom.c];
+    for y in 0..geom.iy {
+        for x in 0..geom.ix {
+            for c in 0..geom.c {
+                padded[((y + geom.pad) * px + x + geom.pad) * geom.c + c] =
+                    *input.at(&[y, x, c]);
+            }
+        }
+    }
+    let mut out = Tensor::<i8>::zeros(&[geom.oy(), geom.ox(), geom.k]);
+    let mut cycles = 0;
+    for spec in &specs {
+        let tg = spec.geom;
+        let row0 = spec.oy0 * geom.stride;
+        let tile_input = &padded[row0 * px * geom.c..(row0 + tg.iy) * px * geom.c];
+        let w_rows =
+            &layer.weights[spec.k0 * geom.patch_len()..(spec.k0 + tg.k) * geom.patch_len()];
+        let mut mem = l1(opts);
+        let stats: KernelStats;
+        let bufs;
+        if let Some(layout) = offset_layout(&choice) {
+            let nm = choice.nm().expect("sparse choice has a pattern");
+            let packed = NmMatrix::from_dense(w_rows, tg.k, geom.patch_len(), nm, layout)?;
+            bufs = stage_conv_sparse(&mut mem, &tg, tile_input, &packed, opts.cores)?;
+            let job = SparseConvJob {
+                conv: ConvJob { geom: tg, requant: layer.requant, bufs },
+                nm,
+            };
+            let mut ctx = Ctx::Mem(&mut mem);
+            stats = match choice {
+                KernelChoice::ConvSparseSw(_) => conv_sparse_sw(&mut ctx, &job, &cluster)?,
+                _ => conv_sparse_isa(&mut ctx, &job, &cluster)?,
+            };
+        } else {
+            bufs = stage_conv_dense(&mut mem, &tg, tile_input, w_rows, opts.cores)?;
+            let job = ConvJob { geom: tg, requant: layer.requant, bufs };
+            let mut ctx = Ctx::Mem(&mut mem);
+            stats = match choice {
+                KernelChoice::ConvDense1x2 => conv_dense_1x2(&mut ctx, &job, &cluster)?,
+                _ => conv_dense_4x2(&mut ctx, &job, &cluster)?,
+            };
+        }
+        cycles += stats.cycles();
+        // Scatter the tile's HWC output into the full tensor.
+        for y in 0..tg.oy() {
+            for x in 0..tg.ox() {
+                for k in 0..tg.k {
+                    let v = mem.load_i8(bufs.output + ((y * tg.ox() + x) * tg.k + k) as u32);
+                    *out.at_mut(&[spec.oy0 + y, x, spec.k0 + k]) = v;
+                }
+            }
+        }
+    }
+    Ok((out, cycles))
+}
+
+fn run_fc_layer(
+    layer: &LinearLayer,
+    input: &Tensor<i8>,
+    choice: KernelChoice,
+    opts: &Options,
+) -> Result<(Tensor<i8>, u64)> {
+    let geom = &layer.geom;
+    let cluster = opts.cluster();
+    let tiling = tile_fc(geom, &choice, opts.l1_budget)?;
+    let specs = fc_tile_specs(geom, &tiling);
+    let (tokens, c) = match input.shape() {
+        [c] => (1, *c),
+        [t, c] => (*t, *c),
+        s => return Err(Error::ShapeMismatch(format!("linear over {s:?}"))),
+    };
+    let mut out = vec![0i8; tokens * geom.k];
+    let mut cycles = 0;
+    for spec in &specs {
+        let tg = spec.geom;
+        let w_rows = &layer.weights[spec.k0 * c..(spec.k0 + tg.k) * c];
+        for t in 0..tokens {
+            let x = &input.data()[t * c..(t + 1) * c];
+            let mut mem = l1(opts);
+            let bufs;
+            let stats: KernelStats;
+            if let Some(layout) = offset_layout(&choice) {
+                let nm = choice.nm().expect("sparse choice has a pattern");
+                let packed = NmMatrix::from_dense(w_rows, tg.k, c, nm, layout)?;
+                bufs = stage_fc_sparse(&mut mem, &tg, x, &packed)?;
+                let job =
+                    SparseFcJob { fc: FcJob { geom: tg, requant: layer.requant, bufs }, nm };
+                let mut ctx = Ctx::Mem(&mut mem);
+                stats = match choice {
+                    KernelChoice::FcSparseSw(_) => fc_sparse_sw(&mut ctx, &job, &cluster)?,
+                    _ => fc_sparse_isa(&mut ctx, &job, &cluster)?,
+                };
+            } else {
+                bufs = stage_fc_dense(&mut mem, &tg, x, w_rows)?;
+                let job = FcJob { geom: tg, requant: layer.requant, bufs };
+                let mut ctx = Ctx::Mem(&mut mem);
+                stats = fc_dense(&mut ctx, &job, &cluster)?;
+            }
+            cycles += stats.cycles();
+            for k in 0..tg.k {
+                out[t * geom.k + spec.k0 + k] = mem.load_i8(bufs.output + k as u32);
+            }
+        }
+    }
+    let shape: Vec<usize> =
+        if input.shape().len() == 1 { vec![geom.k] } else { vec![tokens, geom.k] };
+    Ok((Tensor::from_vec(&shape, out)?, cycles))
+}
+
+/// Runs the graph with Conv/Linear layers executed tile-by-tile on the
+/// simulated cluster using the target's kernels.
+///
+/// # Errors
+/// Propagates tiling, staging and kernel errors.
+pub fn run_emulated(graph: &Graph, input: &Tensor<i8>, opts: &Options) -> Result<EmulatedRun> {
+    if input.shape() != graph.input_shape() {
+        return Err(Error::ShapeMismatch(format!(
+            "input shape {:?} != graph input {:?}",
+            input.shape(),
+            graph.input_shape()
+        )));
+    }
+    let mut values: Vec<Option<Tensor<i8>>> = vec![None; graph.nodes().len()];
+    values[0] = Some(input.clone());
+    let mut matmul_cycles = 0;
+    for (id, node) in graph.nodes().iter().enumerate().skip(1) {
+        let get = |i: usize| values[node.inputs[i]].as_ref().expect("topological order");
+        let out = match &node.op {
+            OpKind::Input => unreachable!(),
+            OpKind::Conv2d(l) => {
+                let choice = select_kernel(opts.target, &node.op).expect("conv kernel");
+                let (t, cyc) = run_conv_layer(l, get(0), choice, opts)?;
+                matmul_cycles += cyc;
+                t
+            }
+            OpKind::Linear(l) => {
+                let choice = select_kernel(opts.target, &node.op).expect("fc kernel");
+                let (t, cyc) = run_fc_layer(l, get(0), choice, opts)?;
+                matmul_cycles += cyc;
+                t
+            }
+            OpKind::Attention(a) => nnexec::attention(get(0), a),
+            OpKind::Relu => ops::relu(get(0)),
+            OpKind::Gelu => ops::gelu(get(0)),
+            OpKind::LayerNorm => ops::layer_norm(get(0)),
+            OpKind::MaxPool { k, s } => ops::max_pool(get(0), *k, *s),
+            OpKind::AvgPool { k, s } => ops::avg_pool(get(0), *k, *s),
+            OpKind::GlobalAvgPool => ops::global_avg_pool(get(0)),
+            OpKind::Add => ops::add(get(0), values[node.inputs[1]].as_ref().unwrap()),
+            OpKind::Flatten => {
+                let t = get(0).clone();
+                let len = t.len();
+                t.reshape(&[len])?
+            }
+            OpKind::Tokens => {
+                let t = get(0).clone();
+                let shape = node.out_shape.clone();
+                t.reshape(&shape)?
+            }
+        };
+        values[id] = Some(out);
+    }
+    Ok(EmulatedRun {
+        output: values[graph.output()].take().expect("output computed"),
+        matmul_compute_cycles: matmul_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::Target;
+    use crate::plan::compile;
+    use nm_core::quant::Requant;
+    use nm_core::sparsity::{prune_magnitude, Nm};
+    use nm_core::{ConvGeom, FcGeom};
+    use nm_nn::graph::GraphBuilder;
+    use nm_nn::rng::XorShift;
+
+    /// A small conv+fc graph; when `nm` is set, weights are pruned so
+    /// pattern recognition selects the sparse kernels.
+    fn toy_graph(nm: Option<Nm>) -> Graph {
+        let mut rng = XorShift::new(99);
+        let geom = ConvGeom::square(16, 8, 6, 3, 1, 1).unwrap();
+        let mut w = rng.fill_weights(geom.weight_elems(), 30);
+        if let Some(nm) = nm {
+            prune_magnitude(&mut w, geom.k, geom.patch_len(), nm).unwrap();
+            for row in w.chunks_mut(geom.patch_len()) {
+                for b in row.chunks_mut(nm.m()) {
+                    if b.iter().all(|&v| v == 0) {
+                        b[0] = 1;
+                    }
+                }
+            }
+        }
+        let conv =
+            ConvLayer::new(geom, w, Requant::for_dot_len(geom.patch_len())).unwrap();
+        let fcg = FcGeom::new(8, 12).unwrap();
+        let mut wfc = rng.fill_weights(fcg.weight_elems(), 30);
+        if let Some(nm) = nm {
+            if fcg.c.is_multiple_of(nm.m()) {
+                prune_magnitude(&mut wfc, fcg.k, fcg.c, nm).unwrap();
+            }
+        }
+        let fc = LinearLayer::new(fcg, wfc, Requant::for_dot_len(fcg.c)).unwrap();
+        let mut b = GraphBuilder::new(&[6, 6, 16]);
+        let x = b.conv(b.input(), conv).unwrap();
+        let x = b.relu(x).unwrap();
+        let x = b.global_avg_pool(x).unwrap();
+        let x = b.linear(x, fc).unwrap();
+        b.finish(x).unwrap()
+    }
+
+    fn check_target(nm: Option<Nm>, target: Target) {
+        let g = toy_graph(nm);
+        let mut rng = XorShift::new(7);
+        let input = Tensor::from_vec(&[6, 6, 16], rng.fill_weights(6 * 6 * 16, 50)).unwrap();
+        let opts = Options::new(target);
+        let run = run_emulated(&g, &input, &opts).unwrap();
+        let reference = nnexec::execute(&g, &input).unwrap();
+        assert_eq!(run.output, reference, "{target:?} {nm:?} output mismatch");
+        // Emulated tile compute must equal the analytic plan.
+        let report = compile(&g, &opts).unwrap();
+        let planned: u64 = report
+            .layers
+            .iter()
+            .filter(|l| l.choice.is_some())
+            .map(|l| l.compute_cycles)
+            .sum();
+        assert_eq!(run.matmul_compute_cycles, planned, "{target:?} {nm:?} cycles");
+    }
+
+    #[test]
+    fn dense_targets_match_reference_and_plan() {
+        check_target(None, Target::Dense1x2);
+        check_target(None, Target::DensePulpNn);
+    }
+
+    #[test]
+    fn sparse_sw_matches_reference_and_plan() {
+        check_target(Some(Nm::ONE_OF_EIGHT), Target::SparseSw);
+        check_target(Some(Nm::ONE_OF_FOUR), Target::SparseSw);
+    }
+
+    #[test]
+    fn sparse_isa_matches_reference_and_plan() {
+        check_target(Some(Nm::ONE_OF_EIGHT), Target::SparseIsa);
+        check_target(Some(Nm::ONE_OF_SIXTEEN), Target::SparseIsa);
+    }
+}

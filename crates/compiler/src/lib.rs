@@ -1,0 +1,39 @@
+//! # nm-compiler
+//!
+//! A MATCH-like deployment flow (paper Sec. 4.4) lowering `nm-nn` graphs
+//! onto the simulated Vega platform:
+//!
+//! 1. **Pattern recognition** ([`patterns`]) — each Conv/Linear node is
+//!    matched against the target kernel library; N:M sparsity is
+//!    *detected from the weight values* (1:4 / 1:8 / 1:16), exactly like
+//!    the modified MATCH pattern tables.
+//! 2. **Sparse-aware tiling** ([`tiling`]) — L1 tiles are sized using
+//!    the *bits per dense-equivalent weight* of the chosen format (e.g.
+//!    12 bits per non-zero at 1:4 with duplicated offsets → 3 bits per
+//!    dense weight), which lets sparse layers fit far larger tiles.
+//! 3. **Weight memory layout** ([`plan`]) — weights and offsets are
+//!    interleaved per tile in L2 so one DMA transaction fetches both
+//!    (Sec. 4.4(3)); the split layout is kept for the ablation.
+//! 4. **Planning & execution** ([`plan`], [`exec`]) — every layer gets a
+//!    tile schedule whose compute costs come from the kernel library's
+//!    analytic twins and whose transfers go through the double-buffering
+//!    model; [`exec::run_emulated`] additionally executes Conv/Linear
+//!    tiles bit-exactly on the simulated cluster for verification.
+//! 5. **Mixed per-layer sparsity** ([`mixed`]) — the paper's future-work
+//!    extension: a greedy per-layer pattern assignment under a density
+//!    budget.
+//! 6. **Per-channel sparsity** ([`channelwise`]) — the other axis of the
+//!    same future-work item: per-output-channel pattern assignment inside
+//!    one layer, swept over density budgets.
+
+pub mod channelwise;
+pub mod exec;
+pub mod mixed;
+pub mod opcost;
+pub mod patterns;
+pub mod plan;
+pub mod profile;
+pub mod tiling;
+
+pub use patterns::{KernelChoice, Target};
+pub use plan::{compile, LayerPlan, ModelReport, Options};

@@ -1,0 +1,219 @@
+//! Per-layer mixed sparsity assignment — the paper's stated future work
+//! ("our future work will study the impact of variable sparsity patterns
+//! (e.g., per-layer...) on latency and accuracy").
+//!
+//! Accuracy cannot be evaluated without training, so the proxy constraint
+//! is the **kept-weight density**: the assignment must retain at least
+//! `min_density` of the prunable parameters (denser ⇒ safer). A greedy
+//! pass repeatedly applies the sparsification step with the best
+//! cycles-saved per additionally-dropped-weight ratio until the density
+//! budget is exhausted.
+
+use crate::patterns::{KernelChoice, Target};
+use crate::plan::{plan_conv, plan_fc, Options};
+use nm_core::sparsity::Nm;
+use nm_core::Result;
+use nm_nn::graph::{Graph, NodeId, OpKind};
+
+/// The sparsity ladder (dense first).
+const LADDER: [Option<Nm>; 4] =
+    [None, Some(Nm::ONE_OF_FOUR), Some(Nm::ONE_OF_EIGHT), Some(Nm::ONE_OF_SIXTEEN)];
+
+/// A per-layer assignment and its projected totals.
+#[derive(Debug, Clone)]
+pub struct MixedAssignment {
+    /// `(node, pattern)` for every prunable layer (`None` = dense).
+    pub per_layer: Vec<(NodeId, Option<Nm>)>,
+    /// Projected total cycles of the prunable layers.
+    pub cycles: u64,
+    /// Kept fraction of prunable parameters.
+    pub density: f64,
+}
+
+struct Candidate {
+    node: NodeId,
+    params: usize,
+    /// cycles per ladder level (None where the level is infeasible).
+    cycles: Vec<Option<u64>>,
+    level: usize,
+}
+
+fn level_cycles(
+    graph: &Graph,
+    node: NodeId,
+    nm: Option<Nm>,
+    use_isa: bool,
+    opts: &Options,
+) -> Result<Option<u64>> {
+    match &graph.node(node).op {
+        OpKind::Conv2d(l) => {
+            let choice = match nm {
+                None => KernelChoice::ConvDensePulpNn,
+                Some(nm) => {
+                    if l.geom.patch_len() % nm.m() != 0 {
+                        return Ok(None);
+                    }
+                    if use_isa {
+                        KernelChoice::ConvSparseIsa(nm)
+                    } else {
+                        KernelChoice::ConvSparseSw(nm)
+                    }
+                }
+            };
+            Ok(Some(plan_conv(node, &l.geom, choice, opts)?.cycles))
+        }
+        OpKind::Linear(l) => {
+            let tokens = if graph.node(node).out_shape.len() == 2 {
+                graph.node(node).out_shape[0]
+            } else {
+                1
+            };
+            let choice = match nm {
+                None => KernelChoice::FcDense,
+                Some(nm) => {
+                    if l.geom.c % nm.m() != 0 {
+                        return Ok(None);
+                    }
+                    if use_isa && l.geom.k % 2 == 0 {
+                        KernelChoice::FcSparseIsa(nm)
+                    } else {
+                        KernelChoice::FcSparseSw(nm)
+                    }
+                }
+            };
+            Ok(Some(plan_fc(node, &l.geom, tokens, choice, opts)?.cycles))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Greedily assigns per-layer patterns minimizing cycles subject to the
+/// density floor. `select` chooses the prunable layers (reuse the
+/// policies in [`nm_nn::prune`]).
+///
+/// # Errors
+/// Propagates planning failures.
+pub fn assign_mixed<F>(
+    graph: &Graph,
+    opts: &Options,
+    min_density: f64,
+    mut select: F,
+) -> Result<MixedAssignment>
+where
+    F: FnMut(NodeId, &OpKind) -> bool,
+{
+    let use_isa = opts.target == Target::SparseIsa;
+    let mut cands = Vec::new();
+    for (id, node) in graph.nodes().iter().enumerate() {
+        if !select(id, &node.op) {
+            continue;
+        }
+        let params = node.op.params();
+        if params == 0 {
+            continue;
+        }
+        let mut cycles = Vec::with_capacity(LADDER.len());
+        for nm in LADDER {
+            cycles.push(level_cycles(graph, id, nm, use_isa, opts)?);
+        }
+        cands.push(Candidate { node: id, params, cycles, level: 0 });
+    }
+    let total_params: usize = cands.iter().map(|c| c.params).sum();
+    let mut kept: f64 = total_params as f64;
+    loop {
+        // Pick the move with the best cycles saved per weight dropped
+        // that keeps the density above the floor.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in cands.iter().enumerate() {
+            let next = c.level + 1;
+            if next >= LADDER.len() {
+                continue;
+            }
+            let (Some(cur), Some(nxt)) = (c.cycles[c.level], c.cycles[next]) else {
+                continue;
+            };
+            if nxt >= cur {
+                continue;
+            }
+            let cur_density = LADDER[c.level].map_or(1.0, |nm| nm.density());
+            let next_density = LADDER[next].map_or(1.0, |nm| nm.density());
+            let dropped = (cur_density - next_density) * c.params as f64;
+            if total_params > 0 && (kept - dropped) / (total_params as f64) < min_density {
+                continue;
+            }
+            let gain = (cur - nxt) as f64 / dropped.max(1.0);
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let c = &mut cands[i];
+                let cur_density = LADDER[c.level].map_or(1.0, |nm| nm.density());
+                c.level += 1;
+                let next_density = LADDER[c.level].map_or(1.0, |nm| nm.density());
+                kept -= (cur_density - next_density) * c.params as f64;
+            }
+            None => break,
+        }
+    }
+    let cycles = cands.iter().map(|c| c.cycles[c.level].unwrap_or(0)).sum();
+    let density = if total_params == 0 { 1.0 } else { kept / total_params as f64 };
+    Ok(MixedAssignment {
+        per_layer: cands.iter().map(|c| (c.node, LADDER[c.level])).collect(),
+        cycles,
+        density,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_core::quant::Requant;
+    use nm_core::ConvGeom;
+    use nm_nn::graph::GraphBuilder;
+    use nm_nn::layer::ConvLayer;
+    use nm_nn::rng::XorShift;
+
+    fn two_conv_graph() -> Graph {
+        let mut rng = XorShift::new(31);
+        let g1 = ConvGeom::square(32, 32, 8, 3, 1, 1).unwrap();
+        let g2 = ConvGeom::square(32, 64, 8, 3, 1, 1).unwrap();
+        let c1 =
+            ConvLayer::new(g1, rng.fill_weights(g1.weight_elems(), 30), Requant::IDENTITY).unwrap();
+        let c2 =
+            ConvLayer::new(g2, rng.fill_weights(g2.weight_elems(), 30), Requant::IDENTITY).unwrap();
+        let mut b = GraphBuilder::new(&[8, 8, 32]);
+        let x = b.conv(b.input(), c1).unwrap();
+        let x = b.conv(x, c2).unwrap();
+        b.finish(x).unwrap()
+    }
+
+    #[test]
+    fn full_budget_goes_fully_sparse() {
+        let g = two_conv_graph();
+        let opts = Options::new(Target::SparseIsa);
+        let a = assign_mixed(&g, &opts, 0.0, |_, op| matches!(op, OpKind::Conv2d(_))).unwrap();
+        assert!(a.per_layer.iter().all(|(_, nm)| *nm == Some(Nm::ONE_OF_SIXTEEN)));
+        assert!((a.density - 1.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_budget_stays_dense() {
+        let g = two_conv_graph();
+        let opts = Options::new(Target::SparseIsa);
+        let a = assign_mixed(&g, &opts, 1.0, |_, op| matches!(op, OpKind::Conv2d(_))).unwrap();
+        assert!(a.per_layer.iter().all(|(_, nm)| nm.is_none()));
+        assert_eq!(a.density, 1.0);
+    }
+
+    #[test]
+    fn intermediate_budget_is_respected_and_faster_than_dense() {
+        let g = two_conv_graph();
+        let opts = Options::new(Target::SparseIsa);
+        let dense = assign_mixed(&g, &opts, 1.0, |_, op| matches!(op, OpKind::Conv2d(_))).unwrap();
+        let mixed = assign_mixed(&g, &opts, 0.2, |_, op| matches!(op, OpKind::Conv2d(_))).unwrap();
+        assert!(mixed.density >= 0.2 - 1e-9);
+        assert!(mixed.cycles < dense.cycles);
+    }
+}

@@ -1,0 +1,185 @@
+//! Pattern recognition: mapping graph nodes to kernels (Sec. 4.4(1)).
+
+use nm_core::sparsity::Nm;
+use nm_nn::graph::OpKind;
+
+/// Which kernel library the deployment targets (the paper's four
+/// configurations in Fig. 8 / Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Dense 1×2 kernels only.
+    Dense1x2,
+    /// Dense PULP-NN (4×2 conv) kernels.
+    DensePulpNn,
+    /// Software N:M kernels, PULP-NN fallback for dense layers.
+    SparseSw,
+    /// `xDecimate` N:M kernels, PULP-NN fallback for dense layers.
+    SparseIsa,
+}
+
+impl Target {
+    /// All targets in presentation order.
+    pub const ALL: [Target; 4] =
+        [Target::Dense1x2, Target::DensePulpNn, Target::SparseSw, Target::SparseIsa];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Dense1x2 => "dense-1x2",
+            Target::DensePulpNn => "pulp-nn",
+            Target::SparseSw => "sparse-sw",
+            Target::SparseIsa => "sparse-isa",
+        }
+    }
+}
+
+/// The kernel selected for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Dense 1×2 convolution.
+    ConvDense1x2,
+    /// PULP-NN 4×2 convolution.
+    ConvDensePulpNn,
+    /// Software sparse convolution.
+    ConvSparseSw(Nm),
+    /// `xDecimate` sparse convolution.
+    ConvSparseIsa(Nm),
+    /// Dense 1×2 fully-connected.
+    FcDense,
+    /// Software sparse fully-connected.
+    FcSparseSw(Nm),
+    /// `xDecimate` sparse fully-connected.
+    FcSparseIsa(Nm),
+}
+
+impl KernelChoice {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            KernelChoice::ConvDense1x2 => "conv-dense-1x2".into(),
+            KernelChoice::ConvDensePulpNn => "conv-pulp-nn".into(),
+            KernelChoice::ConvSparseSw(nm) => format!("conv-sparse-sw-{nm}"),
+            KernelChoice::ConvSparseIsa(nm) => format!("conv-sparse-isa-{nm}"),
+            KernelChoice::FcDense => "fc-dense-1x2".into(),
+            KernelChoice::FcSparseSw(nm) => format!("fc-sparse-sw-{nm}"),
+            KernelChoice::FcSparseIsa(nm) => format!("fc-sparse-isa-{nm}"),
+        }
+    }
+
+    /// The sparsity pattern, if any.
+    pub fn nm(&self) -> Option<Nm> {
+        match self {
+            KernelChoice::ConvSparseSw(nm)
+            | KernelChoice::ConvSparseIsa(nm)
+            | KernelChoice::FcSparseSw(nm)
+            | KernelChoice::FcSparseIsa(nm) => Some(*nm),
+            _ => None,
+        }
+    }
+}
+
+/// Selects the kernel for a node under the target. Returns `None` for
+/// nodes that are not Conv/Linear (they lower to element-wise cost ops).
+pub fn select_kernel(target: Target, op: &OpKind) -> Option<KernelChoice> {
+    match op {
+        OpKind::Conv2d(l) => {
+            let sparsity = l.detect_sparsity().filter(|nm| l.geom.patch_len() % nm.m() == 0);
+            Some(match (target, sparsity) {
+                (Target::Dense1x2, _) => KernelChoice::ConvDense1x2,
+                (Target::DensePulpNn, _) => KernelChoice::ConvDensePulpNn,
+                (Target::SparseSw, Some(nm)) => KernelChoice::ConvSparseSw(nm),
+                (Target::SparseIsa, Some(nm)) => KernelChoice::ConvSparseIsa(nm),
+                (Target::SparseSw | Target::SparseIsa, None) => KernelChoice::ConvDensePulpNn,
+            })
+        }
+        OpKind::Linear(l) => {
+            let sparsity = l.detect_sparsity().filter(|nm| l.geom.c % nm.m() == 0);
+            Some(match (target, sparsity) {
+                (Target::Dense1x2 | Target::DensePulpNn, _) => KernelChoice::FcDense,
+                (Target::SparseSw, Some(nm)) => KernelChoice::FcSparseSw(nm),
+                (Target::SparseIsa, Some(nm)) if l.geom.k % 2 == 0 => {
+                    KernelChoice::FcSparseIsa(nm)
+                }
+                // Odd K cannot use the interleaved format: software kernel.
+                (Target::SparseIsa, Some(nm)) => KernelChoice::FcSparseSw(nm),
+                (Target::SparseSw | Target::SparseIsa, None) => KernelChoice::FcDense,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_core::quant::Requant;
+    use nm_core::sparsity::prune_magnitude;
+    use nm_core::{ConvGeom, FcGeom};
+    use nm_nn::layer::{ConvLayer, LinearLayer};
+    use nm_nn::rng::XorShift;
+
+    fn sparse_conv(nm: Nm) -> OpKind {
+        let geom = ConvGeom::square(nm.m() * 2, 8, 4, 3, 1, 1).unwrap();
+        let mut rng = XorShift::new(1);
+        let mut w = rng.fill_weights(geom.weight_elems(), 30);
+        prune_magnitude(&mut w, geom.k, geom.patch_len(), nm).unwrap();
+        // Ensure the matrix is not accidentally sparser than intended.
+        for r in 0..geom.k {
+            for b in 0..geom.patch_len() / nm.m() {
+                let start = r * geom.patch_len() + b * nm.m();
+                if w[start..start + nm.m()].iter().all(|&v| v == 0) {
+                    w[start] = 1;
+                }
+            }
+        }
+        OpKind::Conv2d(ConvLayer::new(geom, w, Requant::IDENTITY).unwrap())
+    }
+
+    #[test]
+    fn sparse_conv_is_recognized() {
+        let op = sparse_conv(Nm::ONE_OF_EIGHT);
+        assert_eq!(
+            select_kernel(Target::SparseIsa, &op),
+            Some(KernelChoice::ConvSparseIsa(Nm::ONE_OF_EIGHT))
+        );
+        assert_eq!(
+            select_kernel(Target::SparseSw, &op),
+            Some(KernelChoice::ConvSparseSw(Nm::ONE_OF_EIGHT))
+        );
+        assert_eq!(select_kernel(Target::DensePulpNn, &op), Some(KernelChoice::ConvDensePulpNn));
+    }
+
+    #[test]
+    fn dense_layers_fall_back() {
+        let geom = ConvGeom::square(8, 4, 4, 3, 1, 1).unwrap();
+        let mut rng = XorShift::new(2);
+        let dense = OpKind::Conv2d(
+            ConvLayer::new(geom, rng.fill_weights(geom.weight_elems(), 30), Requant::IDENTITY)
+                .unwrap(),
+        );
+        assert_eq!(select_kernel(Target::SparseIsa, &dense), Some(KernelChoice::ConvDensePulpNn));
+    }
+
+    #[test]
+    fn odd_k_fc_uses_sw_on_isa_target() {
+        let geom = FcGeom::new(32, 5).unwrap();
+        let mut w = vec![0i8; geom.weight_elems()];
+        for r in 0..5 {
+            w[r * 32] = 1;
+            w[r * 32 + 8] = 2;
+            w[r * 32 + 16] = 3;
+            w[r * 32 + 24] = 4;
+        }
+        let op = OpKind::Linear(LinearLayer::new(geom, w, Requant::IDENTITY).unwrap());
+        assert_eq!(
+            select_kernel(Target::SparseIsa, &op),
+            Some(KernelChoice::FcSparseSw(Nm::ONE_OF_EIGHT))
+        );
+    }
+
+    #[test]
+    fn non_matmul_nodes_have_no_kernel() {
+        assert_eq!(select_kernel(Target::SparseIsa, &OpKind::Relu), None);
+        assert_eq!(select_kernel(Target::Dense1x2, &OpKind::Add), None);
+    }
+}

@@ -1,0 +1,191 @@
+//! Tile-level profiling: GVSoC-style traces and layer breakdowns.
+//!
+//! [`trace_layer`] replays a planned layer's tile schedule through
+//! [`nm_platform::Trace`], producing the timeline behind the planner's
+//! latency number (the trace's end equals [`crate::plan::LayerPlan::cycles`]
+//! by construction). [`breakdown_report`] renders a compiled model's
+//! per-layer compute/DMA split as a text table — the view that explains
+//! *why* convolutions hide weight transfers under compute while
+//! memory-bound FC layers do not (paper Sec. 5.2).
+
+use crate::patterns::select_kernel;
+use crate::plan::{conv_tile_costs, fc_tile_costs, ModelReport, Options};
+use crate::tiling::{tile_conv, tile_fc};
+use nm_core::{Error, Result};
+use nm_nn::graph::{Graph, NodeId, OpKind};
+use nm_platform::Trace;
+
+/// A planned layer's tile timeline.
+#[derive(Debug, Clone)]
+pub struct LayerTrace {
+    /// The traced node.
+    pub node: NodeId,
+    /// The kernel the schedule runs.
+    pub kernel: String,
+    /// Tiles in the schedule.
+    pub n_tiles: usize,
+    /// The timeline (its end equals the planner's layer cycles).
+    pub trace: Trace,
+}
+
+/// Replays the tile schedule of one Conv/Linear node under `opts`.
+///
+/// # Errors
+/// [`Error::Unsupported`] for nodes that are not Conv2d/Linear
+/// (element-wise and attention nodes have no tile schedule);
+/// propagates tiling/kernel failures otherwise.
+pub fn trace_layer(graph: &Graph, node: NodeId, opts: &Options) -> Result<LayerTrace> {
+    let n = graph.node(node);
+    match &n.op {
+        OpKind::Conv2d(l) => {
+            let choice = select_kernel(opts.target, &n.op).expect("conv has a kernel");
+            let tiling = tile_conv(&l.geom, &choice, opts.l1_budget, opts.cores)?;
+            let (tiles, _) = conv_tile_costs(&l.geom, &choice, opts, &tiling)?;
+            Ok(LayerTrace {
+                node,
+                kernel: choice.name(),
+                n_tiles: tiles.len(),
+                trace: Trace::from_tiles(&tiles),
+            })
+        }
+        OpKind::Linear(l) => {
+            let tokens = if n.out_shape.len() == 2 { n.out_shape[0] } else { 1 };
+            let choice = select_kernel(opts.target, &n.op).expect("linear has a kernel");
+            let tiling = tile_fc(&l.geom, &choice, opts.l1_budget)?;
+            let (tiles, _) = fc_tile_costs(&l.geom, tokens, &choice, opts, &tiling)?;
+            Ok(LayerTrace {
+                node,
+                kernel: choice.name(),
+                n_tiles: tiles.len(),
+                trace: Trace::from_tiles(&tiles),
+            })
+        }
+        op => Err(Error::Unsupported(format!(
+            "node {node} ({}) has no tile schedule to trace",
+            op.name()
+        ))),
+    }
+}
+
+/// Renders a compiled model's per-layer latency breakdown: cycles,
+/// compute share, DMA share (both can exceed 100 % summed — they
+/// overlap), tiles, and the kernel name.
+pub fn breakdown_report(report: &ModelReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4}  {:<12} {:<20} {:>10} {:>9} {:>8} {:>6}\n",
+        "node", "op", "kernel", "cycles", "compute%", "dma%", "tiles"
+    ));
+    for l in &report.layers {
+        let pct = |v: u64| if l.cycles == 0 { 0.0 } else { 100.0 * v as f64 / l.cycles as f64 };
+        out.push_str(&format!(
+            "{:>4}  {:<12} {:<20} {:>10} {:>8.1} {:>8.1} {:>6}\n",
+            l.node,
+            l.op_name,
+            l.choice.as_ref().map_or_else(|| "-".into(), |c| c.name()),
+            l.cycles,
+            pct(l.compute_cycles),
+            pct(l.dma_cycles),
+            l.n_tiles,
+        ));
+    }
+    let total = report.total_cycles();
+    out.push_str(&format!(
+        "total: {} cycles, {:.2} dense-equivalent MACs/cycle\n",
+        total,
+        report.macs_per_cycle()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::compile;
+    use crate::Target;
+    use nm_core::quant::Requant;
+    use nm_core::sparsity::{prune_magnitude, Nm};
+    use nm_core::{ConvGeom, FcGeom};
+    use nm_nn::graph::GraphBuilder;
+    use nm_nn::layer::{ConvLayer, LinearLayer};
+    use nm_nn::rng::XorShift;
+
+    fn graph(nm: Option<Nm>) -> Graph {
+        let mut rng = XorShift::new(23);
+        let geom = ConvGeom::square(32, 16, 8, 3, 1, 1).unwrap();
+        let mut w = rng.fill_weights(geom.weight_elems(), 30);
+        if let Some(nm) = nm {
+            prune_magnitude(&mut w, geom.k, geom.patch_len(), nm).unwrap();
+        }
+        let conv = ConvLayer::new(geom, w, Requant::IDENTITY).unwrap();
+        let fc = LinearLayer::new(
+            FcGeom::new(16, 32).unwrap(),
+            rng.fill_weights(16 * 32, 30),
+            Requant::IDENTITY,
+        )
+        .unwrap();
+        let mut b = GraphBuilder::new(&[8, 8, 32]);
+        let x = b.conv(b.input(), conv).unwrap();
+        let x = b.relu(x).unwrap();
+        let x = b.global_avg_pool(x).unwrap();
+        let x = b.linear(x, fc).unwrap();
+        b.finish(x).unwrap()
+    }
+
+    #[test]
+    fn trace_end_equals_plan_cycles() {
+        for target in [Target::Dense1x2, Target::DensePulpNn, Target::SparseIsa] {
+            let g = graph(Some(Nm::ONE_OF_EIGHT));
+            let opts = Options::new(target);
+            let report = compile(&g, &opts).unwrap();
+            for plan in &report.layers {
+                if plan.choice.is_none() {
+                    continue;
+                }
+                let lt = trace_layer(&g, plan.node, &opts).unwrap();
+                assert_eq!(lt.trace.end(), plan.cycles, "{target:?} node {}", plan.node);
+                assert_eq!(lt.n_tiles, plan.n_tiles);
+                assert_eq!(lt.kernel, plan.choice.as_ref().unwrap().name());
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_nodes_are_rejected() {
+        let g = graph(None);
+        let opts = Options::new(Target::DensePulpNn);
+        let relu = g
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.op, OpKind::Relu))
+            .unwrap();
+        assert!(matches!(trace_layer(&g, relu, &opts), Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn breakdown_lists_every_layer() {
+        let g = graph(None);
+        let opts = Options::new(Target::DensePulpNn);
+        let report = compile(&g, &opts).unwrap();
+        let text = breakdown_report(&report);
+        assert_eq!(text.lines().count(), report.layers.len() + 2);
+        assert!(text.contains("conv-pulp-nn"));
+        assert!(text.contains("total:"));
+    }
+
+    #[test]
+    fn fc_layers_are_dma_heavy_in_their_trace() {
+        // The Sec. 5.2 observation: FC tile schedules are memory-bound.
+        let g = graph(None);
+        let opts = Options::new(Target::Dense1x2);
+        let fc_node = g
+            .nodes()
+            .iter()
+            .position(|n| matches!(n.op, OpKind::Linear(_)))
+            .unwrap();
+        let lt = trace_layer(&g, fc_node, &opts).unwrap();
+        use nm_platform::Lane;
+        let dma = lt.trace.lane_busy(Lane::DmaIn) + lt.trace.lane_busy(Lane::DmaOut);
+        assert!(dma > lt.trace.lane_busy(Lane::Compute) / 4, "fc should move real data");
+    }
+}

@@ -1,0 +1,250 @@
+//! Sparse-aware L1 tiling (paper Sec. 4.4(2)).
+//!
+//! The engine sizes tiles by the *bits per dense-equivalent weight* of
+//! the selected format: at 1:4 with the ISA layout, a non-zero costs
+//! 12 bits (8 value + 4 duplicated offset) and stands for 4 dense
+//! weights — 3 bits each — so a sparse layer fits a 2.6× larger K-tile
+//! than its dense counterpart, cutting tile counts and DMA overheads.
+
+use crate::patterns::KernelChoice;
+use nm_core::format::OffsetLayout;
+use nm_core::{ConvGeom, Error, FcGeom, Result};
+use nm_kernels::layout::nm_segment_bytes;
+
+/// Tile sizes chosen for a convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvTiling {
+    /// Output rows per spatial tile.
+    pub oy_tile: usize,
+    /// Output channels per weight tile.
+    pub k_tile: usize,
+    /// Peak L1 bytes of the schedule (with double buffering).
+    pub l1_bytes: usize,
+}
+
+/// Tile sizes chosen for a fully-connected layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FcTiling {
+    /// Output channels per weight tile.
+    pub k_tile: usize,
+    /// Peak L1 bytes of the schedule (with double buffering).
+    pub l1_bytes: usize,
+}
+
+/// Weight-tile `(values, packed offsets)` bytes for `k_tile` channels of
+/// a layer whose dense rows are `row_len` bytes.
+pub fn weight_tile_parts(choice: &KernelChoice, k_tile: usize, row_len: usize) -> (usize, usize) {
+    match choice {
+        KernelChoice::ConvDense1x2 | KernelChoice::ConvDensePulpNn | KernelChoice::FcDense => {
+            (k_tile * row_len, 0)
+        }
+        KernelChoice::ConvSparseSw(nm) | KernelChoice::FcSparseSw(nm) => {
+            let nz = row_len / nm.m();
+            (k_tile * nz, k_tile * nm_segment_bytes(*nm, nz, OffsetLayout::Plain))
+        }
+        KernelChoice::ConvSparseIsa(nm) => {
+            let nz = row_len / nm.m();
+            (k_tile * nz, k_tile * nm_segment_bytes(*nm, nz, OffsetLayout::Duplicated))
+        }
+        KernelChoice::FcSparseIsa(nm) => {
+            let nz = row_len / nm.m();
+            // Interleaved segments are shared by channel pairs.
+            (k_tile * nz, k_tile.div_ceil(2) * nm_segment_bytes(*nm, nz, OffsetLayout::Interleaved))
+        }
+    }
+}
+
+/// Total weight-tile bytes (values + packed offsets).
+pub fn weight_tile_bytes(choice: &KernelChoice, k_tile: usize, row_len: usize) -> usize {
+    let (v, o) = weight_tile_parts(choice, k_tile, row_len);
+    v + o
+}
+
+/// Nominal L2 weight storage bytes for the full layer (the Table 2
+/// memory column), using the paper's bit accounting without alignment.
+pub fn weight_memory_bits(choice: &KernelChoice, k: usize, row_len: usize) -> usize {
+    match choice {
+        KernelChoice::ConvDense1x2 | KernelChoice::ConvDensePulpNn | KernelChoice::FcDense => {
+            k * row_len * 8
+        }
+        KernelChoice::ConvSparseSw(nm) | KernelChoice::FcSparseSw(nm) => {
+            k * (row_len / nm.m()) * nm.sw_bits_per_nonzero()
+        }
+        KernelChoice::ConvSparseIsa(nm) => k * (row_len / nm.m()) * nm.isa_conv_bits_per_nonzero(),
+        // FC ISA interleaves without duplication: same bits as software.
+        KernelChoice::FcSparseIsa(nm) => k * (row_len / nm.m()) * nm.sw_bits_per_nonzero(),
+    }
+}
+
+/// L1 bytes needed by one conv tile configuration.
+pub fn conv_tile_l1_bytes(
+    geom: &ConvGeom,
+    choice: &KernelChoice,
+    oy_tile: usize,
+    k_tile: usize,
+    n_cores: usize,
+    double_buffered: bool,
+) -> usize {
+    let tile_ix = geom.ix + 2 * geom.pad;
+    let tile_iy = (oy_tile - 1) * geom.stride + geom.fy;
+    let input = tile_iy * tile_ix * geom.c;
+    let output = oy_tile * geom.ox() * k_tile;
+    let weights = weight_tile_bytes(choice, k_tile, geom.patch_len());
+    let im2col = n_cores * geom.im2col_bytes_per_core();
+    let db = if double_buffered { 2 } else { 1 };
+    db * (input + output + weights) + im2col
+}
+
+/// Chooses a conv tiling that fits `l1_budget`, preferring the fewest
+/// tiles (largest K tile first — weight reuse — then tallest spatial
+/// tile).
+///
+/// # Errors
+/// [`Error::OutOfMemory`] if even a 1-row, minimum-K tile exceeds L1.
+pub fn tile_conv(
+    geom: &ConvGeom,
+    choice: &KernelChoice,
+    l1_budget: usize,
+    n_cores: usize,
+) -> Result<ConvTiling> {
+    let k_step = match choice {
+        KernelChoice::ConvDensePulpNn => 4,
+        _ => 2,
+    };
+    let mut k_candidates: Vec<usize> = Vec::new();
+    let mut k = geom.k;
+    while k >= k_step {
+        k_candidates.push(k);
+        k /= 2;
+    }
+    k_candidates.push(k_step.min(geom.k));
+    let mut oy_candidates: Vec<usize> = Vec::new();
+    let mut oy = geom.oy();
+    while oy >= 1 {
+        oy_candidates.push(oy);
+        oy /= 2;
+    }
+    // Collect every feasible configuration and rank it:
+    // 1. tiles whose spatial extent feeds every core at least one *pair*
+    //    of output positions (the kernels' 1x2 unrolling is half as
+    //    efficient on lone positions);
+    // 2. fewer K tiles (each K tile repeats the im2col of its spatial
+    //    positions);
+    // 3. fewer tiles overall; 4. larger K tiles (weight reuse).
+    type RankKey = (bool, usize, usize, std::cmp::Reverse<usize>);
+    let mut best: Option<(ConvTiling, RankKey)> = None;
+    for &k_tile in &k_candidates {
+        for &oy_tile in &oy_candidates {
+            let tiled = k_tile < geom.k || oy_tile < geom.oy();
+            let need = conv_tile_l1_bytes(geom, choice, oy_tile, k_tile, n_cores, tiled);
+            if need > l1_budget {
+                continue;
+            }
+            let n_k = geom.k.div_ceil(k_tile);
+            let n_tiles = n_k * geom.oy().div_ceil(oy_tile);
+            let starves_pairs = oy_tile * geom.ox() < 2 * n_cores && oy_tile < geom.oy();
+            let key = (starves_pairs, n_k, n_tiles, std::cmp::Reverse(k_tile));
+            if best.as_ref().is_none_or(|(_, k)| key < *k) {
+                best = Some((ConvTiling { oy_tile, k_tile, l1_bytes: need }, key));
+            }
+        }
+    }
+    best.map(|(t, _)| t).ok_or(Error::OutOfMemory {
+        requested: conv_tile_l1_bytes(geom, choice, 1, k_step.min(geom.k), n_cores, true),
+        available: l1_budget,
+    })
+}
+
+/// Chooses an FC tiling (input resident, K tiled).
+///
+/// # Errors
+/// [`Error::OutOfMemory`] if a minimum tile exceeds L1.
+pub fn tile_fc(
+    geom: &FcGeom,
+    choice: &KernelChoice,
+    l1_budget: usize,
+) -> Result<FcTiling> {
+    let k_step = if matches!(choice, KernelChoice::FcSparseIsa(_)) { 2 } else { 1 };
+    let mut k_tile = geom.k;
+    loop {
+        let tiled = k_tile < geom.k;
+        let weights = weight_tile_bytes(choice, k_tile, geom.c);
+        let db = if tiled { 2 } else { 1 };
+        let need = geom.c + k_tile + db * weights;
+        if need <= l1_budget {
+            return Ok(FcTiling { k_tile, l1_bytes: need });
+        }
+        if k_tile <= k_step {
+            return Err(Error::OutOfMemory { requested: need, available: l1_budget });
+        }
+        k_tile = (k_tile / 2).max(k_step);
+        if k_step == 2 && k_tile % 2 == 1 {
+            k_tile -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_core::sparsity::Nm;
+    use nm_platform::soc::L1_BYTES;
+
+    #[test]
+    fn fig8_conv_c256_needs_tiling() {
+        // The Fig. 8 largest conv: C=256, K=256, 8x8, 3x3 — dense weights
+        // alone are 576 kB, far over L1.
+        let geom = ConvGeom::square(256, 256, 8, 3, 1, 1).unwrap();
+        let t = tile_conv(&geom, &KernelChoice::ConvDense1x2, L1_BYTES, 8).unwrap();
+        assert!(t.k_tile < 256);
+        assert!(t.l1_bytes <= L1_BYTES);
+    }
+
+    #[test]
+    fn sparse_fits_larger_tiles_than_dense() {
+        let geom = ConvGeom::square(256, 256, 8, 3, 1, 1).unwrap();
+        let dense = tile_conv(&geom, &KernelChoice::ConvDense1x2, L1_BYTES, 8).unwrap();
+        let sparse =
+            tile_conv(&geom, &KernelChoice::ConvSparseIsa(Nm::ONE_OF_EIGHT), L1_BYTES, 8).unwrap();
+        assert!(
+            sparse.k_tile * sparse.oy_tile > dense.k_tile * dense.oy_tile,
+            "sparse {sparse:?} vs dense {dense:?}"
+        );
+    }
+
+    #[test]
+    fn weight_bits_match_paper_section_4_4() {
+        // "considering 1:4 sparsity, we need 12 bits to store each NZ
+        // weight ... equivalent to having 3-bit per dense weight".
+        let bits = weight_memory_bits(&KernelChoice::ConvSparseIsa(Nm::ONE_OF_FOUR), 1, 4);
+        assert_eq!(bits, 12);
+        let dense = weight_memory_bits(&KernelChoice::ConvDense1x2, 1, 4);
+        assert_eq!(dense, 32);
+    }
+
+    #[test]
+    fn fc_tiling_respects_isa_pairing() {
+        let geom = FcGeom::new(2048, 1000).unwrap();
+        let t = tile_fc(&geom, &KernelChoice::FcSparseIsa(Nm::ONE_OF_FOUR), 32 * 1024).unwrap();
+        assert_eq!(t.k_tile % 2, 0);
+        assert!(t.l1_bytes <= 32 * 1024);
+    }
+
+    #[test]
+    fn impossible_budget_errors() {
+        let geom = ConvGeom::square(64, 64, 8, 3, 1, 1).unwrap();
+        assert!(matches!(
+            tile_conv(&geom, &KernelChoice::ConvDense1x2, 1024, 8),
+            Err(Error::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn untiled_layers_skip_double_buffers() {
+        let geom = ConvGeom::square(8, 8, 4, 3, 1, 1).unwrap();
+        let t = tile_conv(&geom, &KernelChoice::ConvDense1x2, L1_BYTES, 8).unwrap();
+        assert_eq!((t.oy_tile, t.k_tile), (geom.oy(), geom.k));
+        let single = conv_tile_l1_bytes(&geom, &KernelChoice::ConvDense1x2, 4, 8, 8, false);
+        assert_eq!(t.l1_bytes, single);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type shared by the nm-* crates.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating sparse formats,
+/// geometries and quantization parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An N:M pattern was requested with invalid parameters
+    /// (`n == 0`, `m == 0`, `n >= m`, or `m` not a power of two).
+    InvalidPattern {
+        /// Number of non-zero elements per block.
+        n: u8,
+        /// Block size.
+        m: u8,
+    },
+    /// A dense tensor does not satisfy the N:M constraint it was declared
+    /// to follow (more than N non-zeros were found in some M-block).
+    PatternViolation {
+        /// Row of the offending block.
+        row: usize,
+        /// Index of the offending M-block within the row.
+        block: usize,
+        /// Non-zeros found in the block.
+        found: usize,
+        /// Non-zeros allowed per block.
+        allowed: usize,
+    },
+    /// A matrix dimension is incompatible with the requested operation
+    /// (e.g. the number of columns is not a multiple of M).
+    ShapeMismatch(String),
+    /// A layer geometry is degenerate (zero-sized dimension, stride of
+    /// zero, or a filter larger than the padded input).
+    InvalidGeometry(String),
+    /// A quantization parameter is out of range (e.g. shift >= 32).
+    InvalidQuantization(String),
+    /// A buffer or allocation request does not fit in the target memory.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The requested operation is not supported for this configuration.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidPattern { n, m } => {
+                write!(f, "invalid N:M pattern {n}:{m} (need 0 < n < m, m a power of two)")
+            }
+            Error::PatternViolation { row, block, found, allowed } => write!(
+                f,
+                "N:M pattern violated at row {row}, block {block}: {found} non-zeros, {allowed} allowed"
+            ),
+            Error::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            Error::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            Error::InvalidQuantization(msg) => write!(f, "invalid quantization: {msg}"),
+            Error::OutOfMemory { requested, available } => {
+                write!(f, "out of memory: requested {requested} bytes, {available} available")
+            }
+            Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            Error::InvalidPattern { n: 2, m: 2 },
+            Error::PatternViolation { row: 1, block: 2, found: 3, allowed: 1 },
+            Error::ShapeMismatch("cols 10 not multiple of 8".into()),
+            Error::InvalidGeometry("stride 0".into()),
+            Error::InvalidQuantization("shift 40".into()),
+            Error::OutOfMemory { requested: 10, available: 5 },
+            Error::Unsupported("2:4 kernels".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            // Lowercase per C-GOOD-ERR, except messages leading with the
+            // "N:M" proper noun.
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("N:M"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

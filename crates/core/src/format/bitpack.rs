@@ -1,0 +1,203 @@
+//! Little-endian bit packing for sub-byte offset streams.
+//!
+//! Offsets are packed LSB-first within each byte, and bytes are stored in
+//! increasing address order, so a 32-bit little-endian word load followed by
+//! `(word >> (i * width)) & mask` — exactly what the kernels and the
+//! `xDecimate` hardware do — retrieves the `i`-th offset of that word.
+
+/// Writes `width`-bit `value` at bit position `bitpos` into `buf`,
+/// growing the buffer as needed. Bits beyond `width` in `value` are ignored.
+///
+/// # Panics
+/// Panics if `width` is 0 or greater than 8.
+pub fn write_bits(buf: &mut Vec<u8>, bitpos: usize, width: usize, value: u8) {
+    assert!(width > 0 && width <= 8, "width must be in 1..=8");
+    let needed = (bitpos + width).div_ceil(8);
+    if buf.len() < needed {
+        buf.resize(needed, 0);
+    }
+    let masked = u16::from(value) & ((1u16 << width) - 1);
+    let byte = bitpos / 8;
+    let bit = bitpos % 8;
+    let span = masked << bit;
+    buf[byte] |= (span & 0xFF) as u8;
+    if bit + width > 8 {
+        buf[byte + 1] |= (span >> 8) as u8;
+    }
+}
+
+/// Reads a `width`-bit value at bit position `bitpos` from `buf`.
+/// Out-of-range reads return 0 bits for the missing part.
+///
+/// # Panics
+/// Panics if `width` is 0 or greater than 8.
+pub fn read_bits(buf: &[u8], bitpos: usize, width: usize) -> u8 {
+    assert!(width > 0 && width <= 8, "width must be in 1..=8");
+    let byte = bitpos / 8;
+    let bit = bitpos % 8;
+    let lo = u16::from(*buf.get(byte).unwrap_or(&0));
+    let hi = u16::from(*buf.get(byte + 1).unwrap_or(&0));
+    let word = lo | (hi << 8);
+    ((word >> bit) & ((1u16 << width) - 1)) as u8
+}
+
+/// Incremental bit writer over an owned byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    bitpos: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `width`-bit value.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or greater than 8.
+    pub fn push(&mut self, width: usize, value: u8) {
+        write_bits(&mut self.buf, self.bitpos, width, value);
+        self.bitpos += width;
+    }
+
+    /// Pads with zero bits up to the next multiple of `bytes` bytes.
+    pub fn align_to_bytes(&mut self, bytes: usize) {
+        let bits = bytes * 8;
+        let rem = self.bitpos % bits;
+        if rem != 0 {
+            self.bitpos += bits - rem;
+            let needed = self.bitpos / 8;
+            if self.buf.len() < needed {
+                self.buf.resize(needed, 0);
+            }
+        }
+    }
+
+    /// Current length in bits.
+    pub fn bit_len(&self) -> usize {
+        self.bitpos
+    }
+
+    /// Finishes and returns the packed bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Incremental bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    bitpos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at bit 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, bitpos: 0 }
+    }
+
+    /// Creates a reader positioned at an arbitrary bit offset.
+    pub fn at_bit(buf: &'a [u8], bitpos: usize) -> Self {
+        BitReader { buf, bitpos }
+    }
+
+    /// Reads the next `width`-bit value.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or greater than 8.
+    pub fn next(&mut self, width: usize) -> u8 {
+        let v = read_bits(self.buf, self.bitpos, width);
+        self.bitpos += width;
+        v
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.bitpos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_2bit() {
+        let mut buf = Vec::new();
+        for (i, v) in [3u8, 0, 1, 2, 3, 3, 0, 1].iter().enumerate() {
+            write_bits(&mut buf, i * 2, 2, *v);
+        }
+        assert_eq!(buf.len(), 2);
+        for (i, v) in [3u8, 0, 1, 2, 3, 3, 0, 1].iter().enumerate() {
+            assert_eq!(read_bits(&buf, i * 2, 2), *v);
+        }
+    }
+
+    #[test]
+    fn round_trip_4bit_matches_word_shift_semantics() {
+        // Pack 8 nibbles, then check the hardware's view: a little-endian
+        // u32 load + (word >> (i*4)) & 0xF must retrieve offset i.
+        let offs = [7u8, 2, 15, 0, 9, 4, 1, 11];
+        let mut w = BitWriter::new();
+        for &o in &offs {
+            w.push(4, o);
+        }
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 4);
+        let word = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        for (i, &o) in offs.iter().enumerate().take(8) {
+            assert_eq!(((word >> (i * 4)) & 0xF) as u8, o);
+        }
+    }
+
+    #[test]
+    fn cross_byte_values() {
+        // 3-bit values straddle byte boundaries.
+        let vals = [5u8, 7, 1, 6, 2, 3, 4, 0];
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            w.push(3, v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &vals {
+            assert_eq!(r.next(3), v);
+        }
+    }
+
+    #[test]
+    fn align_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.push(4, 0xF);
+        w.align_to_bytes(4);
+        assert_eq!(w.bit_len(), 32);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x0F, 0, 0, 0]);
+    }
+
+    #[test]
+    fn value_wider_than_width_is_masked() {
+        let mut buf = Vec::new();
+        write_bits(&mut buf, 0, 2, 0xFF);
+        assert_eq!(read_bits(&buf, 0, 2), 3);
+        assert_eq!(read_bits(&buf, 2, 2), 0);
+    }
+
+    #[test]
+    fn out_of_range_read_is_zero() {
+        let buf = vec![0xFFu8];
+        assert_eq!(read_bits(&buf, 8, 4), 0);
+        assert_eq!(read_bits(&buf, 6, 4), 0b11); // 2 valid bits + 2 zeros
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_panics() {
+        let mut buf = Vec::new();
+        write_bits(&mut buf, 0, 0, 1);
+    }
+}

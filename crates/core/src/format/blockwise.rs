@@ -1,0 +1,187 @@
+//! Scalpel-style blockwise (1 x SIMD-width) sparse format (Yu et al. 2017,
+//! discussed in Sec. 3): weights are pruned in dense groups matching the
+//! SIMD width so dot-product instructions stay usable, at the cost of a
+//! coarser pattern and larger accuracy impact.
+
+use crate::{Error, Result};
+
+/// A blockwise sparse matrix: rows are split into `block` -wide groups;
+/// a group is either kept whole (dense bytes) or dropped entirely.
+/// Kept groups record a 16-bit group index.
+///
+/// # Example
+/// ```
+/// use nm_core::format::BlockwiseMatrix;
+/// let dense = vec![1i8, 2, 3, 4, 0, 0, 0, 0];
+/// let bw = BlockwiseMatrix::from_dense(&dense, 1, 8, 4)?;
+/// assert_eq!(bw.kept_blocks(), 1);
+/// assert_eq!(bw.to_dense(), dense);
+/// # Ok::<(), nm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockwiseMatrix {
+    rows: usize,
+    cols: usize,
+    block: usize,
+    values: Vec<i8>,
+    block_idx: Vec<u16>,
+    row_len: Vec<u16>,
+}
+
+impl BlockwiseMatrix {
+    /// Builds a blockwise matrix, keeping every block that contains at
+    /// least one non-zero.
+    ///
+    /// # Errors
+    /// [`Error::ShapeMismatch`] if the buffer length is wrong, `cols` is
+    /// not a multiple of `block`, or `block` is zero.
+    pub fn from_dense(dense: &[i8], rows: usize, cols: usize, block: usize) -> Result<Self> {
+        if dense.len() != rows * cols {
+            return Err(Error::ShapeMismatch(format!(
+                "buffer has {} elements, expected {rows}x{cols}",
+                dense.len()
+            )));
+        }
+        if block == 0 || !cols.is_multiple_of(block) {
+            return Err(Error::ShapeMismatch(format!("cols {cols} not a multiple of block {block}")));
+        }
+        let mut m = BlockwiseMatrix {
+            rows,
+            cols,
+            block,
+            values: Vec::new(),
+            block_idx: Vec::new(),
+            row_len: Vec::new(),
+        };
+        for r in 0..rows {
+            let mut kept: u16 = 0;
+            for b in 0..cols / block {
+                let start = r * cols + b * block;
+                let grp = &dense[start..start + block];
+                if grp.iter().any(|&v| v != 0) {
+                    m.values.extend_from_slice(grp);
+                    m.block_idx.push(b as u16);
+                    kept += 1;
+                }
+            }
+            m.row_len.push(kept);
+        }
+        Ok(m)
+    }
+
+    /// Magnitude-prunes to keep the `keep` largest-L1-norm blocks per row,
+    /// then packs.
+    ///
+    /// # Errors
+    /// Same as [`BlockwiseMatrix::from_dense`].
+    pub fn prune_from_dense(
+        dense: &[i8],
+        rows: usize,
+        cols: usize,
+        block: usize,
+        keep: usize,
+    ) -> Result<Self> {
+        if block == 0 || !cols.is_multiple_of(block) {
+            return Err(Error::ShapeMismatch(format!("cols {cols} not a multiple of block {block}")));
+        }
+        let mut pruned = dense.to_vec();
+        let blocks_per_row = cols / block;
+        for r in 0..rows {
+            let mut norms: Vec<(usize, i32)> = (0..blocks_per_row)
+                .map(|b| {
+                    let start = r * cols + b * block;
+                    let norm = pruned[start..start + block].iter().map(|&v| (v as i32).abs()).sum();
+                    (b, norm)
+                })
+                .collect();
+            norms.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            for &(b, _) in norms.iter().skip(keep) {
+                let start = r * cols + b * block;
+                pruned[start..start + block].fill(0);
+            }
+        }
+        Self::from_dense(&pruned, rows, cols, block)
+    }
+
+    /// Number of kept blocks.
+    pub fn kept_blocks(&self) -> usize {
+        self.block_idx.len()
+    }
+
+    /// The block width.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Kept blocks in one row as `(block_index, values)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows`.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, &[i8])> + '_ {
+        let start: usize = self.row_len[..row].iter().map(|&l| usize::from(l)).sum();
+        let len = usize::from(self.row_len[row]);
+        (start..start + len).map(move |i| {
+            (usize::from(self.block_idx[i]), &self.values[i * self.block..(i + 1) * self.block])
+        })
+    }
+
+    /// Reconstructs the dense matrix.
+    pub fn to_dense(&self) -> Vec<i8> {
+        let mut dense = vec![0i8; self.rows * self.cols];
+        for r in 0..self.rows {
+            for (b, vals) in self.row(r) {
+                let start = r * self.cols + b * self.block;
+                dense[start..start + self.block].copy_from_slice(vals);
+            }
+        }
+        dense
+    }
+
+    /// Storage: dense block bytes + 16-bit block indices + 16-bit row lengths.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() + self.kept_blocks() * 2 + self.rows * 2
+    }
+
+    /// Effective sparsity after block pruning.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.values.len() as f64 / (self.rows * self.cols) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let dense = vec![0i8, 0, 0, 0, 1, -2, 0, 4, 0, 0, 0, 0, 9, 9, 9, 9];
+        let bw = BlockwiseMatrix::from_dense(&dense, 2, 8, 4).unwrap();
+        assert_eq!(bw.kept_blocks(), 2);
+        assert_eq!(bw.to_dense(), dense);
+    }
+
+    #[test]
+    fn prune_keeps_highest_l1_blocks() {
+        let dense = vec![1i8, 1, 1, 1, 9, 9, 9, 9, 2, 2, 2, 2];
+        let bw = BlockwiseMatrix::prune_from_dense(&dense, 1, 12, 4, 1).unwrap();
+        let rows: Vec<_> = bw.row(0).collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, 1);
+        assert_eq!(rows[0].1, &[9, 9, 9, 9]);
+        assert!((bw.sparsity() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_block() {
+        assert!(BlockwiseMatrix::from_dense(&[0i8; 8], 1, 8, 3).is_err());
+        assert!(BlockwiseMatrix::from_dense(&[0i8; 8], 1, 8, 0).is_err());
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let dense = vec![1i8, 0, 0, 0, 0, 0, 0, 0];
+        let bw = BlockwiseMatrix::from_dense(&dense, 1, 8, 4).unwrap();
+        // 4 value bytes + 2 index bytes + 2 row-length bytes.
+        assert_eq!(bw.memory_bytes(), 8);
+    }
+}

@@ -1,0 +1,540 @@
+//! Per-channel (per-row) variable N:M sparse format — the paper's stated
+//! future work ("our future work will study the impact of variable
+//! sparsity patterns (e.g., per-layer or per-channel) on latency and
+//! accuracy").
+//!
+//! A `rows x cols` dense-equivalent weight matrix is stored with one
+//! pattern choice *per row* (= output channel): `None` keeps the row
+//! dense, `Some(nm)` stores it exactly like one row of
+//! [`super::NmMatrix`] (packed non-zero values plus bit-packed
+//! intra-block offsets). Rows therefore have heterogeneous payload sizes;
+//! the matrix records per-row start positions so kernels can address each
+//! row directly.
+//!
+//! Only the [`OffsetLayout::Plain`] (software kernels) and
+//! [`OffsetLayout::Duplicated`] (ISA-extended convolution kernels)
+//! layouts are supported: the interleaved fully-connected layout pairs
+//! *two* rows in one offset stream and is only meaningful when both rows
+//! of a pair share a pattern (see `nm-kernels::fc`).
+
+use super::bitpack::{BitReader, BitWriter};
+use super::nm::OffsetLayout;
+use crate::sparsity::{check_pattern, prune_magnitude, Nm};
+use crate::{Error, Result};
+
+/// A weight matrix with an independent N:M pattern per row.
+///
+/// # Example
+/// ```
+/// use nm_core::format::{ChannelNmMatrix, OffsetLayout};
+/// use nm_core::sparsity::Nm;
+/// # fn main() -> Result<(), nm_core::Error> {
+/// // Row 0 dense, row 1 pruned to 1:8.
+/// let dense: Vec<i8> = (1..=32).map(|v| v as i8).collect();
+/// let patterns = vec![None, Some(Nm::new(1, 8)?)];
+/// let w = ChannelNmMatrix::prune_from_dense(&dense, 2, 16, &patterns, OffsetLayout::Plain)?;
+/// assert_eq!(w.row_values(0).len(), 16); // dense row kept verbatim
+/// assert_eq!(w.row_values(1).len(), 2); // 16 / 8 non-zeros
+/// assert!(w.density() < 1.0 && w.density() > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelNmMatrix {
+    rows: usize,
+    cols: usize,
+    layout: OffsetLayout,
+    patterns: Vec<Option<Nm>>,
+    /// Concatenated row payloads: `cols` values for dense rows, the
+    /// non-zero values for sparse rows.
+    values: Vec<i8>,
+    /// Concatenated word-aligned offset segments (empty for dense rows).
+    offsets: Vec<u8>,
+    /// Per-row start into `values` (length `rows + 1`).
+    value_starts: Vec<usize>,
+    /// Per-row start into `offsets` (length `rows + 1`).
+    offset_starts: Vec<usize>,
+}
+
+impl ChannelNmMatrix {
+    /// Packs a dense row-major matrix whose rows already satisfy their
+    /// assigned patterns.
+    ///
+    /// # Errors
+    /// * [`Error::ShapeMismatch`] if the buffer length is not
+    ///   `rows * cols`, `patterns.len() != rows`, or some assigned
+    ///   pattern's M does not divide `cols`.
+    /// * [`Error::Unsupported`] for [`OffsetLayout::Interleaved`].
+    /// * [`Error::PatternViolation`] if a sparse row has an over-full
+    ///   block (the reported row index is matrix-global).
+    pub fn from_dense(
+        dense: &[i8],
+        rows: usize,
+        cols: usize,
+        patterns: &[Option<Nm>],
+        layout: OffsetLayout,
+    ) -> Result<Self> {
+        if layout == OffsetLayout::Interleaved {
+            return Err(Error::Unsupported(
+                "per-channel matrices cannot interleave row pairs with distinct patterns".into(),
+            ));
+        }
+        if dense.len() != rows * cols {
+            return Err(Error::ShapeMismatch(format!(
+                "buffer has {} elements, expected {rows}x{cols}",
+                dense.len()
+            )));
+        }
+        if patterns.len() != rows {
+            return Err(Error::ShapeMismatch(format!(
+                "{} patterns for {rows} rows",
+                patterns.len()
+            )));
+        }
+        let mut values = Vec::new();
+        let mut writer = BitWriter::new();
+        let mut value_starts = Vec::with_capacity(rows + 1);
+        let mut offset_starts = Vec::with_capacity(rows + 1);
+        for (row, &pattern) in patterns.iter().enumerate() {
+            value_starts.push(values.len());
+            offset_starts.push(writer.bit_len() / 8);
+            let r = &dense[row * cols..(row + 1) * cols];
+            let Some(nm) = pattern else {
+                values.extend_from_slice(r);
+                continue;
+            };
+            check_pattern(r, 1, cols, nm).map_err(|e| match e {
+                Error::PatternViolation { block, found, allowed, .. } => {
+                    Error::PatternViolation { row, block, found, allowed }
+                }
+                other => other,
+            })?;
+            let width = nm.offset_bits();
+            for block in r.chunks(nm.m()) {
+                let mut found = 0;
+                for (o, &v) in block.iter().enumerate() {
+                    if v != 0 {
+                        values.push(v);
+                        for _ in 0..replication(layout) {
+                            writer.push(width, o as u8);
+                        }
+                        found += 1;
+                    }
+                }
+                // Under-full blocks pad with explicit zeros at offset 0,
+                // keeping per-row non-zero counts uniform (the property
+                // the kernels' chunked loops rely on).
+                values.extend(std::iter::repeat_n(0, nm.n() - found));
+                for _ in 0..(nm.n() - found) * replication(layout) {
+                    writer.push(width, 0);
+                }
+            }
+            writer.align_to_bytes(4);
+        }
+        value_starts.push(values.len());
+        offset_starts.push(writer.bit_len() / 8);
+        Ok(ChannelNmMatrix {
+            rows,
+            cols,
+            layout,
+            patterns: patterns.to_vec(),
+            values,
+            offsets: writer.into_bytes(),
+            value_starts,
+            offset_starts,
+        })
+    }
+
+    /// Magnitude-prunes each row to its assigned pattern, then packs.
+    ///
+    /// # Errors
+    /// Same shape conditions as [`ChannelNmMatrix::from_dense`].
+    pub fn prune_from_dense(
+        dense: &[i8],
+        rows: usize,
+        cols: usize,
+        patterns: &[Option<Nm>],
+        layout: OffsetLayout,
+    ) -> Result<Self> {
+        if dense.len() != rows * cols {
+            return Err(Error::ShapeMismatch(format!(
+                "buffer has {} elements, expected {rows}x{cols}",
+                dense.len()
+            )));
+        }
+        if patterns.len() != rows {
+            return Err(Error::ShapeMismatch(format!(
+                "{} patterns for {rows} rows",
+                patterns.len()
+            )));
+        }
+        let mut pruned = dense.to_vec();
+        for (row, &pattern) in patterns.iter().enumerate() {
+            if let Some(nm) = pattern {
+                prune_magnitude(&mut pruned[row * cols..(row + 1) * cols], 1, cols, nm)?;
+            }
+        }
+        Self::from_dense(&pruned, rows, cols, patterns, layout)
+    }
+
+    /// Dense-equivalent row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Dense-equivalent column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The offset layout.
+    pub fn layout(&self) -> OffsetLayout {
+        self.layout
+    }
+
+    /// The per-row pattern assignment (`None` = dense).
+    pub fn patterns(&self) -> &[Option<Nm>] {
+        &self.patterns
+    }
+
+    /// The pattern of one row.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()`.
+    pub fn row_pattern(&self, row: usize) -> Option<Nm> {
+        self.patterns[row]
+    }
+
+    /// The concatenated value payload.
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// The concatenated packed offset stream.
+    pub fn offsets_bytes(&self) -> &[u8] {
+        &self.offsets
+    }
+
+    /// Byte position of `row`'s values inside [`ChannelNmMatrix::values`].
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()`.
+    pub fn value_start(&self, row: usize) -> usize {
+        assert!(row < self.rows, "row {row} out of range");
+        self.value_starts[row]
+    }
+
+    /// Byte position of `row`'s offset segment inside
+    /// [`ChannelNmMatrix::offsets_bytes`] (dense rows have an empty
+    /// segment).
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()`.
+    pub fn offset_start(&self, row: usize) -> usize {
+        assert!(row < self.rows, "row {row} out of range");
+        self.offset_starts[row]
+    }
+
+    /// The value payload of one row (`cols` values for dense rows,
+    /// non-zeros for sparse rows).
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()`.
+    pub fn row_values(&self, row: usize) -> &[i8] {
+        assert!(row < self.rows, "row {row} out of range");
+        &self.values[self.value_starts[row]..self.value_starts[row + 1]]
+    }
+
+    /// Stored non-zeros of one row (`cols` for dense rows).
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()`.
+    pub fn row_nz(&self, row: usize) -> usize {
+        match self.patterns[row] {
+            None => self.cols,
+            Some(nm) => (self.cols / nm.m()) * nm.n(),
+        }
+    }
+
+    /// Unpacks the logical (de-duplicated) offsets of a sparse row.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()` or the row is dense.
+    pub fn row_offsets(&self, row: usize) -> Vec<u8> {
+        let nm = self.patterns[row].expect("dense rows have no offsets");
+        let width = nm.offset_bits();
+        let seg = &self.offsets[self.offset_starts[row]..self.offset_starts[row + 1]];
+        let mut r = BitReader::new(seg);
+        (0..self.row_nz(row))
+            .map(|_| {
+                let a = r.next(width);
+                if self.layout == OffsetLayout::Duplicated {
+                    let b = r.next(width);
+                    debug_assert_eq!(a, b, "duplicated offsets must match");
+                }
+                a
+            })
+            .collect()
+    }
+
+    /// Reconstructs the dense row-major matrix.
+    pub fn to_dense(&self) -> Vec<i8> {
+        let mut dense = vec![0i8; self.rows * self.cols];
+        for row in 0..self.rows {
+            let out = &mut dense[row * self.cols..(row + 1) * self.cols];
+            match self.patterns[row] {
+                None => out.copy_from_slice(self.row_values(row)),
+                Some(nm) => {
+                    let vals = self.row_values(row);
+                    let offs = self.row_offsets(row);
+                    for (i, (&v, &o)) in vals.iter().zip(&offs).enumerate() {
+                        if v != 0 {
+                            out[(i / nm.n()) * nm.m() + usize::from(o)] = v;
+                        }
+                    }
+                }
+            }
+        }
+        dense
+    }
+
+    /// Kept fraction of dense-equivalent weights (dense rows count fully).
+    pub fn density(&self) -> f64 {
+        let kept: usize = (0..self.rows).map(|r| self.row_nz(r)).sum();
+        kept as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Actual packed storage: values plus offsets including word padding.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() + self.offsets.len()
+    }
+
+    /// Nominal storage in bits as the paper counts it: 8 bits per dense
+    /// value, `8 + offset_bits * replication` per non-zero, without
+    /// alignment padding.
+    pub fn memory_bits_nominal(&self) -> usize {
+        self.patterns
+            .iter()
+            .map(|&p| match p {
+                None => self.cols * 8,
+                Some(nm) => {
+                    (self.cols / nm.m())
+                        * nm.n()
+                        * (8 + nm.offset_bits() * replication(self.layout))
+                }
+            })
+            .sum()
+    }
+
+    /// Dense int8 storage of the equivalent matrix.
+    pub fn dense_bytes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Compression ratio versus dense int8 (`dense / packed`, nominal
+    /// bits).
+    pub fn compression_ratio(&self) -> f64 {
+        (self.dense_bytes() * 8) as f64 / self.memory_bits_nominal() as f64
+    }
+}
+
+fn replication(layout: OffsetLayout) -> usize {
+    match layout {
+        OffsetLayout::Plain | OffsetLayout::Interleaved => 1,
+        OffsetLayout::Duplicated => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row(cols: usize, nm: Option<Nm>, seed: u64) -> Vec<i8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut row = vec![0i8; cols];
+        match nm {
+            None => {
+                for v in &mut row {
+                    *v = (next() % 255) as i8;
+                }
+            }
+            Some(nm) => {
+                for block in row.chunks_mut(nm.m()) {
+                    for _ in 0..nm.n() {
+                        let pos = (next() as usize) % block.len();
+                        block[pos] = ((next() % 253) as i64 - 126).max(1) as i8;
+                    }
+                }
+            }
+        }
+        row
+    }
+
+    fn sample(cols: usize, patterns: &[Option<Nm>], seed: u64) -> Vec<i8> {
+        patterns
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &p)| sample_row(cols, p, seed + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_mixed_rows_both_layouts() {
+        let patterns = vec![
+            None,
+            Some(Nm::ONE_OF_FOUR),
+            Some(Nm::ONE_OF_EIGHT),
+            Some(Nm::ONE_OF_SIXTEEN),
+            None,
+        ];
+        for layout in [OffsetLayout::Plain, OffsetLayout::Duplicated] {
+            let dense = sample(32, &patterns, 5);
+            let w = ChannelNmMatrix::from_dense(&dense, 5, 32, &patterns, layout).unwrap();
+            assert_eq!(w.to_dense(), dense, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn all_dense_is_identity() {
+        let patterns = vec![None; 3];
+        let dense = sample(16, &patterns, 9);
+        let w = ChannelNmMatrix::from_dense(&dense, 3, 16, &patterns, OffsetLayout::Plain).unwrap();
+        assert_eq!(w.values(), &dense[..]);
+        assert!(w.offsets_bytes().is_empty());
+        assert_eq!(w.density(), 1.0);
+        assert_eq!(w.memory_bits_nominal(), 3 * 16 * 8);
+    }
+
+    #[test]
+    fn uniform_pattern_matches_nm_matrix_memory() {
+        use super::super::NmMatrix;
+        let nm = Nm::ONE_OF_EIGHT;
+        let patterns = vec![Some(nm); 4];
+        let dense = sample(32, &patterns, 3);
+        let w =
+            ChannelNmMatrix::from_dense(&dense, 4, 32, &patterns, OffsetLayout::Plain).unwrap();
+        let u = NmMatrix::from_dense(&dense, 4, 32, nm, OffsetLayout::Plain).unwrap();
+        assert_eq!(w.memory_bits_nominal(), u.memory_bits_nominal());
+        assert_eq!(w.values(), u.values());
+        assert_eq!(w.to_dense(), u.to_dense());
+    }
+
+    #[test]
+    fn interleaved_is_rejected() {
+        let err = ChannelNmMatrix::from_dense(
+            &[0i8; 32],
+            2,
+            16,
+            &[None, None],
+            OffsetLayout::Interleaved,
+        );
+        assert!(matches!(err, Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn pattern_violation_reports_global_row() {
+        let mut dense = vec![0i8; 2 * 8];
+        dense[8] = 1;
+        dense[9] = 2; // row 1, block 0 over-full for 1:4
+        let err = ChannelNmMatrix::from_dense(
+            &dense,
+            2,
+            8,
+            &[None, Some(Nm::ONE_OF_FOUR)],
+            OffsetLayout::Plain,
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::PatternViolation { row: 1, block: 0, found: 2, allowed: 1 });
+    }
+
+    #[test]
+    fn wrong_pattern_count_is_rejected() {
+        let err =
+            ChannelNmMatrix::from_dense(&[0i8; 16], 2, 8, &[None], OffsetLayout::Plain);
+        assert!(matches!(err, Err(Error::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn cols_must_divide_every_used_m() {
+        // cols = 12 is fine for 1:4 but not for 1:8.
+        let dense = vec![0i8; 2 * 12];
+        assert!(ChannelNmMatrix::from_dense(
+            &dense,
+            2,
+            12,
+            &[Some(Nm::ONE_OF_FOUR), None],
+            OffsetLayout::Plain
+        )
+        .is_ok());
+        assert!(matches!(
+            ChannelNmMatrix::from_dense(
+                &dense,
+                2,
+                12,
+                &[Some(Nm::ONE_OF_EIGHT), None],
+                OffsetLayout::Plain
+            ),
+            Err(Error::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn prune_keeps_dense_rows_verbatim() {
+        let patterns = vec![None, Some(Nm::ONE_OF_FOUR)];
+        let dense: Vec<i8> = (1..=16).map(|v| v as i8).collect();
+        let w = ChannelNmMatrix::prune_from_dense(&dense, 2, 8, &patterns, OffsetLayout::Plain)
+            .unwrap();
+        let round = w.to_dense();
+        assert_eq!(&round[..8], &dense[..8]);
+        // Row 1 keeps the largest magnitude per 4-block: 12 and 16.
+        assert_eq!(&round[8..], &[0, 0, 0, 12, 0, 0, 0, 16]);
+    }
+
+    #[test]
+    fn density_and_memory_account_per_row() {
+        let patterns = vec![None, Some(Nm::ONE_OF_FOUR), Some(Nm::ONE_OF_SIXTEEN)];
+        let dense = sample(16, &patterns, 17);
+        let w =
+            ChannelNmMatrix::from_dense(&dense, 3, 16, &patterns, OffsetLayout::Plain).unwrap();
+        let expect_density = (16.0 + 4.0 + 1.0) / 48.0;
+        assert!((w.density() - expect_density).abs() < 1e-12);
+        // 16*8 (dense) + 4*10 (1:4) + 1*12 (1:16) nominal bits.
+        assert_eq!(w.memory_bits_nominal(), 16 * 8 + 4 * 10 + 12);
+        assert!(w.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn duplicated_layout_doubles_offset_cost_on_sparse_rows_only() {
+        let patterns = vec![None, Some(Nm::ONE_OF_EIGHT)];
+        let dense = sample(32, &patterns, 21);
+        let plain =
+            ChannelNmMatrix::from_dense(&dense, 2, 32, &patterns, OffsetLayout::Plain).unwrap();
+        let dup = ChannelNmMatrix::from_dense(&dense, 2, 32, &patterns, OffsetLayout::Duplicated)
+            .unwrap();
+        // Extra bits = one additional 4-bit offset per non-zero of row 1.
+        assert_eq!(dup.memory_bits_nominal() - plain.memory_bits_nominal(), 4 * 4);
+        assert_eq!(dup.to_dense(), plain.to_dense());
+    }
+
+    #[test]
+    fn value_and_offset_starts_are_addressable() {
+        let patterns = vec![Some(Nm::ONE_OF_FOUR), None, Some(Nm::ONE_OF_FOUR)];
+        let dense = sample(16, &patterns, 2);
+        let w =
+            ChannelNmMatrix::from_dense(&dense, 3, 16, &patterns, OffsetLayout::Plain).unwrap();
+        assert_eq!(w.value_start(0), 0);
+        assert_eq!(w.value_start(1), 4); // 4 non-zeros in row 0
+        assert_eq!(w.value_start(2), 20); // + 16 dense values
+        // Offset segments are word-aligned and empty for the dense row.
+        assert_eq!(w.offset_start(0), 0);
+        assert_eq!(w.offset_start(1), 4);
+        assert_eq!(w.offset_start(2), 4);
+        assert_eq!(w.offsets_bytes().len(), 8);
+    }
+}

@@ -1,0 +1,27 @@
+//! Compressed sparse matrix containers.
+//!
+//! The paper's N:M format ([`NmMatrix`]) stores only non-zero values plus
+//! bit-packed intra-block offsets; [`CooMatrix`], [`CsrMatrix`] and
+//! [`BlockwiseMatrix`] are the comparison formats discussed in Sec. 2.1 and
+//! the related work (Scalpel-style SIMD-width block pruning).
+//!
+//! All formats hold int8 values of a `rows x cols` row-major dense matrix.
+//! For weights, a "row" is one output channel's flattened filter
+//! (`FY*FX*C` for convolutions, `C` for fully-connected layers), matching
+//! the layout the kernels consume.
+
+mod bitpack;
+mod blockwise;
+mod channel;
+mod coo;
+mod dcsr;
+mod csr;
+mod nm;
+
+pub use bitpack::{read_bits, write_bits, BitReader, BitWriter};
+pub use blockwise::BlockwiseMatrix;
+pub use channel::ChannelNmMatrix;
+pub use coo::CooMatrix;
+pub use dcsr::{DcsrMatrix, MAX_DELTA};
+pub use csr::CsrMatrix;
+pub use nm::{NmMatrix, OffsetLayout};

@@ -1,0 +1,475 @@
+//! The paper's bit-packed N:M sparse weight format (Fig. 1, Sec. 2.1 / 4).
+//!
+//! A `rows x cols` dense-equivalent matrix is stored as:
+//!
+//! * `values` — the non-zero int8 values, row-major, `cols/M * N` per row;
+//! * `offsets` — for each non-zero, its index inside its M-sized block,
+//!   packed into [`crate::sparsity::Nm::offset_bits`] bits.
+//!
+//! Three offset layouts exist, matching the three kernel families:
+//!
+//! * [`OffsetLayout::Plain`] — one offset per non-zero (software kernels);
+//! * [`OffsetLayout::Duplicated`] — every offset stored twice, so that the
+//!   `xDecimate` instruction, which advances its block pointer every *two*
+//!   executions (to serve the conv kernels' two im2col buffers), reads the
+//!   same offset for both buffers (Sec. 4.1.3);
+//! * [`OffsetLayout::Interleaved`] — offsets of two consecutive rows
+//!   (output channels) alternate, so the ISA-extended fully-connected
+//!   kernel can fill two accumulator registers from a single input buffer
+//!   with the same instruction (Sec. 4.2.3, Fig. 6). Requires an even
+//!   number of rows.
+//!
+//! Every row's (or row pair's) offset stream is zero-padded to a 32-bit
+//! boundary so kernels can load whole words per output channel.
+
+use super::bitpack::{BitReader, BitWriter};
+use crate::sparsity::{check_pattern, prune_magnitude, Nm};
+use crate::{Error, Result};
+
+/// How intra-block offsets are arranged in the packed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OffsetLayout {
+    /// One offset per non-zero, row-major (software kernels).
+    #[default]
+    Plain,
+    /// Each offset duplicated back-to-back (ISA-extended conv kernels).
+    Duplicated,
+    /// Offsets of row pairs `(2i, 2i+1)` interleaved
+    /// (ISA-extended fully-connected kernels).
+    Interleaved,
+}
+
+impl OffsetLayout {
+    /// How many packed entries each logical offset occupies.
+    fn replication(self) -> usize {
+        match self {
+            OffsetLayout::Plain | OffsetLayout::Interleaved => 1,
+            OffsetLayout::Duplicated => 2,
+        }
+    }
+}
+
+/// An N:M sparse matrix: packed non-zero values plus bit-packed offsets.
+///
+/// # Example
+/// ```
+/// use nm_core::format::{NmMatrix, OffsetLayout};
+/// use nm_core::sparsity::Nm;
+/// # fn main() -> Result<(), nm_core::Error> {
+/// let mut dense = vec![0i8; 2 * 16];
+/// dense[3] = 5;    // row 0, block 0, offset 3
+/// dense[8] = -2;   // row 0, block 1, offset 0
+/// dense[16] = 1;   // row 1, block 0, offset 0
+/// dense[31] = 9;   // row 1, block 1, offset 7
+/// let nm = Nm::new(1, 8)?;
+/// let packed = NmMatrix::from_dense(&dense, 2, 16, nm, OffsetLayout::Plain)?;
+/// assert_eq!(packed.values(), &[5, -2, 1, 9]);
+/// assert_eq!(packed.row_offsets(0), vec![3, 0]);
+/// assert_eq!(packed.to_dense(), dense);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NmMatrix {
+    rows: usize,
+    cols: usize,
+    nm: Nm,
+    layout: OffsetLayout,
+    values: Vec<i8>,
+    /// Packed offsets, one padded segment per row (Plain/Duplicated) or per
+    /// row pair (Interleaved).
+    offsets: Vec<u8>,
+    /// Bytes per packed segment (constant across segments).
+    segment_bytes: usize,
+}
+
+impl NmMatrix {
+    /// Packs a dense row-major matrix that already satisfies the pattern.
+    ///
+    /// # Errors
+    /// * [`Error::PatternViolation`] if some block has more than N non-zeros.
+    /// * [`Error::ShapeMismatch`] if `cols % M != 0`, the buffer length is
+    ///   wrong, or `rows` is odd with [`OffsetLayout::Interleaved`].
+    pub fn from_dense(
+        dense: &[i8],
+        rows: usize,
+        cols: usize,
+        nm: Nm,
+        layout: OffsetLayout,
+    ) -> Result<Self> {
+        check_pattern(dense, rows, cols, nm)?;
+        if layout == OffsetLayout::Interleaved && !rows.is_multiple_of(2) {
+            return Err(Error::ShapeMismatch(format!(
+                "interleaved layout requires an even number of rows, got {rows}"
+            )));
+        }
+        let blocks_per_row = cols / nm.m();
+        let nz_per_row = blocks_per_row * nm.n();
+        let mut values = Vec::with_capacity(rows * nz_per_row);
+        // Per-row logical offsets, before layout-specific packing.
+        let mut row_offsets: Vec<Vec<u8>> = Vec::with_capacity(rows);
+        for row in 0..rows {
+            let mut offs = Vec::with_capacity(nz_per_row);
+            for block in 0..blocks_per_row {
+                let start = row * cols + block * nm.m();
+                let blk = &dense[start..start + nm.m()];
+                let mut found = 0;
+                for (o, &v) in blk.iter().enumerate() {
+                    if v != 0 {
+                        values.push(v);
+                        offs.push(o as u8);
+                        found += 1;
+                    }
+                }
+                // Blocks with fewer than N non-zeros are padded with
+                // explicit zero values at offset 0, keeping per-row counts
+                // uniform — the load-balancing property N:M guarantees.
+                for _ in found..nm.n() {
+                    values.push(0);
+                    offs.push(0);
+                }
+            }
+            row_offsets.push(offs);
+        }
+
+        let width = nm.offset_bits();
+        let mut writer = BitWriter::new();
+        let mut segment_bytes = 0;
+        match layout {
+            OffsetLayout::Plain | OffsetLayout::Duplicated => {
+                for offs in &row_offsets {
+                    let start = writer.bit_len();
+                    for &o in offs {
+                        for _ in 0..layout.replication() {
+                            writer.push(width, o);
+                        }
+                    }
+                    writer.align_to_bytes(4);
+                    segment_bytes = (writer.bit_len() - start) / 8;
+                }
+            }
+            OffsetLayout::Interleaved => {
+                for pair in row_offsets.chunks(2) {
+                    let start = writer.bit_len();
+                    for (&a, &b) in pair[0].iter().zip(&pair[1]) {
+                        writer.push(width, a);
+                        writer.push(width, b);
+                    }
+                    writer.align_to_bytes(4);
+                    segment_bytes = (writer.bit_len() - start) / 8;
+                }
+            }
+        }
+
+        Ok(NmMatrix {
+            rows,
+            cols,
+            nm,
+            layout,
+            values,
+            offsets: writer.into_bytes(),
+            segment_bytes,
+        })
+    }
+
+    /// Magnitude-prunes a dense matrix to the pattern, then packs it.
+    ///
+    /// # Errors
+    /// Same shape conditions as [`NmMatrix::from_dense`].
+    pub fn prune_from_dense(
+        dense: &[i8],
+        rows: usize,
+        cols: usize,
+        nm: Nm,
+        layout: OffsetLayout,
+    ) -> Result<Self> {
+        let mut pruned = dense.to_vec();
+        prune_magnitude(&mut pruned, rows, cols, nm)?;
+        Self::from_dense(&pruned, rows, cols, nm, layout)
+    }
+
+    /// Dense-equivalent row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Dense-equivalent column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The sparsity pattern.
+    pub fn nm(&self) -> Nm {
+        self.nm
+    }
+
+    /// The offset layout.
+    pub fn layout(&self) -> OffsetLayout {
+        self.layout
+    }
+
+    /// All non-zero values, row-major.
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// The packed offset stream (including per-segment padding).
+    pub fn offsets_bytes(&self) -> &[u8] {
+        &self.offsets
+    }
+
+    /// Packed bytes per row (Plain/Duplicated) or row pair (Interleaved).
+    pub fn segment_bytes(&self) -> usize {
+        self.segment_bytes
+    }
+
+    /// Non-zero values per row.
+    pub fn nz_per_row(&self) -> usize {
+        (self.cols / self.nm.m()) * self.nm.n()
+    }
+
+    /// The non-zero values of one row.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()`.
+    pub fn row_values(&self, row: usize) -> &[i8] {
+        assert!(row < self.rows, "row {row} out of range");
+        let nz = self.nz_per_row();
+        &self.values[row * nz..(row + 1) * nz]
+    }
+
+    /// The packed offset bytes of one row (Plain/Duplicated) — a
+    /// word-aligned segment suitable for 32-bit loads.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range or the layout is
+    /// [`OffsetLayout::Interleaved`] (use [`NmMatrix::pair_offset_bytes`]).
+    pub fn row_offset_bytes(&self, row: usize) -> &[u8] {
+        assert!(row < self.rows, "row {row} out of range");
+        assert!(self.layout != OffsetLayout::Interleaved, "interleaved layout stores row pairs");
+        &self.offsets[row * self.segment_bytes..(row + 1) * self.segment_bytes]
+    }
+
+    /// The packed offset bytes of a row pair (Interleaved layout).
+    ///
+    /// # Panics
+    /// Panics if the layout is not interleaved or `pair >= rows()/2`.
+    pub fn pair_offset_bytes(&self, pair: usize) -> &[u8] {
+        assert!(self.layout == OffsetLayout::Interleaved, "layout is not interleaved");
+        assert!(pair < self.rows / 2, "pair {pair} out of range");
+        &self.offsets[pair * self.segment_bytes..(pair + 1) * self.segment_bytes]
+    }
+
+    /// Unpacks the logical (de-duplicated, de-interleaved) offsets of a row.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()`.
+    pub fn row_offsets(&self, row: usize) -> Vec<u8> {
+        assert!(row < self.rows, "row {row} out of range");
+        let width = self.nm.offset_bits();
+        let nz = self.nz_per_row();
+        match self.layout {
+            OffsetLayout::Plain => {
+                let mut r = BitReader::new(self.row_offset_bytes(row));
+                (0..nz).map(|_| r.next(width)).collect()
+            }
+            OffsetLayout::Duplicated => {
+                let mut r = BitReader::new(self.row_offset_bytes(row));
+                (0..nz)
+                    .map(|_| {
+                        let a = r.next(width);
+                        let b = r.next(width);
+                        debug_assert_eq!(a, b, "duplicated offsets must match");
+                        a
+                    })
+                    .collect()
+            }
+            OffsetLayout::Interleaved => {
+                let seg = self.pair_offset_bytes(row / 2);
+                let lane = row % 2;
+                let mut r = BitReader::new(seg);
+                let mut out = Vec::with_capacity(nz);
+                for _ in 0..nz {
+                    let a = r.next(width);
+                    let b = r.next(width);
+                    out.push(if lane == 0 { a } else { b });
+                }
+                out
+            }
+        }
+    }
+
+    /// Reconstructs the dense row-major matrix.
+    pub fn to_dense(&self) -> Vec<i8> {
+        let mut dense = vec![0i8; self.rows * self.cols];
+        let m = self.nm.m();
+        let n = self.nm.n();
+        for row in 0..self.rows {
+            let vals = self.row_values(row);
+            let offs = self.row_offsets(row);
+            for (i, (&v, &o)) in vals.iter().zip(&offs).enumerate() {
+                let block = i / n;
+                // Padded zeros decode to zero regardless of offset.
+                if v != 0 {
+                    dense[row * self.cols + block * m + usize::from(o)] = v;
+                }
+            }
+        }
+        dense
+    }
+
+    /// Actual packed storage: values plus offsets including word padding.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() + self.offsets.len()
+    }
+
+    /// Nominal storage in bits as the paper counts it
+    /// (`nz * (8 + offset_bits * replication)`), without alignment padding.
+    pub fn memory_bits_nominal(&self) -> usize {
+        let per_nz = 8 + self.nm.offset_bits() * self.layout.replication();
+        self.values.len() * per_nz
+    }
+
+    /// Dense int8 storage of the equivalent matrix.
+    pub fn dense_bytes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Compression ratio versus dense int8 (`dense / packed`, nominal bits).
+    pub fn compression_ratio(&self) -> f64 {
+        (self.dense_bytes() * 8) as f64 / self.memory_bits_nominal() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense(rows: usize, cols: usize, nm: Nm, seed: u64) -> Vec<i8> {
+        // Deterministic pseudo-random N:M-compliant matrix.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut dense = vec![0i8; rows * cols];
+        for block in dense.chunks_mut(nm.m()) {
+            for _ in 0..nm.n() {
+                let pos = (next() as usize) % block.len();
+                let mut v = (next() % 255) as i64 - 127;
+                if v == 0 {
+                    v = 1;
+                }
+                block[pos] = v as i8;
+            }
+        }
+        dense
+    }
+
+    #[test]
+    fn round_trip_all_layouts_all_patterns() {
+        for nm in Nm::KERNEL_PATTERNS {
+            for layout in [OffsetLayout::Plain, OffsetLayout::Duplicated, OffsetLayout::Interleaved] {
+                let (rows, cols) = (6, nm.m() * 5);
+                let dense = sample_dense(rows, cols, nm, 42);
+                let packed = NmMatrix::from_dense(&dense, rows, cols, nm, layout).unwrap();
+                assert_eq!(packed.to_dense(), dense, "{nm} {layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_violation_is_rejected() {
+        let mut dense = vec![0i8; 8];
+        dense[0] = 1;
+        dense[1] = 2; // two NZ in first 1:4 block
+        let err = NmMatrix::from_dense(&dense, 1, 8, Nm::ONE_OF_FOUR, OffsetLayout::Plain);
+        assert!(matches!(err, Err(Error::PatternViolation { .. })));
+    }
+
+    #[test]
+    fn interleaved_needs_even_rows() {
+        let dense = vec![0i8; 3 * 8];
+        let err = NmMatrix::from_dense(&dense, 3, 8, Nm::ONE_OF_EIGHT, OffsetLayout::Interleaved);
+        assert!(matches!(err, Err(Error::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn values_are_row_major_and_offset_ordered() {
+        let mut dense = vec![0i8; 16];
+        dense[1] = 10; // row 0 block 0 offset 1
+        dense[7] = 20; // row 0 block 1 offset 3
+        dense[8] = 30; // row 1 block 0 offset 0
+        dense[14] = 40; // row 1 block 1 offset 2
+        let p = NmMatrix::from_dense(&dense, 2, 8, Nm::ONE_OF_FOUR, OffsetLayout::Plain).unwrap();
+        assert_eq!(p.values(), &[10, 20, 30, 40]);
+        assert_eq!(p.row_values(1), &[30, 40]);
+        assert_eq!(p.row_offsets(0), vec![1, 3]);
+        assert_eq!(p.row_offsets(1), vec![0, 2]);
+    }
+
+    #[test]
+    fn under_full_blocks_pad_with_zero_values() {
+        // An all-zero block still records N (zero) values so per-row
+        // counts stay uniform — the property the kernels rely on.
+        let dense = vec![0i8; 16];
+        let p = NmMatrix::from_dense(&dense, 1, 16, Nm::ONE_OF_EIGHT, OffsetLayout::Plain).unwrap();
+        assert_eq!(p.values(), &[0, 0]);
+        assert_eq!(p.to_dense(), dense);
+    }
+
+    #[test]
+    fn duplicated_layout_doubles_offset_bits() {
+        let nm = Nm::ONE_OF_EIGHT;
+        let dense = sample_dense(2, 32, nm, 7);
+        let plain = NmMatrix::from_dense(&dense, 2, 32, nm, OffsetLayout::Plain).unwrap();
+        let dup = NmMatrix::from_dense(&dense, 2, 32, nm, OffsetLayout::Duplicated).unwrap();
+        assert_eq!(dup.memory_bits_nominal() - dup.values().len() * 8,
+                   2 * (plain.memory_bits_nominal() - plain.values().len() * 8));
+        assert_eq!(plain.row_offsets(1), dup.row_offsets(1));
+    }
+
+    #[test]
+    fn interleaved_matches_figure6_order() {
+        // Fig. 6: OFFSETS = o0_ch0, o0_ch1, o1_ch0, o1_ch1, ...
+        let nm = Nm::ONE_OF_FOUR;
+        let mut dense = vec![0i8; 2 * 8];
+        dense[2] = 1; // ch0 block0 off2
+        dense[5] = 2; // ch0 block1 off1
+        dense[8 + 3] = 3; // ch1 block0 off3
+        dense[8 + 4] = 4; // ch1 block1 off0
+        let p = NmMatrix::from_dense(&dense, 2, 8, nm, OffsetLayout::Interleaved).unwrap();
+        let seg = p.pair_offset_bytes(0);
+        let mut r = BitReader::new(seg);
+        assert_eq!(r.next(2), 2); // o0 ch0
+        assert_eq!(r.next(2), 3); // o0 ch1
+        assert_eq!(r.next(2), 1); // o1 ch0
+        assert_eq!(r.next(2), 0); // o1 ch1
+    }
+
+    #[test]
+    fn compression_ratios_match_paper() {
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+        for (nm, expect_sw) in [
+            (Nm::ONE_OF_FOUR, 8.0 * 4.0 / 10.0),
+            (Nm::ONE_OF_EIGHT, 8.0 * 8.0 / 12.0),
+            (Nm::ONE_OF_SIXTEEN, 8.0 * 16.0 / 12.0),
+        ] {
+            let dense = sample_dense(4, nm.m() * 8, nm, 3);
+            let p = NmMatrix::from_dense(&dense, 4, nm.m() * 8, nm, OffsetLayout::Plain).unwrap();
+            assert!(close(p.compression_ratio(), expect_sw), "{nm}: {}", p.compression_ratio());
+        }
+    }
+
+    #[test]
+    fn segments_are_word_aligned() {
+        for nm in Nm::KERNEL_PATTERNS {
+            let dense = sample_dense(4, nm.m() * 3, nm, 11);
+            let p = NmMatrix::from_dense(&dense, 4, nm.m() * 3, nm, OffsetLayout::Plain).unwrap();
+            assert_eq!(p.segment_bytes() % 4, 0);
+            assert_eq!(p.offsets_bytes().len(), p.segment_bytes() * 4);
+        }
+    }
+}

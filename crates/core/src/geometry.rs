@@ -1,0 +1,232 @@
+//! Layer hyper-parameter descriptions (Table 1 of the paper).
+//!
+//! Tensors follow PULP-NN conventions: activations are HWC
+//! (height-major, channel-minor), weights for convolutions are
+//! `K x (FY x FX x C)` row-major where each row is one filter flattened in
+//! the same channel-minor order as an im2col patch.
+
+use crate::{Error, Result};
+
+/// Convolutional layer geometry.
+///
+/// Notation mirrors the paper's Table 1: input `IY x IX x C`, weights
+/// `FY x FX x C` per each of `K` filters, output `OY x OX x K`,
+/// with stride `S` and symmetric zero padding `P`.
+///
+/// # Example
+/// ```
+/// use nm_core::geometry::ConvGeom;
+/// let g = ConvGeom::new(64, 256, 8, 8, 3, 3, 1, 1)?; // the Fig. 8 conv shape
+/// assert_eq!((g.ox(), g.oy()), (8, 8));
+/// assert_eq!(g.macs(), 8 * 8 * 256 * 3 * 3 * 64);
+/// # Ok::<(), nm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub c: usize,
+    /// Output channels.
+    pub k: usize,
+    /// Input width.
+    pub ix: usize,
+    /// Input height.
+    pub iy: usize,
+    /// Filter width.
+    pub fx: usize,
+    /// Filter height.
+    pub fy: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+    /// Symmetric zero padding (same on all four sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Creates a convolution geometry, validating that it produces a
+    /// non-empty output.
+    ///
+    /// # Errors
+    /// [`Error::InvalidGeometry`] if any dimension is zero, the stride is
+    /// zero, or the (padded) input is smaller than the filter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        c: usize,
+        k: usize,
+        ix: usize,
+        iy: usize,
+        fx: usize,
+        fy: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self> {
+        let g = ConvGeom { c, k, ix, iy, fx, fy, stride, pad };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Square-input, square-filter convenience constructor.
+    ///
+    /// # Errors
+    /// Same as [`ConvGeom::new`].
+    pub fn square(c: usize, k: usize, i: usize, f: usize, stride: usize, pad: usize) -> Result<Self> {
+        Self::new(c, k, i, i, f, f, stride, pad)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.c == 0 || self.k == 0 || self.ix == 0 || self.iy == 0 || self.fx == 0 || self.fy == 0 {
+            return Err(Error::InvalidGeometry(format!("zero-sized dimension in {self:?}")));
+        }
+        if self.stride == 0 {
+            return Err(Error::InvalidGeometry("stride must be positive".into()));
+        }
+        if self.ix + 2 * self.pad < self.fx || self.iy + 2 * self.pad < self.fy {
+            return Err(Error::InvalidGeometry(format!(
+                "filter {}x{} larger than padded input {}x{}",
+                self.fx,
+                self.fy,
+                self.ix + 2 * self.pad,
+                self.iy + 2 * self.pad
+            )));
+        }
+        Ok(())
+    }
+
+    /// Output width.
+    pub fn ox(&self) -> usize {
+        (self.ix + 2 * self.pad - self.fx) / self.stride + 1
+    }
+
+    /// Output height.
+    pub fn oy(&self) -> usize {
+        (self.iy + 2 * self.pad - self.fy) / self.stride + 1
+    }
+
+    /// Flattened im2col patch length `FY * FX * C` (one filter's support).
+    pub fn patch_len(&self) -> usize {
+        self.fy * self.fx * self.c
+    }
+
+    /// Dense multiply-accumulate count `OY * OX * K * FY * FX * C`.
+    pub fn macs(&self) -> usize {
+        self.oy() * self.ox() * self.k * self.patch_len()
+    }
+
+    /// Dense weight element count `K * FY * FX * C`.
+    pub fn weight_elems(&self) -> usize {
+        self.k * self.patch_len()
+    }
+
+    /// Input activation element count `IY * IX * C`.
+    pub fn input_elems(&self) -> usize {
+        self.iy * self.ix * self.c
+    }
+
+    /// Output activation element count `OY * OX * K`.
+    pub fn output_elems(&self) -> usize {
+        self.oy() * self.ox() * self.k
+    }
+
+    /// Whether this is a pointwise (1x1) convolution. The paper keeps
+    /// pointwise layers dense in ResNet18.
+    pub fn is_pointwise(&self) -> bool {
+        self.fx == 1 && self.fy == 1
+    }
+
+    /// The geometry of the im2col buffer needed by the 1x2-unrolled kernels:
+    /// two spatially contiguous patches of `patch_len()` bytes each.
+    pub fn im2col_bytes_per_core(&self) -> usize {
+        2 * self.patch_len()
+    }
+}
+
+/// Fully-connected (linear) layer geometry: `K` output neurons, `C` inputs.
+///
+/// # Example
+/// ```
+/// use nm_core::geometry::FcGeom;
+/// let g = FcGeom::new(1024, 256)?;
+/// assert_eq!(g.macs(), 1024 * 256);
+/// # Ok::<(), nm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FcGeom {
+    /// Input features.
+    pub c: usize,
+    /// Output features (neurons).
+    pub k: usize,
+}
+
+impl FcGeom {
+    /// Creates a fully-connected geometry.
+    ///
+    /// # Errors
+    /// [`Error::InvalidGeometry`] if either dimension is zero.
+    pub fn new(c: usize, k: usize) -> Result<Self> {
+        if c == 0 || k == 0 {
+            return Err(Error::InvalidGeometry(format!("zero-sized FC geometry {c}x{k}")));
+        }
+        Ok(FcGeom { c, k })
+    }
+
+    /// Dense multiply-accumulate count.
+    pub fn macs(&self) -> usize {
+        self.c * self.k
+    }
+
+    /// Dense weight element count.
+    pub fn weight_elems(&self) -> usize {
+        self.c * self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_conv_shape() {
+        let g = ConvGeom::square(128, 256, 8, 3, 1, 1).unwrap();
+        assert_eq!(g.ox(), 8);
+        assert_eq!(g.oy(), 8);
+        assert_eq!(g.patch_len(), 9 * 128);
+        assert_eq!(g.macs(), 64 * 256 * 9 * 128);
+        assert!(!g.is_pointwise());
+    }
+
+    #[test]
+    fn strided_and_padded_output_sizes() {
+        // 32x32 stride-2 3x3 pad-1 -> 16x16 (ResNet downsampling block).
+        let g = ConvGeom::square(64, 128, 32, 3, 2, 1).unwrap();
+        assert_eq!((g.ox(), g.oy()), (16, 16));
+        // 7x7 stride-2 pad-3 on 224 -> 112 (ImageNet stem).
+        let g = ConvGeom::square(3, 64, 224, 7, 2, 3).unwrap();
+        assert_eq!(g.ox(), 112);
+        // Valid (pad 0) 5x5 on 28 -> 24 (LeNet).
+        let g = ConvGeom::square(1, 6, 28, 5, 1, 0).unwrap();
+        assert_eq!(g.ox(), 24);
+    }
+
+    #[test]
+    fn pointwise_detection() {
+        let g = ConvGeom::square(64, 128, 8, 1, 1, 0).unwrap();
+        assert!(g.is_pointwise());
+    }
+
+    #[test]
+    fn rejects_degenerate_geometries() {
+        assert!(ConvGeom::new(0, 1, 8, 8, 3, 3, 1, 1).is_err());
+        assert!(ConvGeom::new(1, 1, 8, 8, 3, 3, 0, 1).is_err());
+        assert!(ConvGeom::new(1, 1, 2, 2, 5, 5, 1, 0).is_err());
+        assert!(FcGeom::new(0, 8).is_err());
+        assert!(FcGeom::new(8, 0).is_err());
+    }
+
+    #[test]
+    fn element_counts() {
+        let g = ConvGeom::square(16, 32, 4, 3, 1, 1).unwrap();
+        assert_eq!(g.input_elems(), 4 * 4 * 16);
+        assert_eq!(g.output_elems(), 4 * 4 * 32);
+        assert_eq!(g.weight_elems(), 32 * 9 * 16);
+        assert_eq!(g.im2col_bytes_per_core(), 2 * 9 * 16);
+    }
+}

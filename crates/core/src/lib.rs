@@ -1,0 +1,57 @@
+//! # nm-core
+//!
+//! Core data structures for N:M semi-structured sparse deep neural network
+//! inference on microcontroller-class hardware, reproducing the formats of
+//! *"Lightweight Software Kernels and Hardware Extensions for Efficient
+//! Sparse Deep Neural Networks on Microcontrollers"* (MLSys 2025).
+//!
+//! The crate provides:
+//!
+//! * [`sparsity::Nm`] — the N:M sparsity pattern (1:4, 1:8, 1:16, …) and its
+//!   memory arithmetic (offset bit-widths, compression ratios).
+//! * [`mod@format`] — compressed sparse matrix containers: the paper's bit-packed
+//!   N:M format ([`format::NmMatrix`]) in its three offset layouts (plain for
+//!   software kernels, duplicated for the ISA-extended convolution kernel,
+//!   interleaved for the ISA-extended fully-connected kernel), plus the
+//!   [`format::CooMatrix`], [`format::CsrMatrix`] and
+//!   [`format::BlockwiseMatrix`] baselines used for comparison.
+//! * [`quant`] — PULP-NN style int8 quantization: saturating
+//!   shift-based requantization of int32 accumulators.
+//! * [`geometry`] — convolution / fully-connected layer hyper-parameter
+//!   descriptions and their derived quantities (output sizes, MAC counts).
+//! * [`tensor`] — a minimal dense tensor with the HWC layout used by
+//!   PULP-NN style kernels.
+//!
+//! # Example
+//!
+//! Prune a dense weight matrix to 1:8 sparsity and pack it:
+//!
+//! ```
+//! use nm_core::format::{NmMatrix, OffsetLayout};
+//! use nm_core::sparsity::Nm;
+//!
+//! # fn main() -> Result<(), nm_core::Error> {
+//! let dense: Vec<i8> = (0..64).map(|i| (i % 17) as i8 - 8).collect();
+//! let nm = Nm::new(1, 8)?;
+//! let packed = NmMatrix::prune_from_dense(&dense, 4, 16, nm, OffsetLayout::Plain)?;
+//! assert_eq!(packed.values().len(), 8); // 64 / 8 kept
+//! assert!(packed.memory_bytes() < 64);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod format;
+pub mod geometry;
+pub mod quant;
+pub mod sparsity;
+pub mod tensor;
+
+pub use error::Error;
+pub use geometry::{ConvGeom, FcGeom};
+pub use quant::Requant;
+pub use sparsity::Nm;
+pub use tensor::Tensor;
+
+/// Result alias used across the nm-* crates.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,176 @@
+//! PULP-NN style int8 quantization helpers.
+//!
+//! Kernels accumulate int8 x int8 products into int32 and *requantize* each
+//! output back to int8 with a bias addition followed by an arithmetic right
+//! shift and saturation:
+//!
+//! ```text
+//! out = clip_i8((acc + bias) >> shift)
+//! ```
+//!
+//! This is the shift-only flavour used by PULP-NN's fastest kernels; it is
+//! exactly representable in integer hardware and keeps the simulated
+//! instruction stream faithful (add, shift, two comparisons for clipping).
+
+use crate::{Error, Result};
+
+/// Saturates an int32 accumulator to the int8 range.
+///
+/// # Example
+/// ```
+/// assert_eq!(nm_core::quant::clip_i8(300), 127);
+/// assert_eq!(nm_core::quant::clip_i8(-300), -128);
+/// assert_eq!(nm_core::quant::clip_i8(-5), -5);
+/// ```
+pub fn clip_i8(x: i32) -> i8 {
+    x.clamp(i32::from(i8::MIN), i32::from(i8::MAX)) as i8
+}
+
+/// Per-tensor requantization parameters: `out = clip_i8((acc + bias) >> shift)`.
+///
+/// # Example
+/// ```
+/// use nm_core::quant::Requant;
+/// let rq = Requant::new(8, 4)?; // (acc + 8) >> 4
+/// assert_eq!(rq.apply(100), 6);
+/// assert_eq!(rq.apply(10_000), 127); // saturates
+/// # Ok::<(), nm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Requant {
+    bias: i32,
+    shift: u8,
+}
+
+impl Requant {
+    /// Identity requantization (no bias, no shift): saturation only.
+    pub const IDENTITY: Requant = Requant { bias: 0, shift: 0 };
+
+    /// Creates requantization parameters.
+    ///
+    /// # Errors
+    /// [`Error::InvalidQuantization`] if `shift >= 32`.
+    pub fn new(bias: i32, shift: u8) -> Result<Self> {
+        if shift >= 32 {
+            return Err(Error::InvalidQuantization(format!("shift {shift} must be < 32")));
+        }
+        Ok(Requant { bias, shift })
+    }
+
+    /// The additive bias applied before shifting.
+    pub fn bias(&self) -> i32 {
+        self.bias
+    }
+
+    /// The arithmetic right shift amount.
+    pub fn shift(&self) -> u8 {
+        self.shift
+    }
+
+    /// Requantizes one int32 accumulator to int8.
+    pub fn apply(&self, acc: i32) -> i8 {
+        clip_i8((acc.wrapping_add(self.bias)) >> self.shift)
+    }
+
+    /// Picks a shift such that the worst-case accumulator of a dot product
+    /// of `len` int8 terms lands inside int8 after shifting. Useful for
+    /// building numerically well-behaved random test layers.
+    pub fn for_dot_len(len: usize) -> Self {
+        // Worst case |acc| = len * 128 * 128; we want |acc| >> shift <= 127.
+        let worst = (len as i64) * 128 * 128;
+        let mut shift = 0u8;
+        while (worst >> shift) > 127 && shift < 31 {
+            shift += 1;
+        }
+        Requant { bias: 0, shift }
+    }
+}
+
+impl Default for Requant {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+/// Symmetric per-tensor quantization of an f32 slice to int8.
+///
+/// Returns the quantized values and the scale such that
+/// `f ≈ q as f32 * scale`. A zero tensor gets scale 1.0.
+pub fn quantize_symmetric(data: &[f32]) -> (Vec<i8>, f32) {
+    let max_abs = data.iter().fold(0f32, |a, &v| a.max(v.abs()));
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+    let q = data.iter().map(|&v| clip_i8((v / scale).round() as i32)).collect();
+    (q, scale)
+}
+
+/// Dequantizes int8 values with a symmetric scale.
+pub fn dequantize_symmetric(data: &[i8], scale: f32) -> Vec<f32> {
+    data.iter().map(|&v| f32::from(v) * scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_saturates_both_sides() {
+        assert_eq!(clip_i8(i32::MAX), 127);
+        assert_eq!(clip_i8(i32::MIN), -128);
+        assert_eq!(clip_i8(127), 127);
+        assert_eq!(clip_i8(-128), -128);
+        assert_eq!(clip_i8(0), 0);
+    }
+
+    #[test]
+    fn requant_applies_bias_then_shift() {
+        let rq = Requant::new(16, 5).unwrap();
+        assert_eq!(rq.apply(16), 1); // (16+16)>>5 = 1
+        assert_eq!(rq.apply(-48), -1); // arithmetic shift keeps sign
+    }
+
+    #[test]
+    fn requant_rejects_large_shift() {
+        assert!(Requant::new(0, 32).is_err());
+        assert!(Requant::new(0, 31).is_ok());
+    }
+
+    #[test]
+    fn identity_is_default() {
+        assert_eq!(Requant::default(), Requant::IDENTITY);
+        assert_eq!(Requant::IDENTITY.apply(42), 42);
+        assert_eq!(Requant::IDENTITY.apply(4200), 127);
+    }
+
+    #[test]
+    fn for_dot_len_keeps_worst_case_in_range() {
+        for len in [1, 4, 100, 4608, 100_000] {
+            let rq = Requant::for_dot_len(len);
+            let worst = (len as i64 * 128 * 128) as i32;
+            // i8 bounds hold by type; check the shift keeps the
+            // magnitude from saturating the positive side spuriously.
+            assert_eq!(rq.apply(worst), rq.apply(worst).clamp(-128, 127));
+            assert!(i32::from(rq.apply(worst >> 1)) <= 127);
+            // And it should not over-shift tiny accumulators to zero needlessly:
+            if len <= 4 {
+                assert!(rq.shift() <= 10);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_round_trip_error_is_bounded() {
+        let data: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.1).collect();
+        let (q, scale) = quantize_symmetric(&data);
+        let back = dequantize_symmetric(&q, scale);
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= scale * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantize_zero_tensor() {
+        let (q, scale) = quantize_symmetric(&[0.0; 8]);
+        assert_eq!(scale, 1.0);
+        assert!(q.iter().all(|&v| v == 0));
+    }
+}

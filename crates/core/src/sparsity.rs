@@ -1,0 +1,305 @@
+//! The N:M semi-structured sparsity pattern and its memory arithmetic.
+//!
+//! In N:M pruning exactly N weights are non-zero in every group of M
+//! consecutive weights (along the input-channel-major order of the weight
+//! tensor). The paper's kernels support 1:4, 1:8 and 1:16; this type models
+//! general N:M so pruning and formats can express other ratios, while the
+//! kernel crates restrict themselves to the supported subset.
+
+use crate::{Error, Result};
+
+/// An N:M sparsity pattern: N non-zero elements per M-sized block.
+///
+/// `m` must be a power of two (the paper packs offsets into
+/// `ceil(log2(M))` bits rounded up to a power-of-two width, and the
+/// `xDecimate` hardware assumes power-of-two block strides).
+///
+/// # Example
+/// ```
+/// use nm_core::sparsity::Nm;
+/// let nm = Nm::new(1, 8)?;
+/// assert_eq!(nm.offset_bits(), 4);
+/// assert_eq!(nm.density(), 0.125);
+/// # Ok::<(), nm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Nm {
+    n: u8,
+    m: u8,
+}
+
+impl Nm {
+    /// 1:4 sparsity (75 % of weights pruned).
+    pub const ONE_OF_FOUR: Nm = Nm { n: 1, m: 4 };
+    /// 1:8 sparsity (87.5 % of weights pruned).
+    pub const ONE_OF_EIGHT: Nm = Nm { n: 1, m: 8 };
+    /// 1:16 sparsity (93.75 % of weights pruned).
+    pub const ONE_OF_SIXTEEN: Nm = Nm { n: 1, m: 16 };
+
+    /// The three patterns implemented by the paper's kernel library.
+    pub const KERNEL_PATTERNS: [Nm; 3] = [Self::ONE_OF_FOUR, Self::ONE_OF_EIGHT, Self::ONE_OF_SIXTEEN];
+
+    /// Creates an N:M pattern.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidPattern`] unless `0 < n < m` and `m` is a
+    /// power of two.
+    pub fn new(n: u8, m: u8) -> Result<Self> {
+        if n == 0 || m == 0 || n >= m || !m.is_power_of_two() {
+            return Err(Error::InvalidPattern { n, m });
+        }
+        Ok(Nm { n, m })
+    }
+
+    /// Number of non-zero elements per block.
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Block size.
+    pub fn m(&self) -> usize {
+        self.m as usize
+    }
+
+    /// Fraction of weights kept (N / M).
+    pub fn density(&self) -> f64 {
+        f64::from(self.n) / f64::from(self.m)
+    }
+
+    /// Fraction of weights pruned (1 - N/M).
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// Bits used to store each intra-block offset.
+    ///
+    /// The paper stores offsets in `ceil(log2(M))` bits *rounded up to the
+    /// nearest power of two*: 2 bits for M = 4, 4 bits for M = 8 and M = 16.
+    pub fn offset_bits(&self) -> usize {
+        let raw = (self.m as u32).trailing_zeros() as usize; // log2(m), m power of two
+        raw.max(1).next_power_of_two()
+    }
+
+    /// Offsets packed per 32-bit word (16 for 1:4, 8 for 1:8/1:16).
+    pub fn offsets_per_word(&self) -> usize {
+        32 / self.offset_bits()
+    }
+
+    /// Whether the paper's kernel library implements this pattern.
+    pub fn is_kernel_supported(&self) -> bool {
+        Self::KERNEL_PATTERNS.contains(self)
+    }
+
+    /// Bits per non-zero value in the *software* kernel storage
+    /// (8-bit value + one offset).
+    pub fn sw_bits_per_nonzero(&self) -> usize {
+        8 + self.offset_bits()
+    }
+
+    /// Bits per non-zero value in the *ISA-extended convolution* storage,
+    /// where each offset is duplicated to serve the 1×2 unrolling of the
+    /// `xDecimate` instruction (Sec. 4.1.3 of the paper).
+    pub fn isa_conv_bits_per_nonzero(&self) -> usize {
+        8 + 2 * self.offset_bits()
+    }
+
+    /// Weight-memory reduction of the software format relative to a dense
+    /// int8 tensor, as a fraction in `[0, 1]`.
+    ///
+    /// Matches the paper's Sec. 4 figures: 68.75 % (1:4), 81.25 % (1:8),
+    /// 90.62 % (1:16).
+    pub fn sw_memory_reduction(&self) -> f64 {
+        1.0 - (self.n() * self.sw_bits_per_nonzero()) as f64 / (self.m() * 8) as f64
+    }
+
+    /// Weight-memory reduction of the ISA-extended convolution format
+    /// (duplicated offsets): 62.5 % (1:4), 75 % (1:8), 87.5 % (1:16).
+    pub fn isa_memory_reduction(&self) -> f64 {
+        1.0 - (self.n() * self.isa_conv_bits_per_nonzero()) as f64 / (self.m() * 8) as f64
+    }
+}
+
+impl std::fmt::Display for Nm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.n, self.m)
+    }
+}
+
+/// Checks that a dense row-major matrix satisfies an N:M pattern.
+///
+/// `cols` must be a multiple of `nm.m()`.
+///
+/// # Errors
+/// [`Error::ShapeMismatch`] if `cols % m != 0` or the buffer length is not
+/// `rows * cols`; [`Error::PatternViolation`] naming the first offending
+/// block otherwise.
+pub fn check_pattern(dense: &[i8], rows: usize, cols: usize, nm: Nm) -> Result<()> {
+    if dense.len() != rows * cols {
+        return Err(Error::ShapeMismatch(format!(
+            "buffer has {} elements, expected {rows}x{cols}",
+            dense.len()
+        )));
+    }
+    if !cols.is_multiple_of(nm.m()) {
+        return Err(Error::ShapeMismatch(format!("cols {cols} not a multiple of M={}", nm.m())));
+    }
+    for row in 0..rows {
+        for block in 0..cols / nm.m() {
+            let start = row * cols + block * nm.m();
+            let found = dense[start..start + nm.m()].iter().filter(|&&v| v != 0).count();
+            if found > nm.n() {
+                return Err(Error::PatternViolation { row, block, found, allowed: nm.n() });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Magnitude-prunes a dense row-major matrix in place so it satisfies `nm`.
+///
+/// Within each M-block the N largest-magnitude elements are kept and the
+/// rest zeroed (ties keep the earliest element, mirroring a stable sort).
+///
+/// # Errors
+/// [`Error::ShapeMismatch`] under the same conditions as [`check_pattern`].
+pub fn prune_magnitude(dense: &mut [i8], rows: usize, cols: usize, nm: Nm) -> Result<()> {
+    if dense.len() != rows * cols {
+        return Err(Error::ShapeMismatch(format!(
+            "buffer has {} elements, expected {rows}x{cols}",
+            dense.len()
+        )));
+    }
+    if !cols.is_multiple_of(nm.m()) {
+        return Err(Error::ShapeMismatch(format!("cols {cols} not a multiple of M={}", nm.m())));
+    }
+    let m = nm.m();
+    let mut order: Vec<usize> = Vec::with_capacity(m);
+    for block in dense.chunks_mut(m) {
+        order.clear();
+        order.extend(0..m);
+        order.sort_by_key(|&i| std::cmp::Reverse((block[i] as i32).abs()));
+        for &i in order.iter().skip(nm.n()) {
+            block[i] = 0;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_bad_patterns() {
+        assert!(Nm::new(0, 4).is_err());
+        assert!(Nm::new(4, 4).is_err());
+        assert!(Nm::new(5, 4).is_err());
+        assert!(Nm::new(1, 6).is_err());
+        assert!(Nm::new(1, 0).is_err());
+        assert!(Nm::new(2, 4).is_ok());
+    }
+
+    #[test]
+    fn offset_bits_match_paper() {
+        assert_eq!(Nm::ONE_OF_FOUR.offset_bits(), 2);
+        assert_eq!(Nm::ONE_OF_EIGHT.offset_bits(), 4);
+        assert_eq!(Nm::ONE_OF_SIXTEEN.offset_bits(), 4);
+        assert_eq!(Nm::new(1, 2).unwrap().offset_bits(), 1);
+        assert_eq!(Nm::new(1, 32).unwrap().offset_bits(), 8);
+    }
+
+    #[test]
+    fn offsets_per_word_match_kernel_assumptions() {
+        assert_eq!(Nm::ONE_OF_FOUR.offsets_per_word(), 16);
+        assert_eq!(Nm::ONE_OF_EIGHT.offsets_per_word(), 8);
+        assert_eq!(Nm::ONE_OF_SIXTEEN.offsets_per_word(), 8);
+    }
+
+    #[test]
+    fn memory_reductions_match_paper_section4() {
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-4;
+        assert!(close(Nm::ONE_OF_FOUR.sw_memory_reduction(), 0.6875));
+        assert!(close(Nm::ONE_OF_EIGHT.sw_memory_reduction(), 0.8125));
+        assert!(close(Nm::ONE_OF_SIXTEEN.sw_memory_reduction(), 0.90625));
+        assert!(close(Nm::ONE_OF_FOUR.isa_memory_reduction(), 0.625));
+        assert!(close(Nm::ONE_OF_EIGHT.isa_memory_reduction(), 0.75));
+        assert!(close(Nm::ONE_OF_SIXTEEN.isa_memory_reduction(), 0.875));
+    }
+
+    #[test]
+    fn density_and_sparsity() {
+        assert_eq!(Nm::ONE_OF_FOUR.density(), 0.25);
+        assert_eq!(Nm::ONE_OF_SIXTEEN.sparsity(), 0.9375);
+        assert_eq!(Nm::new(2, 4).unwrap().density(), 0.5);
+    }
+
+    #[test]
+    fn nm_is_memory_efficient_even_at_low_sparsity() {
+        // Paper Sec. 2.1: "this format enables memory-efficient storage
+        // even at low sparsity ratios, such as 1:2" — unlike COO/CSR,
+        // which need >= 75 % / > 50 % sparsity to break even on int8.
+        for (n, m) in [(1u8, 2u8), (2, 4), (4, 8)] {
+            let nm = Nm::new(n, m).unwrap(); // all 50 % sparse
+            assert!(
+                nm.sw_memory_reduction() > 0.0,
+                "{nm}: reduction {}",
+                nm.sw_memory_reduction()
+            );
+        }
+        // 1:2 concretely: 8+1 bits per kept value vs 16 dense bits.
+        let half = Nm::new(1, 2).unwrap();
+        assert!((half.sw_memory_reduction() - (1.0 - 9.0 / 16.0)).abs() < 1e-9);
+        // NVIDIA A100's 2:4: 8+2 bits x2 per 4 dense bytes -> 37.5 %.
+        let a100 = Nm::new(2, 4).unwrap();
+        assert!((a100.sw_memory_reduction() - 0.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_pattern_accepts_valid() {
+        // One NZ per 4-block.
+        let dense = vec![0, 3, 0, 0, 0, 0, 0, -7];
+        assert!(check_pattern(&dense, 1, 8, Nm::ONE_OF_FOUR).is_ok());
+        assert!(check_pattern(&dense, 2, 4, Nm::ONE_OF_FOUR).is_ok());
+    }
+
+    #[test]
+    fn check_pattern_rejects_violation_with_location() {
+        let dense = vec![0, 3, 0, 0, 0, 5, 0, -7];
+        let err = check_pattern(&dense, 1, 8, Nm::ONE_OF_FOUR).unwrap_err();
+        assert_eq!(err, Error::PatternViolation { row: 0, block: 1, found: 2, allowed: 1 });
+    }
+
+    #[test]
+    fn check_pattern_rejects_bad_shapes() {
+        let dense = vec![0i8; 12];
+        assert!(matches!(check_pattern(&dense, 1, 12, Nm::ONE_OF_EIGHT), Err(Error::ShapeMismatch(_))));
+        assert!(matches!(check_pattern(&dense, 2, 8, Nm::ONE_OF_FOUR), Err(Error::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn prune_magnitude_keeps_largest() {
+        let mut dense = vec![1, -9, 3, 2, 0, 0, 0, 0];
+        prune_magnitude(&mut dense, 1, 8, Nm::ONE_OF_FOUR).unwrap();
+        assert_eq!(dense, vec![0, -9, 0, 0, 0, 0, 0, 0]);
+        assert!(check_pattern(&dense, 1, 8, Nm::ONE_OF_FOUR).is_ok());
+    }
+
+    #[test]
+    fn prune_magnitude_is_stable_on_ties() {
+        let mut dense = vec![5, 5, 5, 5];
+        prune_magnitude(&mut dense, 1, 4, Nm::ONE_OF_FOUR).unwrap();
+        assert_eq!(dense, vec![5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn prune_magnitude_2_of_4() {
+        let mut dense = vec![1, -9, 3, 2];
+        prune_magnitude(&mut dense, 1, 4, Nm::new(2, 4).unwrap()).unwrap();
+        assert_eq!(dense, vec![0, -9, 3, 0]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Nm::ONE_OF_EIGHT.to_string(), "1:8");
+    }
+}

@@ -1,0 +1,196 @@
+//! A minimal dense tensor with the HWC activation layout used by PULP-NN.
+
+use crate::{Error, Result};
+
+/// A dense tensor stored row-major over its shape.
+///
+/// Activations on PULP platforms are HWC: shape `[H, W, C]` with C the
+/// fastest-varying dimension, so a whole pixel's channels are contiguous —
+/// the property the im2col step and the SIMD kernels rely on.
+///
+/// # Example
+/// ```
+/// use nm_core::tensor::Tensor;
+/// let mut t = Tensor::<i8>::zeros(&[2, 2, 4]);
+/// *t.at_mut(&[1, 0, 3]) = 7;
+/// assert_eq!(*t.at(&[1, 0, 3]), 7);
+/// assert_eq!(t.data()[1 * 2 * 4 + 3], 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor<T> {
+    shape: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Creates a tensor filled with `T::default()`.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![T::default(); len] }
+    }
+
+    /// Wraps existing data in a tensor.
+    ///
+    /// # Errors
+    /// [`Error::ShapeMismatch`] if `data.len()` differs from the shape's
+    /// element count.
+    pub fn from_vec(shape: &[usize], data: Vec<T>) -> Result<Self> {
+        let len: usize = shape.iter().product();
+        if data.len() != len {
+            return Err(Error::ShapeMismatch(format!(
+                "data length {} does not match shape {:?} ({} elements)",
+                data.len(),
+                shape,
+                len
+            )));
+        }
+        Ok(Tensor { shape: shape.to_vec(), data })
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The backing storage, row-major.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the backing storage.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing storage.
+    pub fn into_data(self) -> Vec<T> {
+        self.data
+    }
+
+    fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            debug_assert!(ix < dim, "index {ix} out of bounds for dim {i} of size {dim}");
+            off = off * dim + ix;
+        }
+        off
+    }
+
+    /// Element access by multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the index rank or any coordinate is out
+    /// of bounds; release builds may return the wrong element instead, as
+    /// with slice indexing the access is still bounds-checked at the flat
+    /// level.
+    pub fn at(&self, index: &[usize]) -> &T {
+        &self.data[self.offset(index)]
+    }
+
+    /// Mutable element access by multi-dimensional index.
+    ///
+    /// # Panics
+    /// See [`Tensor::at`].
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut T {
+        let off = self.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    /// [`Error::ShapeMismatch`] if the element counts differ.
+    pub fn reshape(self, shape: &[usize]) -> Result<Self> {
+        let len: usize = shape.iter().product();
+        if len != self.data.len() {
+            return Err(Error::ShapeMismatch(format!(
+                "cannot reshape {} elements to {:?}",
+                self.data.len(),
+                shape
+            )));
+        }
+        Ok(Tensor { shape: shape.to_vec(), data: self.data })
+    }
+}
+
+/// HWC helpers for 3-D int8 activation tensors.
+impl Tensor<i8> {
+    /// Reads pixel `(y, x)` channel `c` from an HWC tensor, returning 0 for
+    /// out-of-bounds coordinates (implicit zero padding).
+    pub fn hwc_get_padded(&self, y: isize, x: isize, c: usize) -> i8 {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (h, w) = (self.shape[0] as isize, self.shape[1] as isize);
+        if y < 0 || y >= h || x < 0 || x >= w {
+            0
+        } else {
+            *self.at(&[y as usize, x as usize, c])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::<i32>::zeros(&[3, 4]);
+        assert_eq!(t.shape(), &[3, 4]);
+        assert_eq!(t.len(), 12);
+        assert!(!t.is_empty());
+        assert!(t.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(&[2, 3], vec![0i8; 6]).is_ok());
+        assert!(Tensor::from_vec(&[2, 3], vec![0i8; 5]).is_err());
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let t = Tensor::from_vec(&[2, 3], (0..6i32).collect()).unwrap();
+        assert_eq!(*t.at(&[0, 0]), 0);
+        assert_eq!(*t.at(&[0, 2]), 2);
+        assert_eq!(*t.at(&[1, 0]), 3);
+        assert_eq!(*t.at(&[1, 2]), 5);
+    }
+
+    #[test]
+    fn hwc_layout_channel_minor() {
+        let mut t = Tensor::<i8>::zeros(&[2, 2, 3]);
+        *t.at_mut(&[0, 1, 2]) = 9;
+        // offset = ((0*2)+1)*3 + 2 = 5
+        assert_eq!(t.data()[5], 9);
+    }
+
+    #[test]
+    fn padded_access_returns_zero_outside() {
+        let mut t = Tensor::<i8>::zeros(&[2, 2, 1]);
+        *t.at_mut(&[0, 0, 0]) = 3;
+        assert_eq!(t.hwc_get_padded(0, 0, 0), 3);
+        assert_eq!(t.hwc_get_padded(-1, 0, 0), 0);
+        assert_eq!(t.hwc_get_padded(0, 2, 0), 0);
+        assert_eq!(t.hwc_get_padded(2, -5, 0), 0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 6], (0..12i32).collect()).unwrap();
+        let r = t.reshape(&[3, 4]).unwrap();
+        assert_eq!(r.shape(), &[3, 4]);
+        assert_eq!(*r.at(&[2, 3]), 11);
+        assert!(r.reshape(&[5, 5]).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Instruction classes tracked by the core's performance counters.
+
+/// Coarse instruction classes, used to histogram the executed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum InstrClass {
+    /// Arithmetic/logic (add, shift, mask, address computation).
+    Alu,
+    /// Word/byte loads (including post-increment flavours).
+    Load,
+    /// Word/byte stores.
+    Store,
+    /// XpulpV2 `pv.sdotsp.b` 4×int8 SIMD dot product with accumulation.
+    SimdDotp,
+    /// Scalar multiply-accumulate.
+    Mac,
+    /// Branches and compare-and-branch.
+    Branch,
+    /// Hardware-loop setup (`lp.setup`).
+    HwLoop,
+    /// The `xDecimate` extension (and `xDecimate.clear`).
+    Xfu,
+}
+
+impl InstrClass {
+    /// Number of distinct classes.
+    pub const COUNT: usize = 8;
+
+    /// All classes, in display order.
+    pub const ALL: [InstrClass; Self::COUNT] = [
+        InstrClass::Alu,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::SimdDotp,
+        InstrClass::Mac,
+        InstrClass::Branch,
+        InstrClass::HwLoop,
+        InstrClass::Xfu,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstrClass::Alu => "alu",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::SimdDotp => "sdotp",
+            InstrClass::Mac => "mac",
+            InstrClass::Branch => "branch",
+            InstrClass::HwLoop => "hwloop",
+            InstrClass::Xfu => "xfu",
+        }
+    }
+}
+
+impl std::fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_class_once() {
+        assert_eq!(InstrClass::ALL.len(), InstrClass::COUNT);
+        for (i, c) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = InstrClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), InstrClass::COUNT);
+    }
+}

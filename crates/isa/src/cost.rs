@@ -1,0 +1,98 @@
+//! The platform cycle-cost model.
+//!
+//! Defaults model the Vega SoC of Rossi et al. 2021 as simulated by GVSoC:
+//! a single-issue in-order pipeline (1 cycle/instruction), single-cycle L1
+//! TCDM accesses, a 2-cycle taken-branch penalty, zero-overhead hardware
+//! loops on the innermost level, and a 64-bit DMA between L2 and L1.
+//!
+//! Every benchmark binary prints the cost model it used, so results are
+//! reproducible and the model is auditable in one place.
+
+/// Cycle costs charged by [`crate::Core`] and the `nm-platform` executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Base cycles per instruction (single-issue pipeline).
+    pub base: u64,
+    /// Extra stall cycles on an L1 load (TCDM is single-cycle: 0).
+    pub load_stall: u64,
+    /// Extra cycles when a branch is taken (pipeline refill).
+    pub branch_taken_penalty: u64,
+    /// Bookkeeping instructions charged per iteration of a *non-hardware*
+    /// loop level (index update + compare + branch).
+    pub outer_loop_instrs: u64,
+    /// Instructions charged per kernel invocation per core (prologue,
+    /// argument unpacking, epilogue).
+    pub kernel_overhead_instrs: u64,
+    /// Cycles for a full-cluster barrier (event-unit based on PULP).
+    pub barrier_cycles: u64,
+    /// DMA programming overhead per 1-D transfer, in cycles.
+    pub dma_setup_cycles: u64,
+    /// DMA payload bytes moved per cycle (64-bit port between L2 and L1).
+    pub dma_bytes_per_cycle: u64,
+    /// Extra latency per DMA transfer from/to the external L3 (HyperRAM).
+    pub dma_l3_extra_cycles: u64,
+}
+
+impl CostModel {
+    /// The Vega-calibrated default model.
+    pub const VEGA: CostModel = CostModel {
+        base: 1,
+        load_stall: 0,
+        branch_taken_penalty: 2,
+        outer_loop_instrs: 3,
+        kernel_overhead_instrs: 60,
+        barrier_cycles: 40,
+        dma_setup_cycles: 30,
+        dma_bytes_per_cycle: 8,
+        dma_l3_extra_cycles: 250,
+    };
+
+    /// Cycles to DMA `bytes` between L2 and L1 (one 1-D transfer).
+    pub fn dma_cycles(&self, bytes: usize) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.dma_setup_cycles + (bytes as u64).div_ceil(self.dma_bytes_per_cycle)
+    }
+
+    /// Cycles to DMA `bytes` between L3 and L2.
+    pub fn dma_l3_cycles(&self, bytes: usize) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.dma_cycles(bytes) + self.dma_l3_extra_cycles
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::VEGA
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_vega() {
+        assert_eq!(CostModel::default(), CostModel::VEGA);
+    }
+
+    #[test]
+    fn dma_cycles_rounds_up() {
+        let m = CostModel::VEGA;
+        assert_eq!(m.dma_cycles(0), 0);
+        assert_eq!(m.dma_cycles(1), 31);
+        assert_eq!(m.dma_cycles(8), 31);
+        assert_eq!(m.dma_cycles(9), 32);
+        assert_eq!(m.dma_cycles(64), 38);
+    }
+
+    #[test]
+    fn l3_is_slower_than_l2() {
+        let m = CostModel::VEGA;
+        assert!(m.dma_l3_cycles(256) > m.dma_cycles(256));
+        assert_eq!(m.dma_l3_cycles(0), 0);
+    }
+}

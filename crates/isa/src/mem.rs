@@ -1,0 +1,144 @@
+//! Byte-addressable little-endian memory abstraction.
+
+/// A byte-addressable memory with little-endian word access.
+///
+/// Implemented by the scratchpads in `nm-platform`; kernels and the
+/// [`crate::Core`] access memory only through this trait.
+pub trait Memory {
+    /// Size in bytes.
+    fn size(&self) -> usize;
+
+    /// Loads one byte.
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of range (a simulated bus error).
+    fn load_u8(&self, addr: u32) -> u8;
+
+    /// Stores one byte.
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of range.
+    fn store_u8(&mut self, addr: u32, value: u8);
+
+    /// Loads a little-endian 32-bit word (no alignment requirement, as on
+    /// RI5CY's TCDM port).
+    fn load_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.load_u8(addr),
+            self.load_u8(addr + 1),
+            self.load_u8(addr + 2),
+            self.load_u8(addr + 3),
+        ])
+    }
+
+    /// Stores a little-endian 32-bit word.
+    fn store_u32(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.store_u8(addr + i as u32, *b);
+        }
+    }
+
+    /// Loads a signed byte.
+    fn load_i8(&self, addr: u32) -> i8 {
+        self.load_u8(addr) as i8
+    }
+
+    /// Stores a signed byte.
+    fn store_i8(&mut self, addr: u32, value: i8) {
+        self.store_u8(addr, value as u8);
+    }
+
+    /// Copies a slice into memory starting at `addr`.
+    fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.store_u8(addr + i as u32, b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.load_u8(addr + i as u32)).collect()
+    }
+}
+
+/// A flat byte array memory, used for tests and as the storage behind the
+/// platform scratchpads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatMem {
+    bytes: Vec<u8>,
+}
+
+impl FlatMem {
+    /// Creates a zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        FlatMem { bytes: vec![0; size] }
+    }
+
+    /// Read-only view of the backing bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable view of the backing bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+}
+
+impl Memory for FlatMem {
+    fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn load_u8(&self, addr: u32) -> u8 {
+        self.bytes[addr as usize]
+    }
+
+    fn store_u8(&mut self, addr: u32, value: u8) {
+        self.bytes[addr as usize] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_word_access() {
+        let mut m = FlatMem::new(8);
+        m.store_u32(0, 0xDEAD_BEEF);
+        assert_eq!(m.load_u8(0), 0xEF);
+        assert_eq!(m.load_u8(3), 0xDE);
+        assert_eq!(m.load_u32(0), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn unaligned_word_access_works() {
+        let mut m = FlatMem::new(8);
+        m.store_u32(1, 0x0403_0201);
+        assert_eq!(m.load_u32(1), 0x0403_0201);
+        assert_eq!(m.load_u8(0), 0);
+    }
+
+    #[test]
+    fn signed_bytes_round_trip() {
+        let mut m = FlatMem::new(4);
+        m.store_i8(2, -100);
+        assert_eq!(m.load_i8(2), -100);
+        assert_eq!(m.load_u8(2), 156);
+    }
+
+    #[test]
+    fn bulk_io() {
+        let mut m = FlatMem::new(16);
+        m.write_bytes(4, &[1, 2, 3, 4]);
+        assert_eq!(m.read_bytes(3, 6), vec![0, 1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_is_a_bus_error() {
+        let m = FlatMem::new(4);
+        m.load_u8(4);
+    }
+}

@@ -1,0 +1,510 @@
+//! The paper's Fig. 4 / Fig. 5 inner loops as executable instruction
+//! streams.
+//!
+//! Each builder returns the steady-state inner loop of one kernel as an
+//! [`Instr`] program (whole 4-non-zero chunks only; tails are handled by
+//! the kernels in `nm-kernels`, not by the figures). Tests pin two
+//! properties the paper's Sec. 4 analysis rests on:
+//!
+//! * the **retired instruction count per iteration** equals the paper's
+//!   numbers — 5 (dense 1×2), 22 (sparse SW 1:8/1:16), 23 (sparse SW
+//!   1:4), 12 (sparse ISA) for convolutions; 5 / 16 / 13 for
+//!   fully-connected layers;
+//! * the **computed accumulators** equal reference dot products over the
+//!   same data, i.e. a program with exactly the paper's instructions
+//!   really computes the kernel's result.
+//!
+//! # Register conventions
+//!
+//! | register | conv | FC |
+//! |---|---|---|
+//! | `x1` [`reg::W_PTR`] | non-zero/dense weight row | weight row, channel `i` |
+//! | `x2` [`reg::O_PTR`] | packed offsets | offsets / weight row `i+1` ([`reg::W2_PTR`]) |
+//! | `x3` [`reg::BUF0`] | im2col buffer 0 | input vector |
+//! | `x4` [`reg::BUF1`] | im2col buffer 1 | — |
+//! | `x5`/`x6` [`reg::ACC0`]/[`reg::ACC1`] | accumulators (patch 0/1) | accumulators (channel `i`/`i+1`) |
+//! | `x7` [`reg::VW`] | weight word | weight word, channel `i` |
+//! | `x8`/`x9` [`reg::VB0`]/[`reg::VB1`] | activation words | activation words (channel `i`/`i+1`) |
+//! | `x10` [`reg::OFFW`] | offsets word | offsets word / weight word `i+1` ([`reg::VW2`]) |
+//! | `x11`–`x14` [`reg::T0`]… | unpacked offset temps | unpacked offset temps |
+
+use crate::asm::Instr;
+use nm_rtl::DecimateMode;
+
+/// Register assignments used by all programs (see module docs).
+pub mod reg {
+    use crate::asm::Reg;
+
+    /// Weight row pointer (non-zero values for sparse kernels).
+    pub const W_PTR: Reg = 1;
+    /// Packed offsets pointer (conv/FC sparse).
+    pub const O_PTR: Reg = 2;
+    /// Second weight row pointer (dense/ISA FC; aliases [`O_PTR`]).
+    pub const W2_PTR: Reg = O_PTR;
+    /// First im2col buffer / FC input vector.
+    pub const BUF0: Reg = 3;
+    /// Second im2col buffer (conv only).
+    pub const BUF1: Reg = 4;
+    /// Accumulator for patch 0 / channel `i`.
+    pub const ACC0: Reg = 5;
+    /// Accumulator for patch 1 / channel `i+1`.
+    pub const ACC1: Reg = 6;
+    /// Loaded weight word.
+    pub const VW: Reg = 7;
+    /// Activation register 0.
+    pub const VB0: Reg = 8;
+    /// Activation register 1.
+    pub const VB1: Reg = 9;
+    /// Loaded offsets word (conv/FC sparse).
+    pub const OFFW: Reg = 10;
+    /// Second weight word (dense/ISA FC; aliases [`OFFW`]).
+    pub const VW2: Reg = OFFW;
+    /// Offset temporaries `T0`–`T3`.
+    pub const T0: Reg = 11;
+}
+
+use reg::*;
+
+fn extract_offsets(mode: DecimateMode) -> Vec<Instr> {
+    let bits = mode.offset_bits() as u8;
+    let mask = (1u32 << bits) - 1;
+    let mut v = Vec::new();
+    for i in 0..4u8 {
+        v.push(Instr::Srli { rd: T0 + i, rs: OFFW, shift: bits * i });
+        v.push(Instr::Andi { rd: T0 + i, rs: T0 + i, imm: mask });
+    }
+    v
+}
+
+fn load_offsets_word(mode: DecimateMode, duplicated: bool) -> Instr {
+    // Bytes consumed per chunk of 4 non-zeros: 4 offsets × bits × (1 or 2
+    // for the duplicated ISA layout), in bits, over 8.
+    let step = (4 * mode.offset_bits() * if duplicated { 2 } else { 1 } / 8) as i32;
+    if mode.offset_bits() == 2 && !duplicated {
+        // 1:4 software: the four 2-bit offsets arrive with one byte load.
+        Instr::Lb { rd: OFFW, base: O_PTR, imm: 0, post_inc: step }
+    } else {
+        Instr::Lw { rd: OFFW, base: O_PTR, imm: 0, post_inc: step }
+    }
+}
+
+/// Fig. 4 (left): the dense 1×2 convolution inner loop — 5 instructions
+/// per iteration for 8 MACs (peak 1.6 MACs/instruction).
+///
+/// # Example
+/// ```
+/// use nm_isa::asm::retired;
+/// use nm_isa::programs::conv_dense_1x2;
+/// // lp.setup + 8 iterations of the 5-instruction body.
+/// assert_eq!(retired(&conv_dense_1x2(8)), 1 + 8 * 5);
+/// ```
+pub fn conv_dense_1x2(chunks: u32) -> Vec<Instr> {
+    vec![Instr::HwLoop {
+        count: chunks,
+        body: vec![
+            Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 },
+            Instr::Lw { rd: VB0, base: BUF0, imm: 0, post_inc: 4 },
+            Instr::Lw { rd: VB1, base: BUF1, imm: 0, post_inc: 4 },
+            Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 },
+            Instr::Sdotp { rd: ACC1, ra: VW, rb: VB1 },
+        ],
+    }]
+}
+
+/// Fig. 4 (center): the software-only sparse convolution inner loop —
+/// 22 instructions per iteration for 1:8/1:16, 23 for 1:4 (8 MACs).
+pub fn conv_sparse_sw(mode: DecimateMode, chunks: u32) -> Vec<Instr> {
+    let m = mode.m() as i32;
+    let mut body = vec![load_offsets_word(mode, false)];
+    if mode.offset_bits() == 2 {
+        // The byte load sign-extends; one extra masking cleans the upper
+        // bits (the paper's 23rd instruction for 1:4).
+        body.push(Instr::Andi { rd: OFFW, rs: OFFW, imm: 0xFF });
+    }
+    body.extend(extract_offsets(mode));
+    for i in 0..4u8 {
+        body.push(Instr::LbLane { rd: VB0, base: BUF0, idx: T0 + i, imm: i32::from(i) * m, lane: i });
+        body.push(Instr::LbLane { rd: VB1, base: BUF1, idx: T0 + i, imm: i32::from(i) * m, lane: i });
+    }
+    body.push(Instr::Addi { rd: BUF0, rs: BUF0, imm: 4 * m });
+    body.push(Instr::Addi { rd: BUF1, rs: BUF1, imm: 4 * m });
+    body.push(Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 });
+    body.push(Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 });
+    body.push(Instr::Sdotp { rd: ACC1, ra: VW, rb: VB1 });
+    vec![Instr::HwLoop { count: chunks, body }]
+}
+
+fn isa_chunk(mode: DecimateMode, offsets_post_inc: i32) -> Vec<Instr> {
+    let mut v = vec![Instr::Lw { rd: OFFW, base: O_PTR, imm: 0, post_inc: offsets_post_inc }];
+    for _ in 0..4 {
+        v.push(Instr::XDecimate { rd: VB0, rs1: BUF0, rs2: OFFW, mode });
+        v.push(Instr::XDecimate { rd: VB1, rs1: BUF1, rs2: OFFW, mode });
+    }
+    v.push(Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 });
+    v.push(Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 });
+    v.push(Instr::Sdotp { rd: ACC1, ra: VW, rb: VB1 });
+    v
+}
+
+/// Fig. 4 (right): the `xDecimate` sparse convolution inner loop —
+/// 12 instructions per iteration for every format (8 MACs, peak 0.66
+/// MACs/instruction). Offsets are in the duplicated layout.
+///
+/// For 1:4 one `rs2` word holds 16 duplicated offsets (two chunks); the
+/// loop runs over chunk *pairs*, reloading the word mid-pair exactly as
+/// the paper keeps the loop at 12 instructions per chunk.
+///
+/// # Panics
+/// Panics if `chunks` is odd with [`DecimateMode::OneOfFour`].
+pub fn conv_sparse_isa(mode: DecimateMode, chunks: u32) -> Vec<Instr> {
+    let mut prog = vec![Instr::XDecimateClear];
+    if mode.offset_bits() == 2 {
+        assert!(chunks.is_multiple_of(2), "1:4 ISA program runs over chunk pairs");
+        let mut body = isa_chunk(mode, 0); // first chunk: keep the word
+        body.extend(isa_chunk(mode, 4)); // second chunk: same word, then advance
+        prog.push(Instr::HwLoop { count: chunks / 2, body });
+    } else {
+        prog.push(Instr::HwLoop { count: chunks, body: isa_chunk(mode, 4) });
+    }
+    prog
+}
+
+/// Fig. 5 (left): the dense fully-connected inner loop, unrolled over
+/// two output channels — 5 instructions per iteration for 8 MACs.
+pub fn fc_dense_1x2(chunks: u32) -> Vec<Instr> {
+    vec![Instr::HwLoop {
+        count: chunks,
+        body: vec![
+            Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 },
+            Instr::Lw { rd: VW2, base: W2_PTR, imm: 0, post_inc: 4 },
+            Instr::Lw { rd: VB0, base: BUF0, imm: 0, post_inc: 4 },
+            Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 },
+            Instr::Sdotp { rd: ACC1, ra: VW2, rb: VB0 },
+        ],
+    }]
+}
+
+/// Fig. 5 (center): the software-only sparse FC inner loop —
+/// 16 instructions per iteration for 4 MACs (peak 0.25 MACs/instruction).
+pub fn fc_sparse_sw(mode: DecimateMode, chunks: u32) -> Vec<Instr> {
+    let m = mode.m() as i32;
+    let mut body = vec![load_offsets_word(mode, false)];
+    body.extend(extract_offsets(mode));
+    for i in 0..4u8 {
+        body.push(Instr::LbLane { rd: VB0, base: BUF0, idx: T0 + i, imm: i32::from(i) * m, lane: i });
+    }
+    body.push(Instr::Addi { rd: BUF0, rs: BUF0, imm: 4 * m });
+    body.push(Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 });
+    body.push(Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 });
+    vec![Instr::HwLoop { count: chunks, body }]
+}
+
+fn fc_isa_chunk(mode: DecimateMode, o_ptr: crate::asm::Reg, offsets_post_inc: i32) -> Vec<Instr> {
+    // Unlike dense FC, weights for both channels *and* the offsets word
+    // are live at once, so the second weight word takes the (otherwise
+    // unused) offset-temp register instead of aliasing `OFFW`.
+    let vw2 = T0;
+    let mut v = vec![
+        Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 },
+        Instr::Lw { rd: vw2, base: W2_PTR, imm: 0, post_inc: 4 },
+        Instr::Lw { rd: OFFW, base: o_ptr, imm: 0, post_inc: offsets_post_inc },
+    ];
+    for _ in 0..4 {
+        v.push(Instr::XDecimate { rd: VB0, rs1: BUF0, rs2: OFFW, mode });
+        v.push(Instr::XDecimate { rd: VB1, rs1: BUF0, rs2: OFFW, mode });
+    }
+    v.push(Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 });
+    v.push(Instr::Sdotp { rd: ACC1, ra: vw2, rb: VB1 });
+    v
+}
+
+/// Fig. 5 (right): the `xDecimate` sparse FC inner loop over two output
+/// channels with interleaved offsets (the paper's Fig. 6 flow) —
+/// 13 instructions per iteration for 8 MACs (peak 0.61 dense-equivalent
+/// MACs/instruction).
+///
+/// `W2_PTR` (= `x2`) holds channel `i+1`'s non-zero row and `o_ptr`
+/// names the caller-chosen register carrying the interleaved offsets
+/// pointer (all of `x1`/`x2` are taken by the two weight rows). The
+/// second weight word lives in `x11` ([`reg::T0`], unused by the ISA
+/// loop), since weights for both channels and the offsets word are live
+/// simultaneously.
+///
+/// # Panics
+/// Panics if `chunks` is odd with [`DecimateMode::OneOfFour`].
+pub fn fc_sparse_isa(mode: DecimateMode, o_ptr: crate::asm::Reg, chunks: u32) -> Vec<Instr> {
+    let mut prog = vec![Instr::XDecimateClear];
+    if mode.offset_bits() == 2 {
+        assert!(chunks.is_multiple_of(2), "1:4 ISA program runs over chunk pairs");
+        let mut body = fc_isa_chunk(mode, o_ptr, 0);
+        body.extend(fc_isa_chunk(mode, o_ptr, 4));
+        prog.push(Instr::HwLoop { count: chunks / 2, body });
+    } else {
+        prog.push(Instr::HwLoop { count: chunks, body: fc_isa_chunk(mode, o_ptr, 4) });
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{listing, retired, Interp};
+    use crate::cost::CostModel;
+    use crate::mem::{FlatMem, Memory};
+    use crate::Core;
+
+    const ALL_MODES: [DecimateMode; 3] =
+        [DecimateMode::OneOfFour, DecimateMode::OneOfEight, DecimateMode::OneOfSixteen];
+
+    /// Per-iteration retired instructions, discounting loop setup and any
+    /// prologue.
+    fn per_iter(prog: &[Instr], chunks: u64) -> u64 {
+        let prologue = prog
+            .iter()
+            .filter(|i| !matches!(i, Instr::HwLoop { .. }))
+            .count() as u64;
+        (retired(prog) - prologue - 1) / chunks
+    }
+
+    #[test]
+    fn instruction_budgets_match_figure4() {
+        assert_eq!(per_iter(&conv_dense_1x2(6), 6), 5);
+        assert_eq!(per_iter(&conv_sparse_sw(DecimateMode::OneOfEight, 6), 6), 22);
+        assert_eq!(per_iter(&conv_sparse_sw(DecimateMode::OneOfSixteen, 6), 6), 22);
+        assert_eq!(per_iter(&conv_sparse_sw(DecimateMode::OneOfFour, 6), 6), 23);
+        for mode in ALL_MODES {
+            assert_eq!(per_iter(&conv_sparse_isa(mode, 6), 6), 12, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn instruction_budgets_match_figure5() {
+        assert_eq!(per_iter(&fc_dense_1x2(6), 6), 5);
+        for mode in ALL_MODES {
+            assert_eq!(per_iter(&fc_sparse_sw(mode, 6), 6), 16, "{mode:?}");
+            assert_eq!(per_iter(&fc_sparse_isa(mode, 15, 6), 6), 13, "{mode:?}");
+        }
+    }
+
+    // ---- numerical checks --------------------------------------------
+
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+        fn i8(&mut self) -> i8 {
+            (self.next() % 255) as i8
+        }
+    }
+
+    const W: u32 = 0x000; // weight rows
+    const O: u32 = 0x100; // packed offsets
+    const B0: u32 = 0x200; // buffer 0 / FC input
+    const B1: u32 = 0x300; // buffer 1
+    const W2: u32 = 0x080; // second FC weight row
+
+    /// Stages `n` random bytes at `addr`, returning them.
+    fn stage(mem: &mut FlatMem, addr: u32, n: usize, rng: &mut XorShift) -> Vec<i8> {
+        let data: Vec<i8> = (0..n).map(|_| rng.i8()).collect();
+        for (i, &v) in data.iter().enumerate() {
+            mem.store_i8(addr + i as u32, v);
+        }
+        data
+    }
+
+    /// Packs offsets LSB-first at `width` bits, duplicating or
+    /// interleaving with `other` when requested.
+    fn pack_offsets(offs: &[u8], width: u32, replicate: usize) -> Vec<u8> {
+        let mut bytes = vec![0u8; (offs.len() * replicate * width as usize).div_ceil(8)];
+        let mut bit = 0;
+        for &o in offs {
+            for _ in 0..replicate {
+                let byte = bit / 8;
+                bytes[byte] |= o << (bit % 8);
+                if (bit % 8) + width as usize > 8 {
+                    bytes[byte + 1] |= o >> (8 - bit % 8);
+                }
+                bit += width as usize;
+            }
+        }
+        bytes
+    }
+
+    fn dot(w: &[i8], b: &[i8]) -> i32 {
+        w.iter().zip(b).map(|(&x, &y)| i32::from(x) * i32::from(y)).sum()
+    }
+
+    fn run(prog: &[Instr], mem: &mut FlatMem, fc_o_ptr: Option<u32>) -> (i32, i32, Core) {
+        let mut core = Core::new(CostModel::default());
+        let mut interp = Interp::new();
+        interp.set(W_PTR, W);
+        interp.set(O_PTR, O);
+        interp.set(BUF0, B0);
+        interp.set(BUF1, B1);
+        if let Some(o) = fc_o_ptr {
+            interp.set(W2_PTR, W2);
+            interp.set(15, o);
+        }
+        interp.run(prog, &mut core, mem);
+        (interp.get(ACC0) as i32, interp.get(ACC1) as i32, core)
+    }
+
+    #[test]
+    fn conv_dense_program_computes_dot_products() {
+        let mut rng = XorShift(11);
+        let mut mem = FlatMem::new(0x400);
+        let chunks = 5;
+        let w = stage(&mut mem, W, 4 * chunks, &mut rng);
+        let b0 = stage(&mut mem, B0, 4 * chunks, &mut rng);
+        let b1 = stage(&mut mem, B1, 4 * chunks, &mut rng);
+        let (a0, a1, core) = run(&conv_dense_1x2(chunks as u32), &mut mem, None);
+        assert_eq!(a0, dot(&w, &b0));
+        assert_eq!(a1, dot(&w, &b1));
+        assert_eq!(core.macs(), 8 * chunks as u64);
+    }
+
+    /// Random per-block offsets for `nz` non-zeros with block size `m`.
+    fn random_offsets(nz: usize, m: u32, rng: &mut XorShift) -> Vec<u8> {
+        (0..nz).map(|_| (rng.next() % u64::from(m)) as u8).collect()
+    }
+
+    /// The decimated dot product: Σ w[j] * buf[j*m + o_j].
+    fn decimated_dot(w: &[i8], offs: &[u8], buf: &[i8], m: usize) -> i32 {
+        w.iter()
+            .zip(offs)
+            .enumerate()
+            .map(|(j, (&wv, &o))| i32::from(wv) * i32::from(buf[j * m + usize::from(o)]))
+            .sum()
+    }
+
+    #[test]
+    fn conv_sparse_programs_compute_decimated_dots() {
+        for mode in ALL_MODES {
+            let m = mode.m() as usize;
+            let chunks = 4usize; // even, for the 1:4 ISA pairing
+            let nz = 4 * chunks;
+            let mut rng = XorShift(7 + mode.m() as u64);
+            let mut mem = FlatMem::new(0x200 + 2 * nz * m + 0x200);
+            let w = stage(&mut mem, W, nz, &mut rng);
+            let b0 = stage(&mut mem, B0, nz * m, &mut rng);
+            let b1 = stage(&mut mem, B0 + (nz * m) as u32, nz * m, &mut rng);
+            let offs = random_offsets(nz, mode.m(), &mut rng);
+            let expect0 = decimated_dot(&w, &offs, &b0, m);
+            let expect1 = decimated_dot(&w, &offs, &b1, m);
+
+            // Software program: plain offsets.
+            mem.write_bytes(O, &pack_offsets(&offs, mode.offset_bits(), 1));
+            let prog = conv_sparse_sw(mode, chunks as u32);
+            let mut core = Core::new(CostModel::default());
+            let mut interp = Interp::new();
+            interp.set(W_PTR, W);
+            interp.set(O_PTR, O);
+            interp.set(BUF0, B0);
+            interp.set(BUF1, B0 + (nz * m) as u32);
+            interp.run(&prog, &mut core, &mut mem);
+            assert_eq!(interp.get(ACC0) as i32, expect0, "sw {mode:?}");
+            assert_eq!(interp.get(ACC1) as i32, expect1, "sw {mode:?}");
+
+            // ISA program: duplicated offsets, same expected values.
+            mem.write_bytes(O, &pack_offsets(&offs, mode.offset_bits(), 2));
+            let prog = conv_sparse_isa(mode, chunks as u32);
+            let mut core = Core::new(CostModel::default());
+            let mut interp = Interp::new();
+            interp.set(W_PTR, W);
+            interp.set(O_PTR, O);
+            interp.set(BUF0, B0);
+            interp.set(BUF1, B0 + (nz * m) as u32);
+            interp.run(&prog, &mut core, &mut mem);
+            assert_eq!(interp.get(ACC0) as i32, expect0, "isa {mode:?}");
+            assert_eq!(interp.get(ACC1) as i32, expect1, "isa {mode:?}");
+            assert_eq!(core.macs(), 2 * nz as u64);
+        }
+    }
+
+    #[test]
+    fn fc_dense_program_computes_two_channels() {
+        let mut rng = XorShift(3);
+        let mut mem = FlatMem::new(0x400);
+        let chunks = 4;
+        let w0 = stage(&mut mem, W, 4 * chunks, &mut rng);
+        let w1 = stage(&mut mem, W2, 4 * chunks, &mut rng);
+        let x = stage(&mut mem, B0, 4 * chunks, &mut rng);
+        let (a0, a1, _) = run(&fc_dense_1x2(chunks as u32), &mut mem, Some(O));
+        assert_eq!(a0, dot(&w0, &x));
+        assert_eq!(a1, dot(&w1, &x));
+    }
+
+    #[test]
+    fn fc_sparse_sw_program_computes_one_channel() {
+        for mode in ALL_MODES {
+            let m = mode.m() as usize;
+            let chunks = 3usize;
+            let nz = 4 * chunks;
+            let mut rng = XorShift(91);
+            let mut mem = FlatMem::new(0x200 + nz * m + 64);
+            let w = stage(&mut mem, W, nz, &mut rng);
+            let x = stage(&mut mem, B0, nz * m, &mut rng);
+            let offs = random_offsets(nz, mode.m(), &mut rng);
+            mem.write_bytes(O, &pack_offsets(&offs, mode.offset_bits(), 1));
+            let prog = fc_sparse_sw(mode, chunks as u32);
+            let mut core = Core::new(CostModel::default());
+            let mut interp = Interp::new();
+            interp.set(W_PTR, W);
+            interp.set(O_PTR, O);
+            interp.set(BUF0, B0);
+            interp.run(&prog, &mut core, &mut mem);
+            assert_eq!(interp.get(ACC0) as i32, decimated_dot(&w, &offs, &x, m), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn fc_sparse_isa_program_computes_two_interleaved_channels() {
+        for mode in ALL_MODES {
+            let m = mode.m() as usize;
+            let chunks = 4usize; // even
+            let nz = 4 * chunks;
+            let mut rng = XorShift(17);
+            let mut mem = FlatMem::new(0x200 + nz * m + 0x100);
+            let w0 = stage(&mut mem, W, nz, &mut rng);
+            let w1 = stage(&mut mem, W2, nz, &mut rng);
+            let x = stage(&mut mem, B0, nz * m, &mut rng);
+            let o0 = random_offsets(nz, mode.m(), &mut rng);
+            let o1 = random_offsets(nz, mode.m(), &mut rng);
+            // Fig. 6 interleave: o0_ch0, o0_ch1, o1_ch0, o1_ch1, ...
+            let interleaved: Vec<u8> =
+                o0.iter().zip(&o1).flat_map(|(&a, &b)| [a, b]).collect();
+            const O_ISA: u32 = 0x180;
+            mem.write_bytes(O_ISA, &pack_offsets(&interleaved, mode.offset_bits(), 1));
+            let prog = fc_sparse_isa(mode, 15, chunks as u32);
+            let mut core = Core::new(CostModel::default());
+            let mut interp = Interp::new();
+            interp.set(W_PTR, W);
+            interp.set(W2_PTR, W2);
+            interp.set(BUF0, B0);
+            interp.set(15, O_ISA);
+            interp.run(&prog, &mut core, &mut mem);
+            assert_eq!(interp.get(ACC0) as i32, decimated_dot(&w0, &o0, &x, m), "{mode:?} ch0");
+            assert_eq!(interp.get(ACC1) as i32, decimated_dot(&w1, &o1, &x, m), "{mode:?} ch1");
+        }
+    }
+
+    #[test]
+    fn one_of_four_isa_requires_even_chunks() {
+        let result = std::panic::catch_unwind(|| conv_sparse_isa(DecimateMode::OneOfFour, 3));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn listings_render_like_figure4() {
+        let text = listing(&conv_sparse_isa(DecimateMode::OneOfEight, 1));
+        assert!(text.contains("xdecimate.clear"));
+        assert!(text.contains("xdecimate.8 x8, x3, x10"));
+        assert!(text.contains("pv.sdotsp.b x5, x7, x8"));
+        let text = listing(&conv_sparse_sw(DecimateMode::OneOfFour, 1));
+        assert!(text.contains("p.lb x10, 0(x2!1)"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Analytic models of the three activation-loading strategies the paper
+//! considered for sparse convolutions (Sec. 4.1.2), used by the ablation
+//! bench to justify the *Decimate Im2col* design choice.
+//!
+//! 1. **DMA-based copy** — gather only the activations matching non-zero
+//!    weights straight from L2, bypassing the im2col. Kills DMA bursts:
+//!    every element becomes its own (non-overlappable) beat, and the
+//!    gather must be re-issued per output channel.
+//! 2. **Sparse im2col** — build a *compacted* per-channel im2col holding
+//!    only the needed activations. No reuse across output channels, so
+//!    the copy moves into the innermost loop.
+//! 3. **Decimate im2col** (the paper's choice, implemented in
+//!    [`crate::conv::sparse_sw`]) — keep the im2col dense and shared,
+//!    decimate inside the inner loop.
+
+use crate::conv::sparse_sw::{conv_sparse_sw, SparseConvJob};
+use crate::conv::ConvJob;
+use crate::stats::Ctx;
+use nm_core::quant::Requant;
+use nm_core::sparsity::Nm;
+use nm_core::{ConvGeom, Result};
+use nm_platform::Cluster;
+
+/// The candidate strategies of Sec. 4.1.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Im2colStrategy {
+    /// Per-channel DMA gather from L2.
+    DmaCopy,
+    /// Per-channel compacted im2col.
+    SparseIm2col,
+    /// Shared dense im2col + in-loop decimation (the paper's kernels).
+    DecimateIm2col,
+}
+
+impl Im2colStrategy {
+    /// All strategies, in presentation order.
+    pub const ALL: [Im2colStrategy; 3] =
+        [Im2colStrategy::DmaCopy, Im2colStrategy::SparseIm2col, Im2colStrategy::DecimateIm2col];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Im2colStrategy::DmaCopy => "dma-copy",
+            Im2colStrategy::SparseIm2col => "sparse-im2col",
+            Im2colStrategy::DecimateIm2col => "decimate-im2col",
+        }
+    }
+}
+
+/// Estimated cluster cycles for one convolution layer under a strategy.
+///
+/// The decimate strategy is the real (analytic) kernel; the other two are
+/// first-order models that keep the same inner-loop compute and replace
+/// the activation-staging costs:
+///
+/// * DMA copy: per output position and channel, `nz` single-element DMA
+///   beats (no bursts, serialized with compute) replace the im2col; the
+///   inner loop keeps only weight loads and dot products (5 instrs/chunk).
+/// * Sparse im2col: a per-channel compacted copy of `nz` bytes per patch
+///   (2 instructions each: load + store, plus index unpack of 2) moves
+///   inside the channel loop; the inner loop is dense-like (5 per chunk).
+///
+/// # Errors
+/// Propagates the sparse kernel's validation errors.
+pub fn im2col_strategy_cycles(
+    geom: &ConvGeom,
+    nm: Nm,
+    strategy: Im2colStrategy,
+    cluster: &Cluster,
+) -> Result<u64> {
+    let job = SparseConvJob {
+        conv: ConvJob { geom: *geom, requant: Requant::IDENTITY, bufs: Default::default() },
+        nm,
+    };
+    job.validate()?;
+    let costs = cluster.costs();
+    let nz = job.nz_per_channel() as u64;
+    let positions = (geom.oy() * geom.ox()) as u64;
+    let per_core_positions = positions.div_ceil(cluster.n_cores() as u64);
+    let k = geom.k as u64;
+    match strategy {
+        Im2colStrategy::DecimateIm2col => {
+            Ok(conv_sparse_sw(&mut Ctx::Analytic, &job, cluster)?.cycles())
+        }
+        Im2colStrategy::SparseIm2col => {
+            // Per position-pair and channel: compact 2*nz bytes (index
+            // unpack 2 + load + store each), then a dense-shaped inner
+            // loop of nz/4 chunks x 5 instructions + epilogue ~10.
+            let pairs = per_core_positions.div_ceil(2);
+            let per_channel = 2 * nz * 4 + (nz / 4) * 5 + (nz % 4) * 5 + 10;
+            let per_pair = per_channel * k + costs.outer_loop_instrs + 4;
+            Ok(pairs * per_pair + costs.kernel_overhead_instrs + costs.barrier_cycles)
+        }
+        Im2colStrategy::DmaCopy => {
+            // Per position and channel: nz non-contiguous DMA beats
+            // (setup amortized over 4-beat bursts at best: model 2 cycles
+            // per element + one setup per channel), not overlapped, then
+            // the dense-shaped inner loop.
+            let per_channel_dma = costs.dma_setup_cycles + nz * 2;
+            let per_channel_compute = (nz / 4) * 3 + (nz % 4) * 3 + 10;
+            let per_pos = (per_channel_dma + per_channel_compute) * k + costs.outer_loop_instrs;
+            Ok(per_core_positions * per_pos + costs.kernel_overhead_instrs + costs.barrier_cycles)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_isa::CostModel;
+
+    #[test]
+    fn decimate_wins_for_typical_layers() {
+        let cluster = Cluster::new(8, CostModel::default());
+        for nm in Nm::KERNEL_PATTERNS {
+            let geom = ConvGeom::square(nm.m() * 8, 64, 8, 3, 1, 1).unwrap();
+            let dec =
+                im2col_strategy_cycles(&geom, nm, Im2colStrategy::DecimateIm2col, &cluster).unwrap();
+            let spi =
+                im2col_strategy_cycles(&geom, nm, Im2colStrategy::SparseIm2col, &cluster).unwrap();
+            let dma = im2col_strategy_cycles(&geom, nm, Im2colStrategy::DmaCopy, &cluster).unwrap();
+            assert!(dec < spi, "{nm}: decimate {dec} vs sparse-im2col {spi}");
+            assert!(dec < dma, "{nm}: decimate {dec} vs dma-copy {dma}");
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> = Im2colStrategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"decimate-im2col"));
+    }
+}

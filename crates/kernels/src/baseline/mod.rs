@@ -1,0 +1,19 @@
+//! Executable baselines from the related work (paper Sec. 3 / Table 3):
+//!
+//! * [`blockwise`] — Scalpel-style SIMD-width block pruning
+//!   (Yu et al. 2017): weights pruned in 1×4 groups so the SIMD dot
+//!   product stays usable; kept groups are dense.
+//! * [`csr`] — unstructured sparsity over the CSR format: maximum
+//!   pruning flexibility, but every non-zero pays an explicit 16-bit
+//!   column-index load and a scalar MAC.
+//! * [`dcsr`] — delta-compressed CSR (Trommer et al. 2021): nibble
+//!   deltas shrink the index stream below CSR's at the price of a
+//!   decode step per non-zero.
+//!
+//! All are fully-connected kernels; they exist to let the Table 3 and
+//! ablation benches compare *formats* at matched sparsity on the same
+//! simulated hardware.
+
+pub mod blockwise;
+pub mod csr;
+pub mod dcsr;

@@ -1,0 +1,89 @@
+//! Convolution kernels (paper Sec. 4.1).
+//!
+//! All kernels share the output-stationary dataflow of Fig. 2/3: the
+//! outer loops run over output spatial positions (parallelized across the
+//! cluster cores), two positions are processed per iteration through the
+//! partial im2col, and the inner loops produce all `K` output channels
+//! for those positions.
+//!
+//! * [`dense::conv_dense_1x2`] — the 1×2-unrolled dense baseline
+//!   (1 output channel × 2 patches; peak 1.6 MACs/instr/core).
+//! * [`dense::conv_dense_4x2`] — the PULP-NN 4×2 baseline (4 channels ×
+//!   2 patches; peak 2.28), falling back to 1×2 for leftover channels.
+//! * [`sparse_sw::conv_sparse_sw`] — software-only N:M kernels
+//!   (decimate-im2col; 22 or 23 inner instructions).
+//! * [`sparse_isa::conv_sparse_isa`] — `xDecimate`-extended kernels
+//!   (12 inner instructions).
+//! * [`per_channel::conv_channel_mixed`] — per-channel variable patterns
+//!   (the paper's future-work extension), dispatching each output channel
+//!   to the matching inner loop.
+
+pub mod dense;
+pub mod per_channel;
+pub mod sparse_isa;
+pub mod sparse_sw;
+
+use crate::im2col::im2col_patches;
+use crate::layout::ConvBufs;
+use crate::stats::{Ctx, KernelStats};
+use nm_core::quant::Requant;
+use nm_core::ConvGeom;
+use nm_isa::Core;
+use nm_platform::{chunk_range, Cluster, ClusterStats};
+
+/// One convolution invocation: geometry, requantization and L1 buffers.
+///
+/// In analytic mode ([`Ctx::Analytic`]) the buffer addresses are unused
+/// and may be left default.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvJob {
+    /// Layer (or tile) geometry.
+    pub geom: ConvGeom,
+    /// Output requantization.
+    pub requant: Requant,
+    /// L1 buffer addresses.
+    pub bufs: ConvBufs,
+}
+
+/// Instructions charged per produced output during requantization:
+/// bias add, arithmetic shift, XpulpV2 `p.clip`, plus the byte store.
+pub(crate) const EPILOGUE_ALU: u64 = 3;
+
+/// The shared spatial driver: splits output positions across cores,
+/// performs the im2col for each pair and invokes the kernel-specific
+/// channel loop.
+pub(crate) fn drive<F>(
+    name: String,
+    ctx: &mut Ctx<'_>,
+    job: &ConvJob,
+    cluster: &Cluster,
+    mut channel_loop: F,
+) -> KernelStats
+where
+    F: FnMut(&mut Core, &mut Ctx<'_>, usize, usize, u32),
+{
+    let geom = &job.geom;
+    let n_pos = geom.oy() * geom.ox();
+    let mut per_core = Vec::with_capacity(cluster.n_cores());
+    for core_id in 0..cluster.n_cores() {
+        let mut core = Core::new(cluster.costs());
+        core.kernel_overhead();
+        let range = chunk_range(n_pos, cluster.n_cores(), core_id);
+        let buf = job.bufs.im2col + (core_id * geom.im2col_bytes_per_core()) as u32;
+        let mut pos = range.start;
+        while pos < range.end {
+            let n_patches = (range.end - pos).min(2);
+            core.outer_loop_iter();
+            core.alu_n(4); // patch pointers + position bookkeeping
+            im2col_patches(&mut core, ctx, geom, job.bufs.input, buf, pos, n_patches);
+            channel_loop(&mut core, ctx, pos, n_patches, buf);
+            pos += n_patches;
+        }
+        per_core.push(core.stats());
+    }
+    KernelStats {
+        name,
+        cluster: ClusterStats::from_cores(per_core, cluster.costs().barrier_cycles),
+        dense_macs: geom.macs() as u64,
+    }
+}

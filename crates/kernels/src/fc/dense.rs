@@ -1,0 +1,149 @@
+//! Dense fully-connected baseline (paper Sec. 4.2.1, Fig. 5 left):
+//! unrolled by 2 over the K dimension. Inner iteration: 2 weight word
+//! loads + 1 activation word load + 2 SIMD dot products = 5 instructions
+//! for 8 MACs (peak 1.6 MACs/instruction/core).
+
+use super::{run_fc, FcJob, EPILOGUE_ALU};
+use crate::stats::{Ctx, KernelStats};
+use nm_core::Result;
+use nm_isa::{Core, InstrClass};
+use nm_platform::{chunk_range, Cluster};
+
+/// Runs the dense 1×2 FC kernel (multicore over K).
+///
+/// # Errors
+/// Currently infallible; returns `Result` for signature uniformity with
+/// the sparse kernels.
+pub fn fc_dense(ctx: &mut Ctx<'_>, job: &FcJob, cluster: &Cluster) -> Result<KernelStats> {
+    let geom = job.geom;
+    Ok(run_fc("fc-dense-1x2".into(), &geom, cluster, |core_id, core| {
+        let range = chunk_range(geom.k, cluster.n_cores(), core_id);
+        let mut k = range.start;
+        while k < range.end {
+            let nk = (range.end - k).min(2);
+            core.outer_loop_iter();
+            core.alu_n(2);
+            core.hwloop_setup();
+            let wrow = job.bufs.weights + (k * geom.c) as u32;
+            channels(core, ctx, job, k, wrow, nk);
+            k += nk;
+        }
+    }))
+}
+
+/// `nk` (1 or 2) output channels of the dense kernel. `wrow` addresses
+/// channel `k`'s weight row; channel `k+1`'s row must follow contiguously
+/// when `nk == 2` (true for dense staging and for adjacent dense rows of
+/// the per-channel format).
+pub(crate) fn channels(
+    core: &mut Core,
+    ctx: &mut Ctx<'_>,
+    job: &FcJob,
+    k: usize,
+    wrow: u32,
+    nk: usize,
+) {
+    let c = job.geom.c;
+    let (chunks, tail) = (c / 4, c % 4);
+    let nku = nk as u64;
+    if let Some(mem) = ctx.mem() {
+        let mut acc = [0i32; 2];
+        for j in 0..chunks {
+            let mut w = [0u32; 2];
+            for (q, wq) in w.iter_mut().enumerate().take(nk) {
+                *wq = core.lw(mem, wrow + (q * c + 4 * j) as u32);
+            }
+            let a = core.lw(mem, job.bufs.input + (4 * j) as u32);
+            for q in 0..nk {
+                acc[q] = core.sdotp(w[q], a, acc[q]);
+            }
+        }
+        for t in 0..tail {
+            let idx = (chunks * 4 + t) as u32;
+            let a = core.lb(mem, job.bufs.input + idx);
+            for (q, accq) in acc.iter_mut().enumerate().take(nk) {
+                let wv = core.lb(mem, wrow + (q * c) as u32 + idx);
+                *accq = core.mac(i32::from(wv), i32::from(a), *accq);
+            }
+        }
+        for (q, &a) in acc.iter().enumerate().take(nk) {
+            core.alu_n(EPILOGUE_ALU);
+            let out = job.requant.apply(a);
+            core.sb(mem, job.bufs.output + (k + q) as u32, out);
+        }
+    } else {
+        core.charge(InstrClass::Load, chunks as u64 * (nku + 1));
+        core.charge(InstrClass::SimdDotp, chunks as u64 * nku);
+        core.charge(InstrClass::Load, tail as u64 * (nku + 1));
+        core.charge(InstrClass::Mac, tail as u64 * nku);
+        core.add_macs((chunks * 4 + tail) as u64 * nku);
+        core.charge(InstrClass::Alu, EPILOGUE_ALU * nku);
+        core.charge(InstrClass::Store, nku);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::stage_fc_dense;
+    use crate::reference::fc_ref;
+    use nm_core::quant::Requant;
+    use nm_core::FcGeom;
+    use nm_isa::{CostModel, Memory};
+    use nm_platform::Scratchpad;
+
+    fn random_data(n: usize, seed: u64) -> Vec<i8> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 255) as i8
+            })
+            .collect()
+    }
+
+    fn check(geom: FcGeom) {
+        let input = random_data(geom.c, 3);
+        let weights = random_data(geom.weight_elems(), 17);
+        let rq = Requant::for_dot_len(geom.c);
+        let cluster = Cluster::new(4, CostModel::default());
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let bufs = stage_fc_dense(&mut l1, &geom, &input, &weights).unwrap();
+        let job = FcJob { geom, requant: rq, bufs };
+        let stats = {
+            let mut ctx = Ctx::Mem(&mut l1);
+            fc_dense(&mut ctx, &job, &cluster).unwrap()
+        };
+        let got: Vec<i8> = (0..geom.k as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+        assert_eq!(got, fc_ref(&geom, &input, &weights, rq), "{geom:?}");
+
+        let analytic = fc_dense(&mut Ctx::Analytic, &job, &cluster).unwrap();
+        assert_eq!(stats.cycles(), analytic.cycles());
+        assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+        assert_eq!(stats.cluster.total_macs(), analytic.cluster.total_macs());
+    }
+
+    #[test]
+    fn matches_reference() {
+        check(FcGeom::new(64, 16).unwrap());
+        check(FcGeom::new(30, 7).unwrap()); // C tail + odd K
+        check(FcGeom::new(8, 3).unwrap()); // K < cores
+        check(FcGeom::new(5, 1).unwrap());
+    }
+
+    #[test]
+    fn inner_chunk_budget_is_5() {
+        // Two geometries differing by one chunk per channel pair.
+        let cluster = Cluster::new(1, CostModel::default());
+        let job = |c| FcJob {
+            geom: FcGeom::new(c, 2).unwrap(),
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
+        let i1 = fc_dense(&mut Ctx::Analytic, &job(4), &cluster).unwrap().cluster.total_instret();
+        let i2 = fc_dense(&mut Ctx::Analytic, &job(8), &cluster).unwrap().cluster.total_instret();
+        assert_eq!(i2 - i1, 5);
+    }
+}

@@ -1,0 +1,229 @@
+//! The partial im2col step shared by all convolution kernels (Fig. 2/3).
+//!
+//! Two spatially contiguous input patches are copied into 1-D buffers so
+//! the inner matrix-multiplication loop can stream activations with word
+//! loads. The step is *identical* for dense and sparse kernels — the
+//! sparse kernels decimate from the im2col buffer afterwards (the paper's
+//! "Decimate Im2col" strategy, Sec. 4.1.2) — which is why measured sparse
+//! speedups fall below the inner-loop ratios (Sec. 5.2).
+//!
+//! Cost accounting: word copies charge one load + one store per 4 bytes,
+//! tail bytes one byte-load + byte-store each; rows that fall in the zero
+//! padding charge only stores. The same charging code runs in emulation
+//! and in analytic mode, so both modes agree by construction.
+
+use crate::stats::Ctx;
+use nm_core::ConvGeom;
+use nm_isa::{Core, InstrClass, Memory};
+
+/// Charges (and, when emulating, performs) a copy of `len` bytes from
+/// `src` to `dst` using word accesses plus a byte tail.
+fn copy_bytes(core: &mut Core, ctx: &mut Ctx<'_>, src: u32, dst: u32, len: usize) {
+    let words = len / 4;
+    let tail = len % 4;
+    core.charge(InstrClass::Load, (words + tail) as u64);
+    core.charge(InstrClass::Store, (words + tail) as u64);
+    if let Some(mem) = ctx.mem() {
+        let bytes = mem.read_bytes(src, len);
+        mem.write_bytes(dst, &bytes);
+    }
+}
+
+/// Charges (and performs) a zero fill of `len` bytes at `dst`.
+fn zero_bytes(core: &mut Core, ctx: &mut Ctx<'_>, dst: u32, len: usize) {
+    let words = len / 4;
+    let tail = len % 4;
+    core.charge(InstrClass::Store, (words + tail) as u64);
+    if let Some(mem) = ctx.mem() {
+        for i in 0..len {
+            mem.store_u8(dst + i as u32, 0);
+        }
+    }
+}
+
+/// Fills one im2col buffer at `buf` with the patch for output position
+/// `(oy, ox)`, charging the copy cost on `core`.
+///
+/// The buffer layout is `(ky, kx, c)` row-major — the same flattening as
+/// one weight filter row, so dense word loads and N:M block offsets index
+/// it directly.
+pub fn im2col_patch(
+    core: &mut Core,
+    ctx: &mut Ctx<'_>,
+    geom: &ConvGeom,
+    input: u32,
+    buf: u32,
+    oy: usize,
+    ox: usize,
+) {
+    let c = geom.c;
+    let row_bytes = geom.fx * c;
+    for ky in 0..geom.fy {
+        // Source row in the input tensor; negative or past-end rows are
+        // zero padding.
+        let y = (oy * geom.stride + ky) as isize - geom.pad as isize;
+        let dst_row = buf + (ky * row_bytes) as u32;
+        core.outer_loop_iter();
+        core.alu_n(2); // row address computation
+        if y < 0 || y >= geom.iy as isize {
+            zero_bytes(core, ctx, dst_row, row_bytes);
+            continue;
+        }
+        let x0 = (ox * geom.stride) as isize - geom.pad as isize;
+        // Split the row into left padding, an in-bounds span, and right
+        // padding; the in-bounds span is one contiguous HWC copy.
+        let left_pad = (-x0).clamp(0, geom.fx as isize) as usize;
+        let right_start = (geom.ix as isize - x0).clamp(0, geom.fx as isize) as usize;
+        let span = right_start.saturating_sub(left_pad);
+        if left_pad > 0 {
+            zero_bytes(core, ctx, dst_row, left_pad * c);
+        }
+        if span > 0 {
+            let src =
+                input + ((y as usize * geom.ix + (x0 + left_pad as isize) as usize) * c) as u32;
+            copy_bytes(core, ctx, src, dst_row + (left_pad * c) as u32, span * c);
+        }
+        if right_start < geom.fx {
+            zero_bytes(
+                core,
+                ctx,
+                dst_row + (right_start * c) as u32,
+                (geom.fx - right_start) * c,
+            );
+        }
+    }
+}
+
+/// Fills `n_patches` (1 or 2) im2col buffers for the flattened output
+/// positions `pos` and `pos + 1`. Buffer `p` lives at
+/// `buf + p * patch_len`.
+///
+/// # Panics
+/// Panics if `n_patches` is not 1 or 2 or positions run past the output.
+pub fn im2col_patches(
+    core: &mut Core,
+    ctx: &mut Ctx<'_>,
+    geom: &ConvGeom,
+    input: u32,
+    buf: u32,
+    pos: usize,
+    n_patches: usize,
+) {
+    assert!(n_patches == 1 || n_patches == 2, "kernels unroll over at most two patches");
+    let ox_total = geom.ox();
+    for p in 0..n_patches {
+        let flat = pos + p;
+        assert!(flat < ox_total * geom.oy(), "output position out of range");
+        let (oy, ox) = (flat / ox_total, flat % ox_total);
+        im2col_patch(core, ctx, geom, input, buf + (p * geom.patch_len()) as u32, oy, ox);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_isa::CostModel;
+    use nm_platform::Scratchpad;
+
+    fn geom() -> ConvGeom {
+        ConvGeom::square(4, 1, 4, 3, 1, 1).unwrap()
+    }
+
+    fn staged(geom: &ConvGeom) -> (Scratchpad, u32, u32) {
+        let mut l1 = Scratchpad::new("l1", 16 * 1024);
+        let input_addr = l1.alloc(geom.input_elems(), 4).unwrap();
+        let buf = l1.alloc(2 * geom.patch_len(), 4).unwrap();
+        for i in 0..geom.input_elems() {
+            l1.store_i8(input_addr + i as u32, (i as i32 % 100) as i8 - 50);
+        }
+        (l1, input_addr, buf)
+    }
+
+    /// Reference im2col using padded tensor access.
+    fn reference_patch(geom: &ConvGeom, input: &[i8], oy: usize, ox: usize) -> Vec<i8> {
+        let mut out = Vec::with_capacity(geom.patch_len());
+        for ky in 0..geom.fy {
+            for kx in 0..geom.fx {
+                let y = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                let x = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                for ch in 0..geom.c {
+                    let v = if y < 0 || y >= geom.iy as isize || x < 0 || x >= geom.ix as isize {
+                        0
+                    } else {
+                        input[(y as usize * geom.ix + x as usize) * geom.c + ch]
+                    };
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_over_all_positions() {
+        for g in [
+            geom(),
+            ConvGeom::square(3, 1, 5, 3, 1, 1).unwrap(), // C not multiple of 4
+            ConvGeom::square(8, 1, 6, 3, 2, 1).unwrap(), // strided
+            ConvGeom::square(4, 1, 8, 1, 1, 0).unwrap(), // pointwise
+            ConvGeom::new(2, 1, 7, 5, 3, 2, 1, 2).unwrap(), // asymmetric filter, big pad
+        ] {
+            let (mut l1, input_addr, buf) = staged(&g);
+            let input: Vec<i8> = (0..g.input_elems() as u32).map(|i| l1.load_i8(input_addr + i)).collect();
+            for pos in 0..g.oy() * g.ox() {
+                let (oy, ox) = (pos / g.ox(), pos % g.ox());
+                let mut core = Core::new(CostModel::default());
+                let mut ctx = Ctx::Mem(&mut l1);
+                im2col_patch(&mut core, &mut ctx, &g, input_addr, buf, oy, ox);
+                let got: Vec<i8> =
+                    (0..g.patch_len() as u32).map(|i| l1.load_i8(buf + i)).collect();
+                assert_eq!(got, reference_patch(&g, &input, oy, ox), "geom {g:?} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_cost_equals_emulated_cost() {
+        for g in [
+            geom(),
+            ConvGeom::square(3, 1, 5, 3, 1, 1).unwrap(),
+            ConvGeom::square(8, 1, 6, 3, 2, 1).unwrap(),
+            ConvGeom::new(2, 1, 7, 5, 3, 2, 1, 2).unwrap(),
+        ] {
+            let (mut l1, input_addr, buf) = staged(&g);
+            for pos in 0..(g.oy() * g.ox()).saturating_sub(1) {
+                let mut em = Core::new(CostModel::default());
+                let mut ctx = Ctx::Mem(&mut l1);
+                im2col_patches(&mut em, &mut ctx, &g, input_addr, buf, pos, 2);
+                let mut an = Core::new(CostModel::default());
+                let mut ctx = Ctx::Analytic;
+                im2col_patches(&mut an, &mut ctx, &g, input_addr, buf, pos, 2);
+                assert_eq!(em.cycles(), an.cycles(), "geom {g:?} pos {pos}");
+                assert_eq!(em.instret(), an.instret());
+            }
+        }
+    }
+
+    #[test]
+    fn padded_positions_cost_no_loads() {
+        // A fully padded patch (pointless in practice, but possible with
+        // large padding) must charge stores only.
+        let g = ConvGeom::new(4, 1, 4, 4, 2, 2, 1, 3).unwrap();
+        let (mut l1, input_addr, buf) = staged(&g);
+        let mut core = Core::new(CostModel::default());
+        let mut ctx = Ctx::Mem(&mut l1);
+        // position (0,0) with pad 3 and filter 2x2: rows -3,-2 -> all pad.
+        im2col_patch(&mut core, &mut ctx, &g, input_addr, buf, 0, 0);
+        assert_eq!(core.count(InstrClass::Load), 0);
+        assert!(core.count(InstrClass::Store) > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_than_two_patches_panics() {
+        let g = geom();
+        let mut core = Core::new(CostModel::default());
+        let mut ctx = Ctx::Analytic;
+        im2col_patches(&mut core, &mut ctx, &g, 0, 0, 0, 3);
+    }
+}

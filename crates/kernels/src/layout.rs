@@ -1,0 +1,399 @@
+//! Staging of layer operands into the simulated L1 scratchpad.
+//!
+//! Kernels operate on 8-bit data already resident in L1 (paper Sec. 4).
+//! These helpers allocate and fill the buffers a kernel expects:
+//!
+//! * convolution: input tensor (HWC), weights (dense rows of
+//!   `FY*FX*C` bytes, or N:M values + packed offsets), output (HWC) and
+//!   the per-core im2col region (`2 * FY*FX*C` bytes per core);
+//! * fully-connected: input vector, weights (dense `K x C` rows or N:M
+//!   values + offsets), output vector.
+
+use nm_core::format::{ChannelNmMatrix, NmMatrix, OffsetLayout};
+use nm_core::sparsity::Nm;
+use nm_core::{ConvGeom, Error, FcGeom, Result};
+use nm_isa::Memory;
+use nm_platform::Scratchpad;
+
+/// L1 addresses of a convolution kernel's operands.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvBufs {
+    /// Input activation tensor, HWC, `IY*IX*C` bytes.
+    pub input: u32,
+    /// Weights: dense rows (`K * FY*FX*C` bytes) or N:M values
+    /// (`K * nz` bytes).
+    pub weights: u32,
+    /// Packed N:M offsets (unused by dense kernels).
+    pub offsets: u32,
+    /// Output activation tensor, HWC, `OY*OX*K` bytes.
+    pub output: u32,
+    /// Per-core im2col region: `n_cores * 2 * FY*FX*C` bytes.
+    pub im2col: u32,
+}
+
+/// L1 addresses of a fully-connected kernel's operands.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FcBufs {
+    /// Input vector, `C` bytes.
+    pub input: u32,
+    /// Weights: dense `K x C` rows or N:M values.
+    pub weights: u32,
+    /// Packed N:M offsets (unused by dense kernels).
+    pub offsets: u32,
+    /// Output vector, `K` bytes.
+    pub output: u32,
+}
+
+/// Packed-offset segment bytes per row (Plain/Duplicated) or row pair
+/// (Interleaved) for `nz` non-zeros per row, word-aligned — must agree
+/// with [`NmMatrix::segment_bytes`].
+pub fn nm_segment_bytes(nm: Nm, nz: usize, layout: OffsetLayout) -> usize {
+    let entries = match layout {
+        OffsetLayout::Plain => nz,
+        OffsetLayout::Duplicated | OffsetLayout::Interleaved => 2 * nz,
+    };
+    (entries * nm.offset_bits()).div_ceil(32) * 4
+}
+
+fn write_i8(l1: &mut Scratchpad, addr: u32, data: &[i8]) {
+    for (i, &v) in data.iter().enumerate() {
+        l1.store_i8(addr + i as u32, v);
+    }
+}
+
+/// Allocates and fills the buffers for a dense convolution.
+///
+/// # Errors
+/// [`Error::ShapeMismatch`] if operand lengths disagree with `geom`;
+/// [`Error::OutOfMemory`] if L1 cannot hold them.
+pub fn stage_conv_dense(
+    l1: &mut Scratchpad,
+    geom: &ConvGeom,
+    input: &[i8],
+    weights: &[i8],
+    n_cores: usize,
+) -> Result<ConvBufs> {
+    if input.len() != geom.input_elems() {
+        return Err(Error::ShapeMismatch(format!(
+            "input has {} elements, geometry wants {}",
+            input.len(),
+            geom.input_elems()
+        )));
+    }
+    if weights.len() != geom.weight_elems() {
+        return Err(Error::ShapeMismatch(format!(
+            "weights have {} elements, geometry wants {}",
+            weights.len(),
+            geom.weight_elems()
+        )));
+    }
+    let bufs = ConvBufs {
+        input: l1.alloc(input.len(), 4)?,
+        weights: l1.alloc(weights.len(), 4)?,
+        offsets: 0,
+        output: l1.alloc(geom.output_elems(), 4)?,
+        im2col: l1.alloc(n_cores * geom.im2col_bytes_per_core(), 4)?,
+    };
+    write_i8(l1, bufs.input, input);
+    write_i8(l1, bufs.weights, weights);
+    Ok(bufs)
+}
+
+/// Allocates and fills the buffers for an N:M sparse convolution.
+///
+/// The [`NmMatrix`] must have `K` rows and `FY*FX*C` columns; its layout
+/// selects which kernel family can consume it
+/// ([`OffsetLayout::Plain`] → software, [`OffsetLayout::Duplicated`] →
+/// ISA-extended).
+///
+/// # Errors
+/// [`Error::ShapeMismatch`] on dimension disagreements;
+/// [`Error::OutOfMemory`] if L1 cannot hold the buffers.
+pub fn stage_conv_sparse(
+    l1: &mut Scratchpad,
+    geom: &ConvGeom,
+    input: &[i8],
+    weights: &NmMatrix,
+    n_cores: usize,
+) -> Result<ConvBufs> {
+    if input.len() != geom.input_elems() {
+        return Err(Error::ShapeMismatch(format!(
+            "input has {} elements, geometry wants {}",
+            input.len(),
+            geom.input_elems()
+        )));
+    }
+    if weights.rows() != geom.k || weights.cols() != geom.patch_len() {
+        return Err(Error::ShapeMismatch(format!(
+            "sparse weights are {}x{}, geometry wants {}x{}",
+            weights.rows(),
+            weights.cols(),
+            geom.k,
+            geom.patch_len()
+        )));
+    }
+    let bufs = ConvBufs {
+        input: l1.alloc(input.len(), 4)?,
+        weights: l1.alloc(weights.values().len(), 4)?,
+        offsets: l1.alloc(weights.offsets_bytes().len(), 4)?,
+        output: l1.alloc(geom.output_elems(), 4)?,
+        im2col: l1.alloc(n_cores * geom.im2col_bytes_per_core(), 4)?,
+    };
+    write_i8(l1, bufs.input, input);
+    write_i8(l1, bufs.weights, weights.values());
+    l1.write_bytes(bufs.offsets, weights.offsets_bytes());
+    Ok(bufs)
+}
+
+/// Allocates and fills the buffers for a per-channel mixed-sparsity
+/// convolution, returning the shared buffers plus the per-channel weight
+/// payload and offset segment addresses that
+/// [`crate::conv::per_channel::conv_channel_mixed`] needs (rows are
+/// heterogeneous, so fixed strides cannot address them).
+///
+/// The matrix layout selects the engine:
+/// [`OffsetLayout::Plain`] → [`crate::conv::per_channel::ChannelEngine::Software`],
+/// [`OffsetLayout::Duplicated`] → [`crate::conv::per_channel::ChannelEngine::Isa`].
+///
+/// # Errors
+/// [`Error::ShapeMismatch`] on dimension disagreements;
+/// [`Error::OutOfMemory`] if L1 cannot hold the buffers.
+pub fn stage_conv_channelwise(
+    l1: &mut Scratchpad,
+    geom: &ConvGeom,
+    input: &[i8],
+    weights: &ChannelNmMatrix,
+    n_cores: usize,
+) -> Result<(ConvBufs, Vec<u32>, Vec<u32>)> {
+    if input.len() != geom.input_elems() {
+        return Err(Error::ShapeMismatch(format!(
+            "input has {} elements, geometry wants {}",
+            input.len(),
+            geom.input_elems()
+        )));
+    }
+    if weights.rows() != geom.k || weights.cols() != geom.patch_len() {
+        return Err(Error::ShapeMismatch(format!(
+            "per-channel weights are {}x{}, geometry wants {}x{}",
+            weights.rows(),
+            weights.cols(),
+            geom.k,
+            geom.patch_len()
+        )));
+    }
+    let bufs = ConvBufs {
+        input: l1.alloc(input.len(), 4)?,
+        weights: l1.alloc(weights.values().len(), 4)?,
+        offsets: l1.alloc(weights.offsets_bytes().len().max(4), 4)?,
+        output: l1.alloc(geom.output_elems(), 4)?,
+        im2col: l1.alloc(n_cores * geom.im2col_bytes_per_core(), 4)?,
+    };
+    write_i8(l1, bufs.input, input);
+    write_i8(l1, bufs.weights, weights.values());
+    l1.write_bytes(bufs.offsets, weights.offsets_bytes());
+    let row_values =
+        (0..geom.k).map(|k| bufs.weights + weights.value_start(k) as u32).collect();
+    let row_offsets =
+        (0..geom.k).map(|k| bufs.offsets + weights.offset_start(k) as u32).collect();
+    Ok((bufs, row_values, row_offsets))
+}
+
+/// Allocates and fills the buffers for a dense fully-connected layer.
+///
+/// # Errors
+/// [`Error::ShapeMismatch`] / [`Error::OutOfMemory`] as for the conv
+/// variants.
+pub fn stage_fc_dense(
+    l1: &mut Scratchpad,
+    geom: &FcGeom,
+    input: &[i8],
+    weights: &[i8],
+) -> Result<FcBufs> {
+    if input.len() != geom.c {
+        return Err(Error::ShapeMismatch(format!(
+            "input has {} elements, geometry wants {}",
+            input.len(),
+            geom.c
+        )));
+    }
+    if weights.len() != geom.weight_elems() {
+        return Err(Error::ShapeMismatch(format!(
+            "weights have {} elements, geometry wants {}",
+            weights.len(),
+            geom.weight_elems()
+        )));
+    }
+    let bufs = FcBufs {
+        input: l1.alloc(input.len(), 4)?,
+        weights: l1.alloc(weights.len(), 4)?,
+        offsets: 0,
+        output: l1.alloc(geom.k, 4)?,
+    };
+    write_i8(l1, bufs.input, input);
+    write_i8(l1, bufs.weights, weights);
+    Ok(bufs)
+}
+
+/// Allocates and fills the buffers for a per-channel mixed-sparsity
+/// fully-connected layer, returning the shared buffers plus per-channel
+/// payload/offset addresses for
+/// [`crate::fc::per_channel::fc_channel_mixed`]. The matrix must use
+/// [`OffsetLayout::Plain`] (the software engine).
+///
+/// # Errors
+/// [`Error::ShapeMismatch`] on dimension disagreements;
+/// [`Error::OutOfMemory`] if L1 cannot hold the buffers.
+pub fn stage_fc_channelwise(
+    l1: &mut Scratchpad,
+    geom: &FcGeom,
+    input: &[i8],
+    weights: &ChannelNmMatrix,
+) -> Result<(FcBufs, Vec<u32>, Vec<u32>)> {
+    if input.len() != geom.c {
+        return Err(Error::ShapeMismatch(format!(
+            "input has {} elements, geometry wants {}",
+            input.len(),
+            geom.c
+        )));
+    }
+    if weights.rows() != geom.k || weights.cols() != geom.c {
+        return Err(Error::ShapeMismatch(format!(
+            "per-channel weights are {}x{}, geometry wants {}x{}",
+            weights.rows(),
+            weights.cols(),
+            geom.k,
+            geom.c
+        )));
+    }
+    let bufs = FcBufs {
+        input: l1.alloc(input.len(), 4)?,
+        weights: l1.alloc(weights.values().len(), 4)?,
+        offsets: l1.alloc(weights.offsets_bytes().len().max(4), 4)?,
+        output: l1.alloc(geom.k, 4)?,
+    };
+    write_i8(l1, bufs.input, input);
+    write_i8(l1, bufs.weights, weights.values());
+    l1.write_bytes(bufs.offsets, weights.offsets_bytes());
+    let row_values =
+        (0..geom.k).map(|k| bufs.weights + weights.value_start(k) as u32).collect();
+    let row_offsets =
+        (0..geom.k).map(|k| bufs.offsets + weights.offset_start(k) as u32).collect();
+    Ok((bufs, row_values, row_offsets))
+}
+
+/// Allocates and fills the buffers for an N:M sparse fully-connected
+/// layer. The matrix layout selects the kernel family
+/// ([`OffsetLayout::Plain`] → software, [`OffsetLayout::Interleaved`] →
+/// ISA-extended).
+///
+/// # Errors
+/// [`Error::ShapeMismatch`] / [`Error::OutOfMemory`] as above.
+pub fn stage_fc_sparse(
+    l1: &mut Scratchpad,
+    geom: &FcGeom,
+    input: &[i8],
+    weights: &NmMatrix,
+) -> Result<FcBufs> {
+    if input.len() != geom.c {
+        return Err(Error::ShapeMismatch(format!(
+            "input has {} elements, geometry wants {}",
+            input.len(),
+            geom.c
+        )));
+    }
+    if weights.rows() != geom.k || weights.cols() != geom.c {
+        return Err(Error::ShapeMismatch(format!(
+            "sparse weights are {}x{}, geometry wants {}x{}",
+            weights.rows(),
+            weights.cols(),
+            geom.k,
+            geom.c
+        )));
+    }
+    let bufs = FcBufs {
+        input: l1.alloc(input.len(), 4)?,
+        weights: l1.alloc(weights.values().len(), 4)?,
+        offsets: l1.alloc(weights.offsets_bytes().len(), 4)?,
+        output: l1.alloc(geom.k, 4)?,
+    };
+    write_i8(l1, bufs.input, input);
+    write_i8(l1, bufs.weights, weights.values());
+    l1.write_bytes(bufs.offsets, weights.offsets_bytes());
+    Ok(bufs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_bytes_agrees_with_nm_matrix() {
+        for nm in Nm::KERNEL_PATTERNS {
+            for layout in [OffsetLayout::Plain, OffsetLayout::Duplicated, OffsetLayout::Interleaved] {
+                for blocks in [1usize, 3, 4, 7, 16] {
+                    let cols = nm.m() * blocks;
+                    let rows = 4;
+                    let dense = vec![0i8; rows * cols];
+                    let m = NmMatrix::from_dense(&dense, rows, cols, nm, layout).unwrap();
+                    let nz = blocks * nm.n();
+                    assert_eq!(
+                        m.segment_bytes(),
+                        nm_segment_bytes(nm, nz, layout),
+                        "{nm} {layout:?} blocks={blocks}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_conv_dense_places_data() {
+        let mut l1 = Scratchpad::new("l1", 64 * 1024);
+        let geom = ConvGeom::square(4, 2, 4, 3, 1, 1).unwrap();
+        let input: Vec<i8> = (0..geom.input_elems() as i32).map(|i| (i % 100) as i8).collect();
+        let weights: Vec<i8> = (0..geom.weight_elems() as i32).map(|i| (i % 50) as i8).collect();
+        let bufs = stage_conv_dense(&mut l1, &geom, &input, &weights, 8).unwrap();
+        assert_eq!(l1.load_i8(bufs.input), input[0]);
+        assert_eq!(l1.load_i8(bufs.weights + 5), weights[5]);
+        assert!(l1.used() >= input.len() + weights.len() + geom.output_elems());
+    }
+
+    #[test]
+    fn stage_rejects_wrong_lengths() {
+        let mut l1 = Scratchpad::new("l1", 64 * 1024);
+        let geom = ConvGeom::square(4, 2, 4, 3, 1, 1).unwrap();
+        assert!(stage_conv_dense(&mut l1, &geom, &[0i8; 3], &[0i8; 72], 8).is_err());
+        let fc = FcGeom::new(16, 4).unwrap();
+        assert!(stage_fc_dense(&mut l1, &fc, &[0i8; 16], &[0i8; 63]).is_err());
+    }
+
+    #[test]
+    fn stage_fails_when_l1_full() {
+        let mut l1 = Scratchpad::new("l1", 128);
+        let geom = ConvGeom::square(8, 8, 8, 3, 1, 1).unwrap();
+        let input = vec![0i8; geom.input_elems()];
+        let weights = vec![0i8; geom.weight_elems()];
+        assert!(matches!(
+            stage_conv_dense(&mut l1, &geom, &input, &weights, 8),
+            Err(Error::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn stage_fc_sparse_places_offsets() {
+        let mut l1 = Scratchpad::new("l1", 64 * 1024);
+        let geom = FcGeom::new(32, 4).unwrap();
+        let mut dense = vec![0i8; 4 * 32];
+        for r in 0..4 {
+            dense[r * 32 + r] = (r + 1) as i8;
+        }
+        let w = NmMatrix::from_dense(&dense, 4, 32, Nm::ONE_OF_EIGHT, OffsetLayout::Plain).unwrap();
+        let input = vec![1i8; 32];
+        let bufs = stage_fc_sparse(&mut l1, &geom, &input, &w).unwrap();
+        let seg = w.segment_bytes();
+        assert_eq!(
+            l1.read_bytes(bufs.offsets, seg * 4),
+            w.offsets_bytes().to_vec()
+        );
+    }
+}

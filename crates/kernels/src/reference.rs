@@ -1,0 +1,105 @@
+//! Naive reference implementations used to verify kernel outputs
+//! bit-exactly.
+
+use nm_core::quant::Requant;
+use nm_core::{ConvGeom, FcGeom};
+
+/// Direct convolution over HWC input / `(K, FY*FX*C)` weights, producing
+/// an HWC output requantized per [`Requant`].
+///
+/// This is the golden model: every conv kernel's emulated output must
+/// match it bit-for-bit.
+pub fn conv_ref(geom: &ConvGeom, input: &[i8], weights: &[i8], rq: Requant) -> Vec<i8> {
+    assert_eq!(input.len(), geom.input_elems());
+    assert_eq!(weights.len(), geom.weight_elems());
+    let (oy, ox) = (geom.oy(), geom.ox());
+    let mut out = vec![0i8; geom.output_elems()];
+    for y in 0..oy {
+        for x in 0..ox {
+            for k in 0..geom.k {
+                let mut acc: i32 = 0;
+                for ky in 0..geom.fy {
+                    for kx in 0..geom.fx {
+                        let iy = (y * geom.stride + ky) as isize - geom.pad as isize;
+                        let ix = (x * geom.stride + kx) as isize - geom.pad as isize;
+                        if iy < 0 || iy >= geom.iy as isize || ix < 0 || ix >= geom.ix as isize {
+                            continue;
+                        }
+                        for c in 0..geom.c {
+                            let a = input[(iy as usize * geom.ix + ix as usize) * geom.c + c];
+                            let w = weights
+                                [k * geom.patch_len() + (ky * geom.fx + kx) * geom.c + c];
+                            acc = acc.wrapping_add(i32::from(a) * i32::from(w));
+                        }
+                    }
+                }
+                out[(y * ox + x) * geom.k + k] = rq.apply(acc);
+            }
+        }
+    }
+    out
+}
+
+/// Reference fully-connected layer: `out[k] = rq(sum_c w[k,c] * in[c])`.
+pub fn fc_ref(geom: &FcGeom, input: &[i8], weights: &[i8], rq: Requant) -> Vec<i8> {
+    assert_eq!(input.len(), geom.c);
+    assert_eq!(weights.len(), geom.weight_elems());
+    (0..geom.k)
+        .map(|k| {
+            let mut acc: i32 = 0;
+            for c in 0..geom.c {
+                acc = acc.wrapping_add(i32::from(weights[k * geom.c + c]) * i32::from(input[c]));
+            }
+            rq.apply(acc)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointwise_conv_equals_per_pixel_fc() {
+        let geom = ConvGeom::square(4, 3, 2, 1, 1, 0).unwrap();
+        let input: Vec<i8> = (0..16).map(|i| i as i8 - 8).collect();
+        let weights: Vec<i8> = (0..12).map(|i| (i % 5) as i8 - 2).collect();
+        let rq = Requant::IDENTITY;
+        let conv = conv_ref(&geom, &input, &weights, rq);
+        let fc = FcGeom::new(4, 3).unwrap();
+        for px in 0..4 {
+            let got = fc_ref(&fc, &input[px * 4..(px + 1) * 4], &weights, rq);
+            assert_eq!(&conv[px * 3..(px + 1) * 3], &got[..]);
+        }
+    }
+
+    #[test]
+    fn identity_filter_reproduces_input() {
+        // 1x1 conv with identity weight matrix (scaled by 1) copies channels.
+        let geom = ConvGeom::square(3, 3, 2, 1, 1, 0).unwrap();
+        let input: Vec<i8> = (0..12).map(|i| i as i8).collect();
+        let mut weights = vec![0i8; 9];
+        for i in 0..3 {
+            weights[i * 3 + i] = 1;
+        }
+        let out = conv_ref(&geom, &input, &weights, Requant::IDENTITY);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn padding_contributes_zero() {
+        let geom = ConvGeom::square(1, 1, 2, 3, 1, 1).unwrap();
+        let input = vec![10i8, 20, 30, 40];
+        let weights = vec![1i8; 9];
+        let out = conv_ref(&geom, &input, &weights, Requant::IDENTITY);
+        // All four outputs sum the full 2x2 input (corners see it all).
+        assert_eq!(out, vec![100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn fc_saturates_via_requant() {
+        let geom = FcGeom::new(4, 1).unwrap();
+        let out = fc_ref(&geom, &[127, 127, 127, 127], &[127, 127, 127, 127], Requant::IDENTITY);
+        assert_eq!(out, vec![127]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Kernel execution context and result statistics.
+
+use nm_platform::{ClusterStats, Scratchpad};
+
+/// Execution context: either a real L1 scratchpad (emulation, bit-exact
+/// outputs) or analytic mode (cycle charging only, no memory traffic).
+#[derive(Debug)]
+pub enum Ctx<'a> {
+    /// Emulate against this L1 scratchpad.
+    Mem(&'a mut Scratchpad),
+    /// Charge cycles without touching memory.
+    Analytic,
+}
+
+impl<'a> Ctx<'a> {
+    /// Whether this context carries a memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Ctx::Mem(_))
+    }
+
+    /// The scratchpad, if emulating.
+    pub fn mem(&mut self) -> Option<&mut Scratchpad> {
+        match self {
+            Ctx::Mem(m) => Some(m),
+            Ctx::Analytic => None,
+        }
+    }
+}
+
+/// The result of one kernel invocation on the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Kernel name (e.g. `"conv-sparse-isa-1:8"`).
+    pub name: String,
+    /// Cluster-level statistics (latency = slowest core + barrier).
+    pub cluster: ClusterStats,
+    /// Dense-equivalent MAC count of the layer (sparse kernels execute
+    /// fewer effective MACs; the paper reports dense equivalents).
+    pub dense_macs: u64,
+}
+
+impl KernelStats {
+    /// Cluster latency in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cluster.cycles
+    }
+
+    /// Dense-equivalent MACs per cycle — the paper's Fig. 8 metric.
+    pub fn macs_per_cycle(&self) -> f64 {
+        self.dense_macs as f64 / self.cluster.cycles as f64
+    }
+
+    /// Effective (executed) MACs per cycle.
+    pub fn effective_macs_per_cycle(&self) -> f64 {
+        self.cluster.total_macs() as f64 / self.cluster.cycles as f64
+    }
+
+    /// Speedup of `self` over `other` (cycles ratio).
+    pub fn speedup_over(&self, other: &KernelStats) -> f64 {
+        other.cluster.cycles as f64 / self.cluster.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_isa::CoreStats;
+
+    fn stats(cycles: u64) -> KernelStats {
+        KernelStats {
+            name: "test".into(),
+            cluster: ClusterStats::from_cores(
+                vec![CoreStats { cycles, instret: 10, macs: 100, ..Default::default() }],
+                0,
+            ),
+            dense_macs: 800,
+        }
+    }
+
+    #[test]
+    fn metrics() {
+        let a = stats(100);
+        let b = stats(200);
+        assert_eq!(a.cycles(), 100);
+        assert_eq!(a.macs_per_cycle(), 8.0);
+        assert_eq!(a.effective_macs_per_cycle(), 1.0);
+        assert_eq!(a.speedup_over(&b), 2.0);
+        assert_eq!(b.speedup_over(&a), 0.5);
+    }
+
+    #[test]
+    fn ctx_mem_access() {
+        let mut l1 = Scratchpad::new("l1", 16);
+        let mut ctx = Ctx::Mem(&mut l1);
+        assert!(ctx.is_mem());
+        assert!(ctx.mem().is_some());
+        let mut ctx = Ctx::Analytic;
+        assert!(!ctx.is_mem());
+        assert!(ctx.mem().is_none());
+    }
+}

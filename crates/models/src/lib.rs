@@ -1,0 +1,24 @@
+//! # nm-models
+//!
+//! Builders for the paper's benchmark networks with synthetic int8
+//! weights of the *exact published geometry* (the substitution for
+//! trained checkpoints — see DESIGN.md):
+//!
+//! * [`resnet::resnet18_cifar`] — the CIFAR-style ResNet18 evaluated on
+//!   CIFAR-100 (≈11.2 M parameters, ≈0.55 G dense MACs at 32×32);
+//! * [`vit::vit_small`] — ViT-Small at 224×224, patch 16, d = 384,
+//!   12 blocks, 6 heads (≈21.5 M parameters, ≈4.6 G MACs);
+//! * [`small::lenet300`] and [`small::convnet_cifar`] — the related-work
+//!   models referenced by Table 3 (Yu et al. 2017).
+//!
+//! Every builder takes a seed; weights are reproducible. Pruning is
+//! applied separately via [`nm_nn::prune`], exactly like the deployment
+//! flow.
+
+pub mod resnet;
+pub mod small;
+pub mod vit;
+
+pub use resnet::resnet18_cifar;
+pub use small::{convnet_cifar, ds_cnn_kws, lenet300};
+pub use vit::{vit_small, vit_tiny_for_tests, VitConfig};

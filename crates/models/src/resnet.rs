@@ -1,0 +1,132 @@
+//! CIFAR-style ResNet18 (He et al. 2016): 3×3 stem, four stages of two
+//! basic blocks, strided 1×1 downsample projections, global average pool
+//! and a linear classifier.
+
+use nm_core::quant::Requant;
+use nm_core::{ConvGeom, FcGeom, Result};
+use nm_nn::graph::{Graph, GraphBuilder, NodeId};
+use nm_nn::layer::{ConvLayer, LinearLayer};
+use nm_nn::rng::XorShift;
+
+fn conv(
+    rng: &mut XorShift,
+    c: usize,
+    k: usize,
+    i: usize,
+    f: usize,
+    s: usize,
+    p: usize,
+) -> Result<ConvLayer> {
+    let geom = ConvGeom::square(c, k, i, f, s, p)?;
+    let w = rng.fill_weights(geom.weight_elems(), 32);
+    ConvLayer::new(geom, w, Requant::for_dot_len(geom.patch_len()))
+}
+
+fn basic_block(
+    b: &mut GraphBuilder,
+    rng: &mut XorShift,
+    x: NodeId,
+    c_in: usize,
+    c_out: usize,
+    i: usize,
+    stride: usize,
+) -> Result<NodeId> {
+    let c1 = b.conv(x, conv(rng, c_in, c_out, i, 3, stride, 1)?)?;
+    let r1 = b.relu(c1)?;
+    let c2 = b.conv(r1, conv(rng, c_out, c_out, i / stride, 3, 1, 1)?)?;
+    let shortcut = if stride != 1 || c_in != c_out {
+        // Strided pointwise projection (kept dense by the paper).
+        b.conv(x, conv(rng, c_in, c_out, i, 1, stride, 0)?)?
+    } else {
+        x
+    };
+    let s = b.add(c2, shortcut)?;
+    b.relu(s)
+}
+
+/// Builds the CIFAR ResNet18 with synthetic weights.
+///
+/// # Errors
+/// Propagates geometry/shape errors (none for the standard configuration).
+pub fn resnet18_cifar(num_classes: usize, seed: u64) -> Result<Graph> {
+    let mut rng = XorShift::new(seed);
+    let mut b = GraphBuilder::new(&[32, 32, 3]);
+    let stem = b.conv(b.input(), conv(&mut rng, 3, 64, 32, 3, 1, 1)?)?;
+    let mut x = b.relu(stem)?;
+    let stages: [(usize, usize, usize, usize); 4] =
+        [(64, 64, 32, 1), (64, 128, 32, 2), (128, 256, 16, 2), (256, 512, 8, 2)];
+    for (c_in, c_out, i, stride) in stages {
+        x = basic_block(&mut b, &mut rng, x, c_in, c_out, i, stride)?;
+        x = basic_block(&mut b, &mut rng, x, c_out, c_out, i / stride, 1)?;
+    }
+    let pooled = b.global_avg_pool(x)?;
+    let head = LinearLayer::new(
+        FcGeom::new(512, num_classes)?,
+        rng.fill_weights(512 * num_classes, 32),
+        Requant::for_dot_len(512),
+    )?;
+    let out = b.linear(pooled, head)?;
+    b.finish(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_nn::graph::OpKind;
+    use nm_nn::prune::{prune_graph, resnet_policy, weight_sparsity};
+
+    #[test]
+    fn parameter_count_matches_paper() {
+        // Table 2 reports 11.22 MB for the dense int8 ResNet18.
+        let g = resnet18_cifar(100, 1).unwrap();
+        let params = g.params();
+        assert!(
+            (11_000_000..11_400_000).contains(&params),
+            "params {params}"
+        );
+    }
+
+    #[test]
+    fn mac_count_matches_paper() {
+        // 66.63 Mcycles at 8.33 MAC/cyc => ~555 M dense MACs.
+        let g = resnet18_cifar(100, 1).unwrap();
+        let macs = g.dense_macs();
+        assert!((520_000_000..600_000_000).contains(&macs), "macs {macs}");
+    }
+
+    #[test]
+    fn sparsified_convs_cover_97_percent_of_params() {
+        // Sec. 5.3: "the sparsified convolutions (all but the pointwise)
+        // account for 97% of the total parameters".
+        let g = resnet18_cifar(100, 1).unwrap();
+        let total = g.params();
+        let sparse_eligible: usize = g
+            .nodes()
+            .iter()
+            .filter_map(|n| match &n.op {
+                OpKind::Conv2d(l) if !l.geom.is_pointwise() && l.geom.c % 4 == 0 => {
+                    Some(l.weights.len())
+                }
+                _ => None,
+            })
+            .sum();
+        let share = sparse_eligible as f64 / total as f64;
+        assert!((0.95..0.99).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn output_shape_is_class_count() {
+        let g = resnet18_cifar(100, 1).unwrap();
+        assert_eq!(g.node(g.output()).out_shape, vec![100]);
+    }
+
+    #[test]
+    fn pruning_reaches_target_sparsity() {
+        let mut g = resnet18_cifar(100, 2).unwrap();
+        let nm = nm_core::sparsity::Nm::ONE_OF_EIGHT;
+        prune_graph(&mut g, nm, resnet_policy(nm)).unwrap();
+        let s = weight_sparsity(&g);
+        // ~97% of weights at 87.5% sparsity -> ~0.85 overall.
+        assert!((0.80..0.92).contains(&s), "sparsity {s}");
+    }
+}

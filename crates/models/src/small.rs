@@ -1,0 +1,176 @@
+//! Small related-work models referenced in Table 3: the FC-only
+//! LeNet300 and a CIFAR ConvNet (Yu et al. 2017), plus a DS-CNN-style
+//! keyword-spotting network (Trommer et al. 2021's benchmark family).
+
+use nm_core::quant::Requant;
+use nm_core::{ConvGeom, FcGeom, Result};
+use nm_nn::graph::{Graph, GraphBuilder};
+use nm_nn::layer::{ConvLayer, LinearLayer};
+use nm_nn::rng::XorShift;
+
+/// LeNet300-100: 784 → 300 → 100 → 10, FC layers only (the Scalpel
+/// benchmark where memory-bound loads dominate).
+///
+/// # Errors
+/// None for the standard configuration; `Result` for uniformity.
+pub fn lenet300(seed: u64) -> Result<Graph> {
+    let mut rng = XorShift::new(seed);
+    let mut b = GraphBuilder::new(&[784]);
+    let fc1 = LinearLayer::new(
+        FcGeom::new(784, 300)?,
+        rng.fill_weights(784 * 300, 28),
+        Requant::for_dot_len(784),
+    )?;
+    let fc2 = LinearLayer::new(
+        FcGeom::new(300, 100)?,
+        rng.fill_weights(300 * 100, 28),
+        Requant::for_dot_len(300),
+    )?;
+    let fc3 = LinearLayer::new(
+        FcGeom::new(100, 10)?,
+        rng.fill_weights(1000, 28),
+        Requant::for_dot_len(100),
+    )?;
+    let x = b.linear(b.input(), fc1)?;
+    let x = b.relu(x)?;
+    let x = b.linear(x, fc2)?;
+    let x = b.relu(x)?;
+    let x = b.linear(x, fc3)?;
+    b.finish(x)
+}
+
+/// A CIFAR ConvNet in the spirit of Yu et al.'s Scalpel benchmark:
+/// three conv blocks with pooling plus a small classifier.
+///
+/// # Errors
+/// None for the standard configuration; `Result` for uniformity.
+pub fn convnet_cifar(seed: u64) -> Result<Graph> {
+    let mut rng = XorShift::new(seed);
+    let mut b = GraphBuilder::new(&[32, 32, 3]);
+    let mut make_conv = |c: usize, k: usize, i: usize| -> Result<ConvLayer> {
+        let geom = ConvGeom::square(c, k, i, 3, 1, 1)?;
+        ConvLayer::new(geom, rng.fill_weights(geom.weight_elems(), 28), Requant::for_dot_len(geom.patch_len()))
+    };
+    let c1 = make_conv(3, 32, 32)?;
+    let c2 = make_conv(32, 32, 16)?;
+    let c3 = make_conv(32, 64, 8)?;
+    let mut rng2 = XorShift::new(seed ^ 0xABCD);
+    let x = b.conv(b.input(), c1)?;
+    let x = b.relu(x)?;
+    let x = b.max_pool(x, 2, 2)?;
+    let x = b.conv(x, c2)?;
+    let x = b.relu(x)?;
+    let x = b.max_pool(x, 2, 2)?;
+    let x = b.conv(x, c3)?;
+    let x = b.relu(x)?;
+    let x = b.global_avg_pool(x)?;
+    let head = LinearLayer::new(
+        FcGeom::new(64, 10)?,
+        rng2.fill_weights(640, 28),
+        Requant::for_dot_len(64),
+    )?;
+    let x = b.linear(x, head)?;
+    b.finish(x)
+}
+
+/// A DS-CNN-style keyword-spotting network on a 49×10 MFCC spectrogram
+/// (Google Speech Commands geometry, 12 classes).
+///
+/// Substitution note (see DESIGN.md): the graph IR has no grouped
+/// convolutions, so each depthwise-separable block is folded into one
+/// full 3×3 convolution with the same input/output channel counts. The
+/// folded blocks are *heavier* than true depthwise+pointwise pairs, so
+/// sparse-kernel speedups measured on this model are conservative
+/// (the prunable 3×3 share is larger, but so is the dense baseline).
+///
+/// # Errors
+/// None for the standard configuration; `Result` for uniformity.
+pub fn ds_cnn_kws(seed: u64) -> Result<Graph> {
+    let mut rng = XorShift::new(seed);
+    let mut b = GraphBuilder::new(&[49, 10, 1]);
+    // Stem: 10x4 filter, stride 2, as in DS-CNN-L (padded to keep >= 1
+    // output column).
+    let stem_geom = ConvGeom::new(1, 64, 10, 49, 4, 10, 2, 2)?;
+    let stem = ConvLayer::new(
+        stem_geom,
+        rng.fill_weights(stem_geom.weight_elems(), 28),
+        Requant::for_dot_len(stem_geom.patch_len()),
+    )?;
+    let mut x = b.conv(b.input(), stem)?;
+    x = b.relu(x)?;
+    // Four folded separable blocks at 64 channels.
+    let mut spatial = (stem_geom.oy(), stem_geom.ox());
+    for _ in 0..4 {
+        let geom = ConvGeom::new(64, 64, spatial.1, spatial.0, 3, 3, 1, 1)?;
+        let conv = ConvLayer::new(
+            geom,
+            rng.fill_weights(geom.weight_elems(), 28),
+            Requant::for_dot_len(geom.patch_len()),
+        )?;
+        x = b.conv(x, conv)?;
+        x = b.relu(x)?;
+        spatial = (geom.oy(), geom.ox());
+    }
+    x = b.global_avg_pool(x)?;
+    let head = LinearLayer::new(
+        FcGeom::new(64, 12)?,
+        rng.fill_weights(64 * 12, 28),
+        Requant::for_dot_len(64),
+    )?;
+    x = b.linear(x, head)?;
+    b.finish(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_core::Tensor;
+    use nm_nn::execute;
+    use nm_nn::rng::XorShift;
+
+    #[test]
+    fn lenet300_params() {
+        let g = lenet300(1).unwrap();
+        assert_eq!(g.params(), 784 * 300 + 300 * 100 + 1000);
+        assert_eq!(g.node(g.output()).out_shape, vec![10]);
+    }
+
+    #[test]
+    fn lenet300_executes() {
+        let g = lenet300(1).unwrap();
+        let mut rng = XorShift::new(2);
+        let input = Tensor::from_vec(&[784], rng.fill_weights(784, 50)).unwrap();
+        let out = execute(&g, &input).unwrap();
+        assert_eq!(out.shape(), &[10]);
+    }
+
+    #[test]
+    fn ds_cnn_executes_and_is_prunable() {
+        let g = ds_cnn_kws(1).unwrap();
+        let mut rng = XorShift::new(5);
+        let input = Tensor::from_vec(&[49, 10, 1], rng.fill_weights(490, 50)).unwrap();
+        let out = execute(&g, &input).unwrap();
+        assert_eq!(out.shape(), &[12]);
+        // The folded blocks' patch length (3*3*64 = 576) divides 16, so
+        // every N:M kernel pattern applies to them.
+        use nm_nn::graph::OpKind;
+        let prunable = g
+            .nodes()
+            .iter()
+            .filter(|n| match &n.op {
+                OpKind::Conv2d(l) => l.geom.patch_len() % 16 == 0,
+                _ => false,
+            })
+            .count();
+        assert_eq!(prunable, 4);
+    }
+
+    #[test]
+    fn convnet_executes() {
+        let g = convnet_cifar(1).unwrap();
+        let mut rng = XorShift::new(3);
+        let input = Tensor::from_vec(&[32, 32, 3], rng.fill_weights(32 * 32 * 3, 50)).unwrap();
+        let out = execute(&g, &input).unwrap();
+        assert_eq!(out.shape(), &[10]);
+    }
+}

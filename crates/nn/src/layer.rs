@@ -1,0 +1,225 @@
+//! Parameterized layers: weights + geometry + requantization.
+
+use nm_core::quant::Requant;
+use nm_core::sparsity::{check_pattern, Nm};
+use nm_core::{ConvGeom, Error, FcGeom, Result};
+
+/// A convolution layer with int8 weights in `(K, FY*FX*C)` row-major
+/// order (each row one filter, channel-minor — im2col order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvLayer {
+    /// Geometry.
+    pub geom: ConvGeom,
+    /// Dense (possibly N:M-compliant) weights.
+    pub weights: Vec<i8>,
+    /// Output requantization.
+    pub requant: Requant,
+}
+
+impl ConvLayer {
+    /// Creates a conv layer, validating the weight length.
+    ///
+    /// # Errors
+    /// [`Error::ShapeMismatch`] if `weights.len() != K * FY*FX*C`.
+    pub fn new(geom: ConvGeom, weights: Vec<i8>, requant: Requant) -> Result<Self> {
+        if weights.len() != geom.weight_elems() {
+            return Err(Error::ShapeMismatch(format!(
+                "conv weights {} != {}",
+                weights.len(),
+                geom.weight_elems()
+            )));
+        }
+        Ok(ConvLayer { geom, weights, requant })
+    }
+
+    /// Detects the strongest supported N:M pattern the weights satisfy
+    /// (the MATCH pattern-recognition rule: Sec. 4.4(1)); `None` if dense.
+    pub fn detect_sparsity(&self) -> Option<Nm> {
+        detect(&self.weights, self.geom.k, self.geom.patch_len())
+    }
+}
+
+/// A linear (fully-connected) layer with `(K, C)` row-major weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearLayer {
+    /// Geometry.
+    pub geom: FcGeom,
+    /// Dense (possibly N:M-compliant) weights.
+    pub weights: Vec<i8>,
+    /// Output requantization.
+    pub requant: Requant,
+}
+
+impl LinearLayer {
+    /// Creates a linear layer, validating the weight length.
+    ///
+    /// # Errors
+    /// [`Error::ShapeMismatch`] if `weights.len() != K * C`.
+    pub fn new(geom: FcGeom, weights: Vec<i8>, requant: Requant) -> Result<Self> {
+        if weights.len() != geom.weight_elems() {
+            return Err(Error::ShapeMismatch(format!(
+                "linear weights {} != {}",
+                weights.len(),
+                geom.weight_elems()
+            )));
+        }
+        Ok(LinearLayer { geom, weights, requant })
+    }
+
+    /// Detects the strongest supported N:M pattern; `None` if dense.
+    pub fn detect_sparsity(&self) -> Option<Nm> {
+        detect(&self.weights, self.geom.k, self.geom.c)
+    }
+}
+
+/// Finds the sparsest kernel-supported pattern (1:16 ≻ 1:8 ≻ 1:4) that
+/// the matrix satisfies.
+fn detect(weights: &[i8], rows: usize, cols: usize) -> Option<Nm> {
+    [Nm::ONE_OF_SIXTEEN, Nm::ONE_OF_EIGHT, Nm::ONE_OF_FOUR].into_iter().find(|&nm| cols.is_multiple_of(nm.m()) && check_pattern(weights, rows, cols, nm).is_ok())
+}
+
+/// Multi-head self-attention (paper Sec. 5.1 runs these layers through
+/// Deeploy and leaves them dense; we model them as one composite op).
+///
+/// Holds a fused QKV projection (`D -> 3D`) and the output projection
+/// (`D -> D`). Head dimension is `D / heads`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttentionLayer {
+    /// Embedding dimension D.
+    pub dim: usize,
+    /// Number of heads (must divide D).
+    pub heads: usize,
+    /// Fused QKV projection.
+    pub qkv: LinearLayer,
+    /// Output projection.
+    pub proj: LinearLayer,
+    /// Requantization of the attention-score matmul (Q·Kᵀ).
+    pub score_requant: Requant,
+    /// Requantization of the context matmul (P·V).
+    pub context_requant: Requant,
+}
+
+impl AttentionLayer {
+    /// Creates an attention layer, validating projection shapes.
+    ///
+    /// # Errors
+    /// [`Error::ShapeMismatch`] if `heads` does not divide `dim` or the
+    /// projections are not `D -> 3D` and `D -> D`.
+    pub fn new(
+        dim: usize,
+        heads: usize,
+        qkv: LinearLayer,
+        proj: LinearLayer,
+        score_requant: Requant,
+        context_requant: Requant,
+    ) -> Result<Self> {
+        if heads == 0 || !dim.is_multiple_of(heads) {
+            return Err(Error::ShapeMismatch(format!("heads {heads} must divide dim {dim}")));
+        }
+        if qkv.geom.c != dim || qkv.geom.k != 3 * dim {
+            return Err(Error::ShapeMismatch(format!(
+                "qkv projection is {}x{}, expected {dim}x{}",
+                qkv.geom.c,
+                qkv.geom.k,
+                3 * dim
+            )));
+        }
+        if proj.geom.c != dim || proj.geom.k != dim {
+            return Err(Error::ShapeMismatch(format!(
+                "output projection is {}x{}, expected {dim}x{dim}",
+                proj.geom.c, proj.geom.k
+            )));
+        }
+        Ok(AttentionLayer { dim, heads, qkv, proj, score_requant, context_requant })
+    }
+
+    /// Head dimension `D / heads`.
+    pub fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+
+    /// Dense MACs for a sequence of `t` tokens: QKV + scores + context +
+    /// projection.
+    pub fn macs(&self, t: usize) -> usize {
+        let d = self.dim;
+        t * d * 3 * d          // QKV
+            + self.heads * t * t * self.head_dim()   // Q·Kᵀ
+            + self.heads * t * t * self.head_dim()   // P·V
+            + t * d * d        // proj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_core::sparsity::prune_magnitude;
+
+    #[test]
+    fn conv_layer_validates_weight_count() {
+        let geom = ConvGeom::square(4, 2, 4, 3, 1, 1).unwrap();
+        assert!(ConvLayer::new(geom, vec![0; 10], Requant::IDENTITY).is_err());
+        assert!(ConvLayer::new(geom, vec![0; geom.weight_elems()], Requant::IDENTITY).is_ok());
+    }
+
+    #[test]
+    fn detect_prefers_sparsest_pattern() {
+        let geom = FcGeom::new(32, 2).unwrap();
+        let mut w = vec![0i8; 64];
+        w[0] = 1;
+        w[16] = 2;
+        w[32] = 3;
+        w[48] = 4; // satisfies 1:16 (and so 1:8, 1:4)
+        let layer = LinearLayer::new(geom, w.clone(), Requant::IDENTITY).unwrap();
+        assert_eq!(layer.detect_sparsity(), Some(Nm::ONE_OF_SIXTEEN));
+
+        let mut w8 = vec![0i8; 64];
+        prune_magnitude(&mut w8, 2, 32, Nm::ONE_OF_EIGHT).unwrap();
+        // all-zero satisfies 1:16 too; make it a genuine 1:8.
+        w8[0] = 1;
+        w8[8] = 2;
+        let layer = LinearLayer::new(geom, w8, Requant::IDENTITY).unwrap();
+        assert_eq!(layer.detect_sparsity(), Some(Nm::ONE_OF_EIGHT));
+    }
+
+    #[test]
+    fn dense_weights_detect_none() {
+        let geom = FcGeom::new(16, 2).unwrap();
+        let w: Vec<i8> = (1..=32).map(|i| i as i8).collect();
+        let layer = LinearLayer::new(geom, w, Requant::IDENTITY).unwrap();
+        assert_eq!(layer.detect_sparsity(), None);
+    }
+
+    #[test]
+    fn attention_shape_checks() {
+        let d = 8;
+        let qkv = LinearLayer::new(
+            FcGeom::new(d, 3 * d).unwrap(),
+            vec![0; d * 3 * d],
+            Requant::IDENTITY,
+        )
+        .unwrap();
+        let proj =
+            LinearLayer::new(FcGeom::new(d, d).unwrap(), vec![0; d * d], Requant::IDENTITY).unwrap();
+        let att = AttentionLayer::new(d, 2, qkv.clone(), proj.clone(), Requant::IDENTITY, Requant::IDENTITY)
+            .unwrap();
+        assert_eq!(att.head_dim(), 4);
+        assert!(AttentionLayer::new(d, 3, qkv, proj, Requant::IDENTITY, Requant::IDENTITY).is_err());
+    }
+
+    #[test]
+    fn attention_macs_formula() {
+        let d = 4;
+        let qkv = LinearLayer::new(
+            FcGeom::new(d, 3 * d).unwrap(),
+            vec![0; 3 * d * d],
+            Requant::IDENTITY,
+        )
+        .unwrap();
+        let proj =
+            LinearLayer::new(FcGeom::new(d, d).unwrap(), vec![0; d * d], Requant::IDENTITY).unwrap();
+        let att =
+            AttentionLayer::new(d, 1, qkv, proj, Requant::IDENTITY, Requant::IDENTITY).unwrap();
+        let t = 3;
+        assert_eq!(att.macs(t), t * d * 3 * d + 2 * t * t * d + t * d * d);
+    }
+}

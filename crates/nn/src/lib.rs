@@ -1,0 +1,33 @@
+//! # nm-nn
+//!
+//! A small DNN graph representation with an int8 reference executor and
+//! N:M pruning, substituting for the PyTorch + Brevitas flow the paper
+//! uses to produce its quantized, pruned ResNet18 and ViT models.
+//!
+//! * [`layer`] — parameterized layers (convolution, linear, attention)
+//!   holding int8 weights and PULP-NN style requantization.
+//! * [`graph`] — a builder-constructed DAG of [`graph::OpKind`] nodes
+//!   with shape inference.
+//! * [`exec`] — the reference executor: deterministic int8 inference,
+//!   used to verify that compiled/sparse execution is bit-identical to
+//!   dense execution of the same (masked) weights.
+//! * [`prune`] — magnitude N:M pruning over selected layers (the paper
+//!   prunes 3×3 convolutions in ResNet18 and the feed-forward linear
+//!   layers in the ViT).
+//! * [`rng`] — a deterministic xorshift generator for synthetic weights
+//!   (the substitution for trained checkpoints; see DESIGN.md).
+
+// Indexed loops in this crate deliberately mirror the register-level
+// structure of the kernels / math notation of the paper.
+#![allow(clippy::needless_range_loop)]
+
+pub mod exec;
+pub mod graph;
+pub mod layer;
+pub mod ops;
+pub mod prune;
+pub mod rng;
+
+pub use exec::execute;
+pub use graph::{Graph, GraphBuilder, NodeId, OpKind};
+pub use layer::{AttentionLayer, ConvLayer, LinearLayer};

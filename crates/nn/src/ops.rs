@@ -1,0 +1,272 @@
+//! Int8 implementations of the non-matmul operators.
+//!
+//! These layers are outside the paper's contribution (its kernels cover
+//! convolutions and FC layers); they exist so complete networks execute
+//! deterministically. Numerical conventions follow common int8 inference
+//! practice (Deeploy-style): integer accumulation, shift-based rescaling,
+//! lookup tables for GELU.
+
+use nm_core::quant::{clip_i8, Requant};
+use nm_core::Tensor;
+
+/// Elementwise ReLU.
+pub fn relu(x: &Tensor<i8>) -> Tensor<i8> {
+    let data = x.data().iter().map(|&v| v.max(0)).collect();
+    Tensor::from_vec(x.shape(), data).expect("shape preserved")
+}
+
+/// Elementwise saturating add of two same-shape tensors (residual
+/// connections; both inputs assumed to share a scale).
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn add(a: &Tensor<i8>, b: &Tensor<i8>) -> Tensor<i8> {
+    assert_eq!(a.shape(), b.shape(), "residual add needs matching shapes");
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| clip_i8(i32::from(x) + i32::from(y)))
+        .collect();
+    Tensor::from_vec(a.shape(), data).expect("shape preserved")
+}
+
+/// `k x k` max pooling with stride `s` over an HWC tensor.
+///
+/// # Panics
+/// Panics if the input is not 3-D or smaller than the window.
+pub fn max_pool(x: &Tensor<i8>, k: usize, s: usize) -> Tensor<i8> {
+    pool(x, k, s, |vals| vals.iter().copied().max().unwrap_or(0))
+}
+
+/// `k x k` average pooling with stride `s` (integer mean, round to
+/// nearest).
+///
+/// # Panics
+/// Panics if the input is not 3-D or smaller than the window.
+pub fn avg_pool(x: &Tensor<i8>, k: usize, s: usize) -> Tensor<i8> {
+    let n = (k * k) as i32;
+    pool(x, k, s, move |vals| {
+        let sum: i32 = vals.iter().map(|&v| i32::from(v)).sum();
+        clip_i8((sum + n / 2).div_euclid(n))
+    })
+}
+
+fn pool(x: &Tensor<i8>, k: usize, s: usize, f: impl Fn(&[i8]) -> i8) -> Tensor<i8> {
+    let shape = x.shape();
+    assert_eq!(shape.len(), 3, "pooling expects HWC");
+    let (h, w, c) = (shape[0], shape[1], shape[2]);
+    assert!(h >= k && w >= k, "input smaller than pooling window");
+    let (oh, ow) = ((h - k) / s + 1, (w - k) / s + 1);
+    let mut out = Tensor::<i8>::zeros(&[oh, ow, c]);
+    let mut vals = Vec::with_capacity(k * k);
+    for y in 0..oh {
+        for xo in 0..ow {
+            for ch in 0..c {
+                vals.clear();
+                for ky in 0..k {
+                    for kx in 0..k {
+                        vals.push(*x.at(&[y * s + ky, xo * s + kx, ch]));
+                    }
+                }
+                *out.at_mut(&[y, xo, ch]) = f(&vals);
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling: HWC → C (integer mean).
+///
+/// # Panics
+/// Panics if the input is not 3-D.
+pub fn global_avg_pool(x: &Tensor<i8>) -> Tensor<i8> {
+    let shape = x.shape();
+    assert_eq!(shape.len(), 3, "global pooling expects HWC");
+    let (h, w, c) = (shape[0], shape[1], shape[2]);
+    let n = (h * w) as i32;
+    let mut out = Tensor::<i8>::zeros(&[c]);
+    for ch in 0..c {
+        let mut sum = 0i32;
+        for y in 0..h {
+            for xo in 0..w {
+                sum += i32::from(*x.at(&[y, xo, ch]));
+            }
+        }
+        out.data_mut()[ch] = clip_i8((sum + n / 2).div_euclid(n));
+    }
+    out
+}
+
+/// Row-wise integer LayerNorm over the last axis: subtract the mean,
+/// scale by the quantized reciprocal standard deviation (computed in
+/// f32, applied in fixed point — the hybrid Deeploy uses).
+pub fn layer_norm(x: &Tensor<i8>) -> Tensor<i8> {
+    let shape = x.shape().to_vec();
+    let d = *shape.last().expect("layernorm needs at least 1-D");
+    let rows = x.len() / d;
+    let mut out = vec![0i8; x.len()];
+    for r in 0..rows {
+        let row = &x.data()[r * d..(r + 1) * d];
+        let mean: i32 = {
+            let s: i32 = row.iter().map(|&v| i32::from(v)).sum();
+            (s + (d as i32) / 2).div_euclid(d as i32)
+        };
+        let var: f64 = row
+            .iter()
+            .map(|&v| {
+                let diff = f64::from(i32::from(v) - mean);
+                diff * diff
+            })
+            .sum::<f64>()
+            / d as f64;
+        // Fixed-point reciprocal std scaled to map one sigma to ~32.
+        let inv_std_q = (32.0 / (var.sqrt() + 1e-3)).min(127.0);
+        let mult = (inv_std_q * 256.0) as i32;
+        for (i, &v) in row.iter().enumerate() {
+            out[r * d + i] = clip_i8(((i32::from(v) - mean) * mult) >> 8);
+        }
+    }
+    Tensor::from_vec(&shape, out).expect("shape preserved")
+}
+
+/// Row-wise int8 softmax over the last axis: subtract the max, exponential
+/// via a 256-entry LUT in Q16, normalize so outputs sum to ≈127.
+pub fn softmax(x: &Tensor<i8>) -> Tensor<i8> {
+    let shape = x.shape().to_vec();
+    let d = *shape.last().expect("softmax needs at least 1-D");
+    let rows = x.len() / d;
+    let mut out = vec![0i8; x.len()];
+    // LUT over the shifted value (v - max) in [-255, 0]: exp(v/16) in Q16.
+    for r in 0..rows {
+        let row = &x.data()[r * d..(r + 1) * d];
+        let max = row.iter().copied().max().unwrap_or(0);
+        let exps: Vec<i64> = row.iter().map(|&v| exp_q16(i32::from(v) - i32::from(max))).collect();
+        let sum: i64 = exps.iter().sum::<i64>().max(1);
+        for (i, &e) in exps.iter().enumerate() {
+            out[r * d + i] = clip_i8(((e * 127 + sum / 2) / sum) as i32);
+        }
+    }
+    Tensor::from_vec(&shape, out).expect("shape preserved")
+}
+
+/// `exp(v / 16)` in Q16 for `v <= 0` (clamped below -128).
+fn exp_q16(v: i32) -> i64 {
+    let v = v.max(-128);
+    let x = f64::from(v) / 16.0;
+    (x.exp() * 65536.0) as i64
+}
+
+/// Elementwise int8 GELU with an implicit input scale of 1/16
+/// (a 256-entry LUT on real deployments).
+pub fn gelu(x: &Tensor<i8>) -> Tensor<i8> {
+    let data = x.data().iter().map(|&v| gelu_lut(v)).collect();
+    Tensor::from_vec(x.shape(), data).expect("shape preserved")
+}
+
+fn gelu_lut(v: i8) -> i8 {
+    let x = f64::from(v) / 16.0;
+    let g = 0.5 * x * (1.0 + (x * 0.797_884_560_8 * (1.0 + 0.044_715 * x * x)).tanh());
+    clip_i8((g * 16.0).round() as i32)
+}
+
+/// Int8 matrix multiply `A (m x k) · B (k x n)` with requantization.
+pub fn matmul(a: &[i8], b: &[i8], m: usize, k: usize, n: usize, rq: Requant) -> Vec<i8> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut out = vec![0i8; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc = acc
+                    .wrapping_add(i32::from(a[i * k + p]) * i32::from(b[p * n + j]));
+            }
+            out[i * n + j] = rq.apply(acc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let t = Tensor::from_vec(&[4], vec![-3i8, 0, 5, -128]).unwrap();
+        assert_eq!(relu(&t).data(), &[0, 0, 5, 0]);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let a = Tensor::from_vec(&[2], vec![100i8, -100]).unwrap();
+        let b = Tensor::from_vec(&[2], vec![100i8, -100]).unwrap();
+        assert_eq!(add(&a, &b).data(), &[127, -128]);
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let t = Tensor::from_vec(&[2, 2, 1], vec![1i8, 5, 3, -2]).unwrap();
+        let p = max_pool(&t, 2, 2);
+        assert_eq!(p.shape(), &[1, 1, 1]);
+        assert_eq!(p.data(), &[5]);
+    }
+
+    #[test]
+    fn avg_pool_rounds_to_nearest() {
+        let t = Tensor::from_vec(&[2, 2, 1], vec![1i8, 2, 3, 4]).unwrap();
+        assert_eq!(avg_pool(&t, 2, 2).data(), &[3]); // 10/4 = 2.5 -> 3
+    }
+
+    #[test]
+    fn global_avg_pool_per_channel() {
+        let t = Tensor::from_vec(&[1, 2, 2], vec![10i8, -4, 20, -8]).unwrap();
+        assert_eq!(global_avg_pool(&t).data(), &[15, -6]);
+    }
+
+    #[test]
+    fn layer_norm_centers_rows() {
+        let t = Tensor::from_vec(&[2, 4], vec![10i8, 10, 10, 10, 0, 20, 40, 60]).unwrap();
+        let n = layer_norm(&t);
+        // Constant row -> all zeros; varying row -> centered, monotone.
+        assert_eq!(&n.data()[..4], &[0, 0, 0, 0]);
+        let row = &n.data()[4..];
+        assert!(row[0] < row[1] && row[1] < row[2] && row[2] < row[3]);
+        let sum: i32 = row.iter().map(|&v| i32::from(v)).sum();
+        assert!(sum.abs() <= 4, "row roughly centered, sum={sum}");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_127ish_and_order_preserved() {
+        let t = Tensor::from_vec(&[1, 4], vec![0i8, 16, 32, 48]).unwrap();
+        let s = softmax(&t);
+        let sum: i32 = s.data().iter().map(|&v| i32::from(v)).sum();
+        assert!((120..=134).contains(&sum), "sum {sum}");
+        assert!(s.data()[0] < s.data()[3]);
+    }
+
+    #[test]
+    fn softmax_uniform_is_uniform() {
+        let t = Tensor::from_vec(&[1, 4], vec![5i8; 4]).unwrap();
+        let s = softmax(&t);
+        assert!(s.data().windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn gelu_fixes_zero_and_is_monotone_above() {
+        let t = Tensor::from_vec(&[3], vec![0i8, 16, 32]).unwrap();
+        let g = gelu(&t);
+        assert_eq!(g.data()[0], 0);
+        assert!(g.data()[1] < g.data()[2]);
+        // gelu(1.0) ~ 0.841 -> ~13 at scale 16
+        assert!((12..=14).contains(&g.data()[1]));
+    }
+
+    #[test]
+    fn matmul_small_identity() {
+        let a = vec![1i8, 2, 3, 4]; // 2x2
+        let id = vec![1i8, 0, 0, 1];
+        assert_eq!(matmul(&a, &id, 2, 2, 2, Requant::IDENTITY), a);
+    }
+}

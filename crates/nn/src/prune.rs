@@ -1,0 +1,337 @@
+//! Magnitude N:M pruning over graph layers.
+//!
+//! The paper's deployment policies (Sec. 5.1):
+//!
+//! * **ResNet18** — prune all 3×3 convolutions, keep pointwise (1×1)
+//!   convolutions and the classifier dense;
+//! * **ViT** — prune only the feed-forward linear layers of each
+//!   transformer block (attention projections and the classifier head
+//!   stay dense).
+//!
+//! Training-time schemes (SR-STE) live in `nm-train`; this module applies
+//! post-training magnitude pruning, which preserves the exact layout and
+//! latency behaviour the kernels see.
+
+use crate::graph::{Graph, NodeId, OpKind};
+use nm_core::sparsity::{prune_magnitude, Nm};
+use nm_core::Result;
+
+/// Prunes every layer selected by `select` to the `nm` pattern in place,
+/// returning the pruned node ids.
+///
+/// # Errors
+/// Propagates shape errors when a selected layer's inner dimension is not
+/// a multiple of M — selectors should avoid such layers (see
+/// [`resnet_policy`] / [`vit_ff_policy`]).
+pub fn prune_graph<F>(graph: &mut Graph, nm: Nm, mut select: F) -> Result<Vec<NodeId>>
+where
+    F: FnMut(NodeId, &OpKind) -> bool,
+{
+    let ids: Vec<NodeId> = (0..graph.nodes().len())
+        .filter(|&id| select(id, &graph.node(id).op))
+        .collect();
+    for &id in &ids {
+        let node = graph.node_mut(id);
+        match &mut node.op {
+            OpKind::Conv2d(l) => {
+                let (rows, cols) = (l.geom.k, l.geom.patch_len());
+                prune_magnitude(&mut l.weights, rows, cols, nm)?;
+            }
+            OpKind::Linear(l) => {
+                let (rows, cols) = (l.geom.k, l.geom.c);
+                prune_magnitude(&mut l.weights, rows, cols, nm)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(ids)
+}
+
+/// The paper's ResNet policy: prune non-pointwise convolutions whose
+/// channel count divides the pattern (the 3-channel stem stays dense).
+pub fn resnet_policy(nm: Nm) -> impl FnMut(NodeId, &OpKind) -> bool {
+    move |_, op| match op {
+        OpKind::Conv2d(l) => !l.geom.is_pointwise() && l.geom.patch_len() % nm.m() == 0,
+        _ => false,
+    }
+}
+
+/// The paper's ViT policy: prune feed-forward linear layers (identified
+/// as Linear nodes whose input dimension divides M and whose output
+/// width is even — the classifier head's small K is excluded by the
+/// `k_min` threshold).
+pub fn vit_ff_policy(nm: Nm, k_min: usize) -> impl FnMut(NodeId, &OpKind) -> bool {
+    move |_, op| match op {
+        OpKind::Linear(l) => l.geom.c % nm.m() == 0 && l.geom.k % 2 == 0 && l.geom.k >= k_min,
+        _ => false,
+    }
+}
+
+/// The default per-channel sparsity ladder, dense first.
+pub const CHANNEL_LADDER: [Option<Nm>; 4] =
+    [None, Some(Nm::ONE_OF_FOUR), Some(Nm::ONE_OF_EIGHT), Some(Nm::ONE_OF_SIXTEEN)];
+
+/// Assigns one pattern per row (= output channel) of a dense weight
+/// matrix so the overall kept density drops to `target_density` while
+/// losing as little L1 weight mass as possible — the accuracy proxy for
+/// the paper's per-channel future-work study (training is out of scope;
+/// magnitude mass is the standard saliency stand-in).
+///
+/// Greedy: repeatedly take the (row, next-ladder-level) step with the
+/// least mass lost per additionally dropped weight until the target is
+/// reached or no step remains. Ladder levels whose M does not divide
+/// `cols` are skipped.
+///
+/// # Errors
+/// [`nm_core::Error::ShapeMismatch`] if the buffer length is not
+/// `rows * cols`.
+///
+/// # Example
+/// ```
+/// use nm_nn::prune::assign_channel_patterns;
+/// # fn main() -> Result<(), nm_core::Error> {
+/// // Channel 0 carries most of the mass; channels 1-3 are near-zero.
+/// let mut dense = vec![1i8; 4 * 32];
+/// for v in &mut dense[..32] { *v = 90; }
+/// let patterns = assign_channel_patterns(&dense, 4, 32, 0.5)?;
+/// assert_eq!(patterns[0], None); // high-mass channel stays dense
+/// assert!(patterns[1..].iter().all(|p| p.is_some()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn assign_channel_patterns(
+    dense: &[i8],
+    rows: usize,
+    cols: usize,
+    target_density: f64,
+) -> Result<Vec<Option<Nm>>> {
+    if dense.len() != rows * cols {
+        return Err(nm_core::Error::ShapeMismatch(format!(
+            "buffer has {} elements, expected {rows}x{cols}",
+            dense.len()
+        )));
+    }
+    // Feasible ladder levels for this column count.
+    let ladder: Vec<Option<Nm>> = CHANNEL_LADDER
+        .iter()
+        .copied()
+        .filter(|p| p.is_none_or(|nm| cols.is_multiple_of(nm.m())))
+        .collect();
+    // Per row and level: kept mass (sum of |top-n per block|) and density.
+    let mut mass = vec![vec![0.0f64; ladder.len()]; rows];
+    for (row, mr) in mass.iter_mut().enumerate() {
+        let r = &dense[row * cols..(row + 1) * cols];
+        for (lvl, &pattern) in ladder.iter().enumerate() {
+            mr[lvl] = match pattern {
+                None => r.iter().map(|&v| f64::from((i32::from(v)).abs())).sum(),
+                Some(nm) => r
+                    .chunks(nm.m())
+                    .map(|block| {
+                        let mut mags: Vec<i32> =
+                            block.iter().map(|&v| i32::from(v).abs()).collect();
+                        mags.sort_unstable_by(|a, b| b.cmp(a));
+                        mags.iter().take(nm.n()).map(|&m| f64::from(m)).sum::<f64>()
+                    })
+                    .sum(),
+            };
+        }
+    }
+    let density_of = |p: Option<Nm>| p.map_or(1.0, |nm| nm.density());
+    let mut levels = vec![0usize; rows];
+    let mut kept_rows: f64 = rows as f64; // in units of rows (each row weighs cols)
+    while kept_rows / rows as f64 > target_density {
+        // Cheapest next step in mass lost per dropped weight.
+        let mut best: Option<(usize, f64)> = None;
+        for row in 0..rows {
+            let next = levels[row] + 1;
+            if next >= ladder.len() {
+                continue;
+            }
+            let dropped = density_of(ladder[levels[row]]) - density_of(ladder[next]);
+            let lost = mass[row][levels[row]] - mass[row][next];
+            let cost = lost / (dropped * cols as f64).max(1.0);
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((row, cost));
+            }
+        }
+        let Some((row, _)) = best else { break };
+        kept_rows -= density_of(ladder[levels[row]]) - density_of(ladder[levels[row] + 1]);
+        levels[row] += 1;
+    }
+    Ok(levels.iter().map(|&l| ladder[l]).collect())
+}
+
+/// Kept fraction of a per-channel assignment (dense rows count fully).
+pub fn channel_density(patterns: &[Option<Nm>]) -> f64 {
+    if patterns.is_empty() {
+        return 1.0;
+    }
+    patterns.iter().map(|p| p.map_or(1.0, |nm| nm.density())).sum::<f64>()
+        / patterns.len() as f64
+}
+
+/// Fraction of zero weights across all Conv/Linear layers (attention
+/// projections included via their inner layers).
+pub fn weight_sparsity(graph: &Graph) -> f64 {
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    for node in graph.nodes() {
+        let ws: Vec<&[i8]> = match &node.op {
+            OpKind::Conv2d(l) => vec![&l.weights],
+            OpKind::Linear(l) => vec![&l.weights],
+            OpKind::Attention(a) => vec![&a.qkv.weights, &a.proj.weights],
+            _ => vec![],
+        };
+        for w in ws {
+            zeros += w.iter().filter(|&&v| v == 0).count();
+            total += w.len();
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        zeros as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::layer::{ConvLayer, LinearLayer};
+    use crate::rng::XorShift;
+    use nm_core::quant::Requant;
+    use nm_core::{ConvGeom, FcGeom};
+
+    fn toy_graph() -> Graph {
+        let mut rng = XorShift::new(3);
+        let mut b = GraphBuilder::new(&[4, 4, 16]);
+        let g3 = ConvGeom::square(16, 16, 4, 3, 1, 1).unwrap();
+        let c3 = ConvLayer::new(g3, rng.fill_weights(g3.weight_elems(), 30), Requant::IDENTITY)
+            .unwrap();
+        let g1 = ConvGeom::square(16, 16, 4, 1, 1, 0).unwrap();
+        let c1 = ConvLayer::new(g1, rng.fill_weights(g1.weight_elems(), 30), Requant::IDENTITY)
+            .unwrap();
+        let fc = LinearLayer::new(
+            FcGeom::new(16, 10).unwrap(),
+            rng.fill_weights(160, 30),
+            Requant::IDENTITY,
+        )
+        .unwrap();
+        let x = b.conv(b.input(), c3).unwrap();
+        let x = b.conv(x, c1).unwrap();
+        let x = b.global_avg_pool(x).unwrap();
+        let x = b.linear(x, fc).unwrap();
+        b.finish(x).unwrap()
+    }
+
+    #[test]
+    fn resnet_policy_prunes_only_3x3() {
+        let mut g = toy_graph();
+        let nm = Nm::ONE_OF_EIGHT;
+        let pruned = prune_graph(&mut g, nm, resnet_policy(nm)).unwrap();
+        assert_eq!(pruned.len(), 1);
+        // The 3x3 conv satisfies the pattern now.
+        if let OpKind::Conv2d(l) = &g.node(pruned[0]).op {
+            assert_eq!(l.detect_sparsity(), Some(nm));
+            assert!(!l.geom.is_pointwise());
+        } else {
+            panic!("expected conv");
+        }
+        // The pointwise conv is untouched (dense).
+        let pw = g
+            .nodes()
+            .iter()
+            .find_map(|n| match &n.op {
+                OpKind::Conv2d(l) if l.geom.is_pointwise() => Some(l),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(pw.detect_sparsity(), None);
+    }
+
+    #[test]
+    fn vit_policy_excludes_small_head() {
+        let mut rng = XorShift::new(4);
+        let mut b = GraphBuilder::new(&[2, 16]);
+        let ff = LinearLayer::new(
+            FcGeom::new(16, 64).unwrap(),
+            rng.fill_weights(1024, 30),
+            Requant::IDENTITY,
+        )
+        .unwrap();
+        let head = LinearLayer::new(
+            FcGeom::new(64, 10).unwrap(),
+            rng.fill_weights(640, 30),
+            Requant::IDENTITY,
+        )
+        .unwrap();
+        let x = b.linear(b.input(), ff).unwrap();
+        let x = b.linear(x, head).unwrap();
+        let mut g = b.finish(x).unwrap();
+        let nm = Nm::ONE_OF_FOUR;
+        let pruned = prune_graph(&mut g, nm, vit_ff_policy(nm, 32)).unwrap();
+        assert_eq!(pruned.len(), 1);
+    }
+
+    #[test]
+    fn channel_assignment_hits_density_target() {
+        let mut rng = XorShift::new(11);
+        let dense = rng.fill_weights(16 * 64, 40);
+        for target in [1.0, 0.5, 0.25, 0.1, 1.0 / 16.0] {
+            let p = assign_channel_patterns(&dense, 16, 64, target).unwrap();
+            let d = channel_density(&p);
+            assert!(d <= target + 1e-9 || target < 1.0 / 16.0, "target {target} got {d}");
+            // Never sparser than one ladder step below the target.
+            assert!(d >= target / 4.0 - 1e-9, "target {target} got {d}");
+        }
+    }
+
+    #[test]
+    fn channel_assignment_protects_high_mass_rows() {
+        // Row 0: large weights everywhere; rows 1-3: tiny weights.
+        let mut dense = vec![1i8; 4 * 32];
+        for v in &mut dense[..32] {
+            *v = 90;
+        }
+        let p = assign_channel_patterns(&dense, 4, 32, 0.5).unwrap();
+        assert_eq!(p[0], None, "high-mass row should stay dense: {p:?}");
+        assert!(p[1..].iter().all(|x| x.is_some()));
+    }
+
+    #[test]
+    fn channel_assignment_skips_indivisible_levels() {
+        // cols = 12: only 1:4 is feasible.
+        let dense = vec![1i8; 2 * 12];
+        let p = assign_channel_patterns(&dense, 2, 12, 0.0).unwrap();
+        assert!(p.iter().all(|&x| x == Some(Nm::ONE_OF_FOUR)), "{p:?}");
+    }
+
+    #[test]
+    fn channel_assignment_rejects_bad_shape() {
+        assert!(assign_channel_patterns(&[0i8; 10], 2, 8, 0.5).is_err());
+    }
+
+    #[test]
+    fn channel_density_of_uniform_ladder() {
+        assert_eq!(channel_density(&[]), 1.0);
+        assert_eq!(channel_density(&[None, None]), 1.0);
+        let p = [Some(Nm::ONE_OF_FOUR), None];
+        assert!((channel_density(&p) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_metric_moves_with_pruning() {
+        let mut g = toy_graph();
+        let before = weight_sparsity(&g);
+        let nm = Nm::ONE_OF_SIXTEEN;
+        prune_graph(&mut g, nm, resnet_policy(nm)).unwrap();
+        let after = weight_sparsity(&g);
+        assert!(after > before);
+        // 3x3 conv dominates this toy graph's weights; random weights
+        // already contain some zeros, so check the delta is a large
+        // fraction of the 15/16 * (3x3 share) upper bound.
+        let share = (16 * 16 * 9) as f64 / g.params() as f64;
+        assert!(after - before > 0.6 * 0.9375 * share, "delta {}", after - before);
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic xorshift64* generator for synthetic weights and inputs.
+//!
+//! The paper's models are trained on CIFAR; we substitute synthetic
+//! weights of identical geometry (see DESIGN.md). A tiny local generator
+//! keeps the workspace's results reproducible without threading `rand`
+//! through every crate.
+
+/// A deterministic xorshift64* stream.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator; `seed` 0 is mapped to a fixed constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform int8 in `[-range, range]`.
+    ///
+    /// # Panics
+    /// Panics if `range > 127` (the result would not fit in `i8`).
+    pub fn next_i8(&mut self, range: u8) -> i8 {
+        assert!(range <= 127, "range {range} exceeds i8");
+        let span = 2 * u64::from(range) + 1;
+        ((self.next_u64() % span) as i64 - i64::from(range)) as i8
+    }
+
+    /// Fills a weight buffer with small signed values (int8-quantized
+    /// "Gaussian-ish" via sum of three uniforms).
+    pub fn fill_weights(&mut self, n: usize, range: u8) -> Vec<i8> {
+        (0..n)
+            .map(|_| {
+                let s = i32::from(self.next_i8(range)) + i32::from(self.next_i8(range))
+                    - i32::from(self.next_i8(range));
+                s.clamp(-127, 127) as i8
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn i8_stays_in_range() {
+        let mut r = XorShift::new(7);
+        for _ in 0..1000 {
+            let v = r.next_i8(20);
+            assert!((-20..=20).contains(&v));
+        }
+        // Wide ranges must not overflow (regression: span > 127 used to
+        // wrap through i8 in release and panic in debug).
+        for _ in 0..1000 {
+            let v = r.next_i8(127);
+            assert!((-127..=127).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn weights_are_not_all_zero() {
+        let mut r = XorShift::new(3);
+        let w = r.fill_weights(256, 30);
+        assert!(w.iter().any(|&v| v != 0));
+        assert!(w.iter().all(|&v| (-90..=90).contains(&v)));
+    }
+}

@@ -1,0 +1,175 @@
+//! The 8-core PULP compute cluster.
+//!
+//! Kernels are data-parallel: each core computes a disjoint slice of the
+//! output (rows of OY for convolutions, output channels for FC). The
+//! cluster model runs the per-core closure sequentially — the slices are
+//! disjoint by construction, so sequential simulation is observationally
+//! identical to parallel hardware — and reports the slowest core plus one
+//! barrier as the cluster latency, as GVSoC would measure.
+
+use nm_isa::{Core, CoreStats, CostModel};
+
+/// Aggregate statistics of one cluster-wide kernel invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Latency: slowest core + barrier.
+    pub cycles: u64,
+    /// The slowest core's cycles, without the barrier.
+    pub max_core_cycles: u64,
+    /// Per-core statistics.
+    pub per_core: Vec<CoreStats>,
+}
+
+impl ClusterStats {
+    /// Builds cluster statistics from externally simulated cores
+    /// (kernels drive their own per-core loop so they can share the L1
+    /// scratchpad mutably).
+    pub fn from_cores(per_core: Vec<CoreStats>, barrier_cycles: u64) -> Self {
+        let max_core_cycles = per_core.iter().map(|s| s.cycles).max().unwrap_or(0);
+        ClusterStats { cycles: max_core_cycles + barrier_cycles, max_core_cycles, per_core }
+    }
+
+    /// Total instructions retired across cores.
+    pub fn total_instret(&self) -> u64 {
+        self.per_core.iter().map(|s| s.instret).sum()
+    }
+
+    /// Total effective MACs across cores.
+    pub fn total_macs(&self) -> u64 {
+        self.per_core.iter().map(|s| s.macs).sum()
+    }
+
+    /// Dense-equivalent MACs/cycle given the layer's dense MAC count.
+    pub fn macs_per_cycle(&self, dense_macs: u64) -> f64 {
+        dense_macs as f64 / self.cycles as f64
+    }
+}
+
+/// The compute cluster: `n_cores` RI5CY cores sharing the L1 TCDM.
+#[derive(Debug, Clone, Copy)]
+pub struct Cluster {
+    n_cores: usize,
+    costs: CostModel,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n_cores` cores.
+    ///
+    /// # Panics
+    /// Panics if `n_cores` is zero.
+    pub fn new(n_cores: usize, costs: CostModel) -> Self {
+        assert!(n_cores > 0, "cluster needs at least one core");
+        Cluster { n_cores, costs }
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// The cost model cores are created with.
+    pub fn costs(&self) -> CostModel {
+        self.costs
+    }
+
+    /// Runs `body(core_id, core)` once per core and aggregates latency as
+    /// `max(core cycles) + barrier`.
+    pub fn run<F>(&self, mut body: F) -> ClusterStats
+    where
+        F: FnMut(usize, &mut Core),
+    {
+        let mut per_core = Vec::with_capacity(self.n_cores);
+        for core_id in 0..self.n_cores {
+            let mut core = Core::new(self.costs);
+            body(core_id, &mut core);
+            per_core.push(core.stats());
+        }
+        let max_core_cycles = per_core.iter().map(|s| s.cycles).max().unwrap_or(0);
+        ClusterStats { cycles: max_core_cycles + self.costs.barrier_cycles, max_core_cycles, per_core }
+    }
+}
+
+/// Splits `total` work items into `n` contiguous balanced chunks and
+/// returns chunk `i` as a `start..end` range (earlier chunks get the
+/// remainder, matching PULP-NN's core assignment).
+///
+/// # Example
+/// ```
+/// use nm_platform::cluster::chunk_range;
+/// assert_eq!(chunk_range(10, 4, 0), 0..3);
+/// assert_eq!(chunk_range(10, 4, 1), 3..6);
+/// assert_eq!(chunk_range(10, 4, 2), 6..8);
+/// assert_eq!(chunk_range(10, 4, 3), 8..10);
+/// ```
+pub fn chunk_range(total: usize, n: usize, i: usize) -> std::ops::Range<usize> {
+    assert!(i < n, "chunk index out of range");
+    let base = total / n;
+    let rem = total % n;
+    let start = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for total in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            for n in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for i in 0..n {
+                    let r = chunk_range(total, n, i);
+                    assert_eq!(r.start, prev_end);
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, total);
+                assert_eq!(prev_end, total);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        for total in [17usize, 256, 999] {
+            let n = 8;
+            let sizes: Vec<usize> = (0..n).map(|i| chunk_range(total, n, i).len()).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_latency_is_slowest_core_plus_barrier() {
+        let costs = CostModel::default();
+        let cluster = Cluster::new(4, costs);
+        let stats = cluster.run(|id, core| core.alu_n((id as u64 + 1) * 10));
+        assert_eq!(stats.max_core_cycles, 40);
+        assert_eq!(stats.cycles, 40 + costs.barrier_cycles);
+        assert_eq!(stats.total_instret(), 10 + 20 + 30 + 40);
+    }
+
+    #[test]
+    fn macs_per_cycle_uses_dense_equivalents() {
+        let cluster = Cluster::new(1, CostModel::default());
+        let stats = cluster.run(|_, core| {
+            for _ in 0..25 {
+                core.sdotp(0, 0, 0);
+            }
+        });
+        // 100 effective MACs; at 1:8 sparsity these stand for 800 dense.
+        assert_eq!(stats.total_macs(), 100);
+        let mpc = stats.macs_per_cycle(800);
+        assert!(mpc > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cores_panics() {
+        let _ = Cluster::new(0, CostModel::default());
+    }
+}

@@ -1,0 +1,89 @@
+//! The cluster DMA engine: cycle-costed copies between memory levels.
+
+use crate::scratchpad::Scratchpad;
+use nm_isa::{CostModel, Memory};
+
+/// The cluster DMA. Transfers are modeled as
+/// `setup + ceil(bytes / bandwidth)` cycles (plus an L3 latency adder for
+/// HyperRAM transfers); the copy itself is performed eagerly so simulated
+/// kernels read real data.
+#[derive(Debug, Clone, Copy)]
+pub struct Dma {
+    costs: CostModel,
+}
+
+impl Dma {
+    /// Creates a DMA engine with the given cost model.
+    pub fn new(costs: CostModel) -> Self {
+        Dma { costs }
+    }
+
+    /// Copies `len` bytes from `src` at `src_addr` to `dst` at `dst_addr`
+    /// and returns the transfer cycles (L2 ↔ L1 class transfer).
+    pub fn copy(
+        &self,
+        src: &Scratchpad,
+        src_addr: u32,
+        dst: &mut Scratchpad,
+        dst_addr: u32,
+        len: usize,
+    ) -> u64 {
+        let bytes = src.read_bytes(src_addr, len);
+        dst.write_bytes(dst_addr, &bytes);
+        self.costs.dma_cycles(len)
+    }
+
+    /// Copies involving the external L3 (adds the HyperRAM latency).
+    pub fn copy_l3(
+        &self,
+        src: &Scratchpad,
+        src_addr: u32,
+        dst: &mut Scratchpad,
+        dst_addr: u32,
+        len: usize,
+    ) -> u64 {
+        let bytes = src.read_bytes(src_addr, len);
+        dst.write_bytes(dst_addr, &bytes);
+        self.costs.dma_l3_cycles(len)
+    }
+
+    /// Cycles a transfer of `len` bytes would take, without performing it
+    /// (used by the analytic planner).
+    pub fn cycles(&self, len: usize) -> u64 {
+        self.costs.dma_cycles(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_moves_data_and_costs_cycles() {
+        let costs = CostModel::default();
+        let dma = Dma::new(costs);
+        let mut l2 = Scratchpad::new("l2", 256);
+        let mut l1 = Scratchpad::new("l1", 256);
+        l2.write_bytes(16, &[9, 8, 7, 6]);
+        let cycles = dma.copy(&l2, 16, &mut l1, 0, 4);
+        assert_eq!(l1.read_bytes(0, 4), vec![9, 8, 7, 6]);
+        assert_eq!(cycles, costs.dma_cycles(4));
+    }
+
+    #[test]
+    fn l3_transfer_is_slower() {
+        let costs = CostModel::default();
+        let dma = Dma::new(costs);
+        let l3 = Scratchpad::new("l3", 64);
+        let mut l2 = Scratchpad::new("l2", 64);
+        let fast = dma.copy(&l3, 0, &mut l2, 0, 32);
+        let slow = dma.copy_l3(&l3, 0, &mut l2, 0, 32);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn zero_length_transfer_is_free() {
+        let dma = Dma::new(CostModel::default());
+        assert_eq!(dma.cycles(0), 0);
+    }
+}

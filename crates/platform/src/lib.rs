@@ -1,0 +1,47 @@
+//! # nm-platform
+//!
+//! A behavioural model of the Vega PULP SoC (Rossi et al. 2021) — the
+//! paper's deployment target — substituting for the GVSoC virtual
+//! platform:
+//!
+//! * [`scratchpad::Scratchpad`] — software-managed L1 (128 kB TCDM),
+//!   L2 (1.6 MB) and L3 (16 MB HyperRAM) byte memories with a bump
+//!   allocator ([`scratchpad::BumpAllocator`]); there are **no caches**,
+//!   exactly as on the real part.
+//! * [`dma`] — the cluster DMA: cycle-costed 1-D copies between levels.
+//! * [`pipeline`] — the double-buffering schedule used by MATCH-generated
+//!   code: per-tile `max(compute, dma)` overlap (Sec. 5.2 relies on this
+//!   to explain why conv layers hide weight transfers but memory-bound FC
+//!   layers do not).
+//! * [`cluster::Cluster`] — the 8-core compute cluster: runs a data-parallel
+//!   kernel closure once per core (deterministically, on disjoint output
+//!   ranges), takes the slowest core plus a barrier as the cluster latency.
+//!
+//! # Example
+//!
+//! ```
+//! use nm_platform::{Cluster, VegaSoc};
+//!
+//! let soc = VegaSoc::default();
+//! let cluster = Cluster::new(8, soc.costs);
+//! let stats = cluster.run(|core_id, core| {
+//!     // each core retires a different amount of work
+//!     core.alu_n(10 + core_id as u64);
+//! });
+//! assert_eq!(stats.max_core_cycles, 17);
+//! assert_eq!(stats.cycles, 17 + soc.costs.barrier_cycles);
+//! ```
+
+pub mod cluster;
+pub mod dma;
+pub mod pipeline;
+pub mod scratchpad;
+pub mod soc;
+pub mod trace;
+
+pub use cluster::{chunk_range, Cluster, ClusterStats};
+pub use dma::Dma;
+pub use pipeline::{double_buffered_cycles, TileCost};
+pub use scratchpad::{BumpAllocator, Scratchpad};
+pub use trace::{Lane, Span, Trace};
+pub use soc::VegaSoc;

@@ -1,0 +1,106 @@
+//! Double-buffered tile pipeline timing.
+//!
+//! MATCH-generated code processes a layer as a sequence of L1-resident
+//! tiles. With double buffering, tile `i+1`'s input DMA and tile `i-1`'s
+//! output DMA overlap tile `i`'s compute, so the steady-state per-tile
+//! latency is `max(compute, dma_in_next + dma_out_prev)`. The paper's
+//! Sec. 5.2 explanation of FC behaviour ("for memory-bound FC layers ...
+//! these transfers are one of the dominant components") falls out of this
+//! schedule when `dma > compute`.
+
+/// The DMA and compute cost of one tile, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileCost {
+    /// Cycles to DMA the tile's inputs (weights + activations) into L1.
+    pub dma_in: u64,
+    /// Cycles the cluster computes on the tile.
+    pub compute: u64,
+    /// Cycles to DMA the tile's outputs back to L2.
+    pub dma_out: u64,
+}
+
+/// Total cycles to process `tiles` with double buffering.
+///
+/// The first input transfer and the last output transfer are exposed; in
+/// between, each tile's compute overlaps the neighbouring transfers.
+///
+/// # Example
+/// ```
+/// use nm_platform::pipeline::{double_buffered_cycles, TileCost};
+/// let t = TileCost { dma_in: 10, compute: 100, dma_out: 5 };
+/// // 4 identical compute-bound tiles: 10 + 4*100 + 5.
+/// assert_eq!(double_buffered_cycles(&[t; 4]), 10 + 400 + 5);
+/// ```
+pub fn double_buffered_cycles(tiles: &[TileCost]) -> u64 {
+    let n = tiles.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut total = tiles[0].dma_in;
+    for i in 0..n {
+        let next_in = if i + 1 < n { tiles[i + 1].dma_in } else { 0 };
+        let prev_out = if i > 0 { tiles[i - 1].dma_out } else { 0 };
+        total += tiles[i].compute.max(next_in + prev_out);
+    }
+    total + tiles[n - 1].dma_out
+}
+
+/// Total cycles without double buffering (serial DMA → compute → DMA),
+/// used by the ablation benches.
+pub fn serial_cycles(tiles: &[TileCost]) -> u64 {
+    tiles.iter().map(|t| t.dma_in + t.compute + t.dma_out).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(double_buffered_cycles(&[]), 0);
+        assert_eq!(serial_cycles(&[]), 0);
+    }
+
+    #[test]
+    fn single_tile_is_serial() {
+        let t = TileCost { dma_in: 7, compute: 20, dma_out: 3 };
+        assert_eq!(double_buffered_cycles(&[t]), 30);
+        assert_eq!(serial_cycles(&[t]), 30);
+    }
+
+    #[test]
+    fn compute_bound_hides_dma() {
+        let t = TileCost { dma_in: 10, compute: 100, dma_out: 10 };
+        let tiles = vec![t; 8];
+        assert_eq!(double_buffered_cycles(&tiles), 10 + 8 * 100 + 10);
+        assert!(double_buffered_cycles(&tiles) < serial_cycles(&tiles));
+    }
+
+    #[test]
+    fn memory_bound_is_dma_limited() {
+        let t = TileCost { dma_in: 100, compute: 10, dma_out: 0 };
+        let tiles = vec![t; 4];
+        // 100 + (100+100+100+10) + 0: the last tile has no next input.
+        assert_eq!(double_buffered_cycles(&tiles), 100 + 100 + 100 + 100 + 10);
+    }
+
+    #[test]
+    fn double_buffering_never_slower_than_serial() {
+        let tiles: Vec<TileCost> = (0..16)
+            .map(|i| TileCost { dma_in: (i * 13) % 37, compute: (i * 7) % 53, dma_out: (i * 5) % 11 })
+            .collect();
+        assert!(double_buffered_cycles(&tiles) <= serial_cycles(&tiles));
+    }
+
+    #[test]
+    fn double_buffering_not_faster_than_critical_paths() {
+        let tiles: Vec<TileCost> = (0..9)
+            .map(|i| TileCost { dma_in: 40 + i, compute: 60 - i, dma_out: 5 })
+            .collect();
+        let total = double_buffered_cycles(&tiles);
+        let compute_sum: u64 = tiles.iter().map(|t| t.compute).sum();
+        let dma_sum: u64 = tiles.iter().map(|t| t.dma_in + t.dma_out).sum();
+        assert!(total >= compute_sum);
+        assert!(total >= dma_sum.max(compute_sum));
+    }
+}

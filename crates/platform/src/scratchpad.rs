@@ -1,0 +1,166 @@
+//! Software-managed scratchpad memories and a bump allocator.
+
+use nm_core::{Error, Result};
+use nm_isa::{FlatMem, Memory};
+
+/// A named scratchpad memory (L1 TCDM, L2, or L3).
+///
+/// Addresses are local to the scratchpad (0-based), matching how kernels
+/// receive L1 buffer pointers from the tiling runtime.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    name: &'static str,
+    mem: FlatMem,
+    alloc: BumpAllocator,
+}
+
+impl Scratchpad {
+    /// Creates a zeroed scratchpad.
+    pub fn new(name: &'static str, size: usize) -> Self {
+        Scratchpad { name, mem: FlatMem::new(size), alloc: BumpAllocator::new(size) }
+    }
+
+    /// The scratchpad's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Allocates `bytes` with `align`-byte alignment, returning the base
+    /// address.
+    ///
+    /// # Errors
+    /// [`Error::OutOfMemory`] when the region does not fit.
+    pub fn alloc(&mut self, bytes: usize, align: usize) -> Result<u32> {
+        self.alloc.alloc(bytes, align)
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.alloc.used()
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.alloc.available()
+    }
+
+    /// Releases all allocations (the memory contents are kept).
+    pub fn reset_alloc(&mut self) {
+        self.alloc.reset();
+    }
+
+    /// Direct view of the backing bytes (for test assertions).
+    pub fn bytes(&self) -> &[u8] {
+        self.mem.bytes()
+    }
+}
+
+impl Memory for Scratchpad {
+    fn size(&self) -> usize {
+        self.mem.size()
+    }
+
+    fn load_u8(&self, addr: u32) -> u8 {
+        self.mem.load_u8(addr)
+    }
+
+    fn store_u8(&mut self, addr: u32, value: u8) {
+        self.mem.store_u8(addr, value);
+    }
+}
+
+/// A monotonic (arena) allocator over a fixed-size region — the standard
+/// allocation discipline for PULP L1 buffers, where a layer's buffers are
+/// planned statically and freed all at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BumpAllocator {
+    size: usize,
+    top: usize,
+}
+
+impl BumpAllocator {
+    /// Creates an allocator over `size` bytes.
+    pub fn new(size: usize) -> Self {
+        BumpAllocator { size, top: 0 }
+    }
+
+    /// Allocates `bytes` with `align` alignment (power of two).
+    ///
+    /// # Errors
+    /// [`Error::OutOfMemory`] when the request exceeds the remaining space.
+    ///
+    /// # Panics
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: usize, align: usize) -> Result<u32> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.top + align - 1) & !(align - 1);
+        let end = base.checked_add(bytes).ok_or(Error::OutOfMemory {
+            requested: bytes,
+            available: self.size.saturating_sub(self.top),
+        })?;
+        if end > self.size {
+            return Err(Error::OutOfMemory { requested: bytes, available: self.size - self.top });
+        }
+        self.top = end;
+        Ok(base as u32)
+    }
+
+    /// Bytes allocated (including alignment padding).
+    pub fn used(&self) -> usize {
+        self.top
+    }
+
+    /// Bytes remaining.
+    pub fn available(&self) -> usize {
+        self.size - self.top
+    }
+
+    /// Frees everything.
+    pub fn reset(&mut self) {
+        self.top = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_monotonic() {
+        let mut a = BumpAllocator::new(64);
+        let p0 = a.alloc(3, 1).unwrap();
+        let p1 = a.alloc(4, 4).unwrap();
+        assert_eq!(p0, 0);
+        assert_eq!(p1, 4);
+        assert_eq!(a.used(), 8);
+        let p2 = a.alloc(1, 16).unwrap();
+        assert_eq!(p2, 16);
+    }
+
+    #[test]
+    fn alloc_fails_when_full() {
+        let mut a = BumpAllocator::new(16);
+        a.alloc(10, 1).unwrap();
+        let err = a.alloc(10, 1).unwrap_err();
+        assert_eq!(err, Error::OutOfMemory { requested: 10, available: 6 });
+        a.reset();
+        assert!(a.alloc(16, 1).is_ok());
+    }
+
+    #[test]
+    fn scratchpad_allocates_and_stores() {
+        let mut l1 = Scratchpad::new("l1", 1024);
+        let buf = l1.alloc(64, 4).unwrap();
+        l1.store_u32(buf, 0x1234_5678);
+        assert_eq!(l1.load_u32(buf), 0x1234_5678);
+        assert_eq!(l1.name(), "l1");
+        assert_eq!(l1.available(), 1024 - 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_alignment_panics() {
+        let mut a = BumpAllocator::new(64);
+        let _ = a.alloc(4, 3);
+    }
+}

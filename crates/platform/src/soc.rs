@@ -1,0 +1,90 @@
+//! The Vega SoC: memory hierarchy + cluster + DMA in one bundle.
+
+use crate::cluster::Cluster;
+use crate::dma::Dma;
+use crate::scratchpad::Scratchpad;
+use nm_isa::CostModel;
+
+/// Memory sizes of the Vega SoC (Rossi et al. 2021).
+pub const L1_BYTES: usize = 128 * 1024;
+/// L2 main memory size (the 1.6 MB interleaved SRAM; we do not model the
+/// MRAM portion, which the paper also does not exploit).
+pub const L2_BYTES: usize = 1600 * 1024;
+/// External L3 HyperRAM size.
+pub const L3_BYTES: usize = 16 * 1024 * 1024;
+/// Compute cluster cores (8 of Vega's 10 cores; the fabric controller and
+/// the DMA core orchestrate and are not compute resources).
+pub const CLUSTER_CORES: usize = 8;
+
+/// The simulated SoC: L1/L2/L3 scratchpads, the cluster DMA and the
+/// compute cluster, all sharing one [`CostModel`].
+#[derive(Debug, Clone)]
+pub struct VegaSoc {
+    /// The cycle-cost model shared by cores and DMA.
+    pub costs: CostModel,
+    /// 128 kB shared L1 TCDM.
+    pub l1: Scratchpad,
+    /// 1.6 MB L2.
+    pub l2: Scratchpad,
+    /// 16 MB external L3 (HyperRAM).
+    pub l3: Scratchpad,
+}
+
+impl VegaSoc {
+    /// Creates a Vega SoC with the default cost model.
+    pub fn new() -> Self {
+        Self::with_costs(CostModel::default())
+    }
+
+    /// Creates a Vega SoC with a custom cost model.
+    pub fn with_costs(costs: CostModel) -> Self {
+        VegaSoc {
+            costs,
+            l1: Scratchpad::new("L1", L1_BYTES),
+            l2: Scratchpad::new("L2", L2_BYTES),
+            l3: Scratchpad::new("L3", L3_BYTES),
+        }
+    }
+
+    /// The compute cluster.
+    pub fn cluster(&self) -> Cluster {
+        Cluster::new(CLUSTER_CORES, self.costs)
+    }
+
+    /// The cluster DMA.
+    pub fn dma(&self) -> Dma {
+        Dma::new(self.costs)
+    }
+}
+
+impl Default for VegaSoc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_isa::Memory;
+
+    #[test]
+    fn sizes_match_vega() {
+        let soc = VegaSoc::new();
+        assert_eq!(soc.l1.size(), 128 * 1024);
+        assert_eq!(soc.l2.size(), 1600 * 1024);
+        assert_eq!(soc.l3.size(), 16 * 1024 * 1024);
+        assert_eq!(soc.cluster().n_cores(), 8);
+    }
+
+    #[test]
+    fn dma_roundtrip_through_hierarchy() {
+        let mut soc = VegaSoc::new();
+        let dma = soc.dma();
+        soc.l3.write_bytes(100, &[1, 2, 3, 4, 5]);
+        let c1 = dma.copy_l3(&soc.l3.clone(), 100, &mut soc.l2, 0, 5);
+        let c2 = dma.copy(&soc.l2.clone(), 0, &mut soc.l1, 64, 5);
+        assert_eq!(soc.l1.read_bytes(64, 5), vec![1, 2, 3, 4, 5]);
+        assert!(c1 > c2);
+    }
+}

@@ -1,0 +1,294 @@
+//! Tile-level execution traces — a GVSoC-style timeline view of the
+//! double-buffered schedule.
+//!
+//! [`Trace::from_tiles`] replays the exact schedule that
+//! [`crate::pipeline::double_buffered_cycles`] prices, emitting one span
+//! per DMA transfer and per tile compute. The trace's end time equals
+//! the pipeline's cycle count by construction (pinned by tests), so the
+//! timeline is a faithful *explanation* of the latency, not a second
+//! model: compute-bound layers show a packed compute lane with short DMA
+//! bursts hidden under it; memory-bound FC layers show the opposite —
+//! the picture behind the paper's Sec. 5.2 discussion.
+//!
+//! [`Trace::render`] draws the three lanes (DMA-in, compute, DMA-out) as
+//! an ASCII Gantt chart for examples and reports.
+
+use crate::pipeline::TileCost;
+
+/// Which resource a span occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// L2 → L1 input transfers (weights + activations).
+    DmaIn,
+    /// Cluster compute.
+    Compute,
+    /// L1 → L2 output transfers.
+    DmaOut,
+}
+
+impl Lane {
+    /// All lanes, display order.
+    pub const ALL: [Lane; 3] = [Lane::DmaIn, Lane::Compute, Lane::DmaOut];
+
+    /// Display name (fixed width).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::DmaIn => "dma-in ",
+            Lane::Compute => "compute",
+            Lane::DmaOut => "dma-out",
+        }
+    }
+}
+
+/// One occupied interval on a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The occupied resource.
+    pub lane: Lane,
+    /// Human-readable label (`"tile 3"`, `"in 4"`, …).
+    pub label: String,
+    /// Start cycle (inclusive).
+    pub start: u64,
+    /// End cycle (exclusive).
+    pub end: u64,
+}
+
+/// A tile-schedule timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    spans: Vec<Span>,
+    end: u64,
+}
+
+impl Trace {
+    /// Replays the double-buffered schedule of `tiles`.
+    ///
+    /// Tile `i`'s compute overlaps tile `i+1`'s input DMA and tile
+    /// `i-1`'s output DMA (which share the one DMA engine and run
+    /// back-to-back); the first input and last output are exposed.
+    /// The resulting end time equals
+    /// [`crate::pipeline::double_buffered_cycles`].
+    ///
+    /// # Example
+    /// ```
+    /// use nm_platform::pipeline::{double_buffered_cycles, TileCost};
+    /// use nm_platform::{Lane, Trace};
+    /// let tiles = [TileCost { dma_in: 10, compute: 100, dma_out: 5 }; 4];
+    /// let trace = Trace::from_tiles(&tiles);
+    /// assert_eq!(trace.end(), double_buffered_cycles(&tiles));
+    /// assert!(trace.utilization(Lane::Compute) > 0.9); // compute-bound
+    /// ```
+    pub fn from_tiles(tiles: &[TileCost]) -> Self {
+        let n = tiles.len();
+        let mut spans = Vec::new();
+        if n == 0 {
+            return Trace::default();
+        }
+        let mut t = 0u64;
+        if tiles[0].dma_in > 0 {
+            spans.push(Span {
+                lane: Lane::DmaIn,
+                label: "in 0".into(),
+                start: 0,
+                end: tiles[0].dma_in,
+            });
+        }
+        t += tiles[0].dma_in;
+        for i in 0..n {
+            let compute = tiles[i].compute;
+            let next_in = if i + 1 < n { tiles[i + 1].dma_in } else { 0 };
+            let prev_out = if i > 0 { tiles[i - 1].dma_out } else { 0 };
+            if compute > 0 {
+                spans.push(Span {
+                    lane: Lane::Compute,
+                    label: format!("tile {i}"),
+                    start: t,
+                    end: t + compute,
+                });
+            }
+            if next_in > 0 {
+                spans.push(Span {
+                    lane: Lane::DmaIn,
+                    label: format!("in {}", i + 1),
+                    start: t,
+                    end: t + next_in,
+                });
+            }
+            if prev_out > 0 {
+                spans.push(Span {
+                    lane: Lane::DmaOut,
+                    label: format!("out {}", i - 1),
+                    start: t + next_in,
+                    end: t + next_in + prev_out,
+                });
+            }
+            t += compute.max(next_in + prev_out);
+        }
+        if tiles[n - 1].dma_out > 0 {
+            spans.push(Span {
+                lane: Lane::DmaOut,
+                label: format!("out {}", n - 1),
+                start: t,
+                end: t + tiles[n - 1].dma_out,
+            });
+        }
+        t += tiles[n - 1].dma_out;
+        Trace { spans, end: t }
+    }
+
+    /// End of the schedule in cycles (equals the pipeline model's total).
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// All spans in emission order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Busy cycles on one lane.
+    pub fn lane_busy(&self, lane: Lane) -> u64 {
+        self.spans.iter().filter(|s| s.lane == lane).map(|s| s.end - s.start).sum()
+    }
+
+    /// Busy fraction of one lane over the whole schedule.
+    pub fn utilization(&self, lane: Lane) -> f64 {
+        if self.end == 0 {
+            0.0
+        } else {
+            self.lane_busy(lane) as f64 / self.end as f64
+        }
+    }
+
+    /// Renders a three-lane ASCII Gantt chart, `width` columns wide.
+    /// Each column covers `end / width` cycles; a lane cell is filled
+    /// (`#`) when any span overlaps it. Lane utilization is appended.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(1);
+        let mut out = String::new();
+        if self.end == 0 {
+            return "(empty trace)\n".into();
+        }
+        for lane in Lane::ALL {
+            let mut row: Vec<char> = vec!['.'; width];
+            for s in self.spans.iter().filter(|s| s.lane == lane) {
+                let from = (s.start as u128 * width as u128 / self.end as u128) as usize;
+                let to = (s.end as u128 * width as u128).div_ceil(self.end as u128) as usize;
+                for c in row.iter_mut().take(to.min(width)).skip(from) {
+                    *c = '#';
+                }
+            }
+            let line: String = row.into_iter().collect();
+            out.push_str(&format!(
+                "{} |{}| {:5.1}%\n",
+                lane.name(),
+                line,
+                100.0 * self.utilization(lane)
+            ));
+        }
+        out.push_str(&format!("{} cycles, {} tiles-spans\n", self.end, self.spans.len()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::double_buffered_cycles;
+
+    fn tiles(specs: &[(u64, u64, u64)]) -> Vec<TileCost> {
+        specs
+            .iter()
+            .map(|&(dma_in, compute, dma_out)| TileCost { dma_in, compute, dma_out })
+            .collect()
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::from_tiles(&[]);
+        assert_eq!(t.end(), 0);
+        assert!(t.spans().is_empty());
+        assert_eq!(t.render(40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn end_matches_pipeline_model() {
+        let cases = [
+            tiles(&[(10, 100, 5); 4]),
+            tiles(&[(100, 10, 20); 3]),
+            tiles(&[(7, 20, 3)]),
+            tiles(&[(3, 0, 0), (0, 50, 9), (12, 12, 12)]),
+        ];
+        for c in cases {
+            let t = Trace::from_tiles(&c);
+            assert_eq!(t.end(), double_buffered_cycles(&c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn spans_do_not_overlap_within_a_lane() {
+        let c = tiles(&[(10, 30, 8), (12, 25, 7), (9, 40, 6), (11, 5, 10)]);
+        let t = Trace::from_tiles(&c);
+        for lane in Lane::ALL {
+            let mut spans: Vec<&Span> = t.spans().iter().filter(|s| s.lane == lane).collect();
+            spans.sort_by_key(|s| s.start);
+            for pair in spans.windows(2) {
+                assert!(pair[0].end <= pair[1].start, "{lane:?}: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compute_bound_compute_lane_is_saturated() {
+        let c = tiles(&[(10, 100, 10); 5]);
+        let t = Trace::from_tiles(&c);
+        // All compute back-to-back: busy == 5*100 out of 10 + 500 + 10.
+        assert_eq!(t.lane_busy(Lane::Compute), 500);
+        assert!(t.utilization(Lane::Compute) > 0.95);
+        assert!(t.utilization(Lane::DmaIn) < 0.15);
+    }
+
+    #[test]
+    fn memory_bound_dma_lane_dominates() {
+        let c = tiles(&[(100, 10, 0); 4]);
+        let t = Trace::from_tiles(&c);
+        assert!(t.utilization(Lane::DmaIn) > 0.9);
+        assert!(t.utilization(Lane::Compute) < 0.2);
+    }
+
+    #[test]
+    fn lane_busy_sums_every_transfer() {
+        let c = tiles(&[(10, 30, 8), (12, 25, 7)]);
+        let t = Trace::from_tiles(&c);
+        assert_eq!(t.lane_busy(Lane::DmaIn), 22);
+        assert_eq!(t.lane_busy(Lane::DmaOut), 15);
+        assert_eq!(t.lane_busy(Lane::Compute), 55);
+    }
+
+    #[test]
+    fn render_shows_three_lanes() {
+        let c = tiles(&[(10, 100, 5); 3]);
+        let text = Trace::from_tiles(&c).render(40);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("compute |"));
+        assert!(text.contains('#'));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn render_width_is_respected() {
+        let c = tiles(&[(1, 1000, 1)]);
+        let text = Trace::from_tiles(&c).render(20);
+        let line = text.lines().next().unwrap();
+        let bar = line.split('|').nth(1).unwrap();
+        assert_eq!(bar.chars().count(), 20);
+    }
+
+    #[test]
+    fn zero_cost_tiles_produce_no_spans() {
+        let c = tiles(&[(0, 0, 0); 3]);
+        let t = Trace::from_tiles(&c);
+        assert_eq!(t.end(), 0);
+        assert!(t.spans().is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # nm-rtl
+//!
+//! Register-transfer-level functional model of the `xDecimate` eXtension
+//! Functional Unit (XFU) from *"Lightweight Software Kernels and Hardware
+//! Extensions for Efficient Sparse Deep Neural Networks on
+//! Microcontrollers"* (MLSys 2025, Sec. 4.3 / Fig. 7), plus a
+//! gate-equivalent area model reproducing the paper's 5 % core-area
+//! overhead claim.
+//!
+//! The paper prototypes `xDecimate` in SystemVerilog inside the
+//! RI5CY/CV32E40P pipeline and synthesizes it in 22 nm. We cannot run a
+//! silicon flow here, so this crate substitutes:
+//!
+//! * [`xfu::DecimateXfu`] — a bit-accurate model of the ID/EX/WB datapath:
+//!   offset extraction from `rs2`, block-address generation from the
+//!   auto-incremented `csr`, byte insertion into `rd`. The `nm-isa`
+//!   simulator executes *through* this model, so every sparse ISA kernel
+//!   result in the benchmarks exercises exactly these register-transfer
+//!   equations.
+//! * [`pipeline::XfuPipeline`] — a small issue model showing that
+//!   back-to-back `xDecimate` instructions sustain one per cycle thanks to
+//!   the WB→EX forwarding path of the destination register.
+//! * [`area`] — a component-level gate-equivalent (GE) inventory of both
+//!   the XFU and a baseline RI5CY-class core, reproducing the ~5 % area
+//!   ratio. Absolute GE figures are literature-calibrated estimates; the
+//!   *ratio* is the reproduced quantity.
+
+pub mod area;
+pub mod pipeline;
+pub mod xfu;
+
+pub use area::{ri5cy_area, xfu_area, AreaReport, GateLibrary};
+pub use xfu::{DecimateMode, DecimateXfu};

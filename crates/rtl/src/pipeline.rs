@@ -1,0 +1,111 @@
+//! Issue-timing model for `xDecimate` in the RI5CY 4-stage pipeline.
+//!
+//! The paper's XFU spans ID/EX/WB and includes a forwarding path for the
+//! destination register: consecutive `xDecimate` instructions writing the
+//! same `rd` (the common case — four back-to-back inserts fill one 32-bit
+//! register) would otherwise incur a read-after-write hazard on `rd`,
+//! because `xDecimate` both reads and writes `rd`. With forwarding the
+//! sequence sustains **one instruction per cycle**, which is what the
+//! cycle model in `nm-isa` charges.
+
+/// The instruction kinds the issue model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueOp {
+    /// `xdecimate rd, rs1, rs2` — reads rs1, rs2, rd; writes rd.
+    XDecimate {
+        /// Destination (and partial-source) register index.
+        rd: u8,
+    },
+    /// A plain ALU/load instruction writing `rd`.
+    Other {
+        /// Destination register index, if any.
+        rd: Option<u8>,
+    },
+}
+
+/// A cycle-counting issue model with a configurable forwarding path.
+#[derive(Debug, Clone)]
+pub struct XfuPipeline {
+    forwarding: bool,
+    cycles: u64,
+    /// rd of the instruction currently in WB (would be visible to the
+    /// register file only one cycle later).
+    in_flight_rd: Option<u8>,
+}
+
+impl XfuPipeline {
+    /// Creates a pipeline model; `forwarding` enables the XFU's WB→EX
+    /// rd bypass (the paper's design point).
+    pub fn new(forwarding: bool) -> Self {
+        XfuPipeline { forwarding, cycles: 0, in_flight_rd: None }
+    }
+
+    /// Issues one instruction, returning the cycles it consumed
+    /// (1 when no hazard, 2 when a non-forwarded RAW hazard stalls).
+    pub fn issue(&mut self, op: IssueOp) -> u64 {
+        let cost = match op {
+            IssueOp::XDecimate { rd } => {
+                let hazard = self.in_flight_rd == Some(rd) && !self.forwarding;
+                if hazard {
+                    2
+                } else {
+                    1
+                }
+            }
+            IssueOp::Other { .. } => 1,
+        };
+        self.in_flight_rd = match op {
+            IssueOp::XDecimate { rd } => Some(rd),
+            IssueOp::Other { rd } => rd,
+        };
+        self.cycles += cost;
+        cost
+    }
+
+    /// Total cycles issued so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_same_rd_sustains_one_per_cycle_with_forwarding() {
+        let mut p = XfuPipeline::new(true);
+        for _ in 0..8 {
+            assert_eq!(p.issue(IssueOp::XDecimate { rd: 5 }), 1);
+        }
+        assert_eq!(p.cycles(), 8);
+    }
+
+    #[test]
+    fn without_forwarding_same_rd_stalls() {
+        let mut p = XfuPipeline::new(false);
+        p.issue(IssueOp::XDecimate { rd: 5 });
+        assert_eq!(p.issue(IssueOp::XDecimate { rd: 5 }), 2);
+        // A different rd (the conv kernels' vB1/vB2 alternation) does not
+        // stall even without forwarding.
+        assert_eq!(p.issue(IssueOp::XDecimate { rd: 6 }), 1);
+    }
+
+    #[test]
+    fn alternating_rd_never_stalls() {
+        let mut p = XfuPipeline::new(false);
+        let mut total = 0;
+        for i in 0..8 {
+            total += p.issue(IssueOp::XDecimate { rd: 5 + (i % 2) as u8 });
+        }
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn other_instructions_break_dependences() {
+        let mut p = XfuPipeline::new(false);
+        p.issue(IssueOp::XDecimate { rd: 5 });
+        p.issue(IssueOp::Other { rd: None });
+        assert_eq!(p.issue(IssueOp::XDecimate { rd: 5 }), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Bit-accurate datapath of the `xDecimate` instruction (paper Sec. 4.3).
+//!
+//! Syntax: `xdecimate rd, rs1, rs2` where `rs1` holds the im2col buffer
+//! base address and `rs2` the packed non-zero offsets. One control-status
+//! register (`csr`, lowercase in the paper to avoid confusion with the CSR
+//! sparse format) auto-increments on every execution.
+//!
+//! EX stage, 1:8 and 1:16 flavours (4-bit offsets, 8 per `rs2` word):
+//!
+//! ```text
+//! o    = rs2[(csr[2:0]*4+3) : (csr[2:0]*4)]
+//! addr = rs1 + M*csr[15:1] + o
+//! ```
+//!
+//! 1:4 flavour (2-bit offsets, 16 per word) uses `csr[3:0]*2` instead.
+//!
+//! WB stage:
+//!
+//! ```text
+//! rd[(csr[2:1]*8+7) : (csr[2:1]*8)] = MEM[addr]
+//! csr = csr + 1
+//! ```
+//!
+//! The `csr[15:1]` block index and `csr[2:1]` byte lane advance every *two*
+//! executions, matching the conv kernels' unrolling over two im2col buffers
+//! (and the FC kernels' two-output-channel interleaving).
+
+/// Which `xDecimate` flavour (sparsity format) is decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecimateMode {
+    /// 1:4 sparsity — 2-bit offsets, block stride M = 4.
+    OneOfFour,
+    /// 1:8 sparsity — 4-bit offsets, block stride M = 8.
+    OneOfEight,
+    /// 1:16 sparsity — 4-bit offsets, block stride M = 16.
+    OneOfSixteen,
+}
+
+impl DecimateMode {
+    /// The block stride M.
+    pub fn m(self) -> u32 {
+        match self {
+            DecimateMode::OneOfFour => 4,
+            DecimateMode::OneOfEight => 8,
+            DecimateMode::OneOfSixteen => 16,
+        }
+    }
+
+    /// Offset field width in bits.
+    pub fn offset_bits(self) -> u32 {
+        match self {
+            DecimateMode::OneOfFour => 2,
+            DecimateMode::OneOfEight | DecimateMode::OneOfSixteen => 4,
+        }
+    }
+
+    /// Offsets held in one 32-bit `rs2` word.
+    pub fn offsets_per_word(self) -> u32 {
+        32 / self.offset_bits()
+    }
+}
+
+/// The XFU state: the auto-incrementing `csr` register.
+///
+/// # Example
+/// ```
+/// use nm_rtl::{DecimateMode, DecimateXfu};
+/// let mut xfu = DecimateXfu::new();
+/// // Block 0 offset 5 in a 1:8 stream, im2col buffer at 0x1000:
+/// let rs2 = 0x0000_0005;
+/// let addr = xfu.ex_stage(DecimateMode::OneOfEight, 0x1000, rs2);
+/// assert_eq!(addr, 0x1005);
+/// let rd = xfu.wb_stage(0, 0xAB); // loads byte into lane 0, csr -> 1
+/// assert_eq!(rd, 0xAB);
+/// assert_eq!(xfu.csr(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecimateXfu {
+    csr: u16,
+}
+
+impl DecimateXfu {
+    /// A fresh XFU with `csr == 0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current `csr` value.
+    pub fn csr(&self) -> u16 {
+        self.csr
+    }
+
+    /// `xDecimate.clear`: resets `csr` to zero (issued at the end of each
+    /// output-channel loop).
+    pub fn clear(&mut self) {
+        self.csr = 0;
+    }
+
+    /// EX stage: computes the L1 byte address for the current execution.
+    ///
+    /// Pure combinational function of (`csr`, `rs1`, `rs2`); does not
+    /// modify state (the increment happens in [`DecimateXfu::wb_stage`]).
+    pub fn ex_stage(&self, mode: DecimateMode, rs1: u32, rs2: u32) -> u32 {
+        let csr = u32::from(self.csr);
+        let o = match mode {
+            DecimateMode::OneOfFour => (rs2 >> ((csr & 0xF) * 2)) & 0x3,
+            DecimateMode::OneOfEight | DecimateMode::OneOfSixteen => {
+                (rs2 >> ((csr & 0x7) * 4)) & 0xF
+            }
+        };
+        let block = (csr >> 1) & 0x7FFF; // csr[15:1]
+        rs1.wrapping_add(mode.m() * block).wrapping_add(o)
+    }
+
+    /// WB stage: inserts the loaded byte into the destination register at
+    /// lane `csr[2:1]` and increments `csr`.
+    ///
+    /// Returns the updated `rd` value (the hardware forwards this from WB
+    /// when the next instruction reads the same register).
+    pub fn wb_stage(&mut self, rd: u32, byte: u8) -> u32 {
+        let lane = (u32::from(self.csr) >> 1) & 0x3; // csr[2:1]
+        let shift = lane * 8;
+        let out = (rd & !(0xFFu32 << shift)) | (u32::from(byte) << shift);
+        self.csr = self.csr.wrapping_add(1);
+        out
+    }
+
+    /// Executes a full `xdecimate rd, rs1, rs2` against a memory closure,
+    /// returning the updated `rd`. Convenience wrapper combining EX and WB.
+    pub fn execute<F>(&mut self, mode: DecimateMode, rs1: u32, rs2: u32, rd: u32, mut load: F) -> u32
+    where
+        F: FnMut(u32) -> u8,
+    {
+        let addr = self.ex_stage(mode, rs1, rs2);
+        let byte = load(addr);
+        self.wb_stage(rd, byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Packs 4-bit offsets LSB-first into a u32.
+    fn pack4(offs: &[u8]) -> u32 {
+        offs.iter().enumerate().fold(0u32, |w, (i, &o)| w | (u32::from(o & 0xF) << (i * 4)))
+    }
+
+    /// Packs 2-bit offsets LSB-first into a u32.
+    fn pack2(offs: &[u8]) -> u32 {
+        offs.iter().enumerate().fold(0u32, |w, (i, &o)| w | (u32::from(o & 0x3) << (i * 2)))
+    }
+
+    #[test]
+    fn block_and_lane_advance_every_two_executions() {
+        let mut xfu = DecimateXfu::new();
+        // Duplicated offsets (conv layout): o0=3, o1=7, o2=1, o3=6 each twice.
+        let rs2 = pack4(&[3, 3, 7, 7, 1, 1, 6, 6]);
+        let m = DecimateMode::OneOfEight;
+        let base1 = 0x100;
+        let base2 = 0x200; // second im2col buffer
+        let mut addrs = Vec::new();
+        for i in 0..8 {
+            let rs1 = if i % 2 == 0 { base1 } else { base2 };
+            addrs.push(xfu.ex_stage(m, rs1, rs2));
+            xfu.wb_stage(0, 0);
+        }
+        assert_eq!(
+            addrs,
+            vec![
+                0x100 + 3,        // block 0, buffer 1
+                0x200 + 3,        // block 0, buffer 2
+                0x100 + 8 + 7,    // block 1, buffer 1
+                0x200 + 8 + 7,
+                0x100 + 16 + 1,
+                0x200 + 16 + 1,
+                0x100 + 24 + 6,
+                0x200 + 24 + 6,
+            ]
+        );
+    }
+
+    #[test]
+    fn lanes_fill_a_register_pair() {
+        let mut xfu = DecimateXfu::new();
+        let mut vb1 = 0u32;
+        let mut vb2 = 0u32;
+        for i in 0..8u8 {
+            // EX/load elided; WB inserts byte i into alternating registers.
+            if i % 2 == 0 {
+                vb1 = xfu.wb_stage(vb1, 0x10 + i);
+            } else {
+                vb2 = xfu.wb_stage(vb2, 0x10 + i);
+            }
+        }
+        assert_eq!(vb1.to_le_bytes(), [0x10, 0x12, 0x14, 0x16]);
+        assert_eq!(vb2.to_le_bytes(), [0x11, 0x13, 0x15, 0x17]);
+    }
+
+    #[test]
+    fn one_of_four_uses_four_csr_bits_for_offset_select() {
+        let mut xfu = DecimateXfu::new();
+        let offs: Vec<u8> = (0..16).map(|i| (i % 4) as u8).collect();
+        let rs2 = pack2(&offs);
+        let m = DecimateMode::OneOfFour;
+        for (i, &o) in offs.iter().enumerate() {
+            let addr = xfu.ex_stage(m, 0, rs2);
+            let block = (i / 2) as u32;
+            assert_eq!(addr, 4 * block + u32::from(o), "call {i}");
+            xfu.wb_stage(0, 0);
+        }
+    }
+
+    #[test]
+    fn one_of_sixteen_strides_by_sixteen() {
+        let mut xfu = DecimateXfu::new();
+        let rs2 = pack4(&[15, 15, 0, 0]);
+        let m = DecimateMode::OneOfSixteen;
+        assert_eq!(xfu.ex_stage(m, 0, rs2), 15);
+        xfu.wb_stage(0, 0);
+        xfu.wb_stage(0, 0);
+        assert_eq!(xfu.ex_stage(m, 0, rs2), 16);
+    }
+
+    #[test]
+    fn clear_resets_csr() {
+        let mut xfu = DecimateXfu::new();
+        for _ in 0..5 {
+            xfu.wb_stage(0, 0);
+        }
+        assert_eq!(xfu.csr(), 5);
+        xfu.clear();
+        assert_eq!(xfu.csr(), 0);
+    }
+
+    #[test]
+    fn csr_wraps_at_16_bits() {
+        let mut xfu = DecimateXfu::new();
+        for _ in 0..u16::MAX {
+            xfu.wb_stage(0, 0);
+        }
+        assert_eq!(xfu.csr(), u16::MAX);
+        xfu.wb_stage(0, 0);
+        assert_eq!(xfu.csr(), 0);
+    }
+
+    #[test]
+    fn execute_combines_ex_and_wb() {
+        let mut xfu = DecimateXfu::new();
+        let mem: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        let rs2 = pack4(&[2, 2]);
+        let rd = xfu.execute(DecimateMode::OneOfEight, 8, rs2, 0, |a| mem[a as usize]);
+        assert_eq!(rd & 0xFF, 10); // mem[8 + 2]
+        assert_eq!(xfu.csr(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Synthetic Gaussian-cluster classification data.
+
+use nm_nn::rng::XorShift;
+
+/// A labelled dataset: `n` rows of `dim` features.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature dimension.
+    pub dim: usize,
+    /// Flattened features, row-major.
+    pub x: Vec<f32>,
+    /// Class labels.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Generates `n` samples from `classes` anisotropic Gaussian clusters
+    /// with partially overlapping means (so the task is non-trivial but
+    /// learnable — dense accuracy lands around 85–95 %).
+    pub fn synthetic(n: usize, dim: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = XorShift::new(seed);
+        // Cluster means on a noisy simplex.
+        let means: Vec<Vec<f32>> = (0..classes)
+            .map(|c| {
+                (0..dim)
+                    .map(|j| {
+                        let base = if j % classes == c { 1.6 } else { 0.0 };
+                        base + gaussian(&mut rng) * 0.3
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut x = Vec::with_capacity(n * dim);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            y.push(c);
+            for j in 0..dim {
+                x.push(means[c][j] + gaussian(&mut rng));
+            }
+        }
+        Dataset { dim, x, y, classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// One sample's features.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.x[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Splits into (train, test) at `ratio`.
+    pub fn split(&self, ratio: f64) -> (Dataset, Dataset) {
+        let n_train = (self.len() as f64 * ratio) as usize;
+        let take = |range: std::ops::Range<usize>| Dataset {
+            dim: self.dim,
+            x: self.x[range.start * self.dim..range.end * self.dim].to_vec(),
+            y: self.y[range.clone()].to_vec(),
+            classes: self.classes,
+        };
+        (take(0..n_train), take(n_train..self.len()))
+    }
+}
+
+/// Box–Muller standard normal.
+fn gaussian(rng: &mut XorShift) -> f32 {
+    let u1 = ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+    let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_balanced() {
+        let a = Dataset::synthetic(100, 8, 4, 42);
+        let b = Dataset::synthetic(100, 8, 4, 42);
+        assert_eq!(a.x, b.x);
+        for c in 0..4 {
+            assert_eq!(a.y.iter().filter(|&&y| y == c).count(), 25);
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = Dataset::synthetic(100, 4, 2, 1);
+        let (tr, te) = d.split(0.8);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(te.len(), 20);
+        assert_eq!(tr.row(0), d.row(0));
+    }
+
+    #[test]
+    fn clusters_are_separable_on_average() {
+        let d = Dataset::synthetic(400, 16, 4, 7);
+        // Mean feature j%4==c should be larger for class c.
+        let mut per_class_mean = [0f32; 4];
+        for i in 0..d.len() {
+            let c = d.y[i];
+            let m: f32 =
+                (0..d.dim).filter(|j| j % 4 == c).map(|j| d.row(i)[j]).sum::<f32>() / 4.0;
+            per_class_mean[c] += m;
+        }
+        for c in 0..4 {
+            assert!(per_class_mean[c] / 100.0 > 0.5, "class {c}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! A two-layer MLP with manual backpropagation (f32).
+
+use nm_nn::rng::XorShift;
+
+/// `dim → hidden (ReLU) → classes` with softmax cross-entropy.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Input dimension.
+    pub dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// First layer weights, `hidden x dim` row-major.
+    pub w1: Vec<f32>,
+    /// First layer bias.
+    pub b1: Vec<f32>,
+    /// Second layer weights, `classes x hidden`.
+    pub w2: Vec<f32>,
+    /// Second layer bias.
+    pub b2: Vec<f32>,
+}
+
+/// Gradients matching [`Mlp`]'s parameters.
+#[derive(Debug, Clone)]
+pub struct Grads {
+    /// d/dw1.
+    pub w1: Vec<f32>,
+    /// d/db1.
+    pub b1: Vec<f32>,
+    /// d/dw2.
+    pub w2: Vec<f32>,
+    /// d/db2.
+    pub b2: Vec<f32>,
+}
+
+impl Mlp {
+    /// He-style random initialization.
+    pub fn new(dim: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = XorShift::new(seed);
+        let mut init = |n: usize, fan_in: usize| -> Vec<f32> {
+            let scale = (2.0 / fan_in as f32).sqrt();
+            (0..n)
+                .map(|_| {
+                    let u = (rng.next_u64() >> 11) as f32 / (1u64 << 53) as f32 - 0.5;
+                    u * 2.0 * scale
+                })
+                .collect()
+        };
+        Mlp {
+            dim,
+            hidden,
+            classes,
+            w1: init(hidden * dim, dim),
+            b1: vec![0.0; hidden],
+            w2: init(classes * hidden, hidden),
+            b2: vec![0.0; classes],
+        }
+    }
+
+    /// Forward pass with explicit effective weights (the SR-STE trainer
+    /// passes masked weights here). Returns (hidden activations, logits).
+    pub fn forward_with(&self, w1: &[f32], w2: &[f32], x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let mut h = vec![0.0f32; self.hidden];
+        for (i, hi) in h.iter_mut().enumerate() {
+            let mut acc = self.b1[i];
+            for j in 0..self.dim {
+                acc += w1[i * self.dim + j] * x[j];
+            }
+            *hi = acc.max(0.0);
+        }
+        let mut logits = vec![0.0f32; self.classes];
+        for (k, l) in logits.iter_mut().enumerate() {
+            let mut acc = self.b2[k];
+            for (i, &hi) in h.iter().enumerate() {
+                acc += w2[k * self.hidden + i] * hi;
+            }
+            *l = acc;
+        }
+        (h, logits)
+    }
+
+    /// Softmax probabilities.
+    pub fn softmax(logits: &[f32]) -> Vec<f32> {
+        let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        exps.iter().map(|&e| e / sum).collect()
+    }
+
+    /// Backward pass for one sample: cross-entropy gradient w.r.t. the
+    /// *effective* weights (straight-through to the dense ones).
+    pub fn backward_with(
+        &self,
+        w2: &[f32],
+        x: &[f32],
+        h: &[f32],
+        probs: &[f32],
+        label: usize,
+        grads: &mut Grads,
+    ) {
+        let mut dlogits = probs.to_vec();
+        dlogits[label] -= 1.0;
+        let mut dh = vec![0.0f32; self.hidden];
+        for k in 0..self.classes {
+            grads.b2[k] += dlogits[k];
+            for i in 0..self.hidden {
+                grads.w2[k * self.hidden + i] += dlogits[k] * h[i];
+                dh[i] += dlogits[k] * w2[k * self.hidden + i];
+            }
+        }
+        for i in 0..self.hidden {
+            if h[i] <= 0.0 {
+                continue; // ReLU gate
+            }
+            grads.b1[i] += dh[i];
+            for j in 0..self.dim {
+                grads.w1[i * self.dim + j] += dh[i] * x[j];
+            }
+        }
+    }
+
+    /// Zeroed gradients.
+    pub fn zero_grads(&self) -> Grads {
+        Grads {
+            w1: vec![0.0; self.w1.len()],
+            b1: vec![0.0; self.b1.len()],
+            w2: vec![0.0; self.w2.len()],
+            b2: vec![0.0; self.b2.len()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let p = Mlp::softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mlp = Mlp::new(3, 4, 2, 7);
+        let x = [0.5f32, -1.0, 2.0];
+        let label = 1;
+        let loss = |m: &Mlp| {
+            let (_, logits) = m.forward_with(&m.w1, &m.w2, &x);
+            let p = Mlp::softmax(&logits);
+            -p[label].ln()
+        };
+        let mut grads = mlp.zero_grads();
+        let (h, logits) = mlp.forward_with(&mlp.w1, &mlp.w2, &x);
+        let probs = Mlp::softmax(&logits);
+        mlp.backward_with(&mlp.w2, &x, &h, &probs, label, &mut grads);
+        // Check a few coordinates of w1 and w2 by central differences.
+        let eps = 1e-3;
+        for &idx in &[0usize, 5, 7] {
+            let mut plus = mlp.clone();
+            plus.w1[idx] += eps;
+            let mut minus = mlp.clone();
+            minus.w1[idx] -= eps;
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!((fd - grads.w1[idx]).abs() < 1e-2, "w1[{idx}]: fd {fd} vs {}", grads.w1[idx]);
+        }
+        for &idx in &[0usize, 3] {
+            let mut plus = mlp.clone();
+            plus.w2[idx] += eps;
+            let mut minus = mlp.clone();
+            minus.w2[idx] -= eps;
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!((fd - grads.w2[idx]).abs() < 1e-2, "w2[{idx}]");
+        }
+    }
+}

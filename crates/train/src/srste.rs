@@ -1,0 +1,199 @@
+//! SR-STE N:M sparse training (Zhou et al. 2021).
+//!
+//! Every step: recompute the N:M magnitude mask of the dense weights,
+//! run forward/backward through the *masked* weights, and update the
+//! dense weights with the straight-through gradient plus the
+//! sparse-refinement term `λ · (1 − mask) ⊙ W`, which pushes pruned
+//! weights toward zero so the mask stabilizes over training.
+
+use crate::data::Dataset;
+use crate::mlp::Mlp;
+use nm_core::sparsity::Nm;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// SR-STE refinement strength λ.
+    pub lambda: f32,
+    /// Pattern (None = dense training).
+    pub nm: Option<Nm>,
+    /// Seed for init.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { hidden: 64, epochs: 30, lr: 0.02, lambda: 2e-4, nm: None, seed: 1 }
+    }
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// Test accuracy in `[0, 1]` (evaluated with masked weights).
+    pub test_accuracy: f64,
+    /// Final train loss.
+    pub train_loss: f64,
+    /// Effective sparsity of the first layer's masked weights.
+    pub sparsity: f64,
+}
+
+/// N:M magnitude mask over a row-major matrix (1.0 keep, 0.0 prune).
+fn nm_mask(w: &[f32], cols: usize, nm: Nm) -> Vec<f32> {
+    let mut mask = vec![1.0f32; w.len()];
+    let m = nm.m();
+    debug_assert_eq!(cols % m, 0);
+    for (bi, block) in w.chunks(m).enumerate() {
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| block[b].abs().partial_cmp(&block[a].abs()).unwrap());
+        for &i in order.iter().skip(nm.n()) {
+            mask[bi * m + i] = 0.0;
+        }
+    }
+    mask
+}
+
+fn masked(w: &[f32], mask: &[f32]) -> Vec<f32> {
+    w.iter().zip(mask).map(|(&a, &m)| a * m).collect()
+}
+
+/// Trains an MLP on `train`, evaluates on `test`.
+///
+/// With `cfg.nm == None` this is plain SGD; otherwise SR-STE with the
+/// pattern applied to both weight matrices (the classifier head is small
+/// but divisible in the proxy setup).
+pub fn train(train_set: &Dataset, test_set: &Dataset, cfg: &TrainConfig) -> TrainResult {
+    let mut mlp = Mlp::new(train_set.dim, cfg.hidden, train_set.classes, cfg.seed);
+    let n = train_set.len();
+    let mut last_loss = 0.0f64;
+    for _epoch in 0..cfg.epochs {
+        let mut loss_sum = 0.0f64;
+        let mut grads = mlp.zero_grads();
+        let batch = 16usize;
+        for (i, start) in (0..n).step_by(batch).enumerate() {
+            let end = (start + batch).min(n);
+            // Recompute masks per step (SR-STE).
+            let (m1, m2) = match cfg.nm {
+                Some(nm) => (
+                    nm_mask(&mlp.w1, mlp.dim, nm),
+                    nm_mask(&mlp.w2, mlp.hidden, nm),
+                ),
+                None => (vec![1.0; mlp.w1.len()], vec![1.0; mlp.w2.len()]),
+            };
+            let w1 = masked(&mlp.w1, &m1);
+            let w2 = masked(&mlp.w2, &m2);
+            grads.w1.fill(0.0);
+            grads.b1.fill(0.0);
+            grads.w2.fill(0.0);
+            grads.b2.fill(0.0);
+            for s in start..end {
+                let x = train_set.row(s);
+                let (h, logits) = mlp.forward_with(&w1, &w2, x);
+                let probs = Mlp::softmax(&logits);
+                loss_sum += -f64::from(probs[train_set.y[s]].max(1e-9)).ln();
+                mlp.backward_with(&w2, x, &h, &probs, train_set.y[s], &mut grads);
+            }
+            let scale = cfg.lr / (end - start) as f32;
+            for (j, g) in grads.w1.iter().enumerate() {
+                let refine = cfg.lambda * (1.0 - m1[j]) * mlp.w1[j];
+                mlp.w1[j] -= scale * g + refine;
+            }
+            for (j, g) in grads.w2.iter().enumerate() {
+                let refine = cfg.lambda * (1.0 - m2[j]) * mlp.w2[j];
+                mlp.w2[j] -= scale * g + refine;
+            }
+            for (j, g) in grads.b1.iter().enumerate() {
+                mlp.b1[j] -= scale * g;
+            }
+            for (j, g) in grads.b2.iter().enumerate() {
+                mlp.b2[j] -= scale * g;
+            }
+            let _ = i;
+        }
+        last_loss = loss_sum / n as f64;
+    }
+    // Final masked evaluation (what gets deployed).
+    let (m1, m2) = match cfg.nm {
+        Some(nm) => (nm_mask(&mlp.w1, mlp.dim, nm), nm_mask(&mlp.w2, mlp.hidden, nm)),
+        None => (vec![1.0; mlp.w1.len()], vec![1.0; mlp.w2.len()]),
+    };
+    let w1 = masked(&mlp.w1, &m1);
+    let w2 = masked(&mlp.w2, &m2);
+    let mut correct = 0usize;
+    for s in 0..test_set.len() {
+        let (_, logits) = mlp.forward_with(&w1, &w2, test_set.row(s));
+        let pred = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        if pred == test_set.y[s] {
+            correct += 1;
+        }
+    }
+    let sparsity = 1.0 - m1.iter().map(|&v| f64::from(v)).sum::<f64>() / m1.len() as f64;
+    TrainResult {
+        test_accuracy: correct as f64 / test_set.len() as f64,
+        train_loss: last_loss,
+        sparsity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn datasets() -> (Dataset, Dataset) {
+        Dataset::synthetic(600, 32, 4, 11).split(0.8)
+    }
+
+    #[test]
+    fn dense_training_learns() {
+        let (tr, te) = datasets();
+        let r = train(&tr, &te, &TrainConfig { epochs: 20, ..Default::default() });
+        assert!(r.test_accuracy > 0.7, "accuracy {}", r.test_accuracy);
+        assert_eq!(r.sparsity, 0.0);
+    }
+
+    #[test]
+    fn srste_mask_has_exact_pattern() {
+        let w: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) / 7.0).collect();
+        let mask = nm_mask(&w, 32, Nm::ONE_OF_EIGHT);
+        for block in mask.chunks(8) {
+            assert_eq!(block.iter().filter(|&&v| v == 1.0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn sparse_training_stays_close_to_dense() {
+        let (tr, te) = datasets();
+        let dense = train(&tr, &te, &TrainConfig { epochs: 20, ..Default::default() });
+        let sparse = train(
+            &tr,
+            &te,
+            &TrainConfig { epochs: 20, nm: Some(Nm::ONE_OF_FOUR), ..Default::default() },
+        );
+        assert!((sparse.sparsity - 0.75).abs() < 1e-9);
+        assert!(
+            sparse.test_accuracy > dense.test_accuracy - 0.1,
+            "dense {} sparse {}",
+            dense.test_accuracy,
+            sparse.test_accuracy
+        );
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let (tr, te) = datasets();
+        let short = train(&tr, &te, &TrainConfig { epochs: 2, ..Default::default() });
+        let long = train(&tr, &te, &TrainConfig { epochs: 25, ..Default::default() });
+        assert!(long.train_loss < short.train_loss);
+    }
+}

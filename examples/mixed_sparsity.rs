@@ -1,0 +1,120 @@
+//! The paper's future-work study, both axes (Sec. 6: "variable sparsity
+//! patterns (e.g., per-layer or per-channel)"):
+//!
+//! 1. **Per-layer** — greedy pattern assignment across ResNet18's
+//!    convolutions under a kept-density floor (`nm_compiler::mixed`).
+//! 2. **Per-channel** — pattern assignment per output channel inside one
+//!    representative convolution, traded against the retained weight
+//!    mass (`nm_compiler::channelwise`), executed with the per-channel
+//!    mixed kernel.
+//!
+//! Run: `cargo run --release -p nm-examples --example mixed_sparsity`
+
+use nm_compiler::channelwise::conv_channel_sweep;
+use nm_compiler::mixed::assign_mixed;
+use nm_compiler::{Options, Target};
+use nm_core::ConvGeom;
+use nm_examples::banner;
+use nm_isa::CostModel;
+use nm_kernels::conv::per_channel::ChannelEngine;
+use nm_models::resnet18_cifar;
+use nm_nn::graph::OpKind;
+use nm_nn::rng::XorShift;
+use nm_platform::Cluster;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("1. per-layer mixed sparsity on ResNet18 (xDecimate target)");
+    let graph = resnet18_cifar(100, 1)?;
+    let opts = Options::new(Target::SparseIsa);
+    println!(
+        "{:<14} {:>9} {:>9} {:>14}  per-layer ladder",
+        "density floor", "achieved", "Mcycles", "layers sparse"
+    );
+    for floor in [1.0, 0.5, 0.25, 0.125, 0.0] {
+        let a = assign_mixed(&graph, &opts, floor, |_, op| {
+            matches!(op, OpKind::Conv2d(l) if !l.geom.is_pointwise() && l.geom.c % 16 == 0)
+        })?;
+        let sparse = a.per_layer.iter().filter(|(_, nm)| nm.is_some()).count();
+        let ladder: String = a
+            .per_layer
+            .iter()
+            .map(|(_, nm)| match nm {
+                None => 'd',
+                Some(nm) if nm.m() == 4 => '4',
+                Some(nm) if nm.m() == 8 => '8',
+                _ => 'x', // 1:16
+            })
+            .collect();
+        println!(
+            "{:<14.3} {:>9.3} {:>9.2} {:>11}/{:<2}  {}",
+            floor,
+            a.density,
+            a.cycles as f64 / 1e6,
+            sparse,
+            a.per_layer.len(),
+            ladder
+        );
+    }
+    println!("(d = dense, 4/8/x = 1:4, 1:8, 1:16 — the greedy sparsifies the layers");
+    println!(" with the most cycles saved per dropped weight first, and parks the");
+    println!(" rest at the floor)");
+
+    banner("2. per-channel sparsity inside one 128x128 3x3 convolution");
+    let geom = ConvGeom::square(128, 128, 8, 3, 1, 1)?;
+    let mut rng = XorShift::new(41);
+    let weights = rng.fill_weights(geom.weight_elems(), 40);
+    let cluster = Cluster::new(8, CostModel::default());
+    let targets = [1.0, 0.75, 0.5, 0.25, 0.125, 1.0 / 16.0];
+    for engine in [ChannelEngine::Software, ChannelEngine::Isa] {
+        println!("\nengine: {engine:?}");
+        println!(
+            "{:>7} {:>8} {:>9} {:>9} {:>10}  dense/1:4/1:8/1:16",
+            "target", "density", "Kcycles", "mem KiB", "mass kept"
+        );
+        for p in conv_channel_sweep(&geom, &weights, engine, &cluster, &targets)? {
+            let h = p.histogram;
+            println!(
+                "{:>7.3} {:>8.3} {:>9.1} {:>9.1} {:>10.3}  {}/{}/{}/{}",
+                p.target_density,
+                p.density,
+                p.cycles as f64 / 1e3,
+                p.weight_bits as f64 / 8.0 / 1024.0,
+                p.mass_kept,
+                h[0],
+                h[1],
+                h[2],
+                h[3]
+            );
+        }
+    }
+
+    banner("3. per-channel sparsity on a 2048x256 fully-connected layer");
+    let fc_geom = nm_core::FcGeom::new(2048, 256)?;
+    let fc_weights = rng.fill_weights(fc_geom.weight_elems(), 40);
+    println!(
+        "{:>7} {:>8} {:>9} {:>9} {:>10}  dense/1:4/1:8/1:16",
+        "target", "density", "Kcycles", "mem KiB", "mass kept"
+    );
+    for p in nm_compiler::channelwise::fc_channel_sweep(&fc_geom, &fc_weights, &cluster, &targets)?
+    {
+        let h = p.histogram;
+        println!(
+            "{:>7.3} {:>8.3} {:>9.1} {:>9.1} {:>10.3}  {}/{}/{}/{}",
+            p.target_density,
+            p.density,
+            p.cycles as f64 / 1e3,
+            p.weight_bits as f64 / 8.0 / 1024.0,
+            p.mass_kept,
+            h[0],
+            h[1],
+            h[2],
+            h[3]
+        );
+    }
+
+    banner("takeaway");
+    println!("per-channel assignment buys intermediate density/latency points the");
+    println!("uniform kernels cannot reach, keeping the highest-magnitude channels");
+    println!("dense — with the xDecimate engine every sparse point beats software.");
+    Ok(())
+}

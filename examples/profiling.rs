@@ -1,0 +1,58 @@
+//! GVSoC-style profiling of a compiled network: per-layer compute/DMA
+//! breakdown plus tile-level Gantt timelines, reproducing the paper's
+//! Sec. 5.2 explanation — convolutions hide weight transfers under
+//! compute (double buffering), memory-bound FC layers cannot.
+//!
+//! Run: `cargo run --release -p nm-examples --example profiling`
+
+use nm_compiler::profile::{breakdown_report, trace_layer};
+use nm_compiler::{compile, Options, Target};
+use nm_core::sparsity::Nm;
+use nm_examples::banner;
+use nm_models::{lenet300, resnet18_cifar};
+use nm_nn::graph::OpKind;
+use nm_nn::prune::{prune_graph, resnet_policy};
+use nm_platform::Lane;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("1. ResNet18 @ 1:8 on the xDecimate target — layer breakdown");
+    let nm = Nm::ONE_OF_EIGHT;
+    let mut graph = resnet18_cifar(100, 1)?;
+    prune_graph(&mut graph, nm, resnet_policy(nm))?;
+    let opts = Options::new(Target::SparseIsa);
+    let report = compile(&graph, &opts)?;
+    print!("{}", breakdown_report(&report));
+
+    banner("2. tile timeline of the largest sparse convolution");
+    let busiest = report
+        .layers
+        .iter()
+        .filter(|l| l.op_name == "conv2d" && l.choice.as_ref().is_some_and(|c| c.nm().is_some()))
+        .max_by_key(|l| l.cycles)
+        .expect("a sparse conv exists");
+    let lt = trace_layer(&graph, busiest.node, &opts)?;
+    println!("node {} ({}, {} tiles):", lt.node, lt.kernel, lt.n_tiles);
+    print!("{}", lt.trace.render(72));
+    println!(
+        "compute is busy {:.0} % of the layer — the DMA lanes hide underneath",
+        100.0 * lt.trace.utilization(Lane::Compute)
+    );
+
+    banner("3. the memory-bound counterexample: LeNet300's first FC layer");
+    let fc_graph = lenet300(1)?;
+    let fc_opts = Options::new(Target::Dense1x2);
+    let fc_node = fc_graph
+        .nodes()
+        .iter()
+        .position(|n| matches!(n.op, OpKind::Linear(_)))
+        .expect("lenet300 starts with a linear layer");
+    let lt = trace_layer(&fc_graph, fc_node, &fc_opts)?;
+    println!("node {} ({}, {} tiles):", lt.node, lt.kernel, lt.n_tiles);
+    print!("{}", lt.trace.render(72));
+    println!(
+        "here DMA-in is busy {:.0} % — weight transfers, not MACs, set the latency,",
+        100.0 * lt.trace.utilization(Lane::DmaIn)
+    );
+    println!("which is why sparse FC layers win even at 1:4 (fewer bytes moved).");
+    Ok(())
+}

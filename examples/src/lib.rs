@@ -1,0 +1,14 @@
+//! Shared pretty-printing helpers for the runnable examples.
+//!
+//! Run any example with
+//! `cargo run --release -p nm-examples --example <name>`.
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a speedup.
+pub fn speedup(base: u64, new: u64) -> String {
+    format!("{:.2}x", base as f64 / new as f64)
+}

@@ -1,0 +1,53 @@
+//! ViT-Small end-to-end deployment (Table 2's right half): sparsify the
+//! feed-forward linear layers of every transformer block, compile, and
+//! print the latency / memory table. Attention layers stay dense, as in
+//! the paper (where they run through Deeploy).
+//!
+//! Run: `cargo run --release -p nm-examples --example vit_feedforward`
+
+use nm_compiler::plan::{compile, Options};
+use nm_compiler::Target;
+use nm_core::sparsity::Nm;
+use nm_examples::banner;
+use nm_models::vit::VitConfig;
+use nm_models::vit_small;
+use nm_nn::prune::{prune_graph, vit_ff_policy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("ViT-Small / 224x224 (synthetic weights)");
+    let cfg = VitConfig::SMALL_224;
+    let dense = vit_small(&cfg, 1)?;
+    println!(
+        "params: {:.2} M   dense MACs: {:.2} G   tokens: {}",
+        dense.params() as f64 / 1e6,
+        dense.dense_macs() as f64 / 1e9,
+        cfg.tokens()
+    );
+
+    let base = compile(&dense, &Options::new(Target::Dense1x2))?;
+    println!("\n{:<10} {:>9} {:>9} {:>8} {:>9}", "config", "Mcycles", "MAC/cyc", "Mem MB", "vs dense");
+    let print = |name: &str, cycles: u64, mpc: f64, mem: usize| {
+        println!(
+            "{:<10} {:>9.2} {:>9.2} {:>8.2} {:>8.2}x",
+            name,
+            cycles as f64 / 1e6,
+            mpc,
+            mem as f64 / 1e6,
+            base.total_cycles() as f64 / cycles as f64
+        );
+    };
+    print("dense", base.total_cycles(), base.macs_per_cycle(), base.total_weight_bytes());
+    for nm in Nm::KERNEL_PATTERNS {
+        let mut g = vit_small(&cfg, 1)?;
+        let pruned = prune_graph(&mut g, nm, vit_ff_policy(nm, 128))?;
+        let sw = compile(&g, &Options::new(Target::SparseSw))?;
+        let isa = compile(&g, &Options::new(Target::SparseIsa))?;
+        print(&format!("sw-{nm}"), sw.total_cycles(), sw.macs_per_cycle(), sw.total_weight_bytes());
+        print(&format!("isa-{nm}"), isa.total_cycles(), isa.macs_per_cycle(), isa.total_weight_bytes());
+        if nm == Nm::ONE_OF_FOUR {
+            println!("   ({} feed-forward layers sparsified)", pruned.len());
+        }
+    }
+    println!("\npaper Table 2: dense 975.23 Mcyc / 21.59 MB; 1:16 isa 540.23 Mcyc (1.81x) / 8.76 MB");
+    Ok(())
+}

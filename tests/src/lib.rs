@@ -1,0 +1,21 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use nm_nn::rng::XorShift;
+
+/// Deterministic random int8 buffer.
+pub fn random_i8(n: usize, seed: u64) -> Vec<i8> {
+    XorShift::new(seed).fill_weights(n, 42)
+}
+
+/// Forces a dense buffer into an exact N:M pattern (exactly N non-zeros
+/// per block), so sparsity detection picks the intended pattern.
+pub fn make_exact_nm(w: &mut [i8], rows: usize, cols: usize, nm: nm_core::sparsity::Nm) {
+    nm_core::sparsity::prune_magnitude(w, rows, cols, nm).expect("shape ok");
+    for row in w.chunks_mut(cols) {
+        for block in row.chunks_mut(nm.m()) {
+            if block.iter().all(|&v| v == 0) {
+                block[0] = 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Cross-checks between the executable Fig. 4/5 instruction streams
+//! (`nm_isa::programs`) and the charged-operation kernels
+//! (`nm-kernels`): the *same* inner-loop work must retire the same
+//! instruction counts and produce the same arithmetic, whichever way it
+//! is expressed.
+
+use nm_core::format::{NmMatrix, OffsetLayout};
+use nm_core::sparsity::Nm;
+use nm_integration::{make_exact_nm, random_i8};
+use nm_isa::asm::{retired, Instr, Interp};
+use nm_isa::programs::{self, reg};
+use nm_isa::{Core, CostModel, DecimateMode, FlatMem, Memory};
+use proptest::prelude::*;
+
+fn mode_of(nm: Nm) -> DecimateMode {
+    match nm.m() {
+        4 => DecimateMode::OneOfFour,
+        8 => DecimateMode::OneOfEight,
+        _ => DecimateMode::OneOfSixteen,
+    }
+}
+
+fn nm_strategy() -> impl Strategy<Value = Nm> {
+    prop_oneof![Just(Nm::ONE_OF_FOUR), Just(Nm::ONE_OF_EIGHT), Just(Nm::ONE_OF_SIXTEEN)]
+}
+
+/// Stages one N:M row (values + plain/duplicated offsets) plus two
+/// im2col buffers, then runs both the SW and ISA conv programs over it
+/// and returns their accumulators.
+fn run_conv_programs(nm: Nm, chunks: usize, seed: u64) -> ((i32, i32), (i32, i32), Vec<i32>) {
+    let m = nm.m();
+    let nz = 4 * chunks;
+    let cols = nz * m;
+    let mut dense = random_i8(cols, seed);
+    make_exact_nm(&mut dense, 1, cols, nm);
+    let buf0 = random_i8(cols, seed ^ 0xAA);
+    let buf1 = random_i8(cols, seed ^ 0xBB);
+
+    // Expected: decimated dot products straight from the dense row.
+    let expect: Vec<i32> = [&buf0, &buf1]
+        .iter()
+        .map(|buf| {
+            dense
+                .iter()
+                .zip(buf.iter())
+                .map(|(&w, &a)| i32::from(w) * i32::from(a))
+                .sum()
+        })
+        .collect();
+
+    const W: u32 = 0x000;
+    const O: u32 = 0x400;
+    const B0: u32 = 0x800;
+    let b1 = B0 + cols as u32;
+    let run = |layout: OffsetLayout, prog: Vec<Instr>| {
+        let packed = NmMatrix::from_dense(&dense, 1, cols, nm, layout).unwrap();
+        let mut mem = FlatMem::new(0x800 + 2 * cols);
+        for (i, &v) in packed.values().iter().enumerate() {
+            mem.store_i8(W + i as u32, v);
+        }
+        mem.write_bytes(O, packed.offsets_bytes());
+        for (i, &v) in buf0.iter().enumerate() {
+            mem.store_i8(B0 + i as u32, v);
+        }
+        for (i, &v) in buf1.iter().enumerate() {
+            mem.store_i8(b1 + i as u32, v);
+        }
+        let mut core = Core::new(CostModel::default());
+        let mut interp = Interp::new();
+        interp.set(reg::W_PTR, W);
+        interp.set(reg::O_PTR, O);
+        interp.set(reg::BUF0, B0);
+        interp.set(reg::BUF1, b1);
+        interp.run(&prog, &mut core, &mut mem);
+        (interp.get(reg::ACC0) as i32, interp.get(reg::ACC1) as i32)
+    };
+    let sw = run(OffsetLayout::Plain, programs::conv_sparse_sw(mode_of(nm), chunks as u32));
+    let isa =
+        run(OffsetLayout::Duplicated, programs::conv_sparse_isa(mode_of(nm), chunks as u32));
+    (sw, isa, expect)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv_programs_compute_the_packed_rows_dot_product(
+        nm in nm_strategy(),
+        chunk_pairs in 1usize..5,
+        seed in 1u64..10_000,
+    ) {
+        let chunks = 2 * chunk_pairs; // even, for the 1:4 ISA pairing
+        let ((sw0, sw1), (isa0, isa1), expect) = run_conv_programs(nm, chunks, seed);
+        prop_assert_eq!(sw0, expect[0], "{} sw patch0", nm);
+        prop_assert_eq!(sw1, expect[1], "{} sw patch1", nm);
+        prop_assert_eq!(isa0, expect[0], "{} isa patch0", nm);
+        prop_assert_eq!(isa1, expect[1], "{} isa patch1", nm);
+    }
+
+    #[test]
+    fn program_budgets_scale_linearly_with_chunks(
+        nm in nm_strategy(),
+        chunk_pairs in 1usize..8,
+    ) {
+        let chunks = (2 * chunk_pairs) as u32;
+        let mode = mode_of(nm);
+        let per_iter_sw = if nm.m() == 4 { 23 } else { 22 };
+        // SW program: 1 lp.setup + chunks * body.
+        prop_assert_eq!(
+            retired(&programs::conv_sparse_sw(mode, chunks)),
+            1 + u64::from(chunks) * per_iter_sw
+        );
+        // ISA program: clear + setup + 12/chunk for every format.
+        prop_assert_eq!(
+            retired(&programs::conv_sparse_isa(mode, chunks)),
+            2 + u64::from(chunks) * 12
+        );
+        // FC programs: 16 and 13 per chunk.
+        prop_assert_eq!(
+            retired(&programs::fc_sparse_sw(mode, chunks)),
+            1 + u64::from(chunks) * 16
+        );
+        prop_assert_eq!(
+            retired(&programs::fc_sparse_isa(mode, 15, chunks)),
+            2 + u64::from(chunks) * 13
+        );
+        prop_assert_eq!(retired(&programs::conv_dense_1x2(chunks)), 1 + u64::from(chunks) * 5);
+        prop_assert_eq!(retired(&programs::fc_dense_1x2(chunks)), 1 + u64::from(chunks) * 5);
+    }
+
+    #[test]
+    fn interp_instret_equals_static_retired_count(
+        nm in nm_strategy(),
+        chunk_pairs in 1usize..4,
+        seed in 1u64..10_000,
+    ) {
+        // The interpreter must charge exactly the statically countable
+        // instructions: no hidden work, no skipped work.
+        let chunks = 2 * chunk_pairs;
+        let m = nm.m();
+        let cols = 4 * chunks * m;
+        let mut dense = random_i8(cols, seed);
+        make_exact_nm(&mut dense, 1, cols, nm);
+        let packed = NmMatrix::from_dense(&dense, 1, cols, nm, OffsetLayout::Plain).unwrap();
+        let mut mem = FlatMem::new(0x800 + 2 * cols);
+        for (i, &v) in packed.values().iter().enumerate() {
+            mem.store_i8(i as u32, v);
+        }
+        mem.write_bytes(0x400, packed.offsets_bytes());
+        let prog = programs::conv_sparse_sw(mode_of(nm), chunks as u32);
+        let mut core = Core::new(CostModel::default());
+        let mut interp = Interp::new();
+        interp.set(reg::W_PTR, 0);
+        interp.set(reg::O_PTR, 0x400);
+        interp.set(reg::BUF0, 0x800);
+        interp.set(reg::BUF1, 0x800 + cols as u32);
+        interp.run(&prog, &mut core, &mut mem);
+        prop_assert_eq!(core.instret(), retired(&prog));
+        // 8 MACs per chunk over two patches.
+        prop_assert_eq!(core.macs(), 8 * chunks as u64);
+    }
+}
+
+/// The ISA program and the SW program disagree on *instructions* but
+/// must agree on *work*: same MAC count, ISA strictly fewer retired
+/// instructions — the entire point of the extension (Sec. 4.1.3).
+#[test]
+fn isa_program_is_strictly_shorter_at_equal_work() {
+    for nm in Nm::KERNEL_PATTERNS {
+        let chunks = 6u32;
+        let sw = retired(&programs::conv_sparse_sw(mode_of(nm), chunks));
+        let isa = retired(&programs::conv_sparse_isa(mode_of(nm), chunks));
+        assert!(isa < sw, "{nm}: isa {isa} vs sw {sw}");
+        // Ratio matches the paper's 22-or-23 -> 12 reduction.
+        let ratio = sw as f64 / isa as f64;
+        assert!(ratio > 1.7 && ratio < 2.0, "{nm}: ratio {ratio}");
+    }
+}
+
+/// The dense program's listing contains exactly the Fig. 4 instruction
+/// kinds: loads and SIMD dot products, nothing else inside the loop.
+#[test]
+fn dense_program_body_is_loads_and_sdotp_only() {
+    let prog = programs::conv_dense_1x2(3);
+    let Instr::HwLoop { body, .. } = &prog[0] else {
+        panic!("dense program is one hardware loop")
+    };
+    for i in body {
+        assert!(
+            matches!(i, Instr::Lw { .. } | Instr::Sdotp { .. }),
+            "unexpected instruction {i}"
+        );
+    }
+}

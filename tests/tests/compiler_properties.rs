@@ -1,0 +1,97 @@
+//! Property tests over the compiler: tilings always fit L1 and cover
+//! the iteration space; the interleaved layout halves weight DMA
+//! transactions without ever being slower.
+
+use nm_compiler::plan::{conv_tile_specs, plan_conv, Options};
+use nm_compiler::tiling::{conv_tile_l1_bytes, tile_conv, tile_fc, weight_tile_bytes};
+use nm_compiler::{KernelChoice, Target};
+use nm_core::sparsity::Nm;
+use nm_core::{ConvGeom, FcGeom};
+use proptest::prelude::*;
+
+fn choice_strategy() -> impl Strategy<Value = KernelChoice> {
+    prop_oneof![
+        Just(KernelChoice::ConvDense1x2),
+        Just(KernelChoice::ConvDensePulpNn),
+        Just(KernelChoice::ConvSparseSw(Nm::ONE_OF_EIGHT)),
+        Just(KernelChoice::ConvSparseIsa(Nm::ONE_OF_EIGHT)),
+        Just(KernelChoice::ConvSparseIsa(Nm::ONE_OF_SIXTEEN)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv_tilings_fit_and_cover(
+        choice in choice_strategy(),
+        c_blocks in 1usize..8,
+        k in 4usize..128,
+        i in 4usize..17,
+    ) {
+        let c = 16 * c_blocks;
+        let geom = ConvGeom::square(c, k, i, 3, 1, 1).unwrap();
+        let budget = 128 * 1024;
+        let Ok(t) = tile_conv(&geom, &choice, budget, 8) else {
+            // Only acceptable when even the minimum tile cannot fit.
+            let min = conv_tile_l1_bytes(&geom, &choice, 1, 2, 8, true);
+            prop_assert!(min > budget);
+            return Ok(());
+        };
+        prop_assert!(t.l1_bytes <= budget);
+        // Tiles cover the output exactly once.
+        let specs = conv_tile_specs(&geom, &t);
+        let covered: usize = specs.iter().map(|s| s.geom.oy() * s.geom.ox() * s.geom.k).sum();
+        prop_assert_eq!(covered, geom.output_elems());
+        // Every tile geometry is itself feasible.
+        for s in &specs {
+            prop_assert!(s.geom.k <= t.k_tile);
+            prop_assert!(s.geom.oy() <= t.oy_tile);
+        }
+    }
+
+    #[test]
+    fn fc_tilings_fit(
+        c_blocks in 1usize..65,
+        k in 2usize..513,
+        sparse in any::<bool>(),
+    ) {
+        let c = 16 * c_blocks;
+        let k = k * 2;
+        let geom = FcGeom::new(c, k).unwrap();
+        let choice = if sparse {
+            KernelChoice::FcSparseIsa(Nm::ONE_OF_EIGHT)
+        } else {
+            KernelChoice::FcDense
+        };
+        let budget = 128 * 1024;
+        let t = tile_fc(&geom, &choice, budget).unwrap();
+        prop_assert!(t.l1_bytes <= budget);
+        prop_assert!(t.k_tile >= 1 && t.k_tile <= geom.k);
+        if sparse {
+            prop_assert_eq!(t.k_tile % 2, 0);
+        }
+        // Sparse weight tiles are never larger than dense ones.
+        prop_assert!(
+            weight_tile_bytes(&choice, t.k_tile, c)
+                <= weight_tile_bytes(&KernelChoice::FcDense, t.k_tile, c)
+        );
+    }
+
+    #[test]
+    fn interleaving_never_hurts(
+        c_blocks in 1usize..5,
+        k in 8usize..64,
+    ) {
+        let c = 16 * c_blocks;
+        let geom = ConvGeom::square(c, k, 8, 3, 1, 1).unwrap();
+        let choice = KernelChoice::ConvSparseIsa(Nm::ONE_OF_EIGHT);
+        let mut opts = Options::new(Target::SparseIsa);
+        let inter = plan_conv(0, &geom, choice, &opts).unwrap();
+        opts.interleaved_weights = false;
+        let split = plan_conv(0, &geom, choice, &opts).unwrap();
+        prop_assert_eq!(split.weight_dma_transactions, 2 * inter.weight_dma_transactions);
+        prop_assert!(inter.cycles <= split.cycles);
+        prop_assert!(inter.dma_cycles <= split.dma_cycles);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the dCSR comparator format/kernel and the
+//! tile-trace infrastructure.
+
+use nm_compiler::profile::trace_layer;
+use nm_compiler::{compile, Options, Target};
+use nm_core::format::{CsrMatrix, DcsrMatrix};
+use nm_core::quant::Requant;
+use nm_core::FcGeom;
+use nm_integration::random_i8;
+use nm_isa::CostModel;
+use nm_kernels::baseline::dcsr::{fc_dcsr, stage_dcsr_fc};
+use nm_kernels::fc::FcJob;
+use nm_kernels::reference::fc_ref;
+use nm_kernels::Ctx;
+use nm_platform::pipeline::{double_buffered_cycles, serial_cycles, TileCost};
+use nm_platform::{Cluster, Lane, Scratchpad, Trace};
+use proptest::prelude::*;
+
+/// Random matrix with bounded gaps (dCSR escapes cover deltas <= 271).
+fn gap_sparse(rows: usize, cols: usize, keep_every: usize, seed: u64) -> Vec<i8> {
+    let raw = random_i8(rows * cols, seed);
+    raw.iter()
+        .enumerate()
+        .map(|(i, &v)| if i % keep_every == 0 { if v == 0 { 1 } else { v } } else { 0 })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dcsr_round_trips_and_never_stores_more_than_csr_plus_slack(
+        rows in 1usize..12,
+        cols16 in 1usize..8,
+        keep_every in 2usize..40,
+        seed in 1u64..10_000,
+    ) {
+        let cols = 16 * cols16;
+        prop_assume!(keep_every <= 250); // bounded gaps
+        let dense = gap_sparse(rows, cols, keep_every, seed);
+        let d = DcsrMatrix::from_dense(&dense, rows, cols).unwrap();
+        prop_assert_eq!(d.to_dense(), dense.clone());
+        let c = CsrMatrix::from_dense(&dense, rows, cols).unwrap();
+        // Identical non-zeros...
+        let nnz: usize = (0..rows).map(|r| d.row_nnz(r)).sum();
+        prop_assert_eq!(nnz, c.nnz());
+        // ...with at most ~half the index storage at realistic shapes
+        // (nibbles vs 16-bit columns), modulo row-pointer overhead.
+        prop_assert!(d.memory_bytes() <= c.memory_bytes() + rows);
+    }
+
+    #[test]
+    fn dcsr_kernel_matches_reference_on_random_sparsity(
+        k in 1usize..10,
+        cols16 in 1usize..6,
+        keep_every in 2usize..30,
+        seed in 1u64..10_000,
+    ) {
+        let geom = FcGeom::new(16 * cols16, k).unwrap();
+        let dense = gap_sparse(geom.k, geom.c, keep_every, seed);
+        let input = random_i8(geom.c, seed ^ 0x77);
+        let w = DcsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
+        let rq = Requant::for_dot_len((geom.c / keep_every).max(1));
+        let fc = FcJob { geom, requant: rq, bufs: Default::default() };
+        let mut l1 = Scratchpad::new("l1", 256 * 1024);
+        let job = stage_dcsr_fc(&mut l1, &fc, &input, &w).unwrap();
+        let cluster = Cluster::new(4, CostModel::default());
+        let stats = fc_dcsr(&mut Ctx::Mem(&mut l1), &job, &cluster).unwrap();
+        let got: Vec<i8> = (0..geom.k as u32)
+            .map(|i| nm_isa::Memory::load_i8(&l1, job.bufs.output + i))
+            .collect();
+        prop_assert_eq!(got, fc_ref(&geom, &input, &dense, rq));
+        let analytic = fc_dcsr(&mut Ctx::Analytic, &job, &cluster).unwrap();
+        prop_assert_eq!(stats.cycles(), analytic.cycles());
+        prop_assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+    }
+
+    #[test]
+    fn trace_replays_the_pipeline_model_exactly(
+        tiles in prop::collection::vec((0u64..200, 0u64..500, 0u64..100), 0..12),
+    ) {
+        let tiles: Vec<TileCost> = tiles
+            .into_iter()
+            .map(|(dma_in, compute, dma_out)| TileCost { dma_in, compute, dma_out })
+            .collect();
+        let trace = Trace::from_tiles(&tiles);
+        prop_assert_eq!(trace.end(), double_buffered_cycles(&tiles));
+        prop_assert!(trace.end() <= serial_cycles(&tiles));
+        // Lane busy-time equals the raw transfer/compute sums.
+        prop_assert_eq!(trace.lane_busy(Lane::Compute),
+            tiles.iter().map(|t| t.compute).sum::<u64>());
+        prop_assert_eq!(trace.lane_busy(Lane::DmaIn),
+            tiles.iter().map(|t| t.dma_in).sum::<u64>());
+        prop_assert_eq!(trace.lane_busy(Lane::DmaOut),
+            tiles.iter().map(|t| t.dma_out).sum::<u64>());
+        // Spans never overlap within a lane and never cross the end.
+        for lane in Lane::ALL {
+            let mut spans: Vec<_> = trace.spans().iter().filter(|s| s.lane == lane).collect();
+            spans.sort_by_key(|s| s.start);
+            for s in &spans {
+                prop_assert!(s.start < s.end && s.end <= trace.end());
+            }
+            for pair in spans.windows(2) {
+                prop_assert!(pair[0].end <= pair[1].start);
+            }
+        }
+    }
+}
+
+/// The traced schedule of every plannable ResNet18 layer matches the
+/// planner's latency — one invariant over the real model, not toys.
+#[test]
+fn resnet18_traces_agree_with_plans() {
+    use nm_core::sparsity::Nm;
+    use nm_nn::prune::{prune_graph, resnet_policy};
+
+    let nm = Nm::ONE_OF_EIGHT;
+    let mut g = nm_models::resnet18_cifar(100, 1).unwrap();
+    prune_graph(&mut g, nm, resnet_policy(nm)).unwrap();
+    let opts = Options::new(Target::SparseIsa);
+    let report = compile(&g, &opts).unwrap();
+    let mut traced = 0;
+    for plan in &report.layers {
+        if plan.choice.is_none() {
+            continue;
+        }
+        let lt = trace_layer(&g, plan.node, &opts).unwrap();
+        assert_eq!(lt.trace.end(), plan.cycles, "node {}", plan.node);
+        traced += 1;
+    }
+    assert!(traced >= 18, "expected most ResNet18 layers traced, got {traced}");
+}

@@ -1,0 +1,100 @@
+//! Property tests over the sparse formats: round trips, memory math and
+//! cross-format consistency on random N:M-compliant matrices.
+
+use nm_core::format::{BlockwiseMatrix, CooMatrix, CsrMatrix, NmMatrix, OffsetLayout};
+use nm_core::sparsity::{check_pattern, Nm};
+use nm_integration::{make_exact_nm, random_i8};
+use proptest::prelude::*;
+
+fn nm_strategy() -> impl Strategy<Value = Nm> {
+    prop_oneof![Just(Nm::ONE_OF_FOUR), Just(Nm::ONE_OF_EIGHT), Just(Nm::ONE_OF_SIXTEEN)]
+}
+
+fn layout_strategy() -> impl Strategy<Value = OffsetLayout> {
+    prop_oneof![
+        Just(OffsetLayout::Plain),
+        Just(OffsetLayout::Duplicated),
+        Just(OffsetLayout::Interleaved)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nm_round_trip(
+        nm in nm_strategy(),
+        layout in layout_strategy(),
+        rows_half in 1usize..8,
+        blocks in 1usize..9,
+        seed in 1u64..10_000,
+    ) {
+        let rows = rows_half * 2; // interleaved layout needs even rows
+        let cols = blocks * nm.m();
+        let mut w = random_i8(rows * cols, seed);
+        make_exact_nm(&mut w, rows, cols, nm);
+        let packed = NmMatrix::from_dense(&w, rows, cols, nm, layout).unwrap();
+        prop_assert_eq!(packed.to_dense(), w.clone());
+        // Memory accounting: values byte count is rows * blocks * n.
+        prop_assert_eq!(packed.values().len(), rows * blocks * nm.n());
+        // Every row decodes to its dense slice.
+        for r in 0..rows {
+            let vals = packed.row_values(r);
+            let offs = packed.row_offsets(r);
+            for (i, (&v, &o)) in vals.iter().zip(&offs).enumerate() {
+                let block = i / nm.n();
+                if v != 0 {
+                    prop_assert_eq!(w[r * cols + block * nm.m() + o as usize], v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_formats_agree_on_dense_reconstruction(
+        nm in nm_strategy(),
+        rows in 1usize..10,
+        blocks in 1usize..6,
+        seed in 1u64..10_000,
+    ) {
+        let cols = blocks * nm.m().max(4);
+        prop_assume!(cols % nm.m() == 0 && cols % 4 == 0);
+        let mut w = random_i8(rows * cols, seed);
+        nm_core::sparsity::prune_magnitude(&mut w, rows, cols, nm).unwrap();
+        let coo = CooMatrix::from_dense(&w, rows, cols).unwrap();
+        let csr = CsrMatrix::from_dense(&w, rows, cols).unwrap();
+        let bw = BlockwiseMatrix::from_dense(&w, rows, cols, 4).unwrap();
+        prop_assert_eq!(coo.to_dense(), w.clone());
+        prop_assert_eq!(csr.to_dense(), w.clone());
+        prop_assert_eq!(bw.to_dense(), w.clone());
+        prop_assert_eq!(coo.nnz(), csr.nnz());
+    }
+
+    #[test]
+    fn pruning_always_satisfies_pattern(
+        nm in nm_strategy(),
+        rows in 1usize..10,
+        blocks in 1usize..9,
+        seed in 1u64..10_000,
+    ) {
+        let cols = blocks * nm.m();
+        let mut w = random_i8(rows * cols, seed);
+        nm_core::sparsity::prune_magnitude(&mut w, rows, cols, nm).unwrap();
+        prop_assert!(check_pattern(&w, rows, cols, nm).is_ok());
+    }
+
+    #[test]
+    fn nm_memory_always_beats_csr_at_kernel_patterns(
+        nm in nm_strategy(),
+        rows in 2usize..12,
+        blocks in 2usize..9,
+        seed in 1u64..10_000,
+    ) {
+        let cols = blocks * nm.m();
+        let mut w = random_i8(rows * cols, seed);
+        make_exact_nm(&mut w, rows, cols, nm);
+        let packed = NmMatrix::from_dense(&w, rows, cols, nm, OffsetLayout::Plain).unwrap();
+        let csr = CsrMatrix::from_dense(&w, rows, cols).unwrap();
+        prop_assert!(packed.memory_bits_nominal() / 8 <= csr.memory_bytes());
+    }
+}

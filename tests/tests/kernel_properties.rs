@@ -1,0 +1,136 @@
+//! Property tests over the kernel library: for random geometries and
+//! every pattern, (1) emulated outputs are bit-exact against the naive
+//! reference, and (2) analytic cycles equal emulated cycles exactly.
+
+use nm_core::format::{NmMatrix, OffsetLayout};
+use nm_core::quant::Requant;
+use nm_core::sparsity::Nm;
+use nm_core::{ConvGeom, FcGeom};
+use nm_integration::random_i8;
+use nm_isa::{CostModel, Memory};
+use nm_kernels::conv::dense::{conv_dense_1x2, conv_dense_4x2};
+use nm_kernels::conv::sparse_isa::conv_sparse_isa;
+use nm_kernels::conv::sparse_sw::{conv_sparse_sw, SparseConvJob};
+use nm_kernels::conv::ConvJob;
+use nm_kernels::fc::dense::fc_dense;
+use nm_kernels::fc::sparse_isa::fc_sparse_isa;
+use nm_kernels::fc::sparse_sw::{fc_sparse_sw, SparseFcJob};
+use nm_kernels::fc::FcJob;
+use nm_kernels::layout::{stage_conv_dense, stage_conv_sparse, stage_fc_dense, stage_fc_sparse};
+use nm_kernels::reference::{conv_ref, fc_ref};
+use nm_kernels::Ctx;
+use nm_platform::{Cluster, Scratchpad};
+use proptest::prelude::*;
+
+fn nm_strategy() -> impl Strategy<Value = Nm> {
+    prop_oneof![Just(Nm::ONE_OF_FOUR), Just(Nm::ONE_OF_EIGHT), Just(Nm::ONE_OF_SIXTEEN)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sparse_conv_kernels_match_reference_and_analytic(
+        nm in nm_strategy(),
+        c_blocks in 1usize..4,
+        k in 1usize..7,
+        i in 3usize..7,
+        stride in 1usize..3,
+        cores in 1usize..5,
+        isa in any::<bool>(),
+        seed in 1u64..5000,
+    ) {
+        let c = nm.m() * c_blocks;
+        let geom = ConvGeom::square(c, k, i, 3, stride, 1).unwrap();
+        let input = random_i8(geom.input_elems(), seed);
+        let dense = random_i8(geom.weight_elems(), seed ^ 0xFFFF);
+        let layout = if isa { OffsetLayout::Duplicated } else { OffsetLayout::Plain };
+        let w = NmMatrix::prune_from_dense(&dense, geom.k, geom.patch_len(), nm, layout).unwrap();
+        let pruned = w.to_dense();
+        let rq = Requant::for_dot_len(geom.patch_len() / nm.m());
+        let cluster = Cluster::new(cores, CostModel::default());
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let bufs = stage_conv_sparse(&mut l1, &geom, &input, &w, cluster.n_cores()).unwrap();
+        let job = SparseConvJob { conv: ConvJob { geom, requant: rq, bufs }, nm };
+        let run = if isa { conv_sparse_isa } else { conv_sparse_sw };
+        let stats = run(&mut Ctx::Mem(&mut l1), &job, &cluster).unwrap();
+        let got: Vec<i8> =
+            (0..geom.output_elems() as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+        prop_assert_eq!(got, conv_ref(&geom, &input, &pruned, rq));
+        let analytic = run(&mut Ctx::Analytic, &job, &cluster).unwrap();
+        prop_assert_eq!(stats.cycles(), analytic.cycles());
+        prop_assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+    }
+
+    #[test]
+    fn dense_conv_kernels_match_reference_and_analytic(
+        c in 1usize..12,
+        k in 1usize..10,
+        i in 2usize..7,
+        f in 1usize..4,
+        quad in any::<bool>(),
+        cores in 1usize..5,
+        seed in 1u64..5000,
+    ) {
+        prop_assume!(i + 2 >= f);
+        let geom = ConvGeom::square(c, k, i, f, 1, f / 2).unwrap();
+        let input = random_i8(geom.input_elems(), seed);
+        let weights = random_i8(geom.weight_elems(), seed ^ 0xAAAA);
+        let rq = Requant::for_dot_len(geom.patch_len());
+        let cluster = Cluster::new(cores, CostModel::default());
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let bufs = stage_conv_dense(&mut l1, &geom, &input, &weights, cluster.n_cores()).unwrap();
+        let job = ConvJob { geom, requant: rq, bufs };
+        let run = if quad { conv_dense_4x2 } else { conv_dense_1x2 };
+        let stats = run(&mut Ctx::Mem(&mut l1), &job, &cluster).unwrap();
+        let got: Vec<i8> =
+            (0..geom.output_elems() as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+        prop_assert_eq!(got, conv_ref(&geom, &input, &weights, rq));
+        let analytic = run(&mut Ctx::Analytic, &job, &cluster).unwrap();
+        prop_assert_eq!(stats.cycles(), analytic.cycles());
+    }
+
+    #[test]
+    fn fc_kernels_match_reference_and_analytic(
+        nm in nm_strategy(),
+        c_blocks in 1usize..6,
+        k_pairs in 1usize..8,
+        kind in 0usize..3,
+        cores in 1usize..5,
+        seed in 1u64..5000,
+    ) {
+        let c = nm.m() * c_blocks;
+        let k = 2 * k_pairs;
+        let geom = FcGeom::new(c, k).unwrap();
+        let input = random_i8(c, seed);
+        let dense = random_i8(geom.weight_elems(), seed ^ 0x1234);
+        let rq = Requant::for_dot_len(c / nm.m());
+        let cluster = Cluster::new(cores, CostModel::default());
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        match kind {
+            0 => {
+                let bufs = stage_fc_dense(&mut l1, &geom, &input, &dense).unwrap();
+                let job = FcJob { geom, requant: rq, bufs };
+                let stats = fc_dense(&mut Ctx::Mem(&mut l1), &job, &cluster).unwrap();
+                let got: Vec<i8> = (0..k as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+                prop_assert_eq!(got, fc_ref(&geom, &input, &dense, rq));
+                let analytic = fc_dense(&mut Ctx::Analytic, &job, &cluster).unwrap();
+                prop_assert_eq!(stats.cycles(), analytic.cycles());
+            }
+            kind => {
+                let layout =
+                    if kind == 2 { OffsetLayout::Interleaved } else { OffsetLayout::Plain };
+                let w = NmMatrix::prune_from_dense(&dense, k, c, nm, layout).unwrap();
+                let pruned = w.to_dense();
+                let bufs = stage_fc_sparse(&mut l1, &geom, &input, &w).unwrap();
+                let job = SparseFcJob { fc: FcJob { geom, requant: rq, bufs }, nm };
+                let run = if kind == 2 { fc_sparse_isa } else { fc_sparse_sw };
+                let stats = run(&mut Ctx::Mem(&mut l1), &job, &cluster).unwrap();
+                let got: Vec<i8> = (0..k as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+                prop_assert_eq!(got, fc_ref(&geom, &input, &pruned, rq));
+                let analytic = run(&mut Ctx::Analytic, &job, &cluster).unwrap();
+                prop_assert_eq!(stats.cycles(), analytic.cycles());
+            }
+        }
+    }
+}
