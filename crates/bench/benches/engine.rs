@@ -1,0 +1,72 @@
+//! Criterion bench: emulation-engine host throughput, reference vs. bulk
+//! fast path, on the `engine` binary's FC workload. The checked-in
+//! snapshot (`BENCH_engine.json`) is produced by `engine --json`; this
+//! bench tracks the same paths interactively via `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nm_core::format::{NmMatrix, OffsetLayout};
+use nm_core::quant::Requant;
+use nm_core::sparsity::Nm;
+use nm_core::FcGeom;
+use nm_isa::CostModel;
+use nm_kernels::fc::sparse_sw::{fc_sparse_sw, SparseFcJob};
+use nm_kernels::fc::FcJob;
+use nm_kernels::layout::stage_fc_sparse;
+use nm_kernels::testdata::random_data;
+use nm_kernels::Ctx;
+use nm_platform::{Cluster, Scratchpad};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let nm = Nm::ONE_OF_EIGHT;
+    let geom = FcGeom::new(1024, 256).unwrap();
+    let input = random_data(geom.c, 3);
+    let dense = random_data(geom.weight_elems(), 17);
+    let w = NmMatrix::prune_from_dense(&dense, geom.k, geom.c, nm, OffsetLayout::Plain).unwrap();
+    let mut l1 = Scratchpad::new("l1", 512 * 1024);
+    let bufs = stage_fc_sparse(&mut l1, &geom, &input, &w).unwrap();
+    let job = SparseFcJob {
+        fc: FcJob {
+            geom,
+            requant: Requant::for_dot_len(geom.c / nm.m()),
+            bufs,
+        },
+        nm,
+    };
+    let cluster = Cluster::new(8, CostModel::default());
+
+    let mut g = c.benchmark_group("engine_fc_sparse_sw");
+    g.throughput(Throughput::Elements(geom.macs() as u64));
+    g.sample_size(20);
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            black_box(
+                fc_sparse_sw(&mut Ctx::Mem(&mut l1), &job, &cluster)
+                    .unwrap()
+                    .cycles(),
+            )
+        })
+    });
+    g.bench_function("bulk", |b| {
+        b.iter(|| {
+            black_box(
+                fc_sparse_sw(&mut Ctx::MemBulk(&mut l1), &job, &cluster)
+                    .unwrap()
+                    .cycles(),
+            )
+        })
+    });
+    g.bench_function("analytic", |b| {
+        b.iter(|| {
+            black_box(
+                fc_sparse_sw(&mut Ctx::Analytic, &job, &cluster)
+                    .unwrap()
+                    .cycles(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,12 +17,17 @@ fn bench(c: &mut Criterion) {
     g.bench_function("pack_1_8", |b| {
         b.iter(|| {
             black_box(
-                NmMatrix::from_dense(&dense, rows, cols, nm, OffsetLayout::Plain).unwrap().values().len(),
+                NmMatrix::from_dense(&dense, rows, cols, nm, OffsetLayout::Plain)
+                    .unwrap()
+                    .values()
+                    .len(),
             )
         })
     });
     let packed = NmMatrix::from_dense(&dense, rows, cols, nm, OffsetLayout::Plain).unwrap();
-    g.bench_function("unpack_1_8", |b| b.iter(|| black_box(packed.to_dense().len())));
+    g.bench_function("unpack_1_8", |b| {
+        b.iter(|| black_box(packed.to_dense().len()))
+    });
     g.finish();
 }
 

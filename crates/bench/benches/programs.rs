@@ -25,8 +25,14 @@ fn bench_programs(c: &mut Criterion) {
     }
     let progs = [
         ("dense_1x2", programs::conv_dense_1x2(chunks)),
-        ("sparse_sw_1_8", programs::conv_sparse_sw(DecimateMode::OneOfEight, chunks)),
-        ("sparse_isa_1_8", programs::conv_sparse_isa(DecimateMode::OneOfEight, chunks)),
+        (
+            "sparse_sw_1_8",
+            programs::conv_sparse_sw(DecimateMode::OneOfEight, chunks),
+        ),
+        (
+            "sparse_isa_1_8",
+            programs::conv_sparse_isa(DecimateMode::OneOfEight, chunks),
+        ),
     ];
     for (name, prog) in progs {
         g.bench_function(name, |b| {
@@ -49,7 +55,11 @@ fn bench_per_channel(c: &mut Criterion) {
     let mut g = c.benchmark_group("per_channel_kernel");
     let geom = ConvGeom::square(64, 64, 8, 3, 1, 1).unwrap();
     let cluster = Cluster::new(8, CostModel::default());
-    let conv = ConvJob { geom, requant: Default::default(), bufs: Default::default() };
+    let conv = ConvJob {
+        geom,
+        requant: Default::default(),
+        bufs: Default::default(),
+    };
     let mixed: Vec<Option<Nm>> = (0..geom.k)
         .map(|i| match i % 4 {
             0 => None,

@@ -18,10 +18,22 @@ fn bench(c: &mut Criterion) {
     let nm = Nm::ONE_OF_EIGHT;
     prune_graph(&mut sparse, nm, resnet_policy(nm)).unwrap();
     g.bench_function("dense_pulp_nn", |b| {
-        b.iter(|| black_box(compile(&dense, &Options::new(Target::DensePulpNn)).unwrap().total_cycles()))
+        b.iter(|| {
+            black_box(
+                compile(&dense, &Options::new(Target::DensePulpNn))
+                    .unwrap()
+                    .total_cycles(),
+            )
+        })
     });
     g.bench_function("sparse_isa_1_8", |b| {
-        b.iter(|| black_box(compile(&sparse, &Options::new(Target::SparseIsa)).unwrap().total_cycles()))
+        b.iter(|| {
+            black_box(
+                compile(&sparse, &Options::new(Target::SparseIsa))
+                    .unwrap()
+                    .total_cycles(),
+            )
+        })
     });
     g.finish();
 }

@@ -47,7 +47,9 @@ pub fn tiling_awareness(seed: u64) -> Result<Vec<(String, u64, u64)>> {
         let opts = Options::new(Target::SparseIsa);
         let (mut aware, mut naive) = (0u64, 0u64);
         for (id, node) in g.nodes().iter().enumerate() {
-            let OpKind::Conv2d(l) = &node.op else { continue };
+            let OpKind::Conv2d(l) = &node.op else {
+                continue;
+            };
             if l.detect_sparsity() != Some(nm) {
                 continue;
             }
@@ -55,8 +57,12 @@ pub fn tiling_awareness(seed: u64) -> Result<Vec<(String, u64, u64)>> {
             aware += plan_conv(id, &l.geom, choice, &opts)?.cycles;
             // Dense-bits tiler: size tiles for the dense footprint, run
             // the sparse kernel on them.
-            let dense_tiling =
-                tile_conv(&l.geom, &KernelChoice::ConvDense1x2, opts.l1_budget, opts.cores)?;
+            let dense_tiling = tile_conv(
+                &l.geom,
+                &KernelChoice::ConvDense1x2,
+                opts.l1_budget,
+                opts.cores,
+            )?;
             naive += plan_conv_with_tiling(id, &l.geom, choice, &opts, dense_tiling)?.cycles;
         }
         rows.push((nm.to_string(), aware, naive));
@@ -83,9 +89,18 @@ pub fn layout_interleaving(seed: u64) -> Result<Vec<LayoutRow>> {
         opts.interleaved_weights = false;
         let split = compile(&g, &opts)?;
         let t = |r: &nm_compiler::ModelReport| {
-            r.layers.iter().map(|l| l.weight_dma_transactions).sum::<u64>()
+            r.layers
+                .iter()
+                .map(|l| l.weight_dma_transactions)
+                .sum::<u64>()
         };
-        rows.push((nm.to_string(), inter.total_cycles(), split.total_cycles(), t(&inter), t(&split)));
+        rows.push((
+            nm.to_string(),
+            inter.total_cycles(),
+            split.total_cycles(),
+            t(&inter),
+            t(&split),
+        ));
     }
     Ok(rows)
 }
@@ -114,7 +129,10 @@ pub fn mixed_sparsity(seed: u64, budgets: &[f64]) -> Result<Vec<(f64, MixedAssig
 ///
 /// # Errors
 /// Propagates assignment/packing/kernel errors.
-pub fn channel_sparsity(seed: u64, targets: &[f64]) -> Result<Vec<(&'static str, Vec<ChannelSweepPoint>)>> {
+pub fn channel_sparsity(
+    seed: u64,
+    targets: &[f64],
+) -> Result<Vec<(&'static str, Vec<ChannelSweepPoint>)>> {
     use nm_kernels::conv::per_channel::ChannelEngine;
     let geom = ConvGeom::square(128, 128, 8, 3, 1, 1)?;
     let mut rng = nm_nn::rng::XorShift::new(seed);
@@ -122,7 +140,10 @@ pub fn channel_sparsity(seed: u64, targets: &[f64]) -> Result<Vec<(&'static str,
     let cluster = Cluster::new(8, nm_isa::CostModel::default());
     let mut rows = Vec::new();
     for (name, engine) in [("sw", ChannelEngine::Software), ("isa", ChannelEngine::Isa)] {
-        rows.push((name, conv_channel_sweep(&geom, &weights, engine, &cluster, targets)?));
+        rows.push((
+            name,
+            conv_channel_sweep(&geom, &weights, engine, &cluster, targets)?,
+        ));
     }
     Ok(rows)
 }
@@ -146,17 +167,57 @@ pub fn cost_sensitivity() -> Result<Vec<(String, f64, f64, f64)>> {
     let base = CostModel::VEGA;
     let variants: Vec<(String, CostModel)> = vec![
         ("vega (default)".into(), base),
-        ("load_stall=1".into(), CostModel { load_stall: 1, ..base }),
-        ("branch_penalty=0".into(), CostModel { branch_taken_penalty: 0, ..base }),
-        ("branch_penalty=4".into(), CostModel { branch_taken_penalty: 4, ..base }),
-        ("outer_loop=5".into(), CostModel { outer_loop_instrs: 5, ..base }),
-        ("kernel_overhead=120".into(), CostModel { kernel_overhead_instrs: 120, ..base }),
-        ("barrier=100".into(), CostModel { barrier_cycles: 100, ..base }),
+        (
+            "load_stall=1".into(),
+            CostModel {
+                load_stall: 1,
+                ..base
+            },
+        ),
+        (
+            "branch_penalty=0".into(),
+            CostModel {
+                branch_taken_penalty: 0,
+                ..base
+            },
+        ),
+        (
+            "branch_penalty=4".into(),
+            CostModel {
+                branch_taken_penalty: 4,
+                ..base
+            },
+        ),
+        (
+            "outer_loop=5".into(),
+            CostModel {
+                outer_loop_instrs: 5,
+                ..base
+            },
+        ),
+        (
+            "kernel_overhead=120".into(),
+            CostModel {
+                kernel_overhead_instrs: 120,
+                ..base
+            },
+        ),
+        (
+            "barrier=100".into(),
+            CostModel {
+                barrier_cycles: 100,
+                ..base
+            },
+        ),
     ];
     let mut rows = Vec::with_capacity(variants.len());
     for (name, costs) in variants {
         let cluster = Cluster::new(8, costs);
-        let job = ConvJob { geom, requant: Default::default(), bufs: Default::default() };
+        let job = ConvJob {
+            geom,
+            requant: Default::default(),
+            bufs: Default::default(),
+        };
         let nm = Nm::ONE_OF_EIGHT;
         let sparse = SparseConvJob { conv: job, nm };
         let d1 = conv_dense_1x2(&mut Ctx::Analytic, &job, &cluster)?.cycles() as f64;
@@ -177,7 +238,10 @@ mod tests {
         let rows = im2col_strategies().unwrap();
         for nm in Nm::KERNEL_PATTERNS {
             let get = |s: &str| {
-                rows.iter().find(|(p, n, _)| p == &nm.to_string() && *n == s).unwrap().2
+                rows.iter()
+                    .find(|(p, n, _)| p == &nm.to_string() && *n == s)
+                    .unwrap()
+                    .2
             };
             assert!(get("decimate-im2col") < get("sparse-im2col"));
             assert!(get("decimate-im2col") < get("dma-copy"));
@@ -229,7 +293,10 @@ mod tests {
             // Sparse layers double their weight transactions when split;
             // dense fallback layers (pointwise convs, head) have no
             // offset stream and stay at one either way.
-            assert!(split_t > inter_t && split_t <= 2 * inter_t, "{inter_t} vs {split_t}");
+            assert!(
+                split_t > inter_t && split_t <= 2 * inter_t,
+                "{inter_t} vs {split_t}"
+            );
             assert!(inter_c <= split_c);
         }
     }

@@ -27,7 +27,13 @@ pub fn study(seed: u64) -> Vec<AccuracyRow> {
         ("1:8".to_string(), Some(Nm::ONE_OF_EIGHT)),
         ("1:16".to_string(), Some(Nm::ONE_OF_SIXTEEN)),
     ] {
-        let cfg = TrainConfig { hidden: 96, epochs: 40, nm, seed: seed ^ 0x5A5A, ..Default::default() };
+        let cfg = TrainConfig {
+            hidden: 96,
+            epochs: 40,
+            nm,
+            seed: seed ^ 0x5A5A,
+            ..Default::default()
+        };
         let r = train(&tr, &te, &cfg);
         rows.push(AccuracyRow {
             sparsity: label,

@@ -25,15 +25,35 @@ fn main() {
     }
     if arg.is_empty() || arg == "layout" {
         println!("\n== A3 — interleaved weight+offset DMA (Sec. 4.4(3)) ==");
-        let cols = [("pattern", 8), ("inter Mcyc", 11), ("split Mcyc", 11), ("inter txn", 10), ("split txn", 10)];
+        let cols = [
+            ("pattern", 8),
+            ("inter Mcyc", 11),
+            ("split Mcyc", 11),
+            ("inter txn", 10),
+            ("split txn", 10),
+        ];
         table::header(&cols);
         for (p, ic, sc, it, st) in ablations::layout_interleaving(1).expect("a3") {
-            table::row(&cols, &[p, table::mcyc(ic), table::mcyc(sc), it.to_string(), st.to_string()]);
+            table::row(
+                &cols,
+                &[
+                    p,
+                    table::mcyc(ic),
+                    table::mcyc(sc),
+                    it.to_string(),
+                    st.to_string(),
+                ],
+            );
         }
     }
     if arg.is_empty() || arg == "mixed" {
         println!("\n== F1 — per-layer mixed sparsity on ResNet18 ==");
-        let cols = [("density floor", 14), ("achieved", 9), ("Mcycles", 9), ("layers sparse", 14)];
+        let cols = [
+            ("density floor", 14),
+            ("achieved", 9),
+            ("Mcycles", 9),
+            ("layers sparse", 14),
+        ];
         table::header(&cols);
         for (b, a) in ablations::mixed_sparsity(1, &[1.0, 0.5, 0.25, 0.125, 0.0]).expect("f1") {
             let sparse = a.per_layer.iter().filter(|(_, nm)| nm.is_some()).count();
@@ -81,12 +101,22 @@ fn main() {
     }
     if arg.is_empty() || arg == "sensitivity" {
         println!("\n== S1 — cost-model sensitivity (Fig. 8 conv layer, C=128) ==");
-        let cols = [("cost model", 20), ("pulp-nn", 8), ("sw 1:8", 7), ("isa 1:8", 8)];
+        let cols = [
+            ("cost model", 20),
+            ("pulp-nn", 8),
+            ("sw 1:8", 7),
+            ("isa 1:8", 8),
+        ];
         table::header(&cols);
         for (name, pulp, sw, isa) in ablations::cost_sensitivity().expect("s1") {
             table::row(
                 &cols,
-                &[name, format!("{pulp:.2}x"), format!("{sw:.2}x"), format!("{isa:.2}x")],
+                &[
+                    name,
+                    format!("{pulp:.2}x"),
+                    format!("{sw:.2}x"),
+                    format!("{isa:.2}x"),
+                ],
             );
         }
         println!("(speedups vs the dense 1x2 kernel; the ordering is an instruction-count");

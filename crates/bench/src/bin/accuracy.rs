@@ -5,12 +5,20 @@ use nm_bench::table;
 
 fn main() {
     println!("\n== Accuracy proxy (SR-STE, synthetic task) ==");
-    let cols = [("sparsity", 9), ("test acc %", 11), ("weight sparsity %", 18)];
+    let cols = [
+        ("sparsity", 9),
+        ("test acc %", 11),
+        ("weight sparsity %", 18),
+    ];
     table::header(&cols);
     for r in study(7) {
         table::row(
             &cols,
-            &[r.sparsity.clone(), table::f2(r.accuracy_pct), table::f2(r.weight_sparsity_pct)],
+            &[
+                r.sparsity.clone(),
+                table::f2(r.accuracy_pct),
+                table::f2(r.weight_sparsity_pct),
+            ],
         );
     }
     println!("\npaper (Table 2): ViT 95.59/95.73/95.02/95.17; ResNet18 75.28/75.78/75.63/73.79");

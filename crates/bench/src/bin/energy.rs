@@ -7,7 +7,13 @@ use nm_bench::table;
 fn main() {
     for c in [512usize, 2048] {
         println!("\n== Energy — FC layer C={c}, K=256 (emulated instruction mix) ==");
-        let cols = [("kernel", 10), ("cycles", 9), ("nJ", 9), ("EDP", 10), ("vs dense", 9)];
+        let cols = [
+            ("kernel", 10),
+            ("cycles", 9),
+            ("nJ", 9),
+            ("EDP", 10),
+            ("vs dense", 9),
+        ];
         table::header(&cols);
         for r in fc_energy_rows(c) {
             table::row(

@@ -1,0 +1,57 @@
+//! Host-throughput benchmark of the emulation engine: simulated MACs per
+//! wall-clock second, reference vs. bulk vs. analytic paths.
+//!
+//! Usage: `engine [reps] [--json]`
+//!
+//! * `reps` — invocations per measurement (default 20).
+//! * `--json` — print the machine-readable report (the format of the
+//!   checked-in `BENCH_engine.json` snapshot) instead of the table.
+
+use nm_bench::engine::run_suite;
+use nm_bench::table;
+
+fn main() {
+    let mut reps = 20u32;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else if let Ok(n) = arg.parse() {
+            reps = n;
+        } else {
+            eprintln!("usage: engine [reps] [--json]");
+            std::process::exit(2);
+        }
+    }
+    let report = run_suite(reps.max(1));
+    if json {
+        print!("{}", report.to_json());
+        return;
+    }
+    println!("\n== Emulation engine throughput ({reps} reps/kernel) ==");
+    let cols = [
+        ("kernel", 20),
+        ("path", 10),
+        ("sim MMAC/s", 12),
+        ("wall ms", 10),
+    ];
+    table::header(&cols);
+    for r in &report.rows {
+        table::row(
+            &cols,
+            &[
+                r.kernel.clone(),
+                r.path.name().to_string(),
+                table::f2(r.sim_macs_per_sec / 1e6),
+                table::f2(r.wall_s * 1e3),
+            ],
+        );
+    }
+    println!();
+    for k in report.kernels() {
+        println!(
+            "bulk speedup over reference, {k}: {:.2}x",
+            report.speedup_vs_reference(&k).unwrap()
+        );
+    }
+}

@@ -7,7 +7,13 @@ use nm_bench::table;
 
 fn print(rows: &[Fig8Row], title: &str) {
     println!("\n== Fig. 8 — {title} (K=256) ==");
-    let cols = [("C", 5), ("kernel", 12), ("MAC/cyc", 9), ("cycles", 12), ("vs 1x2", 8)];
+    let cols = [
+        ("C", 5),
+        ("kernel", 12),
+        ("MAC/cyc", 9),
+        ("cycles", 12),
+        ("vs 1x2", 8),
+    ];
     table::header(&cols);
     for r in rows {
         table::row(

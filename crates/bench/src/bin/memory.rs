@@ -10,7 +10,12 @@ fn main() {
     for r in rows(64, 512, 3) {
         table::row(
             &cols,
-            &[r.pattern.clone(), r.format.to_string(), r.bytes.to_string(), format!("{:.2}x", r.ratio)],
+            &[
+                r.pattern.clone(),
+                r.format.to_string(),
+                r.bytes.to_string(),
+                format!("{:.2}x", r.ratio),
+            ],
         );
     }
 }

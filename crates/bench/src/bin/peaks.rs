@@ -6,7 +6,13 @@ use nm_bench::table;
 
 fn main() {
     println!("\n== Sec. 4 — inner-loop peaks ==");
-    let cols = [("kernel", 22), ("instrs", 7), ("MACs", 5), ("peak", 6), ("dense-eq", 9)];
+    let cols = [
+        ("kernel", 22),
+        ("instrs", 7),
+        ("MACs", 5),
+        ("peak", 6),
+        ("dense-eq", 9),
+    ];
     table::header(&cols);
     for r in rows() {
         table::row(

@@ -6,8 +6,14 @@ use nm_bench::table;
 use nm_bench::table2::{resnet_rows, vit_rows, Table2Row};
 
 fn print(rows: &[Table2Row]) {
-    let cols =
-        [("model", 9), ("sparsity", 9), ("kernels", 8), ("MAC/cyc", 8), ("Mcyc", 9), ("Mem MB", 7)];
+    let cols = [
+        ("model", 9),
+        ("sparsity", 9),
+        ("kernels", 8),
+        ("MAC/cyc", 8),
+        ("Mcyc", 9),
+        ("Mem MB", 7),
+    ];
     table::header(&cols);
     for r in rows {
         table::row(

@@ -6,7 +6,13 @@ use nm_bench::table3::{ds_cnn_rows, literature_rows, our_rows};
 
 fn main() {
     println!("\n== Table 3 — SotA comparison ==");
-    let cols = [("benchmark", 28), ("sparsity", 13), ("speedup", 8), ("area %", 7), ("source", 38)];
+    let cols = [
+        ("benchmark", 28),
+        ("sparsity", 13),
+        ("speedup", 8),
+        ("area %", 7),
+        ("source", 38),
+    ];
     table::header(&cols);
     let mut rows = literature_rows();
     rows.extend(our_rows(1).expect("our rows"));

@@ -68,20 +68,32 @@ pub fn fc_energy_rows(c: usize) -> Vec<EnergyRow> {
 
     let mut l1 = Scratchpad::new("L1", 1024 * 1024);
     let bufs = stage_fc_dense(&mut l1, &geom, &input, &dense_w).expect("stage dense");
-    let job = FcJob { geom, requant: Requant::for_dot_len(geom.c), bufs };
+    let job = FcJob {
+        geom,
+        requant: Requant::for_dot_len(geom.c),
+        bufs,
+    };
     let s = fc_dense(&mut Ctx::Mem(&mut l1), &job, &cluster).expect("dense kernel");
     stats.push(("dense-1x2".into(), s, geom.weight_elems() + geom.c));
 
     for nm in Nm::KERNEL_PATTERNS {
         for isa in [false, true] {
-            let layout = if isa { OffsetLayout::Interleaved } else { OffsetLayout::Plain };
-            let w = NmMatrix::prune_from_dense(&dense_w, geom.k, geom.c, nm, layout)
-                .expect("prune");
+            let layout = if isa {
+                OffsetLayout::Interleaved
+            } else {
+                OffsetLayout::Plain
+            };
+            let w =
+                NmMatrix::prune_from_dense(&dense_w, geom.k, geom.c, nm, layout).expect("prune");
             let dma = w.memory_bits_nominal() / 8 + geom.c;
             let mut l1 = Scratchpad::new("L1", 1024 * 1024);
             let bufs = stage_fc_sparse(&mut l1, &geom, &input, &w).expect("stage sparse");
             let job = SparseFcJob {
-                fc: FcJob { geom, requant: Requant::for_dot_len(geom.c / nm.m()), bufs },
+                fc: FcJob {
+                    geom,
+                    requant: Requant::for_dot_len(geom.c / nm.m()),
+                    bufs,
+                },
                 nm,
             };
             let s = if isa {
@@ -124,7 +136,6 @@ pub struct ModelEnergyRow {
 /// Propagates compilation errors; [`nm_core::Error::Unsupported`] for an
 /// unknown model name.
 pub fn model_energy_rows(seed: u64, model_name: &str) -> nm_core::Result<Vec<ModelEnergyRow>> {
-    
     use nm_compiler::{compile, KernelChoice, Options, Target};
     use nm_isa::{CoreStats, InstrClass};
     use nm_nn::graph::{Graph, OpKind};
@@ -134,7 +145,9 @@ pub fn model_energy_rows(seed: u64, model_name: &str) -> nm_core::Result<Vec<Mod
         match model_name {
             "resnet18" => nm_models::resnet18_cifar(100, seed),
             "dscnn" => nm_models::ds_cnn_kws(seed),
-            other => Err(nm_core::Error::Unsupported(format!("unknown model {other}"))),
+            other => Err(nm_core::Error::Unsupported(format!(
+                "unknown model {other}"
+            ))),
         }
     }
 
@@ -183,16 +196,24 @@ pub fn model_energy_rows(seed: u64, model_name: &str) -> nm_core::Result<Vec<Mod
         use nm_kernels::conv::sparse_isa::conv_sparse_isa;
         use nm_kernels::conv::sparse_sw::{conv_sparse_sw, SparseConvJob};
         use nm_kernels::conv::ConvJob;
-        let job = ConvJob { geom: *geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let job = ConvJob {
+            geom: *geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let s = match choice {
             KernelChoice::ConvDense1x2 => conv_dense_1x2(&mut Ctx::Analytic, &job, cluster)?,
             KernelChoice::ConvDensePulpNn => conv_dense_4x2(&mut Ctx::Analytic, &job, cluster)?,
-            KernelChoice::ConvSparseSw(nm) => {
-                conv_sparse_sw(&mut Ctx::Analytic, &SparseConvJob { conv: job, nm: *nm }, cluster)?
-            }
-            KernelChoice::ConvSparseIsa(nm) => {
-                conv_sparse_isa(&mut Ctx::Analytic, &SparseConvJob { conv: job, nm: *nm }, cluster)?
-            }
+            KernelChoice::ConvSparseSw(nm) => conv_sparse_sw(
+                &mut Ctx::Analytic,
+                &SparseConvJob { conv: job, nm: *nm },
+                cluster,
+            )?,
+            KernelChoice::ConvSparseIsa(nm) => conv_sparse_isa(
+                &mut Ctx::Analytic,
+                &SparseConvJob { conv: job, nm: *nm },
+                cluster,
+            )?,
             _ => return Err(nm_core::Error::Unsupported("fc kernel on conv".into())),
         };
         Ok((s.cycles(), s.cluster.per_core.clone()))
@@ -203,15 +224,23 @@ pub fn model_energy_rows(seed: u64, model_name: &str) -> nm_core::Result<Vec<Mod
         geom: &FcGeom,
         cluster: &Cluster,
     ) -> nm_core::Result<(u64, Vec<CoreStats>)> {
-        let job = FcJob { geom: *geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let job = FcJob {
+            geom: *geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let s = match choice {
             KernelChoice::FcDense => fc_dense(&mut Ctx::Analytic, &job, cluster)?,
-            KernelChoice::FcSparseSw(nm) => {
-                fc_sparse_sw(&mut Ctx::Analytic, &SparseFcJob { fc: job, nm: *nm }, cluster)?
-            }
-            KernelChoice::FcSparseIsa(nm) => {
-                fc_sparse_isa(&mut Ctx::Analytic, &SparseFcJob { fc: job, nm: *nm }, cluster)?
-            }
+            KernelChoice::FcSparseSw(nm) => fc_sparse_sw(
+                &mut Ctx::Analytic,
+                &SparseFcJob { fc: job, nm: *nm },
+                cluster,
+            )?,
+            KernelChoice::FcSparseIsa(nm) => fc_sparse_isa(
+                &mut Ctx::Analytic,
+                &SparseFcJob { fc: job, nm: *nm },
+                cluster,
+            )?,
             _ => return Err(nm_core::Error::Unsupported("conv kernel on fc".into())),
         };
         Ok((s.cycles(), s.cluster.per_core.clone()))
@@ -257,7 +286,11 @@ pub fn model_energy_rows(seed: u64, model_name: &str) -> nm_core::Result<Vec<Mod
             config: label,
             mcycles: report.total_cycles() as f64 / 1e6,
             energy_uj: total_pj / 1e6,
-            vs_dense: if rows.is_empty() { 1.0 } else { rows[0].energy_uj * 1e6 / total_pj },
+            vs_dense: if rows.is_empty() {
+                1.0
+            } else {
+                rows[0].energy_uj * 1e6 / total_pj
+            },
         });
     }
     Ok(rows)

@@ -81,8 +81,9 @@ pub fn fc_sweep() -> Vec<Fig8Row> {
     let mut rows = Vec::new();
     for &c in &[256usize, 512, 1024, 2048] {
         let geom = FcGeom::new(c, 256).expect("fig8 fc geometry");
-        let baseline =
-            plan_fc(0, &geom, 1, KernelChoice::FcDense, &opts).expect("baseline plan").cycles;
+        let baseline = plan_fc(0, &geom, 1, KernelChoice::FcDense, &opts)
+            .expect("baseline plan")
+            .cycles;
         for (label, choice) in fc_choices() {
             let plan = plan_fc(0, &geom, 1, choice, &opts).expect("fc plan");
             rows.push(Fig8Row {
@@ -102,7 +103,10 @@ mod tests {
     use super::*;
 
     fn speedup(rows: &[Fig8Row], c: usize, kernel: &str) -> f64 {
-        rows.iter().find(|r| r.c == c && r.kernel == kernel).expect("row exists").speedup_vs_1x2
+        rows.iter()
+            .find(|r| r.c == c && r.kernel == kernel)
+            .expect("row exists")
+            .speedup_vs_1x2
     }
 
     #[test]
@@ -112,8 +116,11 @@ mod tests {
         // 1:4 SW is slower than the 1x2 dense baseline on average
         // (paper: +23% cycles); at C=256 the sparse-aware tiling can
         // locally flip the sign.
-        let sw14: f64 =
-            [32, 64, 128, 256].iter().map(|&c| speedup(&rows, c, "sw-1:4")).sum::<f64>() / 4.0;
+        let sw14: f64 = [32, 64, 128, 256]
+            .iter()
+            .map(|&c| speedup(&rows, c, "sw-1:4"))
+            .sum::<f64>()
+            / 4.0;
         assert!(sw14 < 1.0, "avg sw-1:4 {sw14}");
         for &c in &[32, 64, 128, 256] {
             // Sparser is faster; ISA beats SW at every format.
@@ -130,8 +137,11 @@ mod tests {
             assert!(speedup(&rows, c, "isa-1:16") > speedup(&rows, c, "pulp-nn"));
         }
         // Paper: 1:16 SW ~2.6x over 1x2 on average; ours within band.
-        let avg: f64 =
-            [32, 64, 128, 256].iter().map(|&c| speedup(&rows, c, "sw-1:16")).sum::<f64>() / 4.0;
+        let avg: f64 = [32, 64, 128, 256]
+            .iter()
+            .map(|&c| speedup(&rows, c, "sw-1:16"))
+            .sum::<f64>()
+            / 4.0;
         assert!((1.8..3.6).contains(&avg), "avg 1:16 SW speedup {avg}");
     }
 
@@ -153,8 +163,14 @@ mod tests {
             .sum::<f64>()
             / 4.0;
         assert!((0.85..1.2).contains(&sw14), "avg sw-1:4 FC {sw14}");
-        let isa14: f64 =
-            [256, 512, 1024, 2048].iter().map(|&c| speedup(&rows, c, "isa-1:4")).sum::<f64>() / 4.0;
-        assert!((1.2..2.6).contains(&isa14), "avg ISA 1:4 FC speedup {isa14}");
+        let isa14: f64 = [256, 512, 1024, 2048]
+            .iter()
+            .map(|&c| speedup(&rows, c, "isa-1:4"))
+            .sum::<f64>()
+            / 4.0;
+        assert!(
+            (1.2..2.6).contains(&isa14),
+            "avg ISA 1:4 FC speedup {isa14}"
+        );
     }
 }

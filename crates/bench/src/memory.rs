@@ -64,7 +64,10 @@ mod tests {
         let rows = rows(64, 512, 3);
         for nm in Nm::KERNEL_PATTERNS {
             let get = |f: &str| {
-                rows.iter().find(|r| r.pattern == nm.to_string() && r.format == f).unwrap().bytes
+                rows.iter()
+                    .find(|r| r.pattern == nm.to_string() && r.format == f)
+                    .unwrap()
+                    .bytes
             };
             assert!(get("n:m (sw)") < get("coo"), "{nm}");
             assert!(get("n:m (sw)") < get("csr"), "{nm}");

@@ -10,9 +10,9 @@ use nm_core::quant::Requant;
 use nm_core::sparsity::Nm;
 use nm_core::{ConvGeom, FcGeom};
 use nm_isa::CostModel;
+use nm_kernels::conv::dense::{conv_dense_1x2, conv_dense_4x2};
 use nm_kernels::conv::sparse_isa::conv_sparse_isa;
 use nm_kernels::conv::sparse_sw::{conv_sparse_sw, SparseConvJob};
-use nm_kernels::conv::dense::{conv_dense_1x2, conv_dense_4x2};
 use nm_kernels::conv::ConvJob;
 use nm_kernels::fc::dense::fc_dense;
 use nm_kernels::fc::sparse_isa::fc_sparse_isa;
@@ -39,18 +39,30 @@ pub struct PeakRow {
 fn conv_instret(choice: &KernelChoice, c: usize) -> u64 {
     let cluster = Cluster::new(1, CostModel::default());
     // PULP-NN processes channels in quads; K=1 would fall back to 1x2.
-    let k = if matches!(choice, KernelChoice::ConvDensePulpNn) { 4 } else { 1 };
+    let k = if matches!(choice, KernelChoice::ConvDensePulpNn) {
+        4
+    } else {
+        1
+    };
     let geom = ConvGeom::square(c, k, 2, 1, 1, 0).unwrap();
-    let job = ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+    let job = ConvJob {
+        geom,
+        requant: Requant::IDENTITY,
+        bufs: Default::default(),
+    };
     let stats = match choice {
         KernelChoice::ConvDense1x2 => conv_dense_1x2(&mut Ctx::Analytic, &job, &cluster),
         KernelChoice::ConvDensePulpNn => conv_dense_4x2(&mut Ctx::Analytic, &job, &cluster),
-        KernelChoice::ConvSparseSw(nm) => {
-            conv_sparse_sw(&mut Ctx::Analytic, &SparseConvJob { conv: job, nm: *nm }, &cluster)
-        }
-        KernelChoice::ConvSparseIsa(nm) => {
-            conv_sparse_isa(&mut Ctx::Analytic, &SparseConvJob { conv: job, nm: *nm }, &cluster)
-        }
+        KernelChoice::ConvSparseSw(nm) => conv_sparse_sw(
+            &mut Ctx::Analytic,
+            &SparseConvJob { conv: job, nm: *nm },
+            &cluster,
+        ),
+        KernelChoice::ConvSparseIsa(nm) => conv_sparse_isa(
+            &mut Ctx::Analytic,
+            &SparseConvJob { conv: job, nm: *nm },
+            &cluster,
+        ),
         _ => unreachable!(),
     };
     stats.unwrap().cluster.total_instret()
@@ -58,17 +70,29 @@ fn conv_instret(choice: &KernelChoice, c: usize) -> u64 {
 
 fn fc_instret(choice: &KernelChoice, c: usize) -> u64 {
     let cluster = Cluster::new(1, CostModel::default());
-    let k = if matches!(choice, KernelChoice::FcSparseIsa(_) | KernelChoice::FcDense) { 2 } else { 1 };
+    let k = if matches!(choice, KernelChoice::FcSparseIsa(_) | KernelChoice::FcDense) {
+        2
+    } else {
+        1
+    };
     let geom = FcGeom::new(c, k).unwrap();
-    let job = FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+    let job = FcJob {
+        geom,
+        requant: Requant::IDENTITY,
+        bufs: Default::default(),
+    };
     let stats = match choice {
         KernelChoice::FcDense => fc_dense(&mut Ctx::Analytic, &job, &cluster),
-        KernelChoice::FcSparseSw(nm) => {
-            fc_sparse_sw(&mut Ctx::Analytic, &SparseFcJob { fc: job, nm: *nm }, &cluster)
-        }
-        KernelChoice::FcSparseIsa(nm) => {
-            fc_sparse_isa(&mut Ctx::Analytic, &SparseFcJob { fc: job, nm: *nm }, &cluster)
-        }
+        KernelChoice::FcSparseSw(nm) => fc_sparse_sw(
+            &mut Ctx::Analytic,
+            &SparseFcJob { fc: job, nm: *nm },
+            &cluster,
+        ),
+        KernelChoice::FcSparseIsa(nm) => fc_sparse_isa(
+            &mut Ctx::Analytic,
+            &SparseFcJob { fc: job, nm: *nm },
+            &cluster,
+        ),
         _ => unreachable!(),
     };
     stats.unwrap().cluster.total_instret()
@@ -81,14 +105,34 @@ pub fn rows() -> Vec<PeakRow> {
     // (label, choice-as-conv, macs/iter at 2 patches, dense multiplier)
     let conv_cases: Vec<(String, KernelChoice, u64, f64)> = {
         let mut v = vec![
-            ("conv dense 1x2".to_string(), KernelChoice::ConvDense1x2, 8, 1.0),
-            ("conv PULP-NN 4x2".to_string(), KernelChoice::ConvDensePulpNn, 32, 1.0),
+            (
+                "conv dense 1x2".to_string(),
+                KernelChoice::ConvDense1x2,
+                8,
+                1.0,
+            ),
+            (
+                "conv PULP-NN 4x2".to_string(),
+                KernelChoice::ConvDensePulpNn,
+                32,
+                1.0,
+            ),
         ];
         for nm in Nm::KERNEL_PATTERNS {
-            v.push((format!("conv sparse SW {nm}"), KernelChoice::ConvSparseSw(nm), 8, nm.m() as f64));
+            v.push((
+                format!("conv sparse SW {nm}"),
+                KernelChoice::ConvSparseSw(nm),
+                8,
+                nm.m() as f64,
+            ));
         }
         for nm in Nm::KERNEL_PATTERNS {
-            v.push((format!("conv sparse ISA {nm}"), KernelChoice::ConvSparseIsa(nm), 8, nm.m() as f64));
+            v.push((
+                format!("conv sparse ISA {nm}"),
+                KernelChoice::ConvSparseIsa(nm),
+                8,
+                nm.m() as f64,
+            ));
         }
         v
     };
@@ -116,10 +160,20 @@ pub fn rows() -> Vec<PeakRow> {
     let fc_cases: Vec<(String, KernelChoice, u64, f64)> = {
         let mut v = vec![("fc dense 1x2".to_string(), KernelChoice::FcDense, 8, 1.0)];
         for nm in Nm::KERNEL_PATTERNS {
-            v.push((format!("fc sparse SW {nm}"), KernelChoice::FcSparseSw(nm), 4, nm.m() as f64));
+            v.push((
+                format!("fc sparse SW {nm}"),
+                KernelChoice::FcSparseSw(nm),
+                4,
+                nm.m() as f64,
+            ));
         }
         for nm in Nm::KERNEL_PATTERNS {
-            v.push((format!("fc sparse ISA {nm}"), KernelChoice::FcSparseIsa(nm), 8, nm.m() as f64));
+            v.push((
+                format!("fc sparse ISA {nm}"),
+                KernelChoice::FcSparseIsa(nm),
+                8,
+                nm.m() as f64,
+            ));
         }
         v
     };

@@ -86,7 +86,12 @@ pub fn vit_rows(seed: u64) -> Result<Vec<Table2Row>> {
     let cfg = VitConfig::SMALL_224;
     let mut rows = Vec::new();
     let dense = vit_small(&cfg, seed)?;
-    rows.extend(rows_for("ViT", &dense, "dense", &[("1x2", Target::Dense1x2)])?);
+    rows.extend(rows_for(
+        "ViT",
+        &dense,
+        "dense",
+        &[("1x2", Target::Dense1x2)],
+    )?);
     for nm in Nm::KERNEL_PATTERNS {
         let mut pruned = vit_small(&cfg, seed)?;
         prune_graph(&mut pruned, nm, vit_ff_policy(nm, 128))?;

@@ -25,14 +25,62 @@ pub struct Table3Row {
 /// Literature constants from the paper's Table 3.
 pub fn literature_rows() -> Vec<Table3Row> {
     vec![
-        Table3Row { benchmark: "LeNet".into(), sparsity: "93.28%".into(), speedup: 3.51, area_pct: None, source: "Yu et al. 2017" },
-        Table3Row { benchmark: "ConvNet".into(), sparsity: "59.9%".into(), speedup: 1.38, area_pct: None, source: "Yu et al. 2017" },
-        Table3Row { benchmark: "LeNet300".into(), sparsity: "93.07%".into(), speedup: 9.17, area_pct: None, source: "Yu et al. 2017" },
-        Table3Row { benchmark: "DS-CNN".into(), sparsity: "90%".into(), speedup: 1.71, area_pct: None, source: "Trommer et al. 2021" },
-        Table3Row { benchmark: "ResNet50".into(), sparsity: "75%".into(), speedup: 1.82, area_pct: None, source: "Titopoulos et al. 2023 (vs SW sparse)" },
-        Table3Row { benchmark: "DenseNet".into(), sparsity: "75%".into(), speedup: 2.14, area_pct: None, source: "Titopoulos et al. 2023 (vs SW sparse)" },
-        Table3Row { benchmark: "InceptionV3".into(), sparsity: "75%".into(), speedup: 1.92, area_pct: None, source: "Titopoulos et al. 2023 (vs SW sparse)" },
-        Table3Row { benchmark: "spMV".into(), sparsity: "95.7%".into(), speedup: 5.0, area_pct: Some(44.0), source: "Scheffler et al. 2023 (vs SW sparse)" },
+        Table3Row {
+            benchmark: "LeNet".into(),
+            sparsity: "93.28%".into(),
+            speedup: 3.51,
+            area_pct: None,
+            source: "Yu et al. 2017",
+        },
+        Table3Row {
+            benchmark: "ConvNet".into(),
+            sparsity: "59.9%".into(),
+            speedup: 1.38,
+            area_pct: None,
+            source: "Yu et al. 2017",
+        },
+        Table3Row {
+            benchmark: "LeNet300".into(),
+            sparsity: "93.07%".into(),
+            speedup: 9.17,
+            area_pct: None,
+            source: "Yu et al. 2017",
+        },
+        Table3Row {
+            benchmark: "DS-CNN".into(),
+            sparsity: "90%".into(),
+            speedup: 1.71,
+            area_pct: None,
+            source: "Trommer et al. 2021",
+        },
+        Table3Row {
+            benchmark: "ResNet50".into(),
+            sparsity: "75%".into(),
+            speedup: 1.82,
+            area_pct: None,
+            source: "Titopoulos et al. 2023 (vs SW sparse)",
+        },
+        Table3Row {
+            benchmark: "DenseNet".into(),
+            sparsity: "75%".into(),
+            speedup: 2.14,
+            area_pct: None,
+            source: "Titopoulos et al. 2023 (vs SW sparse)",
+        },
+        Table3Row {
+            benchmark: "InceptionV3".into(),
+            sparsity: "75%".into(),
+            speedup: 1.92,
+            area_pct: None,
+            source: "Titopoulos et al. 2023 (vs SW sparse)",
+        },
+        Table3Row {
+            benchmark: "spMV".into(),
+            sparsity: "95.7%".into(),
+            speedup: 5.0,
+            area_pct: Some(44.0),
+            source: "Scheffler et al. 2023 (vs SW sparse)",
+        },
     ]
 }
 
@@ -50,8 +98,14 @@ pub fn our_rows(seed: u64) -> Result<Vec<Table3Row>> {
     let isa_lo = speedup(&rows, "1:4", "isa", "1x2");
     let isa_hi = speedup(&rows, "1:16", "isa", "1x2");
     let isa_vs_sw_75 = {
-        let sw = rows.iter().find(|r| r.sparsity == "1:4" && r.kernels == "sw").unwrap();
-        let isa = rows.iter().find(|r| r.sparsity == "1:4" && r.kernels == "isa").unwrap();
+        let sw = rows
+            .iter()
+            .find(|r| r.sparsity == "1:4" && r.kernels == "sw")
+            .unwrap();
+        let isa = rows
+            .iter()
+            .find(|r| r.sparsity == "1:4" && r.kernels == "isa")
+            .unwrap();
         sw.cycles as f64 / isa.cycles as f64
     };
     Ok(vec![
@@ -124,7 +178,9 @@ mod tests {
     fn literature_constants_match_paper() {
         let rows = literature_rows();
         assert_eq!(rows.len(), 8);
-        assert!(rows.iter().any(|r| r.benchmark == "LeNet300" && (r.speedup - 9.17).abs() < 1e-9));
+        assert!(rows
+            .iter()
+            .any(|r| r.benchmark == "LeNet300" && (r.speedup - 9.17).abs() < 1e-9));
         assert_eq!(rows.iter().filter(|r| r.area_pct.is_some()).count(), 1);
     }
 
@@ -134,8 +190,16 @@ mod tests {
         // speed-ups with the SW and ISA kernels compared to the 1x2
         // baseline" (on ResNet18; the DS-CNN behaves similarly).
         let rows = ds_cnn_rows(1).unwrap();
-        let sw = rows.iter().find(|r| r.benchmark.contains("SW")).unwrap().speedup;
-        let isa = rows.iter().find(|r| r.benchmark.contains("ISA")).unwrap().speedup;
+        let sw = rows
+            .iter()
+            .find(|r| r.benchmark.contains("SW"))
+            .unwrap()
+            .speedup;
+        let isa = rows
+            .iter()
+            .find(|r| r.benchmark.contains("ISA"))
+            .unwrap()
+            .speedup;
         assert!(sw > 1.2 && sw < 3.0, "sw {sw}");
         assert!(isa > sw && isa < 4.5, "isa {isa}");
     }

@@ -76,8 +76,7 @@ pub fn conv_channel_sweep(
     let total_mass = mass(dense_weights);
     let mut out = Vec::with_capacity(targets.len());
     for &target in targets {
-        let patterns =
-            assign_channel_patterns(dense_weights, geom.k, geom.patch_len(), target)?;
+        let patterns = assign_channel_patterns(dense_weights, geom.k, geom.patch_len(), target)?;
         let packed = ChannelNmMatrix::prune_from_dense(
             dense_weights,
             geom.k,
@@ -86,7 +85,11 @@ pub fn conv_channel_sweep(
             layout,
         )?;
         let job = ChannelConvJob::new(
-            ConvJob { geom: *geom, requant: Default::default(), bufs: Default::default() },
+            ConvJob {
+                geom: *geom,
+                requant: Default::default(),
+                bufs: Default::default(),
+            },
             patterns.clone(),
         );
         let stats = conv_channel_mixed(&mut Ctx::Analytic, &job, cluster, engine)?;
@@ -138,7 +141,11 @@ pub fn fc_channel_sweep(
             OffsetLayout::Plain,
         )?;
         let job = ChannelFcJob::new(
-            FcJob { geom: *geom, requant: Default::default(), bufs: Default::default() },
+            FcJob {
+                geom: *geom,
+                requant: Default::default(),
+                bufs: Default::default(),
+            },
             patterns.clone(),
         );
         let stats = fc_channel_mixed(&mut Ctx::Analytic, &job, cluster)?;
@@ -179,7 +186,10 @@ mod tests {
         let mut rng = XorShift::new(41);
         let w = rng.fill_weights(geom.weight_elems(), 40);
         let cluster = Cluster::new(8, CostModel::default());
-        (geom, conv_channel_sweep(&geom, &w, engine, &cluster, &TARGETS).unwrap())
+        (
+            geom,
+            conv_channel_sweep(&geom, &w, engine, &cluster, &TARGETS).unwrap(),
+        )
     }
 
     #[test]
@@ -188,7 +198,11 @@ mod tests {
         let cluster = Cluster::new(8, CostModel::default());
         let dense = conv_dense_1x2(
             &mut Ctx::Analytic,
-            &ConvJob { geom, requant: Default::default(), bufs: Default::default() },
+            &ConvJob {
+                geom,
+                requant: Default::default(),
+                bufs: Default::default(),
+            },
             &cluster,
         )
         .unwrap();
@@ -209,7 +223,10 @@ mod tests {
                 assert!(pair[1].weight_bits <= pair[0].weight_bits, "{engine:?}");
             }
             // The sparsest point must be faster than the dense endpoint.
-            assert!(points.last().unwrap().cycles < points[0].cycles, "{engine:?}");
+            assert!(
+                points.last().unwrap().cycles < points[0].cycles,
+                "{engine:?}"
+            );
         }
     }
 
@@ -218,13 +235,19 @@ mod tests {
         // At a 0.25 density budget the greedy may mix dense with 1:8 /
         // 1:16 channels; the result must not lose to uniform 1:4.
         let (geom, points) = sweep(ChannelEngine::Isa);
-        let at_quarter =
-            points.iter().find(|p| (p.target_density - 0.25).abs() < 1e-9).unwrap();
+        let at_quarter = points
+            .iter()
+            .find(|p| (p.target_density - 0.25).abs() < 1e-9)
+            .unwrap();
         let cluster = Cluster::new(8, CostModel::default());
         let uniform = conv_sparse_isa(
             &mut Ctx::Analytic,
             &SparseConvJob {
-                conv: ConvJob { geom, requant: Default::default(), bufs: Default::default() },
+                conv: ConvJob {
+                    geom,
+                    requant: Default::default(),
+                    bufs: Default::default(),
+                },
                 nm: Nm::ONE_OF_FOUR,
             },
             &cluster,
@@ -251,7 +274,11 @@ mod tests {
         // Dense endpoint equals the dense kernel exactly.
         let dense = fc_dense(
             &mut Ctx::Analytic,
-            &FcJob { geom, requant: Default::default(), bufs: Default::default() },
+            &FcJob {
+                geom,
+                requant: Default::default(),
+                bufs: Default::default(),
+            },
             &cluster,
         )
         .unwrap();

@@ -41,6 +41,16 @@ fn l1(opts: &Options) -> Scratchpad {
     Scratchpad::new("L1", opts.l1_budget)
 }
 
+/// The emulation context selected by [`Options::bulk_emulation`]: the
+/// bulk fast path by default, the per-instruction reference on request.
+fn tile_ctx<'a>(mem: &'a mut Scratchpad, opts: &Options) -> Ctx<'a> {
+    if opts.bulk_emulation {
+        Ctx::MemBulk(mem)
+    } else {
+        Ctx::Mem(mem)
+    }
+}
+
 fn offset_layout(choice: &KernelChoice) -> Option<OffsetLayout> {
     match choice {
         KernelChoice::ConvSparseSw(_) | KernelChoice::FcSparseSw(_) => Some(OffsetLayout::Plain),
@@ -67,8 +77,7 @@ fn run_conv_layer(
     for y in 0..geom.iy {
         for x in 0..geom.ix {
             for c in 0..geom.c {
-                padded[((y + geom.pad) * px + x + geom.pad) * geom.c + c] =
-                    *input.at(&[y, x, c]);
+                padded[((y + geom.pad) * px + x + geom.pad) * geom.c + c] = *input.at(&[y, x, c]);
             }
         }
     }
@@ -88,18 +97,26 @@ fn run_conv_layer(
             let packed = NmMatrix::from_dense(w_rows, tg.k, geom.patch_len(), nm, layout)?;
             bufs = stage_conv_sparse(&mut mem, &tg, tile_input, &packed, opts.cores)?;
             let job = SparseConvJob {
-                conv: ConvJob { geom: tg, requant: layer.requant, bufs },
+                conv: ConvJob {
+                    geom: tg,
+                    requant: layer.requant,
+                    bufs,
+                },
                 nm,
             };
-            let mut ctx = Ctx::Mem(&mut mem);
+            let mut ctx = tile_ctx(&mut mem, opts);
             stats = match choice {
                 KernelChoice::ConvSparseSw(_) => conv_sparse_sw(&mut ctx, &job, &cluster)?,
                 _ => conv_sparse_isa(&mut ctx, &job, &cluster)?,
             };
         } else {
             bufs = stage_conv_dense(&mut mem, &tg, tile_input, w_rows, opts.cores)?;
-            let job = ConvJob { geom: tg, requant: layer.requant, bufs };
-            let mut ctx = Ctx::Mem(&mut mem);
+            let job = ConvJob {
+                geom: tg,
+                requant: layer.requant,
+                bufs,
+            };
+            let mut ctx = tile_ctx(&mut mem, opts);
             stats = match choice {
                 KernelChoice::ConvDense1x2 => conv_dense_1x2(&mut ctx, &job, &cluster)?,
                 _ => conv_dense_4x2(&mut ctx, &job, &cluster)?,
@@ -148,17 +165,27 @@ fn run_fc_layer(
                 let nm = choice.nm().expect("sparse choice has a pattern");
                 let packed = NmMatrix::from_dense(w_rows, tg.k, c, nm, layout)?;
                 bufs = stage_fc_sparse(&mut mem, &tg, x, &packed)?;
-                let job =
-                    SparseFcJob { fc: FcJob { geom: tg, requant: layer.requant, bufs }, nm };
-                let mut ctx = Ctx::Mem(&mut mem);
+                let job = SparseFcJob {
+                    fc: FcJob {
+                        geom: tg,
+                        requant: layer.requant,
+                        bufs,
+                    },
+                    nm,
+                };
+                let mut ctx = tile_ctx(&mut mem, opts);
                 stats = match choice {
                     KernelChoice::FcSparseSw(_) => fc_sparse_sw(&mut ctx, &job, &cluster)?,
                     _ => fc_sparse_isa(&mut ctx, &job, &cluster)?,
                 };
             } else {
                 bufs = stage_fc_dense(&mut mem, &tg, x, w_rows)?;
-                let job = FcJob { geom: tg, requant: layer.requant, bufs };
-                let mut ctx = Ctx::Mem(&mut mem);
+                let job = FcJob {
+                    geom: tg,
+                    requant: layer.requant,
+                    bufs,
+                };
+                let mut ctx = tile_ctx(&mut mem, opts);
                 stats = fc_dense(&mut ctx, &job, &cluster)?;
             }
             cycles += stats.cycles();
@@ -167,8 +194,11 @@ fn run_fc_layer(
             }
         }
     }
-    let shape: Vec<usize> =
-        if input.shape().len() == 1 { vec![geom.k] } else { vec![tokens, geom.k] };
+    let shape: Vec<usize> = if input.shape().len() == 1 {
+        vec![geom.k]
+    } else {
+        vec![tokens, geom.k]
+    };
     Ok((Tensor::from_vec(&shape, out)?, cycles))
 }
 
@@ -258,8 +288,7 @@ mod tests {
                 }
             }
         }
-        let conv =
-            ConvLayer::new(geom, w, Requant::for_dot_len(geom.patch_len())).unwrap();
+        let conv = ConvLayer::new(geom, w, Requant::for_dot_len(geom.patch_len())).unwrap();
         let fcg = FcGeom::new(8, 12).unwrap();
         let mut wfc = rng.fill_weights(fcg.weight_elems(), 30);
         if let Some(nm) = nm {
@@ -292,7 +321,10 @@ mod tests {
             .filter(|l| l.choice.is_some())
             .map(|l| l.compute_cycles)
             .sum();
-        assert_eq!(run.matmul_compute_cycles, planned, "{target:?} {nm:?} cycles");
+        assert_eq!(
+            run.matmul_compute_cycles, planned,
+            "{target:?} {nm:?} cycles"
+        );
     }
 
     #[test]

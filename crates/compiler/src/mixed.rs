@@ -16,8 +16,12 @@ use nm_core::Result;
 use nm_nn::graph::{Graph, NodeId, OpKind};
 
 /// The sparsity ladder (dense first).
-const LADDER: [Option<Nm>; 4] =
-    [None, Some(Nm::ONE_OF_FOUR), Some(Nm::ONE_OF_EIGHT), Some(Nm::ONE_OF_SIXTEEN)];
+const LADDER: [Option<Nm>; 4] = [
+    None,
+    Some(Nm::ONE_OF_FOUR),
+    Some(Nm::ONE_OF_EIGHT),
+    Some(Nm::ONE_OF_SIXTEEN),
+];
 
 /// A per-layer assignment and its projected totals.
 #[derive(Debug, Clone)]
@@ -116,7 +120,12 @@ where
         for nm in LADDER {
             cycles.push(level_cycles(graph, id, nm, use_isa, opts)?);
         }
-        cands.push(Candidate { node: id, params, cycles, level: 0 });
+        cands.push(Candidate {
+            node: id,
+            params,
+            cycles,
+            level: 0,
+        });
     }
     let total_params: usize = cands.iter().map(|c| c.params).sum();
     let mut kept: f64 = total_params as f64;
@@ -158,7 +167,11 @@ where
         }
     }
     let cycles = cands.iter().map(|c| c.cycles[c.level].unwrap_or(0)).sum();
-    let density = if total_params == 0 { 1.0 } else { kept / total_params as f64 };
+    let density = if total_params == 0 {
+        1.0
+    } else {
+        kept / total_params as f64
+    };
     Ok(MixedAssignment {
         per_layer: cands.iter().map(|c| (c.node, LADDER[c.level])).collect(),
         cycles,
@@ -179,10 +192,18 @@ mod tests {
         let mut rng = XorShift::new(31);
         let g1 = ConvGeom::square(32, 32, 8, 3, 1, 1).unwrap();
         let g2 = ConvGeom::square(32, 64, 8, 3, 1, 1).unwrap();
-        let c1 =
-            ConvLayer::new(g1, rng.fill_weights(g1.weight_elems(), 30), Requant::IDENTITY).unwrap();
-        let c2 =
-            ConvLayer::new(g2, rng.fill_weights(g2.weight_elems(), 30), Requant::IDENTITY).unwrap();
+        let c1 = ConvLayer::new(
+            g1,
+            rng.fill_weights(g1.weight_elems(), 30),
+            Requant::IDENTITY,
+        )
+        .unwrap();
+        let c2 = ConvLayer::new(
+            g2,
+            rng.fill_weights(g2.weight_elems(), 30),
+            Requant::IDENTITY,
+        )
+        .unwrap();
         let mut b = GraphBuilder::new(&[8, 8, 32]);
         let x = b.conv(b.input(), c1).unwrap();
         let x = b.conv(x, c2).unwrap();
@@ -194,7 +215,10 @@ mod tests {
         let g = two_conv_graph();
         let opts = Options::new(Target::SparseIsa);
         let a = assign_mixed(&g, &opts, 0.0, |_, op| matches!(op, OpKind::Conv2d(_))).unwrap();
-        assert!(a.per_layer.iter().all(|(_, nm)| *nm == Some(Nm::ONE_OF_SIXTEEN)));
+        assert!(a
+            .per_layer
+            .iter()
+            .all(|(_, nm)| *nm == Some(Nm::ONE_OF_SIXTEEN)));
         assert!((a.density - 1.0 / 16.0).abs() < 1e-9);
     }
 

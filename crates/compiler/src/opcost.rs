@@ -39,8 +39,14 @@ mod per_elem {
 /// FC output channel of length `k`).
 pub fn matmul_cycles(m: usize, k: usize, n: usize, cluster: &Cluster) -> u64 {
     let geom = FcGeom::new(k, m * n).expect("non-empty matmul");
-    let job = FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
-    fc_dense(&mut Ctx::Analytic, &job, cluster).expect("dense fc is infallible").cycles()
+    let job = FcJob {
+        geom,
+        requant: Requant::IDENTITY,
+        bufs: Default::default(),
+    };
+    fc_dense(&mut Ctx::Analytic, &job, cluster)
+        .expect("dense fc is infallible")
+        .cycles()
 }
 
 /// Cycles for a full multi-head attention block over `t` tokens:
@@ -55,8 +61,7 @@ pub fn attention_cycles(att: &AttentionLayer, t: usize, cluster: &Cluster) -> u6
     let softmax = elems_cost(att.heads * t * t, per_elem::SOFTMAX, cluster);
     let context = att.heads as u64 * matmul_cycles(t, t, hd, cluster);
     let proj = matmul_cycles(t, d, d, cluster);
-    let weight_bytes =
-        weight_tile_bytes(&KernelChoice::FcDense, 3 * d + d, d);
+    let weight_bytes = weight_tile_bytes(&KernelChoice::FcDense, 3 * d + d, d);
     qkv + scores + softmax + context + proj + costs.dma_cycles(weight_bytes)
 }
 
@@ -115,15 +120,17 @@ mod tests {
             Requant::IDENTITY,
         )
         .unwrap();
-        let proj =
-            LinearLayer::new(FcGeom::new(d, d).unwrap(), vec![0; d * d], Requant::IDENTITY)
-                .unwrap();
-        let att = AttentionLayer::new(d, 4, qkv, proj, Requant::IDENTITY, Requant::IDENTITY)
-            .unwrap();
+        let proj = LinearLayer::new(
+            FcGeom::new(d, d).unwrap(),
+            vec![0; d * d],
+            Requant::IDENTITY,
+        )
+        .unwrap();
+        let att =
+            AttentionLayer::new(d, 4, qkv, proj, Requant::IDENTITY, Requant::IDENTITY).unwrap();
         let t = 4;
         let total = attention_cycles(&att, t, &cluster);
-        let projections =
-            matmul_cycles(t, d, 3 * d, &cluster) + matmul_cycles(t, d, d, &cluster);
+        let projections = matmul_cycles(t, d, 3 * d, &cluster) + matmul_cycles(t, d, d, &cluster);
         assert!(total > projections);
         assert!((projections as f64) / (total as f64) > 0.5);
     }
@@ -141,7 +148,10 @@ mod tests {
             OpKind::GlobalAvgPool,
             OpKind::Flatten,
         ] {
-            assert!(elementwise_cycles(&op, 1024, 256, &cluster).is_some(), "{op:?}");
+            assert!(
+                elementwise_cycles(&op, 1024, 256, &cluster).is_some(),
+                "{op:?}"
+            );
         }
         assert!(elementwise_cycles(&OpKind::Input, 0, 0, &cluster).is_none());
     }

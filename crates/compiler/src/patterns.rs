@@ -19,8 +19,12 @@ pub enum Target {
 
 impl Target {
     /// All targets in presentation order.
-    pub const ALL: [Target; 4] =
-        [Target::Dense1x2, Target::DensePulpNn, Target::SparseSw, Target::SparseIsa];
+    pub const ALL: [Target; 4] = [
+        Target::Dense1x2,
+        Target::DensePulpNn,
+        Target::SparseSw,
+        Target::SparseIsa,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -83,7 +87,9 @@ impl KernelChoice {
 pub fn select_kernel(target: Target, op: &OpKind) -> Option<KernelChoice> {
     match op {
         OpKind::Conv2d(l) => {
-            let sparsity = l.detect_sparsity().filter(|nm| l.geom.patch_len() % nm.m() == 0);
+            let sparsity = l
+                .detect_sparsity()
+                .filter(|nm| l.geom.patch_len() % nm.m() == 0);
             Some(match (target, sparsity) {
                 (Target::Dense1x2, _) => KernelChoice::ConvDense1x2,
                 (Target::DensePulpNn, _) => KernelChoice::ConvDensePulpNn,
@@ -97,9 +103,7 @@ pub fn select_kernel(target: Target, op: &OpKind) -> Option<KernelChoice> {
             Some(match (target, sparsity) {
                 (Target::Dense1x2 | Target::DensePulpNn, _) => KernelChoice::FcDense,
                 (Target::SparseSw, Some(nm)) => KernelChoice::FcSparseSw(nm),
-                (Target::SparseIsa, Some(nm)) if l.geom.k % 2 == 0 => {
-                    KernelChoice::FcSparseIsa(nm)
-                }
+                (Target::SparseIsa, Some(nm)) if l.geom.k % 2 == 0 => KernelChoice::FcSparseIsa(nm),
                 // Odd K cannot use the interleaved format: software kernel.
                 (Target::SparseIsa, Some(nm)) => KernelChoice::FcSparseSw(nm),
                 (Target::SparseSw | Target::SparseIsa, None) => KernelChoice::FcDense,
@@ -146,7 +150,10 @@ mod tests {
             select_kernel(Target::SparseSw, &op),
             Some(KernelChoice::ConvSparseSw(Nm::ONE_OF_EIGHT))
         );
-        assert_eq!(select_kernel(Target::DensePulpNn, &op), Some(KernelChoice::ConvDensePulpNn));
+        assert_eq!(
+            select_kernel(Target::DensePulpNn, &op),
+            Some(KernelChoice::ConvDensePulpNn)
+        );
     }
 
     #[test]
@@ -154,10 +161,17 @@ mod tests {
         let geom = ConvGeom::square(8, 4, 4, 3, 1, 1).unwrap();
         let mut rng = XorShift::new(2);
         let dense = OpKind::Conv2d(
-            ConvLayer::new(geom, rng.fill_weights(geom.weight_elems(), 30), Requant::IDENTITY)
-                .unwrap(),
+            ConvLayer::new(
+                geom,
+                rng.fill_weights(geom.weight_elems(), 30),
+                Requant::IDENTITY,
+            )
+            .unwrap(),
         );
-        assert_eq!(select_kernel(Target::SparseIsa, &dense), Some(KernelChoice::ConvDensePulpNn));
+        assert_eq!(
+            select_kernel(Target::SparseIsa, &dense),
+            Some(KernelChoice::ConvDensePulpNn)
+        );
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use crate::opcost::{attention_cycles, elementwise_cycles};
 use crate::patterns::{select_kernel, KernelChoice, Target};
-use crate::tiling::{tile_conv, tile_fc, weight_memory_bits, weight_tile_parts, ConvTiling, FcTiling};
+use crate::tiling::{
+    tile_conv, tile_fc, weight_memory_bits, weight_tile_parts, ConvTiling, FcTiling,
+};
 use nm_core::quant::Requant;
 use nm_core::{ConvGeom, FcGeom, Result};
 use nm_isa::CostModel;
@@ -34,6 +36,11 @@ pub struct Options {
     pub cores: usize,
     /// Cycle-cost model.
     pub costs: CostModel,
+    /// Emulate tiles on the bulk fast path (`Ctx::MemBulk`, the default)
+    /// instead of the per-instruction reference path. Both are bit-exact
+    /// and cycle-exact — the kernel parity tests pin them together — but
+    /// the bulk path makes end-to-end emulation several times faster.
+    pub bulk_emulation: bool,
 }
 
 impl Options {
@@ -45,6 +52,7 @@ impl Options {
             l1_budget: L1_BYTES,
             cores: 8,
             costs: CostModel::default(),
+            bulk_emulation: true,
         }
     }
 
@@ -129,23 +137,35 @@ pub fn fc_tile_specs(geom: &FcGeom, t: &FcTiling) -> Vec<FcTileSpec> {
         .map(|ki| {
             let k0 = ki * t.k_tile;
             let k_t = t.k_tile.min(geom.k - k0);
-            FcTileSpec { geom: FcGeom { c: geom.c, k: k_t }, k0, first: ki == 0 }
+            FcTileSpec {
+                geom: FcGeom { c: geom.c, k: k_t },
+                k0,
+                first: ki == 0,
+            }
         })
         .collect()
 }
 
 /// Analytic compute cycles of one conv tile under a kernel choice.
 pub fn conv_tile_compute(choice: &KernelChoice, geom: &ConvGeom, cluster: &Cluster) -> Result<u64> {
-    let job = ConvJob { geom: *geom, requant: Requant::IDENTITY, bufs: Default::default() };
+    let job = ConvJob {
+        geom: *geom,
+        requant: Requant::IDENTITY,
+        bufs: Default::default(),
+    };
     let stats = match choice {
         KernelChoice::ConvDense1x2 => conv_dense_1x2(&mut Ctx::Analytic, &job, cluster)?,
         KernelChoice::ConvDensePulpNn => conv_dense_4x2(&mut Ctx::Analytic, &job, cluster)?,
-        KernelChoice::ConvSparseSw(nm) => {
-            conv_sparse_sw(&mut Ctx::Analytic, &SparseConvJob { conv: job, nm: *nm }, cluster)?
-        }
-        KernelChoice::ConvSparseIsa(nm) => {
-            conv_sparse_isa(&mut Ctx::Analytic, &SparseConvJob { conv: job, nm: *nm }, cluster)?
-        }
+        KernelChoice::ConvSparseSw(nm) => conv_sparse_sw(
+            &mut Ctx::Analytic,
+            &SparseConvJob { conv: job, nm: *nm },
+            cluster,
+        )?,
+        KernelChoice::ConvSparseIsa(nm) => conv_sparse_isa(
+            &mut Ctx::Analytic,
+            &SparseConvJob { conv: job, nm: *nm },
+            cluster,
+        )?,
         _ => unreachable!("conv tile with FC kernel"),
     };
     Ok(stats.cycles())
@@ -153,15 +173,23 @@ pub fn conv_tile_compute(choice: &KernelChoice, geom: &ConvGeom, cluster: &Clust
 
 /// Analytic compute cycles of one FC tile under a kernel choice.
 pub fn fc_tile_compute(choice: &KernelChoice, geom: &FcGeom, cluster: &Cluster) -> Result<u64> {
-    let job = FcJob { geom: *geom, requant: Requant::IDENTITY, bufs: Default::default() };
+    let job = FcJob {
+        geom: *geom,
+        requant: Requant::IDENTITY,
+        bufs: Default::default(),
+    };
     let stats = match choice {
         KernelChoice::FcDense => fc_dense(&mut Ctx::Analytic, &job, cluster)?,
-        KernelChoice::FcSparseSw(nm) => {
-            fc_sparse_sw(&mut Ctx::Analytic, &SparseFcJob { fc: job, nm: *nm }, cluster)?
-        }
-        KernelChoice::FcSparseIsa(nm) => {
-            fc_sparse_isa(&mut Ctx::Analytic, &SparseFcJob { fc: job, nm: *nm }, cluster)?
-        }
+        KernelChoice::FcSparseSw(nm) => fc_sparse_sw(
+            &mut Ctx::Analytic,
+            &SparseFcJob { fc: job, nm: *nm },
+            cluster,
+        )?,
+        KernelChoice::FcSparseIsa(nm) => fc_sparse_isa(
+            &mut Ctx::Analytic,
+            &SparseFcJob { fc: job, nm: *nm },
+            cluster,
+        )?,
         _ => unreachable!("fc tile with conv kernel"),
     };
     Ok(stats.cycles())
@@ -223,12 +251,7 @@ impl ModelReport {
     }
 }
 
-fn weight_dma(
-    opts: &Options,
-    choice: &KernelChoice,
-    k_tile: usize,
-    row_len: usize,
-) -> (u64, u64) {
+fn weight_dma(opts: &Options, choice: &KernelChoice, k_tile: usize, row_len: usize) -> (u64, u64) {
     let (v, o) = weight_tile_parts(choice, k_tile, row_len);
     if opts.interleaved_weights || o == 0 {
         (opts.costs.dma_cycles(v + o), 1)
@@ -277,7 +300,11 @@ pub fn conv_tile_costs(
             weight_txn += txn;
         }
         let dma_out = opts.costs.dma_cycles(spec.output_bytes);
-        tiles.push(TileCost { dma_in, compute, dma_out });
+        tiles.push(TileCost {
+            dma_in,
+            compute,
+            dma_out,
+        });
     }
     Ok((tiles, weight_txn))
 }
@@ -333,7 +360,11 @@ pub fn fc_tile_costs(
             dma_in += opts.costs.dma_cycles(tokens * geom.c);
         }
         let dma_out = opts.costs.dma_cycles(tokens * spec.geom.k);
-        tiles.push(TileCost { dma_in, compute, dma_out });
+        tiles.push(TileCost {
+            dma_in,
+            compute,
+            dma_out,
+        });
     }
     Ok((tiles, weight_txn))
 }
@@ -379,7 +410,11 @@ pub fn compile(graph: &Graph, opts: &Options) -> Result<ModelReport> {
                 plan_conv(id, &l.geom, choice, opts)?
             }
             OpKind::Linear(l) => {
-                let tokens = if node.out_shape.len() == 2 { node.out_shape[0] } else { 1 };
+                let tokens = if node.out_shape.len() == 2 {
+                    node.out_shape[0]
+                } else {
+                    1
+                };
                 let choice = select_kernel(opts.target, &node.op).expect("linear has a kernel");
                 plan_fc(id, &l.geom, tokens, choice, opts)?
             }
@@ -390,8 +425,7 @@ pub fn compile(graph: &Graph, opts: &Options) -> Result<ModelReport> {
                     node: id,
                     op_name: "attention",
                     choice: None,
-                    cycles: attention_cycles(a, t, &cluster)
-                        + opts.costs.dma_cycles(2 * act_bytes),
+                    cycles: attention_cycles(a, t, &cluster) + opts.costs.dma_cycles(2 * act_bytes),
                     compute_cycles: attention_cycles(a, t, &cluster),
                     dma_cycles: opts.costs.dma_cycles(2 * act_bytes),
                     weight_dma_transactions: 1,
@@ -401,11 +435,10 @@ pub fn compile(graph: &Graph, opts: &Options) -> Result<ModelReport> {
                 }
             }
             op => {
-                let in_elems: usize =
-                    graph.node(node.inputs[0]).out_shape.iter().product();
+                let in_elems: usize = graph.node(node.inputs[0]).out_shape.iter().product();
                 let out_elems: usize = node.out_shape.iter().product();
-                let compute = elementwise_cycles(op, in_elems, out_elems, &cluster)
-                    .expect("element-wise op");
+                let compute =
+                    elementwise_cycles(op, in_elems, out_elems, &cluster).expect("element-wise op");
                 let dma = opts.costs.dma_cycles(in_elems) + opts.costs.dma_cycles(out_elems);
                 LayerPlan {
                     node: id,
@@ -423,7 +456,10 @@ pub fn compile(graph: &Graph, opts: &Options) -> Result<ModelReport> {
         };
         layers.push(plan);
     }
-    Ok(ModelReport { target: opts.target, layers })
+    Ok(ModelReport {
+        target: opts.target,
+        layers,
+    })
 }
 
 #[cfg(test)]
@@ -510,7 +546,11 @@ mod tests {
     #[test]
     fn tile_specs_cover_the_iteration_space() {
         let geom = ConvGeom::square(16, 24, 10, 3, 1, 1).unwrap();
-        let tiling = ConvTiling { oy_tile: 4, k_tile: 16, l1_bytes: 0 };
+        let tiling = ConvTiling {
+            oy_tile: 4,
+            k_tile: 16,
+            l1_bytes: 0,
+        };
         let specs = conv_tile_specs(&geom, &tiling);
         let mut outputs = 0usize;
         for s in &specs {

@@ -49,7 +49,11 @@ pub fn trace_layer(graph: &Graph, node: NodeId, opts: &Options) -> Result<LayerT
             })
         }
         OpKind::Linear(l) => {
-            let tokens = if n.out_shape.len() == 2 { n.out_shape[0] } else { 1 };
+            let tokens = if n.out_shape.len() == 2 {
+                n.out_shape[0]
+            } else {
+                1
+            };
             let choice = select_kernel(opts.target, &n.op).expect("linear has a kernel");
             let tiling = tile_fc(&l.geom, &choice, opts.l1_budget)?;
             let (tiles, _) = fc_tile_costs(&l.geom, tokens, &choice, opts, &tiling)?;
@@ -77,7 +81,13 @@ pub fn breakdown_report(report: &ModelReport) -> String {
         "node", "op", "kernel", "cycles", "compute%", "dma%", "tiles"
     ));
     for l in &report.layers {
-        let pct = |v: u64| if l.cycles == 0 { 0.0 } else { 100.0 * v as f64 / l.cycles as f64 };
+        let pct = |v: u64| {
+            if l.cycles == 0 {
+                0.0
+            } else {
+                100.0 * v as f64 / l.cycles as f64
+            }
+        };
         out.push_str(&format!(
             "{:>4}  {:<12} {:<20} {:>10} {:>8.1} {:>8.1} {:>6}\n",
             l.node,
@@ -159,7 +169,10 @@ mod tests {
             .iter()
             .position(|n| matches!(n.op, OpKind::Relu))
             .unwrap();
-        assert!(matches!(trace_layer(&g, relu, &opts), Err(Error::Unsupported(_))));
+        assert!(matches!(
+            trace_layer(&g, relu, &opts),
+            Err(Error::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -186,6 +199,9 @@ mod tests {
         let lt = trace_layer(&g, fc_node, &opts).unwrap();
         use nm_platform::Lane;
         let dma = lt.trace.lane_busy(Lane::DmaIn) + lt.trace.lane_busy(Lane::DmaOut);
-        assert!(dma > lt.trace.lane_busy(Lane::Compute) / 4, "fc should move real data");
+        assert!(
+            dma > lt.trace.lane_busy(Lane::Compute) / 4,
+            "fc should move real data"
+        );
     }
 }

@@ -40,16 +40,25 @@ pub fn weight_tile_parts(choice: &KernelChoice, k_tile: usize, row_len: usize) -
         }
         KernelChoice::ConvSparseSw(nm) | KernelChoice::FcSparseSw(nm) => {
             let nz = row_len / nm.m();
-            (k_tile * nz, k_tile * nm_segment_bytes(*nm, nz, OffsetLayout::Plain))
+            (
+                k_tile * nz,
+                k_tile * nm_segment_bytes(*nm, nz, OffsetLayout::Plain),
+            )
         }
         KernelChoice::ConvSparseIsa(nm) => {
             let nz = row_len / nm.m();
-            (k_tile * nz, k_tile * nm_segment_bytes(*nm, nz, OffsetLayout::Duplicated))
+            (
+                k_tile * nz,
+                k_tile * nm_segment_bytes(*nm, nz, OffsetLayout::Duplicated),
+            )
         }
         KernelChoice::FcSparseIsa(nm) => {
             let nz = row_len / nm.m();
             // Interleaved segments are shared by channel pairs.
-            (k_tile * nz, k_tile.div_ceil(2) * nm_segment_bytes(*nm, nz, OffsetLayout::Interleaved))
+            (
+                k_tile * nz,
+                k_tile.div_ceil(2) * nm_segment_bytes(*nm, nz, OffsetLayout::Interleaved),
+            )
         }
     }
 }
@@ -145,7 +154,14 @@ pub fn tile_conv(
             let starves_pairs = oy_tile * geom.ox() < 2 * n_cores && oy_tile < geom.oy();
             let key = (starves_pairs, n_k, n_tiles, std::cmp::Reverse(k_tile));
             if best.as_ref().is_none_or(|(_, k)| key < *k) {
-                best = Some((ConvTiling { oy_tile, k_tile, l1_bytes: need }, key));
+                best = Some((
+                    ConvTiling {
+                        oy_tile,
+                        k_tile,
+                        l1_bytes: need,
+                    },
+                    key,
+                ));
             }
         }
     }
@@ -159,12 +175,12 @@ pub fn tile_conv(
 ///
 /// # Errors
 /// [`Error::OutOfMemory`] if a minimum tile exceeds L1.
-pub fn tile_fc(
-    geom: &FcGeom,
-    choice: &KernelChoice,
-    l1_budget: usize,
-) -> Result<FcTiling> {
-    let k_step = if matches!(choice, KernelChoice::FcSparseIsa(_)) { 2 } else { 1 };
+pub fn tile_fc(geom: &FcGeom, choice: &KernelChoice, l1_budget: usize) -> Result<FcTiling> {
+    let k_step = if matches!(choice, KernelChoice::FcSparseIsa(_)) {
+        2
+    } else {
+        1
+    };
     let mut k_tile = geom.k;
     loop {
         let tiled = k_tile < geom.k;
@@ -172,10 +188,16 @@ pub fn tile_fc(
         let db = if tiled { 2 } else { 1 };
         let need = geom.c + k_tile + db * weights;
         if need <= l1_budget {
-            return Ok(FcTiling { k_tile, l1_bytes: need });
+            return Ok(FcTiling {
+                k_tile,
+                l1_bytes: need,
+            });
         }
         if k_tile <= k_step {
-            return Err(Error::OutOfMemory { requested: need, available: l1_budget });
+            return Err(Error::OutOfMemory {
+                requested: need,
+                available: l1_budget,
+            });
         }
         k_tile = (k_tile / 2).max(k_step);
         if k_step == 2 && k_tile % 2 == 1 {
@@ -204,8 +226,13 @@ mod tests {
     fn sparse_fits_larger_tiles_than_dense() {
         let geom = ConvGeom::square(256, 256, 8, 3, 1, 1).unwrap();
         let dense = tile_conv(&geom, &KernelChoice::ConvDense1x2, L1_BYTES, 8).unwrap();
-        let sparse =
-            tile_conv(&geom, &KernelChoice::ConvSparseIsa(Nm::ONE_OF_EIGHT), L1_BYTES, 8).unwrap();
+        let sparse = tile_conv(
+            &geom,
+            &KernelChoice::ConvSparseIsa(Nm::ONE_OF_EIGHT),
+            L1_BYTES,
+            8,
+        )
+        .unwrap();
         assert!(
             sparse.k_tile * sparse.oy_tile > dense.k_tile * dense.oy_tile,
             "sparse {sparse:?} vs dense {dense:?}"
@@ -225,7 +252,12 @@ mod tests {
     #[test]
     fn fc_tiling_respects_isa_pairing() {
         let geom = FcGeom::new(2048, 1000).unwrap();
-        let t = tile_fc(&geom, &KernelChoice::FcSparseIsa(Nm::ONE_OF_FOUR), 32 * 1024).unwrap();
+        let t = tile_fc(
+            &geom,
+            &KernelChoice::FcSparseIsa(Nm::ONE_OF_FOUR),
+            32 * 1024,
+        )
+        .unwrap();
         assert_eq!(t.k_tile % 2, 0);
         assert!(t.l1_bytes <= 32 * 1024);
     }

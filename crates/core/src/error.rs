@@ -77,11 +77,19 @@ mod tests {
     fn display_is_nonempty_and_lowercase() {
         let errors = [
             Error::InvalidPattern { n: 2, m: 2 },
-            Error::PatternViolation { row: 1, block: 2, found: 3, allowed: 1 },
+            Error::PatternViolation {
+                row: 1,
+                block: 2,
+                found: 3,
+                allowed: 1,
+            },
             Error::ShapeMismatch("cols 10 not multiple of 8".into()),
             Error::InvalidGeometry("stride 0".into()),
             Error::InvalidQuantization("shift 40".into()),
-            Error::OutOfMemory { requested: 10, available: 5 },
+            Error::OutOfMemory {
+                requested: 10,
+                available: 5,
+            },
             Error::Unsupported("2:4 kernels".into()),
         ];
         for e in errors {

@@ -43,7 +43,9 @@ impl BlockwiseMatrix {
             )));
         }
         if block == 0 || !cols.is_multiple_of(block) {
-            return Err(Error::ShapeMismatch(format!("cols {cols} not a multiple of block {block}")));
+            return Err(Error::ShapeMismatch(format!(
+                "cols {cols} not a multiple of block {block}"
+            )));
         }
         let mut m = BlockwiseMatrix {
             rows,
@@ -82,7 +84,9 @@ impl BlockwiseMatrix {
         keep: usize,
     ) -> Result<Self> {
         if block == 0 || !cols.is_multiple_of(block) {
-            return Err(Error::ShapeMismatch(format!("cols {cols} not a multiple of block {block}")));
+            return Err(Error::ShapeMismatch(format!(
+                "cols {cols} not a multiple of block {block}"
+            )));
         }
         let mut pruned = dense.to_vec();
         let blocks_per_row = cols / block;
@@ -90,7 +94,10 @@ impl BlockwiseMatrix {
             let mut norms: Vec<(usize, i32)> = (0..blocks_per_row)
                 .map(|b| {
                     let start = r * cols + b * block;
-                    let norm = pruned[start..start + block].iter().map(|&v| (v as i32).abs()).sum();
+                    let norm = pruned[start..start + block]
+                        .iter()
+                        .map(|&v| (v as i32).abs())
+                        .sum();
                     (b, norm)
                 })
                 .collect();
@@ -121,7 +128,10 @@ impl BlockwiseMatrix {
         let start: usize = self.row_len[..row].iter().map(|&l| usize::from(l)).sum();
         let len = usize::from(self.row_len[row]);
         (start..start + len).map(move |i| {
-            (usize::from(self.block_idx[i]), &self.values[i * self.block..(i + 1) * self.block])
+            (
+                usize::from(self.block_idx[i]),
+                &self.values[i * self.block..(i + 1) * self.block],
+            )
         })
     }
 

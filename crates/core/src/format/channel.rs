@@ -104,9 +104,17 @@ impl ChannelNmMatrix {
                 continue;
             };
             check_pattern(r, 1, cols, nm).map_err(|e| match e {
-                Error::PatternViolation { block, found, allowed, .. } => {
-                    Error::PatternViolation { row, block, found, allowed }
-                }
+                Error::PatternViolation {
+                    block,
+                    found,
+                    allowed,
+                    ..
+                } => Error::PatternViolation {
+                    row,
+                    block,
+                    found,
+                    allowed,
+                },
                 other => other,
             })?;
             let width = nm.offset_bits();
@@ -417,8 +425,7 @@ mod tests {
         let nm = Nm::ONE_OF_EIGHT;
         let patterns = vec![Some(nm); 4];
         let dense = sample(32, &patterns, 3);
-        let w =
-            ChannelNmMatrix::from_dense(&dense, 4, 32, &patterns, OffsetLayout::Plain).unwrap();
+        let w = ChannelNmMatrix::from_dense(&dense, 4, 32, &patterns, OffsetLayout::Plain).unwrap();
         let u = NmMatrix::from_dense(&dense, 4, 32, nm, OffsetLayout::Plain).unwrap();
         assert_eq!(w.memory_bits_nominal(), u.memory_bits_nominal());
         assert_eq!(w.values(), u.values());
@@ -450,13 +457,20 @@ mod tests {
             OffsetLayout::Plain,
         )
         .unwrap_err();
-        assert_eq!(err, Error::PatternViolation { row: 1, block: 0, found: 2, allowed: 1 });
+        assert_eq!(
+            err,
+            Error::PatternViolation {
+                row: 1,
+                block: 0,
+                found: 2,
+                allowed: 1
+            }
+        );
     }
 
     #[test]
     fn wrong_pattern_count_is_rejected() {
-        let err =
-            ChannelNmMatrix::from_dense(&[0i8; 16], 2, 8, &[None], OffsetLayout::Plain);
+        let err = ChannelNmMatrix::from_dense(&[0i8; 16], 2, 8, &[None], OffsetLayout::Plain);
         assert!(matches!(err, Err(Error::ShapeMismatch(_))));
     }
 
@@ -500,8 +514,7 @@ mod tests {
     fn density_and_memory_account_per_row() {
         let patterns = vec![None, Some(Nm::ONE_OF_FOUR), Some(Nm::ONE_OF_SIXTEEN)];
         let dense = sample(16, &patterns, 17);
-        let w =
-            ChannelNmMatrix::from_dense(&dense, 3, 16, &patterns, OffsetLayout::Plain).unwrap();
+        let w = ChannelNmMatrix::from_dense(&dense, 3, 16, &patterns, OffsetLayout::Plain).unwrap();
         let expect_density = (16.0 + 4.0 + 1.0) / 48.0;
         assert!((w.density() - expect_density).abs() < 1e-12);
         // 16*8 (dense) + 4*10 (1:4) + 1*12 (1:16) nominal bits.
@@ -518,7 +531,10 @@ mod tests {
         let dup = ChannelNmMatrix::from_dense(&dense, 2, 32, &patterns, OffsetLayout::Duplicated)
             .unwrap();
         // Extra bits = one additional 4-bit offset per non-zero of row 1.
-        assert_eq!(dup.memory_bits_nominal() - plain.memory_bits_nominal(), 4 * 4);
+        assert_eq!(
+            dup.memory_bits_nominal() - plain.memory_bits_nominal(),
+            4 * 4
+        );
         assert_eq!(dup.to_dense(), plain.to_dense());
     }
 
@@ -526,12 +542,11 @@ mod tests {
     fn value_and_offset_starts_are_addressable() {
         let patterns = vec![Some(Nm::ONE_OF_FOUR), None, Some(Nm::ONE_OF_FOUR)];
         let dense = sample(16, &patterns, 2);
-        let w =
-            ChannelNmMatrix::from_dense(&dense, 3, 16, &patterns, OffsetLayout::Plain).unwrap();
+        let w = ChannelNmMatrix::from_dense(&dense, 3, 16, &patterns, OffsetLayout::Plain).unwrap();
         assert_eq!(w.value_start(0), 0);
         assert_eq!(w.value_start(1), 4); // 4 non-zeros in row 0
         assert_eq!(w.value_start(2), 20); // + 16 dense values
-        // Offset segments are word-aligned and empty for the dense row.
+                                          // Offset segments are word-aligned and empty for the dense row.
         assert_eq!(w.offset_start(0), 0);
         assert_eq!(w.offset_start(1), 4);
         assert_eq!(w.offset_start(2), 4);

@@ -37,9 +37,15 @@ impl CooMatrix {
             )));
         }
         if rows > (u16::MAX as usize + 1) || cols > (u16::MAX as usize + 1) {
-            return Err(Error::ShapeMismatch("dimension exceeds 16-bit index range".into()));
+            return Err(Error::ShapeMismatch(
+                "dimension exceeds 16-bit index range".into(),
+            ));
         }
-        let mut m = CooMatrix { rows, cols, ..Default::default() };
+        let mut m = CooMatrix {
+            rows,
+            cols,
+            ..Default::default()
+        };
         for r in 0..rows {
             for c in 0..cols {
                 let v = dense[r * cols + c];
@@ -131,8 +137,8 @@ mod tests {
         }
         let coo = CooMatrix::from_dense(&dense, 10, 10).unwrap();
         assert_eq!(coo.memory_bytes(), 125); // 25 * 5 > 100: still worse
-        // Paper: "minimum sparsity required to balance the memory overhead
-        // is 75%" with 8-bit values and 16-bit indices -> 1/(1+2+2) kept.
+                                             // Paper: "minimum sparsity required to balance the memory overhead
+                                             // is 75%" with 8-bit values and 16-bit indices -> 1/(1+2+2) kept.
         assert!((CooMatrix::break_even_sparsity() - 0.8).abs() < 0.06);
     }
 

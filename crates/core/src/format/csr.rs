@@ -39,9 +39,15 @@ impl CsrMatrix {
             )));
         }
         if cols > (u16::MAX as usize + 1) {
-            return Err(Error::ShapeMismatch("columns exceed 16-bit index range".into()));
+            return Err(Error::ShapeMismatch(
+                "columns exceed 16-bit index range".into(),
+            ));
         }
-        let mut m = CsrMatrix { rows, cols, ..Default::default() };
+        let mut m = CsrMatrix {
+            rows,
+            cols,
+            ..Default::default()
+        };
         for r in 0..rows {
             let mut count: usize = 0;
             for c in 0..cols {
@@ -53,7 +59,9 @@ impl CsrMatrix {
                 }
             }
             if count > u16::MAX as usize {
-                return Err(Error::ShapeMismatch(format!("row {r} has {count} non-zeros")));
+                return Err(Error::ShapeMismatch(format!(
+                    "row {r} has {count} non-zeros"
+                )));
             }
             m.row_len.push(count as u16);
         }

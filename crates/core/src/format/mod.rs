@@ -14,14 +14,14 @@ mod bitpack;
 mod blockwise;
 mod channel;
 mod coo;
-mod dcsr;
 mod csr;
+mod dcsr;
 mod nm;
 
 pub use bitpack::{read_bits, write_bits, BitReader, BitWriter};
 pub use blockwise::BlockwiseMatrix;
 pub use channel::ChannelNmMatrix;
 pub use coo::CooMatrix;
-pub use dcsr::{DcsrMatrix, MAX_DELTA};
 pub use csr::CsrMatrix;
+pub use dcsr::{DcsrMatrix, MAX_DELTA};
 pub use nm::{NmMatrix, OffsetLayout};

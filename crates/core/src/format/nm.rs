@@ -246,7 +246,10 @@ impl NmMatrix {
     /// [`OffsetLayout::Interleaved`] (use [`NmMatrix::pair_offset_bytes`]).
     pub fn row_offset_bytes(&self, row: usize) -> &[u8] {
         assert!(row < self.rows, "row {row} out of range");
-        assert!(self.layout != OffsetLayout::Interleaved, "interleaved layout stores row pairs");
+        assert!(
+            self.layout != OffsetLayout::Interleaved,
+            "interleaved layout stores row pairs"
+        );
         &self.offsets[row * self.segment_bytes..(row + 1) * self.segment_bytes]
     }
 
@@ -255,7 +258,10 @@ impl NmMatrix {
     /// # Panics
     /// Panics if the layout is not interleaved or `pair >= rows()/2`.
     pub fn pair_offset_bytes(&self, pair: usize) -> &[u8] {
-        assert!(self.layout == OffsetLayout::Interleaved, "layout is not interleaved");
+        assert!(
+            self.layout == OffsetLayout::Interleaved,
+            "layout is not interleaved"
+        );
         assert!(pair < self.rows / 2, "pair {pair} out of range");
         &self.offsets[pair * self.segment_bytes..(pair + 1) * self.segment_bytes]
     }
@@ -371,7 +377,11 @@ mod tests {
     #[test]
     fn round_trip_all_layouts_all_patterns() {
         for nm in Nm::KERNEL_PATTERNS {
-            for layout in [OffsetLayout::Plain, OffsetLayout::Duplicated, OffsetLayout::Interleaved] {
+            for layout in [
+                OffsetLayout::Plain,
+                OffsetLayout::Duplicated,
+                OffsetLayout::Interleaved,
+            ] {
                 let (rows, cols) = (6, nm.m() * 5);
                 let dense = sample_dense(rows, cols, nm, 42);
                 let packed = NmMatrix::from_dense(&dense, rows, cols, nm, layout).unwrap();
@@ -426,8 +436,10 @@ mod tests {
         let dense = sample_dense(2, 32, nm, 7);
         let plain = NmMatrix::from_dense(&dense, 2, 32, nm, OffsetLayout::Plain).unwrap();
         let dup = NmMatrix::from_dense(&dense, 2, 32, nm, OffsetLayout::Duplicated).unwrap();
-        assert_eq!(dup.memory_bits_nominal() - dup.values().len() * 8,
-                   2 * (plain.memory_bits_nominal() - plain.values().len() * 8));
+        assert_eq!(
+            dup.memory_bits_nominal() - dup.values().len() * 8,
+            2 * (plain.memory_bits_nominal() - plain.values().len() * 8)
+        );
         assert_eq!(plain.row_offsets(1), dup.row_offsets(1));
     }
 
@@ -459,7 +471,11 @@ mod tests {
         ] {
             let dense = sample_dense(4, nm.m() * 8, nm, 3);
             let p = NmMatrix::from_dense(&dense, 4, nm.m() * 8, nm, OffsetLayout::Plain).unwrap();
-            assert!(close(p.compression_ratio(), expect_sw), "{nm}: {}", p.compression_ratio());
+            assert!(
+                close(p.compression_ratio(), expect_sw),
+                "{nm}: {}",
+                p.compression_ratio()
+            );
         }
     }
 

@@ -59,7 +59,16 @@ impl ConvGeom {
         stride: usize,
         pad: usize,
     ) -> Result<Self> {
-        let g = ConvGeom { c, k, ix, iy, fx, fy, stride, pad };
+        let g = ConvGeom {
+            c,
+            k,
+            ix,
+            iy,
+            fx,
+            fy,
+            stride,
+            pad,
+        };
         g.validate()?;
         Ok(g)
     }
@@ -68,13 +77,28 @@ impl ConvGeom {
     ///
     /// # Errors
     /// Same as [`ConvGeom::new`].
-    pub fn square(c: usize, k: usize, i: usize, f: usize, stride: usize, pad: usize) -> Result<Self> {
+    pub fn square(
+        c: usize,
+        k: usize,
+        i: usize,
+        f: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self> {
         Self::new(c, k, i, i, f, f, stride, pad)
     }
 
     fn validate(&self) -> Result<()> {
-        if self.c == 0 || self.k == 0 || self.ix == 0 || self.iy == 0 || self.fx == 0 || self.fy == 0 {
-            return Err(Error::InvalidGeometry(format!("zero-sized dimension in {self:?}")));
+        if self.c == 0
+            || self.k == 0
+            || self.ix == 0
+            || self.iy == 0
+            || self.fx == 0
+            || self.fy == 0
+        {
+            return Err(Error::InvalidGeometry(format!(
+                "zero-sized dimension in {self:?}"
+            )));
         }
         if self.stride == 0 {
             return Err(Error::InvalidGeometry("stride must be positive".into()));
@@ -163,7 +187,9 @@ impl FcGeom {
     /// [`Error::InvalidGeometry`] if either dimension is zero.
     pub fn new(c: usize, k: usize) -> Result<Self> {
         if c == 0 || k == 0 {
-            return Err(Error::InvalidGeometry(format!("zero-sized FC geometry {c}x{k}")));
+            return Err(Error::InvalidGeometry(format!(
+                "zero-sized FC geometry {c}x{k}"
+            )));
         }
         Ok(FcGeom { c, k })
     }

@@ -52,7 +52,9 @@ impl Requant {
     /// [`Error::InvalidQuantization`] if `shift >= 32`.
     pub fn new(bias: i32, shift: u8) -> Result<Self> {
         if shift >= 32 {
-            return Err(Error::InvalidQuantization(format!("shift {shift} must be < 32")));
+            return Err(Error::InvalidQuantization(format!(
+                "shift {shift} must be < 32"
+            )));
         }
         Ok(Requant { bias, shift })
     }
@@ -99,7 +101,10 @@ impl Default for Requant {
 pub fn quantize_symmetric(data: &[f32]) -> (Vec<i8>, f32) {
     let max_abs = data.iter().fold(0f32, |a, &v| a.max(v.abs()));
     let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
-    let q = data.iter().map(|&v| clip_i8((v / scale).round() as i32)).collect();
+    let q = data
+        .iter()
+        .map(|&v| clip_i8((v / scale).round() as i32))
+        .collect();
     (q, scale)
 }
 

@@ -37,7 +37,8 @@ impl Nm {
     pub const ONE_OF_SIXTEEN: Nm = Nm { n: 1, m: 16 };
 
     /// The three patterns implemented by the paper's kernel library.
-    pub const KERNEL_PATTERNS: [Nm; 3] = [Self::ONE_OF_FOUR, Self::ONE_OF_EIGHT, Self::ONE_OF_SIXTEEN];
+    pub const KERNEL_PATTERNS: [Nm; 3] =
+        [Self::ONE_OF_FOUR, Self::ONE_OF_EIGHT, Self::ONE_OF_SIXTEEN];
 
     /// Creates an N:M pattern.
     ///
@@ -141,14 +142,25 @@ pub fn check_pattern(dense: &[i8], rows: usize, cols: usize, nm: Nm) -> Result<(
         )));
     }
     if !cols.is_multiple_of(nm.m()) {
-        return Err(Error::ShapeMismatch(format!("cols {cols} not a multiple of M={}", nm.m())));
+        return Err(Error::ShapeMismatch(format!(
+            "cols {cols} not a multiple of M={}",
+            nm.m()
+        )));
     }
     for row in 0..rows {
         for block in 0..cols / nm.m() {
             let start = row * cols + block * nm.m();
-            let found = dense[start..start + nm.m()].iter().filter(|&&v| v != 0).count();
+            let found = dense[start..start + nm.m()]
+                .iter()
+                .filter(|&&v| v != 0)
+                .count();
             if found > nm.n() {
-                return Err(Error::PatternViolation { row, block, found, allowed: nm.n() });
+                return Err(Error::PatternViolation {
+                    row,
+                    block,
+                    found,
+                    allowed: nm.n(),
+                });
             }
         }
     }
@@ -170,7 +182,10 @@ pub fn prune_magnitude(dense: &mut [i8], rows: usize, cols: usize, nm: Nm) -> Re
         )));
     }
     if !cols.is_multiple_of(nm.m()) {
-        return Err(Error::ShapeMismatch(format!("cols {cols} not a multiple of M={}", nm.m())));
+        return Err(Error::ShapeMismatch(format!(
+            "cols {cols} not a multiple of M={}",
+            nm.m()
+        )));
     }
     let m = nm.m();
     let mut order: Vec<usize> = Vec::with_capacity(m);
@@ -266,14 +281,28 @@ mod tests {
     fn check_pattern_rejects_violation_with_location() {
         let dense = vec![0, 3, 0, 0, 0, 5, 0, -7];
         let err = check_pattern(&dense, 1, 8, Nm::ONE_OF_FOUR).unwrap_err();
-        assert_eq!(err, Error::PatternViolation { row: 0, block: 1, found: 2, allowed: 1 });
+        assert_eq!(
+            err,
+            Error::PatternViolation {
+                row: 0,
+                block: 1,
+                found: 2,
+                allowed: 1
+            }
+        );
     }
 
     #[test]
     fn check_pattern_rejects_bad_shapes() {
         let dense = vec![0i8; 12];
-        assert!(matches!(check_pattern(&dense, 1, 12, Nm::ONE_OF_EIGHT), Err(Error::ShapeMismatch(_))));
-        assert!(matches!(check_pattern(&dense, 2, 8, Nm::ONE_OF_FOUR), Err(Error::ShapeMismatch(_))));
+        assert!(matches!(
+            check_pattern(&dense, 1, 12, Nm::ONE_OF_EIGHT),
+            Err(Error::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            check_pattern(&dense, 2, 8, Nm::ONE_OF_FOUR),
+            Err(Error::ShapeMismatch(_))
+        ));
     }
 
     #[test]

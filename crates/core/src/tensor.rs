@@ -26,7 +26,10 @@ impl<T: Copy + Default> Tensor<T> {
     /// Creates a tensor filled with `T::default()`.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![T::default(); len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![T::default(); len],
+        }
     }
 
     /// Wraps existing data in a tensor.
@@ -44,7 +47,10 @@ impl<T: Copy + Default> Tensor<T> {
                 len
             )));
         }
-        Ok(Tensor { shape: shape.to_vec(), data })
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
     }
 
     /// The tensor shape.
@@ -81,7 +87,10 @@ impl<T: Copy + Default> Tensor<T> {
         debug_assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
         let mut off = 0;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            debug_assert!(ix < dim, "index {ix} out of bounds for dim {i} of size {dim}");
+            debug_assert!(
+                ix < dim,
+                "index {ix} out of bounds for dim {i} of size {dim}"
+            );
             off = off * dim + ix;
         }
         off
@@ -120,7 +129,10 @@ impl<T: Copy + Default> Tensor<T> {
                 shape
             )));
         }
-        Ok(Tensor { shape: shape.to_vec(), data: self.data })
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data: self.data,
+        })
     }
 }
 

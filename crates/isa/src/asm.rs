@@ -168,20 +168,40 @@ pub enum Instr {
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn pi(post_inc: i32) -> String {
-            if post_inc == 0 { String::new() } else { format!("!{post_inc}") }
+            if post_inc == 0 {
+                String::new()
+            } else {
+                format!("!{post_inc}")
+            }
         }
         match self {
             Instr::Addi { rd, rs, imm } => write!(f, "addi x{rd}, x{rs}, {imm}"),
             Instr::Add { rd, rs1, rs2 } => write!(f, "add x{rd}, x{rs1}, x{rs2}"),
             Instr::Srli { rd, rs, shift } => write!(f, "srli x{rd}, x{rs}, {shift}"),
             Instr::Andi { rd, rs, imm } => write!(f, "andi x{rd}, x{rs}, {imm:#x}"),
-            Instr::Lw { rd, base, imm, post_inc } => {
+            Instr::Lw {
+                rd,
+                base,
+                imm,
+                post_inc,
+            } => {
                 write!(f, "p.lw x{rd}, {imm}(x{base}{})", pi(*post_inc))
             }
-            Instr::Lb { rd, base, imm, post_inc } => {
+            Instr::Lb {
+                rd,
+                base,
+                imm,
+                post_inc,
+            } => {
                 write!(f, "p.lb x{rd}, {imm}(x{base}{})", pi(*post_inc))
             }
-            Instr::LbLane { rd, base, idx, imm, lane } => {
+            Instr::LbLane {
+                rd,
+                base,
+                idx,
+                imm,
+                lane,
+            } => {
                 write!(f, "p.lb.lane{lane} x{rd}, x{idx}+{imm}(x{base})")
             }
             Instr::Sb { rs, base, imm } => write!(f, "sb x{rs}, {imm}(x{base})"),
@@ -312,21 +332,39 @@ impl Interp {
                 core.alu();
                 self.set(*rd, self.get(*rs) & imm);
             }
-            Instr::Lw { rd, base, imm, post_inc } => {
+            Instr::Lw {
+                rd,
+                base,
+                imm,
+                post_inc,
+            } => {
                 let addr = self.get(*base).wrapping_add_signed(*imm);
                 let v = core.lw(mem, addr);
                 self.set(*rd, v);
                 self.set(*base, self.get(*base).wrapping_add_signed(*post_inc));
             }
-            Instr::Lb { rd, base, imm, post_inc } => {
+            Instr::Lb {
+                rd,
+                base,
+                imm,
+                post_inc,
+            } => {
                 let addr = self.get(*base).wrapping_add_signed(*imm);
                 let v = core.lb(mem, addr);
                 self.set(*rd, v as i32 as u32);
                 self.set(*base, self.get(*base).wrapping_add_signed(*post_inc));
             }
-            Instr::LbLane { rd, base, idx, imm, lane } => {
-                let addr =
-                    self.get(*base).wrapping_add(self.get(*idx)).wrapping_add_signed(*imm);
+            Instr::LbLane {
+                rd,
+                base,
+                idx,
+                imm,
+                lane,
+            } => {
+                let addr = self
+                    .get(*base)
+                    .wrapping_add(self.get(*idx))
+                    .wrapping_add_signed(*imm);
                 let v = core.lb_lane(mem, addr, self.get(*rd), u32::from(*lane));
                 self.set(*rd, v);
             }
@@ -339,8 +377,11 @@ impl Interp {
                 self.set(*rd, acc as u32);
             }
             Instr::Mac { rd, ra, rb } => {
-                let acc =
-                    core.mac(self.get(*ra) as i32, self.get(*rb) as i32, self.get(*rd) as i32);
+                let acc = core.mac(
+                    self.get(*ra) as i32,
+                    self.get(*rb) as i32,
+                    self.get(*rd) as i32,
+                );
                 self.set(*rd, acc as u32);
             }
             Instr::XDecimate { rd, rs1, rs2, mode } => {
@@ -367,13 +408,25 @@ mod tests {
     use crate::mem::FlatMem;
 
     fn ctx() -> (Core, Interp, FlatMem) {
-        (Core::new(CostModel::default()), Interp::new(), FlatMem::new(256))
+        (
+            Core::new(CostModel::default()),
+            Interp::new(),
+            FlatMem::new(256),
+        )
     }
 
     #[test]
     fn x0_is_hardwired_zero() {
         let (mut core, mut interp, mut mem) = ctx();
-        interp.run(&[Instr::Addi { rd: 0, rs: 0, imm: 42 }], &mut core, &mut mem);
+        interp.run(
+            &[Instr::Addi {
+                rd: 0,
+                rs: 0,
+                imm: 42,
+            }],
+            &mut core,
+            &mut mem,
+        );
         assert_eq!(interp.get(0), 0);
     }
 
@@ -381,10 +434,26 @@ mod tests {
     fn alu_ops_compute_and_charge() {
         let (mut core, mut interp, mut mem) = ctx();
         let prog = [
-            Instr::Addi { rd: 1, rs: 0, imm: 0xF3 },
-            Instr::Srli { rd: 2, rs: 1, shift: 4 },
-            Instr::Andi { rd: 3, rs: 1, imm: 0xF },
-            Instr::Add { rd: 4, rs1: 2, rs2: 3 },
+            Instr::Addi {
+                rd: 1,
+                rs: 0,
+                imm: 0xF3,
+            },
+            Instr::Srli {
+                rd: 2,
+                rs: 1,
+                shift: 4,
+            },
+            Instr::Andi {
+                rd: 3,
+                rs: 1,
+                imm: 0xF,
+            },
+            Instr::Add {
+                rd: 4,
+                rs1: 2,
+                rs2: 3,
+            },
         ];
         interp.run(&prog, &mut core, &mut mem);
         assert_eq!(interp.get(2), 0xF);
@@ -399,8 +468,18 @@ mod tests {
         mem.store_u32(0, 111);
         mem.store_u32(4, 222);
         let prog = [
-            Instr::Lw { rd: 5, base: 1, imm: 0, post_inc: 4 },
-            Instr::Lw { rd: 6, base: 1, imm: 0, post_inc: 4 },
+            Instr::Lw {
+                rd: 5,
+                base: 1,
+                imm: 0,
+                post_inc: 4,
+            },
+            Instr::Lw {
+                rd: 6,
+                base: 1,
+                imm: 0,
+                post_inc: 4,
+            },
         ];
         interp.run(&prog, &mut core, &mut mem);
         assert_eq!((interp.get(5), interp.get(6)), (111, 222));
@@ -411,7 +490,16 @@ mod tests {
     fn lb_sign_extends() {
         let (mut core, mut interp, mut mem) = ctx();
         mem.store_i8(3, -5);
-        interp.run(&[Instr::Lb { rd: 2, base: 0, imm: 3, post_inc: 0 }], &mut core, &mut mem);
+        interp.run(
+            &[Instr::Lb {
+                rd: 2,
+                base: 0,
+                imm: 3,
+                post_inc: 0,
+            }],
+            &mut core,
+            &mut mem,
+        );
         assert_eq!(interp.get(2) as i32, -5);
     }
 
@@ -421,7 +509,13 @@ mod tests {
         mem.write_bytes(8, &[0xAA, 0xBB, 0xCC, 0xDD]);
         interp.set(1, 8);
         let prog: Vec<Instr> = (0..4)
-            .map(|lane| Instr::LbLane { rd: 9, base: 1, idx: 0, imm: lane, lane: lane as u8 })
+            .map(|lane| Instr::LbLane {
+                rd: 9,
+                base: 1,
+                idx: 0,
+                imm: lane,
+                lane: lane as u8,
+            })
             .collect();
         interp.run(&prog, &mut core, &mut mem);
         assert_eq!(interp.get(9), 0xDDCC_BBAA);
@@ -433,7 +527,15 @@ mod tests {
         interp.set(2, (-3i32) as u32);
         interp.set(3, 7);
         interp.set(4, 100);
-        interp.run(&[Instr::Mac { rd: 4, ra: 2, rb: 3 }], &mut core, &mut mem);
+        interp.run(
+            &[Instr::Mac {
+                rd: 4,
+                ra: 2,
+                rb: 3,
+            }],
+            &mut core,
+            &mut mem,
+        );
         assert_eq!(interp.get(4) as i32, 79);
     }
 
@@ -442,7 +544,11 @@ mod tests {
         let (mut core, mut interp, mut mem) = ctx();
         let prog = [Instr::HwLoop {
             count: 10,
-            body: vec![Instr::Addi { rd: 1, rs: 1, imm: 3 }],
+            body: vec![Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 3,
+            }],
         }];
         interp.run(&prog, &mut core, &mut mem);
         assert_eq!(interp.get(1), 30);
@@ -454,7 +560,15 @@ mod tests {
     fn stores_hit_memory() {
         let (mut core, mut interp, mut mem) = ctx();
         interp.set(2, 0x1_23); // only the low byte lands
-        interp.run(&[Instr::Sb { rs: 2, base: 0, imm: 7 }], &mut core, &mut mem);
+        interp.run(
+            &[Instr::Sb {
+                rs: 2,
+                base: 0,
+                imm: 7,
+            }],
+            &mut core,
+            &mut mem,
+        );
         assert_eq!(mem.load_u8(7), 0x23);
     }
 
@@ -467,8 +581,18 @@ mod tests {
         interp.set(1, 0); // buffer base
         interp.set(2, 0x0000_0033); // offset 3 duplicated (1:8)
         let prog = [
-            Instr::XDecimate { rd: 9, rs1: 1, rs2: 2, mode: DecimateMode::OneOfEight },
-            Instr::XDecimate { rd: 9, rs1: 1, rs2: 2, mode: DecimateMode::OneOfEight },
+            Instr::XDecimate {
+                rd: 9,
+                rs1: 1,
+                rs2: 2,
+                mode: DecimateMode::OneOfEight,
+            },
+            Instr::XDecimate {
+                rd: 9,
+                rs1: 1,
+                rs2: 2,
+                mode: DecimateMode::OneOfEight,
+            },
             Instr::XDecimateClear,
         ];
         interp.run(&prog, &mut core, &mut mem);
@@ -480,9 +604,14 @@ mod tests {
     fn nested_hwloops_multiply() {
         let prog = [Instr::HwLoop {
             count: 3,
-            body: vec![
-                Instr::HwLoop { count: 4, body: vec![Instr::Addi { rd: 1, rs: 1, imm: 1 }] },
-            ],
+            body: vec![Instr::HwLoop {
+                count: 4,
+                body: vec![Instr::Addi {
+                    rd: 1,
+                    rs: 1,
+                    imm: 1,
+                }],
+            }],
         }];
         assert_eq!(retired(&prog), 1 + 3 * (1 + 4));
         let (mut core, mut interp, mut mem) = ctx();
@@ -494,8 +623,19 @@ mod tests {
     #[test]
     fn listing_renders_nested_loops() {
         let prog = [
-            Instr::Addi { rd: 1, rs: 0, imm: 1 },
-            Instr::HwLoop { count: 2, body: vec![Instr::Sdotp { rd: 5, ra: 6, rb: 7 }] },
+            Instr::Addi {
+                rd: 1,
+                rs: 0,
+                imm: 1,
+            },
+            Instr::HwLoop {
+                count: 2,
+                body: vec![Instr::Sdotp {
+                    rd: 5,
+                    ra: 6,
+                    rb: 7,
+                }],
+            },
         ];
         let text = listing(&prog);
         assert!(text.contains("addi x1, x0, 1"));
@@ -506,19 +646,71 @@ mod tests {
     #[test]
     fn display_covers_every_variant() {
         let all = [
-            Instr::Addi { rd: 1, rs: 2, imm: -3 },
-            Instr::Add { rd: 1, rs1: 2, rs2: 3 },
-            Instr::Srli { rd: 1, rs: 2, shift: 4 },
-            Instr::Andi { rd: 1, rs: 2, imm: 0xF },
-            Instr::Lw { rd: 1, base: 2, imm: 0, post_inc: 4 },
-            Instr::Lb { rd: 1, base: 2, imm: 1, post_inc: 0 },
-            Instr::LbLane { rd: 1, base: 2, idx: 3, imm: 8, lane: 2 },
-            Instr::Sb { rs: 1, base: 2, imm: 0 },
-            Instr::Sdotp { rd: 1, ra: 2, rb: 3 },
-            Instr::Mac { rd: 1, ra: 2, rb: 3 },
-            Instr::XDecimate { rd: 1, rs1: 2, rs2: 3, mode: DecimateMode::OneOfFour },
+            Instr::Addi {
+                rd: 1,
+                rs: 2,
+                imm: -3,
+            },
+            Instr::Add {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
+            Instr::Srli {
+                rd: 1,
+                rs: 2,
+                shift: 4,
+            },
+            Instr::Andi {
+                rd: 1,
+                rs: 2,
+                imm: 0xF,
+            },
+            Instr::Lw {
+                rd: 1,
+                base: 2,
+                imm: 0,
+                post_inc: 4,
+            },
+            Instr::Lb {
+                rd: 1,
+                base: 2,
+                imm: 1,
+                post_inc: 0,
+            },
+            Instr::LbLane {
+                rd: 1,
+                base: 2,
+                idx: 3,
+                imm: 8,
+                lane: 2,
+            },
+            Instr::Sb {
+                rs: 1,
+                base: 2,
+                imm: 0,
+            },
+            Instr::Sdotp {
+                rd: 1,
+                ra: 2,
+                rb: 3,
+            },
+            Instr::Mac {
+                rd: 1,
+                ra: 2,
+                rb: 3,
+            },
+            Instr::XDecimate {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+                mode: DecimateMode::OneOfFour,
+            },
             Instr::XDecimateClear,
-            Instr::HwLoop { count: 2, body: vec![] },
+            Instr::HwLoop {
+                count: 2,
+                body: vec![],
+            },
         ];
         for i in all {
             assert!(!i.to_string().is_empty());

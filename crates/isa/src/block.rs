@@ -1,0 +1,282 @@
+//! Batched cycle accounting: per-block instruction-class count tables.
+//!
+//! The per-instruction [`crate::Core`] API charges one accounting call per
+//! retired instruction, which is what makes it a golden reference — and
+//! what makes it slow on the host. An [`InstrBlock`] is the closed-form
+//! cost of a straight-line block (a 4-NZ inner chunk, a tail element, an
+//! epilogue): per-class instruction counts plus the derived stall and
+//! branch-penalty counts. Kernels on the bulk fast path build the block
+//! table for a whole channel with [`InstrBlock::repeat`]/[`InstrBlock::then`]
+//! and charge it with a single [`crate::Core::charge_block`] call.
+//!
+//! Exactness contract: charging a block must change `cycles`, `instret`,
+//! `macs` and every per-class counter by exactly what the equivalent
+//! sequence of per-instruction calls would have — including `load_stall`
+//! cycles on loads/`xDecimate` and the taken-branch penalty — for *any*
+//! [`crate::CostModel`]. The kernel parity tests enforce this end to end.
+
+use crate::class::InstrClass;
+
+/// Closed-form cost of a straight-line instruction block.
+///
+/// Build with the fluent constructors, scale with [`InstrBlock::repeat`],
+/// concatenate with [`InstrBlock::then`], charge with
+/// [`crate::Core::charge_block`].
+///
+/// # Example
+/// ```
+/// use nm_isa::{Core, CostModel, InstrBlock, InstrClass};
+///
+/// // One 4-NZ software-decimation chunk: 6 loads, 9 ALU, 1 dot product.
+/// let chunk = InstrBlock::new().loads(6).alu(9).sdotp(1);
+/// let mut fast = Core::new(CostModel::default());
+/// fast.charge_block(&chunk.repeat(10));
+///
+/// let mut reference = Core::new(CostModel::default());
+/// for _ in 0..10 {
+///     reference.charge(InstrClass::Load, 6);
+///     reference.charge(InstrClass::Alu, 9);
+///     reference.charge(InstrClass::SimdDotp, 1);
+///     reference.add_macs(4);
+/// }
+/// assert_eq!(fast.stats(), reference.stats());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstrBlock {
+    counts: [u64; InstrClass::COUNT],
+    /// Loads (and `xDecimate` executions) that pay `load_stall` cycles.
+    stalled_loads: u64,
+    /// Branches that pay the taken penalty.
+    taken_branches: u64,
+    /// Effective MACs performed by the block.
+    macs: u64,
+}
+
+impl InstrBlock {
+    /// The empty block.
+    pub const fn new() -> Self {
+        InstrBlock {
+            counts: [0; InstrClass::COUNT],
+            stalled_loads: 0,
+            taken_branches: 0,
+            macs: 0,
+        }
+    }
+
+    /// Adds `n` instructions of `class` with no stall or penalty — the
+    /// batched equivalent of [`crate::Core::charge`].
+    pub const fn op(mut self, class: InstrClass, n: u64) -> Self {
+        self.counts[class as usize] += n;
+        self
+    }
+
+    /// Adds `n` ALU instructions.
+    pub const fn alu(self, n: u64) -> Self {
+        self.op(InstrClass::Alu, n)
+    }
+
+    /// Adds `n` loads that pay the `load_stall` cost (`lw`/`lb`/lane
+    /// loads).
+    pub const fn loads(mut self, n: u64) -> Self {
+        self.stalled_loads += n;
+        self.op(InstrClass::Load, n)
+    }
+
+    /// Adds `n` loads charged *without* a stall — the batched equivalent
+    /// of a bare `charge(InstrClass::Load, n)` (e.g. the tail's partial
+    /// offsets fetch, which the reference kernels also charge stall-free).
+    pub const fn loads_unstalled(self, n: u64) -> Self {
+        self.op(InstrClass::Load, n)
+    }
+
+    /// Adds `n` stores.
+    pub const fn stores(self, n: u64) -> Self {
+        self.op(InstrClass::Store, n)
+    }
+
+    /// Adds `n` SIMD dot products, each performing 4 effective MACs.
+    pub const fn sdotp(mut self, n: u64) -> Self {
+        self.macs += 4 * n;
+        self.op(InstrClass::SimdDotp, n)
+    }
+
+    /// Adds `n` scalar multiply-accumulates (1 MAC each).
+    pub const fn mac(mut self, n: u64) -> Self {
+        self.macs += n;
+        self.op(InstrClass::Mac, n)
+    }
+
+    /// Adds `n` `xDecimate` executions (each pays the load stall, like
+    /// the indirect byte load it fuses).
+    pub const fn xdecimate(mut self, n: u64) -> Self {
+        self.stalled_loads += n;
+        self.op(InstrClass::Xfu, n)
+    }
+
+    /// Adds `n` stall-free XFU instructions (`xDecimate.clear`).
+    pub const fn xfu_clear(self, n: u64) -> Self {
+        self.op(InstrClass::Xfu, n)
+    }
+
+    /// Adds `n` taken branches (base cost + refill penalty each).
+    pub const fn branches_taken(mut self, n: u64) -> Self {
+        self.taken_branches += n;
+        self.op(InstrClass::Branch, n)
+    }
+
+    /// Adds `n` effective MACs with no instruction — the batched
+    /// equivalent of [`crate::Core::add_macs`].
+    pub const fn extra_macs(mut self, n: u64) -> Self {
+        self.macs += n;
+        self
+    }
+
+    /// The block repeated `n` times.
+    pub const fn repeat(mut self, n: u64) -> Self {
+        let mut i = 0;
+        while i < InstrClass::COUNT {
+            self.counts[i] *= n;
+            i += 1;
+        }
+        self.stalled_loads *= n;
+        self.taken_branches *= n;
+        self.macs *= n;
+        self
+    }
+
+    /// The concatenation of `self` and `other`.
+    pub const fn then(mut self, other: Self) -> Self {
+        let mut i = 0;
+        while i < InstrClass::COUNT {
+            self.counts[i] += other.counts[i];
+            i += 1;
+        }
+        self.stalled_loads += other.stalled_loads;
+        self.taken_branches += other.taken_branches;
+        self.macs += other.macs;
+        self
+    }
+
+    /// Total instructions in the block.
+    pub fn instrs(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Instructions of one class.
+    pub const fn count(&self, class: InstrClass) -> u64 {
+        self.counts[class as usize]
+    }
+
+    /// Effective MACs in the block.
+    pub const fn macs(&self) -> u64 {
+        self.macs
+    }
+
+    pub(crate) const fn stalled_loads(&self) -> u64 {
+        self.stalled_loads
+    }
+
+    pub(crate) const fn taken_branches(&self) -> u64 {
+        self.taken_branches
+    }
+
+    pub(crate) const fn counts(&self) -> &[u64; InstrClass::COUNT] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::Core;
+    use crate::cost::CostModel;
+    use crate::mem::{FlatMem, Memory};
+
+    /// A cost model with every knob distinct and non-zero, so any
+    /// accounting discrepancy shows up in the cycle count.
+    fn stalled_model() -> CostModel {
+        CostModel {
+            base: 2,
+            load_stall: 3,
+            branch_taken_penalty: 5,
+            outer_loop_instrs: 4,
+            kernel_overhead_instrs: 7,
+            ..CostModel::VEGA
+        }
+    }
+
+    #[test]
+    fn block_matches_per_instruction_charging_with_stalls() {
+        let costs = stalled_model();
+        let mut mem = FlatMem::new(64);
+        mem.store_u32(0, 0x0102_0304);
+
+        let mut reference = Core::new(costs);
+        for _ in 0..3 {
+            let w = reference.lw(&mem, 0);
+            let a = reference.lb(&mem, 4);
+            reference.sdotp(w, w, 0);
+            reference.mac(i32::from(a), 2, 1);
+            reference.alu_n(2);
+            reference.branch(true);
+            reference.sw(&mut mem, 8, 9);
+        }
+        reference.charge(crate::InstrClass::Load, 1); // stall-free load
+
+        let block = InstrBlock::new()
+            .loads(2)
+            .sdotp(1)
+            .mac(1)
+            .alu(2)
+            .branches_taken(1)
+            .stores(1)
+            .repeat(3)
+            .then(InstrBlock::new().loads_unstalled(1));
+        let mut fast = Core::new(costs);
+        fast.charge_block(&block);
+
+        assert_eq!(fast.stats(), reference.stats());
+    }
+
+    #[test]
+    fn xdecimate_accounting_matches() {
+        let costs = stalled_model();
+        let mem = FlatMem::new(64);
+
+        let mut reference = Core::new(costs);
+        reference.xdecimate_clear();
+        for _ in 0..5 {
+            reference.xdecimate(nm_rtl::DecimateMode::OneOfEight, &mem, 0, 0, 0);
+        }
+
+        let block = InstrBlock::new().xfu_clear(1).xdecimate(5);
+        let mut fast = Core::new(costs);
+        fast.charge_block(&block);
+
+        assert_eq!(fast.cycles(), reference.cycles());
+        assert_eq!(fast.instret(), reference.instret());
+        assert_eq!(fast.count(crate::InstrClass::Xfu), 6);
+    }
+
+    #[test]
+    fn repeat_and_then_compose_linearly() {
+        let a = InstrBlock::new().alu(2).loads(1);
+        let b = InstrBlock::new().stores(1).mac(3);
+        let c = a.repeat(4).then(b.repeat(2));
+        assert_eq!(c.count(InstrClass::Alu), 8);
+        assert_eq!(c.count(InstrClass::Load), 4);
+        assert_eq!(c.count(InstrClass::Store), 2);
+        assert_eq!(c.count(InstrClass::Mac), 6);
+        assert_eq!(c.macs(), 6);
+        assert_eq!(c.instrs(), 8 + 4 + 2 + 6);
+    }
+
+    #[test]
+    fn zero_repeat_is_empty() {
+        let b = InstrBlock::new().alu(3).loads(2).sdotp(1).repeat(0);
+        assert_eq!(b, InstrBlock::new());
+        let mut core = Core::new(CostModel::default());
+        core.charge_block(&b);
+        assert_eq!(core.stats(), Default::default());
+    }
+}

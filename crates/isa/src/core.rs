@@ -7,6 +7,7 @@
 //! outputs) and a *profile* (cycles, instructions, MACs) of the RISC-V
 //! code it mirrors.
 
+use crate::block::InstrBlock;
 use crate::class::InstrClass;
 use crate::cost::CostModel;
 use crate::mem::Memory;
@@ -38,7 +39,13 @@ pub struct Core {
 impl Core {
     /// Creates an idle core with the given cost model.
     pub fn new(costs: CostModel) -> Self {
-        Core { costs, cycles: 0, counts: [0; InstrClass::COUNT], macs: 0, xfu: DecimateXfu::new() }
+        Core {
+            costs,
+            cycles: 0,
+            counts: [0; InstrClass::COUNT],
+            macs: 0,
+            xfu: DecimateXfu::new(),
+        }
     }
 
     /// The cost model in effect.
@@ -86,30 +93,53 @@ impl Core {
 
     /// Charges `n` instructions of `class` at base cost without an
     /// architectural effect (loop bookkeeping, prologues, spills).
+    #[inline]
     pub fn charge(&mut self, class: InstrClass, n: u64) {
         self.counts[class as usize] += n;
         self.cycles += n * self.costs.base;
     }
 
+    /// Charges a whole straight-line block in one call: per-class counts,
+    /// base cycles, load stalls and taken-branch penalties, exactly as the
+    /// equivalent sequence of per-instruction calls would (see
+    /// [`InstrBlock`] for the contract). This is the accounting engine of
+    /// the kernels' bulk fast path.
+    #[inline]
+    pub fn charge_block(&mut self, block: &InstrBlock) {
+        let mut instrs = 0;
+        for (count, n) in self.counts.iter_mut().zip(block.counts()) {
+            *count += n;
+            instrs += n;
+        }
+        self.cycles += instrs * self.costs.base
+            + block.stalled_loads() * self.costs.load_stall
+            + block.taken_branches() * self.costs.branch_taken_penalty;
+        self.macs += block.macs();
+    }
+
     /// Records `n` effective MACs without charging instructions — used by
     /// kernels in analytic mode, where dot products are charged via
     /// [`Core::charge`] instead of executed.
+    #[inline]
     pub fn add_macs(&mut self, n: u64) {
         self.macs += n;
     }
 
     /// One ALU instruction (add/shift/mask/address update).
+    #[inline]
     pub fn alu(&mut self) {
         self.charge(InstrClass::Alu, 1);
     }
 
     /// `n` ALU instructions.
+    #[inline]
     pub fn alu_n(&mut self, n: u64) {
         self.charge(InstrClass::Alu, n);
     }
 
     /// Word load (optionally modeling the post-increment flavour, which is
     /// still a single instruction on XpulpV2).
+    #[inline]
     pub fn lw<M: Memory + ?Sized>(&mut self, mem: &M, addr: u32) -> u32 {
         self.charge(InstrClass::Load, 1);
         self.cycles += self.costs.load_stall;
@@ -117,6 +147,7 @@ impl Core {
     }
 
     /// Signed byte load.
+    #[inline]
     pub fn lb<M: Memory + ?Sized>(&mut self, mem: &M, addr: u32) -> i8 {
         self.charge(InstrClass::Load, 1);
         self.cycles += self.costs.load_stall;
@@ -127,6 +158,7 @@ impl Core {
     /// `p.lb` + `pv.insert` fused in the kernels' accounting as one load
     /// plus the insert the paper counts inside its "8 loading data"
     /// instructions).
+    #[inline]
     pub fn lb_lane<M: Memory + ?Sized>(&mut self, mem: &M, addr: u32, reg: u32, lane: u32) -> u32 {
         debug_assert!(lane < 4);
         self.charge(InstrClass::Load, 1);
@@ -137,12 +169,14 @@ impl Core {
     }
 
     /// Word store.
+    #[inline]
     pub fn sw<M: Memory + ?Sized>(&mut self, mem: &mut M, addr: u32, value: u32) {
         self.charge(InstrClass::Store, 1);
         mem.store_u32(addr, value);
     }
 
     /// Byte store.
+    #[inline]
     pub fn sb<M: Memory + ?Sized>(&mut self, mem: &mut M, addr: u32, value: i8) {
         self.charge(InstrClass::Store, 1);
         mem.store_i8(addr, value);
@@ -150,6 +184,7 @@ impl Core {
 
     /// XpulpV2 `pv.sdotsp.b`: 4-lane int8 dot product accumulated into
     /// `acc`. Counts 4 effective MACs.
+    #[inline]
     pub fn sdotp(&mut self, a: u32, b: u32, acc: i32) -> i32 {
         self.charge(InstrClass::SimdDotp, 1);
         self.macs += 4;
@@ -163,6 +198,7 @@ impl Core {
     }
 
     /// Scalar multiply-accumulate (tail elements).
+    #[inline]
     pub fn mac(&mut self, a: i32, b: i32, acc: i32) -> i32 {
         self.charge(InstrClass::Mac, 1);
         self.macs += 1;
@@ -170,6 +206,7 @@ impl Core {
     }
 
     /// A conditional branch; taken branches pay the refill penalty.
+    #[inline]
     pub fn branch(&mut self, taken: bool) {
         self.charge(InstrClass::Branch, 1);
         if taken {
@@ -215,7 +252,8 @@ impl Core {
     ) -> u32 {
         self.charge(InstrClass::Xfu, 1);
         self.cycles += self.costs.load_stall;
-        self.xfu.execute(mode, rs1, rs2, rd, |addr| mem.load_u8(addr))
+        self.xfu
+            .execute(mode, rs1, rs2, rd, |addr| mem.load_u8(addr))
     }
 
     /// `xDecimate.clear`: resets the XFU `csr` (one instruction).
@@ -280,7 +318,10 @@ mod tests {
         c.outer_loop_iter();
         let m = CostModel::default();
         assert_eq!(c.instret(), m.outer_loop_instrs);
-        assert_eq!(c.cycles(), m.outer_loop_instrs * m.base + m.branch_taken_penalty);
+        assert_eq!(
+            c.cycles(),
+            m.outer_loop_instrs * m.base + m.branch_taken_penalty
+        );
     }
 
     #[test]

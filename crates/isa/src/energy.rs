@@ -119,9 +119,7 @@ mod tests {
         let none = m.execution_energy_pj(&[], 0, 0);
         assert_eq!(none, 0.0);
         assert!(m.execution_energy_pj(&[], 1000, 0) > 0.0);
-        assert!(
-            m.execution_energy_pj(&[], 0, 4096) > m.execution_energy_pj(&[], 0, 1024)
-        );
+        assert!(m.execution_energy_pj(&[], 0, 4096) > m.execution_energy_pj(&[], 0, 1024));
     }
 
     #[test]

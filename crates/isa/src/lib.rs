@@ -17,6 +17,32 @@
 //! datapath in [`nm_rtl::DecimateXfu`], so simulated results exercise the
 //! same register-transfer equations the paper implements in SystemVerilog.
 //!
+//! # Reference path vs. bulk fast path
+//!
+//! Two execution styles share this crate's accounting state:
+//!
+//! * **Per-instruction reference** — one charged-operation call per
+//!   retired instruction ([`Core::charge`], [`Core::lw`], [`Core::sdotp`],
+//!   …). This is the golden model: every architectural effect happens at
+//!   the same granularity as on the modeled core. It runs when a kernel
+//!   executes under `Ctx::Mem` in `nm-kernels`.
+//! * **Bulk fast path** — kernels compute outputs from zero-copy memory
+//!   views ([`mem::Memory::slice`] and friends) and charge whole
+//!   straight-line blocks with [`Core::charge_block`] over an
+//!   [`InstrBlock`] count table. It runs under `Ctx::MemBulk` and exists
+//!   to make host-side sweeps cheap.
+//!
+//! The contract between them: for the same kernel and operands the two
+//! paths must agree **exactly** — bit-identical memory contents and
+//! equal `cycles`/`instret`/`macs`/per-class counters, for any
+//! [`CostModel`] (including non-zero `load_stall`, which
+//! [`Core::charge_block`] batches via the block's stalled-load count).
+//! The parity suite in the workspace `tests` crate (`bulk_parity.rs`)
+//! enforces this for every kernel, pattern and tail geometry; treat a
+//! divergence as a bug in the fast path, never as a tolerable drift.
+//! Analytic mode (`Ctx::Analytic`) additionally matches both on cycle
+//! and instruction totals under the default (stall-free) Vega model.
+//!
 //! # Example
 //!
 //! ```
@@ -32,6 +58,7 @@
 //! ```
 
 pub mod asm;
+pub mod block;
 pub mod class;
 pub mod core;
 pub mod cost;
@@ -40,6 +67,7 @@ pub mod mem;
 pub mod programs;
 
 pub use crate::core::{Core, CoreStats};
+pub use block::InstrBlock;
 pub use class::InstrClass;
 pub use cost::CostModel;
 pub use energy::EnergyModel;

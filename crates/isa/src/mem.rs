@@ -59,6 +59,64 @@ pub trait Memory {
     fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
         (0..len).map(|i| self.load_u8(addr + i as u32)).collect()
     }
+
+    /// Zero-copy read-only view of `[addr, addr + len)`, or `None` when
+    /// the backing store cannot expose one (the default). Implementations
+    /// that return views must panic on out-of-range requests (a simulated
+    /// bus error), exactly like [`Memory::load_u8`].
+    fn slice(&self, addr: u32, len: usize) -> Option<&[u8]> {
+        let _ = (addr, len);
+        None
+    }
+
+    /// Zero-copy mutable view of `[addr, addr + len)`, or `None` when
+    /// unsupported (the default). Same bus-error contract as
+    /// [`Memory::slice`].
+    fn slice_mut(&mut self, addr: u32, len: usize) -> Option<&mut [u8]> {
+        let _ = (addr, len);
+        None
+    }
+
+    /// Bulk little-endian word read: fills `dst` from consecutive words
+    /// starting at `addr` (no alignment requirement). The default falls
+    /// back to per-word [`Memory::load_u32`]; zero-copy backends override
+    /// it with a single slice walk.
+    fn load_u32_bulk(&self, addr: u32, dst: &mut [u32]) {
+        match self.slice(addr, dst.len() * 4) {
+            Some(src) => {
+                for (i, word) in dst.iter_mut().enumerate() {
+                    *word = u32::from_le_bytes(src[4 * i..4 * i + 4].try_into().unwrap());
+                }
+            }
+            None => {
+                for (i, word) in dst.iter_mut().enumerate() {
+                    *word = self.load_u32(addr + 4 * i as u32);
+                }
+            }
+        }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within this memory
+    /// (overlapping ranges behave like `memmove`). The fallback buffers
+    /// the source first so overlap is safe; zero-copy backends use the
+    /// slice `copy_within`.
+    fn copy_within(&mut self, src: u32, dst: u32, len: usize) {
+        let bytes = self.read_bytes(src, len);
+        self.write_bytes(dst, &bytes);
+    }
+
+    /// Fills `[addr, addr + len)` with `value`. Per-byte fallback by
+    /// default.
+    fn fill_bytes(&mut self, addr: u32, len: usize, value: u8) {
+        match self.slice_mut(addr, len) {
+            Some(dst) => dst.fill(value),
+            None => {
+                for i in 0..len as u32 {
+                    self.store_u8(addr + i, value);
+                }
+            }
+        }
+    }
 }
 
 /// A flat byte array memory, used for tests and as the storage behind the
@@ -71,7 +129,9 @@ pub struct FlatMem {
 impl FlatMem {
     /// Creates a zeroed memory of `size` bytes.
     pub fn new(size: usize) -> Self {
-        FlatMem { bytes: vec![0; size] }
+        FlatMem {
+            bytes: vec![0; size],
+        }
     }
 
     /// Read-only view of the backing bytes.
@@ -86,16 +146,66 @@ impl FlatMem {
 }
 
 impl Memory for FlatMem {
+    #[inline]
     fn size(&self) -> usize {
         self.bytes.len()
     }
 
+    #[inline]
     fn load_u8(&self, addr: u32) -> u8 {
         self.bytes[addr as usize]
     }
 
+    #[inline]
     fn store_u8(&mut self, addr: u32, value: u8) {
         self.bytes[addr as usize] = value;
+    }
+
+    #[inline]
+    fn load_u32(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        u32::from_le_bytes(self.bytes[a..a + 4].try_into().unwrap())
+    }
+
+    #[inline]
+    fn store_u32(&mut self, addr: u32, value: u32) {
+        let a = addr as usize;
+        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + bytes.len()].copy_from_slice(bytes);
+    }
+
+    fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        let a = addr as usize;
+        self.bytes[a..a + len].to_vec()
+    }
+
+    #[inline]
+    fn slice(&self, addr: u32, len: usize) -> Option<&[u8]> {
+        let a = addr as usize;
+        Some(&self.bytes[a..a + len])
+    }
+
+    #[inline]
+    fn slice_mut(&mut self, addr: u32, len: usize) -> Option<&mut [u8]> {
+        let a = addr as usize;
+        Some(&mut self.bytes[a..a + len])
+    }
+
+    fn copy_within(&mut self, src: u32, dst: u32, len: usize) {
+        assert!(
+            src as usize + len <= self.bytes.len(),
+            "copy source out of range"
+        );
+        assert!(
+            dst as usize + len <= self.bytes.len(),
+            "copy destination out of range"
+        );
+        self.bytes
+            .copy_within(src as usize..src as usize + len, dst as usize);
     }
 }
 
@@ -140,5 +250,93 @@ mod tests {
     fn out_of_range_is_a_bus_error() {
         let m = FlatMem::new(4);
         m.load_u8(4);
+    }
+
+    #[test]
+    fn slices_view_the_backing_bytes() {
+        let mut m = FlatMem::new(8);
+        m.write_bytes(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.slice(2, 4).unwrap(), &[3, 4, 5, 6]);
+        m.slice_mut(6, 2).unwrap().copy_from_slice(&[0xAA, 0xBB]);
+        assert_eq!(m.load_u8(6), 0xAA);
+        assert_eq!(m.load_u8(7), 0xBB);
+        assert_eq!(m.slice(0, 0).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_slice_is_a_bus_error() {
+        let m = FlatMem::new(4);
+        let _ = m.slice(2, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_slice_mut_is_a_bus_error() {
+        let mut m = FlatMem::new(4);
+        let _ = m.slice_mut(4, 1);
+    }
+
+    #[test]
+    fn bulk_word_reads_handle_unaligned_addresses() {
+        let mut m = FlatMem::new(16);
+        for i in 0..16 {
+            m.store_u8(i, i as u8);
+        }
+        let mut dst = [0u32; 3];
+        m.load_u32_bulk(1, &mut dst); // deliberately unaligned
+        assert_eq!(
+            dst,
+            [
+                u32::from_le_bytes([1, 2, 3, 4]),
+                u32::from_le_bytes([5, 6, 7, 8]),
+                u32::from_le_bytes([9, 10, 11, 12]),
+            ]
+        );
+    }
+
+    /// A memory that refuses zero-copy views, to exercise every default
+    /// (per-byte fallback) implementation against FlatMem's overrides.
+    struct ByteWise(FlatMem);
+
+    impl Memory for ByteWise {
+        fn size(&self) -> usize {
+            self.0.size()
+        }
+        fn load_u8(&self, addr: u32) -> u8 {
+            self.0.load_u8(addr)
+        }
+        fn store_u8(&mut self, addr: u32, value: u8) {
+            self.0.store_u8(addr, value);
+        }
+    }
+
+    #[test]
+    fn fallbacks_match_zero_copy_overrides() {
+        let mut fast = FlatMem::new(32);
+        for i in 0..32 {
+            fast.store_u8(i, (3 * i + 1) as u8);
+        }
+        let mut slow = ByteWise(fast.clone());
+        assert!(slow.slice(0, 4).is_none(), "fallback memory has no views");
+
+        let mut a = [0u32; 4];
+        let mut b = [0u32; 4];
+        fast.load_u32_bulk(3, &mut a);
+        slow.load_u32_bulk(3, &mut b);
+        assert_eq!(a, b);
+
+        fast.copy_within(2, 20, 10);
+        slow.copy_within(2, 20, 10);
+        fast.fill_bytes(0, 5, 0x7F);
+        slow.fill_bytes(0, 5, 0x7F);
+        assert_eq!(fast.bytes(), slow.0.bytes());
+
+        // Overlapping copies behave like memmove in both directions.
+        fast.copy_within(4, 6, 8);
+        slow.copy_within(4, 6, 8);
+        fast.copy_within(10, 8, 8);
+        slow.copy_within(10, 8, 8);
+        assert_eq!(fast.bytes(), slow.0.bytes());
     }
 }

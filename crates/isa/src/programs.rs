@@ -70,8 +70,16 @@ fn extract_offsets(mode: DecimateMode) -> Vec<Instr> {
     let mask = (1u32 << bits) - 1;
     let mut v = Vec::new();
     for i in 0..4u8 {
-        v.push(Instr::Srli { rd: T0 + i, rs: OFFW, shift: bits * i });
-        v.push(Instr::Andi { rd: T0 + i, rs: T0 + i, imm: mask });
+        v.push(Instr::Srli {
+            rd: T0 + i,
+            rs: OFFW,
+            shift: bits * i,
+        });
+        v.push(Instr::Andi {
+            rd: T0 + i,
+            rs: T0 + i,
+            imm: mask,
+        });
     }
     v
 }
@@ -82,9 +90,19 @@ fn load_offsets_word(mode: DecimateMode, duplicated: bool) -> Instr {
     let step = (4 * mode.offset_bits() * if duplicated { 2 } else { 1 } / 8) as i32;
     if mode.offset_bits() == 2 && !duplicated {
         // 1:4 software: the four 2-bit offsets arrive with one byte load.
-        Instr::Lb { rd: OFFW, base: O_PTR, imm: 0, post_inc: step }
+        Instr::Lb {
+            rd: OFFW,
+            base: O_PTR,
+            imm: 0,
+            post_inc: step,
+        }
     } else {
-        Instr::Lw { rd: OFFW, base: O_PTR, imm: 0, post_inc: step }
+        Instr::Lw {
+            rd: OFFW,
+            base: O_PTR,
+            imm: 0,
+            post_inc: step,
+        }
     }
 }
 
@@ -102,11 +120,34 @@ pub fn conv_dense_1x2(chunks: u32) -> Vec<Instr> {
     vec![Instr::HwLoop {
         count: chunks,
         body: vec![
-            Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 },
-            Instr::Lw { rd: VB0, base: BUF0, imm: 0, post_inc: 4 },
-            Instr::Lw { rd: VB1, base: BUF1, imm: 0, post_inc: 4 },
-            Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 },
-            Instr::Sdotp { rd: ACC1, ra: VW, rb: VB1 },
+            Instr::Lw {
+                rd: VW,
+                base: W_PTR,
+                imm: 0,
+                post_inc: 4,
+            },
+            Instr::Lw {
+                rd: VB0,
+                base: BUF0,
+                imm: 0,
+                post_inc: 4,
+            },
+            Instr::Lw {
+                rd: VB1,
+                base: BUF1,
+                imm: 0,
+                post_inc: 4,
+            },
+            Instr::Sdotp {
+                rd: ACC0,
+                ra: VW,
+                rb: VB0,
+            },
+            Instr::Sdotp {
+                rd: ACC1,
+                ra: VW,
+                rb: VB1,
+            },
         ],
     }]
 }
@@ -119,30 +160,98 @@ pub fn conv_sparse_sw(mode: DecimateMode, chunks: u32) -> Vec<Instr> {
     if mode.offset_bits() == 2 {
         // The byte load sign-extends; one extra masking cleans the upper
         // bits (the paper's 23rd instruction for 1:4).
-        body.push(Instr::Andi { rd: OFFW, rs: OFFW, imm: 0xFF });
+        body.push(Instr::Andi {
+            rd: OFFW,
+            rs: OFFW,
+            imm: 0xFF,
+        });
     }
     body.extend(extract_offsets(mode));
     for i in 0..4u8 {
-        body.push(Instr::LbLane { rd: VB0, base: BUF0, idx: T0 + i, imm: i32::from(i) * m, lane: i });
-        body.push(Instr::LbLane { rd: VB1, base: BUF1, idx: T0 + i, imm: i32::from(i) * m, lane: i });
+        body.push(Instr::LbLane {
+            rd: VB0,
+            base: BUF0,
+            idx: T0 + i,
+            imm: i32::from(i) * m,
+            lane: i,
+        });
+        body.push(Instr::LbLane {
+            rd: VB1,
+            base: BUF1,
+            idx: T0 + i,
+            imm: i32::from(i) * m,
+            lane: i,
+        });
     }
-    body.push(Instr::Addi { rd: BUF0, rs: BUF0, imm: 4 * m });
-    body.push(Instr::Addi { rd: BUF1, rs: BUF1, imm: 4 * m });
-    body.push(Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 });
-    body.push(Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 });
-    body.push(Instr::Sdotp { rd: ACC1, ra: VW, rb: VB1 });
-    vec![Instr::HwLoop { count: chunks, body }]
+    body.push(Instr::Addi {
+        rd: BUF0,
+        rs: BUF0,
+        imm: 4 * m,
+    });
+    body.push(Instr::Addi {
+        rd: BUF1,
+        rs: BUF1,
+        imm: 4 * m,
+    });
+    body.push(Instr::Lw {
+        rd: VW,
+        base: W_PTR,
+        imm: 0,
+        post_inc: 4,
+    });
+    body.push(Instr::Sdotp {
+        rd: ACC0,
+        ra: VW,
+        rb: VB0,
+    });
+    body.push(Instr::Sdotp {
+        rd: ACC1,
+        ra: VW,
+        rb: VB1,
+    });
+    vec![Instr::HwLoop {
+        count: chunks,
+        body,
+    }]
 }
 
 fn isa_chunk(mode: DecimateMode, offsets_post_inc: i32) -> Vec<Instr> {
-    let mut v = vec![Instr::Lw { rd: OFFW, base: O_PTR, imm: 0, post_inc: offsets_post_inc }];
+    let mut v = vec![Instr::Lw {
+        rd: OFFW,
+        base: O_PTR,
+        imm: 0,
+        post_inc: offsets_post_inc,
+    }];
     for _ in 0..4 {
-        v.push(Instr::XDecimate { rd: VB0, rs1: BUF0, rs2: OFFW, mode });
-        v.push(Instr::XDecimate { rd: VB1, rs1: BUF1, rs2: OFFW, mode });
+        v.push(Instr::XDecimate {
+            rd: VB0,
+            rs1: BUF0,
+            rs2: OFFW,
+            mode,
+        });
+        v.push(Instr::XDecimate {
+            rd: VB1,
+            rs1: BUF1,
+            rs2: OFFW,
+            mode,
+        });
     }
-    v.push(Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 });
-    v.push(Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 });
-    v.push(Instr::Sdotp { rd: ACC1, ra: VW, rb: VB1 });
+    v.push(Instr::Lw {
+        rd: VW,
+        base: W_PTR,
+        imm: 0,
+        post_inc: 4,
+    });
+    v.push(Instr::Sdotp {
+        rd: ACC0,
+        ra: VW,
+        rb: VB0,
+    });
+    v.push(Instr::Sdotp {
+        rd: ACC1,
+        ra: VW,
+        rb: VB1,
+    });
     v
 }
 
@@ -159,12 +268,21 @@ fn isa_chunk(mode: DecimateMode, offsets_post_inc: i32) -> Vec<Instr> {
 pub fn conv_sparse_isa(mode: DecimateMode, chunks: u32) -> Vec<Instr> {
     let mut prog = vec![Instr::XDecimateClear];
     if mode.offset_bits() == 2 {
-        assert!(chunks.is_multiple_of(2), "1:4 ISA program runs over chunk pairs");
+        assert!(
+            chunks.is_multiple_of(2),
+            "1:4 ISA program runs over chunk pairs"
+        );
         let mut body = isa_chunk(mode, 0); // first chunk: keep the word
         body.extend(isa_chunk(mode, 4)); // second chunk: same word, then advance
-        prog.push(Instr::HwLoop { count: chunks / 2, body });
+        prog.push(Instr::HwLoop {
+            count: chunks / 2,
+            body,
+        });
     } else {
-        prog.push(Instr::HwLoop { count: chunks, body: isa_chunk(mode, 4) });
+        prog.push(Instr::HwLoop {
+            count: chunks,
+            body: isa_chunk(mode, 4),
+        });
     }
     prog
 }
@@ -175,11 +293,34 @@ pub fn fc_dense_1x2(chunks: u32) -> Vec<Instr> {
     vec![Instr::HwLoop {
         count: chunks,
         body: vec![
-            Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 },
-            Instr::Lw { rd: VW2, base: W2_PTR, imm: 0, post_inc: 4 },
-            Instr::Lw { rd: VB0, base: BUF0, imm: 0, post_inc: 4 },
-            Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 },
-            Instr::Sdotp { rd: ACC1, ra: VW2, rb: VB0 },
+            Instr::Lw {
+                rd: VW,
+                base: W_PTR,
+                imm: 0,
+                post_inc: 4,
+            },
+            Instr::Lw {
+                rd: VW2,
+                base: W2_PTR,
+                imm: 0,
+                post_inc: 4,
+            },
+            Instr::Lw {
+                rd: VB0,
+                base: BUF0,
+                imm: 0,
+                post_inc: 4,
+            },
+            Instr::Sdotp {
+                rd: ACC0,
+                ra: VW,
+                rb: VB0,
+            },
+            Instr::Sdotp {
+                rd: ACC1,
+                ra: VW2,
+                rb: VB0,
+            },
         ],
     }]
 }
@@ -191,12 +332,34 @@ pub fn fc_sparse_sw(mode: DecimateMode, chunks: u32) -> Vec<Instr> {
     let mut body = vec![load_offsets_word(mode, false)];
     body.extend(extract_offsets(mode));
     for i in 0..4u8 {
-        body.push(Instr::LbLane { rd: VB0, base: BUF0, idx: T0 + i, imm: i32::from(i) * m, lane: i });
+        body.push(Instr::LbLane {
+            rd: VB0,
+            base: BUF0,
+            idx: T0 + i,
+            imm: i32::from(i) * m,
+            lane: i,
+        });
     }
-    body.push(Instr::Addi { rd: BUF0, rs: BUF0, imm: 4 * m });
-    body.push(Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 });
-    body.push(Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 });
-    vec![Instr::HwLoop { count: chunks, body }]
+    body.push(Instr::Addi {
+        rd: BUF0,
+        rs: BUF0,
+        imm: 4 * m,
+    });
+    body.push(Instr::Lw {
+        rd: VW,
+        base: W_PTR,
+        imm: 0,
+        post_inc: 4,
+    });
+    body.push(Instr::Sdotp {
+        rd: ACC0,
+        ra: VW,
+        rb: VB0,
+    });
+    vec![Instr::HwLoop {
+        count: chunks,
+        body,
+    }]
 }
 
 fn fc_isa_chunk(mode: DecimateMode, o_ptr: crate::asm::Reg, offsets_post_inc: i32) -> Vec<Instr> {
@@ -205,16 +368,49 @@ fn fc_isa_chunk(mode: DecimateMode, o_ptr: crate::asm::Reg, offsets_post_inc: i3
     // unused) offset-temp register instead of aliasing `OFFW`.
     let vw2 = T0;
     let mut v = vec![
-        Instr::Lw { rd: VW, base: W_PTR, imm: 0, post_inc: 4 },
-        Instr::Lw { rd: vw2, base: W2_PTR, imm: 0, post_inc: 4 },
-        Instr::Lw { rd: OFFW, base: o_ptr, imm: 0, post_inc: offsets_post_inc },
+        Instr::Lw {
+            rd: VW,
+            base: W_PTR,
+            imm: 0,
+            post_inc: 4,
+        },
+        Instr::Lw {
+            rd: vw2,
+            base: W2_PTR,
+            imm: 0,
+            post_inc: 4,
+        },
+        Instr::Lw {
+            rd: OFFW,
+            base: o_ptr,
+            imm: 0,
+            post_inc: offsets_post_inc,
+        },
     ];
     for _ in 0..4 {
-        v.push(Instr::XDecimate { rd: VB0, rs1: BUF0, rs2: OFFW, mode });
-        v.push(Instr::XDecimate { rd: VB1, rs1: BUF0, rs2: OFFW, mode });
+        v.push(Instr::XDecimate {
+            rd: VB0,
+            rs1: BUF0,
+            rs2: OFFW,
+            mode,
+        });
+        v.push(Instr::XDecimate {
+            rd: VB1,
+            rs1: BUF0,
+            rs2: OFFW,
+            mode,
+        });
     }
-    v.push(Instr::Sdotp { rd: ACC0, ra: VW, rb: VB0 });
-    v.push(Instr::Sdotp { rd: ACC1, ra: vw2, rb: VB1 });
+    v.push(Instr::Sdotp {
+        rd: ACC0,
+        ra: VW,
+        rb: VB0,
+    });
+    v.push(Instr::Sdotp {
+        rd: ACC1,
+        ra: vw2,
+        rb: VB1,
+    });
     v
 }
 
@@ -235,12 +431,21 @@ fn fc_isa_chunk(mode: DecimateMode, o_ptr: crate::asm::Reg, offsets_post_inc: i3
 pub fn fc_sparse_isa(mode: DecimateMode, o_ptr: crate::asm::Reg, chunks: u32) -> Vec<Instr> {
     let mut prog = vec![Instr::XDecimateClear];
     if mode.offset_bits() == 2 {
-        assert!(chunks.is_multiple_of(2), "1:4 ISA program runs over chunk pairs");
+        assert!(
+            chunks.is_multiple_of(2),
+            "1:4 ISA program runs over chunk pairs"
+        );
         let mut body = fc_isa_chunk(mode, o_ptr, 0);
         body.extend(fc_isa_chunk(mode, o_ptr, 4));
-        prog.push(Instr::HwLoop { count: chunks / 2, body });
+        prog.push(Instr::HwLoop {
+            count: chunks / 2,
+            body,
+        });
     } else {
-        prog.push(Instr::HwLoop { count: chunks, body: fc_isa_chunk(mode, o_ptr, 4) });
+        prog.push(Instr::HwLoop {
+            count: chunks,
+            body: fc_isa_chunk(mode, o_ptr, 4),
+        });
     }
     prog
 }
@@ -253,8 +458,11 @@ mod tests {
     use crate::mem::{FlatMem, Memory};
     use crate::Core;
 
-    const ALL_MODES: [DecimateMode; 3] =
-        [DecimateMode::OneOfFour, DecimateMode::OneOfEight, DecimateMode::OneOfSixteen];
+    const ALL_MODES: [DecimateMode; 3] = [
+        DecimateMode::OneOfFour,
+        DecimateMode::OneOfEight,
+        DecimateMode::OneOfSixteen,
+    ];
 
     /// Per-iteration retired instructions, discounting loop setup and any
     /// prologue.
@@ -269,8 +477,14 @@ mod tests {
     #[test]
     fn instruction_budgets_match_figure4() {
         assert_eq!(per_iter(&conv_dense_1x2(6), 6), 5);
-        assert_eq!(per_iter(&conv_sparse_sw(DecimateMode::OneOfEight, 6), 6), 22);
-        assert_eq!(per_iter(&conv_sparse_sw(DecimateMode::OneOfSixteen, 6), 6), 22);
+        assert_eq!(
+            per_iter(&conv_sparse_sw(DecimateMode::OneOfEight, 6), 6),
+            22
+        );
+        assert_eq!(
+            per_iter(&conv_sparse_sw(DecimateMode::OneOfSixteen, 6), 6),
+            22
+        );
         assert_eq!(per_iter(&conv_sparse_sw(DecimateMode::OneOfFour, 6), 6), 23);
         for mode in ALL_MODES {
             assert_eq!(per_iter(&conv_sparse_isa(mode, 6), 6), 12, "{mode:?}");
@@ -335,7 +549,10 @@ mod tests {
     }
 
     fn dot(w: &[i8], b: &[i8]) -> i32 {
-        w.iter().zip(b).map(|(&x, &y)| i32::from(x) * i32::from(y)).sum()
+        w.iter()
+            .zip(b)
+            .map(|(&x, &y)| i32::from(x) * i32::from(y))
+            .sum()
     }
 
     fn run(prog: &[Instr], mem: &mut FlatMem, fc_o_ptr: Option<u32>) -> (i32, i32, Core) {
@@ -457,7 +674,11 @@ mod tests {
             interp.set(O_PTR, O);
             interp.set(BUF0, B0);
             interp.run(&prog, &mut core, &mut mem);
-            assert_eq!(interp.get(ACC0) as i32, decimated_dot(&w, &offs, &x, m), "{mode:?}");
+            assert_eq!(
+                interp.get(ACC0) as i32,
+                decimated_dot(&w, &offs, &x, m),
+                "{mode:?}"
+            );
         }
     }
 
@@ -475,8 +696,7 @@ mod tests {
             let o0 = random_offsets(nz, mode.m(), &mut rng);
             let o1 = random_offsets(nz, mode.m(), &mut rng);
             // Fig. 6 interleave: o0_ch0, o0_ch1, o1_ch0, o1_ch1, ...
-            let interleaved: Vec<u8> =
-                o0.iter().zip(&o1).flat_map(|(&a, &b)| [a, b]).collect();
+            let interleaved: Vec<u8> = o0.iter().zip(&o1).flat_map(|(&a, &b)| [a, b]).collect();
             const O_ISA: u32 = 0x180;
             mem.write_bytes(O_ISA, &pack_offsets(&interleaved, mode.offset_bits(), 1));
             let prog = fc_sparse_isa(mode, 15, chunks as u32);
@@ -487,8 +707,16 @@ mod tests {
             interp.set(BUF0, B0);
             interp.set(15, O_ISA);
             interp.run(&prog, &mut core, &mut mem);
-            assert_eq!(interp.get(ACC0) as i32, decimated_dot(&w0, &o0, &x, m), "{mode:?} ch0");
-            assert_eq!(interp.get(ACC1) as i32, decimated_dot(&w1, &o1, &x, m), "{mode:?} ch1");
+            assert_eq!(
+                interp.get(ACC0) as i32,
+                decimated_dot(&w0, &o0, &x, m),
+                "{mode:?} ch0"
+            );
+            assert_eq!(
+                interp.get(ACC1) as i32,
+                decimated_dot(&w1, &o1, &x, m),
+                "{mode:?} ch1"
+            );
         }
     }
 

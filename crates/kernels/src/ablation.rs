@@ -34,8 +34,11 @@ pub enum Im2colStrategy {
 
 impl Im2colStrategy {
     /// All strategies, in presentation order.
-    pub const ALL: [Im2colStrategy; 3] =
-        [Im2colStrategy::DmaCopy, Im2colStrategy::SparseIm2col, Im2colStrategy::DecimateIm2col];
+    pub const ALL: [Im2colStrategy; 3] = [
+        Im2colStrategy::DmaCopy,
+        Im2colStrategy::SparseIm2col,
+        Im2colStrategy::DecimateIm2col,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -69,7 +72,11 @@ pub fn im2col_strategy_cycles(
     cluster: &Cluster,
 ) -> Result<u64> {
     let job = SparseConvJob {
-        conv: ConvJob { geom: *geom, requant: Requant::IDENTITY, bufs: Default::default() },
+        conv: ConvJob {
+            geom: *geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        },
         nm,
     };
     job.validate()?;
@@ -114,8 +121,8 @@ mod tests {
         let cluster = Cluster::new(8, CostModel::default());
         for nm in Nm::KERNEL_PATTERNS {
             let geom = ConvGeom::square(nm.m() * 8, 64, 8, 3, 1, 1).unwrap();
-            let dec =
-                im2col_strategy_cycles(&geom, nm, Im2colStrategy::DecimateIm2col, &cluster).unwrap();
+            let dec = im2col_strategy_cycles(&geom, nm, Im2colStrategy::DecimateIm2col, &cluster)
+                .unwrap();
             let spi =
                 im2col_strategy_cycles(&geom, nm, Im2colStrategy::SparseIm2col, &cluster).unwrap();
             let dma = im2col_strategy_cycles(&geom, nm, Im2colStrategy::DmaCopy, &cluster).unwrap();

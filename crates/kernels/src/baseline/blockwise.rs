@@ -51,7 +51,10 @@ pub fn stage_blockwise_fc(
     w: &BlockwiseMatrix,
 ) -> Result<BlockwiseFcJob> {
     if w.block() != 4 {
-        return Err(Error::ShapeMismatch(format!("SIMD blockwise kernel needs block 4, got {}", w.block())));
+        return Err(Error::ShapeMismatch(format!(
+            "SIMD blockwise kernel needs block 4, got {}",
+            w.block()
+        )));
     }
     if input.len() != fc.geom.c {
         return Err(Error::ShapeMismatch("input length mismatch".into()));
@@ -84,7 +87,11 @@ pub fn stage_blockwise_fc(
         l1.store_u8(bufs.block_idx + (2 * i) as u32, (v & 0xFF) as u8);
         l1.store_u8(bufs.block_idx + (2 * i + 1) as u32, (v >> 8) as u8);
     }
-    Ok(BlockwiseFcJob { fc: *fc, blocks_per_row, bufs })
+    Ok(BlockwiseFcJob {
+        fc: *fc,
+        blocks_per_row,
+        bufs,
+    })
 }
 
 /// Runs the blockwise sparse FC kernel.
@@ -110,38 +117,43 @@ pub fn fc_blockwise(
     for k in 0..geom.k {
         row_start[k + 1] = row_start[k] + job.blocks_per_row[k];
     }
-    Ok(run_fc("fc-blockwise-1x4".into(), &geom, cluster, |core_id, core| {
-        let range = chunk_range(geom.k, cluster.n_cores(), core_id);
-        for k in range {
-            core.outer_loop_iter();
-            core.alu_n(3);
-            core.hwloop_setup();
-            let blocks = job.blocks_per_row[k];
-            if let Some(mem) = ctx.mem() {
-                let mut acc = 0i32;
-                for b in 0..blocks {
-                    let flat = row_start[k] + b;
-                    let lo = core.lb(mem, job.bufs.block_idx + (2 * flat) as u32) as u8;
-                    let hi = mem.load_u8(job.bufs.block_idx + (2 * flat + 1) as u32);
-                    let idx = u32::from(lo) | (u32::from(hi) << 8); // one lhu: charged as the lb above
-                    core.alu_n(1);
-                    let a = core.lw(mem, job.bufs.input + idx * 4);
-                    let w = core.lw(mem, job.bufs.values + (flat * 4) as u32);
-                    acc = core.sdotp(w, a, acc);
+    Ok(run_fc(
+        "fc-blockwise-1x4".into(),
+        &geom,
+        cluster,
+        |core_id, core| {
+            let range = chunk_range(geom.k, cluster.n_cores(), core_id);
+            for k in range {
+                core.outer_loop_iter();
+                core.alu_n(3);
+                core.hwloop_setup();
+                let blocks = job.blocks_per_row[k];
+                if let Some(mem) = ctx.mem() {
+                    let mut acc = 0i32;
+                    for b in 0..blocks {
+                        let flat = row_start[k] + b;
+                        let lo = core.lb(mem, job.bufs.block_idx + (2 * flat) as u32) as u8;
+                        let hi = mem.load_u8(job.bufs.block_idx + (2 * flat + 1) as u32);
+                        let idx = u32::from(lo) | (u32::from(hi) << 8); // one lhu: charged as the lb above
+                        core.alu_n(1);
+                        let a = core.lw(mem, job.bufs.input + idx * 4);
+                        let w = core.lw(mem, job.bufs.values + (flat * 4) as u32);
+                        acc = core.sdotp(w, a, acc);
+                    }
+                    core.alu_n(EPILOGUE_ALU);
+                    let out = job.fc.requant.apply(acc);
+                    core.sb(mem, job.bufs.output + k as u32, out);
+                } else {
+                    core.charge(InstrClass::Load, blocks as u64 * 3);
+                    core.charge(InstrClass::Alu, blocks as u64);
+                    core.charge(InstrClass::SimdDotp, blocks as u64);
+                    core.add_macs(blocks as u64 * 4);
+                    core.charge(InstrClass::Alu, EPILOGUE_ALU);
+                    core.charge(InstrClass::Store, 1);
                 }
-                core.alu_n(EPILOGUE_ALU);
-                let out = job.fc.requant.apply(acc);
-                core.sb(mem, job.bufs.output + k as u32, out);
-            } else {
-                core.charge(InstrClass::Load, blocks as u64 * 3);
-                core.charge(InstrClass::Alu, blocks as u64);
-                core.charge(InstrClass::SimdDotp, blocks as u64);
-                core.add_macs(blocks as u64 * 4);
-                core.charge(InstrClass::Alu, EPILOGUE_ALU);
-                core.charge(InstrClass::Store, 1);
             }
-        }
-    }))
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -152,17 +164,7 @@ mod tests {
     use nm_core::FcGeom;
     use nm_isa::CostModel;
 
-    fn random_data(n: usize, seed: u64) -> Vec<i8> {
-        let mut state = seed | 1;
-        (0..n)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 255) as i8
-            })
-            .collect()
-    }
+    use crate::testdata::random_data;
 
     #[test]
     fn matches_reference() {
@@ -172,7 +174,11 @@ mod tests {
         let w = BlockwiseMatrix::prune_from_dense(&dense, geom.k, geom.c, 4, 4).unwrap();
         let pruned = w.to_dense();
         let rq = Requant::for_dot_len(16);
-        let fc = FcJob { geom, requant: rq, bufs: Default::default() };
+        let fc = FcJob {
+            geom,
+            requant: rq,
+            bufs: Default::default(),
+        };
         let mut l1 = Scratchpad::new("l1", 64 * 1024);
         let job = stage_blockwise_fc(&mut l1, &fc, &input, &w).unwrap();
         let cluster = Cluster::new(4, CostModel::default());
@@ -180,7 +186,9 @@ mod tests {
             let mut ctx = Ctx::Mem(&mut l1);
             fc_blockwise(&mut ctx, &job, &cluster).unwrap()
         };
-        let got: Vec<i8> = (0..geom.k as u32).map(|i| l1.load_i8(job.bufs.output + i)).collect();
+        let got: Vec<i8> = (0..geom.k as u32)
+            .map(|i| l1.load_i8(job.bufs.output + i))
+            .collect();
         assert_eq!(got, fc_ref(&geom, &input, &pruned, rq));
 
         let analytic = fc_blockwise(&mut Ctx::Analytic, &job, &cluster).unwrap();
@@ -192,7 +200,11 @@ mod tests {
         let geom = FcGeom::new(16, 4).unwrap();
         let dense = vec![0i8; geom.weight_elems()];
         let w = BlockwiseMatrix::from_dense(&dense, geom.k, geom.c, 4).unwrap();
-        let fc = FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let fc = FcJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let mut l1 = Scratchpad::new("l1", 4 * 1024);
         let input = vec![1i8; geom.c];
         let job = stage_blockwise_fc(&mut l1, &fc, &input, &w).unwrap();

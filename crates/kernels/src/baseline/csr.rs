@@ -49,7 +49,9 @@ pub fn stage_csr_fc(
     w: &CsrMatrix,
 ) -> Result<CsrFcJob> {
     if input.len() != fc.geom.c || w.rows() != fc.geom.k || w.cols() != fc.geom.c {
-        return Err(Error::ShapeMismatch("CSR staging dimension mismatch".into()));
+        return Err(Error::ShapeMismatch(
+            "CSR staging dimension mismatch".into(),
+        ));
     }
     let mut values = Vec::new();
     let mut cols: Vec<u16> = Vec::new();
@@ -79,7 +81,11 @@ pub fn stage_csr_fc(
         l1.store_u8(bufs.col_idx + (2 * i) as u32, (c & 0xFF) as u8);
         l1.store_u8(bufs.col_idx + (2 * i + 1) as u32, (c >> 8) as u8);
     }
-    Ok(CsrFcJob { fc: *fc, row_nnz, bufs })
+    Ok(CsrFcJob {
+        fc: *fc,
+        row_nnz,
+        bufs,
+    })
 }
 
 /// Runs the unstructured CSR FC kernel.
@@ -162,7 +168,11 @@ mod tests {
         let dense = random_sparse(geom.weight_elems(), 4, 77);
         let w = CsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
         let rq = Requant::for_dot_len(12);
-        let fc = FcJob { geom, requant: rq, bufs: Default::default() };
+        let fc = FcJob {
+            geom,
+            requant: rq,
+            bufs: Default::default(),
+        };
         let mut l1 = Scratchpad::new("l1", 64 * 1024);
         let job = stage_csr_fc(&mut l1, &fc, &input, &w).unwrap();
         let cluster = Cluster::new(4, CostModel::default());
@@ -170,7 +180,9 @@ mod tests {
             let mut ctx = Ctx::Mem(&mut l1);
             fc_csr(&mut ctx, &job, &cluster).unwrap()
         };
-        let got: Vec<i8> = (0..geom.k as u32).map(|i| l1.load_i8(job.bufs.output + i)).collect();
+        let got: Vec<i8> = (0..geom.k as u32)
+            .map(|i| l1.load_i8(job.bufs.output + i))
+            .collect();
         assert_eq!(got, fc_ref(&geom, &input, &dense, rq));
 
         let analytic = fc_csr(&mut Ctx::Analytic, &job, &cluster).unwrap();
@@ -190,7 +202,11 @@ mod tests {
         let cluster = Cluster::new(8, CostModel::default());
 
         let csr = CsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
-        let fc = FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let fc = FcJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let job = CsrFcJob {
             fc,
             row_nnz: (0..geom.k).map(|k| csr.row_nnz(k)).collect(),

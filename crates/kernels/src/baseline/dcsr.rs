@@ -58,7 +58,9 @@ pub fn stage_dcsr_fc(
     w: &DcsrMatrix,
 ) -> Result<DcsrFcJob> {
     if input.len() != fc.geom.c || w.rows() != fc.geom.k || w.cols() != fc.geom.c {
-        return Err(Error::ShapeMismatch("dCSR staging dimension mismatch".into()));
+        return Err(Error::ShapeMismatch(
+            "dCSR staging dimension mismatch".into(),
+        ));
     }
     let bufs = DcsrBufs {
         input: l1.alloc(input.len(), 4)?,
@@ -93,14 +95,22 @@ struct NibbleStream {
 
 impl NibbleStream {
     fn new(base: u32) -> Self {
-        NibbleStream { base, nibble: 0, byte: 0 }
+        NibbleStream {
+            base,
+            nibble: 0,
+            byte: 0,
+        }
     }
 
     fn next(&mut self, core: &mut nm_isa::Core, mem: &Scratchpad) -> u8 {
         if self.nibble.is_multiple_of(2) {
             self.byte = core.lb(mem, self.base + (self.nibble / 2) as u32) as u8;
         }
-        let v = if self.nibble.is_multiple_of(2) { self.byte & 0xF } else { self.byte >> 4 };
+        let v = if self.nibble.is_multiple_of(2) {
+            self.byte & 0xF
+        } else {
+            self.byte >> 4
+        };
         self.nibble += 1;
         v
     }
@@ -208,7 +218,11 @@ mod tests {
             let dense = random_sparse(geom.weight_elems(), keep, 31);
             let w = DcsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
             let rq = Requant::for_dot_len(12);
-            let fc = FcJob { geom, requant: rq, bufs: Default::default() };
+            let fc = FcJob {
+                geom,
+                requant: rq,
+                bufs: Default::default(),
+            };
             let mut l1 = Scratchpad::new("l1", 64 * 1024);
             let job = stage_dcsr_fc(&mut l1, &fc, &input, &w).unwrap();
             let cluster = Cluster::new(4, CostModel::default());
@@ -216,13 +230,17 @@ mod tests {
                 let mut ctx = Ctx::Mem(&mut l1);
                 fc_dcsr(&mut ctx, &job, &cluster).unwrap()
             };
-            let got: Vec<i8> =
-                (0..geom.k as u32).map(|i| l1.load_i8(job.bufs.output + i)).collect();
+            let got: Vec<i8> = (0..geom.k as u32)
+                .map(|i| l1.load_i8(job.bufs.output + i))
+                .collect();
             assert_eq!(got, fc_ref(&geom, &input, &dense, rq), "keep={keep}");
 
             let analytic = fc_dcsr(&mut Ctx::Analytic, &job, &cluster).unwrap();
             assert_eq!(stats.cycles(), analytic.cycles(), "keep={keep}");
-            assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+            assert_eq!(
+                stats.cluster.total_instret(),
+                analytic.cluster.total_instret()
+            );
         }
     }
 
@@ -232,7 +250,11 @@ mod tests {
         let nm = Nm::ONE_OF_EIGHT;
         let dense = random_sparse(geom.weight_elems(), nm.m(), 5);
         let cluster = Cluster::new(8, CostModel::default());
-        let fc = FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let fc = FcJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
 
         let d = DcsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
         let job = DcsrFcJob {
@@ -246,8 +268,7 @@ mod tests {
         let dcsr_stats = fc_dcsr(&mut Ctx::Analytic, &job, &cluster).unwrap();
 
         let packed = NmMatrix::from_dense(&dense, geom.k, geom.c, nm, OffsetLayout::Plain).unwrap();
-        let nm_stats =
-            fc_sparse_sw(&mut Ctx::Analytic, &SparseFcJob { fc, nm }, &cluster).unwrap();
+        let nm_stats = fc_sparse_sw(&mut Ctx::Analytic, &SparseFcJob { fc, nm }, &cluster).unwrap();
         assert!(
             nm_stats.cycles() < dcsr_stats.cycles(),
             "N:M {} vs dCSR {}",
@@ -265,7 +286,11 @@ mod tests {
         let geom = FcGeom::new(512, 32).unwrap();
         let dense = random_sparse(geom.weight_elems(), 10, 41);
         let cluster = Cluster::new(8, CostModel::default());
-        let fc = FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let fc = FcJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
 
         let d = DcsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
         let dj = DcsrFcJob {
@@ -304,7 +329,11 @@ mod tests {
             bufs: Default::default(),
         };
         assert!(matches!(
-            fc_dcsr(&mut Ctx::Analytic, &job, &Cluster::new(1, CostModel::default())),
+            fc_dcsr(
+                &mut Ctx::Analytic,
+                &job,
+                &Cluster::new(1, CostModel::default())
+            ),
             Err(Error::ShapeMismatch(_))
         ));
     }

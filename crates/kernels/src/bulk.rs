@@ -1,0 +1,526 @@
+//! Slice-level compute primitives for the bulk fast path
+//! ([`crate::Ctx::MemBulk`]).
+//!
+//! Each helper is the closed-form equivalent of an inner loop the
+//! reference kernels execute instruction by instruction. All arithmetic
+//! is `i32` wrapping, matching `pv.sdotsp.b` / scalar-MAC accumulation
+//! exactly, so outputs are bit-identical to the per-instruction path (the
+//! products are the same multiset; wrapping addition is associative and
+//! commutative).
+//!
+//! The decode+dot loops are specialized per offset width and layout so
+//! the hot path runs without per-element divisions: 4-bit plain offsets
+//! decode two blocks per stream byte, 2-bit plain four, and the
+//! duplicated/interleaved pair layouts one or two blocks per byte at a
+//! fixed lane shift. Convolution kernels go one step further and
+//! pre-decode each channel's offsets into an index table
+//! ([`decim_table`]) once per invocation, because the same table is
+//! reused by every output position pair.
+
+use nm_isa::{CostModel, InstrBlock, InstrClass, Memory};
+
+/// Unpacks the `idx`-th `bits`-wide offset from a packed LSB-first
+/// offset stream. Equivalent to the word/byte shift-mask sequences of the
+/// software kernels and to the XFU's `ex_stage` field extraction (offset
+/// streams are contiguous, so word-relative and global indexing agree).
+#[inline]
+pub(crate) fn unpack_offset(offsets: &[u8], bits: usize, idx: usize) -> usize {
+    debug_assert!(bits == 2 || bits == 4);
+    let bitpos = idx * bits;
+    ((offsets[bitpos / 8] >> (bitpos % 8)) & ((1u8 << bits) - 1)) as usize
+}
+
+/// Bytes needed to unpack `entries` offsets of `bits` bits.
+#[inline]
+pub(crate) fn offsets_len(entries: usize, bits: usize) -> usize {
+    (entries * bits).div_ceil(8)
+}
+
+/// Wrapping int8 dot product of two equal-length byte slices — the dense
+/// inner loop (SIMD chunks + scalar tail) in one pass. Products are
+/// formed in `i16` (an int8 product always fits) so the loop matches the
+/// multiply-add reduction shape auto-vectorizers recognize.
+#[inline]
+pub(crate) fn dense_dot(w: &[u8], a: &[u8]) -> i32 {
+    debug_assert_eq!(w.len(), a.len());
+    let mut acc = 0i32;
+    for (&wv, &av) in w.iter().zip(a) {
+        acc = acc.wrapping_add(i32::from(i16::from(wv as i8) * i16::from(av as i8)));
+    }
+    acc
+}
+
+#[inline]
+fn madd(acc: i32, w: u8, a: u8) -> i32 {
+    // An i8 x i8 product fits in i16; keeping the multiply narrow helps
+    // the backend fuse it with the widening add.
+    acc.wrapping_add(i32::from(i16::from(w as i8) * i16::from(a as i8)))
+}
+
+/// Decimated wrapping dot product: for each non-zero `b`, multiplies
+/// `values[b]` with the activation at `b * m + offset(b)`, where the
+/// offset comes from entry `base + step * b` of the packed stream.
+/// `step`/`base` encode the three offset layouts: plain `(0, 1)`,
+/// duplicated `(0, 2)`, interleaved channel `q` `(q, 2)`.
+#[inline]
+pub(crate) fn nm_gather_dot(
+    values: &[u8],
+    activations: &[u8],
+    offsets: &[u8],
+    bits: usize,
+    m: usize,
+    base: usize,
+    step: usize,
+) -> i32 {
+    match (bits, step) {
+        (4, 1) => gather_dot_4bit_plain(values, activations, offsets, m),
+        (2, 1) => gather_dot_2bit_plain(values, activations, offsets, m),
+        (4, 2) => gather_dot_4bit_pair(values, activations, offsets, m, base),
+        (2, 2) => gather_dot_2bit_pair(values, activations, offsets, m, base),
+        _ => {
+            let mut acc = 0i32;
+            for (b, &wv) in values.iter().enumerate() {
+                let o = unpack_offset(offsets, bits, base + step * b);
+                acc = madd(acc, wv, activations[b * m + o]);
+            }
+            acc
+        }
+    }
+}
+
+/// 4-bit plain stream (1:8 / 1:16 software kernels): two blocks per
+/// stream byte, low nibble first. Unrolled to four blocks per iteration
+/// with independent accumulator chains for instruction-level parallelism.
+fn gather_dot_4bit_plain(values: &[u8], act: &[u8], offs: &[u8], m: usize) -> i32 {
+    let mut acc = [0i32; 4];
+    let mut row = 0usize; // b * m, strength-reduced by hand
+    let quads = values.chunks_exact(4);
+    let rem_start = values.len() - quads.remainder().len();
+    for (v, ob) in quads.zip(offs.chunks_exact(2)) {
+        acc[0] = madd(acc[0], v[0], act[row + (ob[0] & 0xF) as usize]);
+        acc[1] = madd(acc[1], v[1], act[row + m + (ob[0] >> 4) as usize]);
+        acc[2] = madd(acc[2], v[2], act[row + 2 * m + (ob[1] & 0xF) as usize]);
+        acc[3] = madd(acc[3], v[3], act[row + 3 * m + (ob[1] >> 4) as usize]);
+        row += 4 * m;
+    }
+    for (b, &wv) in values.iter().enumerate().skip(rem_start) {
+        acc[0] = madd(acc[0], wv, act[b * m + unpack_offset(offs, 4, b)]);
+    }
+    acc[0]
+        .wrapping_add(acc[1])
+        .wrapping_add(acc[2])
+        .wrapping_add(acc[3])
+}
+
+/// 2-bit plain stream (1:4 software kernels): four blocks per byte.
+fn gather_dot_2bit_plain(values: &[u8], act: &[u8], offs: &[u8], m: usize) -> i32 {
+    let mut acc0 = 0i32;
+    let mut acc1 = 0i32;
+    let mut row = 0usize;
+    let quads = values.chunks_exact(4);
+    let rem_start = values.len() - quads.remainder().len();
+    for (v, &ob) in quads.zip(offs) {
+        acc0 = madd(acc0, v[0], act[row + (ob & 3) as usize]);
+        acc1 = madd(acc1, v[1], act[row + m + ((ob >> 2) & 3) as usize]);
+        acc0 = madd(acc0, v[2], act[row + 2 * m + ((ob >> 4) & 3) as usize]);
+        acc1 = madd(acc1, v[3], act[row + 3 * m + (ob >> 6) as usize]);
+        row += 4 * m;
+    }
+    for (b, &wv) in values.iter().enumerate().skip(rem_start) {
+        acc0 = madd(acc0, wv, act[b * m + unpack_offset(offs, 2, b)]);
+    }
+    acc0.wrapping_add(acc1)
+}
+
+/// Both channels of a 4-bit interleaved pair in one stream walk: byte
+/// `b` carries channel 0's offset in the low nibble and channel 1's in
+/// the high nibble (the FC `xDecimate` kernel's Fig. 6 layout).
+pub(crate) fn gather_dot2_4bit_pair(
+    values0: &[u8],
+    values1: &[u8],
+    act: &[u8],
+    offs: &[u8],
+    m: usize,
+) -> (i32, i32) {
+    let mut acc0 = 0i32;
+    let mut acc1 = 0i32;
+    let mut row = 0usize;
+    for ((&v0, &v1), &ob) in values0.iter().zip(values1).zip(offs) {
+        acc0 = madd(acc0, v0, act[row + (ob & 0xF) as usize]);
+        acc1 = madd(acc1, v1, act[row + (ob >> 4) as usize]);
+        row += m;
+    }
+    (acc0, acc1)
+}
+
+/// Both channels of a 2-bit interleaved pair in one stream walk: byte
+/// `b / 2` carries two blocks' worth of channel-0/channel-1 entries.
+pub(crate) fn gather_dot2_2bit_pair(
+    values0: &[u8],
+    values1: &[u8],
+    act: &[u8],
+    offs: &[u8],
+    m: usize,
+) -> (i32, i32) {
+    let mut acc0 = 0i32;
+    let mut acc1 = 0i32;
+    let nz = values0.len();
+    let mut row = 0usize;
+    for b in 0..nz {
+        let ob = offs[b / 2] >> (4 * (b % 2));
+        acc0 = madd(acc0, values0[b], act[row + (ob & 3) as usize]);
+        acc1 = madd(acc1, values1[b], act[row + ((ob >> 2) & 3) as usize]);
+        row += m;
+    }
+    (acc0, acc1)
+}
+
+/// Dispatches to the dual-channel pair gathers by offset width.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gather_dot2_pair(
+    values0: &[u8],
+    values1: &[u8],
+    act: &[u8],
+    offs: &[u8],
+    bits: usize,
+    m: usize,
+) -> (i32, i32) {
+    if bits == 4 {
+        gather_dot2_4bit_pair(values0, values1, act, offs, m)
+    } else {
+        gather_dot2_2bit_pair(values0, values1, act, offs, m)
+    }
+}
+
+/// 4-bit pair stream (duplicated / interleaved): block `b`'s entry for
+/// lane `q` is nibble `q` of byte `b`.
+fn gather_dot_4bit_pair(values: &[u8], act: &[u8], offs: &[u8], m: usize, q: usize) -> i32 {
+    let shift = 4 * q as u32;
+    let mut acc0 = 0i32;
+    let mut acc1 = 0i32;
+    let mut row = 0usize;
+    let pairs = values.chunks_exact(2);
+    let rem = pairs.remainder();
+    for (v, ob) in pairs.zip(offs.chunks_exact(2)) {
+        acc0 = madd(acc0, v[0], act[row + ((ob[0] >> shift) & 0xF) as usize]);
+        acc1 = madd(acc1, v[1], act[row + m + ((ob[1] >> shift) & 0xF) as usize]);
+        row += 2 * m;
+    }
+    if let [v] = rem {
+        let b = values.len() - 1;
+        acc0 = madd(acc0, *v, act[row + unpack_offset(offs, 4, 2 * b + q)]);
+    }
+    acc0.wrapping_add(acc1)
+}
+
+/// 2-bit pair stream (1:4 duplicated / interleaved): two blocks per
+/// byte; block `b`'s lane-`q` entry sits at bit `4 * (b % 2) + 2 * q`.
+fn gather_dot_2bit_pair(values: &[u8], act: &[u8], offs: &[u8], m: usize, q: usize) -> i32 {
+    let s = 2 * q as u32;
+    let mut acc0 = 0i32;
+    let mut acc1 = 0i32;
+    let mut row = 0usize;
+    let pairs = values.chunks_exact(2);
+    let rem = pairs.remainder();
+    for (v, &ob) in pairs.zip(offs) {
+        acc0 = madd(acc0, v[0], act[row + ((ob >> s) & 3) as usize]);
+        acc1 = madd(acc1, v[1], act[row + m + ((ob >> (4 + s)) & 3) as usize]);
+        row += 2 * m;
+    }
+    if let [v] = rem {
+        let b = values.len() - 1;
+        acc0 = madd(acc0, *v, act[row + unpack_offset(offs, 2, 2 * b + q)]);
+    }
+    acc0.wrapping_add(acc1)
+}
+
+/// Pre-decoded decimation table for the convolution kernels: entry
+/// `k * nz + b` is the patch-buffer index `b * m + offset` of channel
+/// `k`'s block `b`. Channels' segments start at `seg_stride` intervals in
+/// `offs_region`; entry `base + step * b` of a segment carries block
+/// `b`'s offset (the same stream walk the `xDecimate` csr performs).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decim_table(
+    offs_region: &[u8],
+    channels: usize,
+    seg_stride: usize,
+    nz: usize,
+    bits: usize,
+    m: usize,
+    base: usize,
+    step: usize,
+) -> Vec<u32> {
+    let mut table = Vec::with_capacity(channels * nz);
+    for k in 0..channels {
+        let seg = &offs_region[k * seg_stride..];
+        for b in 0..nz {
+            let o = unpack_offset(seg, bits, base + step * b);
+            table.push((b * m + o) as u32);
+        }
+    }
+    table
+}
+
+/// Wrapping dot of packed values against one activation buffer through a
+/// pre-decoded index table.
+#[inline]
+pub(crate) fn indexed_dot(values: &[u8], tab: &[u32], act: &[u8]) -> i32 {
+    let mut acc0 = 0i32;
+    let mut acc1 = 0i32;
+    let pairs = values.chunks_exact(2);
+    let rem = pairs.remainder();
+    for (v, t) in pairs.zip(tab.chunks_exact(2)) {
+        acc0 = madd(acc0, v[0], act[t[0] as usize]);
+        acc1 = madd(acc1, v[1], act[t[1] as usize]);
+    }
+    if let [v] = rem {
+        acc0 = madd(acc0, *v, act[tab[values.len() - 1] as usize]);
+    }
+    acc0.wrapping_add(acc1)
+}
+
+/// [`indexed_dot`] over two patch buffers in one table walk (the 1×2
+/// unrolling's data reuse, host-side).
+#[inline]
+pub(crate) fn indexed_dot2(values: &[u8], tab: &[u32], act0: &[u8], act1: &[u8]) -> (i32, i32) {
+    let mut acc0 = 0i32;
+    let mut acc1 = 0i32;
+    for (&wv, &t) in values.iter().zip(tab) {
+        let i = t as usize;
+        acc0 = madd(acc0, wv, act0[i]);
+        acc1 = madd(acc1, wv, act1[i]);
+    }
+    (acc0, acc1)
+}
+
+/// Writes computed outputs through the zero-copy view (host-side data
+/// movement only; the corresponding stores are charged in the caller's
+/// instruction block).
+pub(crate) fn write_out(mem: &mut nm_platform::Scratchpad, addr: u32, data: &[i8]) {
+    if data.is_empty() {
+        return;
+    }
+    let dst = mem
+        .slice_mut(addr, data.len())
+        .expect("scratchpad is zero-copy");
+    for (d, &v) in dst.iter_mut().zip(data) {
+        *d = v as u8;
+    }
+}
+
+/// Computes one output position pair for every channel of a sparse
+/// convolution from the pre-decoded [`decim_table`] and writes the
+/// outputs into the output tensor (host-side; charging is the caller's).
+pub(crate) fn conv_pair_outputs(
+    mem: &mut nm_platform::Scratchpad,
+    job: &crate::conv::ConvJob,
+    nz: usize,
+    table: &[u32],
+    pos: usize,
+    n_patches: usize,
+    buf: u32,
+) {
+    let geom = &job.geom;
+    let plen = geom.patch_len();
+    let kt = geom.k;
+    let mut outs = vec![0i8; n_patches * kt];
+    {
+        let values = mem
+            .slice(job.bufs.weights, kt * nz)
+            .expect("scratchpad is zero-copy");
+        let act0 = mem.slice(buf, plen).expect("scratchpad is zero-copy");
+        if n_patches == 2 {
+            let act1 = mem
+                .slice(buf + plen as u32, plen)
+                .expect("scratchpad is zero-copy");
+            for k in 0..kt {
+                let (a0, a1) = indexed_dot2(
+                    &values[k * nz..(k + 1) * nz],
+                    &table[k * nz..(k + 1) * nz],
+                    act0,
+                    act1,
+                );
+                outs[k] = job.requant.apply(a0);
+                outs[kt + k] = job.requant.apply(a1);
+            }
+        } else {
+            for k in 0..kt {
+                let acc = indexed_dot(
+                    &values[k * nz..(k + 1) * nz],
+                    &table[k * nz..(k + 1) * nz],
+                    act0,
+                );
+                outs[k] = job.requant.apply(acc);
+            }
+        }
+    }
+    write_out(mem, job.bufs.output + (pos * kt) as u32, &outs);
+}
+
+/// Batched equivalent of one `outer_loop_iter(); alu_n(extra);
+/// hwloop_setup()` scaffold iteration of a kernel's channel loop.
+pub(crate) fn loop_scaffold(costs: &CostModel, extra_alu: u64) -> InstrBlock {
+    let mut block = InstrBlock::new();
+    if costs.outer_loop_instrs > 0 {
+        block = block.alu(costs.outer_loop_instrs - 1).branches_taken(1);
+    }
+    block.alu(extra_alu).op(InstrClass::HwLoop, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::random_data;
+
+    fn pack(entries: &[u8], bits: usize) -> Vec<u8> {
+        let mut bytes = vec![0u8; offsets_len(entries.len(), bits)];
+        for (i, &e) in entries.iter().enumerate() {
+            let bitpos = i * bits;
+            bytes[bitpos / 8] |= (e & ((1 << bits) - 1) as u8) << (bitpos % 8);
+        }
+        bytes
+    }
+
+    #[test]
+    fn unpack_matches_shift_mask_decoding() {
+        let seg4 = pack(&[0, 1, 2, 3, 4, 5, 6, 7], 4);
+        for i in 0..8 {
+            assert_eq!(unpack_offset(&seg4, 4, i), i);
+        }
+        let seg2 = pack(&[3, 2, 1, 0], 2);
+        assert_eq!(unpack_offset(&seg2, 2, 0), 3);
+        assert_eq!(unpack_offset(&seg2, 2, 1), 2);
+        assert_eq!(unpack_offset(&seg2, 2, 2), 1);
+        assert_eq!(unpack_offset(&seg2, 2, 3), 0);
+    }
+
+    #[test]
+    fn dense_dot_wraps_like_the_core() {
+        let w = [127u8, 0x80, 1]; // 127, -128, 1
+        let a = [127u8, 0x80, 0xFF]; // 127, -128, -1
+        assert_eq!(dense_dot(&w, &a), 127 * 127 + 128 * 128 - 1);
+    }
+
+    /// Slow per-element reference the specialized loops must match, for
+    /// every (bits, m, base, step) and odd/even lengths.
+    fn gather_ref(
+        values: &[u8],
+        act: &[u8],
+        offs: &[u8],
+        bits: usize,
+        m: usize,
+        base: usize,
+        step: usize,
+    ) -> i32 {
+        let mut acc = 0i32;
+        for (b, &wv) in values.iter().enumerate() {
+            let o = unpack_offset(offs, bits, base + step * b);
+            acc = madd(acc, wv, act[b * m + o]);
+        }
+        acc
+    }
+
+    #[test]
+    fn specialized_gathers_match_reference() {
+        for (bits, m) in [(2usize, 4usize), (4, 8), (4, 16)] {
+            for nz in [1, 2, 3, 4, 5, 8, 11] {
+                let values: Vec<u8> = random_data(nz, 7).iter().map(|&v| v as u8).collect();
+                let act: Vec<u8> = random_data(nz * m, 11).iter().map(|&v| v as u8).collect();
+                for (base, step) in [(0, 1), (0, 2), (1, 2)] {
+                    let entries: Vec<u8> = (0..(base + step * nz))
+                        .map(|e| ((e * 7 + 3) % m.min(1 << bits)) as u8)
+                        .collect();
+                    let offs = pack(&entries, bits);
+                    assert_eq!(
+                        nm_gather_dot(&values, &act, &offs, bits, m, base, step),
+                        gather_ref(&values, &act, &offs, bits, m, base, step),
+                        "bits={bits} m={m} nz={nz} base={base} step={step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_channel_gathers_match_single_channel() {
+        for (bits, m) in [(2usize, 4usize), (4, 8), (4, 16)] {
+            for nz in [1, 2, 4, 5, 9] {
+                let v0: Vec<u8> = random_data(nz, 3).iter().map(|&v| v as u8).collect();
+                let v1: Vec<u8> = random_data(nz, 5).iter().map(|&v| v as u8).collect();
+                let act: Vec<u8> = random_data(nz * m, 7).iter().map(|&v| v as u8).collect();
+                // Interleaved pair stream: entries 2b + q.
+                let entries: Vec<u8> = (0..2 * nz)
+                    .map(|e| ((e * 3 + 1) % m.min(1 << bits)) as u8)
+                    .collect();
+                let offs = pack(&entries, bits);
+                let want0 = nm_gather_dot(&v0, &act, &offs, bits, m, 0, 2);
+                let want1 = nm_gather_dot(&v1, &act, &offs, bits, m, 1, 2);
+                assert_eq!(
+                    gather_dot2_pair(&v0, &v1, &act, &offs, bits, m),
+                    (want0, want1),
+                    "pair bits={bits} m={m} nz={nz}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decim_table_and_indexed_dots_match_gather() {
+        let (bits, m, nz, channels) = (4usize, 8usize, 9usize, 3usize);
+        let seg_stride = 12;
+        let mut region = vec![0u8; channels * seg_stride];
+        for k in 0..channels {
+            let entries: Vec<u8> = (0..2 * nz).map(|e| ((e * 5 + k) % m) as u8).collect();
+            let packed = pack(&entries, bits);
+            region[k * seg_stride..k * seg_stride + packed.len()].copy_from_slice(&packed);
+        }
+        let tab = decim_table(&region, channels, seg_stride, nz, bits, m, 0, 2);
+        assert_eq!(tab.len(), channels * nz);
+        let act0: Vec<u8> = random_data(nz * m, 3).iter().map(|&v| v as u8).collect();
+        let act1: Vec<u8> = random_data(nz * m, 5).iter().map(|&v| v as u8).collect();
+        for k in 0..channels {
+            let values: Vec<u8> = random_data(nz, k as u64 + 13)
+                .iter()
+                .map(|&v| v as u8)
+                .collect();
+            let seg = &region[k * seg_stride..];
+            let want0 = nm_gather_dot(&values, &act0, seg, bits, m, 0, 2);
+            let want1 = nm_gather_dot(&values, &act1, seg, bits, m, 0, 2);
+            let t = &tab[k * nz..(k + 1) * nz];
+            assert_eq!(indexed_dot(&values, t, &act0), want0);
+            let (got0, got1) = indexed_dot2(&values, t, &act0, &act1);
+            assert_eq!((got0, got1), (want0, want1));
+        }
+    }
+
+    #[test]
+    fn loop_scaffold_matches_per_instruction_charging() {
+        use nm_isa::Core;
+        let costs = CostModel {
+            outer_loop_instrs: 4,
+            branch_taken_penalty: 3,
+            ..CostModel::VEGA
+        };
+        let mut reference = Core::new(costs);
+        reference.outer_loop_iter();
+        reference.alu_n(3);
+        reference.hwloop_setup();
+        let mut fast = Core::new(costs);
+        fast.charge_block(&loop_scaffold(&costs, 3));
+        assert_eq!(fast.stats(), reference.stats());
+
+        let none = CostModel {
+            outer_loop_instrs: 0,
+            ..CostModel::VEGA
+        };
+        assert_eq!(loop_scaffold(&none, 2).count(InstrClass::Branch), 0);
+    }
+
+    #[test]
+    fn offsets_len_rounds_up() {
+        assert_eq!(offsets_len(8, 4), 4);
+        assert_eq!(offsets_len(9, 4), 5);
+        assert_eq!(offsets_len(3, 2), 1);
+        assert_eq!(offsets_len(5, 2), 2);
+    }
+}

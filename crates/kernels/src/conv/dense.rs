@@ -2,9 +2,10 @@
 //! kernel (paper Sec. 4.1.1, Fig. 2 / Fig. 4 left).
 
 use super::{drive, ConvJob, EPILOGUE_ALU};
-use crate::stats::{Ctx, KernelStats};
+use crate::bulk::dense_dot;
+use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::Result;
-use nm_isa::{Core, InstrClass};
+use nm_isa::{Core, InstrBlock, InstrClass, Memory};
 use nm_platform::Cluster;
 
 /// The 1×2-unrolled dense kernel: one output channel × two patches per
@@ -19,15 +20,21 @@ pub fn conv_dense_1x2(ctx: &mut Ctx<'_>, job: &ConvJob, cluster: &Cluster) -> Re
     let geom = job.geom;
     let plen = geom.patch_len();
     let (chunks, tail) = (plen / 4, plen % 4);
-    Ok(drive("conv-dense-1x2".into(), ctx, job, cluster, |core, ctx, pos, n_patches, buf| {
-        for k in 0..geom.k {
-            core.outer_loop_iter();
-            core.alu_n(2);
-            core.hwloop_setup();
-            let wrow = job.bufs.weights + (k * plen) as u32;
-            channel_1xn(core, ctx, job, pos, n_patches, buf, k, wrow, chunks, tail);
-        }
-    }))
+    Ok(drive(
+        "conv-dense-1x2".into(),
+        ctx,
+        job,
+        cluster,
+        |core, ctx, pos, n_patches, buf| {
+            for k in 0..geom.k {
+                core.outer_loop_iter();
+                core.alu_n(2);
+                core.hwloop_setup();
+                let wrow = job.bufs.weights + (k * plen) as u32;
+                channel_1xn(core, ctx, job, pos, n_patches, buf, k, wrow, chunks, tail);
+            }
+        },
+    ))
 }
 
 /// The PULP-NN 4×2 kernel: four output channels × two patches. Inner
@@ -43,21 +50,27 @@ pub fn conv_dense_4x2(ctx: &mut Ctx<'_>, job: &ConvJob, cluster: &Cluster) -> Re
     let plen = geom.patch_len();
     let (chunks, tail) = (plen / 4, plen % 4);
     let quads = geom.k / 4;
-    Ok(drive("conv-dense-4x2".into(), ctx, job, cluster, |core, ctx, pos, n_patches, buf| {
-        for q in 0..quads {
-            core.outer_loop_iter();
-            core.alu_n(5);
-            core.hwloop_setup();
-            quad_channels(core, ctx, job, pos, n_patches, buf, q * 4, chunks, tail);
-        }
-        for k in quads * 4..geom.k {
-            core.outer_loop_iter();
-            core.alu_n(2);
-            core.hwloop_setup();
-            let wrow = job.bufs.weights + (k * plen) as u32;
-            channel_1xn(core, ctx, job, pos, n_patches, buf, k, wrow, chunks, tail);
-        }
-    }))
+    Ok(drive(
+        "conv-dense-4x2".into(),
+        ctx,
+        job,
+        cluster,
+        |core, ctx, pos, n_patches, buf| {
+            for q in 0..quads {
+                core.outer_loop_iter();
+                core.alu_n(5);
+                core.hwloop_setup();
+                quad_channels(core, ctx, job, pos, n_patches, buf, q * 4, chunks, tail);
+            }
+            for k in quads * 4..geom.k {
+                core.outer_loop_iter();
+                core.alu_n(2);
+                core.hwloop_setup();
+                let wrow = job.bufs.weights + (k * plen) as u32;
+                channel_1xn(core, ctx, job, pos, n_patches, buf, k, wrow, chunks, tail);
+            }
+        },
+    ))
 }
 
 /// One output channel over `n_patches` im2col buffers (the 1×2 / 1×1
@@ -80,36 +93,63 @@ pub(crate) fn channel_1xn(
     let geom = &job.geom;
     let plen = geom.patch_len();
     let np = n_patches as u64;
-    if let Some(mem) = ctx.mem() {
-        let mut acc = [0i32; 2];
-        for j in 0..chunks {
-            let w = core.lw(mem, wrow + (4 * j) as u32);
+    match ctx.path() {
+        ExecPath::Bulk(mem) => {
+            let mut outs = [0i8; 2];
+            {
+                let w = mem.slice(wrow, plen).expect("scratchpad is zero-copy");
+                for (p, out) in outs.iter_mut().enumerate().take(n_patches) {
+                    let a = mem
+                        .slice(buf + (p * plen) as u32, plen)
+                        .expect("scratchpad is zero-copy");
+                    *out = job.requant.apply(dense_dot(w, a));
+                }
+            }
+            for (p, &out) in outs.iter().enumerate().take(n_patches) {
+                mem.store_i8(job.bufs.output + ((pos + p) * geom.k + k) as u32, out);
+            }
+            let per_chunk = InstrBlock::new().loads(1 + np).sdotp(np);
+            let per_tail = InstrBlock::new().loads(1 + np).mac(np);
+            let epilogue = InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(np);
+            core.charge_block(
+                &per_chunk
+                    .repeat(chunks as u64)
+                    .then(per_tail.repeat(tail as u64))
+                    .then(epilogue),
+            );
+        }
+        ExecPath::Reference(mem) => {
+            let mut acc = [0i32; 2];
+            for j in 0..chunks {
+                let w = core.lw(mem, wrow + (4 * j) as u32);
+                for p in 0..n_patches {
+                    let a = core.lw(mem, buf + (p * plen + 4 * j) as u32);
+                    acc[p] = core.sdotp(w, a, acc[p]);
+                }
+            }
+            for t in 0..tail {
+                let idx = (chunks * 4 + t) as u32;
+                let w = core.lb(mem, wrow + idx);
+                for p in 0..n_patches {
+                    let a = core.lb(mem, buf + (p * plen) as u32 + idx);
+                    acc[p] = core.mac(i32::from(w), i32::from(a), acc[p]);
+                }
+            }
             for p in 0..n_patches {
-                let a = core.lw(mem, buf + (p * plen + 4 * j) as u32);
-                acc[p] = core.sdotp(w, a, acc[p]);
+                core.alu_n(EPILOGUE_ALU);
+                let out = job.requant.apply(acc[p]);
+                core.sb(mem, job.bufs.output + ((pos + p) * geom.k + k) as u32, out);
             }
         }
-        for t in 0..tail {
-            let idx = (chunks * 4 + t) as u32;
-            let w = core.lb(mem, wrow + idx);
-            for p in 0..n_patches {
-                let a = core.lb(mem, buf + (p * plen) as u32 + idx);
-                acc[p] = core.mac(i32::from(w), i32::from(a), acc[p]);
-            }
+        ExecPath::Analytic => {
+            core.charge(InstrClass::Load, chunks as u64 * (1 + np));
+            core.charge(InstrClass::SimdDotp, chunks as u64 * np);
+            core.charge(InstrClass::Load, tail as u64 * (1 + np));
+            core.charge(InstrClass::Mac, tail as u64 * np);
+            core.add_macs((chunks * 4 + tail) as u64 * np);
+            core.charge(InstrClass::Alu, EPILOGUE_ALU * np);
+            core.charge(InstrClass::Store, np);
         }
-        for p in 0..n_patches {
-            core.alu_n(EPILOGUE_ALU);
-            let out = job.requant.apply(acc[p]);
-            core.sb(mem, job.bufs.output + ((pos + p) * geom.k + k) as u32, out);
-        }
-    } else {
-        core.charge(InstrClass::Load, chunks as u64 * (1 + np));
-        core.charge(InstrClass::SimdDotp, chunks as u64 * np);
-        core.charge(InstrClass::Load, tail as u64 * (1 + np));
-        core.charge(InstrClass::Mac, tail as u64 * np);
-        core.add_macs((chunks * 4 + tail) as u64 * np);
-        core.charge(InstrClass::Alu, EPILOGUE_ALU * np);
-        core.charge(InstrClass::Store, np);
     }
 }
 
@@ -130,48 +170,88 @@ fn quad_channels(
     let geom = &job.geom;
     let plen = geom.patch_len();
     let np = n_patches as u64;
-    if let Some(mem) = ctx.mem() {
-        let mut acc = [[0i32; 2]; 4];
-        for j in 0..chunks {
-            let mut w = [0u32; 4];
-            for (f, wf) in w.iter_mut().enumerate() {
-                *wf = core.lw(mem, job.bufs.weights + ((k0 + f) * plen + 4 * j) as u32);
+    match ctx.path() {
+        ExecPath::Bulk(mem) => {
+            let mut outs = [[0i8; 2]; 4];
+            {
+                for f in 0..4 {
+                    let w = mem
+                        .slice(job.bufs.weights + ((k0 + f) * plen) as u32, plen)
+                        .expect("scratchpad is zero-copy");
+                    for p in 0..n_patches {
+                        let a = mem
+                            .slice(buf + (p * plen) as u32, plen)
+                            .expect("scratchpad is zero-copy");
+                        outs[f][p] = job.requant.apply(dense_dot(w, a));
+                    }
+                }
             }
             for p in 0..n_patches {
-                let a = core.lw(mem, buf + (p * plen + 4 * j) as u32);
                 for f in 0..4 {
-                    acc[f][p] = core.sdotp(w[f], a, acc[f][p]);
+                    mem.store_i8(
+                        job.bufs.output + ((pos + p) * geom.k + k0 + f) as u32,
+                        outs[f][p],
+                    );
+                }
+            }
+            let per_chunk = InstrBlock::new().loads(4 + np).sdotp(4 * np);
+            let per_tail = InstrBlock::new().loads(4 + np).mac(4 * np);
+            let epilogue = InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(4 * np);
+            core.charge_block(
+                &per_chunk
+                    .repeat(chunks as u64)
+                    .then(per_tail.repeat(tail as u64))
+                    .then(epilogue),
+            );
+        }
+        ExecPath::Reference(mem) => {
+            let mut acc = [[0i32; 2]; 4];
+            for j in 0..chunks {
+                let mut w = [0u32; 4];
+                for (f, wf) in w.iter_mut().enumerate() {
+                    *wf = core.lw(mem, job.bufs.weights + ((k0 + f) * plen + 4 * j) as u32);
+                }
+                for p in 0..n_patches {
+                    let a = core.lw(mem, buf + (p * plen + 4 * j) as u32);
+                    for f in 0..4 {
+                        acc[f][p] = core.sdotp(w[f], a, acc[f][p]);
+                    }
+                }
+            }
+            for t in 0..tail {
+                let idx = (chunks * 4 + t) as u32;
+                let mut w = [0i8; 4];
+                for (f, wf) in w.iter_mut().enumerate() {
+                    *wf = core.lb(mem, job.bufs.weights + ((k0 + f) * plen) as u32 + idx);
+                }
+                for p in 0..n_patches {
+                    let a = core.lb(mem, buf + (p * plen) as u32 + idx);
+                    for f in 0..4 {
+                        acc[f][p] = core.mac(i32::from(w[f]), i32::from(a), acc[f][p]);
+                    }
+                }
+            }
+            for p in 0..n_patches {
+                for f in 0..4 {
+                    core.alu_n(EPILOGUE_ALU);
+                    let out = job.requant.apply(acc[f][p]);
+                    core.sb(
+                        mem,
+                        job.bufs.output + ((pos + p) * geom.k + k0 + f) as u32,
+                        out,
+                    );
                 }
             }
         }
-        for t in 0..tail {
-            let idx = (chunks * 4 + t) as u32;
-            let mut w = [0i8; 4];
-            for (f, wf) in w.iter_mut().enumerate() {
-                *wf = core.lb(mem, job.bufs.weights + ((k0 + f) * plen) as u32 + idx);
-            }
-            for p in 0..n_patches {
-                let a = core.lb(mem, buf + (p * plen) as u32 + idx);
-                for f in 0..4 {
-                    acc[f][p] = core.mac(i32::from(w[f]), i32::from(a), acc[f][p]);
-                }
-            }
+        ExecPath::Analytic => {
+            core.charge(InstrClass::Load, chunks as u64 * (4 + np));
+            core.charge(InstrClass::SimdDotp, chunks as u64 * 4 * np);
+            core.charge(InstrClass::Load, tail as u64 * (4 + np));
+            core.charge(InstrClass::Mac, tail as u64 * 4 * np);
+            core.add_macs((chunks * 4 + tail) as u64 * 4 * np);
+            core.charge(InstrClass::Alu, EPILOGUE_ALU * 4 * np);
+            core.charge(InstrClass::Store, 4 * np);
         }
-        for p in 0..n_patches {
-            for f in 0..4 {
-                core.alu_n(EPILOGUE_ALU);
-                let out = job.requant.apply(acc[f][p]);
-                core.sb(mem, job.bufs.output + ((pos + p) * geom.k + k0 + f) as u32, out);
-            }
-        }
-    } else {
-        core.charge(InstrClass::Load, chunks as u64 * (4 + np));
-        core.charge(InstrClass::SimdDotp, chunks as u64 * 4 * np);
-        core.charge(InstrClass::Load, tail as u64 * (4 + np));
-        core.charge(InstrClass::Mac, tail as u64 * 4 * np);
-        core.add_macs((chunks * 4 + tail) as u64 * 4 * np);
-        core.charge(InstrClass::Alu, EPILOGUE_ALU * 4 * np);
-        core.charge(InstrClass::Store, 4 * np);
     }
 }
 
@@ -185,17 +265,7 @@ mod tests {
     use nm_isa::{CostModel, Memory};
     use nm_platform::Scratchpad;
 
-    fn random_data(n: usize, seed: u64) -> Vec<i8> {
-        let mut state = seed | 1;
-        (0..n)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 255) as i8
-            })
-            .collect()
-    }
+    use crate::testdata::random_data;
 
     fn check_geom(geom: ConvGeom, quad: bool) {
         let input = random_data(geom.input_elems(), 7);
@@ -204,20 +274,32 @@ mod tests {
         let cluster = Cluster::new(4, CostModel::default());
         let mut l1 = Scratchpad::new("l1", 512 * 1024);
         let bufs = stage_conv_dense(&mut l1, &geom, &input, &weights, cluster.n_cores()).unwrap();
-        let job = ConvJob { geom, requant: rq, bufs };
+        let job = ConvJob {
+            geom,
+            requant: rq,
+            bufs,
+        };
 
         let run = if quad { conv_dense_4x2 } else { conv_dense_1x2 };
         let stats = {
             let mut ctx = Ctx::Mem(&mut l1);
             run(&mut ctx, &job, &cluster).unwrap()
         };
-        let got: Vec<i8> =
-            (0..geom.output_elems() as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
-        assert_eq!(got, conv_ref(&geom, &input, &weights, rq), "{geom:?} outputs");
+        let got: Vec<i8> = (0..geom.output_elems() as u32)
+            .map(|i| l1.load_i8(bufs.output + i))
+            .collect();
+        assert_eq!(
+            got,
+            conv_ref(&geom, &input, &weights, rq),
+            "{geom:?} outputs"
+        );
 
         let analytic = run(&mut Ctx::Analytic, &job, &cluster).unwrap();
         assert_eq!(stats.cycles(), analytic.cycles(), "{geom:?} cycles");
-        assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+        assert_eq!(
+            stats.cluster.total_instret(),
+            analytic.cluster.total_instret()
+        );
         assert_eq!(stats.cluster.total_macs(), analytic.cluster.total_macs());
     }
 
@@ -248,7 +330,11 @@ mod tests {
     fn pulp_nn_faster_than_1x2() {
         let geom = ConvGeom::square(32, 16, 8, 3, 1, 1).unwrap();
         let cluster = Cluster::new(8, CostModel::default());
-        let job = ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let job = ConvJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let a = conv_dense_1x2(&mut Ctx::Analytic, &job, &cluster).unwrap();
         let b = conv_dense_4x2(&mut Ctx::Analytic, &job, &cluster).unwrap();
         let speedup = b.speedup_over(&a);
@@ -260,7 +346,11 @@ mod tests {
         // Isolate one inner chunk: 5 instructions (1x2), 14 (4x2).
         let geom = ConvGeom::square(4, 1, 1, 1, 1, 0).unwrap(); // patch_len 4, 1 position
         let cluster = Cluster::new(1, CostModel::default());
-        let job = ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let job = ConvJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let s = conv_dense_1x2(&mut Ctx::Analytic, &job, &cluster).unwrap();
         // Per channel: 1 chunk = 1 weight load + 1 act load + 1 sdotp
         // (single patch) -> verify via class counts.
@@ -276,7 +366,11 @@ mod tests {
     #[test]
     fn multicore_scales() {
         let geom = ConvGeom::square(16, 8, 8, 3, 1, 1).unwrap();
-        let job = ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let job = ConvJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let c1 = Cluster::new(1, CostModel::default());
         let c8 = Cluster::new(8, CostModel::default());
         let s1 = conv_dense_1x2(&mut Ctx::Analytic, &job, &c1).unwrap();

@@ -54,7 +54,12 @@ pub struct ChannelConvJob {
 impl ChannelConvJob {
     /// Creates an analytic-mode job (no L1 addresses).
     pub fn new(conv: ConvJob, patterns: Vec<Option<Nm>>) -> Self {
-        ChannelConvJob { conv, patterns, row_values: Vec::new(), row_offsets: Vec::new() }
+        ChannelConvJob {
+            conv,
+            patterns,
+            row_values: Vec::new(),
+            row_offsets: Vec::new(),
+        }
     }
 
     /// Dense-equivalent weights kept, as a fraction in `(0, 1]`.
@@ -126,38 +131,54 @@ pub fn conv_channel_mixed(
         ChannelEngine::Software => "conv-channel-mixed-sw".to_string(),
         ChannelEngine::Isa => "conv-channel-mixed-isa".to_string(),
     };
-    Ok(drive(name, ctx, &job.conv, cluster, |core, ctx, pos, n_patches, buf| {
-        for k in 0..geom.k {
-            core.outer_loop_iter();
-            let (wrow, seg) = job.row_addr(k);
-            match job.patterns[k] {
-                None => {
-                    core.alu_n(2);
-                    core.hwloop_setup();
-                    channel_1xn(
-                        core, ctx, &job.conv, pos, n_patches, buf, k, wrow, dense_chunks,
-                        dense_tail,
-                    );
-                }
-                Some(nm) => {
-                    core.alu_n(3);
-                    core.hwloop_setup();
-                    let sparse = super::sparse_sw::SparseConvJob { conv: job.conv, nm };
-                    match engine {
-                        ChannelEngine::Software => {
-                            channel_sparse_sw(core, ctx, &sparse, pos, n_patches, buf, k, wrow, seg);
-                        }
-                        ChannelEngine::Isa => {
-                            let mode = decimate_mode(nm);
-                            channel_sparse_isa(
-                                core, ctx, &sparse, mode, pos, n_patches, buf, k, wrow, seg,
-                            );
+    Ok(drive(
+        name,
+        ctx,
+        &job.conv,
+        cluster,
+        |core, ctx, pos, n_patches, buf| {
+            for k in 0..geom.k {
+                core.outer_loop_iter();
+                let (wrow, seg) = job.row_addr(k);
+                match job.patterns[k] {
+                    None => {
+                        core.alu_n(2);
+                        core.hwloop_setup();
+                        channel_1xn(
+                            core,
+                            ctx,
+                            &job.conv,
+                            pos,
+                            n_patches,
+                            buf,
+                            k,
+                            wrow,
+                            dense_chunks,
+                            dense_tail,
+                        );
+                    }
+                    Some(nm) => {
+                        core.alu_n(3);
+                        core.hwloop_setup();
+                        let sparse = super::sparse_sw::SparseConvJob { conv: job.conv, nm };
+                        match engine {
+                            ChannelEngine::Software => {
+                                channel_sparse_sw(
+                                    core, ctx, &sparse, pos, n_patches, buf, k, wrow, seg,
+                                );
+                            }
+                            ChannelEngine::Isa => {
+                                let mode = decimate_mode(nm);
+                                channel_sparse_isa(
+                                    core, ctx, &sparse, mode, pos, n_patches, buf, k, wrow, seg,
+                                );
+                            }
                         }
                     }
                 }
             }
-        }
-    }))
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -174,17 +195,7 @@ mod tests {
     use nm_isa::{CostModel, Memory};
     use nm_platform::Scratchpad;
 
-    fn random_data(n: usize, seed: u64) -> Vec<i8> {
-        let mut state = seed | 1;
-        (0..n)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 255) as i8
-            })
-            .collect()
-    }
+    use crate::testdata::random_data;
 
     /// Round-robin pattern assignment over the given ladder.
     fn cycle_patterns(k: usize, ladder: &[Option<Nm>]) -> Vec<Option<Nm>> {
@@ -208,7 +219,11 @@ mod tests {
         let (bufs, row_values, row_offsets) =
             stage_conv_channelwise(&mut l1, &geom, &input, &w, cluster.n_cores()).unwrap();
         let job = ChannelConvJob {
-            conv: ConvJob { geom, requant: rq, bufs },
+            conv: ConvJob {
+                geom,
+                requant: rq,
+                bufs,
+            },
             patterns,
             row_values,
             row_offsets,
@@ -218,29 +233,53 @@ mod tests {
             let mut ctx = Ctx::Mem(&mut l1);
             conv_channel_mixed(&mut ctx, &job, &cluster, engine).unwrap()
         };
-        let got: Vec<i8> =
-            (0..geom.output_elems() as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
-        assert_eq!(got, conv_ref(&geom, &input, &pruned, rq), "{engine:?} {geom:?}");
+        let got: Vec<i8> = (0..geom.output_elems() as u32)
+            .map(|i| l1.load_i8(bufs.output + i))
+            .collect();
+        assert_eq!(
+            got,
+            conv_ref(&geom, &input, &pruned, rq),
+            "{engine:?} {geom:?}"
+        );
 
         let analytic = conv_channel_mixed(&mut Ctx::Analytic, &job, &cluster, engine).unwrap();
-        assert_eq!(stats.cycles(), analytic.cycles(), "{engine:?} {geom:?} cycles");
-        assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+        assert_eq!(
+            stats.cycles(),
+            analytic.cycles(),
+            "{engine:?} {geom:?} cycles"
+        );
+        assert_eq!(
+            stats.cluster.total_instret(),
+            analytic.cluster.total_instret()
+        );
         assert_eq!(stats.cluster.total_macs(), analytic.cluster.total_macs());
     }
 
     #[test]
     fn mixed_rows_match_reference_sw() {
         let geom = ConvGeom::square(16, 8, 6, 3, 1, 1).unwrap();
-        let ladder =
-            [None, Some(Nm::ONE_OF_FOUR), Some(Nm::ONE_OF_EIGHT), Some(Nm::ONE_OF_SIXTEEN)];
-        check(geom, cycle_patterns(geom.k, &ladder), ChannelEngine::Software);
+        let ladder = [
+            None,
+            Some(Nm::ONE_OF_FOUR),
+            Some(Nm::ONE_OF_EIGHT),
+            Some(Nm::ONE_OF_SIXTEEN),
+        ];
+        check(
+            geom,
+            cycle_patterns(geom.k, &ladder),
+            ChannelEngine::Software,
+        );
     }
 
     #[test]
     fn mixed_rows_match_reference_isa() {
         let geom = ConvGeom::square(16, 8, 6, 3, 1, 1).unwrap();
-        let ladder =
-            [None, Some(Nm::ONE_OF_FOUR), Some(Nm::ONE_OF_EIGHT), Some(Nm::ONE_OF_SIXTEEN)];
+        let ladder = [
+            None,
+            Some(Nm::ONE_OF_FOUR),
+            Some(Nm::ONE_OF_EIGHT),
+            Some(Nm::ONE_OF_SIXTEEN),
+        ];
         check(geom, cycle_patterns(geom.k, &ladder), ChannelEngine::Isa);
     }
 
@@ -249,7 +288,11 @@ mod tests {
         // patch 72 (8x9): nz at 1:8 is 9 -> chunked with tail.
         let ladder = [None, Some(Nm::ONE_OF_EIGHT)];
         let geom = ConvGeom::square(8, 3, 5, 3, 1, 1).unwrap();
-        check(geom, cycle_patterns(geom.k, &ladder), ChannelEngine::Software);
+        check(
+            geom,
+            cycle_patterns(geom.k, &ladder),
+            ChannelEngine::Software,
+        );
         let geom = ConvGeom::square(8, 3, 7, 3, 2, 1).unwrap();
         check(geom, cycle_patterns(geom.k, &ladder), ChannelEngine::Isa);
     }
@@ -258,10 +301,19 @@ mod tests {
     fn all_dense_equals_dense_1x2() {
         let geom = ConvGeom::square(16, 6, 6, 3, 1, 1).unwrap();
         let cluster = Cluster::new(8, CostModel::default());
-        let conv = ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let conv = ConvJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let mixed = ChannelConvJob::new(conv, vec![None; geom.k]);
-        let a = conv_channel_mixed(&mut Ctx::Analytic, &mixed, &cluster, ChannelEngine::Software)
-            .unwrap();
+        let a = conv_channel_mixed(
+            &mut Ctx::Analytic,
+            &mixed,
+            &cluster,
+            ChannelEngine::Software,
+        )
+        .unwrap();
         let b = conv_dense_1x2(&mut Ctx::Analytic, &conv, &cluster).unwrap();
         assert_eq!(a.cycles(), b.cycles());
         assert_eq!(a.cluster.total_instret(), b.cluster.total_instret());
@@ -273,12 +325,20 @@ mod tests {
         for nm in Nm::KERNEL_PATTERNS {
             let geom = ConvGeom::square(nm.m() * 2, 6, 6, 3, 1, 1).unwrap();
             let cluster = Cluster::new(8, CostModel::default());
-            let conv = ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+            let conv = ConvJob {
+                geom,
+                requant: Requant::IDENTITY,
+                bufs: Default::default(),
+            };
             let mixed = ChannelConvJob::new(conv, vec![Some(nm); geom.k]);
             let sparse = SparseConvJob { conv, nm };
-            let a =
-                conv_channel_mixed(&mut Ctx::Analytic, &mixed, &cluster, ChannelEngine::Software)
-                    .unwrap();
+            let a = conv_channel_mixed(
+                &mut Ctx::Analytic,
+                &mixed,
+                &cluster,
+                ChannelEngine::Software,
+            )
+            .unwrap();
             let b = conv_sparse_sw(&mut Ctx::Analytic, &sparse, &cluster).unwrap();
             assert_eq!(a.cycles(), b.cycles(), "{nm} sw");
             let a = conv_channel_mixed(&mut Ctx::Analytic, &mixed, &cluster, ChannelEngine::Isa)
@@ -293,7 +353,11 @@ mod tests {
     fn sparser_assignments_are_faster() {
         let geom = ConvGeom::square(32, 16, 8, 3, 1, 1).unwrap();
         let cluster = Cluster::new(8, CostModel::default());
-        let conv = ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let conv = ConvJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let run = |patterns: Vec<Option<Nm>>| {
             conv_channel_mixed(
                 &mut Ctx::Analytic,
@@ -313,7 +377,11 @@ mod tests {
     #[test]
     fn rejects_wrong_pattern_count() {
         let geom = ConvGeom::square(16, 4, 4, 3, 1, 1).unwrap();
-        let conv = ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let conv = ConvJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let job = ChannelConvJob::new(conv, vec![None; 3]);
         let cluster = Cluster::new(1, CostModel::default());
         assert!(matches!(
@@ -325,7 +393,11 @@ mod tests {
     #[test]
     fn rejects_unsupported_pattern() {
         let geom = ConvGeom::square(16, 2, 4, 3, 1, 1).unwrap();
-        let conv = ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let conv = ConvJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let job = ChannelConvJob::new(conv, vec![None, Some(Nm::new(2, 4).unwrap())]);
         let cluster = Cluster::new(1, CostModel::default());
         assert!(matches!(
@@ -338,7 +410,11 @@ mod tests {
     fn rejects_indivisible_patch() {
         // patch 27 (3x3x3) is not a multiple of 4.
         let geom = ConvGeom::square(3, 2, 4, 3, 1, 1).unwrap();
-        let conv = ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let conv = ConvJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let job = ChannelConvJob::new(conv, vec![None, Some(Nm::ONE_OF_FOUR)]);
         let cluster = Cluster::new(1, CostModel::default());
         assert!(matches!(

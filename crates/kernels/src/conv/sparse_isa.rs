@@ -15,12 +15,13 @@
 
 use super::sparse_sw::SparseConvJob;
 use super::{drive, EPILOGUE_ALU};
+use crate::bulk::{conv_pair_outputs, decim_table, loop_scaffold, nm_gather_dot, offsets_len};
 use crate::layout::nm_segment_bytes;
-use crate::stats::{Ctx, KernelStats};
+use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::OffsetLayout;
 use nm_core::sparsity::Nm;
 use nm_core::Result;
-use nm_isa::{Core, DecimateMode, InstrClass};
+use nm_isa::{Core, DecimateMode, InstrBlock, InstrClass, Memory};
 use nm_platform::Cluster;
 
 /// The `xDecimate` flavour for a pattern.
@@ -54,16 +55,76 @@ pub fn conv_sparse_isa(
     let seg_dup = nm_segment_bytes(job.nm, nz, OffsetLayout::Duplicated) as u32;
     let mode = decimate_mode(job.nm);
     let name = format!("conv-sparse-isa-{}", job.nm);
-    Ok(drive(name, ctx, &job.conv, cluster, |core, ctx, pos, n_patches, buf| {
-        for k in 0..geom.k {
-            core.outer_loop_iter();
-            core.alu_n(3);
-            core.hwloop_setup();
-            let wrow = job.conv.bufs.weights + (k * nz) as u32;
-            let krow = job.conv.bufs.offsets + k as u32 * seg_dup;
-            channel_sparse_isa(core, ctx, job, mode, pos, n_patches, buf, k, wrow, krow);
+    // Bulk fast path: decode every channel's duplicated offsets (entry
+    // 2b carries block b) once — reused by every output position pair.
+    let table = match ctx.path() {
+        ExecPath::Bulk(mem) => {
+            let offs = mem
+                .slice(job.conv.bufs.offsets, geom.k * seg_dup as usize)
+                .expect("scratchpad is zero-copy");
+            Some(decim_table(
+                offs,
+                geom.k,
+                seg_dup as usize,
+                nz,
+                job.nm.offset_bits(),
+                job.nm.m(),
+                0,
+                2,
+            ))
         }
-    }))
+        _ => None,
+    };
+    let (chunks, tail) = (nz / 4, nz % 4);
+    Ok(drive(
+        name,
+        ctx,
+        &job.conv,
+        cluster,
+        |core, ctx, pos, n_patches, buf| {
+            if let ExecPath::Bulk(mem) = ctx.path() {
+                let table = table.as_ref().expect("table built for the bulk path");
+                conv_pair_outputs(mem, &job.conv, nz, table, pos, n_patches, buf);
+                let np = n_patches as u64;
+                let per_channel =
+                    loop_scaffold(core.costs(), 3).then(channel_block(chunks, tail, np));
+                core.charge_block(&per_channel.repeat(geom.k as u64));
+            } else {
+                for k in 0..geom.k {
+                    core.outer_loop_iter();
+                    core.alu_n(3);
+                    core.hwloop_setup();
+                    let wrow = job.conv.bufs.weights + (k * nz) as u32;
+                    let krow = job.conv.bufs.offsets + k as u32 * seg_dup;
+                    channel_sparse_isa(core, ctx, job, mode, pos, n_patches, buf, k, wrow, krow);
+                }
+            }
+        },
+    ))
+}
+
+/// The accounting block of one `xDecimate` conv channel over `np`
+/// patches (the exact batched equivalent of the reference arm's charge
+/// sequence).
+fn channel_block(chunks: usize, tail: usize, np: u64) -> InstrBlock {
+    InstrBlock::new()
+        .xfu_clear(1)
+        .then(
+            InstrBlock::new()
+                .loads(2)
+                .xdecimate(8)
+                .sdotp(np)
+                .repeat(chunks as u64),
+        )
+        .then(InstrBlock::new().loads(u64::from(tail > 0)))
+        .then(
+            InstrBlock::new()
+                .loads(1)
+                .xdecimate(2)
+                .mac(np)
+                .repeat(tail as u64),
+        )
+        .then(InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(np))
 }
 
 /// One output channel × `n_patches` patches with `xDecimate`.
@@ -93,64 +154,99 @@ pub(crate) fn channel_sparse_isa(
     let entries_per_word = job.nm.offsets_per_word(); // 8 (4-bit) or 16 (2-bit)
     let np = n_patches as u64;
 
-    if let Some(mem) = ctx.mem() {
-        core.xdecimate_clear();
-        let vrow = wrow;
-        let mut acc = [0i32; 2];
-        for j in 0..chunks {
-            // Each chunk consumes 8 duplicated entries; for 1:4 one word
-            // holds 16 entries (two chunks) and is reloaded (the paper
-            // keeps the inner loop at 12 instructions for every format).
-            let word_off = 4 * ((8 * j) / entries_per_word) as u32;
-            let rs2 = core.lw(mem, seg + word_off);
-            let mut vb = [0u32; 2];
-            for _ in 0..4 {
-                for q in 0..2 {
-                    let p = q.min(n_patches - 1);
-                    vb[p] = core.xdecimate(mode, mem, buf + (p * plen) as u32, rs2, vb[p]);
+    match ctx.path() {
+        ExecPath::Bulk(mem) => {
+            let m = job.nm.m();
+            let bits = job.nm.offset_bits();
+            let mut outs = [0i8; 2];
+            {
+                let values = mem.slice(wrow, nz).expect("scratchpad is zero-copy");
+                // Duplicated stream: entries 2b and 2b + 1 both carry
+                // block b's offset — the csr walk of the reference's
+                // paired xDecimate executions reads 2b for buffer 0 and
+                // 2b + 1 for buffer 1, so entry 2b serves every patch.
+                let offs = mem
+                    .slice(seg, offsets_len(2 * nz, bits))
+                    .expect("scratchpad is zero-copy");
+                for (p, out) in outs.iter_mut().enumerate().take(n_patches) {
+                    let a = mem
+                        .slice(buf + (p * plen) as u32, plen)
+                        .expect("scratchpad is zero-copy");
+                    *out = job
+                        .conv
+                        .requant
+                        .apply(nm_gather_dot(values, a, offs, bits, m, 0, 2));
                 }
             }
-            let w = core.lw(mem, vrow + (4 * j) as u32);
-            for p in 0..n_patches {
-                acc[p] = core.sdotp(w, vb[p], acc[p]);
+            for (p, &out) in outs.iter().enumerate().take(n_patches) {
+                mem.store_i8(job.conv.bufs.output + ((pos + p) * geom.k + k) as u32, out);
             }
+            core.charge_block(&channel_block(chunks, tail, np));
         }
-        if tail > 0 {
-            let word_off = 4 * ((8 * chunks) / entries_per_word) as u32;
-            let rs2 = core.lw(mem, seg + word_off);
-            for t in 0..tail {
-                let idx = chunks * 4 + t;
-                let wv = core.lb(mem, vrow + idx as u32);
-                for q in 0..2 {
-                    let p = q.min(n_patches - 1);
-                    let lane = u32::from(core.xfu_csr() >> 1) & 0x3;
-                    let rd = core.xdecimate(mode, mem, buf + (p * plen) as u32, rs2, 0);
-                    if q < n_patches {
-                        let byte = ((rd >> (lane * 8)) & 0xFF) as u8 as i8;
-                        acc[p] = core.mac(i32::from(wv), i32::from(byte), acc[p]);
+        ExecPath::Reference(mem) => {
+            core.xdecimate_clear();
+            let vrow = wrow;
+            let mut acc = [0i32; 2];
+            for j in 0..chunks {
+                // Each chunk consumes 8 duplicated entries; for 1:4 one word
+                // holds 16 entries (two chunks) and is reloaded (the paper
+                // keeps the inner loop at 12 instructions for every format).
+                let word_off = 4 * ((8 * j) / entries_per_word) as u32;
+                let rs2 = core.lw(mem, seg + word_off);
+                let mut vb = [0u32; 2];
+                for _ in 0..4 {
+                    for q in 0..2 {
+                        let p = q.min(n_patches - 1);
+                        vb[p] = core.xdecimate(mode, mem, buf + (p * plen) as u32, rs2, vb[p]);
+                    }
+                }
+                let w = core.lw(mem, vrow + (4 * j) as u32);
+                for p in 0..n_patches {
+                    acc[p] = core.sdotp(w, vb[p], acc[p]);
+                }
+            }
+            if tail > 0 {
+                let word_off = 4 * ((8 * chunks) / entries_per_word) as u32;
+                let rs2 = core.lw(mem, seg + word_off);
+                for t in 0..tail {
+                    let idx = chunks * 4 + t;
+                    let wv = core.lb(mem, vrow + idx as u32);
+                    for q in 0..2 {
+                        let p = q.min(n_patches - 1);
+                        let lane = u32::from(core.xfu_csr() >> 1) & 0x3;
+                        let rd = core.xdecimate(mode, mem, buf + (p * plen) as u32, rs2, 0);
+                        if q < n_patches {
+                            let byte = ((rd >> (lane * 8)) & 0xFF) as u8 as i8;
+                            acc[p] = core.mac(i32::from(wv), i32::from(byte), acc[p]);
+                        }
                     }
                 }
             }
+            for (p, &a) in acc.iter().enumerate().take(n_patches) {
+                core.alu_n(EPILOGUE_ALU);
+                let out = job.conv.requant.apply(a);
+                core.sb(
+                    mem,
+                    job.conv.bufs.output + ((pos + p) * geom.k + k) as u32,
+                    out,
+                );
+            }
         }
-        for (p, &a) in acc.iter().enumerate().take(n_patches) {
-            core.alu_n(EPILOGUE_ALU);
-            let out = job.conv.requant.apply(a);
-            core.sb(mem, job.conv.bufs.output + ((pos + p) * geom.k + k) as u32, out);
+        ExecPath::Analytic => {
+            core.charge(InstrClass::Xfu, 1); // xDecimate.clear
+            core.charge(InstrClass::Load, chunks as u64 * 2); // offsets word + weight word
+            core.charge(InstrClass::Xfu, chunks as u64 * 8);
+            core.charge(InstrClass::SimdDotp, chunks as u64 * np);
+            if tail > 0 {
+                core.charge(InstrClass::Load, 1);
+            }
+            core.charge(InstrClass::Load, tail as u64); // weight bytes
+            core.charge(InstrClass::Xfu, tail as u64 * 2);
+            core.charge(InstrClass::Mac, tail as u64 * np);
+            core.add_macs((chunks * 4 + tail) as u64 * np);
+            core.charge(InstrClass::Alu, EPILOGUE_ALU * np);
+            core.charge(InstrClass::Store, np);
         }
-    } else {
-        core.charge(InstrClass::Xfu, 1); // xDecimate.clear
-        core.charge(InstrClass::Load, chunks as u64 * 2); // offsets word + weight word
-        core.charge(InstrClass::Xfu, chunks as u64 * 8);
-        core.charge(InstrClass::SimdDotp, chunks as u64 * np);
-        if tail > 0 {
-            core.charge(InstrClass::Load, 1);
-        }
-        core.charge(InstrClass::Load, tail as u64); // weight bytes
-        core.charge(InstrClass::Xfu, tail as u64 * 2);
-        core.charge(InstrClass::Mac, tail as u64 * np);
-        core.add_macs((chunks * 4 + tail) as u64 * np);
-        core.charge(InstrClass::Alu, EPILOGUE_ALU * np);
-        core.charge(InstrClass::Store, np);
     }
 }
 
@@ -166,17 +262,7 @@ mod tests {
     use nm_isa::{CostModel, Memory};
     use nm_platform::Scratchpad;
 
-    fn random_data(n: usize, seed: u64) -> Vec<i8> {
-        let mut state = seed | 1;
-        (0..n)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 255) as i8
-            })
-            .collect()
-    }
+    use crate::testdata::random_data;
 
     fn check(geom: ConvGeom, nm: Nm) {
         let input = random_data(geom.input_elems(), 21);
@@ -194,19 +280,30 @@ mod tests {
         let cluster = Cluster::new(4, CostModel::default());
         let mut l1 = Scratchpad::new("l1", 512 * 1024);
         let bufs = stage_conv_sparse(&mut l1, &geom, &input, &w, cluster.n_cores()).unwrap();
-        let job = SparseConvJob { conv: ConvJob { geom, requant: rq, bufs }, nm };
+        let job = SparseConvJob {
+            conv: ConvJob {
+                geom,
+                requant: rq,
+                bufs,
+            },
+            nm,
+        };
 
         let stats = {
             let mut ctx = Ctx::Mem(&mut l1);
             conv_sparse_isa(&mut ctx, &job, &cluster).unwrap()
         };
-        let got: Vec<i8> =
-            (0..geom.output_elems() as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+        let got: Vec<i8> = (0..geom.output_elems() as u32)
+            .map(|i| l1.load_i8(bufs.output + i))
+            .collect();
         assert_eq!(got, conv_ref(&geom, &input, &pruned, rq), "{nm} {geom:?}");
 
         let analytic = conv_sparse_isa(&mut Ctx::Analytic, &job, &cluster).unwrap();
         assert_eq!(stats.cycles(), analytic.cycles(), "{nm} {geom:?} cycles");
-        assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+        assert_eq!(
+            stats.cluster.total_instret(),
+            analytic.cluster.total_instret()
+        );
     }
 
     #[test]
@@ -219,11 +316,23 @@ mod tests {
     #[test]
     fn handles_tails_odd_positions_and_strides() {
         // nz = 9 per channel: 2 chunks + tail 1; odd output positions (5x5=25).
-        check(ConvGeom::square(8, 3, 5, 3, 1, 1).unwrap(), Nm::ONE_OF_EIGHT);
-        check(ConvGeom::square(16, 2, 7, 3, 2, 1).unwrap(), Nm::ONE_OF_FOUR);
-        check(ConvGeom::square(16, 5, 3, 1, 1, 0).unwrap(), Nm::ONE_OF_SIXTEEN);
+        check(
+            ConvGeom::square(8, 3, 5, 3, 1, 1).unwrap(),
+            Nm::ONE_OF_EIGHT,
+        );
+        check(
+            ConvGeom::square(16, 2, 7, 3, 2, 1).unwrap(),
+            Nm::ONE_OF_FOUR,
+        );
+        check(
+            ConvGeom::square(16, 5, 3, 1, 1, 0).unwrap(),
+            Nm::ONE_OF_SIXTEEN,
+        );
         // chunks odd for the 1:4 word-reuse path: nz = 12 -> 3 chunks.
-        check(ConvGeom::square(48, 2, 4, 1, 1, 0).unwrap(), Nm::ONE_OF_FOUR);
+        check(
+            ConvGeom::square(48, 2, 4, 1, 1, 0).unwrap(),
+            Nm::ONE_OF_FOUR,
+        );
     }
 
     /// Guard test: 12 inner instructions per chunk, regardless of format
@@ -235,7 +344,11 @@ mod tests {
             let g2 = ConvGeom::square(8 * nm.m(), 1, 2, 1, 1, 0).unwrap();
             let cluster = Cluster::new(1, CostModel::default());
             let job = |g| SparseConvJob {
-                conv: ConvJob { geom: g, requant: Requant::IDENTITY, bufs: Default::default() },
+                conv: ConvJob {
+                    geom: g,
+                    requant: Requant::IDENTITY,
+                    bufs: Default::default(),
+                },
                 nm,
             };
             let i1 = conv_sparse_isa(&mut Ctx::Analytic, &job(g1), &cluster)
@@ -259,13 +372,20 @@ mod tests {
             let geom = ConvGeom::square(nm.m() * 4, 8, 8, 3, 1, 1).unwrap();
             let cluster = Cluster::new(8, CostModel::default());
             let job = SparseConvJob {
-                conv: ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() },
+                conv: ConvJob {
+                    geom,
+                    requant: Requant::IDENTITY,
+                    bufs: Default::default(),
+                },
                 nm,
             };
             let sw = conv_sparse_sw(&mut Ctx::Analytic, &job, &cluster).unwrap();
             let isa = conv_sparse_isa(&mut Ctx::Analytic, &job, &cluster).unwrap();
             let speedup = isa.speedup_over(&sw);
-            assert!(speedup > 1.2 && speedup < 2.0, "{nm}: ISA speedup {speedup}");
+            assert!(
+                speedup > 1.2 && speedup < 2.0,
+                "{nm}: ISA speedup {speedup}"
+            );
         }
     }
 }

@@ -15,12 +15,13 @@
 //!   2-bit offsets arrive with a single byte load). Peak 0.35.
 
 use super::{drive, ConvJob, EPILOGUE_ALU};
+use crate::bulk::{conv_pair_outputs, decim_table, loop_scaffold, nm_gather_dot, offsets_len};
 use crate::layout::nm_segment_bytes;
-use crate::stats::{Ctx, KernelStats};
+use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::OffsetLayout;
 use nm_core::sparsity::Nm;
 use nm_core::{Error, Result};
-use nm_isa::{Core, InstrClass, Memory};
+use nm_isa::{Core, InstrBlock, InstrClass, Memory};
 use nm_platform::{Cluster, Scratchpad};
 
 /// A sparse convolution job: the dense job description plus the pattern.
@@ -73,16 +74,74 @@ pub fn conv_sparse_sw(
     let nz = job.nz_per_channel();
     let seg = nm_segment_bytes(job.nm, nz, OffsetLayout::Plain) as u32;
     let name = format!("conv-sparse-sw-{}", job.nm);
-    Ok(drive(name, ctx, &job.conv, cluster, |core, ctx, pos, n_patches, buf| {
-        for k in 0..geom.k {
-            core.outer_loop_iter();
-            core.alu_n(3);
-            core.hwloop_setup();
-            let wrow = job.conv.bufs.weights + (k * nz) as u32;
-            let krow = job.conv.bufs.offsets + k as u32 * seg;
-            channel_sparse_sw(core, ctx, job, pos, n_patches, buf, k, wrow, krow);
+    // Bulk fast path: decode every channel's offsets once — each table
+    // entry is reused by every output position pair.
+    let table = match ctx.path() {
+        ExecPath::Bulk(mem) => {
+            let offs = mem
+                .slice(job.conv.bufs.offsets, geom.k * seg as usize)
+                .expect("scratchpad is zero-copy");
+            Some(decim_table(
+                offs,
+                geom.k,
+                seg as usize,
+                nz,
+                job.nm.offset_bits(),
+                job.nm.m(),
+                0,
+                1,
+            ))
         }
-    }))
+        _ => None,
+    };
+    let bits = job.nm.offset_bits();
+    let (chunks, tail) = (nz / 4, nz % 4);
+    Ok(drive(
+        name,
+        ctx,
+        &job.conv,
+        cluster,
+        |core, ctx, pos, n_patches, buf| {
+            if let ExecPath::Bulk(mem) = ctx.path() {
+                let table = table.as_ref().expect("table built for the bulk path");
+                conv_pair_outputs(mem, &job.conv, nz, table, pos, n_patches, buf);
+                let np = n_patches as u64;
+                let per_channel =
+                    loop_scaffold(core.costs(), 3).then(channel_block(bits, chunks, tail, np));
+                core.charge_block(&per_channel.repeat(geom.k as u64));
+            } else {
+                for k in 0..geom.k {
+                    core.outer_loop_iter();
+                    core.alu_n(3);
+                    core.hwloop_setup();
+                    let wrow = job.conv.bufs.weights + (k * nz) as u32;
+                    let krow = job.conv.bufs.offsets + k as u32 * seg;
+                    channel_sparse_sw(core, ctx, job, pos, n_patches, buf, k, wrow, krow);
+                }
+            }
+        },
+    ))
+}
+
+/// The accounting block of one software-decimation conv channel over
+/// `np` patches (the exact batched equivalent of the reference arm's
+/// charge sequence).
+fn channel_block(bits: usize, chunks: usize, tail: usize, np: u64) -> InstrBlock {
+    let idx_alu = if bits == 4 { 8 } else { 9 };
+    InstrBlock::new()
+        .loads(2 + 4 * np)
+        .alu(idx_alu + 2)
+        .sdotp(np)
+        .repeat(chunks as u64)
+        .then(InstrBlock::new().loads_unstalled(u64::from(tail > 0)))
+        .then(
+            InstrBlock::new()
+                .alu(3)
+                .loads(1 + np)
+                .mac(np)
+                .repeat(tail as u64),
+        )
+        .then(InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(np))
 }
 
 /// One output channel of the software sparse kernel. `wrow` / `seg`
@@ -109,75 +168,104 @@ pub(crate) fn channel_sparse_sw(
     let (chunks, tail) = (nz / 4, nz % 4);
     let np = n_patches as u64;
 
-    if let Some(mem) = ctx.mem() {
-        let vrow = wrow;
-        let mut acc = [0i32; 2];
-        for j in 0..chunks {
-            // --- index computation ---
-            let mut offs = [0usize; 4];
-            if bits == 4 {
-                let word = core.lw(mem, seg + (2 * j) as u32); // 4 nibbles in the low half
-                for (i, o) in offs.iter_mut().enumerate() {
-                    core.alu_n(2); // shift + mask
-                    *o = ((word >> (4 * i)) & 0xF) as usize;
+    match ctx.path() {
+        ExecPath::Bulk(mem) => {
+            let mut outs = [0i8; 2];
+            {
+                let values = mem.slice(wrow, nz).expect("scratchpad is zero-copy");
+                let offs = mem
+                    .slice(seg, offsets_len(nz, bits))
+                    .expect("scratchpad is zero-copy");
+                for (p, out) in outs.iter_mut().enumerate().take(n_patches) {
+                    let a = mem
+                        .slice(buf + (p * plen) as u32, plen)
+                        .expect("scratchpad is zero-copy");
+                    *out = job
+                        .conv
+                        .requant
+                        .apply(nm_gather_dot(values, a, offs, bits, m, 0, 1));
                 }
-            } else {
-                let byte = core.lb(mem, seg + j as u32) as u8;
-                for (i, o) in offs.iter_mut().enumerate() {
-                    core.alu_n(2);
-                    *o = usize::from((byte >> (2 * i)) & 0x3);
-                }
-                core.alu_n(1); // extra masking (Sec. 4.1.2: "2 more maskings, one less load")
             }
-            // --- decimated activation loads ---
-            let mut vb = [0u32; 2];
-            for (i, &o) in offs.iter().enumerate() {
+            for (p, &out) in outs.iter().enumerate().take(n_patches) {
+                mem.store_i8(job.conv.bufs.output + ((pos + p) * geom.k + k) as u32, out);
+            }
+            core.charge_block(&channel_block(bits, chunks, tail, np));
+        }
+        ExecPath::Reference(mem) => {
+            let vrow = wrow;
+            let mut acc = [0i32; 2];
+            for j in 0..chunks {
+                // --- index computation ---
+                let mut offs = [0usize; 4];
+                if bits == 4 {
+                    let word = core.lw(mem, seg + (2 * j) as u32); // 4 nibbles in the low half
+                    for (i, o) in offs.iter_mut().enumerate() {
+                        core.alu_n(2); // shift + mask
+                        *o = ((word >> (4 * i)) & 0xF) as usize;
+                    }
+                } else {
+                    let byte = core.lb(mem, seg + j as u32) as u8;
+                    for (i, o) in offs.iter_mut().enumerate() {
+                        core.alu_n(2);
+                        *o = usize::from((byte >> (2 * i)) & 0x3);
+                    }
+                    core.alu_n(1); // extra masking (Sec. 4.1.2: "2 more maskings, one less load")
+                }
+                // --- decimated activation loads ---
+                let mut vb = [0u32; 2];
+                for (i, &o) in offs.iter().enumerate() {
+                    for p in 0..n_patches {
+                        let addr = buf + (p * plen + (4 * j + i) * m + o) as u32;
+                        vb[p] = core.lb_lane(mem, addr, vb[p], i as u32);
+                    }
+                }
+                core.alu_n(2); // im2col pointer updates
+                               // --- weights + dot products ---
+                let w = core.lw(mem, vrow + (4 * j) as u32);
                 for p in 0..n_patches {
-                    let addr = buf + (p * plen + (4 * j + i) * m + o) as u32;
-                    vb[p] = core.lb_lane(mem, addr, vb[p], i as u32);
+                    acc[p] = core.sdotp(w, vb[p], acc[p]);
                 }
             }
-            core.alu_n(2); // im2col pointer updates
-            // --- weights + dot products ---
-            let w = core.lw(mem, vrow + (4 * j) as u32);
-            for p in 0..n_patches {
-                acc[p] = core.sdotp(w, vb[p], acc[p]);
+            if tail > 0 {
+                core.charge(InstrClass::Load, 1); // final (partial) offsets fetch
+            }
+            for t in 0..tail {
+                let idx = chunks * 4 + t;
+                core.alu_n(3);
+                let o = read_offset(mem, seg, bits, idx);
+                let wv = core.lb(mem, vrow + idx as u32);
+                for (p, a) in acc.iter_mut().enumerate().take(n_patches) {
+                    let byte = core.lb(mem, buf + (p * plen + idx * m + o) as u32);
+                    *a = core.mac(i32::from(wv), i32::from(byte), *a);
+                }
+            }
+            for (p, &a) in acc.iter().enumerate().take(n_patches) {
+                core.alu_n(EPILOGUE_ALU);
+                let out = job.conv.requant.apply(a);
+                core.sb(
+                    mem,
+                    job.conv.bufs.output + ((pos + p) * geom.k + k) as u32,
+                    out,
+                );
             }
         }
-        if tail > 0 {
-            core.charge(InstrClass::Load, 1); // final (partial) offsets fetch
-        }
-        for t in 0..tail {
-            let idx = chunks * 4 + t;
-            core.alu_n(3);
-            let o = read_offset(mem, seg, bits, idx);
-            let wv = core.lb(mem, vrow + idx as u32);
-            for (p, a) in acc.iter_mut().enumerate().take(n_patches) {
-                let byte = core.lb(mem, buf + (p * plen + idx * m + o) as u32);
-                *a = core.mac(i32::from(wv), i32::from(byte), *a);
+        ExecPath::Analytic => {
+            let (idx_alu, idx_loads) = if bits == 4 { (8, 1) } else { (9, 1) };
+            core.charge(InstrClass::Load, chunks as u64 * idx_loads);
+            core.charge(InstrClass::Alu, chunks as u64 * (idx_alu + 2));
+            core.charge(InstrClass::Load, chunks as u64 * 4 * np); // decimated byte loads
+            core.charge(InstrClass::Load, chunks as u64); // weight words
+            core.charge(InstrClass::SimdDotp, chunks as u64 * np);
+            if tail > 0 {
+                core.charge(InstrClass::Load, 1);
             }
+            core.charge(InstrClass::Alu, tail as u64 * 3);
+            core.charge(InstrClass::Load, tail as u64 * (1 + np));
+            core.charge(InstrClass::Mac, tail as u64 * np);
+            core.add_macs((chunks * 4 + tail) as u64 * np);
+            core.charge(InstrClass::Alu, EPILOGUE_ALU * np);
+            core.charge(InstrClass::Store, np);
         }
-        for (p, &a) in acc.iter().enumerate().take(n_patches) {
-            core.alu_n(EPILOGUE_ALU);
-            let out = job.conv.requant.apply(a);
-            core.sb(mem, job.conv.bufs.output + ((pos + p) * geom.k + k) as u32, out);
-        }
-    } else {
-        let (idx_alu, idx_loads) = if bits == 4 { (8, 1) } else { (9, 1) };
-        core.charge(InstrClass::Load, chunks as u64 * idx_loads);
-        core.charge(InstrClass::Alu, chunks as u64 * (idx_alu + 2));
-        core.charge(InstrClass::Load, chunks as u64 * 4 * np); // decimated byte loads
-        core.charge(InstrClass::Load, chunks as u64); // weight words
-        core.charge(InstrClass::SimdDotp, chunks as u64 * np);
-        if tail > 0 {
-            core.charge(InstrClass::Load, 1);
-        }
-        core.charge(InstrClass::Alu, tail as u64 * 3);
-        core.charge(InstrClass::Load, tail as u64 * (1 + np));
-        core.charge(InstrClass::Mac, tail as u64 * np);
-        core.add_macs((chunks * 4 + tail) as u64 * np);
-        core.charge(InstrClass::Alu, EPILOGUE_ALU * np);
-        core.charge(InstrClass::Store, np);
     }
 }
 
@@ -199,17 +287,7 @@ mod tests {
     use nm_core::ConvGeom;
     use nm_isa::{CostModel, Memory};
 
-    fn random_data(n: usize, seed: u64) -> Vec<i8> {
-        let mut state = seed | 1;
-        (0..n)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 255) as i8
-            })
-            .collect()
-    }
+    use crate::testdata::random_data;
 
     fn check(geom: ConvGeom, nm: Nm) {
         let input = random_data(geom.input_elems(), 3);
@@ -222,19 +300,30 @@ mod tests {
         let cluster = Cluster::new(4, CostModel::default());
         let mut l1 = Scratchpad::new("l1", 512 * 1024);
         let bufs = stage_conv_sparse(&mut l1, &geom, &input, &w, cluster.n_cores()).unwrap();
-        let job = SparseConvJob { conv: ConvJob { geom, requant: rq, bufs }, nm };
+        let job = SparseConvJob {
+            conv: ConvJob {
+                geom,
+                requant: rq,
+                bufs,
+            },
+            nm,
+        };
 
         let stats = {
             let mut ctx = Ctx::Mem(&mut l1);
             conv_sparse_sw(&mut ctx, &job, &cluster).unwrap()
         };
-        let got: Vec<i8> =
-            (0..geom.output_elems() as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+        let got: Vec<i8> = (0..geom.output_elems() as u32)
+            .map(|i| l1.load_i8(bufs.output + i))
+            .collect();
         assert_eq!(got, conv_ref(&geom, &input, &pruned, rq), "{nm} {geom:?}");
 
         let analytic = conv_sparse_sw(&mut Ctx::Analytic, &job, &cluster).unwrap();
         assert_eq!(stats.cycles(), analytic.cycles(), "{nm} {geom:?} cycles");
-        assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+        assert_eq!(
+            stats.cluster.total_instret(),
+            analytic.cluster.total_instret()
+        );
         assert_eq!(stats.cluster.total_macs(), analytic.cluster.total_macs());
     }
 
@@ -248,22 +337,39 @@ mod tests {
     #[test]
     fn handles_tails_and_strides() {
         // 1:8 with C=8: nz/channel = 9 -> 2 chunks + tail of 1.
-        check(ConvGeom::square(8, 3, 5, 3, 1, 1).unwrap(), Nm::ONE_OF_EIGHT);
+        check(
+            ConvGeom::square(8, 3, 5, 3, 1, 1).unwrap(),
+            Nm::ONE_OF_EIGHT,
+        );
         // strided, odd output count
-        check(ConvGeom::square(16, 2, 7, 3, 2, 1).unwrap(), Nm::ONE_OF_FOUR);
+        check(
+            ConvGeom::square(16, 2, 7, 3, 2, 1).unwrap(),
+            Nm::ONE_OF_FOUR,
+        );
         // pointwise 1:16
-        check(ConvGeom::square(16, 5, 3, 1, 1, 0).unwrap(), Nm::ONE_OF_SIXTEEN);
+        check(
+            ConvGeom::square(16, 5, 3, 1, 1, 0).unwrap(),
+            Nm::ONE_OF_SIXTEEN,
+        );
     }
 
     #[test]
     fn rejects_unsupported_patterns() {
         let geom = ConvGeom::square(8, 2, 4, 3, 1, 1).unwrap();
         let job = SparseConvJob {
-            conv: ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() },
+            conv: ConvJob {
+                geom,
+                requant: Requant::IDENTITY,
+                bufs: Default::default(),
+            },
             nm: Nm::new(2, 4).unwrap(),
         };
         assert!(matches!(
-            conv_sparse_sw(&mut Ctx::Analytic, &job, &Cluster::new(1, CostModel::default())),
+            conv_sparse_sw(
+                &mut Ctx::Analytic,
+                &job,
+                &Cluster::new(1, CostModel::default())
+            ),
             Err(Error::Unsupported(_))
         ));
     }
@@ -272,11 +378,19 @@ mod tests {
     fn rejects_non_multiple_patch_len() {
         let geom = ConvGeom::square(4, 2, 4, 3, 1, 1).unwrap(); // patch 36, M=8
         let job = SparseConvJob {
-            conv: ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() },
+            conv: ConvJob {
+                geom,
+                requant: Requant::IDENTITY,
+                bufs: Default::default(),
+            },
             nm: Nm::ONE_OF_EIGHT,
         };
         assert!(matches!(
-            conv_sparse_sw(&mut Ctx::Analytic, &job, &Cluster::new(1, CostModel::default())),
+            conv_sparse_sw(
+                &mut Ctx::Analytic,
+                &job,
+                &Cluster::new(1, CostModel::default())
+            ),
             Err(Error::ShapeMismatch(_))
         ));
     }
@@ -286,9 +400,11 @@ mod tests {
     /// patches).
     #[test]
     fn inner_chunk_budget_matches_paper() {
-        for (nm, expect) in
-            [(Nm::ONE_OF_EIGHT, 22), (Nm::ONE_OF_SIXTEEN, 22), (Nm::ONE_OF_FOUR, 23)]
-        {
+        for (nm, expect) in [
+            (Nm::ONE_OF_EIGHT, 22),
+            (Nm::ONE_OF_SIXTEEN, 22),
+            (Nm::ONE_OF_FOUR, 23),
+        ] {
             // Two geometries differing by exactly one inner chunk
             // (pointwise, so im2col cost scales linearly with C and can
             // be subtracted).
@@ -296,7 +412,11 @@ mod tests {
             let g2 = ConvGeom::square(8 * nm.m(), 1, 2, 1, 1, 0).unwrap(); // 2 chunks
             let cluster = Cluster::new(1, CostModel::default());
             let job = |g| SparseConvJob {
-                conv: ConvJob { geom: g, requant: Requant::IDENTITY, bufs: Default::default() },
+                conv: ConvJob {
+                    geom: g,
+                    requant: Requant::IDENTITY,
+                    bufs: Default::default(),
+                },
                 nm,
             };
             let i1 = conv_sparse_sw(&mut Ctx::Analytic, &job(g1), &cluster)

@@ -4,9 +4,10 @@
 //! for 8 MACs (peak 1.6 MACs/instruction/core).
 
 use super::{run_fc, FcJob, EPILOGUE_ALU};
-use crate::stats::{Ctx, KernelStats};
+use crate::bulk::{dense_dot, loop_scaffold, write_out};
+use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::Result;
-use nm_isa::{Core, InstrClass};
+use nm_isa::{Core, InstrBlock, InstrClass, Memory};
 use nm_platform::{chunk_range, Cluster};
 
 /// Runs the dense 1×2 FC kernel (multicore over K).
@@ -16,19 +17,67 @@ use nm_platform::{chunk_range, Cluster};
 /// the sparse kernels.
 pub fn fc_dense(ctx: &mut Ctx<'_>, job: &FcJob, cluster: &Cluster) -> Result<KernelStats> {
     let geom = job.geom;
-    Ok(run_fc("fc-dense-1x2".into(), &geom, cluster, |core_id, core| {
-        let range = chunk_range(geom.k, cluster.n_cores(), core_id);
-        let mut k = range.start;
-        while k < range.end {
-            let nk = (range.end - k).min(2);
-            core.outer_loop_iter();
-            core.alu_n(2);
-            core.hwloop_setup();
-            let wrow = job.bufs.weights + (k * geom.c) as u32;
-            channels(core, ctx, job, k, wrow, nk);
-            k += nk;
-        }
-    }))
+    Ok(run_fc(
+        "fc-dense-1x2".into(),
+        &geom,
+        cluster,
+        |core_id, core| {
+            let range = chunk_range(geom.k, cluster.n_cores(), core_id);
+            if let ExecPath::Bulk(mem) = ctx.path() {
+                // Driver-level fast path: one repeated accounting block per
+                // core (channel pairs plus an odd single), slices once.
+                let c = geom.c;
+                let out0 = job.bufs.output + range.start as u32;
+                {
+                    let input = mem
+                        .slice(job.bufs.input, c)
+                        .expect("scratchpad is zero-copy");
+                    let weights = mem
+                        .slice(job.bufs.weights, geom.k * c)
+                        .expect("scratchpad is zero-copy");
+                    let outs: Vec<i8> = range
+                        .clone()
+                        .map(|k| {
+                            job.requant
+                                .apply(dense_dot(&weights[k * c..(k + 1) * c], input))
+                        })
+                        .collect();
+                    write_out(mem, out0, &outs);
+                }
+                let (chunks, tail) = (c / 4, c % 4);
+                let n_pairs = (range.len() / 2) as u64;
+                let odd = (range.len() % 2) as u64;
+                let scaffold = loop_scaffold(core.costs(), 2);
+                let block = scaffold
+                    .then(channels_block(chunks, tail, 2))
+                    .repeat(n_pairs)
+                    .then(scaffold.then(channels_block(chunks, tail, 1)).repeat(odd));
+                core.charge_block(&block);
+            } else {
+                let mut k = range.start;
+                while k < range.end {
+                    let nk = (range.end - k).min(2);
+                    core.outer_loop_iter();
+                    core.alu_n(2);
+                    core.hwloop_setup();
+                    let wrow = job.bufs.weights + (k * geom.c) as u32;
+                    channels(core, ctx, job, k, wrow, nk);
+                    k += nk;
+                }
+            }
+        },
+    ))
+}
+
+/// The accounting block of `nk` dense FC channels (the exact batched
+/// equivalent of the reference arm's charge sequence).
+fn channels_block(chunks: usize, tail: usize, nk: u64) -> InstrBlock {
+    InstrBlock::new()
+        .loads(nk + 1)
+        .sdotp(nk)
+        .repeat(chunks as u64)
+        .then(InstrBlock::new().loads(nk + 1).mac(nk).repeat(tail as u64))
+        .then(InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(nk))
 }
 
 /// `nk` (1 or 2) output channels of the dense kernel. `wrow` addresses
@@ -46,39 +95,62 @@ pub(crate) fn channels(
     let c = job.geom.c;
     let (chunks, tail) = (c / 4, c % 4);
     let nku = nk as u64;
-    if let Some(mem) = ctx.mem() {
-        let mut acc = [0i32; 2];
-        for j in 0..chunks {
-            let mut w = [0u32; 2];
-            for (q, wq) in w.iter_mut().enumerate().take(nk) {
-                *wq = core.lw(mem, wrow + (q * c + 4 * j) as u32);
+    match ctx.path() {
+        ExecPath::Bulk(mem) => {
+            // Outputs from zero-copy slices; one accounting call for the
+            // whole channel group.
+            let mut outs = [0i8; 2];
+            {
+                let input = mem
+                    .slice(job.bufs.input, c)
+                    .expect("scratchpad is zero-copy");
+                for (q, out) in outs.iter_mut().enumerate().take(nk) {
+                    let w = mem
+                        .slice(wrow + (q * c) as u32, c)
+                        .expect("scratchpad is zero-copy");
+                    *out = job.requant.apply(dense_dot(w, input));
+                }
             }
-            let a = core.lw(mem, job.bufs.input + (4 * j) as u32);
-            for q in 0..nk {
-                acc[q] = core.sdotp(w[q], a, acc[q]);
+            for (q, &out) in outs.iter().enumerate().take(nk) {
+                mem.store_i8(job.bufs.output + (k + q) as u32, out);
+            }
+            core.charge_block(&channels_block(chunks, tail, nku));
+        }
+        ExecPath::Reference(mem) => {
+            let mut acc = [0i32; 2];
+            for j in 0..chunks {
+                let mut w = [0u32; 2];
+                for (q, wq) in w.iter_mut().enumerate().take(nk) {
+                    *wq = core.lw(mem, wrow + (q * c + 4 * j) as u32);
+                }
+                let a = core.lw(mem, job.bufs.input + (4 * j) as u32);
+                for q in 0..nk {
+                    acc[q] = core.sdotp(w[q], a, acc[q]);
+                }
+            }
+            for t in 0..tail {
+                let idx = (chunks * 4 + t) as u32;
+                let a = core.lb(mem, job.bufs.input + idx);
+                for (q, accq) in acc.iter_mut().enumerate().take(nk) {
+                    let wv = core.lb(mem, wrow + (q * c) as u32 + idx);
+                    *accq = core.mac(i32::from(wv), i32::from(a), *accq);
+                }
+            }
+            for (q, &a) in acc.iter().enumerate().take(nk) {
+                core.alu_n(EPILOGUE_ALU);
+                let out = job.requant.apply(a);
+                core.sb(mem, job.bufs.output + (k + q) as u32, out);
             }
         }
-        for t in 0..tail {
-            let idx = (chunks * 4 + t) as u32;
-            let a = core.lb(mem, job.bufs.input + idx);
-            for (q, accq) in acc.iter_mut().enumerate().take(nk) {
-                let wv = core.lb(mem, wrow + (q * c) as u32 + idx);
-                *accq = core.mac(i32::from(wv), i32::from(a), *accq);
-            }
+        ExecPath::Analytic => {
+            core.charge(InstrClass::Load, chunks as u64 * (nku + 1));
+            core.charge(InstrClass::SimdDotp, chunks as u64 * nku);
+            core.charge(InstrClass::Load, tail as u64 * (nku + 1));
+            core.charge(InstrClass::Mac, tail as u64 * nku);
+            core.add_macs((chunks * 4 + tail) as u64 * nku);
+            core.charge(InstrClass::Alu, EPILOGUE_ALU * nku);
+            core.charge(InstrClass::Store, nku);
         }
-        for (q, &a) in acc.iter().enumerate().take(nk) {
-            core.alu_n(EPILOGUE_ALU);
-            let out = job.requant.apply(a);
-            core.sb(mem, job.bufs.output + (k + q) as u32, out);
-        }
-    } else {
-        core.charge(InstrClass::Load, chunks as u64 * (nku + 1));
-        core.charge(InstrClass::SimdDotp, chunks as u64 * nku);
-        core.charge(InstrClass::Load, tail as u64 * (nku + 1));
-        core.charge(InstrClass::Mac, tail as u64 * nku);
-        core.add_macs((chunks * 4 + tail) as u64 * nku);
-        core.charge(InstrClass::Alu, EPILOGUE_ALU * nku);
-        core.charge(InstrClass::Store, nku);
     }
 }
 
@@ -92,17 +164,7 @@ mod tests {
     use nm_isa::{CostModel, Memory};
     use nm_platform::Scratchpad;
 
-    fn random_data(n: usize, seed: u64) -> Vec<i8> {
-        let mut state = seed | 1;
-        (0..n)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 255) as i8
-            })
-            .collect()
-    }
+    use crate::testdata::random_data;
 
     fn check(geom: FcGeom) {
         let input = random_data(geom.c, 3);
@@ -111,17 +173,26 @@ mod tests {
         let cluster = Cluster::new(4, CostModel::default());
         let mut l1 = Scratchpad::new("l1", 512 * 1024);
         let bufs = stage_fc_dense(&mut l1, &geom, &input, &weights).unwrap();
-        let job = FcJob { geom, requant: rq, bufs };
+        let job = FcJob {
+            geom,
+            requant: rq,
+            bufs,
+        };
         let stats = {
             let mut ctx = Ctx::Mem(&mut l1);
             fc_dense(&mut ctx, &job, &cluster).unwrap()
         };
-        let got: Vec<i8> = (0..geom.k as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+        let got: Vec<i8> = (0..geom.k as u32)
+            .map(|i| l1.load_i8(bufs.output + i))
+            .collect();
         assert_eq!(got, fc_ref(&geom, &input, &weights, rq), "{geom:?}");
 
         let analytic = fc_dense(&mut Ctx::Analytic, &job, &cluster).unwrap();
         assert_eq!(stats.cycles(), analytic.cycles());
-        assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+        assert_eq!(
+            stats.cluster.total_instret(),
+            analytic.cluster.total_instret()
+        );
         assert_eq!(stats.cluster.total_macs(), analytic.cluster.total_macs());
     }
 
@@ -142,8 +213,14 @@ mod tests {
             requant: Requant::IDENTITY,
             bufs: Default::default(),
         };
-        let i1 = fc_dense(&mut Ctx::Analytic, &job(4), &cluster).unwrap().cluster.total_instret();
-        let i2 = fc_dense(&mut Ctx::Analytic, &job(8), &cluster).unwrap().cluster.total_instret();
+        let i1 = fc_dense(&mut Ctx::Analytic, &job(4), &cluster)
+            .unwrap()
+            .cluster
+            .total_instret();
+        let i2 = fc_dense(&mut Ctx::Analytic, &job(8), &cluster)
+            .unwrap()
+            .cluster
+            .total_instret();
         assert_eq!(i2 - i1, 5);
     }
 }

@@ -44,7 +44,12 @@ pub struct ChannelFcJob {
 impl ChannelFcJob {
     /// Creates an analytic-mode job (no L1 addresses).
     pub fn new(fc: FcJob, patterns: Vec<Option<Nm>>) -> Self {
-        ChannelFcJob { fc, patterns, row_values: Vec::new(), row_offsets: Vec::new() }
+        ChannelFcJob {
+            fc,
+            patterns,
+            row_values: Vec::new(),
+            row_offsets: Vec::new(),
+        }
     }
 
     fn validate(&self) -> Result<()> {
@@ -97,34 +102,43 @@ pub fn fc_channel_mixed(
 ) -> Result<KernelStats> {
     job.validate()?;
     let geom = job.fc.geom;
-    Ok(run_fc("fc-channel-mixed-sw".into(), &geom, cluster, |core_id, core| {
-        let range = chunk_range(geom.k, cluster.n_cores(), core_id);
-        let mut k = range.start;
-        while k < range.end {
-            match job.patterns[k] {
-                None => {
-                    // Pair adjacent dense channels: their rows are
-                    // contiguous, so the 1x2 dense loop applies.
-                    let nk = if k + 1 < range.end && job.patterns[k + 1].is_none() { 2 } else { 1 };
-                    core.outer_loop_iter();
-                    core.alu_n(2);
-                    core.hwloop_setup();
-                    let (wrow, _) = job.row_addr(k);
-                    dense_channels(core, ctx, &job.fc, k, wrow, nk);
-                    k += nk;
-                }
-                Some(nm) => {
-                    core.outer_loop_iter();
-                    core.alu_n(3);
-                    core.hwloop_setup();
-                    let (wrow, seg) = job.row_addr(k);
-                    let sparse = SparseFcJob { fc: job.fc, nm };
-                    sparse_channel(core, ctx, &sparse, k, wrow, seg);
-                    k += 1;
+    Ok(run_fc(
+        "fc-channel-mixed-sw".into(),
+        &geom,
+        cluster,
+        |core_id, core| {
+            let range = chunk_range(geom.k, cluster.n_cores(), core_id);
+            let mut k = range.start;
+            while k < range.end {
+                match job.patterns[k] {
+                    None => {
+                        // Pair adjacent dense channels: their rows are
+                        // contiguous, so the 1x2 dense loop applies.
+                        let nk = if k + 1 < range.end && job.patterns[k + 1].is_none() {
+                            2
+                        } else {
+                            1
+                        };
+                        core.outer_loop_iter();
+                        core.alu_n(2);
+                        core.hwloop_setup();
+                        let (wrow, _) = job.row_addr(k);
+                        dense_channels(core, ctx, &job.fc, k, wrow, nk);
+                        k += nk;
+                    }
+                    Some(nm) => {
+                        core.outer_loop_iter();
+                        core.alu_n(3);
+                        core.hwloop_setup();
+                        let (wrow, seg) = job.row_addr(k);
+                        let sparse = SparseFcJob { fc: job.fc, nm };
+                        sparse_channel(core, ctx, &sparse, k, wrow, seg);
+                        k += 1;
+                    }
                 }
             }
-        }
-    }))
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -140,17 +154,7 @@ mod tests {
     use nm_isa::{CostModel, Memory};
     use nm_platform::Scratchpad;
 
-    fn random_data(n: usize, seed: u64) -> Vec<i8> {
-        let mut state = seed | 1;
-        (0..n)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 255) as i8
-            })
-            .collect()
-    }
+    use crate::testdata::random_data;
 
     fn cycle_patterns(k: usize, ladder: &[Option<Nm>]) -> Vec<Option<Nm>> {
         (0..k).map(|i| ladder[i % ladder.len()]).collect()
@@ -174,7 +178,11 @@ mod tests {
         let (bufs, row_values, row_offsets) =
             stage_fc_channelwise(&mut l1, &geom, &input, &w).unwrap();
         let job = ChannelFcJob {
-            fc: FcJob { geom, requant: rq, bufs },
+            fc: FcJob {
+                geom,
+                requant: rq,
+                bufs,
+            },
             patterns,
             row_values,
             row_offsets,
@@ -183,18 +191,28 @@ mod tests {
             let mut ctx = Ctx::Mem(&mut l1);
             fc_channel_mixed(&mut ctx, &job, &cluster).unwrap()
         };
-        let got: Vec<i8> = (0..geom.k as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+        let got: Vec<i8> = (0..geom.k as u32)
+            .map(|i| l1.load_i8(bufs.output + i))
+            .collect();
         assert_eq!(got, fc_ref(&geom, &input, &pruned, rq), "{geom:?}");
 
         let analytic = fc_channel_mixed(&mut Ctx::Analytic, &job, &cluster).unwrap();
         assert_eq!(stats.cycles(), analytic.cycles(), "{geom:?} cycles");
-        assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+        assert_eq!(
+            stats.cluster.total_instret(),
+            analytic.cluster.total_instret()
+        );
     }
 
     #[test]
     fn mixed_rows_match_reference() {
-        let ladder =
-            [None, Some(Nm::ONE_OF_FOUR), None, Some(Nm::ONE_OF_EIGHT), Some(Nm::ONE_OF_SIXTEEN)];
+        let ladder = [
+            None,
+            Some(Nm::ONE_OF_FOUR),
+            None,
+            Some(Nm::ONE_OF_EIGHT),
+            Some(Nm::ONE_OF_SIXTEEN),
+        ];
         check(FcGeom::new(64, 10).unwrap(), cycle_patterns(10, &ladder));
         // Tails: c = 80 gives nz with remainders at every pattern.
         check(FcGeom::new(80, 7).unwrap(), cycle_patterns(7, &ladder));
@@ -204,7 +222,11 @@ mod tests {
     fn all_dense_equals_dense_kernel() {
         let geom = FcGeom::new(64, 11).unwrap(); // odd K exercises the 1-wide tail
         let cluster = Cluster::new(4, CostModel::default());
-        let fc = FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let fc = FcJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let mixed = ChannelFcJob::new(fc, vec![None; geom.k]);
         let a = fc_channel_mixed(&mut Ctx::Analytic, &mixed, &cluster).unwrap();
         let b = fc_dense(&mut Ctx::Analytic, &fc, &cluster).unwrap();
@@ -217,7 +239,11 @@ mod tests {
         for nm in Nm::KERNEL_PATTERNS {
             let geom = FcGeom::new(nm.m() * 8, 9).unwrap();
             let cluster = Cluster::new(4, CostModel::default());
-            let fc = FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+            let fc = FcJob {
+                geom,
+                requant: Requant::IDENTITY,
+                bufs: Default::default(),
+            };
             let mixed = ChannelFcJob::new(fc, vec![Some(nm); geom.k]);
             let a = fc_channel_mixed(&mut Ctx::Analytic, &mixed, &cluster).unwrap();
             let b = fc_sparse_sw(&mut Ctx::Analytic, &SparseFcJob { fc, nm }, &cluster).unwrap();
@@ -228,7 +254,11 @@ mod tests {
     #[test]
     fn rejects_wrong_pattern_count_and_bad_shapes() {
         let geom = FcGeom::new(32, 4).unwrap();
-        let fc = FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let fc = FcJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let cluster = Cluster::new(1, CostModel::default());
         let short = ChannelFcJob::new(fc, vec![None; 3]);
         assert!(matches!(
@@ -236,7 +266,11 @@ mod tests {
             Err(Error::ShapeMismatch(_))
         ));
         let geom = FcGeom::new(12, 2).unwrap(); // 12 % 8 != 0
-        let fc = FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let fc = FcJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let bad = ChannelFcJob::new(fc, vec![None, Some(Nm::ONE_OF_EIGHT)]);
         assert!(matches!(
             fc_channel_mixed(&mut Ctx::Analytic, &bad, &cluster),

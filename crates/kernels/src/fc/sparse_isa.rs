@@ -17,12 +17,13 @@
 
 use super::sparse_sw::SparseFcJob;
 use super::{run_fc, EPILOGUE_ALU};
+use crate::bulk::{gather_dot2_pair, loop_scaffold, nm_gather_dot, offsets_len, write_out};
 use crate::conv::sparse_isa::decimate_mode;
 use crate::layout::nm_segment_bytes;
-use crate::stats::{Ctx, KernelStats};
+use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::OffsetLayout;
 use nm_core::{Error, Result};
-use nm_isa::{Core, DecimateMode, InstrClass};
+use nm_isa::{Core, DecimateMode, InstrBlock, InstrClass, Memory};
 use nm_platform::{chunk_range, Cluster};
 
 /// Runs the ISA-extended sparse FC kernel. Weights must be staged in the
@@ -52,13 +53,76 @@ pub fn fc_sparse_isa(
     let n_pairs = geom.k / 2;
     Ok(run_fc(name, &geom, cluster, |core_id, core| {
         let range = chunk_range(n_pairs, cluster.n_cores(), core_id);
-        for pair in range {
-            core.outer_loop_iter();
-            core.alu_n(4);
-            core.hwloop_setup();
-            channel_pair(core, ctx, job, mode, pair, seg);
+        if let ExecPath::Bulk(mem) = ctx.path() {
+            // Driver-level fast path: uniform channel pairs, one repeated
+            // accounting block per core, operand slices taken once.
+            let m = job.nm.m();
+            let bits = job.nm.offset_bits();
+            let nz = job.nz_per_channel();
+            let pairs = range.len() as u64;
+            let out0 = job.fc.bufs.output + (2 * range.start) as u32;
+            {
+                let input = mem
+                    .slice(job.fc.bufs.input, geom.c)
+                    .expect("scratchpad is zero-copy");
+                let values = mem
+                    .slice(job.fc.bufs.weights, geom.k * nz)
+                    .expect("scratchpad is zero-copy");
+                let offs = mem
+                    .slice(job.fc.bufs.offsets, n_pairs * seg as usize)
+                    .expect("scratchpad is zero-copy");
+                let outs: Vec<i8> = range
+                    .clone()
+                    .flat_map(|pair| {
+                        let k = 2 * pair;
+                        let (a0, a1) = gather_dot2_pair(
+                            &values[k * nz..(k + 1) * nz],
+                            &values[(k + 1) * nz..(k + 2) * nz],
+                            input,
+                            &offs[pair * seg as usize..],
+                            bits,
+                            m,
+                        );
+                        [job.fc.requant.apply(a0), job.fc.requant.apply(a1)]
+                    })
+                    .collect();
+                write_out(mem, out0, &outs);
+            }
+            let (chunks, tail) = (nz / 4, nz % 4);
+            let per_pair = loop_scaffold(core.costs(), 4).then(pair_block(chunks, tail));
+            core.charge_block(&per_pair.repeat(pairs));
+        } else {
+            for pair in range {
+                core.outer_loop_iter();
+                core.alu_n(4);
+                core.hwloop_setup();
+                channel_pair(core, ctx, job, mode, pair, seg);
+            }
         }
     }))
+}
+
+/// The accounting block of one `xDecimate` FC channel pair (the exact
+/// batched equivalent of the reference arm's charge sequence).
+fn pair_block(chunks: usize, tail: usize) -> InstrBlock {
+    InstrBlock::new()
+        .xfu_clear(1)
+        .then(
+            InstrBlock::new()
+                .loads(3)
+                .xdecimate(8)
+                .sdotp(2)
+                .repeat(chunks as u64),
+        )
+        .then(InstrBlock::new().loads(u64::from(tail > 0)))
+        .then(
+            InstrBlock::new()
+                .loads(2)
+                .xdecimate(2)
+                .mac(2)
+                .repeat(tail as u64),
+        )
+        .then(InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(2))
 }
 
 /// Two output channels `(2*pair, 2*pair+1)` with `xDecimate`.
@@ -75,65 +139,98 @@ fn channel_pair(
     let entries_per_word = job.nm.offsets_per_word();
     let k = 2 * pair;
 
-    if let Some(mem) = ctx.mem() {
-        core.xdecimate_clear();
-        let vrow = [
-            job.fc.bufs.weights + (k * nz) as u32,
-            job.fc.bufs.weights + ((k + 1) * nz) as u32,
-        ];
-        let seg = job.fc.bufs.offsets + pair as u32 * seg_bytes;
-        let mut acc = [0i32; 2];
-        for j in 0..chunks {
-            let word_off = 4 * ((8 * j) / entries_per_word) as u32;
-            let rs2 = core.lw(mem, seg + word_off);
-            let va = [
-                core.lw(mem, vrow[0] + (4 * j) as u32),
-                core.lw(mem, vrow[1] + (4 * j) as u32),
+    match ctx.path() {
+        ExecPath::Bulk(mem) => {
+            let m = job.nm.m();
+            let bits = job.nm.offset_bits();
+            let seg = job.fc.bufs.offsets + pair as u32 * seg_bytes;
+            let mut outs = [0i8; 2];
+            {
+                let input = mem
+                    .slice(job.fc.bufs.input, nz * m)
+                    .expect("scratchpad is zero-copy");
+                // Interleaved stream: entry 2b + q is block b of channel
+                // k + q, exactly what the csr walk of the reference's
+                // xDecimate sequence selects.
+                let offs = mem
+                    .slice(seg, offsets_len(2 * nz, bits))
+                    .expect("scratchpad is zero-copy");
+                for (q, out) in outs.iter_mut().enumerate() {
+                    let values = mem
+                        .slice(job.fc.bufs.weights + ((k + q) * nz) as u32, nz)
+                        .expect("scratchpad is zero-copy");
+                    *out = job
+                        .fc
+                        .requant
+                        .apply(nm_gather_dot(values, input, offs, bits, m, q, 2));
+                }
+            }
+            for (q, &out) in outs.iter().enumerate() {
+                mem.store_i8(job.fc.bufs.output + (k + q) as u32, out);
+            }
+            core.charge_block(&pair_block(chunks, tail));
+        }
+        ExecPath::Reference(mem) => {
+            core.xdecimate_clear();
+            let vrow = [
+                job.fc.bufs.weights + (k * nz) as u32,
+                job.fc.bufs.weights + ((k + 1) * nz) as u32,
             ];
-            let mut vb = [0u32; 2];
-            for _ in 0..4 {
-                for (q, v) in vb.iter_mut().enumerate() {
-                    let _ = q;
-                    *v = core.xdecimate(mode, mem, job.fc.bufs.input, rs2, *v);
+            let seg = job.fc.bufs.offsets + pair as u32 * seg_bytes;
+            let mut acc = [0i32; 2];
+            for j in 0..chunks {
+                let word_off = 4 * ((8 * j) / entries_per_word) as u32;
+                let rs2 = core.lw(mem, seg + word_off);
+                let va = [
+                    core.lw(mem, vrow[0] + (4 * j) as u32),
+                    core.lw(mem, vrow[1] + (4 * j) as u32),
+                ];
+                let mut vb = [0u32; 2];
+                for _ in 0..4 {
+                    for (q, v) in vb.iter_mut().enumerate() {
+                        let _ = q;
+                        *v = core.xdecimate(mode, mem, job.fc.bufs.input, rs2, *v);
+                    }
+                }
+                for q in 0..2 {
+                    acc[q] = core.sdotp(va[q], vb[q], acc[q]);
                 }
             }
-            for q in 0..2 {
-                acc[q] = core.sdotp(va[q], vb[q], acc[q]);
-            }
-        }
-        if tail > 0 {
-            let word_off = 4 * ((8 * chunks) / entries_per_word) as u32;
-            let rs2 = core.lw(mem, seg + word_off);
-            for t in 0..tail {
-                let idx = chunks * 4 + t;
-                for (q, a) in acc.iter_mut().enumerate() {
-                    let wv = core.lb(mem, vrow[q] + idx as u32);
-                    let lane = u32::from(core.xfu_csr() >> 1) & 0x3;
-                    let rd = core.xdecimate(mode, mem, job.fc.bufs.input, rs2, 0);
-                    let byte = ((rd >> (lane * 8)) & 0xFF) as u8 as i8;
-                    *a = core.mac(i32::from(wv), i32::from(byte), *a);
+            if tail > 0 {
+                let word_off = 4 * ((8 * chunks) / entries_per_word) as u32;
+                let rs2 = core.lw(mem, seg + word_off);
+                for t in 0..tail {
+                    let idx = chunks * 4 + t;
+                    for (q, a) in acc.iter_mut().enumerate() {
+                        let wv = core.lb(mem, vrow[q] + idx as u32);
+                        let lane = u32::from(core.xfu_csr() >> 1) & 0x3;
+                        let rd = core.xdecimate(mode, mem, job.fc.bufs.input, rs2, 0);
+                        let byte = ((rd >> (lane * 8)) & 0xFF) as u8 as i8;
+                        *a = core.mac(i32::from(wv), i32::from(byte), *a);
+                    }
                 }
             }
+            for (q, &a) in acc.iter().enumerate() {
+                core.alu_n(EPILOGUE_ALU);
+                let out = job.fc.requant.apply(a);
+                core.sb(mem, job.fc.bufs.output + (k + q) as u32, out);
+            }
         }
-        for (q, &a) in acc.iter().enumerate() {
-            core.alu_n(EPILOGUE_ALU);
-            let out = job.fc.requant.apply(a);
-            core.sb(mem, job.fc.bufs.output + (k + q) as u32, out);
+        ExecPath::Analytic => {
+            core.charge(InstrClass::Xfu, 1); // xDecimate.clear
+            core.charge(InstrClass::Load, chunks as u64 * 3); // offsets word + 2 weight words
+            core.charge(InstrClass::Xfu, chunks as u64 * 8);
+            core.charge(InstrClass::SimdDotp, chunks as u64 * 2);
+            if tail > 0 {
+                core.charge(InstrClass::Load, 1);
+            }
+            core.charge(InstrClass::Load, tail as u64 * 2);
+            core.charge(InstrClass::Xfu, tail as u64 * 2);
+            core.charge(InstrClass::Mac, tail as u64 * 2);
+            core.add_macs((chunks * 4 + tail) as u64 * 2);
+            core.charge(InstrClass::Alu, EPILOGUE_ALU * 2);
+            core.charge(InstrClass::Store, 2);
         }
-    } else {
-        core.charge(InstrClass::Xfu, 1); // xDecimate.clear
-        core.charge(InstrClass::Load, chunks as u64 * 3); // offsets word + 2 weight words
-        core.charge(InstrClass::Xfu, chunks as u64 * 8);
-        core.charge(InstrClass::SimdDotp, chunks as u64 * 2);
-        if tail > 0 {
-            core.charge(InstrClass::Load, 1);
-        }
-        core.charge(InstrClass::Load, tail as u64 * 2);
-        core.charge(InstrClass::Xfu, tail as u64 * 2);
-        core.charge(InstrClass::Mac, tail as u64 * 2);
-        core.add_macs((chunks * 4 + tail) as u64 * 2);
-        core.charge(InstrClass::Alu, EPILOGUE_ALU * 2);
-        core.charge(InstrClass::Store, 2);
     }
 }
 
@@ -151,17 +248,7 @@ mod tests {
     use nm_isa::{CostModel, Memory};
     use nm_platform::Scratchpad;
 
-    fn random_data(n: usize, seed: u64) -> Vec<i8> {
-        let mut state = seed | 1;
-        (0..n)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 255) as i8
-            })
-            .collect()
-    }
+    use crate::testdata::random_data;
 
     fn check(geom: FcGeom, nm: Nm) {
         let input = random_data(geom.c, 31);
@@ -173,17 +260,29 @@ mod tests {
         let cluster = Cluster::new(4, CostModel::default());
         let mut l1 = Scratchpad::new("l1", 512 * 1024);
         let bufs = stage_fc_sparse(&mut l1, &geom, &input, &w).unwrap();
-        let job = SparseFcJob { fc: FcJob { geom, requant: rq, bufs }, nm };
+        let job = SparseFcJob {
+            fc: FcJob {
+                geom,
+                requant: rq,
+                bufs,
+            },
+            nm,
+        };
         let stats = {
             let mut ctx = Ctx::Mem(&mut l1);
             fc_sparse_isa(&mut ctx, &job, &cluster).unwrap()
         };
-        let got: Vec<i8> = (0..geom.k as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+        let got: Vec<i8> = (0..geom.k as u32)
+            .map(|i| l1.load_i8(bufs.output + i))
+            .collect();
         assert_eq!(got, fc_ref(&geom, &input, &pruned, rq), "{nm} {geom:?}");
 
         let analytic = fc_sparse_isa(&mut Ctx::Analytic, &job, &cluster).unwrap();
         assert_eq!(stats.cycles(), analytic.cycles());
-        assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+        assert_eq!(
+            stats.cluster.total_instret(),
+            analytic.cluster.total_instret()
+        );
     }
 
     #[test]
@@ -211,7 +310,11 @@ mod tests {
             nm: Nm::ONE_OF_EIGHT,
         };
         assert!(matches!(
-            fc_sparse_isa(&mut Ctx::Analytic, &job, &Cluster::new(1, CostModel::default())),
+            fc_sparse_isa(
+                &mut Ctx::Analytic,
+                &job,
+                &Cluster::new(1, CostModel::default())
+            ),
             Err(Error::ShapeMismatch(_))
         ));
     }
@@ -248,14 +351,25 @@ mod tests {
         let cluster = Cluster::new(8, CostModel::default());
         let nm = Nm::ONE_OF_FOUR;
         let sjob = SparseFcJob {
-            fc: FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() },
+            fc: FcJob {
+                geom,
+                requant: Requant::IDENTITY,
+                bufs: Default::default(),
+            },
             nm,
         };
-        let djob = FcJob { geom, requant: Requant::IDENTITY, bufs: Default::default() };
+        let djob = FcJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        };
         let isa = fc_sparse_isa(&mut Ctx::Analytic, &sjob, &cluster).unwrap();
         let sw = fc_sparse_sw(&mut Ctx::Analytic, &sjob, &cluster).unwrap();
         let dense = fc_dense(&mut Ctx::Analytic, &djob, &cluster).unwrap();
         assert!(isa.cycles() < sw.cycles());
-        assert!(isa.cycles() < dense.cycles(), "ISA 1:4 must beat dense compute");
+        assert!(
+            isa.cycles() < dense.cycles(),
+            "ISA 1:4 must beat dense compute"
+        );
     }
 }

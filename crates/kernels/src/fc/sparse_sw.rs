@@ -10,13 +10,14 @@
 //! notes the 1:4 variant cannot beat the dense baseline on compute alone.
 
 use super::{run_fc, FcJob, EPILOGUE_ALU};
+use crate::bulk::{loop_scaffold, nm_gather_dot, offsets_len, write_out};
 use crate::conv::sparse_sw::read_offset;
 use crate::layout::nm_segment_bytes;
-use crate::stats::{Ctx, KernelStats};
+use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::OffsetLayout;
 use nm_core::sparsity::Nm;
 use nm_core::{Error, Result};
-use nm_isa::{Core, InstrClass};
+use nm_isa::{Core, InstrBlock, InstrClass, Memory};
 use nm_platform::{chunk_range, Cluster};
 
 /// A sparse FC job: the dense job description plus the pattern.
@@ -58,7 +59,11 @@ impl SparseFcJob {
 /// # Errors
 /// [`Error::Unsupported`] for patterns outside {1:4, 1:8, 1:16};
 /// [`Error::ShapeMismatch`] if C is not a multiple of M.
-pub fn fc_sparse_sw(ctx: &mut Ctx<'_>, job: &SparseFcJob, cluster: &Cluster) -> Result<KernelStats> {
+pub fn fc_sparse_sw(
+    ctx: &mut Ctx<'_>,
+    job: &SparseFcJob,
+    cluster: &Cluster,
+) -> Result<KernelStats> {
     job.validate()?;
     let geom = job.fc.geom;
     let nz = job.nz_per_channel();
@@ -66,15 +71,68 @@ pub fn fc_sparse_sw(ctx: &mut Ctx<'_>, job: &SparseFcJob, cluster: &Cluster) -> 
     let name = format!("fc-sparse-sw-{}", job.nm);
     Ok(run_fc(name, &geom, cluster, |core_id, core| {
         let range = chunk_range(geom.k, cluster.n_cores(), core_id);
-        for k in range {
-            core.outer_loop_iter();
-            core.alu_n(3);
-            core.hwloop_setup();
-            let wrow = job.fc.bufs.weights + (k * nz) as u32;
-            let krow = job.fc.bufs.offsets + k as u32 * seg;
-            channel(core, ctx, job, k, wrow, krow);
+        if let ExecPath::Bulk(mem) = ctx.path() {
+            // Driver-level fast path: every channel has the same shape,
+            // so the whole range charges as one repeated block and the
+            // operand slices are taken once per core.
+            let m = job.nm.m();
+            let bits = job.nm.offset_bits();
+            let channels = range.len() as u64;
+            let out0 = job.fc.bufs.output + range.start as u32;
+            {
+                let input = mem
+                    .slice(job.fc.bufs.input, geom.c)
+                    .expect("scratchpad is zero-copy");
+                let values = mem
+                    .slice(job.fc.bufs.weights, geom.k * nz)
+                    .expect("scratchpad is zero-copy");
+                let offs = mem
+                    .slice(job.fc.bufs.offsets, geom.k * seg as usize)
+                    .expect("scratchpad is zero-copy");
+                let outs: Vec<i8> = range
+                    .clone()
+                    .map(|k| {
+                        let acc = nm_gather_dot(
+                            &values[k * nz..(k + 1) * nz],
+                            input,
+                            &offs[k * seg as usize..],
+                            bits,
+                            m,
+                            0,
+                            1,
+                        );
+                        job.fc.requant.apply(acc)
+                    })
+                    .collect();
+                write_out(mem, out0, &outs);
+            }
+            let (chunks, tail) = (nz / 4, nz % 4);
+            let per_channel = loop_scaffold(core.costs(), 3).then(channel_block(chunks, tail));
+            core.charge_block(&per_channel.repeat(channels));
+        } else {
+            for k in range {
+                core.outer_loop_iter();
+                core.alu_n(3);
+                core.hwloop_setup();
+                let wrow = job.fc.bufs.weights + (k * nz) as u32;
+                let krow = job.fc.bufs.offsets + k as u32 * seg;
+                channel(core, ctx, job, k, wrow, krow);
+            }
         }
     }))
+}
+
+/// The accounting block of one software-decimation FC channel (the exact
+/// batched equivalent of the reference arm's charge sequence).
+fn channel_block(chunks: usize, tail: usize) -> InstrBlock {
+    InstrBlock::new()
+        .loads(6)
+        .alu(9)
+        .sdotp(1)
+        .repeat(chunks as u64)
+        .then(InstrBlock::new().loads_unstalled(u64::from(tail > 0)))
+        .then(InstrBlock::new().alu(2).loads(2).mac(1).repeat(tail as u64))
+        .then(InstrBlock::new().alu(EPILOGUE_ALU).stores(1))
 }
 
 /// One output channel of the software sparse FC kernel. `wrow` / `seg`
@@ -94,62 +152,81 @@ pub(crate) fn channel(
     let nz = job.nz_per_channel();
     let (chunks, tail) = (nz / 4, nz % 4);
 
-    if let Some(mem) = ctx.mem() {
-        let vrow = wrow;
-        let mut acc = 0i32;
-        for j in 0..chunks {
-            let mut offs = [0usize; 4];
-            if bits == 4 {
-                let word = core.lw(mem, seg + (2 * j) as u32);
-                for (i, o) in offs.iter_mut().enumerate() {
-                    core.alu_n(2);
-                    *o = ((word >> (4 * i)) & 0xF) as usize;
+    match ctx.path() {
+        ExecPath::Bulk(mem) => {
+            let out = {
+                let input = mem
+                    .slice(job.fc.bufs.input, nz * m)
+                    .expect("scratchpad is zero-copy");
+                let values = mem.slice(wrow, nz).expect("scratchpad is zero-copy");
+                let offs = mem
+                    .slice(seg, offsets_len(nz, bits))
+                    .expect("scratchpad is zero-copy");
+                job.fc
+                    .requant
+                    .apply(nm_gather_dot(values, input, offs, bits, m, 0, 1))
+            };
+            mem.store_i8(job.fc.bufs.output + k as u32, out);
+            core.charge_block(&channel_block(chunks, tail));
+        }
+        ExecPath::Reference(mem) => {
+            let vrow = wrow;
+            let mut acc = 0i32;
+            for j in 0..chunks {
+                let mut offs = [0usize; 4];
+                if bits == 4 {
+                    let word = core.lw(mem, seg + (2 * j) as u32);
+                    for (i, o) in offs.iter_mut().enumerate() {
+                        core.alu_n(2);
+                        *o = ((word >> (4 * i)) & 0xF) as usize;
+                    }
+                } else {
+                    let byte = core.lb(mem, seg + j as u32) as u8;
+                    for (i, o) in offs.iter_mut().enumerate() {
+                        core.alu_n(2);
+                        *o = usize::from((byte >> (2 * i)) & 0x3);
+                    }
                 }
-            } else {
-                let byte = core.lb(mem, seg + j as u32) as u8;
-                for (i, o) in offs.iter_mut().enumerate() {
-                    core.alu_n(2);
-                    *o = usize::from((byte >> (2 * i)) & 0x3);
+                let mut vb = 0u32;
+                for (i, &o) in offs.iter().enumerate() {
+                    let addr = job.fc.bufs.input + ((4 * j + i) * m + o) as u32;
+                    vb = core.lb_lane(mem, addr, vb, i as u32);
                 }
+                core.alu_n(1); // input pointer update
+                let w = core.lw(mem, vrow + (4 * j) as u32);
+                acc = core.sdotp(w, vb, acc);
             }
-            let mut vb = 0u32;
-            for (i, &o) in offs.iter().enumerate() {
-                let addr = job.fc.bufs.input + ((4 * j + i) * m + o) as u32;
-                vb = core.lb_lane(mem, addr, vb, i as u32);
+            if tail > 0 {
+                core.charge(InstrClass::Load, 1);
             }
-            core.alu_n(1); // input pointer update
-            let w = core.lw(mem, vrow + (4 * j) as u32);
-            acc = core.sdotp(w, vb, acc);
+            for t in 0..tail {
+                let idx = chunks * 4 + t;
+                core.alu_n(2);
+                let o = read_offset(mem, seg, bits, idx);
+                let a = core.lb(mem, job.fc.bufs.input + (idx * m + o) as u32);
+                let wv = core.lb(mem, vrow + idx as u32);
+                acc = core.mac(i32::from(wv), i32::from(a), acc);
+            }
+            core.alu_n(EPILOGUE_ALU);
+            let out = job.fc.requant.apply(acc);
+            core.sb(mem, job.fc.bufs.output + k as u32, out);
         }
-        if tail > 0 {
-            core.charge(InstrClass::Load, 1);
+        ExecPath::Analytic => {
+            core.charge(InstrClass::Load, chunks as u64); // offsets fetch
+            core.charge(InstrClass::Alu, chunks as u64 * 9); // 4x(shift,mask) + ptr update
+            core.charge(InstrClass::Load, chunks as u64 * 4); // decimated byte loads
+            core.charge(InstrClass::Load, chunks as u64); // weight words
+            core.charge(InstrClass::SimdDotp, chunks as u64);
+            if tail > 0 {
+                core.charge(InstrClass::Load, 1);
+            }
+            core.charge(InstrClass::Alu, tail as u64 * 2);
+            core.charge(InstrClass::Load, tail as u64 * 2);
+            core.charge(InstrClass::Mac, tail as u64);
+            core.add_macs((chunks * 4 + tail) as u64);
+            core.charge(InstrClass::Alu, EPILOGUE_ALU);
+            core.charge(InstrClass::Store, 1);
         }
-        for t in 0..tail {
-            let idx = chunks * 4 + t;
-            core.alu_n(2);
-            let o = read_offset(mem, seg, bits, idx);
-            let a = core.lb(mem, job.fc.bufs.input + (idx * m + o) as u32);
-            let wv = core.lb(mem, vrow + idx as u32);
-            acc = core.mac(i32::from(wv), i32::from(a), acc);
-        }
-        core.alu_n(EPILOGUE_ALU);
-        let out = job.fc.requant.apply(acc);
-        core.sb(mem, job.fc.bufs.output + k as u32, out);
-    } else {
-        core.charge(InstrClass::Load, chunks as u64); // offsets fetch
-        core.charge(InstrClass::Alu, chunks as u64 * 9); // 4x(shift,mask) + ptr update
-        core.charge(InstrClass::Load, chunks as u64 * 4); // decimated byte loads
-        core.charge(InstrClass::Load, chunks as u64); // weight words
-        core.charge(InstrClass::SimdDotp, chunks as u64);
-        if tail > 0 {
-            core.charge(InstrClass::Load, 1);
-        }
-        core.charge(InstrClass::Alu, tail as u64 * 2);
-        core.charge(InstrClass::Load, tail as u64 * 2);
-        core.charge(InstrClass::Mac, tail as u64);
-        core.add_macs((chunks * 4 + tail) as u64);
-        core.charge(InstrClass::Alu, EPILOGUE_ALU);
-        core.charge(InstrClass::Store, 1);
     }
 }
 
@@ -164,38 +241,41 @@ mod tests {
     use nm_isa::{CostModel, Memory};
     use nm_platform::Scratchpad;
 
-    fn random_data(n: usize, seed: u64) -> Vec<i8> {
-        let mut state = seed | 1;
-        (0..n)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state % 255) as i8
-            })
-            .collect()
-    }
+    use crate::testdata::random_data;
 
     fn check(geom: FcGeom, nm: Nm) {
         let input = random_data(geom.c, 9);
         let dense = random_data(geom.weight_elems(), 23);
-        let w = NmMatrix::prune_from_dense(&dense, geom.k, geom.c, nm, OffsetLayout::Plain).unwrap();
+        let w =
+            NmMatrix::prune_from_dense(&dense, geom.k, geom.c, nm, OffsetLayout::Plain).unwrap();
         let pruned = w.to_dense();
         let rq = Requant::for_dot_len(geom.c / nm.m());
         let cluster = Cluster::new(4, CostModel::default());
         let mut l1 = Scratchpad::new("l1", 512 * 1024);
         let bufs = stage_fc_sparse(&mut l1, &geom, &input, &w).unwrap();
-        let job = SparseFcJob { fc: FcJob { geom, requant: rq, bufs }, nm };
+        let job = SparseFcJob {
+            fc: FcJob {
+                geom,
+                requant: rq,
+                bufs,
+            },
+            nm,
+        };
         let stats = {
             let mut ctx = Ctx::Mem(&mut l1);
             fc_sparse_sw(&mut ctx, &job, &cluster).unwrap()
         };
-        let got: Vec<i8> = (0..geom.k as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+        let got: Vec<i8> = (0..geom.k as u32)
+            .map(|i| l1.load_i8(bufs.output + i))
+            .collect();
         assert_eq!(got, fc_ref(&geom, &input, &pruned, rq), "{nm} {geom:?}");
 
         let analytic = fc_sparse_sw(&mut Ctx::Analytic, &job, &cluster).unwrap();
         assert_eq!(stats.cycles(), analytic.cycles());
-        assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+        assert_eq!(
+            stats.cluster.total_instret(),
+            analytic.cluster.total_instret()
+        );
     }
 
     #[test]
@@ -223,7 +303,11 @@ mod tests {
             nm: Nm::ONE_OF_EIGHT,
         };
         assert!(matches!(
-            fc_sparse_sw(&mut Ctx::Analytic, &job, &Cluster::new(1, CostModel::default())),
+            fc_sparse_sw(
+                &mut Ctx::Analytic,
+                &job,
+                &Cluster::new(1, CostModel::default())
+            ),
             Err(Error::ShapeMismatch(_))
         ));
     }

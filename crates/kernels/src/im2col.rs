@@ -24,8 +24,9 @@ fn copy_bytes(core: &mut Core, ctx: &mut Ctx<'_>, src: u32, dst: u32, len: usize
     core.charge(InstrClass::Load, (words + tail) as u64);
     core.charge(InstrClass::Store, (words + tail) as u64);
     if let Some(mem) = ctx.mem() {
-        let bytes = mem.read_bytes(src, len);
-        mem.write_bytes(dst, &bytes);
+        // Bulk data movement on both emulation paths: the charging above
+        // is the cost model; the copy itself has no per-byte semantics.
+        mem.copy_within(src, dst, len);
     }
 }
 
@@ -35,9 +36,7 @@ fn zero_bytes(core: &mut Core, ctx: &mut Ctx<'_>, dst: u32, len: usize) {
     let tail = len % 4;
     core.charge(InstrClass::Store, (words + tail) as u64);
     if let Some(mem) = ctx.mem() {
-        for i in 0..len {
-            mem.store_u8(dst + i as u32, 0);
-        }
+        mem.fill_bytes(dst, len, 0);
     }
 }
 
@@ -109,13 +108,24 @@ pub fn im2col_patches(
     pos: usize,
     n_patches: usize,
 ) {
-    assert!(n_patches == 1 || n_patches == 2, "kernels unroll over at most two patches");
+    assert!(
+        n_patches == 1 || n_patches == 2,
+        "kernels unroll over at most two patches"
+    );
     let ox_total = geom.ox();
     for p in 0..n_patches {
         let flat = pos + p;
         assert!(flat < ox_total * geom.oy(), "output position out of range");
         let (oy, ox) = (flat / ox_total, flat % ox_total);
-        im2col_patch(core, ctx, geom, input, buf + (p * geom.patch_len()) as u32, oy, ox);
+        im2col_patch(
+            core,
+            ctx,
+            geom,
+            input,
+            buf + (p * geom.patch_len()) as u32,
+            oy,
+            ox,
+        );
     }
 }
 
@@ -169,15 +179,22 @@ mod tests {
             ConvGeom::new(2, 1, 7, 5, 3, 2, 1, 2).unwrap(), // asymmetric filter, big pad
         ] {
             let (mut l1, input_addr, buf) = staged(&g);
-            let input: Vec<i8> = (0..g.input_elems() as u32).map(|i| l1.load_i8(input_addr + i)).collect();
+            let input: Vec<i8> = (0..g.input_elems() as u32)
+                .map(|i| l1.load_i8(input_addr + i))
+                .collect();
             for pos in 0..g.oy() * g.ox() {
                 let (oy, ox) = (pos / g.ox(), pos % g.ox());
                 let mut core = Core::new(CostModel::default());
                 let mut ctx = Ctx::Mem(&mut l1);
                 im2col_patch(&mut core, &mut ctx, &g, input_addr, buf, oy, ox);
-                let got: Vec<i8> =
-                    (0..g.patch_len() as u32).map(|i| l1.load_i8(buf + i)).collect();
-                assert_eq!(got, reference_patch(&g, &input, oy, ox), "geom {g:?} pos {pos}");
+                let got: Vec<i8> = (0..g.patch_len() as u32)
+                    .map(|i| l1.load_i8(buf + i))
+                    .collect();
+                assert_eq!(
+                    got,
+                    reference_patch(&g, &input, oy, ox),
+                    "geom {g:?} pos {pos}"
+                );
             }
         }
     }

@@ -191,10 +191,12 @@ pub fn stage_conv_channelwise(
     write_i8(l1, bufs.input, input);
     write_i8(l1, bufs.weights, weights.values());
     l1.write_bytes(bufs.offsets, weights.offsets_bytes());
-    let row_values =
-        (0..geom.k).map(|k| bufs.weights + weights.value_start(k) as u32).collect();
-    let row_offsets =
-        (0..geom.k).map(|k| bufs.offsets + weights.offset_start(k) as u32).collect();
+    let row_values = (0..geom.k)
+        .map(|k| bufs.weights + weights.value_start(k) as u32)
+        .collect();
+    let row_offsets = (0..geom.k)
+        .map(|k| bufs.offsets + weights.offset_start(k) as u32)
+        .collect();
     Ok((bufs, row_values, row_offsets))
 }
 
@@ -274,10 +276,12 @@ pub fn stage_fc_channelwise(
     write_i8(l1, bufs.input, input);
     write_i8(l1, bufs.weights, weights.values());
     l1.write_bytes(bufs.offsets, weights.offsets_bytes());
-    let row_values =
-        (0..geom.k).map(|k| bufs.weights + weights.value_start(k) as u32).collect();
-    let row_offsets =
-        (0..geom.k).map(|k| bufs.offsets + weights.offset_start(k) as u32).collect();
+    let row_values = (0..geom.k)
+        .map(|k| bufs.weights + weights.value_start(k) as u32)
+        .collect();
+    let row_offsets = (0..geom.k)
+        .map(|k| bufs.offsets + weights.offset_start(k) as u32)
+        .collect();
     Ok((bufs, row_values, row_offsets))
 }
 
@@ -329,7 +333,11 @@ mod tests {
     #[test]
     fn segment_bytes_agrees_with_nm_matrix() {
         for nm in Nm::KERNEL_PATTERNS {
-            for layout in [OffsetLayout::Plain, OffsetLayout::Duplicated, OffsetLayout::Interleaved] {
+            for layout in [
+                OffsetLayout::Plain,
+                OffsetLayout::Duplicated,
+                OffsetLayout::Interleaved,
+            ] {
                 for blocks in [1usize, 3, 4, 7, 16] {
                     let cols = nm.m() * blocks;
                     let rows = 4;
@@ -350,8 +358,12 @@ mod tests {
     fn stage_conv_dense_places_data() {
         let mut l1 = Scratchpad::new("l1", 64 * 1024);
         let geom = ConvGeom::square(4, 2, 4, 3, 1, 1).unwrap();
-        let input: Vec<i8> = (0..geom.input_elems() as i32).map(|i| (i % 100) as i8).collect();
-        let weights: Vec<i8> = (0..geom.weight_elems() as i32).map(|i| (i % 50) as i8).collect();
+        let input: Vec<i8> = (0..geom.input_elems() as i32)
+            .map(|i| (i % 100) as i8)
+            .collect();
+        let weights: Vec<i8> = (0..geom.weight_elems() as i32)
+            .map(|i| (i % 50) as i8)
+            .collect();
         let bufs = stage_conv_dense(&mut l1, &geom, &input, &weights, 8).unwrap();
         assert_eq!(l1.load_i8(bufs.input), input[0]);
         assert_eq!(l1.load_i8(bufs.weights + 5), weights[5]);

@@ -37,11 +37,13 @@
 
 pub mod ablation;
 pub mod baseline;
+pub(crate) mod bulk;
 pub mod conv;
 pub mod fc;
 pub mod im2col;
 pub mod layout;
 pub mod reference;
 pub mod stats;
+pub mod testdata;
 
-pub use stats::{Ctx, KernelStats};
+pub use stats::{Ctx, ExecPath, KernelStats};

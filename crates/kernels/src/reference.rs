@@ -27,8 +27,8 @@ pub fn conv_ref(geom: &ConvGeom, input: &[i8], weights: &[i8], rq: Requant) -> V
                         }
                         for c in 0..geom.c {
                             let a = input[(iy as usize * geom.ix + ix as usize) * geom.c + c];
-                            let w = weights
-                                [k * geom.patch_len() + (ky * geom.fx + kx) * geom.c + c];
+                            let w =
+                                weights[k * geom.patch_len() + (ky * geom.fx + kx) * geom.c + c];
                             acc = acc.wrapping_add(i32::from(a) * i32::from(w));
                         }
                     }
@@ -99,7 +99,12 @@ mod tests {
     #[test]
     fn fc_saturates_via_requant() {
         let geom = FcGeom::new(4, 1).unwrap();
-        let out = fc_ref(&geom, &[127, 127, 127, 127], &[127, 127, 127, 127], Requant::IDENTITY);
+        let out = fc_ref(
+            &geom,
+            &[127, 127, 127, 127],
+            &[127, 127, 127, 127],
+            Requant::IDENTITY,
+        );
         assert_eq!(out, vec![127]);
     }
 }

@@ -2,27 +2,60 @@
 
 use nm_platform::{ClusterStats, Scratchpad};
 
-/// Execution context: either a real L1 scratchpad (emulation, bit-exact
-/// outputs) or analytic mode (cycle charging only, no memory traffic).
+/// Execution context: emulation against a real L1 scratchpad (bit-exact
+/// outputs) on the per-instruction reference path or the bulk fast path,
+/// or analytic mode (cycle charging only, no memory traffic).
+///
+/// [`Ctx::Mem`] is the golden reference: every charged operation performs
+/// its architectural effect one instruction at a time. [`Ctx::MemBulk`]
+/// produces **identical outputs and identical statistics** (enforced by
+/// the parity tests in `tests/bulk_parity.rs`) but computes outputs from
+/// zero-copy scratchpad slices and charges whole instruction blocks via
+/// [`nm_isa::Core::charge_block`], which makes host emulation several
+/// times faster. Use `Mem` when validating the model, `MemBulk` for
+/// sweeps and end-to-end runs.
 #[derive(Debug)]
 pub enum Ctx<'a> {
-    /// Emulate against this L1 scratchpad.
+    /// Emulate per-instruction against this L1 scratchpad (reference).
     Mem(&'a mut Scratchpad),
+    /// Emulate against this L1 scratchpad on the bulk fast path.
+    MemBulk(&'a mut Scratchpad),
     /// Charge cycles without touching memory.
     Analytic,
 }
 
+/// A reborrowed view of a [`Ctx`] that kernels dispatch on.
+#[derive(Debug)]
+pub enum ExecPath<'m> {
+    /// Per-instruction reference emulation.
+    Reference(&'m mut Scratchpad),
+    /// Bulk fast-path emulation (slices + block charging).
+    Bulk(&'m mut Scratchpad),
+    /// No memory: charge only.
+    Analytic,
+}
+
 impl<'a> Ctx<'a> {
-    /// Whether this context carries a memory.
+    /// Whether this context carries a memory (either emulation path).
     pub fn is_mem(&self) -> bool {
-        matches!(self, Ctx::Mem(_))
+        matches!(self, Ctx::Mem(_) | Ctx::MemBulk(_))
     }
 
-    /// The scratchpad, if emulating.
+    /// The scratchpad, if emulating (either path).
     pub fn mem(&mut self) -> Option<&mut Scratchpad> {
         match self {
-            Ctx::Mem(m) => Some(m),
+            Ctx::Mem(m) | Ctx::MemBulk(m) => Some(m),
             Ctx::Analytic => None,
+        }
+    }
+
+    /// The execution path this context selects, with the scratchpad
+    /// reborrowed for the kernel body.
+    pub fn path(&mut self) -> ExecPath<'_> {
+        match self {
+            Ctx::Mem(m) => ExecPath::Reference(m),
+            Ctx::MemBulk(m) => ExecPath::Bulk(m),
+            Ctx::Analytic => ExecPath::Analytic,
         }
     }
 }
@@ -70,7 +103,12 @@ mod tests {
         KernelStats {
             name: "test".into(),
             cluster: ClusterStats::from_cores(
-                vec![CoreStats { cycles, instret: 10, macs: 100, ..Default::default() }],
+                vec![CoreStats {
+                    cycles,
+                    instret: 10,
+                    macs: 100,
+                    ..Default::default()
+                }],
                 0,
             ),
             dense_macs: 800,
@@ -94,8 +132,14 @@ mod tests {
         let mut ctx = Ctx::Mem(&mut l1);
         assert!(ctx.is_mem());
         assert!(ctx.mem().is_some());
+        assert!(matches!(ctx.path(), ExecPath::Reference(_)));
+        let mut ctx = Ctx::MemBulk(&mut l1);
+        assert!(ctx.is_mem());
+        assert!(ctx.mem().is_some());
+        assert!(matches!(ctx.path(), ExecPath::Bulk(_)));
         let mut ctx = Ctx::Analytic;
         assert!(!ctx.is_mem());
         assert!(ctx.mem().is_none());
+        assert!(matches!(ctx.path(), ExecPath::Analytic));
     }
 }

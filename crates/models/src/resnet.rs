@@ -53,8 +53,12 @@ pub fn resnet18_cifar(num_classes: usize, seed: u64) -> Result<Graph> {
     let mut b = GraphBuilder::new(&[32, 32, 3]);
     let stem = b.conv(b.input(), conv(&mut rng, 3, 64, 32, 3, 1, 1)?)?;
     let mut x = b.relu(stem)?;
-    let stages: [(usize, usize, usize, usize); 4] =
-        [(64, 64, 32, 1), (64, 128, 32, 2), (128, 256, 16, 2), (256, 512, 8, 2)];
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (64, 64, 32, 1),
+        (64, 128, 32, 2),
+        (128, 256, 16, 2),
+        (256, 512, 8, 2),
+    ];
     for (c_in, c_out, i, stride) in stages {
         x = basic_block(&mut b, &mut rng, x, c_in, c_out, i, stride)?;
         x = basic_block(&mut b, &mut rng, x, c_out, c_out, i / stride, 1)?;

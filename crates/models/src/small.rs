@@ -49,7 +49,11 @@ pub fn convnet_cifar(seed: u64) -> Result<Graph> {
     let mut b = GraphBuilder::new(&[32, 32, 3]);
     let mut make_conv = |c: usize, k: usize, i: usize| -> Result<ConvLayer> {
         let geom = ConvGeom::square(c, k, i, 3, 1, 1)?;
-        ConvLayer::new(geom, rng.fill_weights(geom.weight_elems(), 28), Requant::for_dot_len(geom.patch_len()))
+        ConvLayer::new(
+            geom,
+            rng.fill_weights(geom.weight_elems(), 28),
+            Requant::for_dot_len(geom.patch_len()),
+        )
     };
     let c1 = make_conv(3, 32, 32)?;
     let c2 = make_conv(32, 32, 16)?;

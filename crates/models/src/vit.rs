@@ -49,7 +49,11 @@ impl VitConfig {
 }
 
 fn linear(rng: &mut XorShift, c: usize, k: usize) -> Result<LinearLayer> {
-    LinearLayer::new(FcGeom::new(c, k)?, rng.fill_weights(c * k, 24), Requant::for_dot_len(c))
+    LinearLayer::new(
+        FcGeom::new(c, k)?,
+        rng.fill_weights(c * k, 24),
+        Requant::for_dot_len(c),
+    )
 }
 
 fn block(b: &mut GraphBuilder, rng: &mut XorShift, x: NodeId, cfg: &VitConfig) -> Result<NodeId> {
@@ -128,17 +132,20 @@ pub fn vit_tiny_for_tests(seed: u64) -> Result<Graph> {
 mod tests {
     use super::*;
     use nm_core::sparsity::Nm;
-    use nm_nn::prune::{prune_graph, vit_ff_policy};
-    use nm_nn::{execute, graph::OpKind};
     use nm_core::Tensor;
+    use nm_nn::prune::{prune_graph, vit_ff_policy};
     use nm_nn::rng::XorShift;
+    use nm_nn::{execute, graph::OpKind};
 
     #[test]
     fn parameter_count_matches_paper() {
         // Table 2: 21.59 MB dense int8.
         let g = vit_small(&VitConfig::SMALL_224, 1).unwrap();
         let params = g.params();
-        assert!((21_000_000..22_200_000).contains(&params), "params {params}");
+        assert!(
+            (21_000_000..22_200_000).contains(&params),
+            "params {params}"
+        );
     }
 
     #[test]
@@ -146,7 +153,10 @@ mod tests {
         // 975 Mcycles at 4.65 MAC/cyc => ~4.5 G dense MACs.
         let g = vit_small(&VitConfig::SMALL_224, 1).unwrap();
         let macs = g.dense_macs();
-        assert!((4_200_000_000..4_900_000_000u64).contains(&(macs as u64)), "macs {macs}");
+        assert!(
+            (4_200_000_000..4_900_000_000u64).contains(&(macs as u64)),
+            "macs {macs}"
+        );
     }
 
     #[test]

@@ -94,14 +94,16 @@ pub fn linear(x: &Tensor<i8>, l: &LinearLayer) -> Tensor<i8> {
         for k in 0..l.geom.k {
             let mut acc = 0i32;
             for i in 0..c {
-                acc = acc
-                    .wrapping_add(i32::from(l.weights[k * c + i]) * i32::from(xrow[i]));
+                acc = acc.wrapping_add(i32::from(l.weights[k * c + i]) * i32::from(xrow[i]));
             }
             data[row * l.geom.k + k] = l.requant.apply(acc);
         }
     }
-    let shape: Vec<usize> =
-        if x.shape().len() == 1 { vec![l.geom.k] } else { vec![t, l.geom.k] };
+    let shape: Vec<usize> = if x.shape().len() == 1 {
+        vec![l.geom.k]
+    } else {
+        vec![t, l.geom.k]
+    };
     Tensor::from_vec(&shape, data).expect("shape consistent")
 }
 
@@ -178,8 +180,7 @@ mod tests {
         let x = b.linear(x, fc).unwrap();
         let g = b.finish(x).unwrap();
 
-        let input =
-            Tensor::from_vec(&[6, 6, 3], rng.fill_weights(108, 40)).unwrap();
+        let input = Tensor::from_vec(&[6, 6, 3], rng.fill_weights(108, 40)).unwrap();
         let out = execute(&g, &input).unwrap();
         assert_eq!(out.shape(), &[4]);
     }
@@ -196,8 +197,7 @@ mod tests {
     fn residual_add_identity() {
         // conv with zero weights + residual add returns the input.
         let geom = ConvGeom::square(2, 2, 4, 3, 1, 1).unwrap();
-        let conv =
-            ConvLayer::new(geom, vec![0; geom.weight_elems()], Requant::IDENTITY).unwrap();
+        let conv = ConvLayer::new(geom, vec![0; geom.weight_elems()], Requant::IDENTITY).unwrap();
         let mut b = GraphBuilder::new(&[4, 4, 2]);
         let x = b.input();
         let c = b.conv(x, conv).unwrap();
@@ -254,22 +254,30 @@ mod tests {
         for i in 0..d {
             qkv_w[(2 * d + i) * d + i] = 1;
         }
-        let qkv = LinearLayer::new(FcGeom::new(d, 3 * d).unwrap(), qkv_w, Requant::IDENTITY)
-            .unwrap();
+        let qkv =
+            LinearLayer::new(FcGeom::new(d, 3 * d).unwrap(), qkv_w, Requant::IDENTITY).unwrap();
         let mut proj_w = vec![0i8; d * d];
         for i in 0..d {
             proj_w[i * d + i] = 1;
         }
-        let proj =
-            LinearLayer::new(FcGeom::new(d, d).unwrap(), proj_w, Requant::IDENTITY).unwrap();
-        let att =
-            AttentionLayer::new(d, 1, qkv, proj, Requant::IDENTITY, Requant::new(0, 7).unwrap())
-                .unwrap();
-        let x = Tensor::from_vec(&[t, d], vec![
-            100, 0, 0, 0, //
-            0, 100, 0, 0, //
-            0, 0, 100, 0,
-        ])
+        let proj = LinearLayer::new(FcGeom::new(d, d).unwrap(), proj_w, Requant::IDENTITY).unwrap();
+        let att = AttentionLayer::new(
+            d,
+            1,
+            qkv,
+            proj,
+            Requant::IDENTITY,
+            Requant::new(0, 7).unwrap(),
+        )
+        .unwrap();
+        let x = Tensor::from_vec(
+            &[t, d],
+            vec![
+                100, 0, 0, 0, //
+                0, 100, 0, 0, //
+                0, 0, 100, 0,
+            ],
+        )
         .unwrap();
         let out = attention(&x, &att);
         // Each context row ≈ mean of V rows scaled by softmax(127/3)·

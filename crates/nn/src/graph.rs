@@ -140,7 +140,11 @@ impl Graph {
             .map(|n| match &n.op {
                 OpKind::Conv2d(l) => l.geom.macs(),
                 OpKind::Linear(l) => {
-                    let t = if n.out_shape.len() == 2 { n.out_shape[0] } else { 1 };
+                    let t = if n.out_shape.len() == 2 {
+                        n.out_shape[0]
+                    } else {
+                        1
+                    };
                     t * l.geom.macs()
                 }
                 OpKind::Attention(a) => a.macs(n.out_shape[0]),
@@ -178,7 +182,11 @@ impl GraphBuilder {
     /// Starts a graph with the given input shape.
     pub fn new(input_shape: &[usize]) -> Self {
         GraphBuilder {
-            nodes: vec![Node { op: OpKind::Input, inputs: vec![], out_shape: input_shape.to_vec() }],
+            nodes: vec![Node {
+                op: OpKind::Input,
+                inputs: vec![],
+                out_shape: input_shape.to_vec(),
+            }],
         }
     }
 
@@ -195,7 +203,11 @@ impl GraphBuilder {
     }
 
     fn push(&mut self, op: OpKind, inputs: Vec<NodeId>, out_shape: Vec<usize>) -> NodeId {
-        self.nodes.push(Node { op, inputs, out_shape });
+        self.nodes.push(Node {
+            op,
+            inputs,
+            out_shape,
+        });
         self.nodes.len() - 1
     }
 
@@ -287,7 +299,11 @@ impl GraphBuilder {
             return Err(Error::ShapeMismatch(format!("pool {k}x{k} over {shape:?}")));
         }
         let out = vec![(shape[0] - k) / s + 1, (shape[1] - k) / s + 1, shape[2]];
-        let op = if max { OpKind::MaxPool { k, s } } else { OpKind::AvgPool { k, s } };
+        let op = if max {
+            OpKind::MaxPool { k, s }
+        } else {
+            OpKind::AvgPool { k, s }
+        };
         Ok(self.push(op, vec![x], out))
     }
 
@@ -360,9 +376,14 @@ impl GraphBuilder {
     /// [`Error::ShapeMismatch`] if `output` is unknown.
     pub fn finish(self, output: NodeId) -> Result<Graph> {
         if output >= self.nodes.len() {
-            return Err(Error::ShapeMismatch(format!("unknown output node {output}")));
+            return Err(Error::ShapeMismatch(format!(
+                "unknown output node {output}"
+            )));
         }
-        Ok(Graph { nodes: self.nodes, output })
+        Ok(Graph {
+            nodes: self.nodes,
+            output,
+        })
     }
 }
 
@@ -394,8 +415,8 @@ mod tests {
     #[test]
     fn linear_over_tokens() {
         let mut b = GraphBuilder::new(&[5, 16]);
-        let l = LinearLayer::new(FcGeom::new(16, 8).unwrap(), vec![0; 128], Requant::IDENTITY)
-            .unwrap();
+        let l =
+            LinearLayer::new(FcGeom::new(16, 8).unwrap(), vec![0; 128], Requant::IDENTITY).unwrap();
         let y = b.linear(b.input(), l).unwrap();
         let g = b.finish(y).unwrap();
         assert_eq!(g.node(y).out_shape, vec![5, 8]);

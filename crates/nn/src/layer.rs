@@ -29,7 +29,11 @@ impl ConvLayer {
                 geom.weight_elems()
             )));
         }
-        Ok(ConvLayer { geom, weights, requant })
+        Ok(ConvLayer {
+            geom,
+            weights,
+            requant,
+        })
     }
 
     /// Detects the strongest supported N:M pattern the weights satisfy
@@ -63,7 +67,11 @@ impl LinearLayer {
                 geom.weight_elems()
             )));
         }
-        Ok(LinearLayer { geom, weights, requant })
+        Ok(LinearLayer {
+            geom,
+            weights,
+            requant,
+        })
     }
 
     /// Detects the strongest supported N:M pattern; `None` if dense.
@@ -75,7 +83,9 @@ impl LinearLayer {
 /// Finds the sparsest kernel-supported pattern (1:16 ≻ 1:8 ≻ 1:4) that
 /// the matrix satisfies.
 fn detect(weights: &[i8], rows: usize, cols: usize) -> Option<Nm> {
-    [Nm::ONE_OF_SIXTEEN, Nm::ONE_OF_EIGHT, Nm::ONE_OF_FOUR].into_iter().find(|&nm| cols.is_multiple_of(nm.m()) && check_pattern(weights, rows, cols, nm).is_ok())
+    [Nm::ONE_OF_SIXTEEN, Nm::ONE_OF_EIGHT, Nm::ONE_OF_FOUR]
+        .into_iter()
+        .find(|&nm| cols.is_multiple_of(nm.m()) && check_pattern(weights, rows, cols, nm).is_ok())
 }
 
 /// Multi-head self-attention (paper Sec. 5.1 runs these layers through
@@ -114,7 +124,9 @@ impl AttentionLayer {
         context_requant: Requant,
     ) -> Result<Self> {
         if heads == 0 || !dim.is_multiple_of(heads) {
-            return Err(Error::ShapeMismatch(format!("heads {heads} must divide dim {dim}")));
+            return Err(Error::ShapeMismatch(format!(
+                "heads {heads} must divide dim {dim}"
+            )));
         }
         if qkv.geom.c != dim || qkv.geom.k != 3 * dim {
             return Err(Error::ShapeMismatch(format!(
@@ -130,7 +142,14 @@ impl AttentionLayer {
                 proj.geom.c, proj.geom.k
             )));
         }
-        Ok(AttentionLayer { dim, heads, qkv, proj, score_requant, context_requant })
+        Ok(AttentionLayer {
+            dim,
+            heads,
+            qkv,
+            proj,
+            score_requant,
+            context_requant,
+        })
     }
 
     /// Head dimension `D / heads`.
@@ -145,7 +164,7 @@ impl AttentionLayer {
         t * d * 3 * d          // QKV
             + self.heads * t * t * self.head_dim()   // Q·Kᵀ
             + self.heads * t * t * self.head_dim()   // P·V
-            + t * d * d        // proj
+            + t * d * d // proj
     }
 }
 
@@ -198,12 +217,25 @@ mod tests {
             Requant::IDENTITY,
         )
         .unwrap();
-        let proj =
-            LinearLayer::new(FcGeom::new(d, d).unwrap(), vec![0; d * d], Requant::IDENTITY).unwrap();
-        let att = AttentionLayer::new(d, 2, qkv.clone(), proj.clone(), Requant::IDENTITY, Requant::IDENTITY)
-            .unwrap();
+        let proj = LinearLayer::new(
+            FcGeom::new(d, d).unwrap(),
+            vec![0; d * d],
+            Requant::IDENTITY,
+        )
+        .unwrap();
+        let att = AttentionLayer::new(
+            d,
+            2,
+            qkv.clone(),
+            proj.clone(),
+            Requant::IDENTITY,
+            Requant::IDENTITY,
+        )
+        .unwrap();
         assert_eq!(att.head_dim(), 4);
-        assert!(AttentionLayer::new(d, 3, qkv, proj, Requant::IDENTITY, Requant::IDENTITY).is_err());
+        assert!(
+            AttentionLayer::new(d, 3, qkv, proj, Requant::IDENTITY, Requant::IDENTITY).is_err()
+        );
     }
 
     #[test]
@@ -215,8 +247,12 @@ mod tests {
             Requant::IDENTITY,
         )
         .unwrap();
-        let proj =
-            LinearLayer::new(FcGeom::new(d, d).unwrap(), vec![0; d * d], Requant::IDENTITY).unwrap();
+        let proj = LinearLayer::new(
+            FcGeom::new(d, d).unwrap(),
+            vec![0; d * d],
+            Requant::IDENTITY,
+        )
+        .unwrap();
         let att =
             AttentionLayer::new(d, 1, qkv, proj, Requant::IDENTITY, Requant::IDENTITY).unwrap();
         let t = 3;

@@ -141,7 +141,10 @@ pub fn softmax(x: &Tensor<i8>) -> Tensor<i8> {
     for r in 0..rows {
         let row = &x.data()[r * d..(r + 1) * d];
         let max = row.iter().copied().max().unwrap_or(0);
-        let exps: Vec<i64> = row.iter().map(|&v| exp_q16(i32::from(v) - i32::from(max))).collect();
+        let exps: Vec<i64> = row
+            .iter()
+            .map(|&v| exp_q16(i32::from(v) - i32::from(max)))
+            .collect();
         let sum: i64 = exps.iter().sum::<i64>().max(1);
         for (i, &e) in exps.iter().enumerate() {
             out[r * d + i] = clip_i8(((e * 127 + sum / 2) / sum) as i32);
@@ -179,8 +182,7 @@ pub fn matmul(a: &[i8], b: &[i8], m: usize, k: usize, n: usize, rq: Requant) -> 
         for j in 0..n {
             let mut acc = 0i32;
             for p in 0..k {
-                acc = acc
-                    .wrapping_add(i32::from(a[i * k + p]) * i32::from(b[p * n + j]));
+                acc = acc.wrapping_add(i32::from(a[i * k + p]) * i32::from(b[p * n + j]));
             }
             out[i * n + j] = rq.apply(acc);
         }

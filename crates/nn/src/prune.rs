@@ -68,8 +68,12 @@ pub fn vit_ff_policy(nm: Nm, k_min: usize) -> impl FnMut(NodeId, &OpKind) -> boo
 }
 
 /// The default per-channel sparsity ladder, dense first.
-pub const CHANNEL_LADDER: [Option<Nm>; 4] =
-    [None, Some(Nm::ONE_OF_FOUR), Some(Nm::ONE_OF_EIGHT), Some(Nm::ONE_OF_SIXTEEN)];
+pub const CHANNEL_LADDER: [Option<Nm>; 4] = [
+    None,
+    Some(Nm::ONE_OF_FOUR),
+    Some(Nm::ONE_OF_EIGHT),
+    Some(Nm::ONE_OF_SIXTEEN),
+];
 
 /// Assigns one pattern per row (= output channel) of a dense weight
 /// matrix so the overall kept density drops to `target_density` while
@@ -166,7 +170,10 @@ pub fn channel_density(patterns: &[Option<Nm>]) -> f64 {
     if patterns.is_empty() {
         return 1.0;
     }
-    patterns.iter().map(|p| p.map_or(1.0, |nm| nm.density())).sum::<f64>()
+    patterns
+        .iter()
+        .map(|p| p.map_or(1.0, |nm| nm.density()))
+        .sum::<f64>()
         / patterns.len() as f64
 }
 
@@ -207,11 +214,19 @@ mod tests {
         let mut rng = XorShift::new(3);
         let mut b = GraphBuilder::new(&[4, 4, 16]);
         let g3 = ConvGeom::square(16, 16, 4, 3, 1, 1).unwrap();
-        let c3 = ConvLayer::new(g3, rng.fill_weights(g3.weight_elems(), 30), Requant::IDENTITY)
-            .unwrap();
+        let c3 = ConvLayer::new(
+            g3,
+            rng.fill_weights(g3.weight_elems(), 30),
+            Requant::IDENTITY,
+        )
+        .unwrap();
         let g1 = ConvGeom::square(16, 16, 4, 1, 1, 0).unwrap();
-        let c1 = ConvLayer::new(g1, rng.fill_weights(g1.weight_elems(), 30), Requant::IDENTITY)
-            .unwrap();
+        let c1 = ConvLayer::new(
+            g1,
+            rng.fill_weights(g1.weight_elems(), 30),
+            Requant::IDENTITY,
+        )
+        .unwrap();
         let fc = LinearLayer::new(
             FcGeom::new(16, 10).unwrap(),
             rng.fill_weights(160, 30),
@@ -281,7 +296,10 @@ mod tests {
         for target in [1.0, 0.5, 0.25, 0.1, 1.0 / 16.0] {
             let p = assign_channel_patterns(&dense, 16, 64, target).unwrap();
             let d = channel_density(&p);
-            assert!(d <= target + 1e-9 || target < 1.0 / 16.0, "target {target} got {d}");
+            assert!(
+                d <= target + 1e-9 || target < 1.0 / 16.0,
+                "target {target} got {d}"
+            );
             // Never sparser than one ladder step below the target.
             assert!(d >= target / 4.0 - 1e-9, "target {target} got {d}");
         }
@@ -332,6 +350,10 @@ mod tests {
         // already contain some zeros, so check the delta is a large
         // fraction of the 15/16 * (3x3 share) upper bound.
         let share = (16 * 16 * 9) as f64 / g.params() as f64;
-        assert!(after - before > 0.6 * 0.9375 * share, "delta {}", after - before);
+        assert!(
+            after - before > 0.6 * 0.9375 * share,
+            "delta {}",
+            after - before
+        );
     }
 }

@@ -14,7 +14,13 @@ pub struct XorShift {
 impl XorShift {
     /// Creates a generator; `seed` 0 is mapped to a fixed constant.
     pub fn new(seed: u64) -> Self {
-        XorShift { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        XorShift {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next raw 64-bit value.

@@ -26,7 +26,11 @@ impl ClusterStats {
     /// scratchpad mutably).
     pub fn from_cores(per_core: Vec<CoreStats>, barrier_cycles: u64) -> Self {
         let max_core_cycles = per_core.iter().map(|s| s.cycles).max().unwrap_or(0);
-        ClusterStats { cycles: max_core_cycles + barrier_cycles, max_core_cycles, per_core }
+        ClusterStats {
+            cycles: max_core_cycles + barrier_cycles,
+            max_core_cycles,
+            per_core,
+        }
     }
 
     /// Total instructions retired across cores.
@@ -85,7 +89,11 @@ impl Cluster {
             per_core.push(core.stats());
         }
         let max_core_cycles = per_core.iter().map(|s| s.cycles).max().unwrap_or(0);
-        ClusterStats { cycles: max_core_cycles + self.costs.barrier_cycles, max_core_cycles, per_core }
+        ClusterStats {
+            cycles: max_core_cycles + self.costs.barrier_cycles,
+            max_core_cycles,
+            per_core,
+        }
     }
 }
 

@@ -43,5 +43,5 @@ pub use cluster::{chunk_range, Cluster, ClusterStats};
 pub use dma::Dma;
 pub use pipeline::{double_buffered_cycles, TileCost};
 pub use scratchpad::{BumpAllocator, Scratchpad};
-pub use trace::{Lane, Span, Trace};
 pub use soc::VegaSoc;
+pub use trace::{Lane, Span, Trace};

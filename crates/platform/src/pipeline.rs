@@ -63,14 +63,22 @@ mod tests {
 
     #[test]
     fn single_tile_is_serial() {
-        let t = TileCost { dma_in: 7, compute: 20, dma_out: 3 };
+        let t = TileCost {
+            dma_in: 7,
+            compute: 20,
+            dma_out: 3,
+        };
         assert_eq!(double_buffered_cycles(&[t]), 30);
         assert_eq!(serial_cycles(&[t]), 30);
     }
 
     #[test]
     fn compute_bound_hides_dma() {
-        let t = TileCost { dma_in: 10, compute: 100, dma_out: 10 };
+        let t = TileCost {
+            dma_in: 10,
+            compute: 100,
+            dma_out: 10,
+        };
         let tiles = vec![t; 8];
         assert_eq!(double_buffered_cycles(&tiles), 10 + 8 * 100 + 10);
         assert!(double_buffered_cycles(&tiles) < serial_cycles(&tiles));
@@ -78,7 +86,11 @@ mod tests {
 
     #[test]
     fn memory_bound_is_dma_limited() {
-        let t = TileCost { dma_in: 100, compute: 10, dma_out: 0 };
+        let t = TileCost {
+            dma_in: 100,
+            compute: 10,
+            dma_out: 0,
+        };
         let tiles = vec![t; 4];
         // 100 + (100+100+100+10) + 0: the last tile has no next input.
         assert_eq!(double_buffered_cycles(&tiles), 100 + 100 + 100 + 100 + 10);
@@ -87,7 +99,11 @@ mod tests {
     #[test]
     fn double_buffering_never_slower_than_serial() {
         let tiles: Vec<TileCost> = (0..16)
-            .map(|i| TileCost { dma_in: (i * 13) % 37, compute: (i * 7) % 53, dma_out: (i * 5) % 11 })
+            .map(|i| TileCost {
+                dma_in: (i * 13) % 37,
+                compute: (i * 7) % 53,
+                dma_out: (i * 5) % 11,
+            })
             .collect();
         assert!(double_buffered_cycles(&tiles) <= serial_cycles(&tiles));
     }
@@ -95,7 +111,11 @@ mod tests {
     #[test]
     fn double_buffering_not_faster_than_critical_paths() {
         let tiles: Vec<TileCost> = (0..9)
-            .map(|i| TileCost { dma_in: 40 + i, compute: 60 - i, dma_out: 5 })
+            .map(|i| TileCost {
+                dma_in: 40 + i,
+                compute: 60 - i,
+                dma_out: 5,
+            })
             .collect();
         let total = double_buffered_cycles(&tiles);
         let compute_sum: u64 = tiles.iter().map(|t| t.compute).sum();

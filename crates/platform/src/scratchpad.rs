@@ -17,7 +17,11 @@ pub struct Scratchpad {
 impl Scratchpad {
     /// Creates a zeroed scratchpad.
     pub fn new(name: &'static str, size: usize) -> Self {
-        Scratchpad { name, mem: FlatMem::new(size), alloc: BumpAllocator::new(size) }
+        Scratchpad {
+            name,
+            mem: FlatMem::new(size),
+            alloc: BumpAllocator::new(size),
+        }
     }
 
     /// The scratchpad's name.
@@ -56,16 +60,51 @@ impl Scratchpad {
 }
 
 impl Memory for Scratchpad {
+    #[inline]
     fn size(&self) -> usize {
         self.mem.size()
     }
 
+    #[inline]
     fn load_u8(&self, addr: u32) -> u8 {
         self.mem.load_u8(addr)
     }
 
+    #[inline]
     fn store_u8(&mut self, addr: u32, value: u8) {
         self.mem.store_u8(addr, value);
+    }
+
+    #[inline]
+    fn load_u32(&self, addr: u32) -> u32 {
+        self.mem.load_u32(addr)
+    }
+
+    #[inline]
+    fn store_u32(&mut self, addr: u32, value: u32) {
+        self.mem.store_u32(addr, value);
+    }
+
+    fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        self.mem.write_bytes(addr, bytes);
+    }
+
+    fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        self.mem.read_bytes(addr, len)
+    }
+
+    #[inline]
+    fn slice(&self, addr: u32, len: usize) -> Option<&[u8]> {
+        self.mem.slice(addr, len)
+    }
+
+    #[inline]
+    fn slice_mut(&mut self, addr: u32, len: usize) -> Option<&mut [u8]> {
+        self.mem.slice_mut(addr, len)
+    }
+
+    fn copy_within(&mut self, src: u32, dst: u32, len: usize) {
+        self.mem.copy_within(src, dst, len);
     }
 }
 
@@ -99,7 +138,10 @@ impl BumpAllocator {
             available: self.size.saturating_sub(self.top),
         })?;
         if end > self.size {
-            return Err(Error::OutOfMemory { requested: bytes, available: self.size - self.top });
+            return Err(Error::OutOfMemory {
+                requested: bytes,
+                available: self.size - self.top,
+            });
         }
         self.top = end;
         Ok(base as u32)
@@ -142,7 +184,13 @@ mod tests {
         let mut a = BumpAllocator::new(16);
         a.alloc(10, 1).unwrap();
         let err = a.alloc(10, 1).unwrap_err();
-        assert_eq!(err, Error::OutOfMemory { requested: 10, available: 6 });
+        assert_eq!(
+            err,
+            Error::OutOfMemory {
+                requested: 10,
+                available: 6
+            }
+        );
         a.reset();
         assert!(a.alloc(16, 1).is_ok());
     }
@@ -162,5 +210,34 @@ mod tests {
     fn non_power_of_two_alignment_panics() {
         let mut a = BumpAllocator::new(64);
         let _ = a.alloc(4, 3);
+    }
+
+    #[test]
+    fn zero_copy_views_agree_with_per_byte_access() {
+        let mut l1 = Scratchpad::new("l1", 64);
+        for i in 0..64 {
+            l1.store_u8(i, (7 * i + 1) as u8);
+        }
+        let per_byte: Vec<u8> = (0..16).map(|i| l1.load_u8(8 + i)).collect();
+        assert_eq!(l1.slice(8, 16).unwrap(), per_byte.as_slice());
+        assert_eq!(l1.read_bytes(8, 16), per_byte);
+
+        let mut words = [0u32; 2];
+        l1.load_u32_bulk(5, &mut words); // unaligned
+        assert_eq!(words, [l1.load_u32(5), l1.load_u32(9)]);
+
+        l1.slice_mut(0, 4).unwrap().fill(0xEE);
+        assert_eq!(l1.load_u32(0), 0xEEEE_EEEE);
+        l1.copy_within(0, 30, 4);
+        assert_eq!(l1.load_u32(30), 0xEEEE_EEEE);
+        l1.fill_bytes(30, 2, 0);
+        assert_eq!(l1.load_u32(30), 0xEEEE_0000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_view_is_a_bus_error() {
+        let l1 = Scratchpad::new("l1", 16);
+        let _ = l1.slice(10, 8);
     }
 }

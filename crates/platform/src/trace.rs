@@ -148,7 +148,11 @@ impl Trace {
 
     /// Busy cycles on one lane.
     pub fn lane_busy(&self, lane: Lane) -> u64 {
-        self.spans.iter().filter(|s| s.lane == lane).map(|s| s.end - s.start).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.lane == lane)
+            .map(|s| s.end - s.start)
+            .sum()
     }
 
     /// Busy fraction of one lane over the whole schedule.
@@ -186,7 +190,11 @@ impl Trace {
                 100.0 * self.utilization(lane)
             ));
         }
-        out.push_str(&format!("{} cycles, {} tiles-spans\n", self.end, self.spans.len()));
+        out.push_str(&format!(
+            "{} cycles, {} tiles-spans\n",
+            self.end,
+            self.spans.len()
+        ));
         out
     }
 }
@@ -199,7 +207,11 @@ mod tests {
     fn tiles(specs: &[(u64, u64, u64)]) -> Vec<TileCost> {
         specs
             .iter()
-            .map(|&(dma_in, compute, dma_out)| TileCost { dma_in, compute, dma_out })
+            .map(|&(dma_in, compute, dma_out)| TileCost {
+                dma_in,
+                compute,
+                dma_out,
+            })
             .collect()
     }
 

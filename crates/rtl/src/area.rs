@@ -29,8 +29,14 @@ pub struct GateLibrary {
 
 impl GateLibrary {
     /// Literature-calibrated defaults (NAND2 equivalents).
-    pub const DEFAULT: GateLibrary =
-        GateLibrary { ff: 7.0, adder: 5.5, mux2: 2.3, gate2: 1.4, xor2: 2.5, latch: 4.0 };
+    pub const DEFAULT: GateLibrary = GateLibrary {
+        ff: 7.0,
+        adder: 5.5,
+        mux2: 2.3,
+        gate2: 1.4,
+        xor2: 2.5,
+        latch: 4.0,
+    };
 
     /// An N:1 mux over `bits`-wide data, built from 2:1 stages.
     pub fn mux_n(&self, inputs: usize, bits: usize) -> f64 {
@@ -151,7 +157,10 @@ pub fn xfu_area(lib: &GateLibrary) -> AreaReport {
     r.push("wb: forward rd comparator (5b)", lib.comparator(5));
     r.push("wb: forward bypass mux (32b)", lib.mux_n(2, 32));
     // LSU request path: address register + request mux into RI5CY's LSU.
-    r.push("wb: lsu address reg + request mux", lib.reg(34) + lib.mux_n(2, 32));
+    r.push(
+        "wb: lsu address reg + request mux",
+        lib.reg(34) + lib.mux_n(2, 32),
+    );
     // csr shadow for save/restore across interrupts.
     r.push("ctrl: csr shadow (16b)", lib.reg(16));
     // Scoreboard / read-port-enable hooks into the ID stage.
@@ -173,21 +182,42 @@ pub fn ri5cy_area(lib: &GateLibrary) -> AreaReport {
     let mut r = AreaReport::new();
     // 31 x 32-bit latch-based register file with 3 read / 2 write ports
     // (the 3rd read port exists for XpulpV2 and is reused by xDecimate).
-    r.push("register file (31x32, latch)", 31.0 * 32.0 * lib.latch + 3.0 * lib.mux_n(32, 32));
-    r.push("if stage: fetch + branch unit", lib.reg(96) + 2.0 * lib.adder_n(32) + lib.mux_n(4, 32) + 200.0 * lib.gate2);
-    r.push("alu (32b, incl. shifter + comparator)", 3.0 * lib.adder_n(32) + lib.mux_n(8, 32) + 64.0 * lib.gate2 + 32.0 * lib.xor2 * 5.0);
+    r.push(
+        "register file (31x32, latch)",
+        31.0 * 32.0 * lib.latch + 3.0 * lib.mux_n(32, 32),
+    );
+    r.push(
+        "if stage: fetch + branch unit",
+        lib.reg(96) + 2.0 * lib.adder_n(32) + lib.mux_n(4, 32) + 200.0 * lib.gate2,
+    );
+    r.push(
+        "alu (32b, incl. shifter + comparator)",
+        3.0 * lib.adder_n(32) + lib.mux_n(8, 32) + 64.0 * lib.gate2 + 32.0 * lib.xor2 * 5.0,
+    );
     r.push(
         "simd dotp unit (4x8b + accumulate)",
         4.0 * 64.0 * lib.gate2 * 2.5 + 3.0 * lib.adder_n(18) + lib.adder_n(32) + lib.mux_n(8, 32),
     );
     r.push("multiplier (32x32 + mac)", 32.0 * 32.0 * lib.gate2 * 3.0);
-    r.push("divider (serial 32b)", lib.reg(96) + lib.adder_n(33) + 200.0 * lib.gate2);
-    r.push("prefetch buffer (3x128b)", lib.reg(3 * 128) + lib.mux_n(3, 32) + 150.0 * lib.gate2);
+    r.push(
+        "divider (serial 32b)",
+        lib.reg(96) + lib.adder_n(33) + 200.0 * lib.gate2,
+    );
+    r.push(
+        "prefetch buffer (3x128b)",
+        lib.reg(3 * 128) + lib.mux_n(3, 32) + 150.0 * lib.gate2,
+    );
     r.push("decoder + controller", 900.0 * lib.gate2 + lib.reg(40));
     r.push("operand forwarding network (3x4:1)", 3.0 * lib.mux_n(4, 32));
-    r.push("hw-loop unit (2 loops)", lib.reg(2 * 96) + 2.0 * lib.comparator(32) + 2.0 * lib.adder_n(32));
+    r.push(
+        "hw-loop unit (2 loops)",
+        lib.reg(2 * 96) + 2.0 * lib.comparator(32) + 2.0 * lib.adder_n(32),
+    );
     r.push("csr file (32x32)", lib.reg(32 * 32) + lib.mux_n(32, 32));
-    r.push("lsu (align, sign-ext, post-inc)", lib.adder_n(32) + lib.mux_n(4, 32) + 120.0 * lib.gate2 + lib.reg(70));
+    r.push(
+        "lsu (align, sign-ext, post-inc)",
+        lib.adder_n(32) + lib.mux_n(4, 32) + 120.0 * lib.gate2 + lib.reg(70),
+    );
     r.push("pipeline registers (if/id/ex/wb)", lib.reg(3 * 130));
     r.push("interrupt + debug", lib.reg(80) + 300.0 * lib.gate2);
     r.push("clock gating + glue", 1800.0 * lib.gate2);
@@ -229,7 +259,10 @@ mod tests {
 
     #[test]
     fn all_components_positive() {
-        for report in [xfu_area(&GateLibrary::default()), ri5cy_area(&GateLibrary::default())] {
+        for report in [
+            xfu_area(&GateLibrary::default()),
+            ri5cy_area(&GateLibrary::default()),
+        ] {
             for c in report.components() {
                 assert!(c.ge > 0.0, "{} has non-positive area", c.name);
             }
@@ -248,7 +281,14 @@ mod tests {
         // The ratio should be robust to uniform scaling of the library.
         let mut lib = GateLibrary::default();
         let f1 = xfu_area(&lib).fraction_of(&ri5cy_area(&lib));
-        lib = GateLibrary { ff: lib.ff * 2.0, adder: lib.adder * 2.0, mux2: lib.mux2 * 2.0, gate2: lib.gate2 * 2.0, xor2: lib.xor2 * 2.0, latch: lib.latch * 2.0 };
+        lib = GateLibrary {
+            ff: lib.ff * 2.0,
+            adder: lib.adder * 2.0,
+            mux2: lib.mux2 * 2.0,
+            gate2: lib.gate2 * 2.0,
+            xor2: lib.xor2 * 2.0,
+            latch: lib.latch * 2.0,
+        };
         let f2 = xfu_area(&lib).fraction_of(&ri5cy_area(&lib));
         assert!((f1 - f2).abs() < 1e-9);
     }

@@ -37,7 +37,11 @@ impl XfuPipeline {
     /// Creates a pipeline model; `forwarding` enables the XFU's WB→EX
     /// rd bypass (the paper's design point).
     pub fn new(forwarding: bool) -> Self {
-        XfuPipeline { forwarding, cycles: 0, in_flight_rd: None }
+        XfuPipeline {
+            forwarding,
+            cycles: 0,
+            in_flight_rd: None,
+        }
     }
 
     /// Issues one instruction, returning the cycles it consumed
@@ -96,7 +100,9 @@ mod tests {
         let mut p = XfuPipeline::new(false);
         let mut total = 0;
         for i in 0..8 {
-            total += p.issue(IssueOp::XDecimate { rd: 5 + (i % 2) as u8 });
+            total += p.issue(IssueOp::XDecimate {
+                rd: 5 + (i % 2) as u8,
+            });
         }
         assert_eq!(total, 8);
     }

@@ -127,7 +127,14 @@ impl DecimateXfu {
 
     /// Executes a full `xdecimate rd, rs1, rs2` against a memory closure,
     /// returning the updated `rd`. Convenience wrapper combining EX and WB.
-    pub fn execute<F>(&mut self, mode: DecimateMode, rs1: u32, rs2: u32, rd: u32, mut load: F) -> u32
+    pub fn execute<F>(
+        &mut self,
+        mode: DecimateMode,
+        rs1: u32,
+        rs2: u32,
+        rd: u32,
+        mut load: F,
+    ) -> u32
     where
         F: FnMut(u32) -> u8,
     {
@@ -143,12 +150,16 @@ mod tests {
 
     /// Packs 4-bit offsets LSB-first into a u32.
     fn pack4(offs: &[u8]) -> u32 {
-        offs.iter().enumerate().fold(0u32, |w, (i, &o)| w | (u32::from(o & 0xF) << (i * 4)))
+        offs.iter()
+            .enumerate()
+            .fold(0u32, |w, (i, &o)| w | (u32::from(o & 0xF) << (i * 4)))
     }
 
     /// Packs 2-bit offsets LSB-first into a u32.
     fn pack2(offs: &[u8]) -> u32 {
-        offs.iter().enumerate().fold(0u32, |w, (i, &o)| w | (u32::from(o & 0x3) << (i * 2)))
+        offs.iter()
+            .enumerate()
+            .fold(0u32, |w, (i, &o)| w | (u32::from(o & 0x3) << (i * 2)))
     }
 
     #[test]
@@ -168,9 +179,9 @@ mod tests {
         assert_eq!(
             addrs,
             vec![
-                0x100 + 3,        // block 0, buffer 1
-                0x200 + 3,        // block 0, buffer 2
-                0x100 + 8 + 7,    // block 1, buffer 1
+                0x100 + 3,     // block 0, buffer 1
+                0x200 + 3,     // block 0, buffer 2
+                0x100 + 8 + 7, // block 1, buffer 1
                 0x200 + 8 + 7,
                 0x100 + 16 + 1,
                 0x200 + 16 + 1,

@@ -109,8 +109,11 @@ mod tests {
         let mut per_class_mean = [0f32; 4];
         for i in 0..d.len() {
             let c = d.y[i];
-            let m: f32 =
-                (0..d.dim).filter(|j| j % 4 == c).map(|j| d.row(i)[j]).sum::<f32>() / 4.0;
+            let m: f32 = (0..d.dim)
+                .filter(|j| j % 4 == c)
+                .map(|j| d.row(i)[j])
+                .sum::<f32>()
+                / 4.0;
             per_class_mean[c] += m;
         }
         for c in 0..4 {

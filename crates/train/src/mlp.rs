@@ -165,7 +165,11 @@ mod tests {
             let mut minus = mlp.clone();
             minus.w1[idx] -= eps;
             let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
-            assert!((fd - grads.w1[idx]).abs() < 1e-2, "w1[{idx}]: fd {fd} vs {}", grads.w1[idx]);
+            assert!(
+                (fd - grads.w1[idx]).abs() < 1e-2,
+                "w1[{idx}]: fd {fd} vs {}",
+                grads.w1[idx]
+            );
         }
         for &idx in &[0usize, 3] {
             let mut plus = mlp.clone();

@@ -29,7 +29,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { hidden: 64, epochs: 30, lr: 0.02, lambda: 2e-4, nm: None, seed: 1 }
+        TrainConfig {
+            hidden: 64,
+            epochs: 30,
+            lr: 0.02,
+            lambda: 2e-4,
+            nm: None,
+            seed: 1,
+        }
     }
 }
 
@@ -120,7 +127,10 @@ pub fn train(train_set: &Dataset, test_set: &Dataset, cfg: &TrainConfig) -> Trai
     }
     // Final masked evaluation (what gets deployed).
     let (m1, m2) = match cfg.nm {
-        Some(nm) => (nm_mask(&mlp.w1, mlp.dim, nm), nm_mask(&mlp.w2, mlp.hidden, nm)),
+        Some(nm) => (
+            nm_mask(&mlp.w1, mlp.dim, nm),
+            nm_mask(&mlp.w2, mlp.hidden, nm),
+        ),
         None => (vec![1.0; mlp.w1.len()], vec![1.0; mlp.w2.len()]),
     };
     let w1 = masked(&mlp.w1, &m1);
@@ -157,7 +167,14 @@ mod tests {
     #[test]
     fn dense_training_learns() {
         let (tr, te) = datasets();
-        let r = train(&tr, &te, &TrainConfig { epochs: 20, ..Default::default() });
+        let r = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
         assert!(r.test_accuracy > 0.7, "accuracy {}", r.test_accuracy);
         assert_eq!(r.sparsity, 0.0);
     }
@@ -174,11 +191,22 @@ mod tests {
     #[test]
     fn sparse_training_stays_close_to_dense() {
         let (tr, te) = datasets();
-        let dense = train(&tr, &te, &TrainConfig { epochs: 20, ..Default::default() });
+        let dense = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
         let sparse = train(
             &tr,
             &te,
-            &TrainConfig { epochs: 20, nm: Some(Nm::ONE_OF_FOUR), ..Default::default() },
+            &TrainConfig {
+                epochs: 20,
+                nm: Some(Nm::ONE_OF_FOUR),
+                ..Default::default()
+            },
         );
         assert!((sparse.sparsity - 0.75).abs() < 1e-9);
         assert!(
@@ -192,8 +220,22 @@ mod tests {
     #[test]
     fn loss_decreases_with_training() {
         let (tr, te) = datasets();
-        let short = train(&tr, &te, &TrainConfig { epochs: 2, ..Default::default() });
-        let long = train(&tr, &te, &TrainConfig { epochs: 25, ..Default::default() });
+        let short = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
+        let long = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                epochs: 25,
+                ..Default::default()
+            },
+        );
         assert!(long.train_loss < short.train_loss);
     }
 }

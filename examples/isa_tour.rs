@@ -15,7 +15,13 @@ fn main() {
     // kernels' two im2col buffers, packed LSB-first in nibbles.
     let offsets = [3u8, 7, 1, 6];
     let mut rs2 = 0u32;
-    for (i, &o) in offsets.iter().flat_map(|o| [o, o]).enumerate().take(8).collect::<Vec<_>>() {
+    for (i, &o) in offsets
+        .iter()
+        .flat_map(|o| [o, o])
+        .enumerate()
+        .take(8)
+        .collect::<Vec<_>>()
+    {
         rs2 |= u32::from(o & 0xF) << (i * 4);
     }
     println!("offsets {offsets:?} duplicated -> rs2 = {rs2:#010x}");
@@ -64,9 +70,15 @@ fn main() {
     println!("-- dense 1x2 (5 instructions/iteration) --");
     print!("{}", listing(&programs::conv_dense_1x2(1)));
     println!("-- sparse SW 1:8 (22 instructions/iteration) --");
-    print!("{}", listing(&programs::conv_sparse_sw(DecimateMode::OneOfEight, 1)));
+    print!(
+        "{}",
+        listing(&programs::conv_sparse_sw(DecimateMode::OneOfEight, 1))
+    );
     println!("-- sparse ISA 1:8 (12 instructions/iteration) --");
-    print!("{}", listing(&programs::conv_sparse_isa(DecimateMode::OneOfEight, 1)));
+    print!(
+        "{}",
+        listing(&programs::conv_sparse_isa(DecimateMode::OneOfEight, 1))
+    );
     let sw = retired(&programs::conv_sparse_sw(DecimateMode::OneOfEight, 64));
     let isa = retired(&programs::conv_sparse_isa(DecimateMode::OneOfEight, 64));
     println!(

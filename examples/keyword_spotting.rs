@@ -52,7 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let report = compile(&g, &Options::new(target))?;
             println!(
                 "{:<10} {:>10.2} {:>12.2} {:>10.1} {:>9}",
-                format!("{nm} {}", if target == Target::SparseSw { "sw" } else { "isa" }),
+                format!(
+                    "{nm} {}",
+                    if target == Target::SparseSw {
+                        "sw"
+                    } else {
+                        "isa"
+                    }
+                ),
                 report.total_cycles() as f64 / 1e6,
                 report.macs_per_cycle(),
                 report.total_weight_bytes() as f64 / 1024.0,

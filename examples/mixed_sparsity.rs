@@ -31,9 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "density floor", "achieved", "Mcycles", "layers sparse"
     );
     for floor in [1.0, 0.5, 0.25, 0.125, 0.0] {
-        let a = assign_mixed(&graph, &opts, floor, |_, op| {
-            matches!(op, OpKind::Conv2d(l) if !l.geom.is_pointwise() && l.geom.c % 16 == 0)
-        })?;
+        let a = assign_mixed(
+            &graph,
+            &opts,
+            floor,
+            |_, op| matches!(op, OpKind::Conv2d(l) if !l.geom.is_pointwise() && l.geom.c % 16 == 0),
+        )?;
         let sparse = a.per_layer.iter().filter(|(_, nm)| nm.is_some()).count();
         let ladder: String = a
             .per_layer

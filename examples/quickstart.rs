@@ -44,19 +44,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("2. dense baseline on the simulated cluster");
     let mut l1 = Scratchpad::new("L1", 512 * 1024);
     let bufs = stage_fc_dense(&mut l1, &geom, &input, &pruned)?;
-    let job = FcJob { geom, requant, bufs };
+    let job = FcJob {
+        geom,
+        requant,
+        bufs,
+    };
     let dense_stats = fc_dense(&mut Ctx::Mem(&mut l1), &job, &cluster)?;
-    let dense_out: Vec<i8> =
-        (0..geom.k as u32).map(|i| nm_isa::Memory::load_i8(&l1, bufs.output + i)).collect();
-    println!("cycles: {}  (MAC/cyc {:.2})", dense_stats.cycles(), dense_stats.macs_per_cycle());
+    let dense_out: Vec<i8> = (0..geom.k as u32)
+        .map(|i| nm_isa::Memory::load_i8(&l1, bufs.output + i))
+        .collect();
+    println!(
+        "cycles: {}  (MAC/cyc {:.2})",
+        dense_stats.cycles(),
+        dense_stats.macs_per_cycle()
+    );
 
     banner("3. software sparse kernel (XpulpV2 only)");
     let mut l1 = Scratchpad::new("L1", 512 * 1024);
     let bufs = stage_fc_sparse(&mut l1, &geom, &input, &packed)?;
-    let sjob = SparseFcJob { fc: FcJob { geom, requant, bufs }, nm };
+    let sjob = SparseFcJob {
+        fc: FcJob {
+            geom,
+            requant,
+            bufs,
+        },
+        nm,
+    };
     let sw_stats = fc_sparse_sw(&mut Ctx::Mem(&mut l1), &sjob, &cluster)?;
-    let sw_out: Vec<i8> =
-        (0..geom.k as u32).map(|i| nm_isa::Memory::load_i8(&l1, bufs.output + i)).collect();
+    let sw_out: Vec<i8> = (0..geom.k as u32)
+        .map(|i| nm_isa::Memory::load_i8(&l1, bufs.output + i))
+        .collect();
     println!(
         "cycles: {}  speedup vs dense: {}",
         sw_stats.cycles(),
@@ -64,14 +81,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     banner("4. xDecimate kernel (interleaved offsets)");
-    let interleaved =
-        NmMatrix::from_dense(&pruned, geom.k, geom.c, nm, OffsetLayout::Interleaved)?;
+    let interleaved = NmMatrix::from_dense(&pruned, geom.k, geom.c, nm, OffsetLayout::Interleaved)?;
     let mut l1 = Scratchpad::new("L1", 512 * 1024);
     let bufs = stage_fc_sparse(&mut l1, &geom, &input, &interleaved)?;
-    let ijob = SparseFcJob { fc: FcJob { geom, requant, bufs }, nm };
+    let ijob = SparseFcJob {
+        fc: FcJob {
+            geom,
+            requant,
+            bufs,
+        },
+        nm,
+    };
     let isa_stats = fc_sparse_isa(&mut Ctx::Mem(&mut l1), &ijob, &cluster)?;
-    let isa_out: Vec<i8> =
-        (0..geom.k as u32).map(|i| nm_isa::Memory::load_i8(&l1, bufs.output + i)).collect();
+    let isa_out: Vec<i8> = (0..geom.k as u32)
+        .map(|i| nm_isa::Memory::load_i8(&l1, bufs.output + i))
+        .collect();
     println!(
         "cycles: {}  speedup vs dense: {}  vs SW sparse: {}",
         isa_stats.cycles(),

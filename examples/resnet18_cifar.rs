@@ -15,11 +15,18 @@ use nm_nn::prune::{prune_graph, resnet_policy, weight_sparsity};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("ResNet18 / CIFAR-100 geometry (synthetic weights)");
     let dense = resnet18_cifar(100, 1)?;
-    println!("params: {:.2} M   dense MACs: {:.1} M", dense.params() as f64 / 1e6, dense.dense_macs() as f64 / 1e6);
+    println!(
+        "params: {:.2} M   dense MACs: {:.1} M",
+        dense.params() as f64 / 1e6,
+        dense.dense_macs() as f64 / 1e6
+    );
 
     let d1x2 = compile(&dense, &Options::new(Target::Dense1x2))?;
     let dpnn = compile(&dense, &Options::new(Target::DensePulpNn))?;
-    println!("\n{:<12} {:>9} {:>9} {:>8} {:>8}", "config", "Mcycles", "MAC/cyc", "Mem MB", "vs pulp-nn");
+    println!(
+        "\n{:<12} {:>9} {:>9} {:>8} {:>8}",
+        "config", "Mcycles", "MAC/cyc", "Mem MB", "vs pulp-nn"
+    );
     let print = |name: &str, cycles: u64, mpc: f64, mem: usize| {
         println!(
             "{:<12} {:>9.2} {:>9.2} {:>8.2} {:>8.2}x",
@@ -30,18 +37,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             dpnn.total_cycles() as f64 / cycles as f64
         );
     };
-    print("dense-1x2", d1x2.total_cycles(), d1x2.macs_per_cycle(), d1x2.total_weight_bytes());
-    print("pulp-nn", dpnn.total_cycles(), dpnn.macs_per_cycle(), dpnn.total_weight_bytes());
+    print(
+        "dense-1x2",
+        d1x2.total_cycles(),
+        d1x2.macs_per_cycle(),
+        d1x2.total_weight_bytes(),
+    );
+    print(
+        "pulp-nn",
+        dpnn.total_cycles(),
+        dpnn.macs_per_cycle(),
+        dpnn.total_weight_bytes(),
+    );
 
     for nm in Nm::KERNEL_PATTERNS {
         let mut g = resnet18_cifar(100, 1)?;
         prune_graph(&mut g, nm, resnet_policy(nm))?;
         let sw = compile(&g, &Options::new(Target::SparseSw))?;
         let isa = compile(&g, &Options::new(Target::SparseIsa))?;
-        print(&format!("sw-{nm}"), sw.total_cycles(), sw.macs_per_cycle(), sw.total_weight_bytes());
-        print(&format!("isa-{nm}"), isa.total_cycles(), isa.macs_per_cycle(), isa.total_weight_bytes());
+        print(
+            &format!("sw-{nm}"),
+            sw.total_cycles(),
+            sw.macs_per_cycle(),
+            sw.total_weight_bytes(),
+        );
+        print(
+            &format!("isa-{nm}"),
+            isa.total_cycles(),
+            isa.macs_per_cycle(),
+            isa.total_weight_bytes(),
+        );
         if nm == Nm::ONE_OF_SIXTEEN {
-            println!("   (overall weight sparsity after pruning: {:.1}%)", 100.0 * weight_sparsity(&g));
+            println!(
+                "   (overall weight sparsity after pruning: {:.1}%)",
+                100.0 * weight_sparsity(&g)
+            );
         }
     }
     println!("\npaper Table 2: dense pulp-nn 49.71 Mcyc; 1:8 isa 24.01 Mcyc (2.07x); 1:16 isa 15.48 Mcyc");

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let base = compile(&dense, &Options::new(Target::Dense1x2))?;
-    println!("\n{:<10} {:>9} {:>9} {:>8} {:>9}", "config", "Mcycles", "MAC/cyc", "Mem MB", "vs dense");
+    println!(
+        "\n{:<10} {:>9} {:>9} {:>8} {:>9}",
+        "config", "Mcycles", "MAC/cyc", "Mem MB", "vs dense"
+    );
     let print = |name: &str, cycles: u64, mpc: f64, mem: usize| {
         println!(
             "{:<10} {:>9.2} {:>9.2} {:>8.2} {:>8.2}x",
@@ -36,18 +39,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             base.total_cycles() as f64 / cycles as f64
         );
     };
-    print("dense", base.total_cycles(), base.macs_per_cycle(), base.total_weight_bytes());
+    print(
+        "dense",
+        base.total_cycles(),
+        base.macs_per_cycle(),
+        base.total_weight_bytes(),
+    );
     for nm in Nm::KERNEL_PATTERNS {
         let mut g = vit_small(&cfg, 1)?;
         let pruned = prune_graph(&mut g, nm, vit_ff_policy(nm, 128))?;
         let sw = compile(&g, &Options::new(Target::SparseSw))?;
         let isa = compile(&g, &Options::new(Target::SparseIsa))?;
-        print(&format!("sw-{nm}"), sw.total_cycles(), sw.macs_per_cycle(), sw.total_weight_bytes());
-        print(&format!("isa-{nm}"), isa.total_cycles(), isa.macs_per_cycle(), isa.total_weight_bytes());
+        print(
+            &format!("sw-{nm}"),
+            sw.total_cycles(),
+            sw.macs_per_cycle(),
+            sw.total_weight_bytes(),
+        );
+        print(
+            &format!("isa-{nm}"),
+            isa.total_cycles(),
+            isa.macs_per_cycle(),
+            isa.total_weight_bytes(),
+        );
         if nm == Nm::ONE_OF_FOUR {
             println!("   ({} feed-forward layers sparsified)", pruned.len());
         }
     }
-    println!("\npaper Table 2: dense 975.23 Mcyc / 21.59 MB; 1:16 isa 540.23 Mcyc (1.81x) / 8.76 MB");
+    println!(
+        "\npaper Table 2: dense 975.23 Mcyc / 21.59 MB; 1:16 isa 540.23 Mcyc (1.81x) / 8.76 MB"
+    );
     Ok(())
 }

@@ -21,7 +21,11 @@ fn mode_of(nm: Nm) -> DecimateMode {
 }
 
 fn nm_strategy() -> impl Strategy<Value = Nm> {
-    prop_oneof![Just(Nm::ONE_OF_FOUR), Just(Nm::ONE_OF_EIGHT), Just(Nm::ONE_OF_SIXTEEN)]
+    prop_oneof![
+        Just(Nm::ONE_OF_FOUR),
+        Just(Nm::ONE_OF_EIGHT),
+        Just(Nm::ONE_OF_SIXTEEN)
+    ]
 }
 
 /// Stages one N:M row (values + plain/duplicated offsets) plus two
@@ -74,9 +78,14 @@ fn run_conv_programs(nm: Nm, chunks: usize, seed: u64) -> ((i32, i32), (i32, i32
         interp.run(&prog, &mut core, &mut mem);
         (interp.get(reg::ACC0) as i32, interp.get(reg::ACC1) as i32)
     };
-    let sw = run(OffsetLayout::Plain, programs::conv_sparse_sw(mode_of(nm), chunks as u32));
-    let isa =
-        run(OffsetLayout::Duplicated, programs::conv_sparse_isa(mode_of(nm), chunks as u32));
+    let sw = run(
+        OffsetLayout::Plain,
+        programs::conv_sparse_sw(mode_of(nm), chunks as u32),
+    );
+    let isa = run(
+        OffsetLayout::Duplicated,
+        programs::conv_sparse_isa(mode_of(nm), chunks as u32),
+    );
     (sw, isa, expect)
 }
 

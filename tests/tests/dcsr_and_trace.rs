@@ -21,7 +21,17 @@ fn gap_sparse(rows: usize, cols: usize, keep_every: usize, seed: u64) -> Vec<i8>
     let raw = random_i8(rows * cols, seed);
     raw.iter()
         .enumerate()
-        .map(|(i, &v)| if i % keep_every == 0 { if v == 0 { 1 } else { v } } else { 0 })
+        .map(|(i, &v)| {
+            if i % keep_every == 0 {
+                if v == 0 {
+                    1
+                } else {
+                    v
+                }
+            } else {
+                0
+            }
+        })
         .collect()
 }
 
@@ -128,5 +138,8 @@ fn resnet18_traces_agree_with_plans() {
         assert_eq!(lt.trace.end(), plan.cycles, "node {}", plan.node);
         traced += 1;
     }
-    assert!(traced >= 18, "expected most ResNet18 layers traced, got {traced}");
+    assert!(
+        traced >= 18,
+        "expected most ResNet18 layers traced, got {traced}"
+    );
 }

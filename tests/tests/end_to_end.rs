@@ -114,7 +114,10 @@ fn tiny_vit_compiles_and_executes_consistently() {
     let report = compile(&g, &Options::new(Target::DensePulpNn)).unwrap();
     assert!(report.total_cycles() > 0);
     // Attention layers are present and costed.
-    assert!(report.layers.iter().any(|l| l.op_name == "attention" && l.cycles > 0));
+    assert!(report
+        .layers
+        .iter()
+        .any(|l| l.op_name == "attention" && l.cycles > 0));
 }
 
 #[test]

@@ -21,7 +21,10 @@ fn l1_exhaustion_reports_out_of_memory_with_sizes() {
     let input = vec![0i8; geom.input_elems()];
     let weights = vec![0i8; geom.weight_elems()];
     match stage_conv_dense(&mut l1, &geom, &input, &weights, 8) {
-        Err(Error::OutOfMemory { requested, available }) => {
+        Err(Error::OutOfMemory {
+            requested,
+            available,
+        }) => {
             assert!(requested > available);
             assert!(available <= 1024);
         }
@@ -57,7 +60,11 @@ fn kernels_reject_geometry_pattern_mismatch_before_touching_memory() {
     // and emulated mode alike, without partial output.
     let geom = ConvGeom::square(3, 2, 5, 3, 1, 1).unwrap();
     let job = SparseConvJob {
-        conv: ConvJob { geom, requant: Requant::IDENTITY, bufs: Default::default() },
+        conv: ConvJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs: Default::default(),
+        },
         nm: Nm::ONE_OF_EIGHT,
     };
     let cluster = Cluster::new(4, CostModel::default());
@@ -88,14 +95,8 @@ fn channel_format_rejects_interleaved_and_bad_rows() {
 #[test]
 fn fc_channelwise_staging_checks_both_operands() {
     let geom = FcGeom::new(32, 4).unwrap();
-    let w = ChannelNmMatrix::from_dense(
-        &[0i8; 4 * 32],
-        4,
-        32,
-        &[None; 4],
-        OffsetLayout::Plain,
-    )
-    .unwrap();
+    let w = ChannelNmMatrix::from_dense(&[0i8; 4 * 32], 4, 32, &[None; 4], OffsetLayout::Plain)
+        .unwrap();
     let mut l1 = Scratchpad::new("l1", 64 * 1024);
     // Wrong input length.
     assert!(matches!(
@@ -137,9 +138,19 @@ fn pattern_violations_carry_their_location_through_the_stack() {
     let block = 7;
     w[row * geom.patch_len() + block * 4] = 1;
     w[row * geom.patch_len() + block * 4 + 1] = 2;
-    match NmMatrix::from_dense(&w, geom.k, geom.patch_len(), Nm::ONE_OF_FOUR, OffsetLayout::Plain)
-    {
-        Err(Error::PatternViolation { row: r, block: b, found, allowed }) => {
+    match NmMatrix::from_dense(
+        &w,
+        geom.k,
+        geom.patch_len(),
+        Nm::ONE_OF_FOUR,
+        OffsetLayout::Plain,
+    ) {
+        Err(Error::PatternViolation {
+            row: r,
+            block: b,
+            found,
+            allowed,
+        }) => {
             assert_eq!((r, b, found, allowed), (row, block, 2, 1));
         }
         other => panic!("expected located PatternViolation, got {other:?}"),

@@ -7,7 +7,11 @@ use nm_integration::{make_exact_nm, random_i8};
 use proptest::prelude::*;
 
 fn nm_strategy() -> impl Strategy<Value = Nm> {
-    prop_oneof![Just(Nm::ONE_OF_FOUR), Just(Nm::ONE_OF_EIGHT), Just(Nm::ONE_OF_SIXTEEN)]
+    prop_oneof![
+        Just(Nm::ONE_OF_FOUR),
+        Just(Nm::ONE_OF_EIGHT),
+        Just(Nm::ONE_OF_SIXTEEN)
+    ]
 }
 
 fn layout_strategy() -> impl Strategy<Value = OffsetLayout> {
@@ -58,7 +62,7 @@ proptest! {
         seed in 1u64..10_000,
     ) {
         let cols = blocks * nm.m().max(4);
-        prop_assume!(cols % nm.m() == 0 && cols % 4 == 0);
+        prop_assume!(cols.is_multiple_of(nm.m()) && cols.is_multiple_of(4));
         let mut w = random_i8(rows * cols, seed);
         nm_core::sparsity::prune_magnitude(&mut w, rows, cols, nm).unwrap();
         let coo = CooMatrix::from_dense(&w, rows, cols).unwrap();

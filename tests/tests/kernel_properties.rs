@@ -23,7 +23,11 @@ use nm_platform::{Cluster, Scratchpad};
 use proptest::prelude::*;
 
 fn nm_strategy() -> impl Strategy<Value = Nm> {
-    prop_oneof![Just(Nm::ONE_OF_FOUR), Just(Nm::ONE_OF_EIGHT), Just(Nm::ONE_OF_SIXTEEN)]
+    prop_oneof![
+        Just(Nm::ONE_OF_FOUR),
+        Just(Nm::ONE_OF_EIGHT),
+        Just(Nm::ONE_OF_SIXTEEN)
+    ]
 }
 
 proptest! {

@@ -1,0 +1,232 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors exactly the API surface its benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `throughput` / `sample_size` /
+//! `finish`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is plain wall-clock: each benchmark
+//! runs a calibrated batch per sample and reports mean and best
+//! nanoseconds per iteration (plus throughput when declared).
+//!
+//! When invoked with `--test` (as `cargo test --benches` does for
+//! `harness = false` targets), every benchmark runs exactly one
+//! iteration as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration, used to derive throughput rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    smoke_test: bool,
+    /// Mean and best per-iteration time of the last `iter` call.
+    last: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, storing mean/best per-iteration durations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke_test {
+            black_box(f());
+            self.last = Some((Duration::ZERO, Duration::ZERO));
+            return;
+        }
+        // Calibrate a batch size so one sample takes ~2ms.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            total += el;
+            best = best.min(el);
+        }
+        let iters = batch * self.samples as u64;
+        self.last = Some((total / iters as u32, best / batch as u32));
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares the work done per iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    /// Sets the number of timed samples (batches) per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            smoke_test: self.criterion.smoke_test,
+            last: None,
+        };
+        f(&mut b);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (formatting separator only in this shim).
+    pub fn finish(&mut self) {
+        if !self.criterion.smoke_test {
+            println!();
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 20,
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: 20,
+            smoke_test: self.smoke_test,
+            last: None,
+        };
+        f(&mut b);
+        self.report(id, &b, None);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+        if self.smoke_test {
+            println!("bench {id} ... ok (smoke test)");
+            return;
+        }
+        let Some((mean, best)) = b.last else {
+            println!("{id:<40} (no iter() call)");
+            return;
+        };
+        let rate = |per_iter: Duration| -> String {
+            match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!(" {:>12.1} Melem/s", n as f64 / per_iter.as_secs_f64() / 1e6)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(
+                        " {:>12.1} MiB/s",
+                        n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0)
+                    )
+                }
+                None => String::new(),
+            }
+        };
+        println!(
+            "{id:<40} mean {:>10.0} ns/iter  best {:>10.0} ns/iter{}",
+            mean.as_nanos() as f64,
+            best.as_nanos() as f64,
+            rate(mean)
+        );
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { smoke_test: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(8)).sample_size(5);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn bencher_times_real_work() {
+        let mut b = Bencher {
+            samples: 2,
+            smoke_test: false,
+            last: None,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        let (mean, best) = b.last.unwrap();
+        assert!(best <= mean);
+    }
+}
