@@ -1,29 +1,42 @@
 //! Host-throughput benchmark of the emulation engine: simulated MACs per
 //! wall-clock second, reference vs. bulk vs. analytic paths.
 //!
-//! Usage: `engine [reps] [--json]`
+//! Usage: `engine [reps] [--json] [--best-of N]`
 //!
 //! * `reps` — invocations per measurement (default 20).
 //! * `--json` — print the machine-readable report (the format of the
 //!   checked-in `BENCH_engine.json` snapshot) instead of the table.
+//! * `--best-of N` — run the suite `N` times and keep each row's fastest
+//!   measurement (default 1); use `--best-of 3` when refreshing the
+//!   snapshot so scheduler noise does not end up in the baseline.
 
-use nm_bench::engine::run_suite;
+use nm_bench::engine::{run_suite, EngineReport};
 use nm_bench::table;
 
 fn main() {
     let mut reps = 20u32;
     let mut json = false;
-    for arg in std::env::args().skip(1) {
+    let mut best_of = 1u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--json" {
             json = true;
+        } else if arg == "--best-of" {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => best_of = n,
+                _ => {
+                    eprintln!("usage: engine [reps] [--json] [--best-of N]");
+                    std::process::exit(2);
+                }
+            }
         } else if let Ok(n) = arg.parse() {
             reps = n;
         } else {
-            eprintln!("usage: engine [reps] [--json]");
+            eprintln!("usage: engine [reps] [--json] [--best-of N]");
             std::process::exit(2);
         }
     }
-    let report = run_suite(reps.max(1));
+    let report = EngineReport::best_of((0..best_of).map(|_| run_suite(reps.max(1))).collect());
     if json {
         print!("{}", report.to_json());
         return;

@@ -1,18 +1,24 @@
 //! Host-throughput benchmark of the emulation engine itself (not of the
 //! modeled hardware): simulated MACs per wall-clock second for the six
-//! hot kernels on the per-instruction reference path, the bulk fast path
-//! and analytic mode.
+//! hot N:M/dense kernels *and* the three related-work baseline formats
+//! (CSR / dCSR / blockwise) on the per-instruction reference path, the
+//! bulk fast path and analytic mode.
 //!
 //! This is the perf trajectory behind `BENCH_engine.json`: the bulk fast
-//! path exists to make sparsity/geometry sweeps cheap, so its speedup
-//! over the reference (`speedup_vs_reference`) is the number later PRs
-//! must not regress.
+//! path exists to make sparsity/geometry sweeps cheap — on *both* sides
+//! of the paper's format comparisons — so its speedup over the reference
+//! (`speedup_vs_reference`) is the number later PRs must not regress.
+//! The `perf_gate` binary (see [`crate::gate`]) enforces exactly that in
+//! CI against the checked-in snapshot.
 
-use nm_core::format::{NmMatrix, OffsetLayout};
+use nm_core::format::{BlockwiseMatrix, CsrMatrix, DcsrMatrix, NmMatrix, OffsetLayout};
 use nm_core::quant::Requant;
 use nm_core::sparsity::Nm;
 use nm_core::{ConvGeom, FcGeom};
 use nm_isa::CostModel;
+use nm_kernels::baseline::blockwise::{fc_blockwise, stage_blockwise_fc};
+use nm_kernels::baseline::csr::{fc_csr, stage_csr_fc};
+use nm_kernels::baseline::dcsr::{fc_dcsr, stage_dcsr_fc};
 use nm_kernels::conv::dense::conv_dense_4x2;
 use nm_kernels::conv::sparse_isa::conv_sparse_isa;
 use nm_kernels::conv::sparse_sw::{conv_sparse_sw, SparseConvJob};
@@ -22,7 +28,7 @@ use nm_kernels::fc::sparse_isa::fc_sparse_isa;
 use nm_kernels::fc::sparse_sw::{fc_sparse_sw, SparseFcJob};
 use nm_kernels::fc::FcJob;
 use nm_kernels::layout::{stage_conv_dense, stage_conv_sparse, stage_fc_dense, stage_fc_sparse};
-use nm_kernels::testdata::random_data;
+use nm_kernels::testdata::{random_data, random_sparse_data};
 use nm_kernels::{Ctx, KernelStats};
 use nm_platform::{Cluster, Scratchpad};
 use std::time::Instant;
@@ -79,6 +85,35 @@ pub struct EngineReport {
 }
 
 impl EngineReport {
+    /// Merges repeated suite runs into a best-of report: per
+    /// `(kernel, path)` the row with the highest throughput survives.
+    /// Host timing noise (scheduler preemption, frequency scaling) only
+    /// ever makes a run *slower*, so the per-row best is the stablest
+    /// estimate of the engine's actual speed — use it for the checked-in
+    /// snapshot and for the perf gate's in-process measurements.
+    ///
+    /// # Panics
+    /// Panics if `reports` is empty or the runs measured different row
+    /// sets.
+    pub fn best_of(reports: Vec<EngineReport>) -> EngineReport {
+        let mut iter = reports.into_iter();
+        let mut best = iter.next().expect("at least one report");
+        for report in iter {
+            assert_eq!(report.rows.len(), best.rows.len(), "row sets differ");
+            for (b, r) in best.rows.iter_mut().zip(report.rows) {
+                assert_eq!(
+                    (&b.kernel, b.path),
+                    (&r.kernel, r.path),
+                    "row order differs"
+                );
+                if r.sim_macs_per_sec > b.sim_macs_per_sec {
+                    *b = r;
+                }
+            }
+        }
+        best
+    }
+
     /// Bulk-over-reference wall-clock speedup for `kernel`.
     pub fn speedup_vs_reference(&self, kernel: &str) -> Option<f64> {
         let find = |p: Path| {
@@ -213,8 +248,9 @@ impl EngineReport {
 /// per-instruction emulation (commit `5dc0993`, the state before the bulk
 /// engine PR) on the exact workloads of [`run_suite`], measured on the
 /// reference build machine (50–100 reps, two confirming runs). The seed
-/// had no manifests, so the measurement procedure was: `git worktree add
-/// <dir> 5dc0993`, add the minimal crate manifests, build `--release`
+/// had no manifests, so the measurement procedure was:
+/// `git worktree add DIR 5dc0993`, add the minimal crate manifests, build
+/// `--release`
 /// (no LTO — the seed defined no profile) and time `Ctx::Mem` runs of
 /// the staged jobs. These are the "before" numbers the acceptance
 /// criterion compares against; they are machine-specific, like every
@@ -311,6 +347,53 @@ pub fn run_suite(reps: u32) -> EngineReport {
         }
     }
 
+    // Related-work baseline formats on the same FC workload at matched
+    // ~87.5 % unstructured / blockwise sparsity (one non-zero per 8
+    // weights, one kept block per 8) — the other side of the paper's
+    // format comparison, now also measured on every execution path.
+    let fc_unstructured_w = random_sparse_data(fc_geom.weight_elems(), 8, 77);
+    {
+        let w = CsrMatrix::from_dense(&fc_unstructured_w, fc_geom.k, fc_geom.c).unwrap();
+        let fc = FcJob {
+            geom: fc_geom,
+            requant: Requant::for_dot_len(fc_geom.c / 8),
+            bufs: Default::default(),
+        };
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let job = stage_csr_fc(&mut l1, &fc, &fc_input, &w).unwrap();
+        time_paths(&mut rows, &l1, reps, |ctx| {
+            fc_csr(ctx, &job, &cluster).unwrap()
+        });
+    }
+    {
+        let w = DcsrMatrix::from_dense(&fc_unstructured_w, fc_geom.k, fc_geom.c).unwrap();
+        let fc = FcJob {
+            geom: fc_geom,
+            requant: Requant::for_dot_len(fc_geom.c / 8),
+            bufs: Default::default(),
+        };
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let job = stage_dcsr_fc(&mut l1, &fc, &fc_input, &w).unwrap();
+        time_paths(&mut rows, &l1, reps, |ctx| {
+            fc_dcsr(ctx, &job, &cluster).unwrap()
+        });
+    }
+    {
+        let keep = fc_geom.c / 4 / 8; // one kept 1x4 block per 8
+        let w =
+            BlockwiseMatrix::prune_from_dense(&fc_dense_w, fc_geom.k, fc_geom.c, 4, keep).unwrap();
+        let fc = FcJob {
+            geom: fc_geom,
+            requant: Requant::for_dot_len(fc_geom.c / 8),
+            bufs: Default::default(),
+        };
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let job = stage_blockwise_fc(&mut l1, &fc, &fc_input, &w).unwrap();
+        time_paths(&mut rows, &l1, reps, |ctx| {
+            fc_blockwise(ctx, &job, &cluster).unwrap()
+        });
+    }
+
     // Conv 16x16x32 -> 32, 3x3 — a mid-size CNN layer.
     let conv_geom = ConvGeom::square(32, 32, 16, 3, 1, 1).unwrap();
     let conv_input = random_data(conv_geom.input_elems(), 7);
@@ -364,11 +447,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_covers_six_kernels_and_three_paths() {
+    fn suite_covers_nine_kernels_and_three_paths() {
         let report = run_suite(1);
-        assert_eq!(report.rows.len(), 6 * 3);
+        assert_eq!(report.rows.len(), 9 * 3);
         let kernels = report.kernels();
-        assert_eq!(kernels.len(), 6);
+        assert_eq!(kernels.len(), 9);
+        for k in ["fc-csr", "fc-dcsr", "fc-blockwise-1x4"] {
+            assert!(kernels.iter().any(|n| n == k), "missing baseline {k}");
+        }
         for k in &kernels {
             assert!(report.speedup_vs_reference(k).unwrap() > 0.0, "{k}");
         }
@@ -385,11 +471,26 @@ mod tests {
     }
 
     #[test]
+    fn best_of_keeps_fastest_rows() {
+        let a = run_suite(1);
+        let mut b = a.clone();
+        // Make one run strictly slower everywhere; best-of must recover a.
+        for r in &mut b.rows {
+            r.sim_macs_per_sec /= 2.0;
+            r.wall_s *= 2.0;
+        }
+        let best = EngineReport::best_of(vec![b, a.clone()]);
+        for (x, y) in best.rows.iter().zip(&a.rows) {
+            assert_eq!(x.sim_macs_per_sec, y.sim_macs_per_sec);
+        }
+    }
+
+    #[test]
     fn json_is_well_formed_enough_to_diff() {
         let report = run_suite(1);
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with("}\n"));
-        assert_eq!(json.matches("\"kernel\"").count(), 18);
+        assert_eq!(json.matches("\"kernel\"").count(), 27);
         assert!(json.contains("speedup_bulk_vs_reference"));
     }
 }

@@ -1,0 +1,239 @@
+//! Perf-regression gate over the engine-throughput snapshot.
+//!
+//! Compares a fresh [`crate::engine`] report against the checked-in
+//! `BENCH_engine.json` baseline, per workload, and fails when the bulk
+//! fast path's simulated-MACs-per-second fall more than a threshold
+//! below the snapshot. The `perf_gate` binary wraps this module so the
+//! check runs identically in CI and on a developer machine.
+//!
+//! Wall-clock numbers are machine-specific, so by default each kernel's
+//! baseline is **calibrated**: it is scaled by the ratio of the current
+//! machine's reference-path throughput to the snapshot's reference-path
+//! throughput for the same kernel. That cancels the host-speed factor
+//! and turns the check into "the bulk path must stay as many times
+//! faster than the reference path as the snapshot says" — the quantity
+//! the bulk engine exists to provide. Pass `calibrate = false`
+//! (`--absolute` on the binary) to compare raw MACs/s instead, which is
+//! only meaningful on the machine that produced the snapshot.
+//!
+//! The JSON subset parsed here is exactly what
+//! [`crate::engine::EngineReport::to_json`] emits; the parser is
+//! hand-rolled because the build environment has no registry access for
+//! a JSON crate (see ROADMAP "vendored shims").
+
+use crate::engine::{EngineReport, Path};
+
+/// One `(kernel, path)` measurement parsed from an engine JSON report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Kernel name (e.g. `"fc-csr"`).
+    pub kernel: String,
+    /// Execution path name (`"reference"`, `"bulk"` or `"analytic"`).
+    pub path: String,
+    /// Simulated dense-equivalent MACs per wall-clock second.
+    pub sim_macs_per_sec: f64,
+}
+
+/// The verdict for one kernel.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// Kernel name.
+    pub kernel: String,
+    /// Snapshot bulk-path throughput (MACs/s), uncalibrated.
+    pub baseline: f64,
+    /// Current bulk-path throughput (MACs/s).
+    pub current: f64,
+    /// Host-speed factor applied to the baseline (1.0 in absolute mode).
+    pub calibration: f64,
+    /// `current / (baseline * calibration)` — below `1 - threshold`
+    /// fails.
+    pub ratio: f64,
+    /// Whether this kernel met the threshold.
+    pub pass: bool,
+}
+
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = obj.find(&tag)? + tag.len();
+    let rest = obj[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    Some(field(obj, key)?.trim_matches('"').to_string())
+}
+
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    field(obj, key)?.parse().ok()
+}
+
+/// Parses the `rows` array of an engine JSON report.
+///
+/// # Errors
+/// Returns a description of the first malformed row, or of a missing
+/// `rows` array.
+pub fn parse_rows(json: &str) -> Result<Vec<GateRow>, String> {
+    let start = json
+        .find("\"rows\": [")
+        .ok_or_else(|| "no \"rows\" array in report".to_string())?;
+    let body = &json[start..];
+    let end = body
+        .find(']')
+        .ok_or_else(|| "unterminated \"rows\" array".to_string())?;
+    let mut rows = Vec::new();
+    for obj in body[..end].split('{').skip(1) {
+        let row = GateRow {
+            kernel: str_field(obj, "kernel").ok_or_else(|| format!("row without kernel: {obj}"))?,
+            path: str_field(obj, "path").ok_or_else(|| format!("row without path: {obj}"))?,
+            sim_macs_per_sec: num_field(obj, "sim_macs_per_sec")
+                .ok_or_else(|| format!("row without sim_macs_per_sec: {obj}"))?,
+        };
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("empty \"rows\" array".to_string());
+    }
+    Ok(rows)
+}
+
+/// Flattens a live [`EngineReport`] into gate rows.
+pub fn report_rows(report: &EngineReport) -> Vec<GateRow> {
+    report
+        .rows
+        .iter()
+        .map(|r| GateRow {
+            kernel: r.kernel.clone(),
+            path: r.path.name().to_string(),
+            sim_macs_per_sec: r.sim_macs_per_sec,
+        })
+        .collect()
+}
+
+fn throughput(rows: &[GateRow], kernel: &str, path: Path) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.kernel == kernel && r.path == path.name())
+        .map(|r| r.sim_macs_per_sec)
+}
+
+/// Compares the bulk-path throughput of every kernel in `baseline`
+/// against `current`; a kernel fails when its (optionally calibrated)
+/// throughput ratio drops below `1 - threshold`.
+///
+/// # Errors
+/// A kernel present in the baseline but missing from the current report
+/// is an error, not a pass — dropping a workload must not green the gate.
+pub fn compare(
+    baseline: &[GateRow],
+    current: &[GateRow],
+    threshold: f64,
+    calibrate: bool,
+) -> Result<Vec<GateCheck>, String> {
+    let mut kernels: Vec<&str> = Vec::new();
+    for r in baseline {
+        if r.path == Path::Bulk.name() && !kernels.contains(&r.kernel.as_str()) {
+            kernels.push(&r.kernel);
+        }
+    }
+    if kernels.is_empty() {
+        return Err("baseline has no bulk-path rows".to_string());
+    }
+    let mut checks = Vec::new();
+    for kernel in kernels {
+        let base_bulk = throughput(baseline, kernel, Path::Bulk).expect("selected on bulk rows");
+        let cur_bulk = throughput(current, kernel, Path::Bulk)
+            .ok_or_else(|| format!("current report has no bulk row for {kernel}"))?;
+        let calibration = if calibrate {
+            let base_ref = throughput(baseline, kernel, Path::Reference)
+                .ok_or_else(|| format!("baseline has no reference row for {kernel}"))?;
+            let cur_ref = throughput(current, kernel, Path::Reference)
+                .ok_or_else(|| format!("current report has no reference row for {kernel}"))?;
+            cur_ref / base_ref
+        } else {
+            1.0
+        };
+        let ratio = cur_bulk / (base_bulk * calibration);
+        checks.push(GateCheck {
+            kernel: kernel.to_string(),
+            baseline: base_bulk,
+            current: cur_bulk,
+            calibration,
+            ratio,
+            pass: ratio >= 1.0 - threshold,
+        });
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_suite;
+
+    fn row(kernel: &str, path: &str, macs: f64) -> GateRow {
+        GateRow {
+            kernel: kernel.into(),
+            path: path.into(),
+            sim_macs_per_sec: macs,
+        }
+    }
+
+    fn pair(kernel: &str, reference: f64, bulk: f64) -> [GateRow; 2] {
+        [
+            row(kernel, "reference", reference),
+            row(kernel, "bulk", bulk),
+        ]
+    }
+
+    #[test]
+    fn parses_what_the_engine_emits() {
+        let report = run_suite(1);
+        let rows = parse_rows(&report.to_json()).unwrap();
+        assert_eq!(rows.len(), report.rows.len());
+        for (parsed, live) in rows.iter().zip(report_rows(&report)) {
+            assert_eq!(parsed.kernel, live.kernel);
+            assert_eq!(parsed.path, live.path);
+            // to_json rounds to whole MACs/s.
+            assert!((parsed.sim_macs_per_sec - live.sim_macs_per_sec).abs() <= 0.5);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        assert!(parse_rows("{}").is_err());
+        assert!(parse_rows("{\"rows\": []}").is_err());
+        assert!(parse_rows("{\"rows\": [{\"kernel\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn flags_regressions_beyond_threshold() {
+        let baseline: Vec<GateRow> = pair("a", 100.0, 1000.0).into_iter().collect();
+        // 30 % below baseline on the same-speed machine: fails at 25 %.
+        let slow: Vec<GateRow> = pair("a", 100.0, 700.0).into_iter().collect();
+        let checks = compare(&baseline, &slow, 0.25, true).unwrap();
+        assert!(!checks[0].pass);
+        // 10 % below: passes.
+        let ok: Vec<GateRow> = pair("a", 100.0, 900.0).into_iter().collect();
+        assert!(compare(&baseline, &ok, 0.25, true).unwrap()[0].pass);
+    }
+
+    #[test]
+    fn calibration_cancels_host_speed() {
+        let baseline: Vec<GateRow> = pair("a", 100.0, 1000.0).into_iter().collect();
+        // A machine 4x slower across the board: same bulk-vs-reference
+        // shape, so the calibrated gate passes while absolute fails.
+        let slower_host: Vec<GateRow> = pair("a", 25.0, 250.0).into_iter().collect();
+        let calibrated = compare(&baseline, &slower_host, 0.25, true).unwrap();
+        assert!(calibrated[0].pass);
+        assert!((calibrated[0].ratio - 1.0).abs() < 1e-9);
+        let absolute = compare(&baseline, &slower_host, 0.25, false).unwrap();
+        assert!(!absolute[0].pass);
+    }
+
+    #[test]
+    fn missing_kernel_is_an_error() {
+        let baseline: Vec<GateRow> = pair("a", 100.0, 1000.0).into_iter().collect();
+        let current: Vec<GateRow> = pair("b", 100.0, 1000.0).into_iter().collect();
+        assert!(compare(&baseline, &current, 0.25, true).is_err());
+    }
+}

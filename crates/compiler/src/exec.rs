@@ -9,9 +9,12 @@
 use crate::patterns::{select_kernel, KernelChoice};
 use crate::plan::{conv_tile_specs, fc_tile_specs, Options};
 use crate::tiling::{tile_conv, tile_fc};
-use nm_core::format::{NmMatrix, OffsetLayout};
+use nm_core::format::{BlockwiseMatrix, CsrMatrix, DcsrMatrix, NmMatrix, OffsetLayout};
 use nm_core::{Error, Result, Tensor};
 use nm_isa::Memory;
+use nm_kernels::baseline::blockwise::{fc_blockwise, stage_blockwise_fc};
+use nm_kernels::baseline::csr::{fc_csr, stage_csr_fc};
+use nm_kernels::baseline::dcsr::{fc_dcsr, stage_dcsr_fc};
 use nm_kernels::conv::dense::{conv_dense_1x2, conv_dense_4x2};
 use nm_kernels::conv::sparse_isa::conv_sparse_isa;
 use nm_kernels::conv::sparse_sw::{conv_sparse_sw, SparseConvJob};
@@ -202,6 +205,74 @@ fn run_fc_layer(
     Ok((Tensor::from_vec(&shape, out)?, cycles))
 }
 
+/// A related-work sparse format for [`run_fc_baseline`] — the "other
+/// side" of the paper's format comparisons (Sec. 3 / Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineFormat {
+    /// Unstructured CSR with 16-bit column indices.
+    Csr,
+    /// Delta-compressed CSR (Trommer et al. 2021).
+    Dcsr,
+    /// Scalpel-style 1×4 blockwise pruning (block indices, dense groups).
+    Blockwise,
+}
+
+/// Runs one FC layer through a related-work baseline format on the
+/// simulated cluster. Like the N:M tiles of [`run_emulated`], the
+/// emulation context is selected by [`Options::bulk_emulation`], so
+/// format-comparison sweeps pay the same (fast) emulation rates on both
+/// sides of the comparison.
+///
+/// Baselines are comparison harness paths, not deployment paths: the
+/// whole layer is staged at once (no tiling) and must fit the L1 budget.
+///
+/// # Errors
+/// Propagates staging and kernel errors (including
+/// [`Error::OutOfMemory`] for layers exceeding `opts.l1_budget`).
+pub fn run_fc_baseline(
+    layer: &LinearLayer,
+    input: &Tensor<i8>,
+    format: BaselineFormat,
+    opts: &Options,
+) -> Result<(Tensor<i8>, u64)> {
+    let geom = &layer.geom;
+    let x = match input.shape() {
+        [c] if *c == geom.c => input.data(),
+        s => return Err(Error::ShapeMismatch(format!("baseline FC over {s:?}"))),
+    };
+    let cluster = opts.cluster();
+    let fc = FcJob {
+        geom: *geom,
+        requant: layer.requant,
+        bufs: Default::default(),
+    };
+    let mut mem = l1(opts);
+    let (stats, output) = match format {
+        BaselineFormat::Csr => {
+            let w = CsrMatrix::from_dense(&layer.weights, geom.k, geom.c)?;
+            let job = stage_csr_fc(&mut mem, &fc, x, &w)?;
+            let stats = fc_csr(&mut tile_ctx(&mut mem, opts), &job, &cluster)?;
+            (stats, job.bufs.output)
+        }
+        BaselineFormat::Dcsr => {
+            let w = DcsrMatrix::from_dense(&layer.weights, geom.k, geom.c)?;
+            let job = stage_dcsr_fc(&mut mem, &fc, x, &w)?;
+            let stats = fc_dcsr(&mut tile_ctx(&mut mem, opts), &job, &cluster)?;
+            (stats, job.bufs.output)
+        }
+        BaselineFormat::Blockwise => {
+            let w = BlockwiseMatrix::from_dense(&layer.weights, geom.k, geom.c, 4)?;
+            let job = stage_blockwise_fc(&mut mem, &fc, x, &w)?;
+            let stats = fc_blockwise(&mut tile_ctx(&mut mem, opts), &job, &cluster)?;
+            (stats, job.bufs.output)
+        }
+    };
+    let out: Vec<i8> = (0..geom.k)
+        .map(|k| mem.load_i8(output + k as u32))
+        .collect();
+    Ok((Tensor::from_vec(&[geom.k], out)?, stats.cycles()))
+}
+
 /// Runs the graph with Conv/Linear layers executed tile-by-tile on the
 /// simulated cluster using the target's kernels.
 ///
@@ -331,6 +402,41 @@ mod tests {
     fn dense_targets_match_reference_and_plan() {
         check_target(None, Target::Dense1x2);
         check_target(None, Target::DensePulpNn);
+    }
+
+    /// The baseline-format executor must honor `Options::bulk_emulation`
+    /// exactly like the N:M tiles: identical outputs and cycles on both
+    /// paths, and (since every format here round-trips the weights)
+    /// outputs identical to the dense kernel's.
+    #[test]
+    fn fc_baselines_match_dense_and_respect_bulk_emulation() {
+        let fcg = FcGeom::new(64, 12).unwrap();
+        let mut rng = XorShift::new(17);
+        let mut w = rng.fill_weights(fcg.weight_elems(), 30);
+        for (i, v) in w.iter_mut().enumerate() {
+            if i % 5 != 0 {
+                *v = 0; // ~80 % unstructured sparsity
+            }
+        }
+        let layer = LinearLayer::new(fcg, w, Requant::for_dot_len(fcg.c)).unwrap();
+        let input = Tensor::from_vec(&[fcg.c], rng.fill_weights(fcg.c, 50)).unwrap();
+        let opts = Options::new(Target::Dense1x2);
+        let (dense_out, _) = run_fc_layer(&layer, &input, KernelChoice::FcDense, &opts).unwrap();
+        for format in [
+            BaselineFormat::Csr,
+            BaselineFormat::Dcsr,
+            BaselineFormat::Blockwise,
+        ] {
+            assert!(opts.bulk_emulation, "bulk path is the default");
+            let mut reference = Options::new(Target::Dense1x2);
+            reference.bulk_emulation = false;
+            let (fast_out, fast_cycles) = run_fc_baseline(&layer, &input, format, &opts).unwrap();
+            let (ref_out, ref_cycles) =
+                run_fc_baseline(&layer, &input, format, &reference).unwrap();
+            assert_eq!(fast_out, ref_out, "{format:?} outputs");
+            assert_eq!(fast_cycles, ref_cycles, "{format:?} cycles");
+            assert_eq!(fast_out, dense_out, "{format:?} vs dense");
+        }
     }
 
     #[test]

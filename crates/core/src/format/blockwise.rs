@@ -120,6 +120,24 @@ impl BlockwiseMatrix {
         self.block
     }
 
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Kept blocks in one row.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()`.
+    pub fn row_blocks(&self, row: usize) -> usize {
+        usize::from(self.row_len[row])
+    }
+
     /// Kept blocks in one row as `(block_index, values)` pairs.
     ///
     /// # Panics

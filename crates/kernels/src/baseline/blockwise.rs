@@ -8,10 +8,11 @@
 //! paper adopts N:M.
 
 use super::super::fc::{run_fc, FcJob, EPILOGUE_ALU};
-use crate::stats::{Ctx, KernelStats};
+use crate::bulk::{blockwise_rows_out, loop_scaffold, u16_indices_below, write_out};
+use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::BlockwiseMatrix;
 use nm_core::{Error, Result};
-use nm_isa::{InstrClass, Memory};
+use nm_isa::{InstrBlock, InstrClass, Memory};
 use nm_platform::{chunk_range, Cluster, Scratchpad};
 
 /// L1 addresses for the blockwise kernel.
@@ -39,6 +40,19 @@ pub struct BlockwiseFcJob {
     pub bufs: BlockwiseBufs,
 }
 
+impl BlockwiseFcJob {
+    /// Builds the job metadata from a packed matrix, with default
+    /// (unstaged) buffers — enough for analytic runs; emulation requires
+    /// the buffers from [`stage_blockwise_fc`].
+    pub fn from_matrix(fc: FcJob, w: &BlockwiseMatrix) -> Self {
+        BlockwiseFcJob {
+            fc,
+            blocks_per_row: (0..w.rows()).map(|k| w.row_blocks(k)).collect(),
+            bufs: BlockwiseBufs::default(),
+        }
+    }
+}
+
 /// Stages a [`BlockwiseMatrix`] and input vector into L1.
 ///
 /// # Errors
@@ -61,15 +75,11 @@ pub fn stage_blockwise_fc(
     }
     let mut values = Vec::new();
     let mut idx: Vec<u16> = Vec::new();
-    let mut blocks_per_row = Vec::with_capacity(fc.geom.k);
     for k in 0..fc.geom.k {
-        let mut count = 0;
         for (b, vals) in w.row(k) {
             values.extend_from_slice(vals);
             idx.push(b as u16);
-            count += 1;
         }
-        blocks_per_row.push(count);
     }
     let bufs = BlockwiseBufs {
         input: l1.alloc(input.len(), 4)?,
@@ -88,9 +98,8 @@ pub fn stage_blockwise_fc(
         l1.store_u8(bufs.block_idx + (2 * i + 1) as u32, (v >> 8) as u8);
     }
     Ok(BlockwiseFcJob {
-        fc: *fc,
-        blocks_per_row,
         bufs,
+        ..BlockwiseFcJob::from_matrix(*fc, w)
     })
 }
 
@@ -123,6 +132,52 @@ pub fn fc_blockwise(
         cluster,
         |core_id, core| {
             let range = chunk_range(geom.k, cluster.n_cores(), core_id);
+            if let ExecPath::Bulk(mem) = ctx.path() {
+                // Driver-level fast path: 4-wide block dots from zero-copy
+                // slices of the flat value/index streams, one aggregated
+                // accounting block per core.
+                let total = row_start[geom.k];
+                {
+                    // As in the CSR kernel, the activation window runs to
+                    // the end of the scratchpad (capped at the largest
+                    // 4-byte window a 16-bit block index can address):
+                    // out-of-range indices read what the reference path's
+                    // raw loads would, and a window covering the whole
+                    // index range needs no validation scan.
+                    let full = 4 * usize::from(u16::MAX) + 4;
+                    let win = (mem.size() - job.bufs.input as usize).min(full);
+                    let input = mem
+                        .slice(job.bufs.input, win)
+                        .expect("scratchpad is zero-copy");
+                    let values = mem
+                        .slice(job.bufs.values, 4 * total)
+                        .expect("scratchpad is zero-copy");
+                    let idx = mem
+                        .slice(job.bufs.block_idx, 2 * total)
+                        .expect("scratchpad is zero-copy");
+                    let (s0, e0) = (row_start[range.start], row_start[range.end]);
+                    let safe = win == full || u16_indices_below(&idx[2 * s0..2 * e0], win / 4);
+                    let starts = &row_start[range.start..=range.end];
+                    let outs = if safe {
+                        blockwise_rows_out::<false>(values, idx, input, starts, job.fc.requant)
+                    } else {
+                        blockwise_rows_out::<true>(values, idx, input, starts, job.fc.requant)
+                    };
+                    write_out(mem, job.bufs.output + range.start as u32, &outs);
+                }
+                let blocks_range = (row_start[range.end] - row_start[range.start]) as u64;
+                let per_channel = loop_scaffold(core.costs(), 3)
+                    .then(InstrBlock::new().alu(EPILOGUE_ALU).stores(1));
+                let block = per_channel.repeat(range.len() as u64).then(
+                    InstrBlock::new()
+                        .loads(3)
+                        .alu(1)
+                        .sdotp(1)
+                        .repeat(blocks_range),
+                );
+                core.charge_block(&block);
+                return;
+            }
             for k in range {
                 core.outer_loop_iter();
                 core.alu_n(3);

@@ -7,10 +7,11 @@
 //! on both speed and memory — the comparison the paper draws in Sec. 4.
 
 use super::super::fc::{run_fc, FcJob, EPILOGUE_ALU};
-use crate::stats::{Ctx, KernelStats};
+use crate::bulk::{csr_rows_out, loop_scaffold, u16_indices_below, write_out};
+use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::CsrMatrix;
 use nm_core::{Error, Result};
-use nm_isa::{InstrClass, Memory};
+use nm_isa::{InstrBlock, InstrClass, Memory};
 use nm_platform::{chunk_range, Cluster, Scratchpad};
 
 /// L1 addresses for the CSR kernel.
@@ -37,6 +38,19 @@ pub struct CsrFcJob {
     pub bufs: CsrBufs,
 }
 
+impl CsrFcJob {
+    /// Builds the job metadata from a packed matrix, with default
+    /// (unstaged) buffers — enough for analytic runs; emulation requires
+    /// the buffers from [`stage_csr_fc`].
+    pub fn from_matrix(fc: FcJob, w: &CsrMatrix) -> Self {
+        CsrFcJob {
+            fc,
+            row_nnz: (0..w.rows()).map(|k| w.row_nnz(k)).collect(),
+            bufs: CsrBufs::default(),
+        }
+    }
+}
+
 /// Stages a [`CsrMatrix`] and input vector into L1.
 ///
 /// # Errors
@@ -55,15 +69,11 @@ pub fn stage_csr_fc(
     }
     let mut values = Vec::new();
     let mut cols: Vec<u16> = Vec::new();
-    let mut row_nnz = Vec::with_capacity(fc.geom.k);
     for k in 0..fc.geom.k {
-        let mut n = 0;
         for (c, v) in w.row(k) {
             values.push(v);
             cols.push(c as u16);
-            n += 1;
         }
-        row_nnz.push(n);
     }
     let bufs = CsrBufs {
         input: l1.alloc(input.len(), 4)?,
@@ -82,9 +92,8 @@ pub fn stage_csr_fc(
         l1.store_u8(bufs.col_idx + (2 * i + 1) as u32, (c >> 8) as u8);
     }
     Ok(CsrFcJob {
-        fc: *fc,
-        row_nnz,
         bufs,
+        ..CsrFcJob::from_matrix(*fc, w)
     })
 }
 
@@ -107,31 +116,74 @@ pub fn fc_csr(ctx: &mut Ctx<'_>, job: &CsrFcJob, cluster: &Cluster) -> Result<Ke
     }
     Ok(run_fc("fc-csr".into(), &geom, cluster, |core_id, core| {
         let range = chunk_range(geom.k, cluster.n_cores(), core_id);
-        for k in range {
-            core.outer_loop_iter();
-            core.alu_n(3);
-            core.hwloop_setup();
-            let nnz = job.row_nnz[k];
-            if let Some(mem) = ctx.mem() {
-                let mut acc = 0i32;
-                for i in 0..nnz {
-                    let flat = row_start[k] + i;
-                    let lo = core.lb(mem, job.bufs.col_idx + (2 * flat) as u32) as u8;
-                    let hi = mem.load_u8(job.bufs.col_idx + (2 * flat + 1) as u32);
-                    let col = u32::from(lo) | (u32::from(hi) << 8);
-                    let a = core.lb(mem, job.bufs.input + col);
-                    let w = core.lb(mem, job.bufs.values + flat as u32);
-                    acc = core.mac(i32::from(w), i32::from(a), acc);
+        if let ExecPath::Bulk(mem) = ctx.path() {
+            // Driver-level fast path: outputs from zero-copy slices of the
+            // flat value/index streams, one aggregated accounting block
+            // per core (block charging is order-independent, so the
+            // variable per-row non-zero counts sum exactly).
+            let total = row_start[geom.k];
+            {
+                // The activation window extends past the logical input
+                // vector to the end of the scratchpad (capped at the
+                // 16-bit index range): an out-of-range column then reads
+                // the same in-scratchpad byte the reference path's raw
+                // load would, and when the window covers every possible
+                // u16 index the gathers run unchecked with no
+                // per-invocation validation scan at all.
+                let win = (mem.size() - job.bufs.input as usize).min(1 << 16);
+                let input = mem
+                    .slice(job.bufs.input, win)
+                    .expect("scratchpad is zero-copy");
+                let values = mem
+                    .slice(job.bufs.values, total)
+                    .expect("scratchpad is zero-copy");
+                let cols = mem
+                    .slice(job.bufs.col_idx, 2 * total)
+                    .expect("scratchpad is zero-copy");
+                let (s0, e0) = (row_start[range.start], row_start[range.end]);
+                let safe = win == (1 << 16) || u16_indices_below(&cols[2 * s0..2 * e0], win);
+                let starts = &row_start[range.start..=range.end];
+                let outs = if safe {
+                    csr_rows_out::<false>(values, cols, input, starts, job.fc.requant)
+                } else {
+                    csr_rows_out::<true>(values, cols, input, starts, job.fc.requant)
+                };
+                write_out(mem, job.bufs.output + range.start as u32, &outs);
+            }
+            let nnz_range = (row_start[range.end] - row_start[range.start]) as u64;
+            let per_channel =
+                loop_scaffold(core.costs(), 3).then(InstrBlock::new().alu(EPILOGUE_ALU).stores(1));
+            let block = per_channel
+                .repeat(range.len() as u64)
+                .then(InstrBlock::new().loads(3).mac(1).repeat(nnz_range));
+            core.charge_block(&block);
+        } else {
+            for k in range {
+                core.outer_loop_iter();
+                core.alu_n(3);
+                core.hwloop_setup();
+                let nnz = job.row_nnz[k];
+                if let Some(mem) = ctx.mem() {
+                    let mut acc = 0i32;
+                    for i in 0..nnz {
+                        let flat = row_start[k] + i;
+                        let lo = core.lb(mem, job.bufs.col_idx + (2 * flat) as u32) as u8;
+                        let hi = mem.load_u8(job.bufs.col_idx + (2 * flat + 1) as u32);
+                        let col = u32::from(lo) | (u32::from(hi) << 8);
+                        let a = core.lb(mem, job.bufs.input + col);
+                        let w = core.lb(mem, job.bufs.values + flat as u32);
+                        acc = core.mac(i32::from(w), i32::from(a), acc);
+                    }
+                    core.alu_n(EPILOGUE_ALU);
+                    let out = job.fc.requant.apply(acc);
+                    core.sb(mem, job.bufs.output + k as u32, out);
+                } else {
+                    core.charge(InstrClass::Load, nnz as u64 * 3);
+                    core.charge(InstrClass::Mac, nnz as u64);
+                    core.add_macs(nnz as u64);
+                    core.charge(InstrClass::Alu, EPILOGUE_ALU);
+                    core.charge(InstrClass::Store, 1);
                 }
-                core.alu_n(EPILOGUE_ALU);
-                let out = job.fc.requant.apply(acc);
-                core.sb(mem, job.bufs.output + k as u32, out);
-            } else {
-                core.charge(InstrClass::Load, nnz as u64 * 3);
-                core.charge(InstrClass::Mac, nnz as u64);
-                core.add_macs(nnz as u64);
-                core.charge(InstrClass::Alu, EPILOGUE_ALU);
-                core.charge(InstrClass::Store, 1);
             }
         }
     }))
@@ -141,31 +193,16 @@ pub fn fc_csr(ctx: &mut Ctx<'_>, job: &CsrFcJob, cluster: &Cluster) -> Result<Ke
 mod tests {
     use super::*;
     use crate::reference::fc_ref;
+    use crate::testdata::random_sparse_data;
     use nm_core::quant::Requant;
     use nm_core::FcGeom;
     use nm_isa::CostModel;
-
-    fn random_sparse(n: usize, keep_every: usize, seed: u64) -> Vec<i8> {
-        let mut state = seed | 1;
-        (0..n)
-            .map(|i| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                if i % keep_every == 0 {
-                    ((state % 253) as i8).max(1)
-                } else {
-                    0
-                }
-            })
-            .collect()
-    }
 
     #[test]
     fn matches_reference() {
         let geom = FcGeom::new(48, 9).unwrap();
         let input: Vec<i8> = (0..48).map(|i| (i * 3 % 120) as i8 - 60).collect();
-        let dense = random_sparse(geom.weight_elems(), 4, 77);
+        let dense = random_sparse_data(geom.weight_elems(), 4, 77);
         let w = CsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
         let rq = Requant::for_dot_len(12);
         let fc = FcJob {
@@ -198,7 +235,7 @@ mod tests {
 
         let geom = FcGeom::new(512, 64).unwrap();
         let nm = Nm::ONE_OF_EIGHT;
-        let dense = random_sparse(geom.weight_elems(), nm.m(), 5);
+        let dense = random_sparse_data(geom.weight_elems(), nm.m(), 5);
         let cluster = Cluster::new(8, CostModel::default());
 
         let csr = CsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
@@ -207,11 +244,7 @@ mod tests {
             requant: Requant::IDENTITY,
             bufs: Default::default(),
         };
-        let job = CsrFcJob {
-            fc,
-            row_nnz: (0..geom.k).map(|k| csr.row_nnz(k)).collect(),
-            bufs: Default::default(),
-        };
+        let job = CsrFcJob::from_matrix(fc, &csr);
         let csr_stats = fc_csr(&mut Ctx::Analytic, &job, &cluster).unwrap();
 
         let packed = NmMatrix::from_dense(&dense, geom.k, geom.c, nm, OffsetLayout::Plain).unwrap();

@@ -10,10 +10,11 @@
 //! fixed-width offsets, reproduced here as a measurable baseline.
 
 use super::super::fc::{run_fc, FcJob, EPILOGUE_ALU};
-use crate::stats::{Ctx, KernelStats};
+use crate::bulk::{dcsr_gather_dot, loop_scaffold, write_out};
+use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::DcsrMatrix;
 use nm_core::{Error, Result};
-use nm_isa::{InstrClass, Memory};
+use nm_isa::{InstrBlock, InstrClass, Memory};
 use nm_platform::{chunk_range, Cluster, Scratchpad};
 
 /// L1 addresses for the dCSR kernel.
@@ -46,6 +47,22 @@ pub struct DcsrFcJob {
     pub bufs: DcsrBufs,
 }
 
+impl DcsrFcJob {
+    /// Builds the job metadata from a packed matrix, with default
+    /// (unstaged) buffers — enough for analytic runs; emulation requires
+    /// the buffers from [`stage_dcsr_fc`].
+    pub fn from_matrix(fc: FcJob, w: &DcsrMatrix) -> Self {
+        DcsrFcJob {
+            fc,
+            row_nnz: (0..w.rows()).map(|k| w.row_nnz(k)).collect(),
+            row_escapes: (0..w.rows()).map(|k| w.row_escapes(k)).collect(),
+            value_starts: (0..w.rows()).map(|k| w.value_start(k)).collect(),
+            delta_starts: (0..w.rows()).map(|k| w.delta_start(k)).collect(),
+            bufs: DcsrBufs::default(),
+        }
+    }
+}
+
 /// Stages a [`DcsrMatrix`] and input vector into L1.
 ///
 /// # Errors
@@ -76,12 +93,8 @@ pub fn stage_dcsr_fc(
     }
     l1.write_bytes(bufs.deltas, w.deltas_bytes());
     Ok(DcsrFcJob {
-        fc: *fc,
-        row_nnz: (0..fc.geom.k).map(|k| w.row_nnz(k)).collect(),
-        row_escapes: (0..fc.geom.k).map(|k| w.row_escapes(k)).collect(),
-        value_starts: (0..fc.geom.k).map(|k| w.value_start(k)).collect(),
-        delta_starts: (0..fc.geom.k).map(|k| w.delta_start(k)).collect(),
         bufs,
+        ..DcsrFcJob::from_matrix(*fc, w)
     })
 }
 
@@ -133,6 +146,60 @@ pub fn fc_dcsr(ctx: &mut Ctx<'_>, job: &DcsrFcJob, cluster: &Cluster) -> Result<
     }
     Ok(run_fc("fc-dcsr".into(), &geom, cluster, |core_id, core| {
         let range = chunk_range(geom.k, cluster.n_cores(), core_id);
+        if let ExecPath::Bulk(mem) = ctx.path() {
+            // Driver-level fast path: each row's nibble stream decodes
+            // host-side from a zero-copy slice of its delta segment; the
+            // per-row metadata already carries the exact load/ALU/branch
+            // mix, so the whole range charges as one aggregated block.
+            let (mut nnz_t, mut esc_t, mut stream_bytes_t) = (0u64, 0u64, 0u64);
+            {
+                // As in the CSR/blockwise arms, the activation window
+                // extends to the end of the scratchpad: a decoded column
+                // past the logical input vector then reads the same
+                // in-scratchpad byte the reference path's raw load would
+                // (and past the scratchpad, both paths bus-error).
+                let win = mem.size() - job.bufs.input as usize;
+                let input = mem
+                    .slice(job.bufs.input, win)
+                    .expect("scratchpad is zero-copy");
+                let outs: Vec<i8> = range
+                    .clone()
+                    .map(|k| {
+                        let (nnz, esc) = (job.row_nnz[k] as u64, job.row_escapes[k] as u64);
+                        let nibbles = nnz + 2 * esc;
+                        nnz_t += nnz;
+                        esc_t += esc;
+                        stream_bytes_t += nibbles.div_ceil(2);
+                        let values = mem
+                            .slice(job.bufs.values + job.value_starts[k] as u32, nnz as usize)
+                            .expect("scratchpad is zero-copy");
+                        let deltas = mem
+                            .slice(
+                                job.bufs.deltas + job.delta_starts[k] as u32,
+                                nibbles.div_ceil(2) as usize,
+                            )
+                            .expect("scratchpad is zero-copy");
+                        job.fc
+                            .requant
+                            .apply(dcsr_gather_dot(values, deltas, esc as usize, input))
+                    })
+                    .collect();
+                write_out(mem, job.bufs.output + range.start as u32, &outs);
+            }
+            let per_channel =
+                loop_scaffold(core.costs(), 3).then(InstrBlock::new().alu(EPILOGUE_ALU).stores(1));
+            let block = per_channel.repeat(range.len() as u64).then(
+                InstrBlock::new()
+                    .loads(stream_bytes_t) // stream byte fetches
+                    .alu(3 * nnz_t + 5 * esc_t) // extracts + col accumulate
+                    .op(InstrClass::Branch, nnz_t - esc_t) // escape tests, not taken
+                    .branches_taken(esc_t) // escape paths
+                    .loads(2 * nnz_t) // activation + weight
+                    .mac(nnz_t),
+            );
+            core.charge_block(&block);
+            return;
+        }
         for k in range {
             core.outer_loop_iter();
             core.alu_n(3);
@@ -188,34 +255,19 @@ mod tests {
     use crate::baseline::csr::{fc_csr, CsrFcJob};
     use crate::fc::sparse_sw::{fc_sparse_sw, SparseFcJob};
     use crate::reference::fc_ref;
+    use crate::testdata::random_sparse_data;
     use nm_core::format::{CsrMatrix, NmMatrix, OffsetLayout};
     use nm_core::quant::Requant;
     use nm_core::sparsity::Nm;
     use nm_core::FcGeom;
     use nm_isa::CostModel;
 
-    fn random_sparse(n: usize, keep_every: usize, seed: u64) -> Vec<i8> {
-        let mut state = seed | 1;
-        (0..n)
-            .map(|i| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                if i % keep_every == 0 {
-                    ((state % 253) as i8).max(1)
-                } else {
-                    0
-                }
-            })
-            .collect()
-    }
-
     #[test]
     fn matches_reference_and_analytic() {
         for keep in [4, 10, 17] {
             let geom = FcGeom::new(96, 7).unwrap();
             let input: Vec<i8> = (0..96).map(|i| (i * 5 % 120) as i8 - 60).collect();
-            let dense = random_sparse(geom.weight_elems(), keep, 31);
+            let dense = random_sparse_data(geom.weight_elems(), keep, 31);
             let w = DcsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
             let rq = Requant::for_dot_len(12);
             let fc = FcJob {
@@ -248,7 +300,7 @@ mod tests {
     fn decode_overhead_loses_to_nm_at_iso_sparsity() {
         let geom = FcGeom::new(512, 64).unwrap();
         let nm = Nm::ONE_OF_EIGHT;
-        let dense = random_sparse(geom.weight_elems(), nm.m(), 5);
+        let dense = random_sparse_data(geom.weight_elems(), nm.m(), 5);
         let cluster = Cluster::new(8, CostModel::default());
         let fc = FcJob {
             geom,
@@ -257,14 +309,7 @@ mod tests {
         };
 
         let d = DcsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
-        let job = DcsrFcJob {
-            fc,
-            row_nnz: (0..geom.k).map(|k| d.row_nnz(k)).collect(),
-            row_escapes: (0..geom.k).map(|k| d.row_escapes(k)).collect(),
-            value_starts: (0..geom.k).map(|k| d.value_start(k)).collect(),
-            delta_starts: (0..geom.k).map(|k| d.delta_start(k)).collect(),
-            bufs: Default::default(),
-        };
+        let job = DcsrFcJob::from_matrix(fc, &d);
         let dcsr_stats = fc_dcsr(&mut Ctx::Analytic, &job, &cluster).unwrap();
 
         let packed = NmMatrix::from_dense(&dense, geom.k, geom.c, nm, OffsetLayout::Plain).unwrap();
@@ -284,7 +329,7 @@ mod tests {
     #[test]
     fn dcsr_decodes_slower_than_plain_csr_but_stores_less() {
         let geom = FcGeom::new(512, 32).unwrap();
-        let dense = random_sparse(geom.weight_elems(), 10, 41);
+        let dense = random_sparse_data(geom.weight_elems(), 10, 41);
         let cluster = Cluster::new(8, CostModel::default());
         let fc = FcJob {
             geom,
@@ -293,20 +338,9 @@ mod tests {
         };
 
         let d = DcsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
-        let dj = DcsrFcJob {
-            fc,
-            row_nnz: (0..geom.k).map(|k| d.row_nnz(k)).collect(),
-            row_escapes: (0..geom.k).map(|k| d.row_escapes(k)).collect(),
-            value_starts: (0..geom.k).map(|k| d.value_start(k)).collect(),
-            delta_starts: (0..geom.k).map(|k| d.delta_start(k)).collect(),
-            bufs: Default::default(),
-        };
+        let dj = DcsrFcJob::from_matrix(fc, &d);
         let c = CsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
-        let cj = CsrFcJob {
-            fc,
-            row_nnz: (0..geom.k).map(|k| c.row_nnz(k)).collect(),
-            bufs: Default::default(),
-        };
+        let cj = CsrFcJob::from_matrix(fc, &c);
         let dcyc = fc_dcsr(&mut Ctx::Analytic, &dj, &cluster).unwrap().cycles();
         let ccyc = fc_csr(&mut Ctx::Analytic, &cj, &cluster).unwrap().cycles();
         assert!(dcyc > ccyc, "dcsr {dcyc} vs csr {ccyc}");

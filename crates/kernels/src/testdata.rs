@@ -21,6 +21,33 @@ pub fn random_data(n: usize, seed: u64) -> Vec<i8> {
         .collect()
 }
 
+/// Deterministic unstructured-sparse int8 buffer: one non-zero per
+/// `keep_every`-wide window, at a pseudo-random position within the
+/// window, so consecutive non-zero gaps vary between 1 and
+/// `2 * keep_every - 1` (exercising both the short and the escaped dCSR
+/// delta forms at `keep_every > 8`).
+///
+/// Formerly copy-pasted as a private `random_sparse` helper in the
+/// baseline kernel test modules.
+pub fn random_sparse_data(n: usize, keep_every: usize, seed: u64) -> Vec<i8> {
+    let mut state = seed | 1;
+    let mut step = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut out = vec![0i8; n];
+    let mut base = 0;
+    while base < n {
+        let window = (n - base).min(keep_every);
+        let pos = (step() % window as u64) as usize;
+        out[base + pos] = ((step() % 253) as i8).max(1);
+        base += keep_every;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -31,5 +58,18 @@ mod tests {
         assert_ne!(random_data(16, 7), random_data(16, 8));
         assert!(random_data(256, 3).iter().any(|&v| v < 0));
         assert!(random_data(256, 3).iter().any(|&v| v > 0));
+    }
+
+    #[test]
+    fn sparse_data_keeps_one_per_window() {
+        for keep in [4, 8, 17] {
+            let data = random_sparse_data(keep * 32, keep, 5);
+            for (w, window) in data.chunks(keep).enumerate() {
+                let nnz = window.iter().filter(|&&v| v != 0).count();
+                assert!(nnz <= 1, "window {w} has {nnz} non-zeros");
+            }
+            let total = data.iter().filter(|&&v| v != 0).count();
+            assert!(total > 0);
+        }
     }
 }

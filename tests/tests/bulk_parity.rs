@@ -7,14 +7,21 @@
 //! cycle and instruction totals must also agree.
 //!
 //! Coverage per kernel: {1:4, 1:8, 1:16} × {chunk-only, chunk+tail,
-//! tiny/tail-only} geometries, plus the dense baselines and the
-//! per-channel mixed kernels, plus the end-to-end compiled executor.
+//! tiny/tail-only} geometries, plus the dense baselines, the
+//! per-channel mixed kernels, the related-work baseline formats
+//! (CSR / dCSR / blockwise, across sparsities and with empty rows) and
+//! the end-to-end compiled executor.
 
-use nm_core::format::{ChannelNmMatrix, NmMatrix, OffsetLayout};
+use nm_core::format::{
+    BlockwiseMatrix, ChannelNmMatrix, CsrMatrix, DcsrMatrix, NmMatrix, OffsetLayout,
+};
 use nm_core::quant::Requant;
 use nm_core::sparsity::Nm;
 use nm_core::{ConvGeom, FcGeom};
 use nm_isa::CostModel;
+use nm_kernels::baseline::blockwise::{fc_blockwise, stage_blockwise_fc};
+use nm_kernels::baseline::csr::{fc_csr, stage_csr_fc};
+use nm_kernels::baseline::dcsr::{fc_dcsr, stage_dcsr_fc};
 use nm_kernels::conv::dense::{conv_dense_1x2, conv_dense_4x2};
 use nm_kernels::conv::per_channel::{conv_channel_mixed, ChannelConvJob, ChannelEngine};
 use nm_kernels::conv::sparse_isa::conv_sparse_isa;
@@ -29,7 +36,7 @@ use nm_kernels::layout::{
     stage_conv_channelwise, stage_conv_dense, stage_conv_sparse, stage_fc_channelwise,
     stage_fc_dense, stage_fc_sparse,
 };
-use nm_kernels::testdata::random_data;
+use nm_kernels::testdata::{random_data, random_sparse_data};
 use nm_kernels::{Ctx, KernelStats};
 use nm_platform::{Cluster, Scratchpad};
 
@@ -189,6 +196,87 @@ fn fc_sparse_isa_bulk_parity() {
             });
         }
     }
+}
+
+/// Geometry / sparsity grid for the three related-work baseline formats:
+/// K = 7 leaves ragged per-core ranges on a 4-core cluster, and the
+/// sparsities cover short deltas, escaped dCSR deltas and near-dense rows.
+fn baseline_cases() -> Vec<(FcGeom, Vec<i8>)> {
+    let geom = FcGeom::new(96, 7).unwrap();
+    let mut cases: Vec<(FcGeom, Vec<i8>)> = [3usize, 8, 17]
+        .iter()
+        .map(|&keep| (geom, random_sparse_data(geom.weight_elems(), keep, 29)))
+        .collect();
+    // All-zero weights: every row empty on every format.
+    cases.push((FcGeom::new(32, 5).unwrap(), vec![0i8; 32 * 5]));
+    cases
+}
+
+#[test]
+fn fc_csr_bulk_parity() {
+    for (geom, dense) in baseline_cases() {
+        let input = random_data(geom.c, 47);
+        let w = CsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
+        let fc = FcJob {
+            geom,
+            requant: Requant::for_dot_len(12),
+            bufs: Default::default(),
+        };
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let job = stage_csr_fc(&mut l1, &fc, &input, &w).unwrap();
+        assert_full_parity(&l1, 4, |ctx, cluster| fc_csr(ctx, &job, cluster).unwrap());
+    }
+}
+
+#[test]
+fn fc_dcsr_bulk_parity() {
+    for (geom, dense) in baseline_cases() {
+        let input = random_data(geom.c, 53);
+        let w = DcsrMatrix::from_dense(&dense, geom.k, geom.c).unwrap();
+        let fc = FcJob {
+            geom,
+            requant: Requant::for_dot_len(12),
+            bufs: Default::default(),
+        };
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let job = stage_dcsr_fc(&mut l1, &fc, &input, &w).unwrap();
+        assert_full_parity(&l1, 4, |ctx, cluster| fc_dcsr(ctx, &job, cluster).unwrap());
+    }
+}
+
+#[test]
+fn fc_blockwise_bulk_parity() {
+    let geom = FcGeom::new(96, 7).unwrap();
+    for keep in [2usize, 8, 24] {
+        let input = random_data(geom.c, 59);
+        let dense = random_data(geom.weight_elems(), 61);
+        let w = BlockwiseMatrix::prune_from_dense(&dense, geom.k, geom.c, 4, keep).unwrap();
+        let fc = FcJob {
+            geom,
+            requant: Requant::for_dot_len(16),
+            bufs: Default::default(),
+        };
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let job = stage_blockwise_fc(&mut l1, &fc, &input, &w).unwrap();
+        assert_full_parity(&l1, 4, |ctx, cluster| {
+            fc_blockwise(ctx, &job, cluster).unwrap()
+        });
+    }
+    // All-zero weights: every row keeps no blocks.
+    let geom = FcGeom::new(32, 5).unwrap();
+    let w =
+        BlockwiseMatrix::from_dense(&vec![0i8; geom.weight_elems()], geom.k, geom.c, 4).unwrap();
+    let fc = FcJob {
+        geom,
+        requant: Requant::IDENTITY,
+        bufs: Default::default(),
+    };
+    let mut l1 = Scratchpad::new("l1", 64 * 1024);
+    let input = random_data(geom.c, 67);
+    let job = stage_blockwise_fc(&mut l1, &fc, &input, &w).unwrap();
+    assert_full_parity(&l1, 4, |ctx, cluster| {
+        fc_blockwise(ctx, &job, cluster).unwrap()
+    });
 }
 
 #[test]
