@@ -122,7 +122,11 @@ fn throughput(rows: &[GateRow], kernel: &str, path: Path) -> Option<f64> {
 ///
 /// # Errors
 /// A kernel present in the baseline but missing from the current report
-/// is an error, not a pass — dropping a workload must not green the gate.
+/// is an error, not a pass — dropping a workload must not green the
+/// gate. Symmetrically, kernels present in the current report but
+/// absent from the baseline are an error listing every such kernel: a
+/// new workload is ungated until the snapshot is refreshed, and
+/// silently ignoring it would let that state persist.
 pub fn compare(
     baseline: &[GateRow],
     current: &[GateRow],
@@ -137,6 +141,19 @@ pub fn compare(
     }
     if kernels.is_empty() {
         return Err("baseline has no bulk-path rows".to_string());
+    }
+    let unbaselined: Vec<&str> = current
+        .iter()
+        .filter(|r| r.path == Path::Bulk.name() && !kernels.contains(&r.kernel.as_str()))
+        .map(|r| r.kernel.as_str())
+        .collect();
+    if !unbaselined.is_empty() {
+        return Err(format!(
+            "current report has bulk rows with no baseline (ungated \
+             workloads): {} — refresh the checked-in BENCH_engine.json \
+             to include them",
+            unbaselined.join(", ")
+        ));
     }
     let mut checks = Vec::new();
     for kernel in kernels {
@@ -235,5 +252,29 @@ mod tests {
         let baseline: Vec<GateRow> = pair("a", 100.0, 1000.0).into_iter().collect();
         let current: Vec<GateRow> = pair("b", 100.0, 1000.0).into_iter().collect();
         assert!(compare(&baseline, &current, 0.25, true).is_err());
+    }
+
+    /// A fresh run measuring kernels the snapshot has never seen must
+    /// fail loudly, naming each ungated workload — not silently gate
+    /// only the intersection.
+    #[test]
+    fn unbaselined_kernels_fail_and_are_listed() {
+        let baseline: Vec<GateRow> = pair("a", 100.0, 1000.0).into_iter().collect();
+        let current: Vec<GateRow> = pair("a", 100.0, 1000.0)
+            .into_iter()
+            .chain(pair("im2col-new", 50.0, 800.0))
+            .chain(pair("other-new", 10.0, 90.0))
+            .collect();
+        let err = compare(&baseline, &current, 0.25, true).unwrap_err();
+        assert!(err.contains("im2col-new"), "{err}");
+        assert!(err.contains("other-new"), "{err}");
+        assert!(err.contains("BENCH_engine.json"), "{err}");
+        // Non-bulk extra rows (e.g. a new analytic measurement) do not
+        // trip the check.
+        let current: Vec<GateRow> = pair("a", 100.0, 1000.0)
+            .into_iter()
+            .chain([row("extra", "analytic", 5.0)])
+            .collect();
+        assert!(compare(&baseline, &current, 0.25, true).is_ok());
     }
 }

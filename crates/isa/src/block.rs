@@ -124,6 +124,35 @@ impl InstrBlock {
         self.op(InstrClass::Branch, n)
     }
 
+    /// The cost of a bulk byte copy of `len` bytes as the im2col and DMA
+    /// staging loops charge it: one load + one store per 32-bit word,
+    /// one byte-load + byte-store per tail byte, all stall-free (the
+    /// copy loops are software-pipelined, so the per-instruction
+    /// reference charges them with bare [`crate::Core::charge`] calls
+    /// too — this helper is the batched equivalent of that sequence).
+    pub const fn bulk_copy(self, len: usize) -> Self {
+        let ops = (len / 4 + len % 4) as u64;
+        self.op(InstrClass::Load, ops).op(InstrClass::Store, ops)
+    }
+
+    /// The cost of a bulk fill (zero padding) of `len` bytes: one store
+    /// per word plus one per tail byte — the batched equivalent of the
+    /// reference's zero-fill charge sequence.
+    pub const fn bulk_fill(self, len: usize) -> Self {
+        self.op(InstrClass::Store, (len / 4 + len % 4) as u64)
+    }
+
+    /// One iteration of a non-hardware loop level under `costs`: the
+    /// batched equivalent of [`crate::Core::outer_loop_iter`]
+    /// (`outer_loop_instrs - 1` ALU ops plus one taken branch; nothing
+    /// when the model charges no outer-loop bookkeeping).
+    pub const fn outer_iter(self, costs: &crate::CostModel) -> Self {
+        if costs.outer_loop_instrs == 0 {
+            return self;
+        }
+        self.alu(costs.outer_loop_instrs - 1).branches_taken(1)
+    }
+
     /// Adds `n` effective MACs with no instruction — the batched
     /// equivalent of [`crate::Core::add_macs`].
     pub const fn extra_macs(mut self, n: u64) -> Self {
@@ -269,6 +298,44 @@ mod tests {
         assert_eq!(c.count(InstrClass::Mac), 6);
         assert_eq!(c.macs(), 6);
         assert_eq!(c.instrs(), 8 + 4 + 2 + 6);
+    }
+
+    #[test]
+    fn bulk_copy_and_fill_match_word_plus_tail_charging() {
+        let costs = stalled_model();
+        // 11 bytes: 2 words + 3 tail bytes -> 5 loads + 5 stores, all
+        // stall-free, exactly like the reference's charge() sequence.
+        let mut reference = Core::new(costs);
+        reference.charge(crate::InstrClass::Load, 5);
+        reference.charge(crate::InstrClass::Store, 5);
+        let mut fast = Core::new(costs);
+        fast.charge_block(&InstrBlock::new().bulk_copy(11));
+        assert_eq!(fast.stats(), reference.stats());
+
+        let mut reference = Core::new(costs);
+        reference.charge(crate::InstrClass::Store, 5);
+        let mut fast = Core::new(costs);
+        fast.charge_block(&InstrBlock::new().bulk_fill(11));
+        assert_eq!(fast.stats(), reference.stats());
+
+        assert_eq!(InstrBlock::new().bulk_copy(0), InstrBlock::new());
+        assert_eq!(InstrBlock::new().bulk_fill(0), InstrBlock::new());
+    }
+
+    #[test]
+    fn outer_iter_matches_outer_loop_iter() {
+        let costs = stalled_model();
+        let mut reference = Core::new(costs);
+        reference.outer_loop_iter();
+        let mut fast = Core::new(costs);
+        fast.charge_block(&InstrBlock::new().outer_iter(&costs));
+        assert_eq!(fast.stats(), reference.stats());
+
+        let none = CostModel {
+            outer_loop_instrs: 0,
+            ..CostModel::VEGA
+        };
+        assert_eq!(InstrBlock::new().outer_iter(&none), InstrBlock::new());
     }
 
     #[test]

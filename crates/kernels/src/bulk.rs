@@ -653,6 +653,9 @@ pub(crate) fn write_out(mem: &mut nm_platform::Scratchpad, addr: u32, data: &[i8
 /// Computes one output position pair for every channel of a sparse
 /// convolution from the pre-decoded [`decim_table`] and writes the
 /// outputs into the output tensor (host-side; charging is the caller's).
+/// `outs` is a reusable scratch buffer owned by the kernel invocation so
+/// the per-pair loop stays allocation-free.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn conv_pair_outputs(
     mem: &mut nm_platform::Scratchpad,
     job: &crate::conv::ConvJob,
@@ -661,11 +664,13 @@ pub(crate) fn conv_pair_outputs(
     pos: usize,
     n_patches: usize,
     buf: u32,
+    outs: &mut Vec<i8>,
 ) {
     let geom = &job.geom;
     let plen = geom.patch_len();
     let kt = geom.k;
-    let mut outs = vec![0i8; n_patches * kt];
+    outs.clear();
+    outs.resize(n_patches * kt, 0);
     {
         let values = mem
             .slice(job.bufs.weights, kt * nz)
@@ -696,7 +701,7 @@ pub(crate) fn conv_pair_outputs(
             }
         }
     }
-    write_out(mem, job.bufs.output + (pos * kt) as u32, &outs);
+    write_out(mem, job.bufs.output + (pos * kt) as u32, outs);
 }
 
 /// Batched equivalent of one `outer_loop_iter(); alu_n(extra);

@@ -172,27 +172,29 @@ fn quad_channels(
     let np = n_patches as u64;
     match ctx.path() {
         ExecPath::Bulk(mem) => {
-            let mut outs = [[0i8; 2]; 4];
+            // One patch-buffer view per patch (not per channel), and the
+            // four contiguous output channels stored as one slice write
+            // per patch instead of four byte stores.
+            let mut outs = [[0i8; 4]; 2];
             {
-                for f in 0..4 {
-                    let w = mem
-                        .slice(job.bufs.weights + ((k0 + f) * plen) as u32, plen)
+                for (p, out) in outs.iter_mut().enumerate().take(n_patches) {
+                    let a = mem
+                        .slice(buf + (p * plen) as u32, plen)
                         .expect("scratchpad is zero-copy");
-                    for p in 0..n_patches {
-                        let a = mem
-                            .slice(buf + (p * plen) as u32, plen)
+                    for (f, o) in out.iter_mut().enumerate() {
+                        let w = mem
+                            .slice(job.bufs.weights + ((k0 + f) * plen) as u32, plen)
                             .expect("scratchpad is zero-copy");
-                        outs[f][p] = job.requant.apply(dense_dot(w, a));
+                        *o = job.requant.apply(dense_dot(w, a));
                     }
                 }
             }
-            for p in 0..n_patches {
-                for f in 0..4 {
-                    mem.store_i8(
-                        job.bufs.output + ((pos + p) * geom.k + k0 + f) as u32,
-                        outs[f][p],
-                    );
-                }
+            for (p, out) in outs.iter().enumerate().take(n_patches) {
+                crate::bulk::write_out(
+                    mem,
+                    job.bufs.output + ((pos + p) * geom.k + k0) as u32,
+                    out,
+                );
             }
             let per_chunk = InstrBlock::new().loads(4 + np).sdotp(4 * np);
             let per_tail = InstrBlock::new().loads(4 + np).mac(4 * np);

@@ -23,12 +23,12 @@ pub mod per_channel;
 pub mod sparse_isa;
 pub mod sparse_sw;
 
-use crate::im2col::im2col_patches;
+use crate::im2col::{im2col_patches, Im2colCharges, PatchState};
 use crate::layout::ConvBufs;
-use crate::stats::{Ctx, KernelStats};
+use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::quant::Requant;
 use nm_core::ConvGeom;
-use nm_isa::Core;
+use nm_isa::{Core, InstrBlock};
 use nm_platform::{chunk_range, Cluster, ClusterStats};
 
 /// One convolution invocation: geometry, requantization and L1 buffers.
@@ -51,12 +51,38 @@ pub(crate) const EPILOGUE_ALU: u64 = 3;
 
 /// The shared spatial driver: splits output positions across cores,
 /// performs the im2col for each pair and invokes the kernel-specific
-/// channel loop.
+/// channel loop. Channel loops read the patch buffers, so the bulk path
+/// materializes every position ([`drive_conv`] with `patches_read`).
 pub(crate) fn drive<F>(
     name: String,
     ctx: &mut Ctx<'_>,
     job: &ConvJob,
     cluster: &Cluster,
+    channel_loop: F,
+) -> KernelStats
+where
+    F: FnMut(&mut Core, &mut Ctx<'_>, usize, usize, u32),
+{
+    drive_conv(name, ctx, job, cluster, true, channel_loop)
+}
+
+/// [`drive`] with an explicit patch-consumption policy.
+///
+/// On the reference and analytic paths the im2col runs per position as
+/// always. On the bulk path ([`Ctx::MemBulk`]) each core keeps a
+/// [`PatchState`]: charging is closed-form (memoized per padding class,
+/// shared across cores via one [`Im2colCharges`]) and data movement is
+/// incremental. With `patches_read` the buffers are materialized before
+/// every `channel_loop` call (sliding from the previous pair's
+/// contents); without it — the im2col-only engine workloads — only each
+/// core's *final* patch buffers are written, preserving full-memory
+/// parity with the reference at none of the intermediate traffic.
+pub(crate) fn drive_conv<F>(
+    name: String,
+    ctx: &mut Ctx<'_>,
+    job: &ConvJob,
+    cluster: &Cluster,
+    patches_read: bool,
     mut channel_loop: F,
 ) -> KernelStats
 where
@@ -64,20 +90,35 @@ where
 {
     let geom = &job.geom;
     let n_pos = geom.oy() * geom.ox();
+    let mut charges = Im2colCharges::new(cluster.costs());
+    // The per-iteration scaffold (outer_loop_iter + patch-pointer ALU)
+    // folded into the bulk path's single per-pair charge.
+    let scaffold = InstrBlock::new().outer_iter(&cluster.costs()).alu(4);
     let mut per_core = Vec::with_capacity(cluster.n_cores());
     for core_id in 0..cluster.n_cores() {
         let mut core = Core::new(cluster.costs());
         core.kernel_overhead();
         let range = chunk_range(n_pos, cluster.n_cores(), core_id);
         let buf = job.bufs.im2col + (core_id * geom.im2col_bytes_per_core()) as u32;
+        let mut patches = PatchState::new(job.bufs.input, buf);
         let mut pos = range.start;
         while pos < range.end {
             let n_patches = (range.end - pos).min(2);
-            core.outer_loop_iter();
-            core.alu_n(4); // patch pointers + position bookkeeping
-            im2col_patches(&mut core, ctx, geom, job.bufs.input, buf, pos, n_patches);
+            if let ExecPath::Bulk(mem) = ctx.path() {
+                patches.fill(&mut core, &mut charges, geom, &scaffold, pos, n_patches);
+                if patches_read {
+                    patches.materialize(mem, geom);
+                }
+            } else {
+                core.outer_loop_iter();
+                core.alu_n(4); // patch pointers + position bookkeeping
+                im2col_patches(&mut core, ctx, geom, job.bufs.input, buf, pos, n_patches);
+            }
             channel_loop(&mut core, ctx, pos, n_patches, buf);
             pos += n_patches;
+        }
+        if let ExecPath::Bulk(mem) = ctx.path() {
+            patches.finish(mem, geom);
         }
         per_core.push(core.stats());
     }
@@ -86,4 +127,25 @@ where
         cluster: ClusterStats::from_cores(per_core, cluster.costs().barrier_cycles),
         dense_macs: geom.macs() as u64,
     }
+}
+
+/// The shared partial-im2col step as a standalone workload: charges (and
+/// on the emulation paths performs) only the patch building over every
+/// output position — no channel loops. This is the conv kernels' fixed
+/// data-movement tax in isolation, used by the engine bench to track the
+/// bulk path's incremental-im2col win; `dense_macs` is the layer's
+/// dense-equivalent MAC count so throughput rows normalize like the full
+/// kernels'.
+///
+/// On the bulk path nothing reads the intermediate patches, so only each
+/// core's final patch buffers are materialized (see [`PatchState`]).
+pub fn im2col_only(name: &str, ctx: &mut Ctx<'_>, job: &ConvJob, cluster: &Cluster) -> KernelStats {
+    drive_conv(
+        name.to_string(),
+        ctx,
+        job,
+        cluster,
+        false,
+        |_, _, _, _, _| {},
+    )
 }

@@ -9,6 +9,13 @@
 //! inner loop. This works because the N:M format is *per-row* local: no
 //! cross-channel state exists outside the im2col buffer.
 //!
+//! On the bulk path the shared spatial driver keeps the incremental
+//! per-core [`crate::im2col::PatchState`]: because this kernel's channel
+//! loops read the patch buffers every position, they are materialized
+//! eagerly (full per-pair rebuilds of real bytes), while the im2col
+//! *charging* still comes from the memoized closed-form blocks — the
+//! mixed kernel inherits the exact-parity contract unchanged.
+//!
 //! Row payloads are heterogeneous (dense rows store `FY*FX*C` bytes,
 //! 1:16 rows a sixteenth of that), so the kernel addresses rows through
 //! an explicit per-row address table built by

@@ -96,6 +96,7 @@ pub fn conv_sparse_sw(
     };
     let bits = job.nm.offset_bits();
     let (chunks, tail) = (nz / 4, nz % 4);
+    let mut outs = Vec::new(); // reused per pair by the bulk arm
     Ok(drive(
         name,
         ctx,
@@ -104,7 +105,7 @@ pub fn conv_sparse_sw(
         |core, ctx, pos, n_patches, buf| {
             if let ExecPath::Bulk(mem) = ctx.path() {
                 let table = table.as_ref().expect("table built for the bulk path");
-                conv_pair_outputs(mem, &job.conv, nz, table, pos, n_patches, buf);
+                conv_pair_outputs(mem, &job.conv, nz, table, pos, n_patches, buf, &mut outs);
                 let np = n_patches as u64;
                 let per_channel =
                     loop_scaffold(core.costs(), 3).then(channel_block(bits, chunks, tail, np));

@@ -26,7 +26,7 @@ use nm_kernels::conv::dense::{conv_dense_1x2, conv_dense_4x2};
 use nm_kernels::conv::per_channel::{conv_channel_mixed, ChannelConvJob, ChannelEngine};
 use nm_kernels::conv::sparse_isa::conv_sparse_isa;
 use nm_kernels::conv::sparse_sw::{conv_sparse_sw, SparseConvJob};
-use nm_kernels::conv::ConvJob;
+use nm_kernels::conv::{im2col_only, ConvJob};
 use nm_kernels::fc::dense::fc_dense;
 use nm_kernels::fc::per_channel::{fc_channel_mixed, ChannelFcJob};
 use nm_kernels::fc::sparse_isa::fc_sparse_isa;
@@ -369,6 +369,131 @@ fn conv_sparse_isa_bulk_parity() {
     }
 }
 
+/// Geometries stressing the incremental bulk im2col: column reuse along
+/// a row (stride < fx), none at all (stride > fx, ox == 1, pointwise),
+/// and padding classes up to fully padded edges (pad >= fx). C = 8 keeps
+/// `patch_len` a multiple of 8 so the same grid serves the 1:8 sparse
+/// kernels.
+fn incremental_im2col_geoms() -> Vec<ConvGeom> {
+    vec![
+        ConvGeom::square(8, 4, 7, 3, 2, 1).unwrap(), // strided, odd positions
+        ConvGeom::square(8, 2, 4, 3, 1, 3).unwrap(), // pad >= fx: fully padded edges
+        ConvGeom::square(8, 4, 6, 1, 1, 0).unwrap(), // pointwise: whole-row copies
+        ConvGeom::new(8, 3, 3, 6, 3, 3, 1, 0).unwrap(), // ox == 1: no horizontal reuse
+        ConvGeom::square(8, 2, 9, 2, 3, 1).unwrap(), // stride > fx: disjoint patches
+    ]
+}
+
+/// The incremental bulk im2col must stay bit-exact and stat-exact for
+/// every conv kernel on the reuse/no-reuse/padded geometry grid —
+/// including under the stalled cost model (exercised by
+/// `assert_full_parity`) and through the per-channel mixed kernel.
+#[test]
+fn conv_incremental_im2col_parity() {
+    let nm = Nm::ONE_OF_EIGHT;
+    for geom in incremental_im2col_geoms() {
+        let input = random_data(geom.input_elems(), 73);
+        let dense = random_data(geom.weight_elems(), 79);
+        let rq = Requant::for_dot_len(geom.patch_len());
+
+        // Dense 1x2 and 4x2.
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let bufs = stage_conv_dense(&mut l1, &geom, &input, &dense, 4).unwrap();
+        let job = ConvJob {
+            geom,
+            requant: rq,
+            bufs,
+        };
+        assert_full_parity(&l1, 4, |ctx, cluster| {
+            conv_dense_1x2(ctx, &job, cluster).unwrap()
+        });
+        assert_full_parity(&l1, 4, |ctx, cluster| {
+            conv_dense_4x2(ctx, &job, cluster).unwrap()
+        });
+
+        // Sparse software and ISA kernels at 1:8.
+        for layout in [OffsetLayout::Plain, OffsetLayout::Duplicated] {
+            let w =
+                NmMatrix::prune_from_dense(&dense, geom.k, geom.patch_len(), nm, layout).unwrap();
+            let rq = Requant::for_dot_len((geom.patch_len() / nm.m()).max(1));
+            let mut l1 = Scratchpad::new("l1", 512 * 1024);
+            let bufs = stage_conv_sparse(&mut l1, &geom, &input, &w, 4).unwrap();
+            let job = SparseConvJob {
+                conv: ConvJob {
+                    geom,
+                    requant: rq,
+                    bufs,
+                },
+                nm,
+            };
+            match layout {
+                OffsetLayout::Plain => assert_full_parity(&l1, 4, |ctx, cluster| {
+                    conv_sparse_sw(ctx, &job, cluster).unwrap()
+                }),
+                _ => assert_full_parity(&l1, 4, |ctx, cluster| {
+                    conv_sparse_isa(ctx, &job, cluster).unwrap()
+                }),
+            }
+        }
+
+        // Per-channel mixed (dense + 1:8 rows share the im2col).
+        let patterns: Vec<_> = (0..geom.k)
+            .map(|i| if i % 2 == 0 { None } else { Some(nm) })
+            .collect();
+        let w = ChannelNmMatrix::prune_from_dense(
+            &dense,
+            geom.k,
+            geom.patch_len(),
+            &patterns,
+            OffsetLayout::Plain,
+        )
+        .unwrap();
+        let rq = Requant::for_dot_len((geom.patch_len() / nm.m()).max(1));
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let (bufs, row_values, row_offsets) =
+            stage_conv_channelwise(&mut l1, &geom, &input, &w, 4).unwrap();
+        let job = ChannelConvJob {
+            conv: ConvJob {
+                geom,
+                requant: rq,
+                bufs,
+            },
+            patterns,
+            row_values,
+            row_offsets,
+        };
+        assert_full_parity(&l1, 4, |ctx, cluster| {
+            conv_channel_mixed(ctx, &job, cluster, ChannelEngine::Software).unwrap()
+        });
+    }
+}
+
+/// The im2col-only workload (bulk path materializes nothing but each
+/// core's final patch buffers) must still leave the scratchpad
+/// bit-identical to the reference's per-position rebuilds, with exact
+/// stats, on every geometry class and core count — including a cluster
+/// larger than the position count (cores with empty ranges never touch
+/// their buffers on either path).
+#[test]
+fn im2col_only_bulk_parity() {
+    for geom in incremental_im2col_geoms() {
+        let input = random_data(geom.input_elems(), 83);
+        let weights = random_data(geom.weight_elems(), 89);
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let bufs = stage_conv_dense(&mut l1, &geom, &input, &weights, 16).unwrap();
+        let job = ConvJob {
+            geom,
+            requant: Requant::IDENTITY,
+            bufs,
+        };
+        for cores in [1, 4, 16] {
+            assert_full_parity(&l1, cores, |ctx, cluster| {
+                im2col_only("im2col-test", ctx, &job, cluster)
+            });
+        }
+    }
+}
+
 #[test]
 fn per_channel_mixed_bulk_parity() {
     let ladder = [
@@ -485,6 +610,34 @@ fn compiled_executor_bulk_parity() {
         assert_eq!(
             fast_run.matmul_compute_cycles, ref_run.matmul_compute_cycles,
             "{target:?} cycles"
+        );
+    }
+
+    // A strided, heavily padded conv exercises the incremental im2col's
+    // padding classes through the executor's tiling too.
+    let mut cw = random_i8(4 * 3 * 3 * 8, 73);
+    make_exact_nm(&mut cw, 4, 3 * 3 * 8, nm);
+    let conv = ConvLayer::new(
+        ConvGeom::square(8, 4, 7, 3, 2, 2).unwrap(),
+        cw,
+        Requant::for_dot_len(3 * 3 * 8),
+    )
+    .unwrap();
+    let mut b = GraphBuilder::new(&[7, 7, 8]);
+    let x = b.input();
+    let out = b.conv(x, conv).unwrap();
+    let g = b.finish(out).unwrap();
+    let input = Tensor::from_vec(&[7, 7, 8], random_i8(7 * 7 * 8, 77)).unwrap();
+    for target in [Target::SparseSw, Target::SparseIsa, Target::DensePulpNn] {
+        let fast = Options::new(target);
+        let mut reference = Options::new(target);
+        reference.bulk_emulation = false;
+        let fast_run = run_emulated(&g, &input, &fast).unwrap();
+        let ref_run = run_emulated(&g, &input, &reference).unwrap();
+        assert_eq!(fast_run.output, ref_run.output, "padded {target:?} outputs");
+        assert_eq!(
+            fast_run.matmul_compute_cycles, ref_run.matmul_compute_cycles,
+            "padded {target:?} cycles"
         );
     }
 }

@@ -11,7 +11,7 @@ use nm_isa::{CostModel, Memory};
 use nm_kernels::conv::dense::{conv_dense_1x2, conv_dense_4x2};
 use nm_kernels::conv::sparse_isa::conv_sparse_isa;
 use nm_kernels::conv::sparse_sw::{conv_sparse_sw, SparseConvJob};
-use nm_kernels::conv::ConvJob;
+use nm_kernels::conv::{im2col_only, ConvJob};
 use nm_kernels::fc::dense::fc_dense;
 use nm_kernels::fc::sparse_isa::fc_sparse_isa;
 use nm_kernels::fc::sparse_sw::{fc_sparse_sw, SparseFcJob};
@@ -92,6 +92,66 @@ proptest! {
         prop_assert_eq!(got, conv_ref(&geom, &input, &weights, rq));
         let analytic = run(&mut Ctx::Analytic, &job, &cluster).unwrap();
         prop_assert_eq!(stats.cycles(), analytic.cycles());
+    }
+
+    // Padded-geometry im2col agreement across all three modes,
+    // including the previously untested extremes: stride > fx (disjoint
+    // patches, no column reuse) and pad >= fx (rows that are entirely
+    // zero padding, plus split rows with padding on both sides). The
+    // pad-split charging fix and the bulk path's closed-form blocks
+    // must agree with the reference exactly — emulated vs bulk on bytes
+    // and every statistic, emulated vs analytic on totals.
+    #[test]
+    fn padded_im2col_agrees_across_modes(
+        c in 1usize..9,
+        k in 1usize..5,
+        i in 2usize..8,
+        f in 1usize..5,
+        stride in 1usize..6,
+        pad in 0usize..6,
+        cores in 1usize..5,
+        quad in any::<bool>(),
+        seed in 1u64..5000,
+    ) {
+        prop_assume!(i + 2 * pad >= f);
+        let geom = ConvGeom::new(c, k, i, i, f, f, stride, pad).unwrap();
+        let input = random_i8(geom.input_elems(), seed);
+        let weights = random_i8(geom.weight_elems(), seed ^ 0x5A5A);
+        let rq = Requant::for_dot_len(geom.patch_len());
+        let cluster = Cluster::new(cores, CostModel::default());
+        let mut l1 = Scratchpad::new("l1", 512 * 1024);
+        let bufs = stage_conv_dense(&mut l1, &geom, &input, &weights, cluster.n_cores()).unwrap();
+        let job = ConvJob { geom, requant: rq, bufs };
+        let run = if quad { conv_dense_4x2 } else { conv_dense_1x2 };
+
+        // Emulated reference vs bulk: bit-exact scratchpad, equal stats.
+        let mut l1_bulk = l1.clone();
+        let stats = run(&mut Ctx::Mem(&mut l1), &job, &cluster).unwrap();
+        let bulk = run(&mut Ctx::MemBulk(&mut l1_bulk), &job, &cluster).unwrap();
+        prop_assert_eq!(l1.bytes(), l1_bulk.bytes());
+        prop_assert_eq!(&stats, &bulk);
+
+        // Outputs stay correct under extreme padding.
+        let got: Vec<i8> =
+            (0..geom.output_elems() as u32).map(|i| l1.load_i8(bufs.output + i)).collect();
+        prop_assert_eq!(got, conv_ref(&geom, &input, &weights, rq));
+
+        // Analytic totals agree (charging is mode-independent).
+        let analytic = run(&mut Ctx::Analytic, &job, &cluster).unwrap();
+        prop_assert_eq!(stats.cycles(), analytic.cycles());
+        prop_assert_eq!(stats.cluster.total_instret(), analytic.cluster.total_instret());
+
+        // The im2col step alone: final-only materialization must land on
+        // the reference's exact final buffer state and charges.
+        let mut l1_ref = l1.clone();
+        let mut l1_bulk = l1.clone();
+        let im_ref = im2col_only("im2col-prop", &mut Ctx::Mem(&mut l1_ref), &job, &cluster);
+        let im_bulk = im2col_only("im2col-prop", &mut Ctx::MemBulk(&mut l1_bulk), &job, &cluster);
+        prop_assert_eq!(l1_ref.bytes(), l1_bulk.bytes());
+        prop_assert_eq!(&im_ref, &im_bulk);
+        let im_an = im2col_only("im2col-prop", &mut Ctx::Analytic, &job, &cluster);
+        prop_assert_eq!(im_ref.cycles(), im_an.cycles());
+        prop_assert_eq!(im_ref.cluster.total_instret(), im_an.cluster.total_instret());
     }
 
     #[test]
