@@ -2,7 +2,7 @@
 //! throughput regresses against the checked-in `BENCH_engine.json`.
 //!
 //! Usage: `perf_gate <baseline.json> [current.json] [--reps N]
-//! [--best-of N] [--threshold PCT] [--absolute]`
+//! [--best-of N] [--threshold PCT] [--absolute] [--filter SUBSTR]`
 //!
 //! * `baseline.json` — the checked-in snapshot to gate against.
 //! * `current.json` — an `engine --json` report to check; omitted, the
@@ -12,18 +12,23 @@
 //! * `--threshold PCT` — maximum tolerated regression (default 25).
 //! * `--absolute` — compare raw MACs/s instead of calibrating out the
 //!   host-speed difference via the reference path (see `nm_bench::gate`).
+//! * `--filter SUBSTR` — gate only workloads whose name contains the
+//!   substring (both sides of the comparison are restricted, and the
+//!   in-process suite only runs the matching workloads) — e.g.
+//!   `--filter net-` to check just the end-to-end network rows without
+//!   paying for the full suite.
 //!
 //! Exit status: 0 when every kernel passes, 1 on any regression, 2 on
 //! usage or report-format errors.
 
-use nm_bench::engine::{run_suite, EngineReport};
+use nm_bench::engine::{run_suite_filtered, EngineReport};
 use nm_bench::gate::{compare, parse_rows, report_rows, GateRow};
 use nm_bench::table;
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf_gate <baseline.json> [current.json] [--reps N] \
-         [--best-of N] [--threshold PCT] [--absolute]"
+         [--best-of N] [--threshold PCT] [--absolute] [--filter SUBSTR]"
     );
     std::process::exit(2);
 }
@@ -39,6 +44,7 @@ fn main() {
     let mut best_of = 3u32;
     let mut threshold = 0.25f64;
     let mut calibrate = true;
+    let mut filter: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -55,6 +61,10 @@ fn main() {
                 _ => usage(),
             },
             "--absolute" => calibrate = false,
+            "--filter" => match args.next() {
+                Some(f) if !f.is_empty() && !f.starts_with('-') => filter = Some(f),
+                _ => usage(),
+            },
             _ if arg.starts_with('-') => usage(),
             _ => paths.push(arg),
         }
@@ -65,10 +75,22 @@ fn main() {
         _ => usage(),
     };
 
+    let keep = |rows: &mut Vec<GateRow>| {
+        if let Some(f) = &filter {
+            rows.retain(|r| r.kernel.contains(f.as_str()));
+        }
+    };
     let baseline_json = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| fail(&format!("cannot read {baseline_path}: {e}")));
-    let baseline = parse_rows(&baseline_json).unwrap_or_else(|e| fail(&e));
-    let current: Vec<GateRow> = match current_path {
+    let mut baseline = parse_rows(&baseline_json).unwrap_or_else(|e| fail(&e));
+    keep(&mut baseline);
+    if baseline.is_empty() {
+        fail(&format!(
+            "no baseline row matches filter {:?}",
+            filter.as_deref().unwrap_or("")
+        ));
+    }
+    let mut current: Vec<GateRow> = match current_path {
         Some(p) => {
             let json = std::fs::read_to_string(&p)
                 .unwrap_or_else(|e| fail(&format!("cannot read {p}: {e}")));
@@ -80,10 +102,13 @@ fn main() {
                  (best of {best_of} x {reps} reps)"
             );
             report_rows(&EngineReport::best_of(
-                (0..best_of).map(|_| run_suite(reps.max(1))).collect(),
+                (0..best_of)
+                    .map(|_| run_suite_filtered(reps.max(1), filter.as_deref()))
+                    .collect(),
             ))
         }
     };
+    keep(&mut current);
 
     let checks = compare(&baseline, &current, threshold, calibrate).unwrap_or_else(|e| fail(&e));
 

@@ -185,7 +185,6 @@ pub fn compare(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_suite;
 
     fn row(kernel: &str, path: &str, macs: f64) -> GateRow {
         GateRow {
@@ -204,7 +203,7 @@ mod tests {
 
     #[test]
     fn parses_what_the_engine_emits() {
-        let report = run_suite(1);
+        let report = crate::engine::run_suite_filtered(1, Some("fc-"));
         let rows = parse_rows(&report.to_json()).unwrap();
         assert_eq!(rows.len(), report.rows.len());
         for (parsed, live) in rows.iter().zip(report_rows(&report)) {

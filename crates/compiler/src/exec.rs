@@ -5,29 +5,27 @@
 //! Used by the integration tests to prove the compiled sparse execution
 //! is bit-identical to dense execution of the same masked weights, and
 //! that the emulated tile compute cycles equal the analytic plan.
+//!
+//! [`run_emulated`] is a thin prepare-then-run wrapper over the
+//! compile-once executor ([`crate::prepack::PreparedGraph`]): weights
+//! are packed and tile programs precomputed per call, then executed.
+//! Callers running the same graph repeatedly (sweeps, serving) should
+//! prepare once themselves and call
+//! [`PreparedGraph::run`](crate::prepack::PreparedGraph::run) per
+//! inference — that is where the packing amortization comes from.
 
-use crate::patterns::{select_kernel, KernelChoice};
-use crate::plan::{conv_tile_specs, fc_tile_specs, Options};
-use crate::tiling::{tile_conv, tile_fc};
-use nm_core::format::{BlockwiseMatrix, CsrMatrix, DcsrMatrix, NmMatrix, OffsetLayout};
+use crate::plan::Options;
+use crate::prepack::{tile_ctx, PreparedGraph};
+use nm_core::format::{BlockwiseMatrix, CsrMatrix, DcsrMatrix};
 use nm_core::{Error, Result, Tensor};
 use nm_isa::Memory;
 use nm_kernels::baseline::blockwise::{fc_blockwise, stage_blockwise_fc};
 use nm_kernels::baseline::csr::{fc_csr, stage_csr_fc};
 use nm_kernels::baseline::dcsr::{fc_dcsr, stage_dcsr_fc};
-use nm_kernels::conv::dense::{conv_dense_1x2, conv_dense_4x2};
-use nm_kernels::conv::sparse_isa::conv_sparse_isa;
-use nm_kernels::conv::sparse_sw::{conv_sparse_sw, SparseConvJob};
-use nm_kernels::conv::ConvJob;
-use nm_kernels::fc::dense::fc_dense;
-use nm_kernels::fc::sparse_isa::fc_sparse_isa;
-use nm_kernels::fc::sparse_sw::{fc_sparse_sw, SparseFcJob};
 use nm_kernels::fc::FcJob;
-use nm_kernels::layout::{stage_conv_dense, stage_conv_sparse, stage_fc_dense, stage_fc_sparse};
-use nm_kernels::{Ctx, KernelStats};
-use nm_nn::graph::{Graph, OpKind};
-use nm_nn::layer::{ConvLayer, LinearLayer};
-use nm_nn::{exec as nnexec, ops};
+use nm_kernels::layout::copy_bytes_to_i8;
+use nm_nn::graph::Graph;
+use nm_nn::layer::LinearLayer;
 use nm_platform::Scratchpad;
 
 /// The result of an emulated run.
@@ -38,171 +36,6 @@ pub struct EmulatedRun {
     /// Total emulated compute cycles of the Conv/Linear tiles — must
     /// equal the analytic plan's compute cycles.
     pub matmul_compute_cycles: u64,
-}
-
-fn l1(opts: &Options) -> Scratchpad {
-    Scratchpad::new("L1", opts.l1_budget)
-}
-
-/// The emulation context selected by [`Options::bulk_emulation`]: the
-/// bulk fast path by default, the per-instruction reference on request.
-fn tile_ctx<'a>(mem: &'a mut Scratchpad, opts: &Options) -> Ctx<'a> {
-    if opts.bulk_emulation {
-        Ctx::MemBulk(mem)
-    } else {
-        Ctx::Mem(mem)
-    }
-}
-
-fn offset_layout(choice: &KernelChoice) -> Option<OffsetLayout> {
-    match choice {
-        KernelChoice::ConvSparseSw(_) | KernelChoice::FcSparseSw(_) => Some(OffsetLayout::Plain),
-        KernelChoice::ConvSparseIsa(_) => Some(OffsetLayout::Duplicated),
-        KernelChoice::FcSparseIsa(_) => Some(OffsetLayout::Interleaved),
-        _ => None,
-    }
-}
-
-fn run_conv_layer(
-    layer: &ConvLayer,
-    input: &Tensor<i8>,
-    choice: KernelChoice,
-    opts: &Options,
-) -> Result<(Tensor<i8>, u64)> {
-    let geom = &layer.geom;
-    let cluster = opts.cluster();
-    let tiling = tile_conv(geom, &choice, opts.l1_budget, opts.cores)?;
-    let specs = conv_tile_specs(geom, &tiling);
-    // Materialize the zero-padded input once (the 2-D DMA does this on
-    // the real platform when fetching halo tiles).
-    let (py, px) = (geom.iy + 2 * geom.pad, geom.ix + 2 * geom.pad);
-    let mut padded = vec![0i8; py * px * geom.c];
-    for y in 0..geom.iy {
-        for x in 0..geom.ix {
-            for c in 0..geom.c {
-                padded[((y + geom.pad) * px + x + geom.pad) * geom.c + c] = *input.at(&[y, x, c]);
-            }
-        }
-    }
-    let mut out = Tensor::<i8>::zeros(&[geom.oy(), geom.ox(), geom.k]);
-    let mut cycles = 0;
-    for spec in &specs {
-        let tg = spec.geom;
-        let row0 = spec.oy0 * geom.stride;
-        let tile_input = &padded[row0 * px * geom.c..(row0 + tg.iy) * px * geom.c];
-        let w_rows =
-            &layer.weights[spec.k0 * geom.patch_len()..(spec.k0 + tg.k) * geom.patch_len()];
-        let mut mem = l1(opts);
-        let stats: KernelStats;
-        let bufs;
-        if let Some(layout) = offset_layout(&choice) {
-            let nm = choice.nm().expect("sparse choice has a pattern");
-            let packed = NmMatrix::from_dense(w_rows, tg.k, geom.patch_len(), nm, layout)?;
-            bufs = stage_conv_sparse(&mut mem, &tg, tile_input, &packed, opts.cores)?;
-            let job = SparseConvJob {
-                conv: ConvJob {
-                    geom: tg,
-                    requant: layer.requant,
-                    bufs,
-                },
-                nm,
-            };
-            let mut ctx = tile_ctx(&mut mem, opts);
-            stats = match choice {
-                KernelChoice::ConvSparseSw(_) => conv_sparse_sw(&mut ctx, &job, &cluster)?,
-                _ => conv_sparse_isa(&mut ctx, &job, &cluster)?,
-            };
-        } else {
-            bufs = stage_conv_dense(&mut mem, &tg, tile_input, w_rows, opts.cores)?;
-            let job = ConvJob {
-                geom: tg,
-                requant: layer.requant,
-                bufs,
-            };
-            let mut ctx = tile_ctx(&mut mem, opts);
-            stats = match choice {
-                KernelChoice::ConvDense1x2 => conv_dense_1x2(&mut ctx, &job, &cluster)?,
-                _ => conv_dense_4x2(&mut ctx, &job, &cluster)?,
-            };
-        }
-        cycles += stats.cycles();
-        // Scatter the tile's HWC output into the full tensor.
-        for y in 0..tg.oy() {
-            for x in 0..tg.ox() {
-                for k in 0..tg.k {
-                    let v = mem.load_i8(bufs.output + ((y * tg.ox() + x) * tg.k + k) as u32);
-                    *out.at_mut(&[spec.oy0 + y, x, spec.k0 + k]) = v;
-                }
-            }
-        }
-    }
-    Ok((out, cycles))
-}
-
-fn run_fc_layer(
-    layer: &LinearLayer,
-    input: &Tensor<i8>,
-    choice: KernelChoice,
-    opts: &Options,
-) -> Result<(Tensor<i8>, u64)> {
-    let geom = &layer.geom;
-    let cluster = opts.cluster();
-    let tiling = tile_fc(geom, &choice, opts.l1_budget)?;
-    let specs = fc_tile_specs(geom, &tiling);
-    let (tokens, c) = match input.shape() {
-        [c] => (1, *c),
-        [t, c] => (*t, *c),
-        s => return Err(Error::ShapeMismatch(format!("linear over {s:?}"))),
-    };
-    let mut out = vec![0i8; tokens * geom.k];
-    let mut cycles = 0;
-    for spec in &specs {
-        let tg = spec.geom;
-        let w_rows = &layer.weights[spec.k0 * c..(spec.k0 + tg.k) * c];
-        for t in 0..tokens {
-            let x = &input.data()[t * c..(t + 1) * c];
-            let mut mem = l1(opts);
-            let bufs;
-            let stats: KernelStats;
-            if let Some(layout) = offset_layout(&choice) {
-                let nm = choice.nm().expect("sparse choice has a pattern");
-                let packed = NmMatrix::from_dense(w_rows, tg.k, c, nm, layout)?;
-                bufs = stage_fc_sparse(&mut mem, &tg, x, &packed)?;
-                let job = SparseFcJob {
-                    fc: FcJob {
-                        geom: tg,
-                        requant: layer.requant,
-                        bufs,
-                    },
-                    nm,
-                };
-                let mut ctx = tile_ctx(&mut mem, opts);
-                stats = match choice {
-                    KernelChoice::FcSparseSw(_) => fc_sparse_sw(&mut ctx, &job, &cluster)?,
-                    _ => fc_sparse_isa(&mut ctx, &job, &cluster)?,
-                };
-            } else {
-                bufs = stage_fc_dense(&mut mem, &tg, x, w_rows)?;
-                let job = FcJob {
-                    geom: tg,
-                    requant: layer.requant,
-                    bufs,
-                };
-                let mut ctx = tile_ctx(&mut mem, opts);
-                stats = fc_dense(&mut ctx, &job, &cluster)?;
-            }
-            cycles += stats.cycles();
-            for k in 0..tg.k {
-                out[t * geom.k + spec.k0 + k] = mem.load_i8(bufs.output + k as u32);
-            }
-        }
-    }
-    let shape: Vec<usize> = if input.shape().len() == 1 {
-        vec![geom.k]
-    } else {
-        vec![tokens, geom.k]
-    };
-    Ok((Tensor::from_vec(&shape, out)?, cycles))
 }
 
 /// A related-work sparse format for [`run_fc_baseline`] — the "other
@@ -246,7 +79,7 @@ pub fn run_fc_baseline(
         requant: layer.requant,
         bufs: Default::default(),
     };
-    let mut mem = l1(opts);
+    let mut mem = Scratchpad::new("L1", opts.l1_budget);
     let (stats, output) = match format {
         BaselineFormat::Csr => {
             let w = CsrMatrix::from_dense(&layer.weights, geom.k, geom.c)?;
@@ -267,69 +100,20 @@ pub fn run_fc_baseline(
             (stats, job.bufs.output)
         }
     };
-    let out: Vec<i8> = (0..geom.k)
-        .map(|k| mem.load_i8(output + k as u32))
-        .collect();
+    let view = mem.slice(output, geom.k).expect("staged output in range");
+    let mut out = vec![0i8; geom.k];
+    copy_bytes_to_i8(&mut out, view);
     Ok((Tensor::from_vec(&[geom.k], out)?, stats.cycles()))
 }
 
 /// Runs the graph with Conv/Linear layers executed tile-by-tile on the
-/// simulated cluster using the target's kernels.
+/// simulated cluster using the target's kernels: a prepare-then-run
+/// wrapper over [`PreparedGraph`].
 ///
 /// # Errors
 /// Propagates tiling, staging and kernel errors.
 pub fn run_emulated(graph: &Graph, input: &Tensor<i8>, opts: &Options) -> Result<EmulatedRun> {
-    if input.shape() != graph.input_shape() {
-        return Err(Error::ShapeMismatch(format!(
-            "input shape {:?} != graph input {:?}",
-            input.shape(),
-            graph.input_shape()
-        )));
-    }
-    let mut values: Vec<Option<Tensor<i8>>> = vec![None; graph.nodes().len()];
-    values[0] = Some(input.clone());
-    let mut matmul_cycles = 0;
-    for (id, node) in graph.nodes().iter().enumerate().skip(1) {
-        let get = |i: usize| values[node.inputs[i]].as_ref().expect("topological order");
-        let out = match &node.op {
-            OpKind::Input => unreachable!(),
-            OpKind::Conv2d(l) => {
-                let choice = select_kernel(opts.target, &node.op).expect("conv kernel");
-                let (t, cyc) = run_conv_layer(l, get(0), choice, opts)?;
-                matmul_cycles += cyc;
-                t
-            }
-            OpKind::Linear(l) => {
-                let choice = select_kernel(opts.target, &node.op).expect("fc kernel");
-                let (t, cyc) = run_fc_layer(l, get(0), choice, opts)?;
-                matmul_cycles += cyc;
-                t
-            }
-            OpKind::Attention(a) => nnexec::attention(get(0), a),
-            OpKind::Relu => ops::relu(get(0)),
-            OpKind::Gelu => ops::gelu(get(0)),
-            OpKind::LayerNorm => ops::layer_norm(get(0)),
-            OpKind::MaxPool { k, s } => ops::max_pool(get(0), *k, *s),
-            OpKind::AvgPool { k, s } => ops::avg_pool(get(0), *k, *s),
-            OpKind::GlobalAvgPool => ops::global_avg_pool(get(0)),
-            OpKind::Add => ops::add(get(0), values[node.inputs[1]].as_ref().unwrap()),
-            OpKind::Flatten => {
-                let t = get(0).clone();
-                let len = t.len();
-                t.reshape(&[len])?
-            }
-            OpKind::Tokens => {
-                let t = get(0).clone();
-                let shape = node.out_shape.clone();
-                t.reshape(&shape)?
-            }
-        };
-        values[id] = Some(out);
-    }
-    Ok(EmulatedRun {
-        output: values[graph.output()].take().expect("output computed"),
-        matmul_compute_cycles: matmul_cycles,
-    })
+    PreparedGraph::prepare(graph, opts)?.run(input)
 }
 
 #[cfg(test)]
@@ -341,7 +125,9 @@ mod tests {
     use nm_core::sparsity::{prune_magnitude, Nm};
     use nm_core::{ConvGeom, FcGeom};
     use nm_nn::graph::GraphBuilder;
+    use nm_nn::layer::ConvLayer;
     use nm_nn::rng::XorShift;
+    use nm_nn::{exec as nnexec, graph::OpKind};
 
     /// A small conv+fc graph; when `nm` is set, weights are pruned so
     /// pattern recognition selects the sparse kernels.
@@ -421,7 +207,13 @@ mod tests {
         let layer = LinearLayer::new(fcg, w, Requant::for_dot_len(fcg.c)).unwrap();
         let input = Tensor::from_vec(&[fcg.c], rng.fill_weights(fcg.c, 50)).unwrap();
         let opts = Options::new(Target::Dense1x2);
-        let (dense_out, _) = run_fc_layer(&layer, &input, KernelChoice::FcDense, &opts).unwrap();
+        // The dense kernel's output for the same weights, via the
+        // compiled executor on a single-linear graph.
+        let mut b = GraphBuilder::new(&[fcg.c]);
+        let x = b.linear(b.input(), layer.clone()).unwrap();
+        let g = b.finish(x).unwrap();
+        assert!(matches!(g.node(x).op, OpKind::Linear(_)));
+        let dense_out = run_emulated(&g, &input, &opts).unwrap().output;
         for format in [
             BaselineFormat::Csr,
             BaselineFormat::Dcsr,

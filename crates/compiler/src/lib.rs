@@ -14,11 +14,13 @@
 //! 3. **Weight memory layout** ([`plan`]) — weights and offsets are
 //!    interleaved per tile in L2 so one DMA transaction fetches both
 //!    (Sec. 4.4(3)); the split layout is kept for the ablation.
-//! 4. **Planning & execution** ([`plan`], [`exec`]) — every layer gets a
-//!    tile schedule whose compute costs come from the kernel library's
-//!    analytic twins and whose transfers go through the double-buffering
-//!    model; [`exec::run_emulated`] additionally executes Conv/Linear
-//!    tiles bit-exactly on the simulated cluster for verification.
+//! 4. **Planning & execution** ([`plan`], [`exec`], [`prepack`]) —
+//!    every layer gets a tile schedule whose compute costs come from the
+//!    kernel library's analytic twins and whose transfers go through the
+//!    double-buffering model; [`prepack::PreparedGraph`] compiles the
+//!    graph once (weights packed per tile, kernel programs pre-decoded)
+//!    and executes it many times bit-exactly on the simulated cluster,
+//!    with [`exec::run_emulated`] as the one-shot wrapper.
 //! 5. **Mixed per-layer sparsity** ([`mixed`]) — the paper's future-work
 //!    extension: a greedy per-layer pattern assignment under a density
 //!    budget.
@@ -32,8 +34,10 @@ pub mod mixed;
 pub mod opcost;
 pub mod patterns;
 pub mod plan;
+pub mod prepack;
 pub mod profile;
 pub mod tiling;
 
 pub use patterns::{KernelChoice, Target};
 pub use plan::{compile, LayerPlan, ModelReport, Options};
+pub use prepack::PreparedGraph;

@@ -1,5 +1,6 @@
 //! Pattern recognition: mapping graph nodes to kernels (Sec. 4.4(1)).
 
+use nm_core::format::OffsetLayout;
 use nm_core::sparsity::Nm;
 use nm_nn::graph::OpKind;
 
@@ -77,6 +78,21 @@ impl KernelChoice {
             | KernelChoice::ConvSparseIsa(nm)
             | KernelChoice::FcSparseSw(nm)
             | KernelChoice::FcSparseIsa(nm) => Some(*nm),
+            _ => None,
+        }
+    }
+
+    /// The packed-offset layout the chosen kernel family consumes, or
+    /// `None` for the dense kernels. This is the layout weights must be
+    /// packed with ([`nm_core::format::NmMatrix::from_dense`]) before
+    /// staging.
+    pub fn offset_layout(&self) -> Option<OffsetLayout> {
+        match self {
+            KernelChoice::ConvSparseSw(_) | KernelChoice::FcSparseSw(_) => {
+                Some(OffsetLayout::Plain)
+            }
+            KernelChoice::ConvSparseIsa(_) => Some(OffsetLayout::Duplicated),
+            KernelChoice::FcSparseIsa(_) => Some(OffsetLayout::Interleaved),
             _ => None,
         }
     }

@@ -41,6 +41,13 @@ pub struct Options {
     /// and cycle-exact — the kernel parity tests pin them together — but
     /// the bulk path makes end-to-end emulation several times faster.
     pub bulk_emulation: bool,
+    /// Host worker threads for the compiled executor's parallel tile
+    /// execution ([`crate::prepack::PreparedGraph`]): `0` (the default)
+    /// sizes to the host's available parallelism, `1` forces sequential
+    /// execution. Tiles are independent — each owns its scratchpad and
+    /// its cycle total is summed in schedule order — so every thread
+    /// count produces identical outputs and statistics.
+    pub host_threads: usize,
 }
 
 impl Options {
@@ -53,6 +60,7 @@ impl Options {
             cores: 8,
             costs: CostModel::default(),
             bulk_emulation: true,
+            host_threads: 0,
         }
     }
 

@@ -1,0 +1,637 @@
+//! Compile-once network executor: pack every tile's weights and
+//! precompute its kernel program a single time, then run inference after
+//! inference with zero packing work.
+//!
+//! [`crate::exec::run_emulated`] used to re-pack each Conv/Linear tile's
+//! weights from dense on every invocation — and for multi-token FC
+//! layers once per *token* — exactly the work a deployment flow does at
+//! compile time. [`PreparedGraph`] performs that split: [`prepare`]
+//! selects kernels, tiles layers, packs each tile into its target format
+//! ([`NmMatrix`] values + offsets for the sparse kernels, dense row
+//! ranges otherwise) and pre-decodes the conv kernels' decimation tables
+//! ([`DecimProgram`]); [`run`] then executes the network on the
+//! simulated cluster with only data movement per inference: bulk
+//! row-wise staging and scatter, a reusable scratchpad arena
+//! ([`Scratchpad::reset`] between tiles instead of a fresh allocation),
+//! and parallel tile execution across host threads.
+//!
+//! Parallelism never changes results: tiles are independent (each owns a
+//! scratchpad from the pool and writes a disjoint output region), their
+//! emulated statistics are computed per tile exactly as in sequential
+//! order, and the cycle total is a sum of per-tile `u64`s — associative
+//! and commutative, so any schedule produces the identical
+//! [`EmulatedRun`]. The parity tests pin prepared execution against
+//! fresh [`crate::exec::run_emulated`] runs, the per-instruction
+//! reference path and the analytic plan.
+//!
+//! [`prepare`]: PreparedGraph::prepare
+//! [`run`]: PreparedGraph::run
+
+use crate::exec::EmulatedRun;
+use crate::patterns::{select_kernel, KernelChoice};
+use crate::plan::{conv_tile_specs, fc_tile_specs, ConvTileSpec, FcTileSpec, Options};
+use crate::tiling::{tile_conv, tile_fc};
+use nm_core::format::NmMatrix;
+use nm_core::{Error, Result, Tensor};
+use nm_isa::Memory;
+use nm_kernels::conv::dense::{conv_dense_1x2, conv_dense_4x2};
+use nm_kernels::conv::sparse_isa::conv_sparse_isa_prepared;
+use nm_kernels::conv::sparse_sw::{conv_sparse_sw_prepared, SparseConvJob};
+use nm_kernels::conv::{ConvJob, DecimProgram};
+use nm_kernels::fc::dense::fc_dense;
+use nm_kernels::fc::sparse_isa::fc_sparse_isa;
+use nm_kernels::fc::sparse_sw::{fc_sparse_sw, SparseFcJob};
+use nm_kernels::fc::FcJob;
+use nm_kernels::layout::{
+    copy_bytes_to_i8, copy_i8_to_bytes, stage_conv_dense, stage_conv_sparse, stage_fc_dense,
+    stage_fc_sparse, FcBufs,
+};
+use nm_nn::graph::{Graph, OpKind};
+use nm_nn::layer::{ConvLayer, LinearLayer};
+use nm_nn::{exec as nnexec, ops};
+use nm_platform::Scratchpad;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A tile's weights in the exact form its kernel consumes.
+#[derive(Debug)]
+enum TileWeights {
+    /// Dense rows: a range into the layer's weight vector (no packing
+    /// needed, staged as-is).
+    Dense(Range<usize>),
+    /// N:M-packed values + offsets, with the conv kernels' pre-decoded
+    /// decimation table when the bulk path will consume it.
+    Sparse {
+        weights: NmMatrix,
+        program: Option<DecimProgram>,
+    },
+}
+
+/// A convolution layer's compiled tile program.
+#[derive(Debug)]
+struct PreparedConv {
+    choice: KernelChoice,
+    specs: Vec<ConvTileSpec>,
+    tiles: Vec<TileWeights>,
+}
+
+/// A linear layer's compiled tile program.
+#[derive(Debug)]
+struct PreparedFc {
+    choice: KernelChoice,
+    specs: Vec<FcTileSpec>,
+    tiles: Vec<TileWeights>,
+}
+
+/// The per-node compiled artifact (None for non-matmul nodes).
+#[derive(Debug)]
+enum PreparedMatmul {
+    Conv(PreparedConv),
+    Fc(PreparedFc),
+}
+
+/// A graph compiled for repeated emulated execution: weights packed and
+/// kernel programs precomputed once, scratchpads pooled across runs.
+///
+/// # Example
+/// ```no_run
+/// # use nm_compiler::prepack::PreparedGraph;
+/// # use nm_compiler::{Options, Target};
+/// # fn demo(graph: &nm_nn::graph::Graph, inputs: &[nm_core::Tensor<i8>]) {
+/// let opts = Options::new(Target::SparseIsa);
+/// let prepared = PreparedGraph::prepare(graph, &opts).unwrap();
+/// for input in inputs {
+///     let run = prepared.run(input).unwrap(); // zero packing work here
+///     println!("cycles {}", run.matmul_compute_cycles);
+/// }
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PreparedGraph<'g> {
+    graph: &'g Graph,
+    opts: Options,
+    layers: Vec<Option<PreparedMatmul>>,
+    /// Scratchpads reused across tiles, layers and runs (reset between
+    /// tiles); workers check one out for the duration of their item
+    /// batch.
+    pool: Mutex<Vec<Scratchpad>>,
+}
+
+/// The emulation context selected by [`Options::bulk_emulation`].
+pub(crate) fn tile_ctx<'a>(mem: &'a mut Scratchpad, opts: &Options) -> nm_kernels::Ctx<'a> {
+    if opts.bulk_emulation {
+        nm_kernels::Ctx::MemBulk(mem)
+    } else {
+        nm_kernels::Ctx::Mem(mem)
+    }
+}
+
+impl<'g> PreparedGraph<'g> {
+    /// Compiles `graph` for the target in `opts`: selects kernels, tiles
+    /// every Conv/Linear layer, packs each tile's weights into its
+    /// kernel's format exactly once and pre-decodes the sparse conv
+    /// decimation programs.
+    ///
+    /// # Errors
+    /// Propagates tiling failures (a layer that cannot fit L1 even at
+    /// the smallest tile) and weight-packing errors.
+    pub fn prepare(graph: &'g Graph, opts: &Options) -> Result<Self> {
+        let mut layers = Vec::with_capacity(graph.nodes().len());
+        for node in graph.nodes() {
+            let prepared = match &node.op {
+                OpKind::Conv2d(l) => {
+                    let choice = select_kernel(opts.target, &node.op).expect("conv has a kernel");
+                    Some(PreparedMatmul::Conv(prepare_conv(l, choice, opts)?))
+                }
+                OpKind::Linear(l) => {
+                    let choice = select_kernel(opts.target, &node.op).expect("linear has a kernel");
+                    Some(PreparedMatmul::Fc(prepare_fc(l, choice, opts)?))
+                }
+                _ => None,
+            };
+            layers.push(prepared);
+        }
+        Ok(PreparedGraph {
+            graph,
+            opts: *opts,
+            layers,
+            pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The options the graph was prepared with.
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// Executes one inference with the precompiled tile programs:
+    /// Conv/Linear tiles run (in parallel) on the simulated cluster from
+    /// the prepacked weights, everything else uses the reference
+    /// implementations. Identical outputs and cycle totals to
+    /// [`crate::exec::run_emulated`] with the same options — just
+    /// without the per-invocation packing work.
+    ///
+    /// # Errors
+    /// [`Error::ShapeMismatch`] if `input` does not match the graph's
+    /// input shape; otherwise propagates staging and kernel errors.
+    pub fn run(&self, input: &Tensor<i8>) -> Result<EmulatedRun> {
+        if input.shape() != self.graph.input_shape() {
+            return Err(Error::ShapeMismatch(format!(
+                "input shape {:?} != graph input {:?}",
+                input.shape(),
+                self.graph.input_shape()
+            )));
+        }
+        let nodes = self.graph.nodes();
+        let mut values: Vec<Option<Tensor<i8>>> = vec![None; nodes.len()];
+        values[0] = Some(input.clone());
+        let mut matmul_cycles = 0;
+        for (id, node) in nodes.iter().enumerate().skip(1) {
+            let get = |i: usize| values[node.inputs[i]].as_ref().expect("topological order");
+            let out = match &node.op {
+                OpKind::Input => unreachable!(),
+                OpKind::Conv2d(l) => {
+                    let Some(PreparedMatmul::Conv(p)) = &self.layers[id] else {
+                        unreachable!("conv node was prepared")
+                    };
+                    let (t, cyc) = self.run_conv(l, p, get(0))?;
+                    matmul_cycles += cyc;
+                    t
+                }
+                OpKind::Linear(l) => {
+                    let Some(PreparedMatmul::Fc(p)) = &self.layers[id] else {
+                        unreachable!("linear node was prepared")
+                    };
+                    let (t, cyc) = self.run_fc(l, p, get(0))?;
+                    matmul_cycles += cyc;
+                    t
+                }
+                OpKind::Attention(a) => nnexec::attention(get(0), a),
+                OpKind::Relu => ops::relu(get(0)),
+                OpKind::Gelu => ops::gelu(get(0)),
+                OpKind::LayerNorm => ops::layer_norm(get(0)),
+                OpKind::MaxPool { k, s } => ops::max_pool(get(0), *k, *s),
+                OpKind::AvgPool { k, s } => ops::avg_pool(get(0), *k, *s),
+                OpKind::GlobalAvgPool => ops::global_avg_pool(get(0)),
+                OpKind::Add => ops::add(get(0), values[node.inputs[1]].as_ref().unwrap()),
+                OpKind::Flatten => {
+                    let t = get(0).clone();
+                    let len = t.len();
+                    t.reshape(&[len])?
+                }
+                OpKind::Tokens => {
+                    let t = get(0).clone();
+                    let shape = node.out_shape.clone();
+                    t.reshape(&shape)?
+                }
+            };
+            values[id] = Some(out);
+        }
+        Ok(EmulatedRun {
+            output: values[self.graph.output()].take().expect("output computed"),
+            matmul_compute_cycles: matmul_cycles,
+        })
+    }
+
+    fn run_conv(
+        &self,
+        layer: &ConvLayer,
+        p: &PreparedConv,
+        input: &Tensor<i8>,
+    ) -> Result<(Tensor<i8>, u64)> {
+        let geom = &layer.geom;
+        let cluster = self.opts.cluster();
+        // Materialize the zero-padded input once per layer, row-wise
+        // (the 2-D DMA does this on the real platform when fetching halo
+        // tiles).
+        let px = geom.ix + 2 * geom.pad;
+        let row = geom.ix * geom.c;
+        let mut padded = vec![0i8; (geom.iy + 2 * geom.pad) * px * geom.c];
+        for y in 0..geom.iy {
+            let dst = ((y + geom.pad) * px + geom.pad) * geom.c;
+            padded[dst..dst + row].copy_from_slice(&input.data()[y * row..(y + 1) * row]);
+        }
+
+        let exec_tile = |mem: &mut Scratchpad, i: usize| -> Result<(u64, Vec<u8>)> {
+            let spec = &p.specs[i];
+            let tg = spec.geom;
+            let row0 = spec.oy0 * geom.stride;
+            let tile_input = &padded[row0 * px * geom.c..(row0 + tg.iy) * px * geom.c];
+            mem.reset();
+            let (stats, output) = match &p.tiles[i] {
+                TileWeights::Dense(range) => {
+                    let bufs = stage_conv_dense(
+                        mem,
+                        &tg,
+                        tile_input,
+                        &layer.weights[range.clone()],
+                        self.opts.cores,
+                    )?;
+                    let job = ConvJob {
+                        geom: tg,
+                        requant: layer.requant,
+                        bufs,
+                    };
+                    let mut ctx = tile_ctx(mem, &self.opts);
+                    let stats = match p.choice {
+                        KernelChoice::ConvDense1x2 => conv_dense_1x2(&mut ctx, &job, &cluster)?,
+                        _ => conv_dense_4x2(&mut ctx, &job, &cluster)?,
+                    };
+                    (stats, bufs.output)
+                }
+                TileWeights::Sparse { weights, program } => {
+                    let bufs = stage_conv_sparse(mem, &tg, tile_input, weights, self.opts.cores)?;
+                    let job = SparseConvJob {
+                        conv: ConvJob {
+                            geom: tg,
+                            requant: layer.requant,
+                            bufs,
+                        },
+                        nm: weights.nm(),
+                    };
+                    let mut ctx = tile_ctx(mem, &self.opts);
+                    let stats = match p.choice {
+                        KernelChoice::ConvSparseSw(_) => {
+                            conv_sparse_sw_prepared(&mut ctx, &job, &cluster, program.as_ref())?
+                        }
+                        _ => conv_sparse_isa_prepared(&mut ctx, &job, &cluster, program.as_ref())?,
+                    };
+                    (stats, bufs.output)
+                }
+            };
+            let out = mem
+                .slice(output, tg.output_elems())
+                .expect("staged output in range")
+                .to_vec();
+            Ok((stats.cycles(), out))
+        };
+        let results = self.run_items(p.specs.len(), exec_tile)?;
+
+        // Scatter every tile's HWC output into the full tensor, row-wise.
+        let mut out = vec![0i8; geom.output_elems()];
+        let mut cycles = 0;
+        for (spec, (cyc, bytes)) in p.specs.iter().zip(results) {
+            cycles += cyc;
+            let tg = spec.geom;
+            if spec.k0 == 0 && tg.k == geom.k {
+                // K-untiled: the tile rows are contiguous in the output.
+                let dst = spec.oy0 * geom.ox() * geom.k;
+                copy_bytes_to_i8(&mut out[dst..dst + bytes.len()], &bytes);
+            } else {
+                for y in 0..tg.oy() {
+                    for x in 0..tg.ox() {
+                        let src = &bytes[(y * tg.ox() + x) * tg.k..][..tg.k];
+                        let dst = ((spec.oy0 + y) * geom.ox() + x) * geom.k + spec.k0;
+                        copy_bytes_to_i8(&mut out[dst..dst + tg.k], src);
+                    }
+                }
+            }
+        }
+        Ok((
+            Tensor::from_vec(&[geom.oy(), geom.ox(), geom.k], out)?,
+            cycles,
+        ))
+    }
+
+    fn run_fc(
+        &self,
+        layer: &LinearLayer,
+        p: &PreparedFc,
+        input: &Tensor<i8>,
+    ) -> Result<(Tensor<i8>, u64)> {
+        let geom = &layer.geom;
+        let cluster = self.opts.cluster();
+        let (tokens, c) = match input.shape() {
+            [c] => (1, *c),
+            [t, c] => (*t, *c),
+            s => return Err(Error::ShapeMismatch(format!("linear over {s:?}"))),
+        };
+        // Work items are (K-tile, token chunk): weights are staged once
+        // per item and every token of the chunk reuses them, so a
+        // multi-token layer never restages (let alone repacks) weights
+        // per token. Chunking exists purely to feed idle workers when
+        // there are fewer tiles than threads; boundaries are
+        // deterministic, and per-token outputs/cycles don't depend on
+        // which chunk ran them.
+        let n_tiles = p.specs.len();
+        let n_chunks = if tokens <= 1 {
+            1
+        } else {
+            self.threads().div_ceil(n_tiles).clamp(1, tokens)
+        };
+        // `max(1)` keeps the zero-token degenerate case (an empty `[0,
+        // C]` input) on the normal path: one item per tile with an
+        // empty token range, like the per-token loop it replaced.
+        let chunk = tokens.div_ceil(n_chunks).max(1);
+        // Re-derive the chunk count from the chosen size so no trailing
+        // chunk is empty (e.g. 5 tokens over 4 chunks of 2 -> 3 chunks).
+        let n_chunks = tokens.div_ceil(chunk).max(1);
+        let nm = p.choice.nm();
+
+        let run_item = |mem: &mut Scratchpad, item: usize| -> Result<(u64, Vec<u8>)> {
+            let (ti, ci) = (item / n_chunks, item % n_chunks);
+            let spec = &p.specs[ti];
+            let tg = spec.geom;
+            let (t0, t1) = (ci * chunk, ((ci + 1) * chunk).min(tokens));
+            let mut cycles = 0;
+            let mut outs = vec![0u8; t1.saturating_sub(t0) * tg.k];
+            mem.reset();
+            let mut staged: Option<FcBufs> = None;
+            for (j, t) in (t0..t1).enumerate() {
+                let x = &input.data()[t * c..(t + 1) * c];
+                let bufs = match staged {
+                    Some(bufs) => {
+                        // Weights (and offsets) stay resident; only the
+                        // input vector changes between tokens.
+                        copy_i8_to_bytes(mem.slice_mut(bufs.input, c).expect("staged input"), x);
+                        bufs
+                    }
+                    None => {
+                        let bufs = match &p.tiles[ti] {
+                            TileWeights::Dense(range) => {
+                                stage_fc_dense(mem, &tg, x, &layer.weights[range.clone()])?
+                            }
+                            TileWeights::Sparse { weights, .. } => {
+                                stage_fc_sparse(mem, &tg, x, weights)?
+                            }
+                        };
+                        staged = Some(bufs);
+                        bufs
+                    }
+                };
+                let job = FcJob {
+                    geom: tg,
+                    requant: layer.requant,
+                    bufs,
+                };
+                let mut ctx = tile_ctx(mem, &self.opts);
+                let stats = match p.choice {
+                    KernelChoice::FcSparseSw(_) => {
+                        let job = SparseFcJob {
+                            fc: job,
+                            nm: nm.expect("sparse choice has a pattern"),
+                        };
+                        fc_sparse_sw(&mut ctx, &job, &cluster)?
+                    }
+                    KernelChoice::FcSparseIsa(_) => {
+                        let job = SparseFcJob {
+                            fc: job,
+                            nm: nm.expect("sparse choice has a pattern"),
+                        };
+                        fc_sparse_isa(&mut ctx, &job, &cluster)?
+                    }
+                    _ => fc_dense(&mut ctx, &job, &cluster)?,
+                };
+                cycles += stats.cycles();
+                let o = mem.slice(bufs.output, tg.k).expect("staged output");
+                outs[j * tg.k..(j + 1) * tg.k].copy_from_slice(o);
+            }
+            Ok((cycles, outs))
+        };
+        let results = self.run_items(n_tiles * n_chunks, run_item)?;
+
+        let mut out = vec![0i8; tokens * geom.k];
+        let mut cycles = 0;
+        for (item, (cyc, bytes)) in results.into_iter().enumerate() {
+            cycles += cyc;
+            let (ti, ci) = (item / n_chunks, item % n_chunks);
+            let spec = &p.specs[ti];
+            let tg = spec.geom;
+            let (t0, t1) = (ci * chunk, ((ci + 1) * chunk).min(tokens));
+            for (j, t) in (t0..t1).enumerate() {
+                let dst = t * geom.k + spec.k0;
+                copy_bytes_to_i8(&mut out[dst..dst + tg.k], &bytes[j * tg.k..(j + 1) * tg.k]);
+            }
+        }
+        let shape: Vec<usize> = if input.shape().len() == 1 {
+            vec![geom.k]
+        } else {
+            vec![tokens, geom.k]
+        };
+        Ok((Tensor::from_vec(&shape, out)?, cycles))
+    }
+
+    /// Worker threads to use (resolving `0` to the host parallelism).
+    fn threads(&self) -> usize {
+        match self.opts.host_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+
+    /// Runs `f` for every item index in `0..n`, in parallel when the
+    /// options allow more than one worker and there is more than one
+    /// item. Results come back in item order; with multiple failures the
+    /// lowest-indexed error is returned, so outcomes are independent of
+    /// scheduling.
+    fn run_items<R, F>(&self, n: usize, f: F) -> Result<Vec<R>>
+    where
+        R: Send,
+        F: Fn(&mut Scratchpad, usize) -> Result<R> + Sync,
+    {
+        let threads = self.threads().min(n);
+        if threads <= 1 {
+            let mut mem = self.checkout();
+            let mut out = Vec::with_capacity(n);
+            let mut failed = None;
+            for i in 0..n {
+                match f(&mut mem, i) {
+                    Ok(r) => out.push(r),
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.checkin(mem);
+            return match failed {
+                Some(e) => Err(e),
+                None => Ok(out),
+            };
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<R>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (next, f) = (&next, &f);
+                    scope.spawn(move || {
+                        let mut mem = self.checkout();
+                        let mut got = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let r = f(&mut mem, i);
+                            let stop = r.is_err();
+                            got.push((i, r));
+                            if stop {
+                                break;
+                            }
+                        }
+                        self.checkin(mem);
+                        got
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("tile worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        // Deterministic error selection: iterating in item order, the
+        // lowest-indexed failure wins regardless of which worker hit it
+        // first. (An unexecuted slot can only exist when a worker
+        // stopped on an error, so one is always found in that case.)
+        let mut results = Vec::with_capacity(n);
+        let mut first_err = None;
+        for slot in slots {
+            match slot {
+                Some(Ok(r)) if first_err.is_none() => results.push(r),
+                Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+                _ => {}
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        assert_eq!(results.len(), n, "unexecuted item without a recorded error");
+        Ok(results)
+    }
+
+    fn checkout(&self) -> Scratchpad {
+        self.pool
+            .lock()
+            .expect("scratchpad pool poisoned")
+            .pop()
+            .unwrap_or_else(|| Scratchpad::new("L1", self.opts.l1_budget))
+    }
+
+    fn checkin(&self, mem: Scratchpad) {
+        self.pool
+            .lock()
+            .expect("scratchpad pool poisoned")
+            .push(mem);
+    }
+}
+
+fn prepare_conv(layer: &ConvLayer, choice: KernelChoice, opts: &Options) -> Result<PreparedConv> {
+    let geom = &layer.geom;
+    let tiling = tile_conv(geom, &choice, opts.l1_budget, opts.cores)?;
+    let specs = conv_tile_specs(geom, &tiling);
+    let tiles = specs
+        .iter()
+        .map(|spec| {
+            let range = spec.k0 * geom.patch_len()..(spec.k0 + spec.geom.k) * geom.patch_len();
+            pack_tile(
+                &layer.weights[range.clone()],
+                range,
+                spec.geom.k,
+                geom.patch_len(),
+                &choice,
+                opts,
+                true,
+            )
+        })
+        .collect::<Result<_>>()?;
+    Ok(PreparedConv {
+        choice,
+        specs,
+        tiles,
+    })
+}
+
+fn prepare_fc(layer: &LinearLayer, choice: KernelChoice, opts: &Options) -> Result<PreparedFc> {
+    let geom = &layer.geom;
+    let tiling = tile_fc(geom, &choice, opts.l1_budget)?;
+    let specs = fc_tile_specs(geom, &tiling);
+    let tiles = specs
+        .iter()
+        .map(|spec| {
+            let range = spec.k0 * geom.c..(spec.k0 + spec.geom.k) * geom.c;
+            pack_tile(
+                &layer.weights[range.clone()],
+                range,
+                spec.geom.k,
+                geom.c,
+                &choice,
+                opts,
+                false,
+            )
+        })
+        .collect::<Result<_>>()?;
+    Ok(PreparedFc {
+        choice,
+        specs,
+        tiles,
+    })
+}
+
+/// Packs one tile's weight rows into the chosen kernel's format —
+/// the single place packing happens, exactly once per tile.
+fn pack_tile(
+    w_rows: &[i8],
+    range: Range<usize>,
+    k: usize,
+    row_len: usize,
+    choice: &KernelChoice,
+    opts: &Options,
+    conv: bool,
+) -> Result<TileWeights> {
+    match choice.offset_layout() {
+        Some(layout) => {
+            let nm = choice.nm().expect("sparse choice has a pattern");
+            let weights = NmMatrix::from_dense(w_rows, k, row_len, nm, layout)?;
+            // The decimation program only exists for the conv kernels'
+            // bulk path; reference-path runs decode per instruction.
+            let program = (conv && opts.bulk_emulation)
+                .then(|| DecimProgram::from_matrix(&weights))
+                .transpose()?;
+            Ok(TileWeights::Sparse { weights, program })
+        }
+        None => Ok(TileWeights::Dense(range)),
+    }
+}

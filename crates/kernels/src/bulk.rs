@@ -98,9 +98,11 @@ fn at<const CHECKED: bool>(act: &[u8], i: usize) -> u8 {
     } else {
         debug_assert!(i < act.len(), "pre-validated gather index out of range");
         // SAFETY: instantiated with `CHECKED = false` only by the
-        // dispatchers below, after `offsets_below` proved every offset
-        // `< m` and the activation window holds `values.len() * m` bytes,
-        // so each index `b * m + o` is `< act.len()`.
+        // dispatchers below — after `offsets_below` proved every offset
+        // `< m` and the activation window holds `values.len() * m` bytes
+        // (so each index `b * m + o` is `< act.len()`), or after
+        // `table_below` proved every pre-decoded index below the
+        // activation window length.
         unsafe { *act.get_unchecked(i) }
     }
 }
@@ -411,17 +413,33 @@ pub(crate) fn decim_table(
     table
 }
 
-/// Wrapping dot of packed values against one activation buffer through a
-/// pre-decoded index table.
+/// True when every pre-decoded table index is below `limit` — the
+/// pre-validation that lets [`indexed_dot`] / [`indexed_dot2`] gather
+/// unchecked. A branch-free max fold so it vectorizes; it runs once per
+/// table (at kernel invocation, or once for the lifetime of a prepared
+/// [`crate::conv::DecimProgram`]) and is then amortized over every
+/// output position pair.
 #[inline]
-pub(crate) fn indexed_dot(values: &[u8], tab: &[u32], act: &[u8]) -> i32 {
+pub(crate) fn table_below(table: &[u32], limit: usize) -> bool {
+    let mut max = 0u32;
+    for &t in table {
+        max = max.max(t);
+    }
+    table.is_empty() || (max as usize) < limit
+}
+
+/// Wrapping dot of packed values against one activation buffer through a
+/// pre-decoded index table. Instantiate `CHECKED = false` only after
+/// [`table_below`]`(tab, act.len())` held (same contract as [`at`]).
+#[inline]
+pub(crate) fn indexed_dot<const CHECKED: bool>(values: &[u8], tab: &[u32], act: &[u8]) -> i32 {
     let mut acc0 = 0i32;
     let mut acc1 = 0i32;
     let pairs = values.chunks_exact(2);
     let rem = pairs.remainder();
     for (v, t) in pairs.zip(tab.chunks_exact(2)) {
-        acc0 = madd(acc0, v[0], act[t[0] as usize]);
-        acc1 = madd(acc1, v[1], act[t[1] as usize]);
+        acc0 = madd(acc0, v[0], at::<CHECKED>(act, t[0] as usize));
+        acc1 = madd(acc1, v[1], at::<CHECKED>(act, t[1] as usize));
     }
     if let [v] = rem {
         acc0 = madd(acc0, *v, act[tab[values.len() - 1] as usize]);
@@ -430,15 +448,23 @@ pub(crate) fn indexed_dot(values: &[u8], tab: &[u32], act: &[u8]) -> i32 {
 }
 
 /// [`indexed_dot`] over two patch buffers in one table walk (the 1×2
-/// unrolling's data reuse, host-side).
+/// unrolling's data reuse, host-side). The two accumulator chains are
+/// independent; a deeper 4-chain unroll measured *slower* (the gathers
+/// are the bottleneck, and the extra index bookkeeping just widens the
+/// loop), so the plain walk stays.
 #[inline]
-pub(crate) fn indexed_dot2(values: &[u8], tab: &[u32], act0: &[u8], act1: &[u8]) -> (i32, i32) {
+pub(crate) fn indexed_dot2<const CHECKED: bool>(
+    values: &[u8],
+    tab: &[u32],
+    act0: &[u8],
+    act1: &[u8],
+) -> (i32, i32) {
     let mut acc0 = 0i32;
     let mut acc1 = 0i32;
     for (&wv, &t) in values.iter().zip(tab) {
         let i = t as usize;
-        acc0 = madd(acc0, wv, act0[i]);
-        acc1 = madd(acc1, wv, act1[i]);
+        acc0 = madd(acc0, wv, at::<CHECKED>(act0, i));
+        acc1 = madd(acc1, wv, at::<CHECKED>(act1, i));
     }
     (acc0, acc1)
 }
@@ -645,18 +671,38 @@ pub(crate) fn write_out(mem: &mut nm_platform::Scratchpad, addr: u32, data: &[i8
     let dst = mem
         .slice_mut(addr, data.len())
         .expect("scratchpad is zero-copy");
-    for (d, &v) in dst.iter_mut().zip(data) {
-        *d = v as u8;
-    }
+    crate::layout::copy_i8_to_bytes(dst, data);
 }
 
 /// Computes one output position pair for every channel of a sparse
 /// convolution from the pre-decoded [`decim_table`] and writes the
 /// outputs into the output tensor (host-side; charging is the caller's).
 /// `outs` is a reusable scratch buffer owned by the kernel invocation so
-/// the per-pair loop stays allocation-free.
+/// the per-pair loop stays allocation-free. Pass `in_range = true` only
+/// when [`table_below`]`(table, patch_len)` held — the gathers then skip
+/// per-element bounds checks; a table that failed validation runs the
+/// checked loops and panics exactly where the old ones did.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn conv_pair_outputs(
+    mem: &mut nm_platform::Scratchpad,
+    job: &crate::conv::ConvJob,
+    nz: usize,
+    table: &[u32],
+    in_range: bool,
+    pos: usize,
+    n_patches: usize,
+    buf: u32,
+    outs: &mut Vec<i8>,
+) {
+    if in_range {
+        conv_pair_outputs_impl::<false>(mem, job, nz, table, pos, n_patches, buf, outs);
+    } else {
+        conv_pair_outputs_impl::<true>(mem, job, nz, table, pos, n_patches, buf, outs);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_pair_outputs_impl<const CHECKED: bool>(
     mem: &mut nm_platform::Scratchpad,
     job: &crate::conv::ConvJob,
     nz: usize,
@@ -675,29 +721,26 @@ pub(crate) fn conv_pair_outputs(
         let values = mem
             .slice(job.bufs.weights, kt * nz)
             .expect("scratchpad is zero-copy");
+        // SAFETY precondition of `CHECKED = false`: both activation
+        // windows are exactly `plen` long, and the caller validated
+        // every table entry `< plen` via `table_below`.
         let act0 = mem.slice(buf, plen).expect("scratchpad is zero-copy");
+        // One exact chunk per channel — no per-channel slice arithmetic
+        // or bounds checks in the channel loop (`nz >= 1` always:
+        // `patch_len` is a non-zero multiple of M).
+        let rows = values.chunks_exact(nz).zip(table.chunks_exact(nz));
         if n_patches == 2 {
             let act1 = mem
                 .slice(buf + plen as u32, plen)
                 .expect("scratchpad is zero-copy");
-            for k in 0..kt {
-                let (a0, a1) = indexed_dot2(
-                    &values[k * nz..(k + 1) * nz],
-                    &table[k * nz..(k + 1) * nz],
-                    act0,
-                    act1,
-                );
+            for (k, (v, t)) in rows.enumerate() {
+                let (a0, a1) = indexed_dot2::<CHECKED>(v, t, act0, act1);
                 outs[k] = job.requant.apply(a0);
                 outs[kt + k] = job.requant.apply(a1);
             }
         } else {
-            for k in 0..kt {
-                let acc = indexed_dot(
-                    &values[k * nz..(k + 1) * nz],
-                    &table[k * nz..(k + 1) * nz],
-                    act0,
-                );
-                outs[k] = job.requant.apply(acc);
+            for (k, (v, t)) in rows.enumerate() {
+                outs[k] = job.requant.apply(indexed_dot::<CHECKED>(v, t, act0));
             }
         }
     }
@@ -823,6 +866,7 @@ mod tests {
         }
         let tab = decim_table(&region, channels, seg_stride, nz, bits, m, 0, 2);
         assert_eq!(tab.len(), channels * nz);
+        assert!(table_below(&tab, nz * m));
         let act0: Vec<u8> = random_data(nz * m, 3).iter().map(|&v| v as u8).collect();
         let act1: Vec<u8> = random_data(nz * m, 5).iter().map(|&v| v as u8).collect();
         for k in 0..channels {
@@ -834,10 +878,22 @@ mod tests {
             let want0 = nm_gather_dot(&values, &act0, seg, bits, m, 0, 2);
             let want1 = nm_gather_dot(&values, &act1, seg, bits, m, 0, 2);
             let t = &tab[k * nz..(k + 1) * nz];
-            assert_eq!(indexed_dot(&values, t, &act0), want0);
-            let (got0, got1) = indexed_dot2(&values, t, &act0, &act1);
+            assert_eq!(indexed_dot::<true>(&values, t, &act0), want0);
+            assert_eq!(indexed_dot::<false>(&values, t, &act0), want0);
+            let (got0, got1) = indexed_dot2::<true>(&values, t, &act0, &act1);
             assert_eq!((got0, got1), (want0, want1));
+            assert_eq!(
+                indexed_dot2::<false>(&values, t, &act0, &act1),
+                (got0, got1)
+            );
         }
+    }
+
+    #[test]
+    fn table_below_is_a_strict_bound() {
+        assert!(table_below(&[], 0));
+        assert!(table_below(&[0, 3, 7], 8));
+        assert!(!table_below(&[0, 3, 8], 8));
     }
 
     #[test]

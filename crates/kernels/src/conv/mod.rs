@@ -23,13 +23,17 @@ pub mod per_channel;
 pub mod sparse_isa;
 pub mod sparse_sw;
 
+use crate::bulk::decim_table;
 use crate::im2col::{im2col_patches, Im2colCharges, PatchState};
 use crate::layout::ConvBufs;
 use crate::stats::{Ctx, ExecPath, KernelStats};
+use nm_core::format::{NmMatrix, OffsetLayout};
 use nm_core::quant::Requant;
-use nm_core::ConvGeom;
+use nm_core::sparsity::Nm;
+use nm_core::{ConvGeom, Error, Result};
 use nm_isa::{Core, InstrBlock};
 use nm_platform::{chunk_range, Cluster, ClusterStats};
+use sparse_sw::SparseConvJob;
 
 /// One convolution invocation: geometry, requantization and L1 buffers.
 ///
@@ -48,6 +52,117 @@ pub struct ConvJob {
 /// Instructions charged per produced output during requantization:
 /// bias add, arithmetic shift, XpulpV2 `p.clip`, plus the byte store.
 pub(crate) const EPILOGUE_ALU: u64 = 3;
+
+/// A pre-decoded decimation table for a sparse convolution's packed
+/// offsets — the compile-once artifact behind the bulk path's per-pair
+/// gathers.
+///
+/// The bulk arms of [`sparse_sw::conv_sparse_sw`] and
+/// [`sparse_isa::conv_sparse_isa`] decode every channel's offset stream
+/// into patch-buffer indices once per invocation. That decode depends
+/// only on the packed weights, so a compile-once executor can build the
+/// table a single time ([`DecimProgram::from_matrix`]) and pass it to the
+/// `_prepared` kernel entry points on every inference, paying zero decode
+/// work per run. The table is identical to the one the kernels build
+/// themselves (same stream walk), so outputs and charged cycles are
+/// unchanged.
+#[derive(Debug, Clone)]
+pub struct DecimProgram {
+    table: Vec<u32>,
+    /// Whether every table entry is below the patch length — validated
+    /// once here so the per-pair gathers can run unchecked forever after
+    /// (see [`crate::bulk::table_below`]).
+    in_range: bool,
+    nm: Nm,
+    rows: usize,
+    cols: usize,
+    layout: OffsetLayout,
+}
+
+impl DecimProgram {
+    /// Pre-decodes the decimation table of a packed N:M conv weight
+    /// matrix ([`OffsetLayout::Plain`] for the software kernel,
+    /// [`OffsetLayout::Duplicated`] for the ISA kernel).
+    ///
+    /// # Errors
+    /// [`Error::Unsupported`] for [`OffsetLayout::Interleaved`] (an FC
+    /// layout; conv kernels never consume it).
+    pub fn from_matrix(weights: &NmMatrix) -> Result<Self> {
+        let (base, step) = match weights.layout() {
+            OffsetLayout::Plain => (0, 1),
+            OffsetLayout::Duplicated => (0, 2),
+            OffsetLayout::Interleaved => {
+                return Err(Error::Unsupported(
+                    "interleaved offsets are an FC layout; no conv decimation table".into(),
+                ))
+            }
+        };
+        let nm = weights.nm();
+        let table = decim_table(
+            weights.offsets_bytes(),
+            weights.rows(),
+            weights.segment_bytes(),
+            weights.nz_per_row(),
+            nm.offset_bits(),
+            nm.m(),
+            base,
+            step,
+        );
+        let in_range = crate::bulk::table_below(&table, weights.cols());
+        Ok(DecimProgram {
+            table,
+            in_range,
+            nm,
+            rows: weights.rows(),
+            cols: weights.cols(),
+            layout: weights.layout(),
+        })
+    }
+
+    /// The pre-decoded patch-buffer indices (entry `k * nz + b`).
+    pub(crate) fn table(&self) -> &[u32] {
+        &self.table
+    }
+
+    /// Whether the table passed bounds validation (entries below the
+    /// patch length), enabling the unchecked gather loops.
+    pub(crate) fn in_range(&self) -> bool {
+        self.in_range
+    }
+
+    /// Validates that this program structurally matches `job`'s
+    /// weights: same pattern, dimensions and the offset layout
+    /// `expected` by the kernel family consuming it. The check is
+    /// *structural only* — a program built from different weights of
+    /// the identical shape/pattern/layout is indistinguishable here, so
+    /// pairing the program with the weights it was built from is the
+    /// caller's contract (the compile-once executor constructs both
+    /// from the same [`NmMatrix`]).
+    ///
+    /// # Errors
+    /// [`Error::ShapeMismatch`] on any structural disagreement — such a
+    /// program would gather out of the wrong table geometry entirely.
+    pub(crate) fn check(&self, job: &SparseConvJob, expected: OffsetLayout) -> Result<()> {
+        let geom = &job.conv.geom;
+        if self.nm != job.nm
+            || self.rows != geom.k
+            || self.cols != geom.patch_len()
+            || self.layout != expected
+        {
+            return Err(Error::ShapeMismatch(format!(
+                "decimation program for {}x{} {} ({:?}) used with a {}x{} {} ({expected:?}) job",
+                self.rows,
+                self.cols,
+                self.nm,
+                self.layout,
+                geom.k,
+                geom.patch_len(),
+                job.nm,
+            )));
+        }
+        Ok(())
+    }
+}
 
 /// The shared spatial driver: splits output positions across cores,
 /// performs the im2col for each pair and invokes the kernel-specific
@@ -148,4 +263,115 @@ pub fn im2col_only(name: &str, ctx: &mut Ctx<'_>, job: &ConvJob, cluster: &Clust
         false,
         |_, _, _, _, _| {},
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sparse_isa::conv_sparse_isa_prepared;
+    use super::sparse_sw::conv_sparse_sw_prepared;
+    use super::*;
+    use crate::layout::stage_conv_sparse;
+    use crate::testdata::random_data;
+    use nm_isa::CostModel;
+    use nm_platform::Scratchpad;
+
+    /// A prepared decimation program must be a pure shortcut: identical
+    /// outputs (whole scratchpad) and identical statistics to the kernel
+    /// decoding its own table, on the bulk path, for both families.
+    #[test]
+    fn prepared_program_is_bit_and_cycle_exact() {
+        for (layout, nm) in [
+            (OffsetLayout::Plain, Nm::ONE_OF_EIGHT),
+            (OffsetLayout::Plain, Nm::ONE_OF_FOUR),
+            (OffsetLayout::Duplicated, Nm::ONE_OF_EIGHT),
+            (OffsetLayout::Duplicated, Nm::ONE_OF_SIXTEEN),
+        ] {
+            let geom = ConvGeom::square(nm.m() * 2, 6, 7, 3, 1, 1).unwrap();
+            let input = random_data(geom.input_elems(), 31);
+            let dense = random_data(geom.weight_elems(), 37);
+            let w =
+                NmMatrix::prune_from_dense(&dense, geom.k, geom.patch_len(), nm, layout).unwrap();
+            let program = DecimProgram::from_matrix(&w).unwrap();
+            let cluster = Cluster::new(4, CostModel::default());
+            let mut base = Scratchpad::new("l1", 256 * 1024);
+            let bufs = stage_conv_sparse(&mut base, &geom, &input, &w, cluster.n_cores()).unwrap();
+            let job = SparseConvJob {
+                conv: ConvJob {
+                    geom,
+                    requant: Requant::for_dot_len(geom.patch_len() / nm.m()),
+                    bufs,
+                },
+                nm,
+            };
+            let run = |mem: &mut Scratchpad, program: Option<&DecimProgram>| {
+                let mut ctx = Ctx::MemBulk(mem);
+                match layout {
+                    OffsetLayout::Plain => {
+                        conv_sparse_sw_prepared(&mut ctx, &job, &cluster, program).unwrap()
+                    }
+                    _ => conv_sparse_isa_prepared(&mut ctx, &job, &cluster, program).unwrap(),
+                }
+            };
+            let mut own = base.clone();
+            let own_stats = run(&mut own, None);
+            let mut pre = base.clone();
+            let pre_stats = run(&mut pre, Some(&program));
+            assert_eq!(own.bytes(), pre.bytes(), "{layout:?} {nm} memory");
+            assert_eq!(own_stats, pre_stats, "{layout:?} {nm} stats");
+        }
+    }
+
+    /// A program built for different weights must be rejected, not
+    /// silently gather the wrong activations.
+    #[test]
+    fn mismatched_program_is_rejected() {
+        let nm = Nm::ONE_OF_EIGHT;
+        let geom = ConvGeom::square(16, 4, 6, 3, 1, 1).unwrap();
+        let other = ConvGeom::square(16, 2, 6, 3, 1, 1).unwrap();
+        let dense = random_data(other.weight_elems(), 41);
+        let w =
+            NmMatrix::prune_from_dense(&dense, other.k, other.patch_len(), nm, OffsetLayout::Plain)
+                .unwrap();
+        let program = DecimProgram::from_matrix(&w).unwrap();
+        let cluster = Cluster::new(2, CostModel::default());
+        let input = random_data(geom.input_elems(), 43);
+        let wg = NmMatrix::prune_from_dense(
+            &random_data(geom.weight_elems(), 47),
+            geom.k,
+            geom.patch_len(),
+            nm,
+            OffsetLayout::Plain,
+        )
+        .unwrap();
+        let mut l1 = Scratchpad::new("l1", 256 * 1024);
+        let bufs = stage_conv_sparse(&mut l1, &geom, &input, &wg, cluster.n_cores()).unwrap();
+        let job = SparseConvJob {
+            conv: ConvJob {
+                geom,
+                requant: Requant::IDENTITY,
+                bufs,
+            },
+            nm,
+        };
+        let mut ctx = Ctx::MemBulk(&mut l1);
+        let err = conv_sparse_sw_prepared(&mut ctx, &job, &cluster, Some(&program));
+        assert!(matches!(err, Err(Error::ShapeMismatch(_))));
+        // Wrong layout for the kernel family is rejected too.
+        let mut ctx = Ctx::MemBulk(&mut l1);
+        let err = conv_sparse_isa_prepared(&mut ctx, &job, &cluster, Some(&program));
+        assert!(matches!(err, Err(Error::ShapeMismatch(_))));
+        // The interleaved FC layout has no conv table at all.
+        let fc = NmMatrix::prune_from_dense(
+            &random_data(4 * 32, 51),
+            4,
+            32,
+            nm,
+            OffsetLayout::Interleaved,
+        )
+        .unwrap();
+        assert!(matches!(
+            DecimProgram::from_matrix(&fc),
+            Err(Error::Unsupported(_))
+        ));
+    }
 }

@@ -14,8 +14,10 @@
 //! * 1:4 — 23 instructions (2 more maskings, one less load: the four
 //!   2-bit offsets arrive with a single byte load). Peak 0.35.
 
-use super::{drive, ConvJob, EPILOGUE_ALU};
-use crate::bulk::{conv_pair_outputs, decim_table, loop_scaffold, nm_gather_dot, offsets_len};
+use super::{drive, ConvJob, DecimProgram, EPILOGUE_ALU};
+use crate::bulk::{
+    conv_pair_outputs, decim_table, loop_scaffold, nm_gather_dot, offsets_len, table_below,
+};
 use crate::layout::nm_segment_bytes;
 use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::OffsetLayout;
@@ -69,30 +71,64 @@ pub fn conv_sparse_sw(
     job: &SparseConvJob,
     cluster: &Cluster,
 ) -> Result<KernelStats> {
+    conv_sparse_sw_prepared(ctx, job, cluster, None)
+}
+
+/// [`conv_sparse_sw`] with an optional pre-decoded decimation table
+/// ([`DecimProgram`], [`OffsetLayout::Plain`]). Compile-once executors
+/// build the program from the packed weights a single time and pass it
+/// here on every run, skipping the per-invocation offset decode of the
+/// bulk path; outputs and charged cycles are identical either way.
+///
+/// The program must come from the same packed matrix that was staged
+/// (the structural check rejects wrong shapes/patterns/layouts; content
+/// identity is the caller's contract).
+///
+/// # Errors
+/// As [`conv_sparse_sw`]; additionally [`nm_core::Error::ShapeMismatch`]
+/// if `program` does not structurally match the job.
+pub fn conv_sparse_sw_prepared(
+    ctx: &mut Ctx<'_>,
+    job: &SparseConvJob,
+    cluster: &Cluster,
+    program: Option<&DecimProgram>,
+) -> Result<KernelStats> {
     job.validate()?;
     let geom = job.conv.geom;
     let nz = job.nz_per_channel();
     let seg = nm_segment_bytes(job.nm, nz, OffsetLayout::Plain) as u32;
     let name = format!("conv-sparse-sw-{}", job.nm);
     // Bulk fast path: decode every channel's offsets once — each table
-    // entry is reused by every output position pair.
-    let table = match ctx.path() {
-        ExecPath::Bulk(mem) => {
-            let offs = mem
-                .slice(job.conv.bufs.offsets, geom.k * seg as usize)
-                .expect("scratchpad is zero-copy");
-            Some(decim_table(
-                offs,
-                geom.k,
-                seg as usize,
-                nz,
-                job.nm.offset_bits(),
-                job.nm.m(),
-                0,
-                1,
-            ))
-        }
-        _ => None,
+    // entry is reused by every output position pair. A prepared program
+    // is that same decode done at compile time.
+    if let Some(p) = program {
+        // Validated regardless of execution path, so a stale program is
+        // rejected even on runs that would not consume it.
+        p.check(job, OffsetLayout::Plain)?;
+    }
+    let built;
+    let (table, in_range): (Option<&[u32]>, bool) = match ctx.path() {
+        ExecPath::Bulk(mem) => match program {
+            Some(p) => (Some(p.table()), p.in_range()),
+            None => {
+                let offs = mem
+                    .slice(job.conv.bufs.offsets, geom.k * seg as usize)
+                    .expect("scratchpad is zero-copy");
+                built = decim_table(
+                    offs,
+                    geom.k,
+                    seg as usize,
+                    nz,
+                    job.nm.offset_bits(),
+                    job.nm.m(),
+                    0,
+                    1,
+                );
+                let in_range = table_below(&built, geom.patch_len());
+                (Some(built.as_slice()), in_range)
+            }
+        },
+        _ => (None, false),
     };
     let bits = job.nm.offset_bits();
     let (chunks, tail) = (nz / 4, nz % 4);
@@ -104,8 +140,10 @@ pub fn conv_sparse_sw(
         cluster,
         |core, ctx, pos, n_patches, buf| {
             if let ExecPath::Bulk(mem) = ctx.path() {
-                let table = table.as_ref().expect("table built for the bulk path");
-                conv_pair_outputs(mem, &job.conv, nz, table, pos, n_patches, buf, &mut outs);
+                let table = table.expect("table built for the bulk path");
+                conv_pair_outputs(
+                    mem, &job.conv, nz, table, in_range, pos, n_patches, buf, &mut outs,
+                );
                 let np = n_patches as u64;
                 let per_channel =
                     loop_scaffold(core.costs(), 3).then(channel_block(bits, chunks, tail, np));

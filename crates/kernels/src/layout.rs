@@ -55,10 +55,41 @@ pub fn nm_segment_bytes(nm: Nm, nz: usize, layout: OffsetLayout) -> usize {
     (entries * nm.offset_bits()).div_ceil(32) * 4
 }
 
-fn write_i8(l1: &mut Scratchpad, addr: u32, data: &[i8]) {
-    for (i, &v) in data.iter().enumerate() {
-        l1.store_i8(addr + i as u32, v);
+/// Casts and copies an `i8` slice into a byte destination — the staging
+/// direction of the zero-copy data moves. The cast loop compiles to a
+/// memcpy (`i8` and `u8` share a representation).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn copy_i8_to_bytes(dst: &mut [u8], src: &[i8]) {
+    assert_eq!(dst.len(), src.len(), "cast-copy length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s as u8;
     }
+}
+
+/// Casts and copies a byte slice into an `i8` destination — the readout
+/// direction (scratchpad view into tensor storage).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn copy_bytes_to_i8(dst: &mut [i8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "cast-copy length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s as i8;
+    }
+}
+
+fn write_i8(l1: &mut Scratchpad, addr: u32, data: &[i8]) {
+    if data.is_empty() {
+        return;
+    }
+    // One zero-copy view per operand instead of one store dispatch per
+    // byte.
+    let dst = l1
+        .slice_mut(addr, data.len())
+        .expect("staged buffer was just allocated in range");
+    copy_i8_to_bytes(dst, data);
 }
 
 /// Allocates and fills the buffers for a dense convolution.

@@ -3,9 +3,11 @@
 //! and a linear classifier.
 
 use nm_core::quant::Requant;
+use nm_core::sparsity::Nm;
 use nm_core::{ConvGeom, FcGeom, Result};
 use nm_nn::graph::{Graph, GraphBuilder, NodeId};
 use nm_nn::layer::{ConvLayer, LinearLayer};
+use nm_nn::prune::{prune_graph, resnet_policy};
 use nm_nn::rng::XorShift;
 
 fn conv(
@@ -73,11 +75,26 @@ pub fn resnet18_cifar(num_classes: usize, seed: u64) -> Result<Graph> {
     b.finish(out)
 }
 
+/// [`resnet18_cifar`] pruned to the paper's deployment configuration:
+/// every non-pointwise convolution at `nm` sparsity (the 3-channel stem
+/// and the 1×1 downsample projections stay dense), ready for the sparse
+/// compiler targets — the end-to-end network workload of the engine
+/// bench and serving sweeps.
+///
+/// # Errors
+/// Propagates geometry/shape errors (none for the standard
+/// configuration with the kernel-supported patterns).
+pub fn resnet18_cifar_sparse(num_classes: usize, nm: Nm, seed: u64) -> Result<Graph> {
+    let mut g = resnet18_cifar(num_classes, seed)?;
+    prune_graph(&mut g, nm, resnet_policy(nm))?;
+    Ok(g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nm_nn::graph::OpKind;
-    use nm_nn::prune::{prune_graph, resnet_policy, weight_sparsity};
+    use nm_nn::prune::weight_sparsity;
 
     #[test]
     fn parameter_count_matches_paper() {
@@ -126,11 +143,27 @@ mod tests {
 
     #[test]
     fn pruning_reaches_target_sparsity() {
-        let mut g = resnet18_cifar(100, 2).unwrap();
-        let nm = nm_core::sparsity::Nm::ONE_OF_EIGHT;
-        prune_graph(&mut g, nm, resnet_policy(nm)).unwrap();
+        let g = resnet18_cifar_sparse(100, Nm::ONE_OF_EIGHT, 2).unwrap();
         let s = weight_sparsity(&g);
         // ~97% of weights at 87.5% sparsity -> ~0.85 overall.
         assert!((0.80..0.92).contains(&s), "sparsity {s}");
+    }
+
+    /// The sparse builder's layers must be recognizable by pattern
+    /// detection (otherwise the sparse compiler targets silently fall
+    /// back to dense kernels).
+    #[test]
+    fn sparse_builder_layers_are_detectable() {
+        let nm = Nm::ONE_OF_EIGHT;
+        let g = resnet18_cifar_sparse(100, nm, 1).unwrap();
+        let detected = g
+            .nodes()
+            .iter()
+            .filter(|n| match &n.op {
+                OpKind::Conv2d(l) => l.detect_sparsity() == Some(nm),
+                _ => false,
+            })
+            .count();
+        assert!(detected >= 16, "only {detected} convs detected as {nm}");
     }
 }

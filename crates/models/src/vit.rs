@@ -6,6 +6,7 @@
 //! (parameter count and FLOPs are unaffected to within one token).
 
 use nm_core::quant::Requant;
+use nm_core::sparsity::Nm;
 use nm_core::{ConvGeom, FcGeom, Result};
 use nm_nn::graph::{Graph, GraphBuilder, NodeId};
 use nm_nn::layer::{AttentionLayer, ConvLayer, LinearLayer};
@@ -126,6 +127,20 @@ pub fn vit_tiny_for_tests(seed: u64) -> Result<Graph> {
         classes: 4,
     };
     vit_small(&cfg, seed)
+}
+
+/// [`vit_tiny_for_tests`] with its feed-forward linear layers pruned to
+/// `nm` sparsity (the layers the paper sparsifies; attention and the
+/// classifier head stay dense) — the multi-token end-to-end network
+/// workload of the engine bench.
+///
+/// # Errors
+/// Propagates geometry/shape errors (none for the kernel-supported
+/// patterns — the tiny FF dims are multiples of 16).
+pub fn vit_tiny_sparse_for_tests(nm: Nm, seed: u64) -> Result<Graph> {
+    let mut g = vit_tiny_for_tests(seed)?;
+    nm_nn::prune::prune_graph(&mut g, nm, nm_nn::prune::vit_ff_policy(nm, 16))?;
+    Ok(g)
 }
 
 #[cfg(test)]

@@ -53,6 +53,24 @@ impl Scratchpad {
         self.alloc.reset();
     }
 
+    /// Restores the scratchpad to its freshly-created state — all
+    /// allocations released and the contents zeroed — without
+    /// reallocating the backing store. The compiled executor's
+    /// tile loop calls this between tiles instead of constructing a new
+    /// scratchpad per tile, so kernels still observe exactly what a fresh
+    /// [`Scratchpad::new`] would hand them.
+    ///
+    /// Only the allocator's high-water region is cleared (plus the word
+    /// of alignment slack a 32-bit store at the end of the last buffer
+    /// may have touched): every kernel write lands inside an allocated
+    /// buffer, so bytes beyond that region are still zero from creation
+    /// or the previous reset.
+    pub fn reset(&mut self) {
+        let end = (self.alloc.used() + 3).min(self.mem.size());
+        self.mem.bytes_mut()[..end].fill(0);
+        self.alloc.reset();
+    }
+
     /// Direct view of the backing bytes (for test assertions).
     pub fn bytes(&self) -> &[u8] {
         self.mem.bytes()
@@ -241,6 +259,27 @@ mod tests {
         assert_eq!(l1.load_u32(30), 0xEEEE_EEEE);
         l1.fill_bytes(30, 2, 0);
         assert_eq!(l1.load_u32(30), 0xEEEE_0000);
+    }
+
+    /// A reset scratchpad must be indistinguishable from a fresh one:
+    /// same available space, and every byte the previous use dirtied
+    /// reads back as zero.
+    #[test]
+    fn reset_restores_the_fresh_state() {
+        let mut l1 = Scratchpad::new("l1", 256);
+        let fresh = l1.clone();
+        let a = l1.alloc(40, 4).unwrap();
+        let b = l1.alloc(9, 4).unwrap();
+        l1.slice_mut(a, 40).unwrap().fill(0xAB);
+        // A word store at the end of the last buffer spills into the
+        // alignment slack reset() must also clear.
+        l1.store_u32(b + 8, 0xDEAD_BEEF);
+        l1.reset();
+        assert_eq!(l1.used(), 0);
+        assert_eq!(l1.available(), 256);
+        assert_eq!(l1.bytes(), fresh.bytes());
+        // Allocation starts over from address 0.
+        assert_eq!(l1.alloc(8, 4).unwrap(), 0);
     }
 
     #[test]
