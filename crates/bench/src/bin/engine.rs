@@ -4,7 +4,9 @@
 //! Usage: `engine [reps] [--json] [--best-of N] [--filter SUBSTR]`
 //!
 //! * `reps` — invocations per measurement (default 20; network
-//!   workloads run `reps / 5`, see `nm_bench::engine::NET_REPS_DIVISOR`).
+//!   workloads run `reps / 5`, see `nm_bench::engine::NET_REPS_DIVISOR`;
+//!   the serving `net-serve-resnet18-*` rows — one rep is a 16-request
+//!   wave — run `reps / 25`, see `NET_SERVE_REPS_DIVISOR`).
 //! * `--json` — print the machine-readable report (the format of the
 //!   checked-in `BENCH_engine.json` snapshot) instead of the table.
 //! * `--best-of N` — run the suite `N` times and keep each row's fastest

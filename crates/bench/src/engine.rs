@@ -1,10 +1,13 @@
 //! Host-throughput benchmark of the emulation engine itself (not of the
 //! modeled hardware): simulated MACs per wall-clock second for the six
 //! hot N:M/dense kernels, the three related-work baseline formats
-//! (CSR / dCSR / blockwise) and two **end-to-end networks**
-//! (`net-resnet18-cifar`, `net-vit-tiny`) on the per-instruction
-//! reference path, the bulk fast path and analytic mode (kernel
-//! workloads) or reference + bulk (network workloads).
+//! (CSR / dCSR / blockwise), two **end-to-end networks**
+//! (`net-resnet18-cifar`, `net-vit-tiny`) and six **serving rows**
+//! (`net-serve-{resnet18,mlp}-b{1,4,16}`: requests/sec through the
+//! `nm-serve` batched inference service per batch limit) on the
+//! per-instruction reference path, the bulk fast path and analytic mode
+//! (kernel workloads) or reference + bulk (network and serving
+//! workloads).
 //!
 //! This is the perf trajectory behind `BENCH_engine.json`: the bulk fast
 //! path exists to make sparsity/geometry sweeps cheap — on *both* sides
@@ -38,10 +41,13 @@ use nm_kernels::layout::{stage_conv_dense, stage_conv_sparse, stage_fc_dense, st
 use nm_kernels::testdata::{random_data, random_sparse_data};
 use nm_kernels::{Ctx, KernelStats};
 use nm_models::resnet::resnet18_cifar_sparse;
+use nm_models::serve::{mlp_serve_sparse, resnet18_cifar_serve_sparse};
 use nm_models::vit::vit_tiny_sparse_for_tests;
 use nm_nn::graph::Graph;
 use nm_nn::rng::XorShift;
 use nm_platform::{Cluster, Scratchpad};
+use nm_serve::{Service, ServiceConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which execution path a measurement exercised.
@@ -66,6 +72,11 @@ impl Path {
             Path::Bulk => "bulk",
             Path::Analytic => "analytic",
         }
+    }
+
+    /// Inverse of [`Path::name`] (for re-ingesting parsed reports).
+    pub fn from_name(name: &str) -> Option<Path> {
+        Path::ALL.into_iter().find(|p| p.name() == name)
     }
 }
 
@@ -332,7 +343,7 @@ where
 /// names `--filter` matches against. `run_suite_filtered` asserts the
 /// registry against this list, so it cannot drift from the measured
 /// kernel names.
-pub const WORKLOAD_NAMES: [&str; 13] = [
+pub const WORKLOAD_NAMES: [&str; 19] = [
     "fc-dense-1x2",
     "fc-sparse-sw-1:8",
     "fc-sparse-isa-1:8",
@@ -346,6 +357,12 @@ pub const WORKLOAD_NAMES: [&str; 13] = [
     "im2col-5x5s2p2",
     "net-resnet18-cifar",
     "net-vit-tiny",
+    "net-serve-resnet18-b1",
+    "net-serve-resnet18-b4",
+    "net-serve-resnet18-b16",
+    "net-serve-mlp-b1",
+    "net-serve-mlp-b4",
+    "net-serve-mlp-b16",
 ];
 
 /// The heavy network workload (ResNet18) is ~2 orders of magnitude
@@ -361,6 +378,18 @@ pub const NET_REPS_DIVISOR: u32 = 5;
 /// above scheduler-noise scale — without it, the row's sub-millisecond
 /// CI measurements swing more than the perf gate's 25 % threshold.
 pub const NET_LIGHT_REPS_FACTOR: u32 = 20;
+
+/// Requests per serving wave: one `net-serve-*` rep submits this many
+/// requests through the service and waits for all of them, so a batch
+/// limit of 16 forms exactly one full batch, 4 forms four, 1 sixteen.
+pub const SERVE_REQUESTS: usize = 16;
+
+/// Rep divisor for the conv-heavy `net-serve-resnet18-*` rows: one rep
+/// is a whole [`SERVE_REQUESTS`]-request wave (16 inferences of the
+/// half-width serve ResNet18 on *both* emulation paths), so the CI
+/// gate's default reps collapse to a single wave per batch size — full
+/// rep counts only make sense in the snapshot-refresh run.
+pub const NET_SERVE_REPS_DIVISOR: u32 = 25;
 
 /// Times [`PreparedGraph::run`] per inference on the reference and bulk
 /// paths (the analytic path is a planner mode, not an executor mode —
@@ -393,6 +422,93 @@ fn time_network(rows: &mut Vec<EngineRow>, name: &str, graph: &Graph, target: Ta
             dense_macs,
             sim_macs_per_sec: (dense_macs as f64 * f64::from(reps)) / wall_s,
             sim_cycles: warm.matmul_compute_cycles,
+        });
+    }
+}
+
+/// Times the batched inference service end to end (`nm-serve`): per
+/// rep, one *wave* of [`SERVE_REQUESTS`] requests with distinct inputs
+/// is submitted to a single-worker service and fully drained. What is
+/// timed is everything serving pays after compile time — submission,
+/// queueing, same-model coalescing up to `max_batch`, execution through
+/// the shared [`PreparedGraph`] (the multi-token path when the model is
+/// coalescible) and response delivery; preparation happens once outside
+/// the loop. One worker and `host_threads = 1` keep the three batch
+/// sizes comparable on any host: the batch limit is the only variable,
+/// so requests/sec across the `-b1`/`-b4`/`-b16` rows isolates what
+/// batching itself buys.
+///
+/// `sim_cycles` is the wave's summed per-request cycle total — the
+/// service's determinism contract makes it identical across paths *and*
+/// batch sizes (asserted by the engine tests). Requests/sec for a row
+/// is `SERVE_REQUESTS * sim_macs_per_sec / dense_macs` — `dense_macs`
+/// is per wave, so dividing by it alone gives waves/sec.
+fn time_serve(
+    rows: &mut Vec<EngineRow>,
+    name: &str,
+    graph: &Arc<Graph>,
+    target: Target,
+    reps: u32,
+    max_batch: usize,
+) {
+    let shape = graph.input_shape().to_vec();
+    let elems: usize = shape.iter().product();
+    let mut rng = XorShift::new(19);
+    let inputs: Vec<Tensor<i8>> = (0..SERVE_REQUESTS)
+        .map(|_| Tensor::from_vec(&shape, rng.fill_weights(elems, 50)).unwrap())
+        .collect();
+    let dense_macs = (graph.dense_macs() * SERVE_REQUESTS) as u64;
+    for path in [Path::Reference, Path::Bulk] {
+        let mut opts = Options::new(target);
+        opts.bulk_emulation = path == Path::Bulk;
+        opts.host_threads = 1;
+        let service = Service::start(ServiceConfig {
+            // Sized for one wave: at most SERVE_REQUESTS are ever
+            // outstanding, so nothing is shed out of the measurement.
+            queue_capacity: SERVE_REQUESTS,
+            max_batch,
+            workers: 1,
+        });
+        let model = service
+            .register(name, graph, &opts)
+            .expect("model prepares");
+        let wave = || -> u64 {
+            // Pause/resume shapes every wave identically: all 16
+            // requests are queued before the worker consumes, so the
+            // batch structure is exactly `16 / max_batch` full batches
+            // on every host — the `-b1`/`-b4`/`-b16` rows differ only
+            // in the batch limit, never in scheduling luck.
+            service.pause();
+            let tickets: Vec<_> = inputs
+                .iter()
+                .map(|x| {
+                    service
+                        .submit(model, x.clone())
+                        .expect("queue fits the wave")
+                })
+                .collect();
+            service.resume();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().expect("request completes").sim_cycles)
+                .sum()
+        };
+        // One warm-up wave, also the source of the cycle total.
+        let warm_cycles = wave();
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(wave());
+        }
+        let wall_s = t.elapsed().as_secs_f64();
+        service.shutdown();
+        rows.push(EngineRow {
+            kernel: name.to_string(),
+            path,
+            reps,
+            wall_s,
+            dense_macs,
+            sim_macs_per_sec: (dense_macs as f64 * f64::from(reps)) / wall_s,
+            sim_cycles: warm_cycles,
         });
     }
 }
@@ -468,11 +584,18 @@ pub fn run_suite_filtered(reps: u32, filter: Option<&str>) -> EngineReport {
         (l1, job)
     };
 
+    // The serving families' graphs, built (and pruned) once and shared
+    // by each family's three batch-size rows — lazily, so filtered runs
+    // that skip a family don't pay its build. Declared before the
+    // registry so the row closures can borrow them.
+    let serve_resnet: std::cell::OnceCell<Arc<Graph>> = std::cell::OnceCell::new();
+    let serve_mlp: std::cell::OnceCell<Arc<Graph>> = std::cell::OnceCell::new();
+
     // The workload registry: each entry's name is asserted against the
     // rows it produces, so the `--filter` names cannot drift from the
     // measured kernel names.
     type Runner<'a> = Box<dyn Fn(&mut Vec<EngineRow>, u32) + 'a>;
-    let workloads: Vec<(&'static str, Runner)> = vec![
+    let mut workloads: Vec<(&'static str, Runner)> = vec![
         (
             "fc-dense-1x2",
             Box::new(|rows, reps| {
@@ -676,6 +799,53 @@ pub fn run_suite_filtered(reps: u32, filter: Option<&str>) -> EngineReport {
             }),
         ),
     ];
+    // The serving workloads: requests/sec through the `nm-serve`
+    // batched inference service at batch limits 1 / 4 / 16, for a
+    // conv-dominated model (the half-width serve ResNet18 — batching
+    // amortizes queue/dispatch overhead only, so the three rows should
+    // be near-identical and batch-16 must not regress) and for a
+    // coalescible sparse MLP (the multi-token path stages each tile's
+    // weights once per batch — batching buys real staging work). The
+    // snapshot test in `crate::gate` pins the batching floors on the
+    // checked-in baseline for both families.
+    for (name, batch) in [
+        ("net-serve-resnet18-b1", 1),
+        ("net-serve-resnet18-b4", 4),
+        ("net-serve-resnet18-b16", 16),
+    ] {
+        let serve_resnet = &serve_resnet;
+        workloads.push((
+            name,
+            Box::new(move |rows: &mut Vec<EngineRow>, reps: u32| {
+                let g = serve_resnet
+                    .get_or_init(|| Arc::new(resnet18_cifar_serve_sparse(10, nm, 1).unwrap()));
+                time_serve(
+                    rows,
+                    name,
+                    g,
+                    Target::SparseIsa,
+                    reps.div_ceil(NET_SERVE_REPS_DIVISOR),
+                    batch,
+                );
+            }),
+        ));
+    }
+    for (name, batch) in [
+        ("net-serve-mlp-b1", 1),
+        ("net-serve-mlp-b4", 4),
+        ("net-serve-mlp-b16", 16),
+    ] {
+        let serve_mlp = &serve_mlp;
+        workloads.push((
+            name,
+            Box::new(move |rows: &mut Vec<EngineRow>, reps: u32| {
+                let g = serve_mlp.get_or_init(|| {
+                    Arc::new(mlp_serve_sparse(&[1024, 512, 256, 64], nm, 3).unwrap())
+                });
+                time_serve(rows, name, g, Target::SparseIsa, reps, batch);
+            }),
+        ));
+    }
 
     // Hard assertions (not debug_assert): the snapshot and the CI gate
     // input are produced by release builds, which is exactly where a
@@ -703,15 +873,15 @@ pub fn run_suite_filtered(reps: u32, filter: Option<&str>) -> EngineReport {
 mod tests {
     use super::*;
 
-    /// The registry covers thirteen workloads with stable names. The
+    /// The registry covers nineteen workloads with stable names. The
     /// full suite is exercised in release (snapshot + CI perf gate);
     /// here the debug-mode test executes cheap subsets — the FC kernels
     /// for three-path coverage and the tiny-ViT network for the net-row
     /// shape — instead of paying for a per-instruction ResNet18
     /// emulation on every `cargo test`.
     #[test]
-    fn suite_covers_thirteen_workloads() {
-        assert_eq!(WORKLOAD_NAMES.len(), 13);
+    fn suite_covers_nineteen_workloads() {
+        assert_eq!(WORKLOAD_NAMES.len(), 19);
         for k in [
             "fc-csr",
             "fc-dcsr",
@@ -720,6 +890,12 @@ mod tests {
             "im2col-5x5s2p2",
             "net-resnet18-cifar",
             "net-vit-tiny",
+            "net-serve-resnet18-b1",
+            "net-serve-resnet18-b4",
+            "net-serve-resnet18-b16",
+            "net-serve-mlp-b1",
+            "net-serve-mlp-b4",
+            "net-serve-mlp-b16",
         ] {
             assert!(WORKLOAD_NAMES.contains(&k), "missing workload {k}");
         }
@@ -750,6 +926,31 @@ mod tests {
         assert_eq!(net.rows[1].path, Path::Bulk);
         assert_eq!(net.rows[0].sim_cycles, net.rows[1].sim_cycles);
         assert!(net.speedup_vs_reference("net-vit-tiny").unwrap() > 0.0);
+    }
+
+    /// Serving rows: reference + bulk per batch size, and — the
+    /// determinism contract through the bench harness — the wave's
+    /// summed per-request cycle total is identical across *both paths
+    /// and all batch limits* (batching never changes what a request is
+    /// charged). Uses the cheap MLP family; the resnet-serve family
+    /// runs the identical harness in release (snapshot + CI gate).
+    #[test]
+    fn serve_rows_have_batch_invariant_cycles() {
+        let report = run_suite_filtered(1, Some("net-serve-mlp"));
+        assert_eq!(
+            report.kernels(),
+            vec!["net-serve-mlp-b1", "net-serve-mlp-b4", "net-serve-mlp-b16"]
+        );
+        assert_eq!(report.rows.len(), 3 * 2);
+        let cycles: Vec<u64> = report.rows.iter().map(|r| r.sim_cycles).collect();
+        assert!(
+            cycles.windows(2).all(|w| w[0] == w[1]),
+            "per-wave cycles varied across paths/batch sizes: {cycles:?}"
+        );
+        for r in &report.rows {
+            assert!(matches!(r.path, Path::Reference | Path::Bulk));
+            assert!(r.sim_macs_per_sec > 0.0);
+        }
     }
 
     /// `--filter` must select exactly the matching workloads, with the

@@ -71,8 +71,13 @@ fn num_field(obj: &str, key: &str) -> Option<f64> {
 /// Parses the `rows` array of an engine JSON report.
 ///
 /// # Errors
-/// Returns a description of the first malformed row, or of a missing
-/// `rows` array.
+/// Returns a description of the first malformed row (missing field,
+/// unparsable or non-finite throughput), or of a missing `rows` array.
+/// Non-finite values are rejected because Rust's float parser happily
+/// accepts `NaN`/`inf`, and a NaN baseline would make every gate
+/// comparison silently pass (`NaN >= x` is false, but so is the
+/// regression predicate's complement — either way the number carries no
+/// information to gate on).
 pub fn parse_rows(json: &str) -> Result<Vec<GateRow>, String> {
     let start = json
         .find("\"rows\": [")
@@ -89,6 +94,12 @@ pub fn parse_rows(json: &str) -> Result<Vec<GateRow>, String> {
             sim_macs_per_sec: num_field(obj, "sim_macs_per_sec")
                 .ok_or_else(|| format!("row without sim_macs_per_sec: {obj}"))?,
         };
+        if !row.sim_macs_per_sec.is_finite() {
+            return Err(format!(
+                "non-finite sim_macs_per_sec for {}/{}: {}",
+                row.kernel, row.path, row.sim_macs_per_sec
+            ));
+        }
         rows.push(row);
     }
     if rows.is_empty() {
@@ -219,6 +230,159 @@ mod tests {
         assert!(parse_rows("{}").is_err());
         assert!(parse_rows("{\"rows\": []}").is_err());
         assert!(parse_rows("{\"rows\": [{\"kernel\": \"x\"}]}").is_err());
+    }
+
+    fn report_json(rows: &str) -> String {
+        format!("{{\n  \"rows\": [\n{rows}\n  ]\n}}\n")
+    }
+
+    fn full_row(kernel: &str, path: &str, macs: &str) -> String {
+        format!(
+            "    {{\"kernel\": \"{kernel}\", \"path\": \"{path}\", \
+             \"sim_macs_per_sec\": {macs}}}"
+        )
+    }
+
+    /// Each required field missing in turn: the error names the gap
+    /// instead of defaulting the value.
+    #[test]
+    fn missing_fields_are_named_errors() {
+        let no_kernel = report_json("    {\"path\": \"bulk\", \"sim_macs_per_sec\": 5}");
+        assert!(parse_rows(&no_kernel).unwrap_err().contains("kernel"));
+        let no_path = report_json("    {\"kernel\": \"a\", \"sim_macs_per_sec\": 5}");
+        assert!(parse_rows(&no_path).unwrap_err().contains("path"));
+        let no_macs = report_json("    {\"kernel\": \"a\", \"path\": \"bulk\"}");
+        assert!(parse_rows(&no_macs)
+            .unwrap_err()
+            .contains("sim_macs_per_sec"));
+        // A malformed number is a missing field, not a zero.
+        let garbled = report_json(&full_row("a", "bulk", "fast"));
+        assert!(parse_rows(&garbled).is_err());
+        // An unterminated array never yields rows.
+        let unterminated = "{\"rows\": [{\"kernel\": \"a\"";
+        assert!(parse_rows(unterminated)
+            .unwrap_err()
+            .contains("unterminated"));
+    }
+
+    /// Rust's float parser accepts `NaN`/`inf`; a gate baseline must
+    /// not — a NaN would turn every comparison into a silent pass.
+    #[test]
+    fn non_finite_throughputs_are_rejected() {
+        for bad in ["NaN", "inf", "-inf", "Infinity"] {
+            let json = report_json(&full_row("a", "bulk", bad));
+            let err = parse_rows(&json).unwrap_err();
+            assert!(err.contains("non-finite"), "{bad}: {err}");
+            assert!(err.contains("a/bulk"), "{bad}: {err}");
+        }
+        // Finite values at the rounding edge still parse.
+        let ok = report_json(&full_row("a", "bulk", "0"));
+        assert_eq!(parse_rows(&ok).unwrap()[0].sim_macs_per_sec, 0.0);
+    }
+
+    /// parse → `to_json` → parse round-trip on a synthetic report: the
+    /// parser accepts exactly what the emitter produces, and a report
+    /// rebuilt from parsed rows re-emits to the same gate rows. (Values
+    /// are integral because `to_json` rounds throughput to whole
+    /// MACs/s.)
+    #[test]
+    fn parse_to_json_parse_round_trips() {
+        use crate::engine::{EngineReport, EngineRow};
+        let original = EngineReport {
+            rows: vec![
+                EngineRow {
+                    kernel: "fc-x".into(),
+                    path: Path::Reference,
+                    reps: 7,
+                    wall_s: 0.25,
+                    dense_macs: 1024,
+                    sim_macs_per_sec: 123456.0,
+                    sim_cycles: 99,
+                },
+                EngineRow {
+                    kernel: "fc-x".into(),
+                    path: Path::Bulk,
+                    reps: 7,
+                    wall_s: 0.05,
+                    dense_macs: 1024,
+                    sim_macs_per_sec: 7891011.0,
+                    sim_cycles: 99,
+                },
+            ],
+        };
+        let parsed = parse_rows(&original.to_json()).unwrap();
+        assert_eq!(parsed, report_rows(&original));
+        // Rebuild an EngineReport from the parsed rows (Path survives
+        // the name round-trip) and emit again: same gate rows.
+        let rebuilt = EngineReport {
+            rows: parsed
+                .iter()
+                .map(|r| EngineRow {
+                    kernel: r.kernel.clone(),
+                    path: Path::from_name(&r.path).expect("emitted path name"),
+                    reps: 1,
+                    wall_s: 1.0,
+                    dense_macs: 1,
+                    sim_macs_per_sec: r.sim_macs_per_sec,
+                    sim_cycles: 0,
+                })
+                .collect(),
+        };
+        assert_eq!(parse_rows(&rebuilt.to_json()).unwrap(), parsed);
+    }
+
+    /// The checked-in snapshot carries the serving rows, and batching
+    /// does not regress throughput: for both serve families the bulk
+    /// batch-16 row's requests/sec (∝ MACs/s at fixed per-wave MACs)
+    /// is at least the batch-1 row's. Deterministic — it reads the
+    /// committed `BENCH_engine.json`, so it pins the property at
+    /// snapshot-refresh time rather than flaking on live timing.
+    #[test]
+    fn snapshot_serve_rows_show_batching_never_regresses() {
+        let json = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_engine.json"
+        ))
+        .expect("checked-in snapshot");
+        let rows = parse_rows(&json).unwrap();
+        let bulk = |kernel: &str| {
+            throughput(&rows, kernel, Path::Bulk)
+                .unwrap_or_else(|| panic!("snapshot has no bulk row for {kernel}"))
+        };
+        // Per family: the floor batch-16 must clear relative to batch-1.
+        // The MLP family's coalescing win is structural (tile weights
+        // stage once per batch — ~1.15× measured), so it must show a
+        // real gain, not merely avoid regressing. The conv family has no
+        // compute to share across a batch — its batching effect is
+        // µs-scale queue amortization against ~30 ms of per-request
+        // simulated execution, i.e. physically equal rows — so the check
+        // there is "no regression beyond the serve rows' refresh noise",
+        // the same noise-floor philosophy as the perf gate's own 25 %
+        // threshold. A strict `>=` between physically equal rows would
+        // test the host's thermal drift, not the service; the floor sits
+        // comfortably below the ±1–2 % ordering swings observed between
+        // best-of refreshes so a routine snapshot refresh cannot trip it,
+        // while a real batching defect (a path that serializes or
+        // duplicates work) overshoots it by an order of magnitude.
+        for (family, floor) in [("net-serve-resnet18", 0.95), ("net-serve-mlp", 1.05)] {
+            for b in [1, 4, 16] {
+                let kernel = format!("{family}-b{b}");
+                assert!(
+                    throughput(&rows, &kernel, Path::Reference).is_some(),
+                    "snapshot lacks the calibration row for {kernel}"
+                );
+                assert!(bulk(&kernel) > 0.0);
+            }
+            let (b1, b16) = (
+                bulk(&format!("{family}-b1")),
+                bulk(&format!("{family}-b16")),
+            );
+            assert!(
+                b16 >= floor * b1,
+                "{family}: batch-16 throughput {b16} below {floor} x batch-1 \
+                 ({b1}) — batching regressed in the snapshot"
+            );
+        }
     }
 
     #[test]

@@ -23,7 +23,10 @@ use nm_platform::soc::L1_BYTES;
 use nm_platform::Cluster;
 
 /// Compilation options.
-#[derive(Debug, Clone, Copy)]
+///
+/// `PartialEq`/`Eq` compare every field — the serving layer's model
+/// cache uses this to key prepared graphs by (model, format, options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Options {
     /// Target kernel library.
     pub target: Target,

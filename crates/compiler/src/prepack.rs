@@ -24,8 +24,18 @@
 //! fresh [`crate::exec::run_emulated`] runs, the per-instruction
 //! reference path and the analytic plan.
 //!
+//! Serving layers build on two extra entry points: [`prepare_shared`]
+//! co-owns the graph through an [`Arc`] (no borrow lifetime, so one
+//! prepared model is shared across worker threads), and [`run_batch`]
+//! coalesces a batch of single-vector requests into one multi-token
+//! pass when the graph allows it — each Linear tile's weights stage
+//! once per batch, not once per request, while every request's output
+//! and cycle total stay bit-identical to a sequential [`run`] loop.
+//!
 //! [`prepare`]: PreparedGraph::prepare
 //! [`run`]: PreparedGraph::run
+//! [`prepare_shared`]: PreparedGraph::prepare_shared
+//! [`run_batch`]: PreparedGraph::run_batch
 
 use crate::exec::EmulatedRun;
 use crate::patterns::{select_kernel, KernelChoice};
@@ -49,10 +59,10 @@ use nm_kernels::layout::{
 use nm_nn::graph::{Graph, OpKind};
 use nm_nn::layer::{ConvLayer, LinearLayer};
 use nm_nn::{exec as nnexec, ops};
-use nm_platform::Scratchpad;
+use nm_platform::{Scratchpad, ScratchpadPool};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 
 /// A tile's weights in the exact form its kernel consumes.
 #[derive(Debug)]
@@ -91,6 +101,25 @@ enum PreparedMatmul {
     Fc(PreparedFc),
 }
 
+/// How a [`PreparedGraph`] holds its graph: borrowed for the classic
+/// `prepare(&graph)` flow, reference-counted for serving layers that
+/// need `'static` prepared models shared across worker threads
+/// ([`PreparedGraph::prepare_shared`]).
+#[derive(Debug)]
+enum GraphRef<'g> {
+    Borrowed(&'g Graph),
+    Shared(Arc<Graph>),
+}
+
+impl GraphRef<'_> {
+    fn get(&self) -> &Graph {
+        match self {
+            GraphRef::Borrowed(g) => g,
+            GraphRef::Shared(g) => g,
+        }
+    }
+}
+
 /// A graph compiled for repeated emulated execution: weights packed and
 /// kernel programs precomputed once, scratchpads pooled across runs.
 ///
@@ -109,13 +138,13 @@ enum PreparedMatmul {
 /// ```
 #[derive(Debug)]
 pub struct PreparedGraph<'g> {
-    graph: &'g Graph,
+    graph: GraphRef<'g>,
     opts: Options,
     layers: Vec<Option<PreparedMatmul>>,
-    /// Scratchpads reused across tiles, layers and runs (reset between
-    /// tiles); workers check one out for the duration of their item
-    /// batch.
-    pool: Mutex<Vec<Scratchpad>>,
+    /// Scratchpads reused across tiles, layers and runs; workers check
+    /// one out for the duration of their item batch and the pool resets
+    /// it on checkin, so every checkout observes the fresh state.
+    pool: ScratchpadPool,
 }
 
 /// The emulation context selected by [`Options::bulk_emulation`].
@@ -137,32 +166,40 @@ impl<'g> PreparedGraph<'g> {
     /// Propagates tiling failures (a layer that cannot fit L1 even at
     /// the smallest tile) and weight-packing errors.
     pub fn prepare(graph: &'g Graph, opts: &Options) -> Result<Self> {
-        let mut layers = Vec::with_capacity(graph.nodes().len());
-        for node in graph.nodes() {
-            let prepared = match &node.op {
-                OpKind::Conv2d(l) => {
-                    let choice = select_kernel(opts.target, &node.op).expect("conv has a kernel");
-                    Some(PreparedMatmul::Conv(prepare_conv(l, choice, opts)?))
-                }
-                OpKind::Linear(l) => {
-                    let choice = select_kernel(opts.target, &node.op).expect("linear has a kernel");
-                    Some(PreparedMatmul::Fc(prepare_fc(l, choice, opts)?))
-                }
-                _ => None,
-            };
-            layers.push(prepared);
-        }
         Ok(PreparedGraph {
-            graph,
+            layers: prepare_layers(graph, opts)?,
+            graph: GraphRef::Borrowed(graph),
             opts: *opts,
-            layers,
-            pool: Mutex::new(Vec::new()),
+            pool: ScratchpadPool::new("L1", opts.l1_budget),
+        })
+    }
+
+    /// [`prepare`](Self::prepare) for a reference-counted graph: the
+    /// prepared artifact co-owns the graph, so it has no borrow lifetime
+    /// (`PreparedGraph<'static>`) and can itself be put behind an [`Arc`]
+    /// and shared across serving worker threads. Sharing is cheap — the
+    /// graph is not cloned, and a service cache can hand the same
+    /// prepared model to every request that needs it.
+    ///
+    /// # Errors
+    /// Exactly as [`prepare`](Self::prepare).
+    pub fn prepare_shared(graph: Arc<Graph>, opts: &Options) -> Result<PreparedGraph<'static>> {
+        Ok(PreparedGraph {
+            layers: prepare_layers(&graph, opts)?,
+            graph: GraphRef::Shared(graph),
+            opts: *opts,
+            pool: ScratchpadPool::new("L1", opts.l1_budget),
         })
     }
 
     /// The options the graph was prepared with.
     pub fn options(&self) -> &Options {
         &self.opts
+    }
+
+    /// The graph this artifact was compiled from.
+    pub fn graph(&self) -> &Graph {
+        self.graph.get()
     }
 
     /// Executes one inference with the precompiled tile programs:
@@ -176,14 +213,15 @@ impl<'g> PreparedGraph<'g> {
     /// [`Error::ShapeMismatch`] if `input` does not match the graph's
     /// input shape; otherwise propagates staging and kernel errors.
     pub fn run(&self, input: &Tensor<i8>) -> Result<EmulatedRun> {
-        if input.shape() != self.graph.input_shape() {
+        let graph = self.graph();
+        if input.shape() != graph.input_shape() {
             return Err(Error::ShapeMismatch(format!(
                 "input shape {:?} != graph input {:?}",
                 input.shape(),
-                self.graph.input_shape()
+                graph.input_shape()
             )));
         }
-        let nodes = self.graph.nodes();
+        let nodes = graph.nodes();
         let mut values: Vec<Option<Tensor<i8>>> = vec![None; nodes.len()];
         values[0] = Some(input.clone());
         let mut matmul_cycles = 0;
@@ -203,8 +241,8 @@ impl<'g> PreparedGraph<'g> {
                     let Some(PreparedMatmul::Fc(p)) = &self.layers[id] else {
                         unreachable!("linear node was prepared")
                     };
-                    let (t, cyc) = self.run_fc(l, p, get(0))?;
-                    matmul_cycles += cyc;
+                    let (t, per_token) = self.run_fc(l, p, get(0))?;
+                    matmul_cycles += per_token.iter().sum::<u64>();
                     t
                 }
                 OpKind::Attention(a) => nnexec::attention(get(0), a),
@@ -229,9 +267,114 @@ impl<'g> PreparedGraph<'g> {
             values[id] = Some(out);
         }
         Ok(EmulatedRun {
-            output: values[self.graph.output()].take().expect("output computed"),
+            output: values[graph.output()].take().expect("output computed"),
             matmul_compute_cycles: matmul_cycles,
         })
+    }
+
+    /// Whether a batch of single requests can be coalesced into one
+    /// multi-token pass: the graph takes a single vector (`[C]`) and is
+    /// a pure Linear / ReLU / GELU **chain** — each node consumes
+    /// exactly the previous one and the last node is the output — every
+    /// op of which treats the leading dimension as independent tokens.
+    /// The chain requirement matters: these ops can also form DAGs
+    /// (skip connections, fan-out), which the stacked sweep of
+    /// [`run_batch`](Self::run_batch) does not model. Conv, pool,
+    /// attention and non-chain graphs are not coalescible —
+    /// `run_batch` runs them request-by-request instead.
+    pub fn token_batchable(&self) -> bool {
+        let graph = self.graph();
+        let nodes = graph.nodes();
+        graph.input_shape().len() == 1
+            && graph.output() == nodes.len() - 1
+            && nodes.iter().enumerate().skip(1).all(|(id, n)| {
+                matches!(n.op, OpKind::Linear(_) | OpKind::Relu | OpKind::Gelu)
+                    && n.inputs == [id - 1]
+            })
+    }
+
+    /// Executes a batch of independent requests, coalescing them into
+    /// one multi-token pass when [`token_batchable`] allows it: the
+    /// inputs are stacked into a `[B, C]` tensor and every Linear
+    /// layer's K-tiled multi-token path stages each tile's weights
+    /// **once per batch** instead of once per request. Non-coalescible
+    /// graphs fall back to a sequential [`run`](Self::run) loop.
+    ///
+    /// Batching is an amortization, never a semantic change: request
+    /// `i`'s output and cycle total are bit-identical to
+    /// `self.run(inputs[i])` — each token is a separate kernel
+    /// invocation on the same staged tile weights, and kernel cycle
+    /// counts depend only on geometry and weights, not on the activation
+    /// values. The serving layer's differential tests pin this contract
+    /// for every batch size.
+    ///
+    /// # Errors
+    /// [`Error::ShapeMismatch`] if any input does not match the graph's
+    /// input shape; otherwise propagates staging and kernel errors.
+    ///
+    /// [`token_batchable`]: Self::token_batchable
+    pub fn run_batch(&self, inputs: &[&Tensor<i8>]) -> Result<Vec<EmulatedRun>> {
+        let graph = self.graph();
+        for input in inputs {
+            if input.shape() != graph.input_shape() {
+                return Err(Error::ShapeMismatch(format!(
+                    "batch input shape {:?} != graph input {:?}",
+                    input.shape(),
+                    graph.input_shape()
+                )));
+            }
+        }
+        if inputs.len() <= 1 || !self.token_batchable() {
+            return inputs.iter().map(|input| self.run(input)).collect();
+        }
+        self.run_batch_coalesced(inputs)
+    }
+
+    /// The coalesced multi-token pass behind [`run_batch`](Self::run_batch):
+    /// one `[B, C]` sweep through the Linear/activation chain, with
+    /// per-request cycle totals taken from each Linear layer's per-token
+    /// kernel statistics.
+    fn run_batch_coalesced(&self, inputs: &[&Tensor<i8>]) -> Result<Vec<EmulatedRun>> {
+        let graph = self.graph();
+        let c = graph.input_shape()[0];
+        let b = inputs.len();
+        let mut stacked = Vec::with_capacity(b * c);
+        for input in inputs {
+            stacked.extend_from_slice(input.data());
+        }
+        let mut value = Tensor::from_vec(&[b, c], stacked)?;
+        let mut per_request = vec![0u64; b];
+        for (id, node) in graph.nodes().iter().enumerate().skip(1) {
+            value = match &node.op {
+                OpKind::Linear(l) => {
+                    let Some(PreparedMatmul::Fc(p)) = &self.layers[id] else {
+                        unreachable!("linear node was prepared")
+                    };
+                    let (t, per_token) = self.run_fc(l, p, &value)?;
+                    debug_assert_eq!(per_token.len(), b);
+                    for (total, cyc) in per_request.iter_mut().zip(&per_token) {
+                        *total += cyc;
+                    }
+                    t
+                }
+                OpKind::Relu => ops::relu(&value),
+                OpKind::Gelu => ops::gelu(&value),
+                _ => unreachable!("token_batchable admits only Linear/ReLU/GELU"),
+            };
+        }
+        let k = value.len() / b;
+        let out_shape = &graph.node(graph.output()).out_shape;
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let row = value.data()[i * k..(i + 1) * k].to_vec();
+                Ok(EmulatedRun {
+                    output: Tensor::from_vec(out_shape, row)?,
+                    matmul_compute_cycles: per_request[i],
+                })
+            })
+            .collect()
     }
 
     fn run_conv(
@@ -334,12 +477,17 @@ impl<'g> PreparedGraph<'g> {
         ))
     }
 
+    /// Runs one prepared Linear layer, returning the output and the
+    /// emulated compute cycles **per token** (length = token count; a
+    /// 1-D `[C]` input is one token). Per-token attribution is what lets
+    /// [`run_batch`](Self::run_batch) charge each coalesced request
+    /// exactly the cycles a sequential run would have charged it.
     fn run_fc(
         &self,
         layer: &LinearLayer,
         p: &PreparedFc,
         input: &Tensor<i8>,
-    ) -> Result<(Tensor<i8>, u64)> {
+    ) -> Result<(Tensor<i8>, Vec<u64>)> {
         let geom = &layer.geom;
         let cluster = self.opts.cluster();
         let (tokens, c) = match input.shape() {
@@ -369,12 +517,12 @@ impl<'g> PreparedGraph<'g> {
         let n_chunks = tokens.div_ceil(chunk).max(1);
         let nm = p.choice.nm();
 
-        let run_item = |mem: &mut Scratchpad, item: usize| -> Result<(u64, Vec<u8>)> {
+        let run_item = |mem: &mut Scratchpad, item: usize| -> Result<(Vec<u64>, Vec<u8>)> {
             let (ti, ci) = (item / n_chunks, item % n_chunks);
             let spec = &p.specs[ti];
             let tg = spec.geom;
             let (t0, t1) = (ci * chunk, ((ci + 1) * chunk).min(tokens));
-            let mut cycles = 0;
+            let mut cycles = Vec::with_capacity(t1.saturating_sub(t0));
             let mut outs = vec![0u8; t1.saturating_sub(t0) * tg.k];
             mem.reset();
             let mut staged: Option<FcBufs> = None;
@@ -423,7 +571,7 @@ impl<'g> PreparedGraph<'g> {
                     }
                     _ => fc_dense(&mut ctx, &job, &cluster)?,
                 };
-                cycles += stats.cycles();
+                cycles.push(stats.cycles());
                 let o = mem.slice(bufs.output, tg.k).expect("staged output");
                 outs[j * tg.k..(j + 1) * tg.k].copy_from_slice(o);
             }
@@ -432,14 +580,14 @@ impl<'g> PreparedGraph<'g> {
         let results = self.run_items(n_tiles * n_chunks, run_item)?;
 
         let mut out = vec![0i8; tokens * geom.k];
-        let mut cycles = 0;
+        let mut token_cycles = vec![0u64; tokens];
         for (item, (cyc, bytes)) in results.into_iter().enumerate() {
-            cycles += cyc;
             let (ti, ci) = (item / n_chunks, item % n_chunks);
             let spec = &p.specs[ti];
             let tg = spec.geom;
             let (t0, t1) = (ci * chunk, ((ci + 1) * chunk).min(tokens));
             for (j, t) in (t0..t1).enumerate() {
+                token_cycles[t] += cyc[j];
                 let dst = t * geom.k + spec.k0;
                 copy_bytes_to_i8(&mut out[dst..dst + tg.k], &bytes[j * tg.k..(j + 1) * tg.k]);
             }
@@ -449,7 +597,7 @@ impl<'g> PreparedGraph<'g> {
         } else {
             vec![tokens, geom.k]
         };
-        Ok((Tensor::from_vec(&shape, out)?, cycles))
+        Ok((Tensor::from_vec(&shape, out)?, token_cycles))
     }
 
     /// Worker threads to use (resolving `0` to the host parallelism).
@@ -543,19 +691,34 @@ impl<'g> PreparedGraph<'g> {
     }
 
     fn checkout(&self) -> Scratchpad {
-        self.pool
-            .lock()
-            .expect("scratchpad pool poisoned")
-            .pop()
-            .unwrap_or_else(|| Scratchpad::new("L1", self.opts.l1_budget))
+        self.pool.checkout()
     }
 
     fn checkin(&self, mem: Scratchpad) {
-        self.pool
-            .lock()
-            .expect("scratchpad pool poisoned")
-            .push(mem);
+        self.pool.checkin(mem);
     }
+}
+
+/// Compiles every Conv/Linear node of `graph` into its tile program —
+/// the shared body of [`PreparedGraph::prepare`] and
+/// [`PreparedGraph::prepare_shared`].
+fn prepare_layers(graph: &Graph, opts: &Options) -> Result<Vec<Option<PreparedMatmul>>> {
+    let mut layers = Vec::with_capacity(graph.nodes().len());
+    for node in graph.nodes() {
+        let prepared = match &node.op {
+            OpKind::Conv2d(l) => {
+                let choice = select_kernel(opts.target, &node.op).expect("conv has a kernel");
+                Some(PreparedMatmul::Conv(prepare_conv(l, choice, opts)?))
+            }
+            OpKind::Linear(l) => {
+                let choice = select_kernel(opts.target, &node.op).expect("linear has a kernel");
+                Some(PreparedMatmul::Fc(prepare_fc(l, choice, opts)?))
+            }
+            _ => None,
+        };
+        layers.push(prepared);
+    }
+    Ok(layers)
 }
 
 fn prepare_conv(layer: &ConvLayer, choice: KernelChoice, opts: &Options) -> Result<PreparedConv> {

@@ -16,9 +16,11 @@
 //! flow.
 
 pub mod resnet;
+pub mod serve;
 pub mod small;
 pub mod vit;
 
 pub use resnet::resnet18_cifar;
+pub use serve::{mlp_serve, mlp_serve_sparse, resnet18_cifar_serve_sparse};
 pub use small::{convnet_cifar, ds_cnn_kws, lenet300};
 pub use vit::{vit_small, vit_tiny_for_tests, VitConfig};

@@ -46,20 +46,20 @@ fn basic_block(
     b.relu(s)
 }
 
-/// Builds the CIFAR ResNet18 with synthetic weights.
-///
-/// # Errors
-/// Propagates geometry/shape errors (none for the standard configuration).
-pub fn resnet18_cifar(num_classes: usize, seed: u64) -> Result<Graph> {
+/// The ResNet18 topology at an arbitrary base width (`width` channels in
+/// the first stage, doubling per stage) — `64` is the published CIFAR
+/// configuration, smaller widths build the serve-sized variants in
+/// [`crate::serve`].
+pub(crate) fn resnet18_cifar_scaled(width: usize, num_classes: usize, seed: u64) -> Result<Graph> {
     let mut rng = XorShift::new(seed);
     let mut b = GraphBuilder::new(&[32, 32, 3]);
-    let stem = b.conv(b.input(), conv(&mut rng, 3, 64, 32, 3, 1, 1)?)?;
+    let stem = b.conv(b.input(), conv(&mut rng, 3, width, 32, 3, 1, 1)?)?;
     let mut x = b.relu(stem)?;
     let stages: [(usize, usize, usize, usize); 4] = [
-        (64, 64, 32, 1),
-        (64, 128, 32, 2),
-        (128, 256, 16, 2),
-        (256, 512, 8, 2),
+        (width, width, 32, 1),
+        (width, 2 * width, 32, 2),
+        (2 * width, 4 * width, 16, 2),
+        (4 * width, 8 * width, 8, 2),
     ];
     for (c_in, c_out, i, stride) in stages {
         x = basic_block(&mut b, &mut rng, x, c_in, c_out, i, stride)?;
@@ -67,12 +67,20 @@ pub fn resnet18_cifar(num_classes: usize, seed: u64) -> Result<Graph> {
     }
     let pooled = b.global_avg_pool(x)?;
     let head = LinearLayer::new(
-        FcGeom::new(512, num_classes)?,
-        rng.fill_weights(512 * num_classes, 32),
-        Requant::for_dot_len(512),
+        FcGeom::new(8 * width, num_classes)?,
+        rng.fill_weights(8 * width * num_classes, 32),
+        Requant::for_dot_len(8 * width),
     )?;
     let out = b.linear(pooled, head)?;
     b.finish(out)
+}
+
+/// Builds the CIFAR ResNet18 with synthetic weights.
+///
+/// # Errors
+/// Propagates geometry/shape errors (none for the standard configuration).
+pub fn resnet18_cifar(num_classes: usize, seed: u64) -> Result<Graph> {
+    resnet18_cifar_scaled(64, num_classes, seed)
 }
 
 /// [`resnet18_cifar`] pruned to the paper's deployment configuration:

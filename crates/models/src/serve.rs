@@ -1,0 +1,144 @@
+//! Serve-sized model builders for the batched inference service
+//! (`nm-serve`) and its benchmarks.
+//!
+//! Serving benchmarks and stress tests want two model families the
+//! full-size paper networks are a poor fit for:
+//!
+//! * a **token-batchable** FC stack ([`mlp_serve_sparse`]) — a pure
+//!   Linear/ReLU chain over a single input vector, which the service
+//!   coalesces into one multi-token pass per batch
+//!   (`PreparedGraph::run_batch`), staging each tile's weights once per
+//!   batch instead of once per request;
+//! * a **conv-dominated** network small enough to run many requests per
+//!   CI second ([`resnet18_cifar_serve_sparse`]) — the ResNet18 topology
+//!   at half width, which keeps the per-request code path identical to
+//!   the full `net-resnet18-cifar` workload at about a quarter of the
+//!   simulated MACs.
+
+use crate::resnet::resnet18_cifar_scaled;
+use nm_core::quant::Requant;
+use nm_core::sparsity::Nm;
+use nm_core::{FcGeom, Result};
+use nm_nn::graph::{Graph, OpKind};
+use nm_nn::layer::LinearLayer;
+use nm_nn::prune::prune_graph;
+use nm_nn::rng::XorShift;
+use nm_nn::GraphBuilder;
+
+/// A dense serve-MLP: a Linear(+ReLU) chain through `dims` (at least an
+/// input and an output dimension), e.g. `&[1024, 512, 256, 64]`. The
+/// final Linear has no activation. Every op treats the leading
+/// dimension as tokens, so the graph is token-batchable by
+/// construction.
+///
+/// # Errors
+/// Propagates geometry errors (a zero dimension).
+pub fn mlp_serve(dims: &[usize], seed: u64) -> Result<Graph> {
+    assert!(dims.len() >= 2, "an MLP needs input and output dims");
+    let mut rng = XorShift::new(seed);
+    let mut b = GraphBuilder::new(&[dims[0]]);
+    let mut x = b.input();
+    for (i, pair) in dims.windows(2).enumerate() {
+        let (c, k) = (pair[0], pair[1]);
+        let layer = LinearLayer::new(
+            FcGeom::new(c, k)?,
+            rng.fill_weights(c * k, 30),
+            Requant::for_dot_len(c),
+        )?;
+        x = b.linear(x, layer)?;
+        if i + 2 < dims.len() {
+            x = b.relu(x)?;
+        }
+    }
+    b.finish(x)
+}
+
+/// [`mlp_serve`] pruned to `nm` on every Linear layer whose input
+/// dimension divides the pattern — the serving benchmarks' coalescible
+/// workload (`net-serve-mlp` rows).
+///
+/// # Errors
+/// Propagates geometry errors.
+pub fn mlp_serve_sparse(dims: &[usize], nm: Nm, seed: u64) -> Result<Graph> {
+    let mut g = mlp_serve(dims, seed)?;
+    prune_graph(&mut g, nm, |_, op| match op {
+        OpKind::Linear(l) => l.geom.c % nm.m() == 0,
+        _ => false,
+    })?;
+    Ok(g)
+}
+
+/// The ResNet18 topology at half width (32-channel first stage), pruned
+/// like [`crate::resnet::resnet18_cifar_sparse`]: every non-pointwise
+/// convolution at `nm`, stem and projections dense. About a quarter of
+/// the full network's simulated MACs — sized so the serving benchmark
+/// can push dozens of requests through both emulation paths per CI run
+/// while exercising the exact conv/tile/scatter code of the full
+/// workload.
+///
+/// # Errors
+/// Propagates geometry/shape errors (none for the standard
+/// configuration with the kernel-supported patterns).
+pub fn resnet18_cifar_serve_sparse(num_classes: usize, nm: Nm, seed: u64) -> Result<Graph> {
+    let mut g = resnet18_cifar_scaled(32, num_classes, seed)?;
+    prune_graph(&mut g, nm, nm_nn::prune::resnet_policy(nm))?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_core::Tensor;
+    use nm_nn::execute;
+    use nm_nn::prune::weight_sparsity;
+
+    #[test]
+    fn mlp_is_a_pure_linear_relu_chain() {
+        let g = mlp_serve(&[64, 48, 32], 1).unwrap();
+        assert_eq!(g.input_shape(), &[64]);
+        assert_eq!(g.node(g.output()).out_shape, vec![32]);
+        assert!(g
+            .nodes()
+            .iter()
+            .skip(1)
+            .all(|n| matches!(n.op, OpKind::Linear(_) | OpKind::Relu)));
+        let input = Tensor::from_vec(&[64], XorShift::new(2).fill_weights(64, 50)).unwrap();
+        assert_eq!(execute(&g, &input).unwrap().shape(), &[32]);
+    }
+
+    #[test]
+    fn sparse_mlp_layers_are_detectable() {
+        let nm = Nm::ONE_OF_EIGHT;
+        let g = mlp_serve_sparse(&[1024, 512, 256, 64], nm, 3).unwrap();
+        let detected = g
+            .nodes()
+            .iter()
+            .filter(|n| match &n.op {
+                OpKind::Linear(l) => l.detect_sparsity() == Some(nm),
+                _ => false,
+            })
+            .count();
+        assert_eq!(detected, 3, "all serve-MLP linears detected as {nm:?}");
+        assert!(weight_sparsity(&g) > 0.8);
+    }
+
+    #[test]
+    fn serve_resnet_is_quarter_sized_and_prunable() {
+        let nm = Nm::ONE_OF_EIGHT;
+        let g = resnet18_cifar_serve_sparse(10, nm, 1).unwrap();
+        let full = crate::resnet::resnet18_cifar_sparse(10, nm, 1).unwrap();
+        let ratio = g.dense_macs() as f64 / full.dense_macs() as f64;
+        assert!((0.2..0.3).contains(&ratio), "MAC ratio {ratio}");
+        assert_eq!(g.node(g.output()).out_shape, vec![10]);
+        // Same prunable structure as the full network: 16 sparse convs.
+        let detected = g
+            .nodes()
+            .iter()
+            .filter(|n| match &n.op {
+                OpKind::Conv2d(l) => l.detect_sparsity() == Some(nm),
+                _ => false,
+            })
+            .count();
+        assert!(detected >= 16, "only {detected} convs detected as {nm:?}");
+    }
+}

@@ -42,6 +42,6 @@ pub mod trace;
 pub use cluster::{chunk_range, Cluster, ClusterStats};
 pub use dma::Dma;
 pub use pipeline::{double_buffered_cycles, TileCost};
-pub use scratchpad::{BumpAllocator, Scratchpad};
+pub use scratchpad::{BumpAllocator, Scratchpad, ScratchpadPool};
 pub use soc::VegaSoc;
 pub use trace::{Lane, Span, Trace};

@@ -135,6 +135,74 @@ impl Memory for Scratchpad {
     }
 }
 
+/// A thread-safe pool of same-sized scratchpads for concurrent workers
+/// (the compiled executor's tile threads, the serving layer's worker
+/// pool): [`checkout`] hands out a scratchpad guaranteed to be
+/// indistinguishable from a freshly created one, [`checkin`] returns it
+/// for reuse.
+///
+/// The fresh-state guarantee is the pool's contract: `checkin` runs
+/// [`Scratchpad::reset`] (clearing the allocator *and* the high-water
+/// region of the backing bytes), so a worker that dirtied its scratchpad
+/// arbitrarily cannot leak state into the next checkout. Kernels
+/// therefore observe exactly what a fresh [`Scratchpad::new`] would hand
+/// them, regardless of which worker used the pad before — pinned by
+/// `pooled_checkout_matches_fresh_scratchpad` below.
+///
+/// [`checkout`]: ScratchpadPool::checkout
+/// [`checkin`]: ScratchpadPool::checkin
+#[derive(Debug)]
+pub struct ScratchpadPool {
+    name: &'static str,
+    size: usize,
+    pads: std::sync::Mutex<Vec<Scratchpad>>,
+}
+
+impl ScratchpadPool {
+    /// Creates an empty pool; scratchpads are allocated lazily on
+    /// checkout and retained on checkin.
+    pub fn new(name: &'static str, size: usize) -> Self {
+        ScratchpadPool {
+            name,
+            size,
+            pads: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The byte size of every scratchpad this pool hands out.
+    pub fn pad_size(&self) -> usize {
+        self.size
+    }
+
+    /// Takes a scratchpad from the pool (or creates one when the pool is
+    /// empty). The returned pad is bit-identical to a fresh
+    /// [`Scratchpad::new`]: zeroed contents, empty allocator.
+    pub fn checkout(&self) -> Scratchpad {
+        self.pads
+            .lock()
+            .expect("scratchpad pool poisoned")
+            .pop()
+            .unwrap_or_else(|| Scratchpad::new(self.name, self.size))
+    }
+
+    /// Returns a scratchpad to the pool for reuse, resetting it to the
+    /// fresh state first (see the type docs for why the reset lives on
+    /// this side: a dirty pad must never be observable through
+    /// [`checkout`](Self::checkout)).
+    pub fn checkin(&self, mut pad: Scratchpad) {
+        pad.reset();
+        self.pads
+            .lock()
+            .expect("scratchpad pool poisoned")
+            .push(pad);
+    }
+
+    /// Scratchpads currently parked in the pool (not checked out).
+    pub fn idle(&self) -> usize {
+        self.pads.lock().expect("scratchpad pool poisoned").len()
+    }
+}
+
 /// A monotonic (arena) allocator over a fixed-size region — the standard
 /// allocation discipline for PULP L1 buffers, where a layer's buffers are
 /// planned statically and freed all at once.
@@ -287,5 +355,73 @@ mod tests {
     fn out_of_range_view_is_a_bus_error() {
         let l1 = Scratchpad::new("l1", 16);
         let _ = l1.slice(10, 8);
+    }
+
+    /// The pooled path of the reset contract: checkout → dirty →
+    /// checkin → checkout must observe the same bytes as a fresh
+    /// scratchpad, including the allocator high-water region (and the
+    /// word of alignment slack a trailing 32-bit store may have
+    /// touched).
+    #[test]
+    fn pooled_checkout_matches_fresh_scratchpad() {
+        let pool = ScratchpadPool::new("l1", 256);
+        let fresh = Scratchpad::new("l1", 256);
+
+        let mut pad = pool.checkout();
+        assert_eq!(pad.bytes(), fresh.bytes(), "first checkout is fresh");
+        let a = pad.alloc(40, 4).unwrap();
+        let b = pad.alloc(9, 4).unwrap();
+        pad.slice_mut(a, 40).unwrap().fill(0xAB);
+        // Dirty the high-water region's alignment slack too: a word
+        // store at the end of the last buffer spills past `used()`.
+        pad.store_u32(b + 8, 0xDEAD_BEEF);
+        pool.checkin(pad);
+        assert_eq!(pool.idle(), 1);
+
+        let again = pool.checkout();
+        assert_eq!(pool.idle(), 0, "the dirtied pad itself was reused");
+        assert_eq!(again.bytes(), fresh.bytes(), "reused pad reads fresh");
+        assert_eq!(again.used(), 0);
+        assert_eq!(again.available(), 256);
+        assert_eq!(again.name(), "l1");
+    }
+
+    /// An empty pool mints pads on demand; checkin grows the idle set.
+    #[test]
+    fn pool_mints_and_retains_pads() {
+        let pool = ScratchpadPool::new("l1", 64);
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.pad_size(), 64);
+        let p0 = pool.checkout();
+        let p1 = pool.checkout();
+        assert_eq!(p0.size(), 64);
+        assert_eq!(p1.size(), 64);
+        pool.checkin(p0);
+        pool.checkin(p1);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    /// Concurrent workers hammering the pool never observe a dirty pad.
+    #[test]
+    fn pool_is_safe_and_fresh_under_concurrency() {
+        let pool = ScratchpadPool::new("l1", 128);
+        let fresh = Scratchpad::new("l1", 128);
+        std::thread::scope(|scope| {
+            for t in 0..4u8 {
+                let (pool, fresh) = (&pool, &fresh);
+                scope.spawn(move || {
+                    for i in 0..50u32 {
+                        let mut pad = pool.checkout();
+                        assert_eq!(pad.bytes(), fresh.bytes());
+                        let base = pad.alloc(32, 4).unwrap();
+                        pad.slice_mut(base, 32)
+                            .unwrap()
+                            .fill(t.wrapping_add(i as u8) | 1);
+                        pool.checkin(pad);
+                    }
+                });
+            }
+        });
+        assert!(pool.idle() >= 1);
     }
 }

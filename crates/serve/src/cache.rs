@@ -1,0 +1,195 @@
+//! The prepared-model cache: compile once per (model, format, options),
+//! share everywhere.
+//!
+//! Preparation ([`PreparedGraph::prepare_shared`]) is the expensive step
+//! serving amortizes — kernel selection, tiling, per-tile weight packing
+//! and decimation-table decoding. The cache keys prepared artifacts by
+//! **model name and full compilation [`Options`]** (which subsume the
+//! kernel format via `Options::target`), so registering the same model
+//! twice, or for two services, reuses the packed weights; registering it
+//! under a different target/format prepares a distinct artifact, exactly
+//! like a deployment serving the same network in several formats for
+//! comparison.
+
+use nm_compiler::{Options, PreparedGraph};
+use nm_core::Result;
+use nm_nn::graph::Graph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The cache key: model name plus the complete compilation options
+/// (target format, L1 budget, cost model, emulation path, threads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelKey {
+    /// Caller-chosen model name.
+    pub name: String,
+    /// The options the artifact was prepared with.
+    pub opts: Options,
+}
+
+/// One cached artifact: the key, the graph it was prepared from (so a
+/// hit can verify the caller is naming the *same* model — see
+/// [`get_or_prepare`](ModelCache::get_or_prepare)) and the prepared
+/// result.
+type CacheEntry = (ModelKey, Arc<Graph>, Arc<PreparedGraph<'static>>);
+
+/// A cache of [`PreparedGraph`]s keyed by [`ModelKey`]. Lookups are
+/// get-or-prepare: the first request for a key pays the compile, every
+/// later one clones an [`Arc`].
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    entries: Mutex<Vec<CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the prepared artifact for `(name, opts)`, compiling
+    /// `graph` on first use. Preparation happens under the cache lock:
+    /// concurrent first requests for the same key never duplicate the
+    /// packing work (they briefly serialize instead, which is the right
+    /// trade for a compile-once cache). Note this serializes *all*
+    /// concurrent prepares, different keys included — registration is a
+    /// startup-time operation here; a service whose multi-model startup
+    /// time matters should prepare graphs concurrently up front
+    /// ([`PreparedGraph::prepare_shared`]) before registering, or this
+    /// cache wants a per-key in-progress marker.
+    ///
+    /// # Errors
+    /// Propagates preparation failures (tiling or packing errors);
+    /// nothing is cached on failure. Rejects
+    /// ([`nm_core::Error::Unsupported`]) a hit whose cached entry was
+    /// prepared from a *different* graph object: the key is the model
+    /// name, so silently serving the old graph's weights to a caller
+    /// holding a new graph of the same name would produce wrong results
+    /// with no error — re-registering a changed model needs a new name
+    /// (or options) instead.
+    pub fn get_or_prepare(
+        &self,
+        name: &str,
+        graph: &Arc<Graph>,
+        opts: &Options,
+    ) -> Result<Arc<PreparedGraph<'static>>> {
+        let mut entries = self.entries.lock().expect("model cache poisoned");
+        if let Some((_, cached_graph, prepared)) = entries
+            .iter()
+            .find(|(key, _, _)| key.name == name && key.opts == *opts)
+        {
+            if !Arc::ptr_eq(cached_graph, graph) {
+                return Err(nm_core::Error::Unsupported(format!(
+                    "model {name:?} is already cached for these options with a \
+                     different graph; register changed models under a new name"
+                )));
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(prepared));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(PreparedGraph::prepare_shared(Arc::clone(graph), opts)?);
+        entries.push((
+            ModelKey {
+                name: name.to_string(),
+                opts: *opts,
+            },
+            Arc::clone(graph),
+            Arc::clone(&prepared),
+        ));
+        Ok(prepared)
+    }
+
+    /// Cached artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("model cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that paid a preparation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_compiler::Target;
+    use nm_core::quant::Requant;
+    use nm_core::FcGeom;
+    use nm_nn::layer::LinearLayer;
+    use nm_nn::rng::XorShift;
+    use nm_nn::GraphBuilder;
+
+    fn tiny_graph() -> Arc<Graph> {
+        let mut b = GraphBuilder::new(&[16]);
+        let layer = LinearLayer::new(
+            FcGeom::new(16, 8).unwrap(),
+            XorShift::new(3).fill_weights(16 * 8, 30),
+            Requant::for_dot_len(16),
+        )
+        .unwrap();
+        let out = b.linear(b.input(), layer).unwrap();
+        Arc::new(b.finish(out).unwrap())
+    }
+
+    #[test]
+    fn same_key_prepares_once_and_shares() {
+        let cache = ModelCache::new();
+        let graph = tiny_graph();
+        let opts = Options::new(Target::DensePulpNn);
+        let a = cache.get_or_prepare("m", &graph, &opts).unwrap();
+        let b = cache.get_or_prepare("m", &graph, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup shares the artifact");
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    /// A hit must name the same graph the entry was prepared from:
+    /// silently serving stale weights to a caller holding a different
+    /// graph of the same name is the one failure mode a name-keyed
+    /// cache must refuse loudly.
+    #[test]
+    fn same_key_different_graph_is_rejected() {
+        let cache = ModelCache::new();
+        let opts = Options::new(Target::DensePulpNn);
+        let v1 = tiny_graph();
+        let v2 = tiny_graph(); // same shape, different object/weights
+        cache.get_or_prepare("m", &v1, &opts).unwrap();
+        let err = cache.get_or_prepare("m", &v2, &opts).unwrap_err();
+        assert!(matches!(err, nm_core::Error::Unsupported(_)), "{err:?}");
+        // The original registration is untouched and still hits.
+        assert!(cache.get_or_prepare("m", &v1, &opts).is_ok());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn options_and_name_are_part_of_the_key() {
+        let cache = ModelCache::new();
+        let graph = tiny_graph();
+        let opts = Options::new(Target::DensePulpNn);
+        let a = cache.get_or_prepare("m", &graph, &opts).unwrap();
+        // Same model, different emulation path: distinct artifact.
+        let mut ref_path = opts;
+        ref_path.bulk_emulation = false;
+        let b = cache.get_or_prepare("m", &graph, &ref_path).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        // Different name, same options: also distinct.
+        let c = cache.get_or_prepare("m2", &graph, &opts).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+    }
+}

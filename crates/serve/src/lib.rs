@@ -1,0 +1,273 @@
+//! # nm-serve
+//!
+//! A batched inference service over pooled, compile-once
+//! [`PreparedGraph`]s — the serving layer the emulation stack feeds:
+//! many requests share one prepared model (weights packed and kernel
+//! programs decoded exactly once per (model, format, options) cache
+//! key), a bounded submission queue applies backpressure by shedding,
+//! and a worker pool coalesces same-model requests into multi-token
+//! batches so Linear tile weights stage once per batch instead of once
+//! per request.
+//!
+//! ```no_run
+//! # use nm_serve::{Service, ServiceConfig};
+//! # use std::sync::Arc;
+//! # fn demo(graph: Arc<nm_nn::graph::Graph>, inputs: Vec<nm_core::Tensor<i8>>) {
+//! let service = Service::start(ServiceConfig::default());
+//! let opts = nm_compiler::Options::new(nm_compiler::Target::SparseIsa);
+//! let model = service.register("mlp", &graph, &opts).unwrap();
+//! let tickets: Vec<_> = inputs
+//!     .into_iter()
+//!     .map(|x| service.submit(model, x).expect("not shed"))
+//!     .collect();
+//! for t in tickets {
+//!     let r = t.wait().unwrap();
+//!     println!("request {}: {} sim cycles", r.id, r.sim_cycles);
+//! }
+//! service.shutdown();
+//! # }
+//! ```
+//!
+//! ## Determinism contract
+//!
+//! Concurrency and batching are **amortizations, never semantic
+//! changes**. For any interleaving of submissions, any worker count,
+//! any batch limit and either emulation path, every request's output
+//! tensor and simulated cycle total ([`InferenceResult::output`],
+//! [`InferenceResult::sim_cycles`]) are bit-identical to running the
+//! same input through a sequential [`PreparedGraph::run`] loop on the
+//! same prepared model. This holds because:
+//!
+//! * requests are independent — a request's result is a pure function
+//!   of (model, options, input), and workers never share mutable
+//!   execution state (scratchpads come from a per-model
+//!   `nm_platform::ScratchpadPool` that resets pads to the fresh state
+//!   on checkin);
+//! * batch coalescing routes through
+//!   [`PreparedGraph::run_batch`], whose multi-token pass runs each
+//!   request as its own sequence of kernel invocations on the shared
+//!   staged weights — kernel cycle counts depend only on geometry and
+//!   weights, and per-request cycles are attributed per token;
+//! * scheduling affects only *wall-clock* quantities, which are
+//!   reported separately ([`InferenceResult::latency`],
+//!   [`InferenceResult::batch_size`]) and carry no simulated meaning.
+//!
+//! The contract is enforced end to end by the repo's differential test
+//! (`tests/tests/serve_parity.rs`): random graphs × random
+//! interleavings × worker counts {1, 2, 3, 8} × batch limits
+//! {1, 4, 16} × both bulk settings, compared request-by-request against
+//! the sequential loop.
+//!
+//! ## Overload and shutdown
+//!
+//! The queue is bounded ([`ServiceConfig::queue_capacity`]); a submit
+//! against a full queue is **shed**: the caller gets
+//! [`SubmitError::Shed`] and the shed is counted in
+//! [`ServiceStats::shed`] — requests are refused loudly, never dropped
+//! after acceptance. [`Service::drain`] waits for the queue and every
+//! in-flight batch; [`Service::shutdown`] (and `Drop`) closes
+//! admissions, drains, joins the workers and leaves the queue provably
+//! empty.
+
+pub mod cache;
+pub mod queue;
+pub mod service;
+
+pub use cache::{ModelCache, ModelKey};
+pub use queue::{BoundedQueue, PushError};
+pub use service::{
+    InferenceResult, ModelId, ServeError, Service, ServiceConfig, ServiceStats, SubmitError, Ticket,
+};
+
+#[allow(unused_imports)] // doc links above resolve through this import
+use nm_compiler::PreparedGraph;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_compiler::{Options, Target};
+    use nm_core::sparsity::Nm;
+    use nm_core::Tensor;
+    use nm_models::mlp_serve_sparse;
+    use nm_nn::rng::XorShift;
+    use std::sync::Arc;
+
+    fn inputs(n: usize, c: usize, seed: u64) -> Vec<Tensor<i8>> {
+        let mut rng = XorShift::new(seed);
+        (0..n)
+            .map(|_| Tensor::from_vec(&[c], rng.fill_weights(c, 50)).unwrap())
+            .collect()
+    }
+
+    /// The crate-level smoke test: a coalescible model served at batch
+    /// limit 4 matches the sequential baseline per request, and the
+    /// batcher actually coalesced something.
+    #[test]
+    fn coalesced_service_matches_sequential_runs() {
+        let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], Nm::ONE_OF_EIGHT, 5).unwrap());
+        let opts = Options::new(Target::SparseIsa);
+        let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
+        let xs = inputs(8, 64, 9);
+        let expected: Vec<_> = xs.iter().map(|x| prepared.run(x).unwrap()).collect();
+
+        let service = Service::start(ServiceConfig {
+            queue_capacity: 16,
+            max_batch: 4,
+            workers: 1,
+        });
+        let model = service.register("mlp", &graph, &opts).unwrap();
+        // Shape the batches deterministically: enqueue the whole wave
+        // while the worker is paused, so the coalescer must see runs of
+        // exactly `max_batch` instead of whatever prefix raced in.
+        service.pause();
+        let tickets: Vec<_> = xs
+            .iter()
+            .map(|x| service.submit(model, x.clone()).unwrap())
+            .collect();
+        service.resume();
+        for (ticket, want) in tickets.into_iter().zip(&expected) {
+            let got = ticket.wait().unwrap();
+            assert_eq!(got.output, want.output);
+            assert_eq!(got.sim_cycles, want.matmul_compute_cycles);
+            assert_eq!(got.batch_size, 4, "8 queued requests over max_batch 4");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.max_coalesced, 4, "coalescing is exact when shaped");
+    }
+
+    #[test]
+    fn full_queue_sheds_and_reports() {
+        let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], Nm::ONE_OF_EIGHT, 5).unwrap());
+        let opts = Options::new(Target::SparseIsa);
+        // One worker, capacity 2: the worker can hold at most one batch
+        // in flight, so pushing many requests at once must shed some.
+        let service = Service::start(ServiceConfig {
+            queue_capacity: 2,
+            max_batch: 1,
+            workers: 1,
+        });
+        let model = service.register("mlp", &graph, &opts).unwrap();
+        let mut accepted = Vec::new();
+        let mut shed = 0u64;
+        for x in inputs(64, 64, 11) {
+            match service.submit(model, x) {
+                Ok(t) => accepted.push(t),
+                Err(SubmitError::Shed { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected submit error {e:?}"),
+            }
+        }
+        let n = accepted.len() as u64;
+        for t in accepted {
+            t.wait().unwrap();
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.shed, shed);
+        assert_eq!(stats.submitted, n);
+        assert_eq!(stats.completed, n);
+        assert_eq!(n + shed, 64, "every request accounted for");
+    }
+
+    #[test]
+    fn submit_validates_model_and_shape() {
+        let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], Nm::ONE_OF_EIGHT, 5).unwrap());
+        let opts = Options::new(Target::SparseIsa);
+        let service = Service::start(ServiceConfig::default());
+        let model = service.register("mlp", &graph, &opts).unwrap();
+        let bad_shape = Tensor::from_vec(&[32], vec![0i8; 32]).unwrap();
+        assert!(matches!(
+            service.submit(model, bad_shape),
+            Err(SubmitError::InvalidInput(_))
+        ));
+        let ok = Tensor::from_vec(&[64], vec![0i8; 64]).unwrap();
+        assert!(matches!(
+            service.submit(ModelId(7), ok),
+            Err(SubmitError::UnknownModel(ModelId(7)))
+        ));
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 0);
+    }
+
+    /// Coalescing keys on the prepared artifact, not the ModelId:
+    /// requests submitted under two ids that alias one cached model
+    /// must still batch together (an id-keyed batcher would silently
+    /// produce size-1 batches for interleaved aliased traffic).
+    #[test]
+    fn aliased_registrations_coalesce_into_one_batch() {
+        let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], Nm::ONE_OF_EIGHT, 5).unwrap());
+        let opts = Options::new(Target::SparseIsa);
+        let service = Service::start(ServiceConfig {
+            queue_capacity: 16,
+            max_batch: 8,
+            workers: 1,
+        });
+        let a = service.register("mlp", &graph, &opts).unwrap();
+        let b = service.register("mlp", &graph, &opts).unwrap();
+        assert_ne!(a, b);
+        service.pause();
+        let tickets: Vec<_> = inputs(8, 64, 23)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let id = if i % 2 == 0 { a } else { b };
+                service.submit(id, x).unwrap()
+            })
+            .collect();
+        service.resume();
+        for t in tickets {
+            let r = t.wait().unwrap();
+            assert_eq!(r.batch_size, 8, "aliased ids must share one batch");
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.max_coalesced, 8);
+    }
+
+    /// Registering the same (name, options) twice shares one prepared
+    /// artifact through the cache; a different options key prepares a
+    /// second one.
+    #[test]
+    fn registration_routes_through_the_model_cache() {
+        let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], Nm::ONE_OF_EIGHT, 5).unwrap());
+        let opts = Options::new(Target::SparseIsa);
+        let service = Service::start(ServiceConfig::default());
+        let a = service.register("mlp", &graph, &opts).unwrap();
+        let b = service.register("mlp", &graph, &opts).unwrap();
+        assert_ne!(a, b, "ids are distinct handles");
+        assert_eq!(service.cache_counters(), (1, 1), "one prepare, one hit");
+        let mut ref_path = opts;
+        ref_path.bulk_emulation = false;
+        service.register("mlp", &graph, &ref_path).unwrap();
+        assert_eq!(service.cache_counters(), (1, 2));
+        assert_eq!(service.model_count(), 3);
+        service.shutdown();
+    }
+
+    /// Dropping the service without an explicit shutdown still performs
+    /// the orderly close-drain-join (no hang, no lost request).
+    #[test]
+    fn drop_is_an_orderly_shutdown() {
+        let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], Nm::ONE_OF_EIGHT, 5).unwrap());
+        let opts = Options::new(Target::SparseIsa);
+        let service = Service::start(ServiceConfig {
+            queue_capacity: 32,
+            max_batch: 4,
+            workers: 2,
+        });
+        let model = service.register("mlp", &graph, &opts).unwrap();
+        let tickets: Vec<_> = inputs(6, 64, 13)
+            .into_iter()
+            .map(|x| service.submit(model, x).unwrap())
+            .collect();
+        drop(service);
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The bounded submission queue: backpressure by shedding, same-key
+//! batch coalescing on the pop side, and an idle/drain protocol.
+//!
+//! The queue is the service's only admission point. Capacity is a hard
+//! bound — a push against a full queue is **shed** (the item is handed
+//! back to the caller, never silently dropped), which is how the service
+//! reports overload instead of buffering without limit. Workers pop
+//! *batches*: the front item plus the consecutive run of items with the
+//! same key (same model), up to a batch limit — the coalescing step that
+//! lets the executor stage a model's tile weights once per batch.
+//!
+//! Drain/shutdown: [`close`] stops admissions while letting workers
+//! finish what is queued (a closed, empty queue returns `None` from
+//! [`pop_batch`], which is the worker exit signal); [`wait_idle`] blocks
+//! until the queue is empty **and** every popped item has been
+//! acknowledged via [`task_done`] — "empty" alone would declare victory
+//! while a worker still holds a batch in flight.
+//!
+//! [`close`]: BoundedQueue::close
+//! [`pop_batch`]: BoundedQueue::pop_batch
+//! [`wait_idle`]: BoundedQueue::wait_idle
+//! [`task_done`]: BoundedQueue::task_done
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected; the item is returned to the caller in both
+/// cases so nothing is silently dropped.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — the request is shed (backpressure).
+    Full(T),
+    /// The queue was closed — the service is shutting down.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// While set, pops block even with items waiting (admissions stay
+    /// open) — the batch-shaping gate behind
+    /// [`BoundedQueue::pause`]/[`resume`](BoundedQueue::resume).
+    paused: bool,
+    /// Items popped by workers but not yet acknowledged done.
+    in_flight: usize,
+}
+
+/// A bounded MPMC queue with shed-on-full admission, coalescing batch
+/// pops and an idle barrier. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    idle: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` waiting items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (every push would shed).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                paused: false,
+                in_flight: 0,
+            }),
+            not_empty: Condvar::new(),
+            idle: Condvar::new(),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, returning the queue depth after the push.
+    ///
+    /// # Errors
+    /// [`PushError::Full`] when the queue is at capacity (the caller
+    /// decides the shed policy) and [`PushError::Closed`] after
+    /// [`close`](Self::close); the item is returned in both cases.
+    pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(state.items.len())
+    }
+
+    /// Blocks until work is available (and the queue is not paused),
+    /// then pops a coalesced batch: the front item plus following items
+    /// while `key` matches the front's, up to `max` items. Returns
+    /// `None` once the queue is closed *and* empty — the worker exit
+    /// signal; a close overrides a pause so shutdown always drains. The
+    /// batch counts as in-flight until [`task_done`](Self::task_done)
+    /// acknowledges it.
+    pub fn pop_batch<K, F>(&self, max: usize, key: F) -> Option<Vec<T>>
+    where
+        F: Fn(&T) -> K,
+        K: PartialEq,
+    {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                if state.items.is_empty() {
+                    return None;
+                }
+                break; // drain on close, paused or not
+            }
+            if !state.paused && !state.items.is_empty() {
+                break;
+            }
+            state = self.not_empty.wait(state).expect("queue mutex poisoned");
+        }
+        let mut batch = Vec::with_capacity(max.clamp(1, state.items.len()));
+        let front = state.items.pop_front().expect("checked non-empty");
+        let k = key(&front);
+        batch.push(front);
+        while batch.len() < max.max(1) {
+            match state.items.front() {
+                Some(next) if key(next) == k => {
+                    let next = state.items.pop_front().expect("front exists");
+                    batch.push(next);
+                }
+                _ => break,
+            }
+        }
+        state.in_flight += batch.len();
+        Some(batch)
+    }
+
+    /// Acknowledges `n` popped items as fully processed; wakes
+    /// [`wait_idle`](Self::wait_idle) waiters when the queue becomes
+    /// idle.
+    pub fn task_done(&self, n: usize) {
+        let mut state = self.lock();
+        state.in_flight = state
+            .in_flight
+            .checked_sub(n)
+            .expect("task_done exceeds in-flight items");
+        if state.items.is_empty() && state.in_flight == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Pauses consumption: pops block even with items waiting, while
+    /// pushes keep landing (up to capacity). The batch-shaping gate —
+    /// enqueue a whole wave, then [`resume`](Self::resume) and the
+    /// coalescing pop sees the entire run of same-key items at once
+    /// instead of whatever scheduling raced in. [`close`](Self::close)
+    /// overrides a pause so shutdown always drains.
+    pub fn pause(&self) {
+        self.lock().paused = true;
+    }
+
+    /// Resumes consumption after [`pause`](Self::pause), waking every
+    /// blocked popper.
+    pub fn resume(&self) {
+        self.lock().paused = false;
+        self.not_empty.notify_all();
+    }
+
+    /// Closes the queue: subsequent pushes fail with
+    /// [`PushError::Closed`], workers drain what is queued and then see
+    /// `None` from [`pop_batch`](Self::pop_batch).
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.idle.notify_all();
+    }
+
+    /// Blocks until the queue is empty and no popped batch is still in
+    /// flight — every accepted item has been *processed*, regardless of
+    /// whether the queue is open, closed, or was closed mid-wait.
+    /// Waiting while [`pause`](Self::pause)d with items queued blocks
+    /// until someone resumes (or closes — a close overrides a pause in
+    /// [`pop_batch`](Self::pop_batch)): idleness means processed, not
+    /// parked.
+    ///
+    /// The guarantee leans on the consumer contract: whoever pops a
+    /// batch must acknowledge it via [`task_done`](Self::task_done) on
+    /// **every** exit path, panics included (the service's worker holds
+    /// a drop guard for exactly this). A consumer that abandons a batch
+    /// without acknowledging leaves `in_flight` stuck and wedges
+    /// waiters — that is a consumer bug, not a state this method can
+    /// distinguish from work in progress.
+    pub fn wait_idle(&self) {
+        let mut state = self.lock();
+        while !(state.items.is_empty() && state.in_flight == 0) {
+            state = self.idle.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Waiting items (excludes in-flight batches).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether no items are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Items popped but not yet acknowledged.
+    pub fn in_flight(&self) -> usize {
+        self.lock().in_flight
+    }
+
+    /// Whether [`close`](Self::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().expect("queue mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_sheds_at_capacity_and_returns_the_item() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(1).unwrap(), 1);
+        assert_eq!(q.push(2).unwrap(), 2);
+        match q.push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_coalesces_consecutive_same_key_items() {
+        let q = BoundedQueue::new(8);
+        for item in [(0, 'a'), (0, 'b'), (1, 'c'), (0, 'd')] {
+            q.push(item).unwrap();
+        }
+        // Front run of model 0, capped by max.
+        let batch = q.pop_batch(4, |&(m, _)| m).unwrap();
+        assert_eq!(batch, vec![(0, 'a'), (0, 'b')]);
+        // The different-key item was not reordered past.
+        let batch = q.pop_batch(4, |&(m, _)| m).unwrap();
+        assert_eq!(batch, vec![(1, 'c')]);
+        let batch = q.pop_batch(1, |&(m, _)| m).unwrap();
+        assert_eq!(batch, vec![(0, 'd')]);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        match q.push(8) {
+            Err(PushError::Closed(item)) => assert_eq!(item, 8),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // Queued work is still handed out after close...
+        assert_eq!(q.pop_batch(4, |_| ()).unwrap(), vec![7]);
+        q.task_done(1);
+        // ...and only then does the queue report exhaustion.
+        assert!(q.pop_batch(4, |_| ()).is_none());
+    }
+
+    #[test]
+    fn wait_idle_accounts_for_in_flight_batches() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(1).unwrap();
+        let batch = q.pop_batch(4, |&k| k).unwrap();
+        assert!(q.is_empty(), "popped everything");
+        assert_eq!(q.in_flight(), 2);
+        std::thread::scope(|scope| {
+            let t = scope.spawn(|| q.wait_idle());
+            // The batch is still in flight; give the waiter a chance to
+            // block, then acknowledge and expect it to wake.
+            std::thread::yield_now();
+            q.task_done(batch.len());
+            t.join().unwrap();
+        });
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    /// Pause parks consumers with items waiting; resume hands the whole
+    /// accumulated run to one coalescing pop — the deterministic
+    /// batch-shaping the service tests and benches rely on.
+    #[test]
+    fn pause_gates_pops_until_resume() {
+        let q = BoundedQueue::new(8);
+        q.pause();
+        for item in [(0, 'a'), (0, 'b'), (0, 'c')] {
+            q.push(item).unwrap();
+        }
+        std::thread::scope(|scope| {
+            let popper = scope.spawn(|| q.pop_batch(8, |&(m, _)| m));
+            // The popper must be parked despite three waiting items;
+            // resume releases the whole run as one batch.
+            std::thread::yield_now();
+            assert_eq!(q.len(), 3, "paused queue kept its items");
+            q.resume();
+            let batch = popper.join().unwrap().unwrap();
+            assert_eq!(batch, vec![(0, 'a'), (0, 'b'), (0, 'c')]);
+        });
+    }
+
+    /// Close overrides pause: shutdown must drain a paused queue.
+    #[test]
+    fn close_drains_even_while_paused() {
+        let q = BoundedQueue::new(4);
+        q.pause();
+        q.push(5).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch(4, |_| ()).unwrap(), vec![5]);
+        q.task_done(1);
+        assert!(q.pop_batch(4, |_| ()).is_none());
+    }
+
+    /// `wait_idle` must NOT return just because the queue closed while
+    /// a healthy batch is still in flight: drain-after-close is the
+    /// natural shutdown sequence, and releasing the drainer early would
+    /// let it read stats mid-batch. Idleness requires the acknowledge.
+    #[test]
+    fn close_does_not_release_wait_idle_while_work_is_in_flight() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        let batch = q.pop_batch(4, |&k: &u32| k).unwrap();
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| q.wait_idle());
+            std::thread::yield_now();
+            q.close();
+            // Closed, but the batch is unacknowledged: the waiter must
+            // still be blocked. Prove it by completing the handshake
+            // and observing the join only succeeds after task_done.
+            std::thread::yield_now();
+            assert_eq!(q.in_flight(), 1);
+            q.task_done(batch.len());
+            waiter.join().unwrap();
+        });
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        let q = BoundedQueue::new(4);
+        std::thread::scope(|scope| {
+            let t = scope.spawn(|| q.pop_batch(4, |&k: &u32| k));
+            std::thread::yield_now();
+            q.push(9).unwrap();
+            assert_eq!(t.join().unwrap().unwrap(), vec![9]);
+        });
+    }
+}

@@ -1,0 +1,629 @@
+//! The batched inference service: model registration, request
+//! submission with backpressure, a coalescing worker pool and the
+//! drain/shutdown protocol. See the crate docs for the determinism
+//! contract.
+
+use crate::cache::ModelCache;
+use crate::queue::{BoundedQueue, PushError};
+use nm_compiler::{Options, PreparedGraph};
+use nm_core::{Error, Tensor};
+use nm_nn::graph::Graph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Handle to a registered model (an index into the service's model
+/// table; stable for the service's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelId(pub usize);
+
+/// Service sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Bound of the submission queue; a submit against a full queue is
+    /// shed ([`SubmitError::Shed`]), never buffered without limit.
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one batch (same model,
+    /// consecutive in the queue). `1` disables coalescing.
+    pub max_batch: usize,
+    /// Worker threads executing batches.
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+            workers: 2,
+        }
+    }
+}
+
+/// Why a submission was rejected. Every rejection is reported to the
+/// caller — the service never accepts a request it will not answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full; the request was shed (backpressure).
+    /// Counted in [`ServiceStats::shed`].
+    Shed {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// The service is shutting down and admits no new work.
+    Closed,
+    /// The input does not match the model's input shape.
+    InvalidInput(String),
+    /// No model is registered under this id.
+    UnknownModel(ModelId),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Shed { capacity } => {
+                write!(f, "request shed: queue at capacity {capacity}")
+            }
+            SubmitError::Closed => write!(f, "service closed"),
+            SubmitError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            SubmitError::UnknownModel(id) => write!(f, "unknown model {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an accepted request did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The emulated execution failed (staging/kernel error).
+    Run(Error),
+    /// The service terminated before executing the request (only
+    /// possible when a worker panicked mid-batch — orderly shutdown
+    /// drains the queue first).
+    Canceled,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Run(e) => write!(f, "execution failed: {e}"),
+            ServeError::Canceled => write!(f, "request canceled before execution"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One fulfilled request.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// The request id ([`Ticket::id`]).
+    pub id: u64,
+    /// The model that served it.
+    pub model: ModelId,
+    /// The network output — bit-identical to a sequential
+    /// [`PreparedGraph::run`] of the same input.
+    pub output: Tensor<i8>,
+    /// Deterministic per-request simulated compute cycles — identical
+    /// to a sequential run's, whatever batch the request rode in.
+    pub sim_cycles: u64,
+    /// Requests coalesced into the batch that served this one
+    /// (informational).
+    pub batch_size: usize,
+    /// Wall-clock submit-to-completion latency (informational,
+    /// host-dependent — the deterministic quantity is `sim_cycles`).
+    pub latency: Duration,
+}
+
+#[derive(Debug, Default)]
+struct TicketSlot {
+    result: Mutex<Option<Result<InferenceResult, ServeError>>>,
+    done: Condvar,
+}
+
+/// The caller's handle to an accepted request; [`wait`](Ticket::wait)
+/// blocks until a worker fulfills it.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    model: ModelId,
+    slot: Arc<TicketSlot>,
+}
+
+impl Ticket {
+    /// The service-assigned request id (unique per service instance).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The model the request targets.
+    pub fn model(&self) -> ModelId {
+        self.model
+    }
+
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    /// [`ServeError::Run`] when execution failed, [`ServeError::Canceled`]
+    /// when the service died before running the request.
+    pub fn wait(self) -> Result<InferenceResult, ServeError> {
+        let mut slot = self.slot.result.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.slot.done.wait(slot).expect("ticket poisoned");
+        }
+    }
+}
+
+/// An accepted request travelling through the queue. Fulfillment is
+/// linear: exactly one of [`fulfill`](Pending::fulfill) or the drop
+/// guard (which reports [`ServeError::Canceled`]) resolves the ticket,
+/// so a waiting caller can never hang on a dropped request.
+#[derive(Debug)]
+struct Pending {
+    id: u64,
+    model: ModelId,
+    input: Tensor<i8>,
+    /// The prepared artifact resolved at submit time. Carrying it here
+    /// (instead of re-resolving `model` in the worker) lets the batcher
+    /// coalesce by *artifact* identity: two [`ModelId`]s aliasing the
+    /// same cached model — re-registrations share one prepared graph —
+    /// still batch together, and the worker needs no model-table lock.
+    prepared: Arc<PreparedGraph<'static>>,
+    slot: Option<Arc<TicketSlot>>,
+    submitted: Instant,
+}
+
+impl Pending {
+    fn fulfill(mut self, result: Result<InferenceResult, ServeError>) {
+        let slot = self.slot.take().expect("fulfilled once");
+        *slot.result.lock().expect("ticket poisoned") = Some(result);
+        slot.done.notify_all();
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            *slot.result.lock().expect("ticket poisoned") = Some(Err(ServeError::Canceled));
+            slot.done.notify_all();
+        }
+    }
+}
+
+/// Monotonic service counters; read them as a consistent snapshot via
+/// [`Service::stats`] after [`Service::drain`] (mid-flight reads are
+/// individually accurate but may straddle a batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests fulfilled with a result.
+    pub completed: u64,
+    /// Requests fulfilled with an execution error.
+    pub failed: u64,
+    /// Requests shed at the full queue (reported to the submitter, see
+    /// [`SubmitError::Shed`]).
+    pub shed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Largest batch coalesced so far.
+    pub max_coalesced: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    max_coalesced: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            failed: self.failed.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            batches: self.batches.load(Ordering::SeqCst),
+            max_coalesced: self.max_coalesced.load(Ordering::SeqCst),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ModelSlot {
+    prepared: Arc<PreparedGraph<'static>>,
+}
+
+#[derive(Debug)]
+struct ServiceInner {
+    config: ServiceConfig,
+    queue: BoundedQueue<Pending>,
+    models: RwLock<Vec<ModelSlot>>,
+    cache: ModelCache,
+    next_id: AtomicU64,
+    stats: AtomicStats,
+}
+
+/// The batched inference service. Construction spawns the worker pool;
+/// [`register`](Service::register) adds models (cached by
+/// (model, format, options)), [`submit`](Service::submit) enqueues
+/// requests, [`shutdown`](Service::shutdown) closes admissions, drains
+/// and joins. Dropping the service performs the same orderly shutdown.
+#[derive(Debug)]
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the worker pool.
+    ///
+    /// # Panics
+    /// Panics on a zero `workers`, `max_batch` or `queue_capacity` —
+    /// all three would deadlock or reject everything.
+    pub fn start(config: ServiceConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.max_batch > 0, "batch limit must be positive");
+        let inner = Arc::new(ServiceInner {
+            config,
+            queue: BoundedQueue::new(config.queue_capacity),
+            models: RwLock::new(Vec::new()),
+            cache: ModelCache::new(),
+            next_id: AtomicU64::new(0),
+            stats: AtomicStats::default(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("nm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Service { inner, workers }
+    }
+
+    /// Registers `graph` under `name` with compilation `opts`, preparing
+    /// it through the service's model cache (a re-registration with the
+    /// same name and options reuses the cached artifact and returns a
+    /// new id aliasing it).
+    ///
+    /// # Errors
+    /// Propagates preparation failures; nothing is registered then.
+    pub fn register(
+        &self,
+        name: &str,
+        graph: &Arc<Graph>,
+        opts: &Options,
+    ) -> Result<ModelId, Error> {
+        let prepared = self.inner.cache.get_or_prepare(name, graph, opts)?;
+        let mut models = self.inner.models.write().expect("model table poisoned");
+        models.push(ModelSlot { prepared });
+        Ok(ModelId(models.len() - 1))
+    }
+
+    /// Submits one inference request, returning a [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    /// See [`SubmitError`]; in particular a full queue sheds the request
+    /// (reported, counted, never silently dropped).
+    pub fn submit(&self, model: ModelId, input: Tensor<i8>) -> Result<Ticket, SubmitError> {
+        let prepared = {
+            let models = self.inner.models.read().expect("model table poisoned");
+            let slot = models
+                .get(model.0)
+                .ok_or(SubmitError::UnknownModel(model))?;
+            Arc::clone(&slot.prepared)
+        };
+        if input.shape() != prepared.graph().input_shape() {
+            return Err(SubmitError::InvalidInput(format!(
+                "input shape {:?} != model input {:?}",
+                input.shape(),
+                prepared.graph().input_shape()
+            )));
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let slot = Arc::new(TicketSlot::default());
+        let pending = Pending {
+            id,
+            model,
+            input,
+            prepared,
+            slot: Some(Arc::clone(&slot)),
+            submitted: Instant::now(),
+        };
+        match self.inner.queue.push(pending) {
+            Ok(_) => {
+                self.inner.stats.submitted.fetch_add(1, Ordering::SeqCst);
+                Ok(Ticket { id, model, slot })
+            }
+            Err(PushError::Full(rejected)) => {
+                // Disarm the drop guard: the caller holds no ticket, so
+                // nothing must be fulfilled — but the shed is counted
+                // and reported, never silent.
+                let mut rejected = rejected;
+                rejected.slot = None;
+                self.inner.stats.shed.fetch_add(1, Ordering::SeqCst);
+                Err(SubmitError::Shed {
+                    capacity: self.inner.config.queue_capacity,
+                })
+            }
+            Err(PushError::Closed(rejected)) => {
+                let mut rejected = rejected;
+                rejected.slot = None;
+                Err(SubmitError::Closed)
+            }
+        }
+    }
+
+    /// Blocks until every accepted request has been fulfilled (queue
+    /// empty, no batch in flight). Admissions stay open.
+    pub fn drain(&self) {
+        self.inner.queue.wait_idle();
+    }
+
+    /// Closes admissions without blocking: subsequent submits fail with
+    /// [`SubmitError::Closed`], already-accepted requests still run to
+    /// completion. The first half of the shutdown protocol, usable from
+    /// any thread holding a shared reference.
+    pub fn close(&self) {
+        self.inner.queue.close();
+    }
+
+    /// Pauses the worker pool: submissions keep landing (up to the
+    /// queue bound) but nothing is popped until [`resume`](Self::resume).
+    /// This is the batch-shaping gate — enqueue a whole wave while
+    /// paused and the coalescer sees the full same-model run at once,
+    /// instead of whatever prefix won the race against the workers.
+    /// Used by the serving benchmarks for comparable waves and by the
+    /// deterministic coalescing tests; also the warm-up pattern for
+    /// accepting traffic while models finish registering.
+    /// [`close`](Self::close)/shutdown override a pause, so a paused
+    /// service still drains and exits cleanly.
+    pub fn pause(&self) {
+        self.inner.queue.pause();
+    }
+
+    /// Resumes a [`pause`](Self::pause)d worker pool.
+    pub fn resume(&self) {
+        self.inner.queue.resume();
+    }
+
+    /// Orderly shutdown: closes admissions, lets the workers drain the
+    /// queue, joins them and returns the final counters. Guaranteed to
+    /// leave the queue empty with nothing in flight.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.close_and_join();
+        let stats = self.inner.stats.snapshot();
+        debug_assert!(self.inner.queue.is_empty());
+        debug_assert_eq!(self.inner.queue.in_flight(), 0);
+        stats
+    }
+
+    /// Current counters (see [`ServiceStats`] for read-consistency
+    /// caveats while requests are in flight).
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Models registered.
+    pub fn model_count(&self) -> usize {
+        self.inner
+            .models
+            .read()
+            .expect("model table poisoned")
+            .len()
+    }
+
+    /// Waiting requests (excludes batches already handed to workers).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// Prepared-artifact cache hit/miss counters, keyed by
+    /// (model, format, options).
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (self.inner.cache.hits(), self.inner.cache.misses())
+    }
+
+    fn close_and_join(&mut self) {
+        self.inner.queue.close();
+        for handle in self.workers.drain(..) {
+            // A panicked worker poisoned nothing global (tickets it
+            // held are canceled by the Pending drop guard); surface the
+            // panic to the caller — unless we are already unwinding
+            // (Drop during a panic), where a second panic would abort
+            // the process and eat the original message.
+            if let Err(panic) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// Acknowledges a popped batch on every exit path — panics included.
+/// [`BoundedQueue::wait_idle`]'s drain guarantee assumes `task_done`
+/// always runs for popped items; without this guard, a panicking worker
+/// would leave `in_flight` stuck and wedge every drainer (its tickets
+/// are canceled separately by the [`Pending`] drop guard).
+struct AckOnDrop<'a> {
+    queue: &'a BoundedQueue<Pending>,
+    n: usize,
+}
+
+impl Drop for AckOnDrop<'_> {
+    fn drop(&mut self) {
+        self.queue.task_done(self.n);
+    }
+}
+
+/// Fails the service loudly when a worker dies: a panicking worker is a
+/// dead consumer, and requests still queued behind it would otherwise
+/// wait on nobody — [`Ticket::wait`] and [`Service::drain`] would hang
+/// until something dropped the service. On panic this guard closes
+/// admissions and cancels everything queued (each dropped [`Pending`]
+/// fulfills its ticket with [`ServeError::Canceled`]), so every waiter
+/// unblocks immediately; the panic itself still resurfaces at
+/// shutdown/Drop via the join. A worker panic means an internal
+/// invariant broke — failing the whole service beats half-serving.
+struct PoisonOnPanic<'a> {
+    queue: &'a BoundedQueue<Pending>,
+}
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            cancel_queued(self.queue);
+        }
+    }
+}
+
+/// Closes `queue` and cancels every request still in it (their
+/// [`Pending`] drop guards resolve the tickets `Canceled`), leaving the
+/// queue closed, empty and — once live batches acknowledge — idle.
+fn cancel_queued(queue: &BoundedQueue<Pending>) {
+    queue.close();
+    // All items share the unit key, so each pop drains a maximal run;
+    // the loop ends when the closed queue reports empty.
+    while let Some(batch) = queue.pop_batch(usize::MAX, |_| ()) {
+        let n = batch.len();
+        drop(batch);
+        queue.task_done(n);
+    }
+}
+
+/// The worker loop: pop a coalesced same-model batch, execute it
+/// through the shared [`PreparedGraph`] (multi-token pass when the model
+/// allows it), fulfill every ticket, acknowledge the batch.
+fn worker_loop(inner: &ServiceInner) {
+    let _poison = PoisonOnPanic {
+        queue: &inner.queue,
+    };
+    // Coalescing keys on the prepared *artifact*, not the ModelId:
+    // aliased registrations of one cached model batch together.
+    while let Some(batch) = inner
+        .queue
+        .pop_batch(inner.config.max_batch, |p: &Pending| {
+            Arc::as_ptr(&p.prepared)
+        })
+    {
+        let n = batch.len();
+        let ack = AckOnDrop {
+            queue: &inner.queue,
+            n,
+        };
+        inner.stats.batches.fetch_add(1, Ordering::SeqCst);
+        inner
+            .stats
+            .max_coalesced
+            .fetch_max(n as u64, Ordering::SeqCst);
+        let prepared = Arc::clone(&batch[0].prepared);
+        let inputs: Vec<&Tensor<i8>> = batch.iter().map(|p| &p.input).collect();
+        match prepared.run_batch(&inputs) {
+            Ok(runs) => {
+                for (pending, run) in batch.into_iter().zip(runs) {
+                    inner.stats.completed.fetch_add(1, Ordering::SeqCst);
+                    let result = InferenceResult {
+                        id: pending.id,
+                        model: pending.model,
+                        output: run.output,
+                        sim_cycles: run.matmul_compute_cycles,
+                        batch_size: n,
+                        latency: pending.submitted.elapsed(),
+                    };
+                    pending.fulfill(Ok(result));
+                }
+            }
+            Err(e) => {
+                // Submit-time shape validation leaves staging/kernel
+                // errors as the only failures here; every rider of the
+                // batch learns about it.
+                for pending in batch {
+                    inner.stats.failed.fetch_add(1, Ordering::SeqCst);
+                    pending.fulfill(Err(ServeError::Run(e.clone())));
+                }
+            }
+        }
+        drop(ack); // acknowledge the batch (also runs if the above panics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_compiler::Target;
+    use nm_core::quant::Requant;
+    use nm_core::FcGeom;
+    use nm_nn::layer::LinearLayer;
+    use nm_nn::rng::XorShift;
+    use nm_nn::GraphBuilder;
+
+    fn tiny_prepared() -> Arc<PreparedGraph<'static>> {
+        let mut b = GraphBuilder::new(&[16]);
+        let layer = LinearLayer::new(
+            FcGeom::new(16, 8).unwrap(),
+            XorShift::new(3).fill_weights(16 * 8, 30),
+            Requant::for_dot_len(16),
+        )
+        .unwrap();
+        let out = b.linear(b.input(), layer).unwrap();
+        let graph = Arc::new(b.finish(out).unwrap());
+        let opts = Options::new(Target::DensePulpNn);
+        Arc::new(PreparedGraph::prepare_shared(graph, &opts).unwrap())
+    }
+
+    /// The dead-consumer recovery path ([`PoisonOnPanic`] →
+    /// [`cancel_queued`]): queued requests are canceled — their waiters
+    /// unblock with [`ServeError::Canceled`] instead of hanging — and
+    /// the queue ends closed, empty and drainable.
+    #[test]
+    fn cancel_queued_unblocks_waiters_with_canceled() {
+        let prepared = tiny_prepared();
+        let queue: BoundedQueue<Pending> = BoundedQueue::new(4);
+        let slot = Arc::new(TicketSlot::default());
+        let ticket = Ticket {
+            id: 7,
+            model: ModelId(0),
+            slot: Arc::clone(&slot),
+        };
+        assert!(
+            queue
+                .push(Pending {
+                    id: 7,
+                    model: ModelId(0),
+                    input: Tensor::from_vec(&[16], vec![0i8; 16]).unwrap(),
+                    prepared,
+                    slot: Some(slot),
+                    submitted: Instant::now(),
+                })
+                .is_ok(),
+            "queue admits the request"
+        );
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(move || ticket.wait());
+            cancel_queued(&queue);
+            assert!(matches!(waiter.join().unwrap(), Err(ServeError::Canceled)));
+        });
+        assert!(queue.is_closed());
+        assert!(queue.is_empty());
+        queue.wait_idle(); // nothing in flight: returns immediately
+    }
+}

@@ -1,0 +1,260 @@
+//! Differential property tests for the batched inference service: for
+//! any request interleaving, worker count, batch limit and emulation
+//! path, every request's output and simulated cycle total through
+//! `nm_serve::Service` must be bit-identical to a sequential
+//! `PreparedGraph::run` loop over the same requests — the determinism
+//! contract documented at the top of `nm-serve`.
+
+use nm_compiler::{Options, PreparedGraph, Target};
+use nm_core::quant::Requant;
+use nm_core::sparsity::Nm;
+use nm_core::{FcGeom, Tensor};
+use nm_integration::{make_exact_nm, random_i8, sparse_conv_fc_graph};
+use nm_models::mlp_serve_sparse;
+use nm_nn::graph::Graph;
+use nm_nn::layer::LinearLayer;
+use nm_nn::rng::XorShift;
+use nm_nn::GraphBuilder;
+use nm_serve::{Service, ServiceConfig};
+use std::sync::Arc;
+
+/// A small conv+fc graph — **not** token-batchable, so the service's
+/// batch path must fall back to the sequential per-request loop.
+fn conv_fc_graph(nm: Nm) -> Arc<Graph> {
+    Arc::new(sparse_conv_fc_graph(10, 6, nm, 3))
+}
+
+/// A token-batchable sparse MLP — the coalescing path's subject.
+fn mlp_graph(nm: Nm) -> Arc<Graph> {
+    Arc::new(mlp_serve_sparse(&[64, 48, 32], nm, 5).unwrap())
+}
+
+fn random_inputs(shape: &[usize], n: usize, seed: u64) -> Vec<Tensor<i8>> {
+    let elems: usize = shape.iter().product();
+    let mut rng = XorShift::new(seed);
+    (0..n)
+        .map(|_| Tensor::from_vec(shape, rng.fill_weights(elems, 50)).unwrap())
+        .collect()
+}
+
+/// A deterministic pseudo-random interleaving of `counts.len()` request
+/// streams: returns a sequence of model indices, each appearing exactly
+/// `counts[i]` times, shuffled by `seed`.
+fn interleaving(counts: &[usize], seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .flat_map(|(m, &n)| std::iter::repeat_n(m, n))
+        .collect();
+    let mut rng = XorShift::new(seed);
+    // Fisher–Yates with the test RNG.
+    for i in (1..order.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// The full differential sweep: two models (one coalescible, one not)
+/// served concurrently under every worker count / batch limit / bulk
+/// setting combination, with a different pseudo-random interleaving per
+/// configuration, compared request-by-request against sequential
+/// `PreparedGraph::run` baselines.
+#[test]
+fn service_matches_sequential_runs_for_any_configuration() {
+    let nm = Nm::ONE_OF_EIGHT;
+    let graphs = [mlp_graph(nm), conv_fc_graph(nm)];
+    let per_model = 8;
+    for bulk in [true, false] {
+        let mut opts = Options::new(Target::SparseIsa);
+        opts.bulk_emulation = bulk;
+        // Sequential ground truth, one prepared model per graph.
+        let inputs: Vec<Vec<Tensor<i8>>> = graphs
+            .iter()
+            .enumerate()
+            .map(|(m, g)| random_inputs(g.input_shape(), per_model, 100 + m as u64))
+            .collect();
+        let expected: Vec<Vec<_>> = graphs
+            .iter()
+            .zip(&inputs)
+            .map(|(g, xs)| {
+                let prepared = PreparedGraph::prepare(g, &opts).unwrap();
+                xs.iter().map(|x| prepared.run(x).unwrap()).collect()
+            })
+            .collect();
+
+        for workers in [1, 2, 3, 8] {
+            for max_batch in [1, 4, 16] {
+                let service = Service::start(ServiceConfig {
+                    queue_capacity: 2 * graphs.len() * per_model,
+                    max_batch,
+                    workers,
+                });
+                let ids: Vec<_> = graphs
+                    .iter()
+                    .enumerate()
+                    .map(|(m, g)| service.register(&format!("model-{m}"), g, &opts).unwrap())
+                    .collect();
+                // A configuration-specific interleaving of the two
+                // request streams.
+                let seed = 1000 + workers as u64 * 100 + max_batch as u64 * 10 + u64::from(bulk);
+                let mut next = vec![0usize; graphs.len()];
+                let mut tickets = Vec::new();
+                for m in interleaving(&[per_model; 2], seed) {
+                    let x = inputs[m][next[m]].clone();
+                    tickets.push((m, next[m], service.submit(ids[m], x).unwrap()));
+                    next[m] += 1;
+                }
+                for (m, i, ticket) in tickets {
+                    let got = ticket.wait().unwrap();
+                    let want = &expected[m][i];
+                    assert_eq!(
+                        got.output, want.output,
+                        "output diverged: model {m} req {i} workers={workers} \
+                         max_batch={max_batch} bulk={bulk}"
+                    );
+                    assert_eq!(
+                        got.sim_cycles, want.matmul_compute_cycles,
+                        "cycles diverged: model {m} req {i} workers={workers} \
+                         max_batch={max_batch} bulk={bulk}"
+                    );
+                }
+                let stats = service.shutdown();
+                assert_eq!(stats.completed, (graphs.len() * per_model) as u64);
+                assert_eq!(stats.shed, 0, "queue was sized to admit everything");
+            }
+        }
+    }
+}
+
+/// The coalesced multi-token path with K-tiling forced (small L1
+/// budget): batched execution through the service must still match the
+/// sequential loop exactly — this is the configuration where weights
+/// genuinely stage once per batch across several K-tiles.
+#[test]
+fn coalesced_k_tiled_mlp_matches_sequential() {
+    let nm = Nm::ONE_OF_EIGHT;
+    let graph = mlp_graph(nm);
+    for bulk in [true, false] {
+        let mut opts = Options::new(Target::SparseIsa);
+        opts.bulk_emulation = bulk;
+        opts.l1_budget = 512; // forces K-tiling of every layer
+        let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
+        assert!(prepared.token_batchable());
+        let xs = random_inputs(graph.input_shape(), 16, 33);
+        let expected: Vec<_> = xs.iter().map(|x| prepared.run(x).unwrap()).collect();
+
+        let service = Service::start(ServiceConfig {
+            queue_capacity: 32,
+            max_batch: 16,
+            workers: 1,
+        });
+        let model = service.register("mlp-ktiled", &graph, &opts).unwrap();
+        // Deterministic batch shaping: the paused queue accumulates the
+        // whole wave, so resuming hands the worker exactly one
+        // 16-request batch — the configuration where tile weights stage
+        // once for all sixteen requests.
+        service.pause();
+        let tickets: Vec<_> = xs
+            .iter()
+            .map(|x| service.submit(model, x.clone()).unwrap())
+            .collect();
+        service.resume();
+        for (ticket, want) in tickets.into_iter().zip(&expected) {
+            let got = ticket.wait().unwrap();
+            assert_eq!(got.output, want.output, "bulk={bulk}");
+            assert_eq!(got.sim_cycles, want.matmul_compute_cycles, "bulk={bulk}");
+            assert_eq!(got.batch_size, 16, "bulk={bulk}: one full coalesced batch");
+        }
+        service.shutdown();
+    }
+}
+
+/// `run_batch` itself (no service): the batched entry point must equal
+/// per-request `run` calls for both a coalescible and a fallback graph,
+/// and reject shape mismatches atomically.
+#[test]
+fn run_batch_matches_individual_runs() {
+    let nm = Nm::ONE_OF_EIGHT;
+    for (graph, batchable) in [(mlp_graph(nm), true), (conv_fc_graph(nm), false)] {
+        let opts = Options::new(Target::SparseIsa);
+        let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
+        assert_eq!(prepared.token_batchable(), batchable);
+        let xs = random_inputs(graph.input_shape(), 5, 77);
+        let refs: Vec<&Tensor<i8>> = xs.iter().collect();
+        let batched = prepared.run_batch(&refs).unwrap();
+        assert_eq!(batched.len(), xs.len());
+        for (x, b) in xs.iter().zip(&batched) {
+            let solo = prepared.run(x).unwrap();
+            assert_eq!(b.output, solo.output, "batchable={batchable}");
+            assert_eq!(
+                b.matmul_compute_cycles, solo.matmul_compute_cycles,
+                "batchable={batchable}"
+            );
+        }
+        // A wrong-shaped rider poisons the whole batch up front.
+        let bad = Tensor::from_vec(&[3], vec![0i8; 3]).unwrap();
+        let mut with_bad = refs.clone();
+        with_bad.push(&bad);
+        assert!(prepared.run_batch(&with_bad).is_err());
+    }
+}
+
+/// Coalescing requires a *chain*, not just whitelisted ops: a graph of
+/// pure Linear nodes that is a DAG (here: two linears both reading the
+/// input node, one of them dead) must take the per-request fallback —
+/// the stacked multi-token sweep threads values sequentially and would
+/// silently compute the wrong function on such a graph.
+#[test]
+fn linear_dag_is_not_coalesced_but_still_batches_correctly() {
+    let nm = Nm::ONE_OF_EIGHT;
+    let (c, k) = (64, 32);
+    let mut w1 = random_i8(k * c, 41);
+    make_exact_nm(&mut w1, k, c, nm);
+    let l1 = LinearLayer::new(FcGeom::new(c, k).unwrap(), w1, Requant::for_dot_len(c)).unwrap();
+    let mut w2 = random_i8(k * c, 43);
+    make_exact_nm(&mut w2, k, c, nm);
+    let l2 = LinearLayer::new(FcGeom::new(c, k).unwrap(), w2, Requant::for_dot_len(c)).unwrap();
+    let mut b = GraphBuilder::new(&[c]);
+    let _dead = b.linear(b.input(), l1).unwrap();
+    let out = b.linear(b.input(), l2).unwrap();
+    let graph = b.finish(out).unwrap();
+    let opts = Options::new(Target::SparseIsa);
+    let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
+    assert!(
+        !prepared.token_batchable(),
+        "a non-chain Linear DAG must not be coalesced"
+    );
+    let xs = random_inputs(&[c], 4, 47);
+    let refs: Vec<&Tensor<i8>> = xs.iter().collect();
+    for (x, run) in xs.iter().zip(prepared.run_batch(&refs).unwrap()) {
+        let solo = prepared.run(x).unwrap();
+        assert_eq!(run.output, solo.output);
+        assert_eq!(run.matmul_compute_cycles, solo.matmul_compute_cycles);
+    }
+}
+
+/// Shared prepared models: `prepare_shared` hands out a `'static`
+/// artifact that multiple threads can run concurrently with sequential
+/// results (the primitive under the service's worker pool).
+#[test]
+fn shared_prepared_graph_is_concurrently_reusable() {
+    let nm = Nm::ONE_OF_EIGHT;
+    let graph = mlp_graph(nm);
+    let opts = Options::new(Target::SparseIsa);
+    let prepared = Arc::new(PreparedGraph::prepare_shared(Arc::clone(&graph), &opts).unwrap());
+    let xs = random_inputs(graph.input_shape(), 6, 55);
+    let expected: Vec<_> = xs.iter().map(|x| prepared.run(x).unwrap()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let (prepared, xs, expected) = (Arc::clone(&prepared), &xs, &expected);
+            scope.spawn(move || {
+                for (x, want) in xs.iter().zip(expected) {
+                    let got = prepared.run(x).unwrap();
+                    assert_eq!(got.output, want.output);
+                    assert_eq!(got.matmul_compute_cycles, want.matmul_compute_cycles);
+                }
+            });
+        }
+    });
+}
