@@ -46,9 +46,11 @@ use nm_models::vit::vit_tiny_sparse_for_tests;
 use nm_nn::graph::Graph;
 use nm_nn::rng::XorShift;
 use nm_platform::{Cluster, Scratchpad};
-use nm_serve::{Service, ServiceConfig};
+use nm_serve::{FaultPlan, ServeError, Service, ServiceConfig};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which execution path a measurement exercised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -426,6 +428,18 @@ fn time_network(rows: &mut Vec<EngineRow>, name: &str, graph: &Graph, target: Ta
     }
 }
 
+/// The serving rows' chaos knobs: `Some((seed, faults))` when
+/// `NM_SERVE_CHAOS_SEED` is set (spec count from
+/// `NM_SERVE_CHAOS_FAULTS`, default 4) — see [`time_serve`].
+fn serve_chaos_env() -> Option<(u64, usize)> {
+    let seed = std::env::var("NM_SERVE_CHAOS_SEED").ok()?.parse().ok()?;
+    let faults = std::env::var("NM_SERVE_CHAOS_FAULTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    Some((seed, faults))
+}
+
 /// Times the batched inference service end to end (`nm-serve`): per
 /// rep, one *wave* of [`SERVE_REQUESTS`] requests with distinct inputs
 /// is submitted to a single-worker service and fully drained. What is
@@ -443,6 +457,17 @@ fn time_network(rows: &mut Vec<EngineRow>, name: &str, graph: &Graph, target: Ta
 /// batch sizes (asserted by the engine tests). Requests/sec for a row
 /// is `SERVE_REQUESTS * sim_macs_per_sec / dense_macs` — `dense_macs`
 /// is per wave, so dividing by it alone gives waves/sec.
+///
+/// **Chaos mode.** Setting `NM_SERVE_CHAOS_SEED=<u64>` arms a seeded
+/// [`FaultPlan`] (`NM_SERVE_CHAOS_FAULTS` specs, default 4) in every
+/// serving row's service, plus an already-expired deadline on every 8th
+/// request — a fault-tolerance soak over the real benchmark workloads
+/// rather than a measurement. The run asserts the shed/failure
+/// accounting reconciles and prints a per-row `[chaos]` summary to
+/// stderr. **Rows produced under chaos are not perf-comparable** (sheds
+/// and re-runs change the work done); never refresh the snapshot or
+/// feed the perf gate from a chaos run. See `crates/bench/README.md`
+/// for the knobs and how seeds are chosen.
 fn time_serve(
     rows: &mut Vec<EngineRow>,
     name: &str,
@@ -458,20 +483,44 @@ fn time_serve(
         .map(|_| Tensor::from_vec(&shape, rng.fill_weights(elems, 50)).unwrap())
         .collect();
     let dense_macs = (graph.dense_macs() * SERVE_REQUESTS) as u64;
+    let chaos = serve_chaos_env();
     for path in [Path::Reference, Path::Bulk] {
         let mut opts = Options::new(target);
         opts.bulk_emulation = path == Path::Bulk;
         opts.host_threads = 1;
+        let plan = chaos.map(|(seed, n)| Arc::new(FaultPlan::seeded(seed, n)));
         let service = Service::start(ServiceConfig {
             // Sized for one wave: at most SERVE_REQUESTS are ever
             // outstanding, so nothing is shed out of the measurement.
             queue_capacity: SERVE_REQUESTS,
             max_batch,
             workers: 1,
+            // The soak must survive even a plan whose every spec kills
+            // a worker: budget comfortably above the fault count.
+            restart_budget: chaos.map_or(8, |(_, n)| n as u32 + 4),
+            fault_plan: plan.clone(),
+            ..ServiceConfig::default()
         });
-        let model = service
-            .register(name, graph, &opts)
-            .expect("model prepares");
+        let model = {
+            // Under chaos, registration may absorb injected prepare /
+            // cache-insert faults (errors or panics) — retry until the
+            // armed registration specs are spent.
+            let attempts = chaos.map_or(1, |(_, n)| n + 2);
+            let mut model = None;
+            for _ in 0..attempts {
+                match catch_unwind(AssertUnwindSafe(|| service.register(name, graph, &opts))) {
+                    Ok(Ok(id)) => {
+                        model = Some(id);
+                        break;
+                    }
+                    Ok(Err(e)) => assert!(chaos.is_some(), "model prepares: {e:?}"),
+                    Err(_) => assert!(chaos.is_some(), "model preparation panicked"),
+                }
+            }
+            model.expect("model registers within the chaos retry budget")
+        };
+        let failed = Cell::new(0u64);
+        let expired = Cell::new(0u64);
         let wave = || -> u64 {
             // Pause/resume shapes every wave identically: all 16
             // requests are queued before the worker consumes, so the
@@ -481,16 +530,33 @@ fn time_serve(
             service.pause();
             let tickets: Vec<_> = inputs
                 .iter()
-                .map(|x| {
-                    service
-                        .submit(model, x.clone())
-                        .expect("queue fits the wave")
+                .enumerate()
+                .filter_map(|(i, x)| {
+                    let deadline = (chaos.is_some() && i % 8 == 7).then(Instant::now);
+                    match service.submit_with_deadline(model, x.clone(), deadline) {
+                        Ok(t) => Some(t),
+                        Err(e) => {
+                            assert!(chaos.is_some(), "queue fits the wave: {e:?}");
+                            None
+                        }
+                    }
                 })
                 .collect();
             service.resume();
             tickets
                 .into_iter()
-                .map(|t| t.wait().expect("request completes").sim_cycles)
+                .map(|t| match t.wait_timeout(Duration::from_secs(60)) {
+                    Ok(r) => r.sim_cycles,
+                    Err(ServeError::DeadlineExceeded) => {
+                        expired.set(expired.get() + 1);
+                        0
+                    }
+                    Err(e) => {
+                        assert!(chaos.is_some(), "request completes: {e:?}");
+                        failed.set(failed.get() + 1);
+                        0
+                    }
+                })
                 .sum()
         };
         // One warm-up wave, also the source of the cycle total.
@@ -500,7 +566,29 @@ fn time_serve(
             std::hint::black_box(wave());
         }
         let wall_s = t.elapsed().as_secs_f64();
-        service.shutdown();
+        let stats = service.shutdown();
+        if let Some((seed, n)) = chaos {
+            let fired = plan.as_ref().map_or(0, |p| p.fired());
+            eprintln!(
+                "[chaos] {name} {path:?}: seed={seed} armed={n} fired={fired} \
+                 submitted={} completed={} failed={} shed_expired={} shed_canceled={} \
+                 worker_panics={} restarts={} waiter_expired={} waiter_failed={}",
+                stats.submitted,
+                stats.completed,
+                stats.failed,
+                stats.shed_expired,
+                stats.shed_canceled,
+                stats.worker_panics,
+                stats.restarts,
+                expired.get(),
+                failed.get(),
+            );
+            assert_eq!(
+                stats.completed + stats.failed + stats.shed_expired + stats.shed_canceled,
+                stats.submitted,
+                "chaos accounting reconciles for {name} {path:?}"
+            );
+        }
         rows.push(EngineRow {
             kernel: name.to_string(),
             path,

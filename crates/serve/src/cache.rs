@@ -11,11 +11,12 @@
 //! like a deployment serving the same network in several formats for
 //! comparison.
 
+use crate::fault::{FaultAction, FaultPlan, FaultPoint};
 use nm_compiler::{Options, PreparedGraph};
 use nm_core::Result;
 use nm_nn::graph::Graph;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The cache key: model name plus the complete compilation options
 /// (target format, L1 budget, cost model, emulation path, threads).
@@ -41,12 +42,24 @@ pub struct ModelCache {
     entries: Mutex<Vec<CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Deterministic fault injection ([`FaultPoint::Prepare`],
+    /// [`FaultPoint::CacheInsert`]); `None` in production.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ModelCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache consulting `faults` at the `prepare` and
+    /// `cache_insert` injection points (see [`crate::fault`]).
+    pub fn with_faults(faults: Option<Arc<FaultPlan>>) -> Self {
+        ModelCache {
+            faults,
+            ..Self::default()
+        }
     }
 
     /// Returns the prepared artifact for `(name, opts)`, compiling
@@ -61,21 +74,41 @@ impl ModelCache {
     /// cache wants a per-key in-progress marker.
     ///
     /// # Errors
-    /// Propagates preparation failures (tiling or packing errors);
-    /// nothing is cached on failure. Rejects
+    /// Propagates preparation failures (tiling or packing errors, e.g.
+    /// [`nm_core::Error::OutOfMemory`] for a model whose minimum tile
+    /// exceeds the L1 budget); nothing is cached on failure and the
+    /// cache stays fully usable for subsequent models. Rejects
     /// ([`nm_core::Error::Unsupported`]) a hit whose cached entry was
     /// prepared from a *different* graph object: the key is the model
     /// name, so silently serving the old graph's weights to a caller
     /// holding a new graph of the same name would produce wrong results
     /// with no error — re-registering a changed model needs a new name
     /// (or options) instead.
+    ///
+    /// A preparation that *panics* (injected or real) unwinds into the
+    /// caller with the entries lock poisoned but the entry list
+    /// untouched — later lookups recover the lock and proceed, so one
+    /// catastrophic model cannot wedge the cache.
     pub fn get_or_prepare(
         &self,
         name: &str,
         graph: &Arc<Graph>,
         opts: &Options,
     ) -> Result<Arc<PreparedGraph<'static>>> {
-        let mut entries = self.entries.lock().expect("model cache poisoned");
+        if let Some(plan) = &self.faults {
+            match plan.check(FaultPoint::Prepare) {
+                Some(FaultAction::Error) => {
+                    return Err(nm_core::Error::Unsupported(
+                        "injected fault: prepare".to_string(),
+                    ));
+                }
+                Some(_) => panic!("injected fault: prepare"),
+                None => {}
+            }
+        }
+        // Mutations are single pushes after a successful prepare, so a
+        // poisoned lock (a panic under it) left the list consistent.
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some((_, cached_graph, prepared)) = entries
             .iter()
             .find(|(key, _, _)| key.name == name && key.opts == *opts)
@@ -91,6 +124,19 @@ impl ModelCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let prepared = Arc::new(PreparedGraph::prepare_shared(Arc::clone(graph), opts)?);
+        if let Some(plan) = &self.faults {
+            match plan.check(FaultPoint::CacheInsert) {
+                Some(FaultAction::Error) => {
+                    // Nothing is cached; the (successful) preparation is
+                    // discarded, exactly like any other insert failure.
+                    return Err(nm_core::Error::Unsupported(
+                        "injected fault: cache_insert".to_string(),
+                    ));
+                }
+                Some(_) => panic!("injected fault: cache_insert"),
+                None => {}
+            }
+        }
         entries.push((
             ModelKey {
                 name: name.to_string(),
@@ -104,7 +150,10 @@ impl ModelCache {
 
     /// Cached artifacts.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("model cache poisoned").len()
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the cache is empty.
@@ -191,5 +240,53 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.misses(), 3);
+    }
+
+    /// Injected prepare/cache_insert errors fail only their own
+    /// registration; the cache serves later (and earlier) models
+    /// untouched.
+    #[test]
+    fn injected_registration_faults_do_not_wedge_the_cache() {
+        let plan = Arc::new(
+            FaultPlan::new()
+                .fail_nth(FaultPoint::Prepare, 1, FaultAction::Error)
+                .fail_nth(FaultPoint::CacheInsert, 1, FaultAction::Error),
+        );
+        let cache = ModelCache::with_faults(Some(Arc::clone(&plan)));
+        let graph = tiny_graph();
+        let opts = Options::new(Target::DensePulpNn);
+        cache.get_or_prepare("a", &graph, &opts).unwrap();
+        // Occurrence 1 of prepare: injected error, nothing cached.
+        let err = cache.get_or_prepare("b", &graph, &opts).unwrap_err();
+        assert!(matches!(err, nm_core::Error::Unsupported(_)), "{err:?}");
+        // Occurrence 1 of cache_insert (miss #2): prepared but the
+        // insert fails — still nothing cached, still an error.
+        let err = cache.get_or_prepare("b", &graph, &opts).unwrap_err();
+        assert!(matches!(err, nm_core::Error::Unsupported(_)), "{err:?}");
+        // Third try: both one-shot faults are spent; everything works.
+        cache.get_or_prepare("b", &graph, &opts).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(plan.fired(), 2);
+    }
+
+    /// A *panicking* preparation poisons the entries lock in the
+    /// registering thread; the next registration must recover and
+    /// proceed instead of cascading the panic — a poisoned lock
+    /// degrades the one request, not the cache.
+    #[test]
+    fn prepare_panic_poisons_nothing_durable() {
+        let plan = Arc::new(FaultPlan::new().fail_nth(FaultPoint::Prepare, 0, FaultAction::Panic));
+        let cache = ModelCache::with_faults(Some(plan));
+        let graph = tiny_graph();
+        let opts = Options::new(Target::DensePulpNn);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_prepare("doomed", &graph, &opts)
+        }));
+        assert!(unwound.is_err(), "the injected panic reaches the caller");
+        // The cache recovered: the next registration prepares and hits.
+        let a = cache.get_or_prepare("good", &graph, &opts).unwrap();
+        let b = cache.get_or_prepare("good", &graph, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -1,0 +1,286 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! Chaos testing a concurrent service with timers or random chance
+//! produces unreproducible failures; this module replaces both with a
+//! **counted occurrence** model. Each instrumented site in the service
+//! is a named [`FaultPoint`]; every time execution reaches a point the
+//! plan's per-point occurrence counter is advanced atomically, and an
+//! armed spec fires when its point reaches its configured occurrence
+//! index. A spec fires **exactly once** ([`FaultPlan::fired`] counts
+//! them), so a fault plan describes a finite, enumerable set of
+//! injected failures: the *n*-th event to reach a point fails, whatever
+//! wall-clock schedule the threads happened to run — which thread or
+//! request absorbs the fault may vary with scheduling, but the number
+//! and kind of injected failures never does, and every downstream
+//! accounting invariant can therefore be asserted exactly.
+//!
+//! Plans are built explicitly ([`FaultPlan::fail_nth`]) when a test
+//! pins a precise scenario, or derived from a seed
+//! ([`FaultPlan::seeded`]) when a chaos sweep wants many distinct but
+//! reproducible fault mixes — same seed, same plan, bit for bit.
+//!
+//! The plan is threaded through
+//! [`ServiceConfig::fault_plan`](crate::ServiceConfig) and consulted by
+//! the model cache (`prepare`, `cache_insert`), the worker loop
+//! (`batch_run`) and the supervisor (`worker_spawn`). A `None` plan
+//! costs nothing on the hot path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A named injection site in the serving stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// Entry of [`ModelCache::get_or_prepare`](crate::ModelCache::get_or_prepare):
+    /// one occurrence per registration lookup, hit or miss.
+    Prepare,
+    /// The worker's batch execution: one occurrence per popped batch,
+    /// plus one per individual re-run after a batch-level panic (so a
+    /// spec can deterministically target the isolation retry path).
+    BatchRun,
+    /// The cache insert after a successful preparation.
+    CacheInsert,
+    /// Worker thread startup — both the initial pool spawn and every
+    /// supervisor respawn. Any action here kills the new worker
+    /// immediately, exercising the restart budget.
+    WorkerSpawn,
+}
+
+impl FaultPoint {
+    const COUNT: usize = 4;
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::Prepare => 0,
+            FaultPoint::BatchRun => 1,
+            FaultPoint::CacheInsert => 2,
+            FaultPoint::WorkerSpawn => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            FaultPoint::Prepare => "prepare",
+            FaultPoint::BatchRun => "batch_run",
+            FaultPoint::CacheInsert => "cache_insert",
+            FaultPoint::WorkerSpawn => "worker_spawn",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What an armed fault does when its occurrence comes up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic at the point. For `batch_run` the panic lands *inside* the
+    /// per-batch isolation (`catch_unwind`), so it exercises the
+    /// individual re-run path; for `prepare`/`cache_insert` it unwinds
+    /// into the registering caller (poisoning the cache lock, which the
+    /// cache must tolerate); for `worker_spawn` it kills the new worker.
+    Panic,
+    /// Return the point's documented error instead of panicking:
+    /// `prepare`/`cache_insert` fail the registration with
+    /// [`Error::Unsupported`](nm_core::Error::Unsupported), `batch_run`
+    /// fails the batch like a kernel error
+    /// ([`ServeError::Run`](crate::ServeError::Run)). At `worker_spawn`
+    /// (no error channel) it behaves like [`Panic`](Self::Panic).
+    Error,
+    /// Panic *outside* the per-batch isolation, killing the worker
+    /// thread mid-traffic — the batch it held is canceled by the ticket
+    /// drop guards and the supervisor spends restart budget respawning.
+    /// Only distinct from [`Panic`](Self::Panic) at `batch_run`;
+    /// elsewhere it behaves like `Panic`.
+    KillWorker,
+}
+
+#[derive(Debug)]
+struct FaultSpec {
+    point: FaultPoint,
+    nth: u64,
+    action: FaultAction,
+    fired: AtomicBool,
+}
+
+/// A reproducible set of injected failures; see the module docs for the
+/// occurrence model.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+    counters: [AtomicU64; FaultPoint::COUNT],
+}
+
+fn xorshift64(mut s: u64) -> u64 {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    s
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing until armed via
+    /// [`fail_nth`](Self::fail_nth)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `action` at the `nth` occurrence (0-based) of `point`.
+    /// Builder-style; duplicate `(point, nth)` pairs are allowed but
+    /// only one of them fires (each occurrence triggers at most one
+    /// spec).
+    #[must_use]
+    pub fn fail_nth(mut self, point: FaultPoint, nth: u64, action: FaultAction) -> Self {
+        self.specs.push(FaultSpec {
+            point,
+            nth,
+            action,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Derives `faults` specs deterministically from `seed`: points are
+    /// weighted toward `batch_run`/`worker_spawn` (the paths a running
+    /// service actually exercises — `prepare`/`cache_insert` only fire
+    /// if registrations happen while the plan is live), occurrence
+    /// indices land in `0..16` (bumped past collisions so every spec
+    /// can fire), and actions mix panics, errors and worker kills. The
+    /// same seed always yields the same plan — the property the chaos
+    /// tests and the bench chaos knobs lean on; see
+    /// `crates/bench/README.md` for how seeds are chosen.
+    pub fn seeded(seed: u64, faults: usize) -> Self {
+        // XOR with an odd constant is a bijection (distinct seeds stay
+        // distinct), and the guard avoids xorshift's zero fixed point.
+        let mut s = seed ^ 0x9E37_79B9_7F4A_7C15;
+        if s == 0 {
+            s = 1;
+        }
+        let mut plan = FaultPlan::new();
+        let mut used: Vec<(FaultPoint, u64)> = Vec::new();
+        for _ in 0..faults {
+            s = xorshift64(s);
+            let point = match s % 8 {
+                0 => FaultPoint::Prepare,
+                1 => FaultPoint::CacheInsert,
+                2 | 3 => FaultPoint::WorkerSpawn,
+                _ => FaultPoint::BatchRun,
+            };
+            s = xorshift64(s);
+            let mut nth = s % 16;
+            while used.contains(&(point, nth)) {
+                nth += 1;
+            }
+            used.push((point, nth));
+            s = xorshift64(s);
+            let action = match (point, s % 4) {
+                (FaultPoint::BatchRun, 0) => FaultAction::KillWorker,
+                (_, 1) => FaultAction::Error,
+                _ => FaultAction::Panic,
+            };
+            plan = plan.fail_nth(point, nth, action);
+        }
+        plan
+    }
+
+    /// Advances `point`'s occurrence counter and returns the action to
+    /// perform if a not-yet-fired spec matches this occurrence. Called
+    /// by the instrumented sites; thread-safe and lock-free.
+    pub fn check(&self, point: FaultPoint) -> Option<FaultAction> {
+        let n = self.counters[point.index()].fetch_add(1, Ordering::SeqCst);
+        for spec in &self.specs {
+            if spec.point == point && spec.nth == n && !spec.fired.swap(true, Ordering::SeqCst) {
+                return Some(spec.action);
+            }
+        }
+        None
+    }
+
+    /// Specs armed in the plan.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Specs that have fired so far.
+    pub fn fired(&self) -> usize {
+        self.specs
+            .iter()
+            .filter(|s| s.fired.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Occurrences counted at `point` so far.
+    pub fn occurrences(&self, point: FaultPoint) -> u64 {
+        self.counters[point.index()].load(Ordering::SeqCst)
+    }
+
+    /// The armed specs as plain data `(point, nth, action)` — for
+    /// asserting seeded reproducibility and for chaos-run logging.
+    pub fn describe(&self) -> Vec<(FaultPoint, u64, FaultAction)> {
+        self.specs
+            .iter()
+            .map(|s| (s.point, s.nth, s.action))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_fire_exactly_once_at_their_occurrence() {
+        let plan = FaultPlan::new()
+            .fail_nth(FaultPoint::BatchRun, 2, FaultAction::Panic)
+            .fail_nth(FaultPoint::Prepare, 0, FaultAction::Error);
+        // First prepare occurrence trips the prepare spec.
+        assert_eq!(plan.check(FaultPoint::Prepare), Some(FaultAction::Error));
+        assert_eq!(plan.check(FaultPoint::Prepare), None);
+        // Batch occurrences 0 and 1 pass, 2 trips, later ones pass.
+        assert_eq!(plan.check(FaultPoint::BatchRun), None);
+        assert_eq!(plan.check(FaultPoint::BatchRun), None);
+        assert_eq!(plan.check(FaultPoint::BatchRun), Some(FaultAction::Panic));
+        assert_eq!(plan.check(FaultPoint::BatchRun), None);
+        assert_eq!(plan.fired(), 2);
+        assert_eq!(plan.occurrences(FaultPoint::BatchRun), 4);
+        assert_eq!(plan.occurrences(FaultPoint::WorkerSpawn), 0);
+    }
+
+    #[test]
+    fn points_count_independently() {
+        let plan = FaultPlan::new().fail_nth(FaultPoint::CacheInsert, 1, FaultAction::Panic);
+        // Heavy traffic on other points never advances cache_insert.
+        for _ in 0..10 {
+            assert_eq!(plan.check(FaultPoint::BatchRun), None);
+        }
+        assert_eq!(plan.check(FaultPoint::CacheInsert), None);
+        assert_eq!(
+            plan.check(FaultPoint::CacheInsert),
+            Some(FaultAction::Panic)
+        );
+    }
+
+    /// The seeded constructor is the reproducibility contract: the same
+    /// seed must derive the identical plan, different seeds should
+    /// diverge, and every spec must be fireable (unique (point, nth)).
+    #[test]
+    fn seeded_plans_are_reproducible_and_collision_free() {
+        let a = FaultPlan::seeded(42, 8);
+        let b = FaultPlan::seeded(42, 8);
+        assert_eq!(a.describe(), b.describe());
+        assert_eq!(a.len(), 8);
+        let c = FaultPlan::seeded(43, 8);
+        assert_ne!(a.describe(), c.describe());
+        // No two specs share (point, nth): all 8 can fire.
+        let mut keys: Vec<_> = a.describe().iter().map(|&(p, n, _)| (p, n)).collect();
+        keys.sort_by_key(|&(p, n)| (p.index(), n));
+        keys.dedup();
+        assert_eq!(keys.len(), 8);
+        // Seed 0 must not degenerate (xorshift zero fixed point).
+        assert_eq!(FaultPlan::seeded(0, 4).len(), 4);
+    }
+}

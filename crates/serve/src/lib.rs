@@ -1,3 +1,7 @@
+// The serving layer must never take the process down on a recoverable
+// failure, so production code here forbids implicit panic sites; tests
+// are exempt (an unwrap in a test IS the assertion).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! # nm-serve
 //!
 //! A batched inference service over pooled, compile-once
@@ -68,13 +72,67 @@
 //! in-flight batch; [`Service::shutdown`] (and `Drop`) closes
 //! admissions, drains, joins the workers and leaves the queue provably
 //! empty.
+//!
+//! ## Failure model
+//!
+//! The service promises that **every accepted request resolves** — to a
+//! result or a documented error, never a hang — and that **failures are
+//! isolated to the requests they touch**. Concretely:
+//!
+//! * **A panic during batch execution fails at most its own request.**
+//!   Batches run under `catch_unwind`; when a batch pass panics, every
+//!   rider is re-run individually (results then bit+cycle identical to
+//!   the sequential baseline, per the determinism contract above), and
+//!   only a request whose *own* re-run panics resolves
+//!   [`ServeError::WorkerPanic`] with the panic message. Caught panics
+//!   are counted in [`ServiceStats::worker_panics`].
+//! * **A worker thread death is survived, within a budget.** A panic
+//!   escaping the batch isolation kills only that thread: its held
+//!   requests resolve [`ServeError::Canceled`], and a supervisor
+//!   respawns a replacement with exponential backoff, spending one unit
+//!   of [`ServiceConfig::restart_budget`] per respawn
+//!   ([`ServiceStats::restarts`]). Only exhausting the budget (or
+//!   failing to spawn a replacement) **poisons** the service
+//!   ([`Service::is_poisoned`]): admissions close, queued requests
+//!   cancel, and the service stays safe to query and shut down.
+//! * **Overload and lateness shed, loudly, in three classes.** `full`:
+//!   a submit against a full queue is refused with [`SubmitError::Shed`]
+//!   ([`ServiceStats::shed`]). `expired`: a request whose
+//!   [`Service::submit_with_deadline`] deadline passes while queued is
+//!   shed at dispatch with [`ServeError::DeadlineExceeded`]
+//!   ([`ServiceStats::shed_expired`]). `canceled`: a request accepted
+//!   but never executed — worker death, poisoning, shutdown race —
+//!   resolves [`ServeError::Canceled`] ([`ServiceStats::shed_canceled`]).
+//!   After a drain, `submitted == completed + failed + shed_expired +
+//!   shed_canceled` — nothing is ever silently lost.
+//! * **Registration failures don't wedge the service.** A model whose
+//!   preparation fails (e.g. [`nm_core::Error::OutOfMemory`] when its
+//!   minimum tile exceeds the L1 budget) or panics leaves the cache and
+//!   the model table fully usable.
+//! * **Lock poisoning is recovered, not cascaded.** Every lock in the
+//!   crate is acquired poison-tolerantly
+//!   (`unwrap_or_else(PoisonError::into_inner)`); each critical section
+//!   is written to leave state consistent at every panic point, so a
+//!   poisoned lock degrades at most the panicking request.
+//! * **`Drop` is unwind-safe.** Dropping a [`Service`] — including
+//!   during another panic's unwind — performs the orderly
+//!   close/drain/join without double-panicking or leaving a parked
+//!   waiter.
+//!
+//! The model is exercised deterministically by the [`fault`] module's
+//! seeded, counted-occurrence injection plans
+//! ([`ServiceConfig::fault_plan`]) and the chaos suite in
+//! `tests/tests/serve_chaos.rs`.
 
 pub mod cache;
+pub mod fault;
 pub mod queue;
 pub mod service;
+mod supervisor;
 
 pub use cache::{ModelCache, ModelKey};
-pub use queue::{BoundedQueue, PushError};
+pub use fault::{FaultAction, FaultPlan, FaultPoint};
+pub use queue::{BoundedQueue, Popped, PushError};
 pub use service::{
     InferenceResult, ModelId, ServeError, Service, ServiceConfig, ServiceStats, SubmitError, Ticket,
 };
@@ -114,6 +172,7 @@ mod tests {
             queue_capacity: 16,
             max_batch: 4,
             workers: 1,
+            ..ServiceConfig::default()
         });
         let model = service.register("mlp", &graph, &opts).unwrap();
         // Shape the batches deterministically: enqueue the whole wave
@@ -149,6 +208,7 @@ mod tests {
             queue_capacity: 2,
             max_batch: 1,
             workers: 1,
+            ..ServiceConfig::default()
         });
         let model = service.register("mlp", &graph, &opts).unwrap();
         let mut accepted = Vec::new();
@@ -206,6 +266,7 @@ mod tests {
             queue_capacity: 16,
             max_batch: 8,
             workers: 1,
+            ..ServiceConfig::default()
         });
         let a = service.register("mlp", &graph, &opts).unwrap();
         let b = service.register("mlp", &graph, &opts).unwrap();
@@ -259,6 +320,7 @@ mod tests {
             queue_capacity: 32,
             max_batch: 4,
             workers: 2,
+            ..ServiceConfig::default()
         });
         let model = service.register("mlp", &graph, &opts).unwrap();
         let tickets: Vec<_> = inputs(6, 64, 13)

@@ -16,13 +16,34 @@
 //! acknowledged via [`task_done`] — "empty" alone would declare victory
 //! while a worker still holds a batch in flight.
 //!
+//! Deadline shedding: [`pop_batch_or_shed`] takes an expiry predicate
+//! and sweeps every already-expired item out of the queue *before*
+//! coalescing the dispatch batch — an expired request never occupies a
+//! batch slot, and the caller receives the swept items to resolve
+//! (fulfill with the documented deadline error and acknowledge). The
+//! sweep is lazy: expiry is checked at dispatch time, not by a timer —
+//! an idle queue pops (and therefore sweeps) the moment an item
+//! arrives, so items only *sit* expired while every worker is busy, and
+//! the next pop reaps them.
+//!
+//! Poisoning: every lock acquisition recovers from a poisoned mutex
+//! (`PoisonError::into_inner`) instead of propagating the panic. This
+//! is sound because the queue's critical sections leave the state
+//! consistent at every panic point — items are moved in and out with
+//! single `VecDeque` operations and the counters are adjusted next to
+//! them — so a panic elsewhere on a thread that once held the lock must
+//! not take the whole service down with it. The one documented
+//! exception: the `key`/`expired` closures run under the lock and must
+//! not panic (the service's closures are trivial field reads).
+//!
 //! [`close`]: BoundedQueue::close
 //! [`pop_batch`]: BoundedQueue::pop_batch
+//! [`pop_batch_or_shed`]: BoundedQueue::pop_batch_or_shed
 //! [`wait_idle`]: BoundedQueue::wait_idle
 //! [`task_done`]: BoundedQueue::task_done
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Why a push was rejected; the item is returned to the caller in both
 /// cases so nothing is silently dropped.
@@ -32,6 +53,23 @@ pub enum PushError<T> {
     Full(T),
     /// The queue was closed — the service is shutting down.
     Closed(T),
+}
+
+/// The result of one [`BoundedQueue::pop_batch_or_shed`]: the coalesced
+/// dispatch batch plus the items the expiry sweep shed. Both count as
+/// in-flight until acknowledged via
+/// [`task_done`](BoundedQueue::task_done) — the caller owes one
+/// acknowledge for `batch.len() + expired.len()` items.
+#[derive(Debug)]
+pub struct Popped<T> {
+    /// The front item and its consecutive same-key run, up to the batch
+    /// limit. Empty only when the sweep shed everything that was
+    /// waiting (then `expired` is non-empty).
+    pub batch: Vec<T>,
+    /// Items removed by the expiry predicate, in queue order; the
+    /// caller must resolve them (they were accepted, so they are owed
+    /// an answer).
+    pub expired: Vec<T>,
 }
 
 #[derive(Debug)]
@@ -112,6 +150,24 @@ impl<T> BoundedQueue<T> {
         F: Fn(&T) -> K,
         K: PartialEq,
     {
+        // The never-expiring predicate guarantees an empty `expired`.
+        self.pop_batch_or_shed(max, key, |_| false).map(|p| p.batch)
+    }
+
+    /// [`pop_batch`](Self::pop_batch) with deadline shedding: once work
+    /// is available, every queued item matching `expired` is swept out
+    /// (in queue order) *before* the dispatch batch is coalesced from
+    /// what remains. Swept items are returned in [`Popped::expired`]
+    /// for the caller to resolve; batch and swept items together count
+    /// as in-flight until acknowledged. When the sweep empties the
+    /// queue, [`Popped::batch`] is empty and the caller should resolve
+    /// the expired items, acknowledge, and pop again.
+    pub fn pop_batch_or_shed<K, F, E>(&self, max: usize, key: F, expired: E) -> Option<Popped<T>>
+    where
+        F: Fn(&T) -> K,
+        K: PartialEq,
+        E: Fn(&T) -> bool,
+    {
         let mut state = self.lock();
         loop {
             if state.closed {
@@ -123,23 +179,42 @@ impl<T> BoundedQueue<T> {
             if !state.paused && !state.items.is_empty() {
                 break;
             }
-            state = self.not_empty.wait(state).expect("queue mutex poisoned");
+            state = wait_recover(&self.not_empty, state);
         }
-        let mut batch = Vec::with_capacity(max.clamp(1, state.items.len()));
-        let front = state.items.pop_front().expect("checked non-empty");
-        let k = key(&front);
-        batch.push(front);
-        while batch.len() < max.max(1) {
-            match state.items.front() {
-                Some(next) if key(next) == k => {
-                    let next = state.items.pop_front().expect("front exists");
-                    batch.push(next);
+        // Expiry sweep: an expired request must not occupy a dispatch
+        // slot, and one stuck behind a long same-key run must not wait
+        // out another batch before being answered.
+        let mut expired_items = Vec::new();
+        if state.items.iter().any(&expired) {
+            let drained = std::mem::take(&mut state.items);
+            for item in drained {
+                if expired(&item) {
+                    expired_items.push(item);
+                } else {
+                    state.items.push_back(item);
                 }
-                _ => break,
             }
         }
-        state.in_flight += batch.len();
-        Some(batch)
+        let mut batch = Vec::new();
+        if let Some(front) = state.items.pop_front() {
+            let k = key(&front);
+            batch.push(front);
+            while batch.len() < max.max(1) {
+                match state.items.front() {
+                    Some(next) if key(next) == k => {
+                        if let Some(next) = state.items.pop_front() {
+                            batch.push(next);
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+        state.in_flight += batch.len() + expired_items.len();
+        Some(Popped {
+            batch,
+            expired: expired_items,
+        })
     }
 
     /// Acknowledges `n` popped items as fully processed; wakes
@@ -150,7 +225,7 @@ impl<T> BoundedQueue<T> {
         state.in_flight = state
             .in_flight
             .checked_sub(n)
-            .expect("task_done exceeds in-flight items");
+            .unwrap_or_else(|| panic!("task_done({n}) exceeds in-flight items"));
         if state.items.is_empty() && state.in_flight == 0 {
             self.idle.notify_all();
         }
@@ -200,7 +275,7 @@ impl<T> BoundedQueue<T> {
     pub fn wait_idle(&self) {
         let mut state = self.lock();
         while !(state.items.is_empty() && state.in_flight == 0) {
-            state = self.idle.wait(state).expect("queue mutex poisoned");
+            state = wait_recover(&self.idle, state);
         }
     }
 
@@ -225,8 +300,18 @@ impl<T> BoundedQueue<T> {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
-        self.state.lock().expect("queue mutex poisoned")
+        // Poisoning-tolerant by design; see the module docs.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
+}
+
+/// [`Condvar::wait`] with the same poisoning recovery as
+/// [`BoundedQueue::lock`].
+fn wait_recover<'a, T>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, T>,
+) -> std::sync::MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -363,5 +448,64 @@ mod tests {
             q.push(9).unwrap();
             assert_eq!(t.join().unwrap().unwrap(), vec![9]);
         });
+    }
+
+    /// Expired items are swept before the batch is coalesced — even
+    /// expired items sitting *behind* the front run, so a stalled
+    /// client deep in the queue is answered at the next dispatch, not
+    /// after every batch ahead of it. Both groups count in flight.
+    #[test]
+    fn pop_batch_or_shed_sweeps_expired_before_coalescing() {
+        let q = BoundedQueue::new(8);
+        // (key, expired)
+        for item in [(0, false), (0, true), (0, false), (1, true), (1, false)] {
+            q.push(item).unwrap();
+        }
+        let p = q
+            .pop_batch_or_shed(8, |&(k, _): &(u32, bool)| k, |&(_, e)| e)
+            .unwrap();
+        assert_eq!(p.expired, vec![(0, true), (1, true)], "queue-order sweep");
+        assert_eq!(p.batch, vec![(0, false), (0, false)], "front run survives");
+        assert_eq!(q.in_flight(), 4, "batch + expired are all in flight");
+        q.task_done(4);
+        assert_eq!(q.pop_batch(8, |&(k, _)| k).unwrap(), vec![(1, false)]);
+        q.task_done(1);
+        q.wait_idle();
+    }
+
+    /// A sweep that empties the queue returns an empty batch with the
+    /// expired items — the caller resolves them, acknowledges and loops.
+    #[test]
+    fn all_expired_pop_returns_empty_batch() {
+        let q = BoundedQueue::new(4);
+        q.push(1u32).unwrap();
+        q.push(2).unwrap();
+        let p = q.pop_batch_or_shed(4, |&k| k, |_| true).unwrap();
+        assert!(p.batch.is_empty());
+        assert_eq!(p.expired, vec![1, 2]);
+        assert_eq!(q.in_flight(), 2);
+        q.task_done(2);
+        q.wait_idle();
+    }
+
+    /// A panic on a thread holding the queue lock must not wedge every
+    /// later caller: the lock recovers (the queue's critical sections
+    /// leave consistent state) instead of cascading the panic.
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let q = std::sync::Arc::new(BoundedQueue::new(4));
+        q.push(1u32).unwrap();
+        let qp = std::sync::Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _guard = qp.state.lock().unwrap();
+            panic!("poison the queue mutex");
+        })
+        .join();
+        // Every entry point still works on the poisoned mutex.
+        assert_eq!(q.len(), 1);
+        q.push(2).unwrap();
+        assert_eq!(q.pop_batch(4, |_| ()).unwrap(), vec![1, 2]);
+        q.task_done(2);
+        q.wait_idle();
     }
 }

@@ -1,16 +1,18 @@
 //! The batched inference service: model registration, request
-//! submission with backpressure, a coalescing worker pool and the
-//! drain/shutdown protocol. See the crate docs for the determinism
-//! contract.
+//! submission with backpressure and deadlines, a coalescing worker pool
+//! with per-batch panic isolation, and the drain/shutdown protocol. See
+//! the crate docs for the determinism contract and the failure model.
 
 use crate::cache::ModelCache;
-use crate::queue::{BoundedQueue, PushError};
+use crate::fault::{FaultAction, FaultPlan, FaultPoint};
+use crate::queue::{BoundedQueue, Popped, PushError};
+use crate::supervisor::Supervisor;
 use nm_compiler::{Options, PreparedGraph};
 use nm_core::{Error, Tensor};
 use nm_nn::graph::Graph;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// Handle to a registered model (an index into the service's model
@@ -18,8 +20,8 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModelId(pub usize);
 
-/// Service sizing knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Service sizing and fault-tolerance knobs.
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Bound of the submission queue; a submit against a full queue is
     /// shed ([`SubmitError::Shed`]), never buffered without limit.
@@ -29,6 +31,20 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// Worker threads executing batches.
     pub workers: usize,
+    /// Worker respawns allowed over the service lifetime. Per-batch
+    /// panics are contained without touching this budget; it is spent
+    /// only when a worker *thread* dies (a panic escaping the batch
+    /// isolation). Exhausting it poisons the service (admissions close,
+    /// queued requests cancel) — see `crates/serve`'s failure model.
+    pub restart_budget: u32,
+    /// Base delay before a respawned worker starts; doubled per
+    /// consecutive restart, capped at 32×. Kept small by default so
+    /// tests stay fast — a production deployment facing real crash
+    /// loops wants tens of milliseconds or more.
+    pub restart_backoff: Duration,
+    /// Deterministic fault injection plan ([`crate::fault`]); `None`
+    /// (the default) costs nothing and injects nothing.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -37,6 +53,9 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             max_batch: 8,
             workers: 2,
+            restart_budget: 8,
+            restart_backoff: Duration::from_millis(1),
+            fault_plan: None,
         }
     }
 }
@@ -46,12 +65,13 @@ impl Default for ServiceConfig {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// The bounded queue is full; the request was shed (backpressure).
-    /// Counted in [`ServiceStats::shed`].
+    /// Counted in [`ServiceStats::shed`] (the `full` shed class).
     Shed {
         /// The queue bound that was hit.
         capacity: usize,
     },
-    /// The service is shutting down and admits no new work.
+    /// The service is shutting down (or was poisoned by restart-budget
+    /// exhaustion) and admits no new work.
     Closed,
     /// The input does not match the model's input shape.
     InvalidInput(String),
@@ -74,15 +94,26 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Why an accepted request did not produce a result.
+/// Why an accepted request did not produce a result. Every accepted
+/// request resolves to exactly one of a result or one of these — never
+/// a hang (enforced by the chaos suite, `tests/tests/serve_chaos.rs`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The emulated execution failed (staging/kernel error).
     Run(Error),
-    /// The service terminated before executing the request (only
-    /// possible when a worker panicked mid-batch — orderly shutdown
-    /// drains the queue first).
+    /// The request was canceled after acceptance: its worker died with
+    /// the batch in hand, or the service shut down / was poisoned
+    /// before executing it. Counted in [`ServiceStats::shed_canceled`].
     Canceled,
+    /// Execution of *this request* panicked — both the coalesced batch
+    /// pass and the request's individual isolation re-run. Carries the
+    /// re-run's panic message. Other requests of the same batch are
+    /// unaffected (re-run individually, bit+cycle identical results).
+    WorkerPanic(String),
+    /// The request's deadline expired before dispatch (shed at the
+    /// queue, counted in [`ServiceStats::shed_expired`]) — or, from
+    /// [`Ticket::wait_timeout`], the caller's wait bound elapsed first.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -90,6 +121,8 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Run(e) => write!(f, "execution failed: {e}"),
             ServeError::Canceled => write!(f, "request canceled before execution"),
+            ServeError::WorkerPanic(msg) => write!(f, "execution panicked: {msg}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }
@@ -110,7 +143,8 @@ pub struct InferenceResult {
     /// to a sequential run's, whatever batch the request rode in.
     pub sim_cycles: u64,
     /// Requests coalesced into the batch that served this one
-    /// (informational).
+    /// (informational; `1` when the request was re-run individually
+    /// after a batch-level panic).
     pub batch_size: usize,
     /// Wall-clock submit-to-completion latency (informational,
     /// host-dependent — the deterministic quantity is `sim_cycles`).
@@ -124,7 +158,8 @@ struct TicketSlot {
 }
 
 /// The caller's handle to an accepted request; [`wait`](Ticket::wait)
-/// blocks until a worker fulfills it.
+/// blocks until a worker fulfills it, [`wait_timeout`](Ticket::wait_timeout)
+/// bounds the wait.
 #[derive(Debug)]
 pub struct Ticket {
     id: u64,
@@ -145,26 +180,80 @@ impl Ticket {
 
     /// Blocks until the request completes.
     ///
+    /// A poisoned slot lock (the fulfilling side panicked at exactly
+    /// the wrong instant) is recovered, not propagated: fulfillment is
+    /// a single `Option` store, so the recovered state is always either
+    /// "not yet" or a complete result.
+    ///
     /// # Errors
-    /// [`ServeError::Run`] when execution failed, [`ServeError::Canceled`]
-    /// when the service died before running the request.
+    /// [`ServeError::Run`]/[`ServeError::WorkerPanic`] when execution
+    /// failed, [`ServeError::DeadlineExceeded`] when the request's
+    /// deadline shed it, [`ServeError::Canceled`] when the service
+    /// stopped before running it.
     pub fn wait(self) -> Result<InferenceResult, ServeError> {
-        let mut slot = self.slot.result.lock().expect("ticket poisoned");
+        let mut slot = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
-            slot = self.slot.done.wait(slot).expect("ticket poisoned");
+            slot = self
+                .slot
+                .done
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// [`wait`](Ticket::wait) bounded by `timeout`: resolves to
+    /// [`ServeError::DeadlineExceeded`] if no result arrives in time.
+    ///
+    /// Giving up does **not** cancel the request server-side — it still
+    /// runs (or sheds on its own deadline) and its eventual result is
+    /// discarded when the last slot reference drops; nothing leaks and
+    /// no waiter hangs. Pair with
+    /// [`Service::submit_with_deadline`] to also stop the service from
+    /// spending compute on it.
+    ///
+    /// # Errors
+    /// As [`wait`](Ticket::wait), plus [`ServeError::DeadlineExceeded`]
+    /// on timeout.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<InferenceResult, ServeError> {
+        let give_up = Instant::now() + timeout;
+        let mut slot = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            let now = Instant::now();
+            if now >= give_up {
+                return Err(ServeError::DeadlineExceeded);
+            }
+            let (guard, _timed_out) = self
+                .slot
+                .done
+                .wait_timeout(slot, give_up - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            slot = guard;
         }
     }
 }
 
 /// An accepted request travelling through the queue. Fulfillment is
 /// linear: exactly one of [`fulfill`](Pending::fulfill) or the drop
-/// guard (which reports [`ServeError::Canceled`]) resolves the ticket,
-/// so a waiting caller can never hang on a dropped request.
+/// guard (which reports [`ServeError::Canceled`] and counts the
+/// `canceled` shed class) resolves the ticket, so a waiting caller can
+/// never hang on a dropped request — even when the drop happens inside
+/// a dying worker's unwind.
 #[derive(Debug)]
-struct Pending {
+pub(crate) struct Pending {
     id: u64,
     model: ModelId,
     input: Tensor<i8>,
@@ -176,12 +265,17 @@ struct Pending {
     prepared: Arc<PreparedGraph<'static>>,
     slot: Option<Arc<TicketSlot>>,
     submitted: Instant,
+    /// Shed the request instead of dispatching it past this instant.
+    deadline: Option<Instant>,
+    /// Shared counters, so the drop guard can record the cancellation
+    /// wherever it fires (worker unwind, queue cancel, service drop).
+    stats: Arc<AtomicStats>,
 }
 
 impl Pending {
     fn fulfill(mut self, result: Result<InferenceResult, ServeError>) {
-        let slot = self.slot.take().expect("fulfilled once");
-        *slot.result.lock().expect("ticket poisoned") = Some(result);
+        let Some(slot) = self.slot.take() else { return };
+        *slot.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
         slot.done.notify_all();
     }
 }
@@ -189,7 +283,9 @@ impl Pending {
 impl Drop for Pending {
     fn drop(&mut self) {
         if let Some(slot) = self.slot.take() {
-            *slot.result.lock().expect("ticket poisoned") = Some(Err(ServeError::Canceled));
+            self.stats.shed_canceled.fetch_add(1, Ordering::SeqCst);
+            *slot.result.lock().unwrap_or_else(PoisonError::into_inner) =
+                Some(Err(ServeError::Canceled));
             slot.done.notify_all();
         }
     }
@@ -198,17 +294,37 @@ impl Drop for Pending {
 /// Monotonic service counters; read them as a consistent snapshot via
 /// [`Service::stats`] after [`Service::drain`] (mid-flight reads are
 /// individually accurate but may straddle a batch).
+///
+/// Accounting invariant (after a drain): every *accepted* request lands
+/// in exactly one of `completed`, `failed`, `shed_expired` or
+/// `shed_canceled`, so
+/// `submitted == completed + failed + shed_expired + shed_canceled`;
+/// rejected submissions are the caller's tally (`shed` for the `full`
+/// class, plus the returned `Closed`/validation errors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceStats {
     /// Requests accepted into the queue.
     pub submitted: u64,
     /// Requests fulfilled with a result.
     pub completed: u64,
-    /// Requests fulfilled with an execution error.
+    /// Requests fulfilled with an execution error
+    /// ([`ServeError::Run`] or [`ServeError::WorkerPanic`]).
     pub failed: u64,
-    /// Requests shed at the full queue (reported to the submitter, see
-    /// [`SubmitError::Shed`]).
+    /// Shed class `full`: requests refused at the full queue (reported
+    /// to the submitter, see [`SubmitError::Shed`]; never accepted).
     pub shed: u64,
+    /// Shed class `expired`: accepted requests shed at dispatch because
+    /// their deadline had passed ([`ServeError::DeadlineExceeded`]).
+    pub shed_expired: u64,
+    /// Shed class `canceled`: accepted requests resolved
+    /// [`ServeError::Canceled`] (worker death with the batch in hand,
+    /// poisoning, or shutdown racing the queue).
+    pub shed_canceled: u64,
+    /// Panics caught by the per-batch isolation (batch passes and
+    /// individual re-runs).
+    pub worker_panics: u64,
+    /// Worker threads respawned by the supervisor.
+    pub restarts: u64,
     /// Batches executed.
     pub batches: u64,
     /// Largest batch coalesced so far.
@@ -216,11 +332,15 @@ pub struct ServiceStats {
 }
 
 #[derive(Debug, Default)]
-struct AtomicStats {
+pub(crate) struct AtomicStats {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     shed: AtomicU64,
+    shed_expired: AtomicU64,
+    shed_canceled: AtomicU64,
+    worker_panics: AtomicU64,
+    pub(crate) restarts: AtomicU64,
     batches: AtomicU64,
     max_coalesced: AtomicU64,
 }
@@ -232,6 +352,10 @@ impl AtomicStats {
             completed: self.completed.load(Ordering::SeqCst),
             failed: self.failed.load(Ordering::SeqCst),
             shed: self.shed.load(Ordering::SeqCst),
+            shed_expired: self.shed_expired.load(Ordering::SeqCst),
+            shed_canceled: self.shed_canceled.load(Ordering::SeqCst),
+            worker_panics: self.worker_panics.load(Ordering::SeqCst),
+            restarts: self.restarts.load(Ordering::SeqCst),
             batches: self.batches.load(Ordering::SeqCst),
             max_coalesced: self.max_coalesced.load(Ordering::SeqCst),
         }
@@ -244,53 +368,53 @@ struct ModelSlot {
 }
 
 #[derive(Debug)]
-struct ServiceInner {
-    config: ServiceConfig,
-    queue: BoundedQueue<Pending>,
+pub(crate) struct ServiceInner {
+    pub(crate) config: ServiceConfig,
+    pub(crate) queue: BoundedQueue<Pending>,
     models: RwLock<Vec<ModelSlot>>,
     cache: ModelCache,
     next_id: AtomicU64,
-    stats: AtomicStats,
+    pub(crate) stats: Arc<AtomicStats>,
+    pub(crate) supervisor: Supervisor,
 }
 
-/// The batched inference service. Construction spawns the worker pool;
-/// [`register`](Service::register) adds models (cached by
-/// (model, format, options)), [`submit`](Service::submit) enqueues
+/// The batched inference service. Construction spawns the supervised
+/// worker pool; [`register`](Service::register) adds models (cached by
+/// (model, format, options)), [`submit`](Service::submit) /
+/// [`submit_with_deadline`](Service::submit_with_deadline) enqueue
 /// requests, [`shutdown`](Service::shutdown) closes admissions, drains
-/// and joins. Dropping the service performs the same orderly shutdown.
+/// and joins. Dropping the service performs the same orderly shutdown —
+/// including during another panic's unwind, where it must not
+/// double-panic or leave a waiter parked.
 #[derive(Debug)]
 pub struct Service {
     inner: Arc<ServiceInner>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl Service {
-    /// Starts the worker pool.
+    /// Starts the supervised worker pool.
     ///
     /// # Panics
     /// Panics on a zero `workers`, `max_batch` or `queue_capacity` —
-    /// all three would deadlock or reject everything.
+    /// all three would deadlock or reject everything — and if the
+    /// initial worker threads cannot be spawned at all.
     pub fn start(config: ServiceConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.max_batch > 0, "batch limit must be positive");
         let inner = Arc::new(ServiceInner {
-            config,
             queue: BoundedQueue::new(config.queue_capacity),
             models: RwLock::new(Vec::new()),
-            cache: ModelCache::new(),
+            cache: ModelCache::with_faults(config.fault_plan.clone()),
             next_id: AtomicU64::new(0),
-            stats: AtomicStats::default(),
+            stats: Arc::new(AtomicStats::default()),
+            supervisor: Supervisor::new(),
+            config,
         });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("nm-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Service { inner, workers }
+        for _ in 0..inner.config.workers {
+            Supervisor::spawn_worker(&inner, Duration::ZERO)
+                .unwrap_or_else(|e| panic!("spawn initial worker: {e}"));
+        }
+        Service { inner }
     }
 
     /// Registers `graph` under `name` with compilation `opts`, preparing
@@ -299,7 +423,10 @@ impl Service {
     /// new id aliasing it).
     ///
     /// # Errors
-    /// Propagates preparation failures; nothing is registered then.
+    /// Propagates preparation failures (e.g. [`Error::OutOfMemory`] for
+    /// a model whose minimum tile exceeds the L1 budget); nothing is
+    /// registered then, and the cache and model table stay fully usable
+    /// for subsequent registrations.
     pub fn register(
         &self,
         name: &str,
@@ -307,7 +434,11 @@ impl Service {
         opts: &Options,
     ) -> Result<ModelId, Error> {
         let prepared = self.inner.cache.get_or_prepare(name, graph, opts)?;
-        let mut models = self.inner.models.write().expect("model table poisoned");
+        let mut models = self
+            .inner
+            .models
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         models.push(ModelSlot { prepared });
         Ok(ModelId(models.len() - 1))
     }
@@ -318,8 +449,35 @@ impl Service {
     /// See [`SubmitError`]; in particular a full queue sheds the request
     /// (reported, counted, never silently dropped).
     pub fn submit(&self, model: ModelId, input: Tensor<i8>) -> Result<Ticket, SubmitError> {
+        self.submit_with_deadline(model, input, None)
+    }
+
+    /// [`submit`](Service::submit) with an optional deadline: a request
+    /// still queued when `deadline` passes is shed at the next dispatch
+    /// instead of executed — its ticket resolves
+    /// [`ServeError::DeadlineExceeded`] and the shed lands in the
+    /// `expired` class ([`ServiceStats::shed_expired`]). A request
+    /// already handed to a worker runs to completion (dispatch is the
+    /// shed point, not a preemption point). Pair with
+    /// [`Ticket::wait_timeout`] to bound the caller side too.
+    ///
+    /// # Errors
+    /// See [`SubmitError`]. An already-expired deadline is still
+    /// accepted (and then shed at dispatch): the asynchronous shed path
+    /// keeps one set of semantics instead of racing the clock at two
+    /// admission points.
+    pub fn submit_with_deadline(
+        &self,
+        model: ModelId,
+        input: Tensor<i8>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
         let prepared = {
-            let models = self.inner.models.read().expect("model table poisoned");
+            let models = self
+                .inner
+                .models
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
             let slot = models
                 .get(model.0)
                 .ok_or(SubmitError::UnknownModel(model))?;
@@ -341,6 +499,8 @@ impl Service {
             prepared,
             slot: Some(Arc::clone(&slot)),
             submitted: Instant::now(),
+            deadline,
+            stats: Arc::clone(&self.inner.stats),
         };
         match self.inner.queue.push(pending) {
             Ok(_) => {
@@ -387,9 +547,10 @@ impl Service {
     /// instead of whatever prefix won the race against the workers.
     /// Used by the serving benchmarks for comparable waves and by the
     /// deterministic coalescing tests; also the warm-up pattern for
-    /// accepting traffic while models finish registering.
-    /// [`close`](Self::close)/shutdown override a pause, so a paused
-    /// service still drains and exits cleanly.
+    /// accepting traffic while models finish registering. Deadline
+    /// shedding happens at dispatch, so a paused queue sheds nothing
+    /// until resumed. [`close`](Self::close)/shutdown override a pause,
+    /// so a paused service still drains and exits cleanly.
     pub fn pause(&self) {
         self.inner.queue.pause();
     }
@@ -416,12 +577,21 @@ impl Service {
         self.inner.stats.snapshot()
     }
 
+    /// Whether a worker death exhausted
+    /// [`ServiceConfig::restart_budget`] (or a respawn failed) and the
+    /// service poisoned itself: admissions are closed, queued requests
+    /// were canceled. A poisoned service is safe to query, drain and
+    /// shut down — it just serves nothing anymore.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.supervisor.is_poisoned()
+    }
+
     /// Models registered.
     pub fn model_count(&self) -> usize {
         self.inner
             .models
             .read()
-            .expect("model table poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .len()
     }
 
@@ -436,20 +606,14 @@ impl Service {
         (self.inner.cache.hits(), self.inner.cache.misses())
     }
 
+    /// Never panics: runs during `Drop`, which may itself run during
+    /// another panic's unwind — a second panic there would abort the
+    /// process and eat the original message. Worker panics were already
+    /// accounted (contained per batch, or respawn/poison at the thread
+    /// level), so the join swallows them instead of resurfacing.
     fn close_and_join(&mut self) {
         self.inner.queue.close();
-        for handle in self.workers.drain(..) {
-            // A panicked worker poisoned nothing global (tickets it
-            // held are canceled by the Pending drop guard); surface the
-            // panic to the caller — unless we are already unwinding
-            // (Drop during a panic), where a second panic would abort
-            // the process and eat the original message.
-            if let Err(panic) = handle.join() {
-                if !std::thread::panicking() {
-                    std::panic::resume_unwind(panic);
-                }
-            }
-        }
+        self.inner.supervisor.join_all();
     }
 }
 
@@ -461,7 +625,7 @@ impl Drop for Service {
 
 /// Acknowledges a popped batch on every exit path — panics included.
 /// [`BoundedQueue::wait_idle`]'s drain guarantee assumes `task_done`
-/// always runs for popped items; without this guard, a panicking worker
+/// always runs for popped items; without this guard, a dying worker
 /// would leave `in_flight` stuck and wedge every drainer (its tickets
 /// are canceled separately by the [`Pending`] drop guard).
 struct AckOnDrop<'a> {
@@ -475,31 +639,12 @@ impl Drop for AckOnDrop<'_> {
     }
 }
 
-/// Fails the service loudly when a worker dies: a panicking worker is a
-/// dead consumer, and requests still queued behind it would otherwise
-/// wait on nobody — [`Ticket::wait`] and [`Service::drain`] would hang
-/// until something dropped the service. On panic this guard closes
-/// admissions and cancels everything queued (each dropped [`Pending`]
-/// fulfills its ticket with [`ServeError::Canceled`]), so every waiter
-/// unblocks immediately; the panic itself still resurfaces at
-/// shutdown/Drop via the join. A worker panic means an internal
-/// invariant broke — failing the whole service beats half-serving.
-struct PoisonOnPanic<'a> {
-    queue: &'a BoundedQueue<Pending>,
-}
-
-impl Drop for PoisonOnPanic<'_> {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            cancel_queued(self.queue);
-        }
-    }
-}
-
 /// Closes `queue` and cancels every request still in it (their
-/// [`Pending`] drop guards resolve the tickets `Canceled`), leaving the
-/// queue closed, empty and — once live batches acknowledge — idle.
-fn cancel_queued(queue: &BoundedQueue<Pending>) {
+/// [`Pending`] drop guards resolve the tickets `Canceled` and count the
+/// `canceled` shed class), leaving the queue closed, empty and — once
+/// live batches acknowledge — idle. The supervisor's poisoning path and
+/// the tests share this.
+pub(crate) fn cancel_queued(queue: &BoundedQueue<Pending>) {
     queue.close();
     // All items share the unit key, so each pop drains a maximal run;
     // the loop ends when the closed queue reports empty.
@@ -510,59 +655,150 @@ fn cancel_queued(queue: &BoundedQueue<Pending>) {
     }
 }
 
-/// The worker loop: pop a coalesced same-model batch, execute it
-/// through the shared [`PreparedGraph`] (multi-token pass when the model
-/// allows it), fulfill every ticket, acknowledge the batch.
-fn worker_loop(inner: &ServiceInner) {
-    let _poison = PoisonOnPanic {
-        queue: &inner.queue,
-    };
+/// Best-effort text of a panic payload, for [`ServeError::WorkerPanic`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// The worker loop: pop a coalesced same-model batch (shedding expired
+/// requests at dispatch), execute it under panic isolation, fulfill
+/// every ticket, acknowledge. Runs under the supervisor's respawn guard
+/// — anything escaping this function's containment kills only this
+/// thread, and the supervisor decides between respawn and poisoning.
+pub(crate) fn worker_loop(inner: &ServiceInner) {
+    let plan = inner.config.fault_plan.as_deref();
     // Coalescing keys on the prepared *artifact*, not the ModelId:
     // aliased registrations of one cached model batch together.
-    while let Some(batch) = inner
-        .queue
-        .pop_batch(inner.config.max_batch, |p: &Pending| {
-            Arc::as_ptr(&p.prepared)
-        })
-    {
-        let n = batch.len();
+    while let Some(popped) = inner.queue.pop_batch_or_shed(
+        inner.config.max_batch,
+        |p: &Pending| Arc::as_ptr(&p.prepared),
+        |p: &Pending| p.deadline.is_some_and(|d| Instant::now() >= d),
+    ) {
+        let Popped { batch, expired } = popped;
         let ack = AckOnDrop {
             queue: &inner.queue,
-            n,
+            n: batch.len() + expired.len(),
         };
-        inner.stats.batches.fetch_add(1, Ordering::SeqCst);
-        inner
-            .stats
-            .max_coalesced
-            .fetch_max(n as u64, Ordering::SeqCst);
-        let prepared = Arc::clone(&batch[0].prepared);
-        let inputs: Vec<&Tensor<i8>> = batch.iter().map(|p| &p.input).collect();
-        match prepared.run_batch(&inputs) {
-            Ok(runs) => {
-                for (pending, run) in batch.into_iter().zip(runs) {
-                    inner.stats.completed.fetch_add(1, Ordering::SeqCst);
-                    let result = InferenceResult {
-                        id: pending.id,
-                        model: pending.model,
-                        output: run.output,
-                        sim_cycles: run.matmul_compute_cycles,
-                        batch_size: n,
-                        latency: pending.submitted.elapsed(),
-                    };
-                    pending.fulfill(Ok(result));
-                }
+        for pending in expired {
+            inner.stats.shed_expired.fetch_add(1, Ordering::SeqCst);
+            pending.fulfill(Err(ServeError::DeadlineExceeded));
+        }
+        if !batch.is_empty() {
+            let injected = plan.and_then(|p| p.check(FaultPoint::BatchRun));
+            if injected == Some(FaultAction::KillWorker) {
+                // Deliberately outside the batch isolation: this panic
+                // unwinds the worker thread. The held batch cancels via
+                // the Pending drop guards, the ack guard releases the
+                // in-flight count, and the supervisor's respawn guard
+                // spends restart budget on a replacement.
+                panic!("injected fault: batch_run kill-worker");
             }
-            Err(e) => {
-                // Submit-time shape validation leaves staging/kernel
-                // errors as the only failures here; every rider of the
-                // batch learns about it.
-                for pending in batch {
-                    inner.stats.failed.fetch_add(1, Ordering::SeqCst);
-                    pending.fulfill(Err(ServeError::Run(e.clone())));
+            run_batch_isolated(inner, batch, injected);
+        }
+        drop(ack); // acknowledge (also runs if the above panics)
+    }
+}
+
+/// Executes one coalesced batch with panic isolation: a panic anywhere
+/// in the batch pass fails nobody outright — every request is re-run
+/// individually (bit+cycle identical to a sequential run by the
+/// determinism contract), and only a request whose *own* re-run panics
+/// resolves [`ServeError::WorkerPanic`].
+fn run_batch_isolated(inner: &ServiceInner, batch: Vec<Pending>, injected: Option<FaultAction>) {
+    let n = batch.len();
+    let Some(first) = batch.first() else { return };
+    let prepared = Arc::clone(&first.prepared);
+    inner.stats.batches.fetch_add(1, Ordering::SeqCst);
+    inner
+        .stats
+        .max_coalesced
+        .fetch_max(n as u64, Ordering::SeqCst);
+    let outcome = {
+        let inputs: Vec<&Tensor<i8>> = batch.iter().map(|p| &p.input).collect();
+        match injected {
+            Some(FaultAction::Error) => Ok(Err(Error::Unsupported(
+                "injected fault: batch_run".to_string(),
+            ))),
+            Some(_) => catch_unwind(AssertUnwindSafe(|| -> nm_core::Result<_> {
+                panic!("injected fault: batch_run")
+            })),
+            None => catch_unwind(AssertUnwindSafe(|| prepared.run_batch(&inputs))),
+        }
+    };
+    match outcome {
+        Ok(Ok(runs)) => {
+            for (pending, run) in batch.into_iter().zip(runs) {
+                inner.stats.completed.fetch_add(1, Ordering::SeqCst);
+                let result = InferenceResult {
+                    id: pending.id,
+                    model: pending.model,
+                    output: run.output,
+                    sim_cycles: run.matmul_compute_cycles,
+                    batch_size: n,
+                    latency: pending.submitted.elapsed(),
+                };
+                pending.fulfill(Ok(result));
+            }
+        }
+        Ok(Err(e)) => {
+            // Submit-time shape validation leaves staging/kernel errors
+            // as the only failures here; every rider of the batch
+            // learns about it.
+            for pending in batch {
+                inner.stats.failed.fetch_add(1, Ordering::SeqCst);
+                pending.fulfill(Err(ServeError::Run(e.clone())));
+            }
+        }
+        Err(_batch_panic) => {
+            // The batch pass panicked. Isolate: each request runs alone
+            // (its result then bit+cycle identical to the sequential
+            // baseline), and only a request that panics *again* on its
+            // own fails — with its own message.
+            inner.stats.worker_panics.fetch_add(1, Ordering::SeqCst);
+            let plan = inner.config.fault_plan.as_deref();
+            for pending in batch {
+                let one = catch_unwind(AssertUnwindSafe(|| {
+                    // Re-runs are batch_run occurrences too, so a plan
+                    // can target the retry path deterministically. Any
+                    // armed action panics here — inside the isolation.
+                    if let Some(plan) = plan {
+                        if plan.check(FaultPoint::BatchRun).is_some() {
+                            panic!("injected fault: batch_run (isolation re-run)");
+                        }
+                    }
+                    prepared.run(&pending.input)
+                }));
+                match one {
+                    Ok(Ok(run)) => {
+                        inner.stats.completed.fetch_add(1, Ordering::SeqCst);
+                        let result = InferenceResult {
+                            id: pending.id,
+                            model: pending.model,
+                            output: run.output,
+                            sim_cycles: run.matmul_compute_cycles,
+                            batch_size: 1,
+                            latency: pending.submitted.elapsed(),
+                        };
+                        pending.fulfill(Ok(result));
+                    }
+                    Ok(Err(e)) => {
+                        inner.stats.failed.fetch_add(1, Ordering::SeqCst);
+                        pending.fulfill(Err(ServeError::Run(e)));
+                    }
+                    Err(payload) => {
+                        inner.stats.worker_panics.fetch_add(1, Ordering::SeqCst);
+                        inner.stats.failed.fetch_add(1, Ordering::SeqCst);
+                        pending.fulfill(Err(ServeError::WorkerPanic(panic_message(&*payload))));
+                    }
                 }
             }
         }
-        drop(ack); // acknowledge the batch (also runs if the above panics)
     }
 }
 
@@ -590,33 +826,42 @@ mod tests {
         Arc::new(PreparedGraph::prepare_shared(graph, &opts).unwrap())
     }
 
-    /// The dead-consumer recovery path ([`PoisonOnPanic`] →
-    /// [`cancel_queued`]): queued requests are canceled — their waiters
-    /// unblock with [`ServeError::Canceled`] instead of hanging — and
-    /// the queue ends closed, empty and drainable.
-    #[test]
-    fn cancel_queued_unblocks_waiters_with_canceled() {
+    fn queued_pending(queue: &BoundedQueue<Pending>, stats: &Arc<AtomicStats>, id: u64) -> Ticket {
         let prepared = tiny_prepared();
-        let queue: BoundedQueue<Pending> = BoundedQueue::new(4);
         let slot = Arc::new(TicketSlot::default());
         let ticket = Ticket {
-            id: 7,
+            id,
             model: ModelId(0),
             slot: Arc::clone(&slot),
         };
         assert!(
             queue
                 .push(Pending {
-                    id: 7,
+                    id,
                     model: ModelId(0),
                     input: Tensor::from_vec(&[16], vec![0i8; 16]).unwrap(),
                     prepared,
                     slot: Some(slot),
                     submitted: Instant::now(),
+                    deadline: None,
+                    stats: Arc::clone(stats),
                 })
                 .is_ok(),
             "queue admits the request"
         );
+        ticket
+    }
+
+    /// The dead-consumer recovery path (supervisor poisoning →
+    /// [`cancel_queued`]): queued requests are canceled — their waiters
+    /// unblock with [`ServeError::Canceled`] instead of hanging, the
+    /// `canceled` shed class counts them — and the queue ends closed,
+    /// empty and drainable.
+    #[test]
+    fn cancel_queued_unblocks_waiters_with_canceled() {
+        let queue: BoundedQueue<Pending> = BoundedQueue::new(4);
+        let stats = Arc::new(AtomicStats::default());
+        let ticket = queued_pending(&queue, &stats, 7);
         std::thread::scope(|scope| {
             let waiter = scope.spawn(move || ticket.wait());
             cancel_queued(&queue);
@@ -624,6 +869,28 @@ mod tests {
         });
         assert!(queue.is_closed());
         assert!(queue.is_empty());
+        assert_eq!(stats.snapshot().shed_canceled, 1, "canceled class counted");
         queue.wait_idle(); // nothing in flight: returns immediately
+    }
+
+    /// `wait_timeout` must bound the wait on an unfulfilled ticket with
+    /// [`ServeError::DeadlineExceeded`], and the eventual fulfillment
+    /// of the abandoned request must not hang or leak — the slot simply
+    /// absorbs the discarded result.
+    #[test]
+    fn wait_timeout_bounds_the_wait_without_leaking() {
+        let queue: BoundedQueue<Pending> = BoundedQueue::new(4);
+        let stats = Arc::new(AtomicStats::default());
+        let ticket = queued_pending(&queue, &stats, 1);
+        let t = Instant::now();
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_millis(20)),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        assert!(t.elapsed() >= Duration::from_millis(20));
+        // The abandoned request is still resolvable: cancel it and
+        // observe nothing panics with the ticket side already gone.
+        cancel_queued(&queue);
+        assert_eq!(stats.snapshot().shed_canceled, 1);
     }
 }

@@ -1,0 +1,167 @@
+//! Worker supervision: thread-level panic containment, bounded respawn
+//! with exponential backoff, and service poisoning only when the
+//! restart budget is exhausted.
+//!
+//! The per-batch `catch_unwind` in the worker loop contains ordinary
+//! request-level panics, so a worker thread dies only when something
+//! escapes that isolation — an injected `worker_spawn`/kill fault, or a
+//! genuine bug in the dispatch path itself. Every worker runs under a
+//! [`RespawnOnPanic`] drop guard: when the thread unwinds, the guard
+//! (running during the unwind, on the dying thread) asks the supervisor
+//! for a replacement. Each respawn consumes one unit of
+//! [`ServiceConfig::restart_budget`](crate::ServiceConfig) and starts
+//! after an exponentially growing backoff
+//! ([`ServiceConfig::restart_backoff`](crate::ServiceConfig) doubled
+//! per consecutive restart, capped at 32×) so a crash-looping worker
+//! cannot spin the host. Only when the budget is spent — or a
+//! replacement thread cannot be spawned at all — does the supervisor
+//! **poison** the service: admissions close, everything still queued is
+//! canceled (waiters unblock with
+//! [`ServeError::Canceled`](crate::ServeError), counted in the
+//! `canceled` shed class), and the service stays answerable but dead.
+//! A single worker panic is never fatal; running out of the budget is.
+//!
+//! Shutdown joins through the supervisor's handle list, which a dying
+//! worker appends its replacement to *before* it exits — the join loop
+//! re-checks the list after every join, so replacements spawned during
+//! shutdown are joined too (they observe the closed, drained queue and
+//! exit immediately). Join panics are swallowed: a worker death was
+//! already accounted (restart/poison counters) when it happened, and
+//! resurfacing it during `Drop` while another panic unwinds would abort
+//! the process.
+
+use crate::fault::FaultPoint;
+use crate::service::{cancel_queued, worker_loop, ServiceInner};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Supervision state owned by the service; see the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct Supervisor {
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Restart-budget units consumed.
+    spent: Mutex<u32>,
+    /// Monotonic worker-name counter (initial pool + respawns).
+    next_index: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+impl Supervisor {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a worker death exhausted the restart budget (or a
+    /// respawn failed) and the service was taken down.
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Spawns one supervised worker thread for `inner`, delayed by
+    /// `backoff`. The thread consults the `worker_spawn` fault point
+    /// (any armed action kills the fresh worker — which the guard then
+    /// treats like any other death) and runs the worker loop under the
+    /// respawn guard.
+    pub(crate) fn spawn_worker(
+        inner: &Arc<ServiceInner>,
+        backoff: Duration,
+    ) -> std::io::Result<()> {
+        let index = inner.supervisor.next_index.fetch_add(1, Ordering::SeqCst);
+        let arc = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("nm-serve-worker-{index}"))
+            .spawn(move || {
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                let _guard = RespawnOnPanic { inner: &arc };
+                if let Some(plan) = arc.config.fault_plan.as_deref() {
+                    if plan.check(FaultPoint::WorkerSpawn).is_some() {
+                        panic!("injected fault: worker_spawn");
+                    }
+                }
+                worker_loop(&arc);
+            })?;
+        inner
+            .supervisor
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+        Ok(())
+    }
+
+    /// Joins every worker, including replacements spawned while joining.
+    /// Never panics — safe to run during another panic's unwind.
+    pub(crate) fn join_all(&self) {
+        loop {
+            let handle = self
+                .handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop();
+            match handle {
+                // Swallow join panics: the death was accounted when the
+                // guard ran, and resurfacing inside Drop could abort.
+                Some(handle) => drop(handle.join()),
+                None => break,
+            }
+        }
+    }
+
+    /// Handles one worker death (called on the dying thread, during its
+    /// unwind): spend budget and respawn, or poison the service.
+    fn worker_died(inner: &Arc<ServiceInner>) {
+        let spent = {
+            let mut spent = inner
+                .supervisor
+                .spent
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if *spent >= inner.config.restart_budget {
+                None
+            } else {
+                *spent += 1;
+                Some(*spent)
+            }
+        };
+        match spent {
+            None => poison(inner),
+            Some(nth) => {
+                inner.stats.restarts.fetch_add(1, Ordering::SeqCst);
+                let backoff = inner
+                    .config
+                    .restart_backoff
+                    .saturating_mul(1u32 << nth.saturating_sub(1).min(5));
+                if Supervisor::spawn_worker(inner, backoff).is_err() {
+                    poison(inner)
+                }
+            }
+        }
+    }
+}
+
+/// Takes the service down after an unrecoverable worker loss: closes
+/// admissions and cancels everything queued so no waiter hangs on a
+/// consumer that will never come back.
+fn poison(inner: &ServiceInner) {
+    inner.supervisor.poisoned.store(true, Ordering::SeqCst);
+    cancel_queued(&inner.queue);
+}
+
+/// Runs on every worker-thread exit; acts only when the thread is
+/// unwinding from a panic (a normal exit — closed, drained queue — is
+/// not a death).
+struct RespawnOnPanic<'a> {
+    inner: &'a Arc<ServiceInner>,
+}
+
+impl Drop for RespawnOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            Supervisor::worker_died(self.inner);
+        }
+    }
+}

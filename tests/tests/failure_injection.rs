@@ -157,6 +157,76 @@ fn pattern_violations_carry_their_location_through_the_stack() {
     }
 }
 
+/// Serve-layer failure surface: a model whose minimum tile exceeds the
+/// L1 budget must fail `Service::register` with the compiler's
+/// `OutOfMemory` — and the failure must not wedge the service's
+/// ModelCache: the same service then registers and serves a good model.
+#[test]
+fn serve_registration_surfaces_oom_without_wedging_the_cache() {
+    use nm_models::mlp_serve_sparse;
+    use nm_serve::{Service, ServiceConfig};
+    use std::sync::Arc;
+
+    let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], Nm::ONE_OF_EIGHT, 5).unwrap());
+    let service = Service::start(ServiceConfig::default());
+
+    // 64 B of L1 cannot hold even the minimum FC tile.
+    let mut starved = Options::new(Target::SparseIsa);
+    starved.l1_budget = 64;
+    match service.register("starved", &graph, &starved) {
+        Err(Error::OutOfMemory {
+            requested,
+            available,
+        }) => {
+            assert!(requested > available);
+            assert!(available <= 64);
+        }
+        other => panic!("expected OutOfMemory, got {other:?}"),
+    }
+    assert_eq!(service.model_count(), 0, "failed registration left a slot");
+
+    // The cache is not wedged: a sane registration on the same service
+    // prepares, serves, and the earlier failure was never cached.
+    let opts = Options::new(Target::SparseIsa);
+    let model = service.register("good", &graph, &opts).unwrap();
+    let input = nm_core::Tensor::from_vec(&[64], vec![1i8; 64]).unwrap();
+    let ticket = service.submit(model, input).unwrap();
+    ticket.wait().expect("the good model serves");
+    // Both attempts were cache misses (a miss is counted when the
+    // lookup falls through to preparation); only one artifact exists.
+    assert_eq!(service.cache_counters(), (0, 2));
+    assert_eq!(service.model_count(), 1);
+    service.shutdown();
+}
+
+/// The same resilience under *injected* preparation faults: an armed
+/// `prepare` error fails exactly one registration; retrying succeeds
+/// and the service serves.
+#[test]
+fn serve_registration_survives_injected_prepare_fault() {
+    use nm_models::mlp_serve_sparse;
+    use nm_serve::{FaultAction, FaultPlan, FaultPoint, Service, ServiceConfig};
+    use std::sync::Arc;
+
+    let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], Nm::ONE_OF_EIGHT, 5).unwrap());
+    let service = Service::start(ServiceConfig {
+        fault_plan: Some(Arc::new(FaultPlan::new().fail_nth(
+            FaultPoint::Prepare,
+            0,
+            FaultAction::Error,
+        ))),
+        ..ServiceConfig::default()
+    });
+    let opts = Options::new(Target::SparseIsa);
+    let err = service.register("m", &graph, &opts).unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)), "{err:?}");
+    // The one-shot fault is spent; the same registration now works.
+    let model = service.register("m", &graph, &opts).unwrap();
+    let input = nm_core::Tensor::from_vec(&[64], vec![1i8; 64]).unwrap();
+    service.submit(model, input).unwrap().wait().unwrap();
+    service.shutdown();
+}
+
 #[test]
 fn scratchpad_bus_errors_panic_like_hardware() {
     // Out-of-range access is a simulated bus error — a panic, not UB.

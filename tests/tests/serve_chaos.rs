@@ -1,0 +1,462 @@
+//! Chaos suite for the fault-tolerant serving layer: seeded,
+//! counted-occurrence fault plans (`nm_serve::fault`) injected into
+//! multi-threaded traffic. What must hold under any scheduling:
+//!
+//! * every request that survives the faults is **bit+cycle identical**
+//!   to a sequential `PreparedGraph::run` of the same input (the
+//!   determinism contract is not weakened by recovery paths);
+//! * every request that does not survive resolves to a documented error
+//!   — `Canceled`, `WorkerPanic`, `DeadlineExceeded` — never a hang
+//!   (every wait in this file is bounded and the bound is asserted);
+//! * the accounting reconciles exactly: accepted requests partition
+//!   into completed/failed/shed_expired/shed_canceled, rejected ones
+//!   were reported to their submitter;
+//! * the service keeps serving afterwards (unless the scenario is
+//!   *designed* to poison it, in which case it refuses new work and
+//!   still shuts down cleanly).
+//!
+//! Runs in CI's release profile as a named step; the request counts are
+//! sized to also pass in debug on one core.
+
+use nm_compiler::{Options, PreparedGraph, Target};
+use nm_core::sparsity::Nm;
+use nm_core::Tensor;
+use nm_integration::sparse_conv_fc_graph;
+use nm_models::mlp_serve_sparse;
+use nm_nn::rng::XorShift;
+use nm_serve::{
+    FaultAction, FaultPlan, FaultPoint, ServeError, Service, ServiceConfig, SubmitError,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SUBMITTERS: usize = 4;
+const REQUESTS_PER_SUBMITTER: usize = 50;
+/// Per-ticket wait bound; hitting it means a request hung, the one
+/// thing the failure model forbids.
+const HANG_BOUND: Duration = Duration::from_secs(60);
+
+/// The input of submitter `t`'s `i`-th request to model `m` — a pure
+/// function of the coordinates, so the expected output is computable
+/// outside the race (same convention as `serve_stress.rs`).
+fn request_input(shape: &[usize], t: usize, i: usize, m: usize) -> Tensor<i8> {
+    let elems: usize = shape.iter().product();
+    let seed = 7000 + (t as u64) * 1000 + (i as u64) * 10 + m as u64;
+    Tensor::from_vec(shape, XorShift::new(seed).fill_weights(elems, 50)).unwrap()
+}
+
+/// The tentpole scenario: two models, four submitter threads, two
+/// workers, and a five-spec plan spanning registration (`prepare`),
+/// batch execution (in-isolation panics *and* an out-of-isolation
+/// worker kill) and worker startup — while every 10th request carries
+/// an already-expired deadline. Survivors must match the sequential
+/// baseline bit for bit, every casualty must carry a documented error
+/// within the hang bound, the ledger must reconcile exactly, and the
+/// service must still be serving when the dust settles.
+#[test]
+fn seeded_faults_spare_survivors_and_account_for_every_casualty() {
+    let nm = Nm::ONE_OF_EIGHT;
+    let graphs = [
+        Arc::new(mlp_serve_sparse(&[64, 48, 32], nm, 5).unwrap()),
+        Arc::new(sparse_conv_fc_graph(8, 4, nm, 21)),
+    ];
+    let opts = Options::new(Target::SparseIsa);
+    let prepared: Vec<_> = graphs
+        .iter()
+        .map(|g| PreparedGraph::prepare(g, &opts).unwrap())
+        .collect();
+
+    // Occurrence bookkeeping behind the spec choices: prepare 0 and 1
+    // are the two setup registrations below, so prepare#2 is the
+    // mid-traffic "doomed" one; worker_spawn 0 and 1 are the initial
+    // pool, so worker_spawn#1 kills one starting worker; batch_run
+    // indices are spread far enough apart that the re-run occurrences a
+    // panic inserts (its batch size, right after it) cannot swallow the
+    // later specs.
+    let plan = Arc::new(
+        FaultPlan::new()
+            .fail_nth(FaultPoint::Prepare, 2, FaultAction::Error)
+            .fail_nth(FaultPoint::BatchRun, 2, FaultAction::Panic)
+            .fail_nth(FaultPoint::BatchRun, 18, FaultAction::KillWorker)
+            .fail_nth(FaultPoint::BatchRun, 34, FaultAction::Panic)
+            .fail_nth(FaultPoint::WorkerSpawn, 1, FaultAction::Panic),
+    );
+    let service = Service::start(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 2,
+        workers: 2,
+        restart_budget: 4,
+        restart_backoff: Duration::from_millis(1),
+        fault_plan: Some(Arc::clone(&plan)),
+    });
+    let ids: Vec<_> = graphs
+        .iter()
+        .enumerate()
+        .map(|(m, g)| service.register(&format!("chaos-{m}"), g, &opts).unwrap())
+        .collect();
+
+    // (submitter, request, model, deadline?, outcome)
+    type Outcome = (
+        usize,
+        usize,
+        usize,
+        bool,
+        Result<(Tensor<i8>, u64), ServeError>,
+    );
+
+    let (outcomes, full_sheds) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SUBMITTERS)
+            .map(|t| {
+                let (service, graphs, ids) = (&service, &graphs, &ids);
+                scope.spawn(move || {
+                    let mut rng = XorShift::new(300 + t as u64);
+                    let mut shed = 0u64;
+                    let mut tickets = Vec::new();
+                    for i in 0..REQUESTS_PER_SUBMITTER {
+                        let m = (rng.next_u64() % 2) as usize;
+                        let input = request_input(graphs[m].input_shape(), t, i, m);
+                        // Every 10th request is born past its deadline:
+                        // a guaranteed member of the `expired` shed
+                        // class if accepted at all.
+                        let late = i % 10 == 9;
+                        let deadline = late.then(Instant::now);
+                        match service.submit_with_deadline(ids[m], input, deadline) {
+                            Ok(ticket) => tickets.push((t, i, m, late, ticket)),
+                            Err(SubmitError::Shed { capacity }) => {
+                                assert_eq!(capacity, 8);
+                                shed += 1;
+                            }
+                            Err(e) => panic!("unexpected submit error: {e:?}"),
+                        }
+                    }
+                    let waits = Instant::now();
+                    let done: Vec<Outcome> = tickets
+                        .into_iter()
+                        .map(|(t, i, m, late, ticket)| {
+                            let r = ticket
+                                .wait_timeout(HANG_BOUND)
+                                .map(|r| (r.output, r.sim_cycles));
+                            (t, i, m, late, r)
+                        })
+                        .collect();
+                    assert!(
+                        waits.elapsed() < HANG_BOUND,
+                        "a ticket consumed the whole hang bound — request hung"
+                    );
+                    (done, shed)
+                })
+            })
+            .collect();
+
+        // Mid-traffic, the third registration absorbs the injected
+        // prepare fault: the caller sees the documented error and the
+        // cache/model table stay usable (asserted after the join).
+        std::thread::sleep(Duration::from_millis(2));
+        let doomed = service.register("doomed", &graphs[0], &opts);
+        match doomed {
+            Err(nm_core::Error::Unsupported(msg)) => {
+                assert!(msg.contains("injected fault"), "{msg}")
+            }
+            other => panic!("doomed registration must fail injected, got {other:?}"),
+        }
+
+        let mut outcomes = Vec::new();
+        let mut sheds = 0u64;
+        for h in handles {
+            let (done, shed) = h.join().unwrap();
+            outcomes.extend(done);
+            sheds += shed;
+        }
+        (outcomes, sheds)
+    });
+
+    // Post-traffic liveness + occurrence top-up: keep serving single
+    // requests until every armed spec has had its occurrence (the main
+    // wave almost always suffices; this removes the dependence on how
+    // many requests the undersized queue accepted). These requests are
+    // verified like any others.
+    let mut extra = Vec::new();
+    for i in 0..200usize {
+        if plan.fired() == plan.len() && i >= 4 {
+            break;
+        }
+        let input = request_input(graphs[0].input_shape(), 9, i, 0);
+        match service.submit(ids[0], input) {
+            Ok(t) => extra.push((9usize, i, 0usize, false, t)),
+            Err(e) => panic!("service stopped accepting after the faults: {e:?}"),
+        }
+        if extra.len() % 4 == 0 {
+            service.drain();
+        }
+    }
+    service.drain();
+    let outcomes: Vec<Outcome> = outcomes
+        .into_iter()
+        .chain(extra.into_iter().map(|(t, i, m, late, ticket)| {
+            let r = ticket
+                .wait_timeout(HANG_BOUND)
+                .map(|r| (r.output, r.sim_cycles));
+            (t, i, m, late, r)
+        }))
+        .collect();
+
+    assert_eq!(plan.fired(), plan.len(), "every armed fault fired");
+    assert!(!service.is_poisoned(), "budget 4 covers the two kills");
+
+    // Classify and verify. Survivors: bit+cycle identical to the
+    // sequential baseline. Casualties: documented errors only, each of
+    // the expected class.
+    let (mut ok, mut canceled, mut expired, mut panicked) = (0u64, 0u64, 0u64, 0u64);
+    for (t, i, m, late, outcome) in &outcomes {
+        match outcome {
+            Ok((output, sim_cycles)) => {
+                assert!(!*late, "expired-deadline request executed: t={t} i={i}");
+                let input = request_input(graphs[*m].input_shape(), *t, *i, *m);
+                let want = prepared[*m].run(&input).unwrap();
+                assert_eq!(output, &want.output, "t={t} i={i} m={m}");
+                assert_eq!(*sim_cycles, want.matmul_compute_cycles, "t={t} i={i} m={m}");
+                ok += 1;
+            }
+            Err(ServeError::DeadlineExceeded) => {
+                // Only born-late requests may land here; for anything
+                // else this is the waiter's hang bound, i.e. a hang.
+                assert!(
+                    *late,
+                    "non-deadline request hit the hang bound: t={t} i={i}"
+                );
+                expired += 1;
+            }
+            Err(ServeError::Canceled) => canceled += 1,
+            Err(ServeError::WorkerPanic(msg)) => {
+                assert!(msg.contains("injected fault"), "{msg}");
+                panicked += 1;
+            }
+            Err(e) => panic!("undocumented failure t={t} i={i}: {e:?}"),
+        }
+    }
+    // Exactly one kill-worker spec, batches at most 2 wide: the dead
+    // worker took 1..=2 requests with it, nobody else was canceled.
+    assert!(
+        (1..=2).contains(&canceled),
+        "kill-worker must cancel its held batch only, canceled={canceled}"
+    );
+
+    let stats = service.shutdown();
+    let accepted = outcomes.len() as u64;
+    assert_eq!(stats.submitted, accepted);
+    assert_eq!(stats.shed, full_sheds, "every full-queue shed was reported");
+    assert_eq!(stats.completed, ok);
+    assert_eq!(stats.shed_expired, expired);
+    assert_eq!(stats.shed_canceled, canceled);
+    assert_eq!(stats.failed, panicked, "only WorkerPanic fails here");
+    assert_eq!(
+        stats.completed + stats.failed + stats.shed_expired + stats.shed_canceled,
+        stats.submitted,
+        "accepted requests partition exactly into the four ledgers"
+    );
+    // Two thread deaths (worker_spawn panic at startup + the kill),
+    // both respawned within budget; at least the two armed in-isolation
+    // panics were caught.
+    assert_eq!(stats.restarts, 2);
+    assert!(stats.worker_panics >= 2, "panics={}", stats.worker_panics);
+}
+
+/// Exhausting the restart budget is the one fault that takes the
+/// service down — and even that must be orderly: held requests cancel,
+/// admissions close, `is_poisoned` reports it, shutdown still works.
+#[test]
+fn restart_budget_exhaustion_poisons_without_hanging_anyone() {
+    let nm = Nm::ONE_OF_EIGHT;
+    let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], nm, 5).unwrap());
+    let opts = Options::new(Target::SparseIsa);
+    let service = Service::start(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 8,
+        workers: 1,
+        restart_budget: 0,
+        restart_backoff: Duration::from_millis(1),
+        fault_plan: Some(Arc::new(FaultPlan::new().fail_nth(
+            FaultPoint::BatchRun,
+            0,
+            FaultAction::KillWorker,
+        ))),
+    });
+    let model = service.register("m", &graph, &opts).unwrap();
+    // Shape one batch holding all three requests, then let the sole
+    // worker pop it and die with it in hand.
+    service.pause();
+    let tickets: Vec<_> = (0..3)
+        .map(|i| {
+            let input = request_input(&[64], 0, i, 0);
+            service.submit(model, input).unwrap()
+        })
+        .collect();
+    service.resume();
+    for t in tickets {
+        assert!(matches!(
+            t.wait_timeout(HANG_BOUND),
+            Err(ServeError::Canceled)
+        ));
+    }
+    // The cancellations land during the worker's unwind, slightly
+    // before the supervisor records the poisoning — bounded spin.
+    let t = Instant::now();
+    while !service.is_poisoned() {
+        assert!(
+            t.elapsed() < Duration::from_secs(10),
+            "poisoning never landed"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let input = request_input(&[64], 0, 9, 0);
+    assert!(matches!(
+        service.submit(model, input),
+        Err(SubmitError::Closed)
+    ));
+    let stats = service.shutdown();
+    assert_eq!(stats.shed_canceled, 3, "the held batch, nothing else");
+    assert_eq!(stats.restarts, 0);
+    assert_eq!(stats.completed, 0);
+}
+
+/// Single worker, single batch: with the scheduling pinned, the panic
+/// isolation's behavior is exact — a batch-level panic fails nobody,
+/// the per-request re-runs produce bit-identical results, and only the
+/// one request whose own re-run panics resolves `WorkerPanic`.
+#[test]
+fn batch_panic_isolation_is_exact_when_scheduling_is_pinned() {
+    let nm = Nm::ONE_OF_EIGHT;
+    let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], nm, 5).unwrap());
+    let opts = Options::new(Target::SparseIsa);
+    let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
+    // Occurrence 0 is the only batch's check (panic → isolate); the
+    // re-runs then take occurrences 1..=4 in batch order, so occurrence
+    // 2 is precisely request #1's individual re-run.
+    let service = Service::start(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 4,
+        workers: 1,
+        restart_budget: 2,
+        restart_backoff: Duration::from_millis(1),
+        fault_plan: Some(Arc::new(
+            FaultPlan::new()
+                .fail_nth(FaultPoint::BatchRun, 0, FaultAction::Panic)
+                .fail_nth(FaultPoint::BatchRun, 2, FaultAction::Panic),
+        )),
+    });
+    let model = service.register("m", &graph, &opts).unwrap();
+    service.pause();
+    let tickets: Vec<_> = (0..4)
+        .map(|i| {
+            let input = request_input(&[64], 0, i, 0);
+            service.submit(model, input).unwrap()
+        })
+        .collect();
+    service.resume();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait_timeout(HANG_BOUND) {
+            Ok(r) => {
+                assert_ne!(i, 1, "request 1's re-run must panic");
+                let want = prepared.run(&request_input(&[64], 0, i, 0)).unwrap();
+                assert_eq!(r.output, want.output, "survivor {i} diverged");
+                assert_eq!(r.sim_cycles, want.matmul_compute_cycles);
+                assert_eq!(r.batch_size, 1, "survivors came from re-runs");
+            }
+            Err(ServeError::WorkerPanic(msg)) => {
+                assert_eq!(i, 1, "only request 1 was armed to fail");
+                assert!(msg.contains("injected fault"), "{msg}");
+            }
+            Err(e) => panic!("request {i}: undocumented failure {e:?}"),
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.worker_panics, 2, "batch pass + request 1's re-run");
+    assert_eq!(stats.restarts, 0, "no thread died");
+    assert_eq!(stats.shed_canceled, 0);
+}
+
+/// Satellite regression: dropping a service with queued requests from
+/// inside a panicking scope. The `Drop` must not double-panic (which
+/// would abort and eat the original panic), must not hang, and must
+/// leave no parked waiter: the queued tickets all resolve.
+#[test]
+fn dropping_a_loaded_service_during_unwind_is_orderly() {
+    let nm = Nm::ONE_OF_EIGHT;
+    let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], nm, 5).unwrap());
+    let opts = Options::new(Target::SparseIsa);
+    let service = Service::start(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 4,
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let model = service.register("m", &graph, &opts).unwrap();
+    service.pause();
+    let tickets: Vec<_> = (0..3)
+        .map(|i| {
+            let input = request_input(&[64], 0, i, 0);
+            service.submit(model, input).unwrap()
+        })
+        .collect();
+    // The panic wins the scope; the service drops mid-unwind with three
+    // requests queued behind a paused pool.
+    let payload = catch_unwind(AssertUnwindSafe(move || {
+        let _held = service;
+        panic!("outer panic while a loaded service is in scope");
+    }))
+    .expect_err("the closure panics");
+    assert_eq!(
+        payload.downcast_ref::<&str>().copied(),
+        Some("outer panic while a loaded service is in scope"),
+        "the original panic survived the service drop"
+    );
+    // Close overrides pause, so the drop drained the queue: every
+    // ticket resolves (executed on the way down), none hangs.
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait_timeout(HANG_BOUND) {
+            Ok(_) | Err(ServeError::Canceled) => {}
+            Err(e) => panic!("ticket {i} resolved strangely: {e:?}"),
+        }
+    }
+}
+
+/// `Ticket::wait_timeout` against a healthy but slow (paused) service:
+/// the caller's bound fires without cancelling the request server-side
+/// — the request still runs and is counted, its result discarded.
+#[test]
+fn wait_timeout_gives_up_without_cancelling_the_request() {
+    let nm = Nm::ONE_OF_EIGHT;
+    let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], nm, 5).unwrap());
+    let opts = Options::new(Target::SparseIsa);
+    let service = Service::start(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 4,
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let model = service.register("m", &graph, &opts).unwrap();
+    service.pause();
+    let abandoned = service
+        .submit(model, request_input(&[64], 0, 0, 0))
+        .unwrap();
+    let kept = service
+        .submit(model, request_input(&[64], 0, 1, 0))
+        .unwrap();
+    // Nothing is executing (paused): the waiter's bound must fire.
+    assert!(matches!(
+        abandoned.wait_timeout(Duration::from_millis(30)),
+        Err(ServeError::DeadlineExceeded)
+    ));
+    service.resume();
+    kept.wait_timeout(HANG_BOUND)
+        .expect("the kept request completes");
+    let stats = service.shutdown();
+    assert_eq!(
+        stats.completed, 2,
+        "the abandoned request still ran to completion server-side"
+    );
+    assert_eq!(stats.shed_expired, 0, "no server-side deadline was set");
+}

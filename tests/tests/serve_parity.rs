@@ -89,6 +89,7 @@ fn service_matches_sequential_runs_for_any_configuration() {
                     queue_capacity: 2 * graphs.len() * per_model,
                     max_batch,
                     workers,
+                    ..ServiceConfig::default()
                 });
                 let ids: Vec<_> = graphs
                     .iter()
@@ -148,6 +149,7 @@ fn coalesced_k_tiled_mlp_matches_sequential() {
             queue_capacity: 32,
             max_batch: 16,
             workers: 1,
+            ..ServiceConfig::default()
         });
         let model = service.register("mlp-ktiled", &graph, &opts).unwrap();
         // Deterministic batch shaping: the paused queue accumulates the

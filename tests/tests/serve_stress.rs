@@ -55,6 +55,7 @@ fn concurrent_submitters_lose_nothing_and_drain_clean() {
         queue_capacity: 8,
         max_batch: 4,
         workers: 2,
+        ..ServiceConfig::default()
     });
     let ids: Vec<_> = graphs
         .iter()
@@ -166,6 +167,7 @@ fn shutdown_races_submissions_without_losing_requests() {
         queue_capacity: 16,
         max_batch: 4,
         workers: 2,
+        ..ServiceConfig::default()
     });
     let model = service.register("race", &graph, &opts).unwrap();
 
