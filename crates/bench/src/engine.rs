@@ -521,6 +521,10 @@ fn time_serve(
         };
         let failed = Cell::new(0u64);
         let expired = Cell::new(0u64);
+        // The BatchPlan the wave actually executed under, for the
+        // stderr summaries: "sequential" batches share no work, so a
+        // `-b16` row that reports it would be measuring nothing.
+        let mode = Cell::new("unexecuted");
         let wave = || -> u64 {
             // Pause/resume shapes every wave identically: all 16
             // requests are queued before the worker consumes, so the
@@ -546,7 +550,10 @@ fn time_serve(
             tickets
                 .into_iter()
                 .map(|t| match t.wait_timeout(Duration::from_secs(60)) {
-                    Ok(r) => r.sim_cycles,
+                    Ok(r) => {
+                        mode.set(r.mode.label());
+                        r.sim_cycles
+                    }
                     Err(ServeError::DeadlineExceeded) => {
                         expired.set(expired.get() + 1);
                         0
@@ -570,9 +577,10 @@ fn time_serve(
         if let Some((seed, n)) = chaos {
             let fired = plan.as_ref().map_or(0, |p| p.fired());
             eprintln!(
-                "[chaos] {name} {path:?}: seed={seed} armed={n} fired={fired} \
+                "[chaos] {name} {path:?}: mode={} seed={seed} armed={n} fired={fired} \
                  submitted={} completed={} failed={} shed_expired={} shed_canceled={} \
                  worker_panics={} restarts={} waiter_expired={} waiter_failed={}",
+                mode.get(),
                 stats.submitted,
                 stats.completed,
                 stats.failed,
@@ -587,6 +595,11 @@ fn time_serve(
                 stats.completed + stats.failed + stats.shed_expired + stats.shed_canceled,
                 stats.submitted,
                 "chaos accounting reconciles for {name} {path:?}"
+            );
+        } else {
+            eprintln!(
+                "[serve] {name} {path:?}: mode={} batch_limit={max_batch}",
+                mode.get()
             );
         }
         rows.push(EngineRow {

@@ -350,21 +350,24 @@ mod tests {
                 .unwrap_or_else(|| panic!("snapshot has no bulk row for {kernel}"))
         };
         // Per family: the floor batch-16 must clear relative to batch-1.
-        // The MLP family's coalescing win is structural (tile weights
-        // stage once per batch — ~1.15× measured), so it must show a
-        // real gain, not merely avoid regressing. The conv family has no
-        // compute to share across a batch — its batching effect is
-        // µs-scale queue amortization against ~30 ms of per-request
-        // simulated execution, i.e. physically equal rows — so the check
-        // there is "no regression beyond the serve rows' refresh noise",
-        // the same noise-floor philosophy as the perf gate's own 25 %
-        // threshold. A strict `>=` between physically equal rows would
-        // test the host's thermal drift, not the service; the floor sits
-        // comfortably below the ±1–2 % ordering swings observed between
-        // best-of refreshes so a routine snapshot refresh cannot trip it,
-        // while a real batching defect (a path that serializes or
-        // duplicates work) overshoots it by an order of magnitude.
-        for (family, floor) in [("net-serve-resnet18", 0.95), ("net-serve-mlp", 1.05)] {
+        // Both wins are structural, so both families must show a real
+        // gain, not merely avoid regressing. The MLP family coalesces a
+        // batch into one stacked matmul (tile weights stage once per
+        // batch — ~1.15× measured). The conv family runs batch-major
+        // (`BatchPlan::ConvBatchMajor`): each tile's packed weights and
+        // decimation table are staged/validated once per batch,
+        // requests after the first skip cycle accounting entirely
+        // (reusing request 0's input-value-independent statistics), and
+        // — the larger share — those requests run request-inner through
+        // the transposed-patch sweep, loading each weight byte and
+        // gather index once for eight requests' multiply-adds (~1.8×
+        // measured at b16). The floors sit well below the measured
+        // gains so the swings observed between best-of refreshes cannot
+        // trip them, while losing the batch-major win (silent
+        // sequential fallback, per-request restaging, re-charging, or a
+        // sweep that degenerates to per-request walks) drops the ratio
+        // toward ~1.0 and fails.
+        for (family, floor) in [("net-serve-resnet18", 1.10), ("net-serve-mlp", 1.05)] {
             for b in [1, 4, 16] {
                 let kernel = format!("{family}-b{b}");
                 assert!(

@@ -40,4 +40,4 @@ pub mod tiling;
 
 pub use patterns::{KernelChoice, Target};
 pub use plan::{compile, LayerPlan, ModelReport, Options};
-pub use prepack::PreparedGraph;
+pub use prepack::{BatchPlan, PreparedGraph};

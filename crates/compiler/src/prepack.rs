@@ -27,15 +27,21 @@
 //! Serving layers build on two extra entry points: [`prepare_shared`]
 //! co-owns the graph through an [`Arc`] (no borrow lifetime, so one
 //! prepared model is shared across worker threads), and [`run_batch`]
-//! coalesces a batch of single-vector requests into one multi-token
-//! pass when the graph allows it — each Linear tile's weights stage
-//! once per batch, not once per request, while every request's output
-//! and cycle total stay bit-identical to a sequential [`run`] loop.
+//! executes a batch of independent requests under the graph's
+//! [`BatchPlan`] ([`batch_plan`]): a pure Linear/activation chain is
+//! coalesced into one multi-token pass ([`BatchPlan::TokenCoalesced`]),
+//! a conv graph is walked layer-major with every conv tile's packed
+//! weights staged **once per batch** and all requests swept through the
+//! held staging ([`BatchPlan::ConvBatchMajor`]), and anything else runs
+//! request-by-request ([`BatchPlan::Sequential`] — with the reason the
+//! plan says so). Whatever the plan, every request's output and cycle
+//! total stay bit-identical to a sequential [`run`] loop.
 //!
 //! [`prepare`]: PreparedGraph::prepare
 //! [`run`]: PreparedGraph::run
 //! [`prepare_shared`]: PreparedGraph::prepare_shared
 //! [`run_batch`]: PreparedGraph::run_batch
+//! [`batch_plan`]: PreparedGraph::batch_plan
 
 use crate::exec::EmulatedRun;
 use crate::patterns::{select_kernel, KernelChoice};
@@ -44,10 +50,10 @@ use crate::tiling::{tile_conv, tile_fc};
 use nm_core::format::NmMatrix;
 use nm_core::{Error, Result, Tensor};
 use nm_isa::Memory;
-use nm_kernels::conv::dense::{conv_dense_1x2, conv_dense_4x2};
-use nm_kernels::conv::sparse_isa::conv_sparse_isa_prepared;
-use nm_kernels::conv::sparse_sw::{conv_sparse_sw_prepared, SparseConvJob};
-use nm_kernels::conv::{ConvJob, DecimProgram};
+use nm_kernels::conv::dense::{conv_dense_1x2_batch, conv_dense_4x2_batch};
+use nm_kernels::conv::sparse_isa::conv_sparse_isa_prepared_batch;
+use nm_kernels::conv::sparse_sw::{conv_sparse_sw_prepared_batch, SparseConvJob};
+use nm_kernels::conv::{ConvBatch, ConvJob, DecimProgram};
 use nm_kernels::fc::dense::fc_dense;
 use nm_kernels::fc::sparse_isa::fc_sparse_isa;
 use nm_kernels::fc::sparse_sw::{fc_sparse_sw, SparseFcJob};
@@ -56,7 +62,7 @@ use nm_kernels::layout::{
     copy_bytes_to_i8, copy_i8_to_bytes, stage_conv_dense, stage_conv_sparse, stage_fc_dense,
     stage_fc_sparse, FcBufs,
 };
-use nm_nn::graph::{Graph, OpKind};
+use nm_nn::graph::{Graph, Node, OpKind};
 use nm_nn::layer::{ConvLayer, LinearLayer};
 use nm_nn::{exec as nnexec, ops};
 use nm_platform::{Scratchpad, ScratchpadPool};
@@ -116,6 +122,71 @@ impl GraphRef<'_> {
         match self {
             GraphRef::Borrowed(g) => g,
             GraphRef::Shared(g) => g,
+        }
+    }
+}
+
+/// How [`PreparedGraph::run_batch`] executes a batch of independent
+/// requests — the first-class answer to "will batching share any work
+/// here, and if not, why not".
+///
+/// The plan is a property of the prepared graph alone
+/// ([`PreparedGraph::batch_plan`]); [`executed`](Self::executed)
+/// additionally folds in the batch size, since a batch of one never
+/// shares work regardless of the graph. Every plan upholds the same
+/// contract: request `i`'s output and cycle total are bit-identical to
+/// `run(inputs[i])` in a sequential loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPlan {
+    /// Requests run one by one through [`PreparedGraph::run`]; no work
+    /// is shared across the batch. `reason` says why the graph (or the
+    /// batch size) forces this.
+    Sequential {
+        /// Human-readable explanation, surfaced by serving and bench
+        /// summaries so a sequential batch is never silent.
+        reason: &'static str,
+    },
+    /// The whole batch is stacked into one `[B, C]` tensor and swept
+    /// through the Linear/activation chain as B tokens: each Linear
+    /// tile's weights stage once per batch, not once per request.
+    TokenCoalesced,
+    /// The graph is walked layer-major: each conv tile's packed weights
+    /// (and pre-decoded decimation table) are staged into the
+    /// scratchpad once per batch and all B requests sweep through the
+    /// held staging; Linear layers over vectors coalesce into one
+    /// multi-token pass; remaining ops run per request.
+    ConvBatchMajor,
+}
+
+impl BatchPlan {
+    /// Short stable label for logs and bench summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            BatchPlan::Sequential { .. } => "sequential",
+            BatchPlan::TokenCoalesced => "token-coalesced",
+            BatchPlan::ConvBatchMajor => "conv-batch-major",
+        }
+    }
+
+    /// Whether this plan shares any staging work across requests.
+    pub fn shares_work(self) -> bool {
+        !matches!(self, BatchPlan::Sequential { .. })
+    }
+
+    /// The plan actually executed for a batch of `batch` requests: a
+    /// batch of zero or one degenerates to [`Sequential`]
+    /// (there is nothing to share work across), any larger batch keeps
+    /// the graph's plan.
+    ///
+    /// [`Sequential`]: Self::Sequential
+    #[must_use]
+    pub fn executed(self, batch: usize) -> BatchPlan {
+        if batch <= 1 {
+            BatchPlan::Sequential {
+                reason: "batch of one shares no work",
+            }
+        } else {
+            self
         }
     }
 }
@@ -221,6 +292,14 @@ impl<'g> PreparedGraph<'g> {
                 graph.input_shape()
             )));
         }
+        self.run_validated(input)
+    }
+
+    /// [`run`](Self::run) minus the input-shape check — the body shared
+    /// with [`run_batch`](Self::run_batch), whose sequential plan has
+    /// already validated every request up front.
+    fn run_validated(&self, input: &Tensor<i8>) -> Result<EmulatedRun> {
+        let graph = self.graph();
         let nodes = graph.nodes();
         let mut values: Vec<Option<Tensor<i8>>> = vec![None; nodes.len()];
         values[0] = Some(input.clone());
@@ -228,14 +307,13 @@ impl<'g> PreparedGraph<'g> {
         for (id, node) in nodes.iter().enumerate().skip(1) {
             let get = |i: usize| values[node.inputs[i]].as_ref().expect("topological order");
             let out = match &node.op {
-                OpKind::Input => unreachable!(),
                 OpKind::Conv2d(l) => {
                     let Some(PreparedMatmul::Conv(p)) = &self.layers[id] else {
                         unreachable!("conv node was prepared")
                     };
-                    let (t, cyc) = self.run_conv(l, p, get(0))?;
-                    matmul_cycles += cyc;
-                    t
+                    let (mut t, cyc) = self.run_conv(l, p, &[get(0)])?;
+                    matmul_cycles += cyc[0];
+                    t.pop().expect("one output per request")
                 }
                 OpKind::Linear(l) => {
                     let Some(PreparedMatmul::Fc(p)) = &self.layers[id] else {
@@ -245,24 +323,7 @@ impl<'g> PreparedGraph<'g> {
                     matmul_cycles += per_token.iter().sum::<u64>();
                     t
                 }
-                OpKind::Attention(a) => nnexec::attention(get(0), a),
-                OpKind::Relu => ops::relu(get(0)),
-                OpKind::Gelu => ops::gelu(get(0)),
-                OpKind::LayerNorm => ops::layer_norm(get(0)),
-                OpKind::MaxPool { k, s } => ops::max_pool(get(0), *k, *s),
-                OpKind::AvgPool { k, s } => ops::avg_pool(get(0), *k, *s),
-                OpKind::GlobalAvgPool => ops::global_avg_pool(get(0)),
-                OpKind::Add => ops::add(get(0), values[node.inputs[1]].as_ref().unwrap()),
-                OpKind::Flatten => {
-                    let t = get(0).clone();
-                    let len = t.len();
-                    t.reshape(&[len])?
-                }
-                OpKind::Tokens => {
-                    let t = get(0).clone();
-                    let shape = node.out_shape.clone();
-                    t.reshape(&shape)?
-                }
+                _ => reference_op(node, get)?,
             };
             values[id] = Some(out);
         }
@@ -272,37 +333,53 @@ impl<'g> PreparedGraph<'g> {
         })
     }
 
-    /// Whether a batch of single requests can be coalesced into one
-    /// multi-token pass: the graph takes a single vector (`[C]`) and is
-    /// a pure Linear / ReLU / GELU **chain** — each node consumes
-    /// exactly the previous one and the last node is the output — every
-    /// op of which treats the leading dimension as independent tokens.
-    /// The chain requirement matters: these ops can also form DAGs
-    /// (skip connections, fan-out), which the stacked sweep of
-    /// [`run_batch`](Self::run_batch) does not model. Conv, pool,
-    /// attention and non-chain graphs are not coalescible —
-    /// `run_batch` runs them request-by-request instead.
-    pub fn token_batchable(&self) -> bool {
+    /// The [`BatchPlan`] this graph's [`run_batch`](Self::run_batch)
+    /// executes — decided once from the graph's structure:
+    ///
+    /// * [`BatchPlan::TokenCoalesced`] when the graph takes a single
+    ///   vector (`[C]`) and is a pure Linear / ReLU / GELU **chain** —
+    ///   each node consumes exactly the previous one and the last node
+    ///   is the output — every op of which treats the leading dimension
+    ///   as independent tokens. The chain requirement matters: these
+    ///   ops can also form DAGs (skip connections, fan-out), which the
+    ///   stacked sweep does not model.
+    /// * [`BatchPlan::ConvBatchMajor`] for any other graph containing a
+    ///   Conv2d node: conv tiles execute batch-major under held weight
+    ///   staging, and the node-level walk handles arbitrary DAG wiring
+    ///   (residual Adds, pools, flatten) per request.
+    /// * [`BatchPlan::Sequential`] otherwise, with the reason — e.g. an
+    ///   attention graph or a Linear DAG that is not a chain, where no
+    ///   cross-request staging is shared today.
+    pub fn batch_plan(&self) -> BatchPlan {
         let graph = self.graph();
         let nodes = graph.nodes();
-        graph.input_shape().len() == 1
+        let chain = graph.input_shape().len() == 1
             && graph.output() == nodes.len() - 1
             && nodes.iter().enumerate().skip(1).all(|(id, n)| {
                 matches!(n.op, OpKind::Linear(_) | OpKind::Relu | OpKind::Gelu)
                     && n.inputs == [id - 1]
-            })
+            });
+        if chain {
+            BatchPlan::TokenCoalesced
+        } else if nodes.iter().any(|n| matches!(n.op, OpKind::Conv2d(_))) {
+            BatchPlan::ConvBatchMajor
+        } else {
+            BatchPlan::Sequential {
+                reason: "graph has no conv layers and is not a pure Linear/activation chain",
+            }
+        }
     }
 
-    /// Executes a batch of independent requests, coalescing them into
-    /// one multi-token pass when [`token_batchable`] allows it: the
-    /// inputs are stacked into a `[B, C]` tensor and every Linear
-    /// layer's K-tiled multi-token path stages each tile's weights
-    /// **once per batch** instead of once per request. Non-coalescible
-    /// graphs fall back to a sequential [`run`](Self::run) loop.
+    /// Executes a batch of independent requests under
+    /// [`batch_plan`](Self::batch_plan): a Linear/activation chain is
+    /// stacked into one `[B, C]` multi-token pass, a conv graph runs
+    /// layer-major with each conv tile's packed weights staged **once
+    /// per batch**, and everything else falls back to a sequential
+    /// [`run`](Self::run) loop (the plan's `reason` says why).
     ///
     /// Batching is an amortization, never a semantic change: request
     /// `i`'s output and cycle total are bit-identical to
-    /// `self.run(inputs[i])` — each token is a separate kernel
+    /// `self.run(inputs[i])` — each request is a separate kernel
     /// invocation on the same staged tile weights, and kernel cycle
     /// counts depend only on geometry and weights, not on the activation
     /// values. The serving layer's differential tests pin this contract
@@ -310,24 +387,27 @@ impl<'g> PreparedGraph<'g> {
     ///
     /// # Errors
     /// [`Error::ShapeMismatch`] if any input does not match the graph's
-    /// input shape; otherwise propagates staging and kernel errors.
-    ///
-    /// [`token_batchable`]: Self::token_batchable
+    /// input shape (the message names the failing request index);
+    /// otherwise propagates staging and kernel errors.
     pub fn run_batch(&self, inputs: &[&Tensor<i8>]) -> Result<Vec<EmulatedRun>> {
         let graph = self.graph();
-        for input in inputs {
+        for (i, input) in inputs.iter().enumerate() {
             if input.shape() != graph.input_shape() {
                 return Err(Error::ShapeMismatch(format!(
-                    "batch input shape {:?} != graph input {:?}",
+                    "batch request {i}: input shape {:?} != graph input {:?}",
                     input.shape(),
                     graph.input_shape()
                 )));
             }
         }
-        if inputs.len() <= 1 || !self.token_batchable() {
-            return inputs.iter().map(|input| self.run(input)).collect();
+        match self.batch_plan().executed(inputs.len()) {
+            BatchPlan::Sequential { .. } => inputs
+                .iter()
+                .map(|input| self.run_validated(input))
+                .collect(),
+            BatchPlan::TokenCoalesced => self.run_batch_coalesced(inputs),
+            BatchPlan::ConvBatchMajor => self.run_batch_conv_major(inputs),
         }
-        self.run_batch_coalesced(inputs)
     }
 
     /// The coalesced multi-token pass behind [`run_batch`](Self::run_batch):
@@ -359,7 +439,7 @@ impl<'g> PreparedGraph<'g> {
                 }
                 OpKind::Relu => ops::relu(&value),
                 OpKind::Gelu => ops::gelu(&value),
-                _ => unreachable!("token_batchable admits only Linear/ReLU/GELU"),
+                _ => unreachable!("the token-coalesced plan admits only Linear/ReLU/GELU"),
             };
         }
         let k = value.len() / b;
@@ -377,37 +457,158 @@ impl<'g> PreparedGraph<'g> {
             .collect()
     }
 
+    /// The conv-batch-major walk behind [`run_batch`](Self::run_batch):
+    /// per-request value tables over the node-level DAG (so residual
+    /// Adds, pools and flatten need no special casing), with the matmul
+    /// layers executing batch-major — conv tiles through
+    /// [`run_conv`](Self::run_conv)'s held staging, vector Linear
+    /// layers through one stacked `[B, C]` pass whose per-token cycles
+    /// are exactly the per-request attribution (the same identity the
+    /// token-coalesced plan relies on).
+    fn run_batch_conv_major(&self, inputs: &[&Tensor<i8>]) -> Result<Vec<EmulatedRun>> {
+        let graph = self.graph();
+        let nodes = graph.nodes();
+        let b = inputs.len();
+        let mut values: Vec<Vec<Option<Tensor<i8>>>> = inputs
+            .iter()
+            .map(|input| {
+                let mut v: Vec<Option<Tensor<i8>>> = vec![None; nodes.len()];
+                v[0] = Some((*input).clone());
+                v
+            })
+            .collect();
+        let mut per_request = vec![0u64; b];
+        for (id, node) in nodes.iter().enumerate().skip(1) {
+            match &node.op {
+                OpKind::Conv2d(l) => {
+                    let Some(PreparedMatmul::Conv(p)) = &self.layers[id] else {
+                        unreachable!("conv node was prepared")
+                    };
+                    let ins: Vec<&Tensor<i8>> = values
+                        .iter()
+                        .map(|v| v[node.inputs[0]].as_ref().expect("topological order"))
+                        .collect();
+                    let (outs, cycles) = self.run_conv(l, p, &ins)?;
+                    for (r, (t, cyc)) in outs.into_iter().zip(cycles).enumerate() {
+                        per_request[r] += cyc;
+                        values[r][id] = Some(t);
+                    }
+                }
+                OpKind::Linear(l) => {
+                    let Some(PreparedMatmul::Fc(p)) = &self.layers[id] else {
+                        unreachable!("linear node was prepared")
+                    };
+                    let shape = values[0][node.inputs[0]]
+                        .as_ref()
+                        .expect("topological order")
+                        .shape()
+                        .to_vec();
+                    if let [c] = shape[..] {
+                        // Stack the B vectors into one multi-token pass:
+                        // weights stage once per batch.
+                        let mut stacked = Vec::with_capacity(b * c);
+                        for v in &values {
+                            stacked.extend_from_slice(
+                                v[node.inputs[0]].as_ref().expect("checked above").data(),
+                            );
+                        }
+                        let stacked = Tensor::from_vec(&[b, c], stacked)?;
+                        let (out, per_token) = self.run_fc(l, p, &stacked)?;
+                        debug_assert_eq!(per_token.len(), b);
+                        let k = out.len() / b;
+                        for (r, v) in values.iter_mut().enumerate() {
+                            per_request[r] += per_token[r];
+                            let row = out.data()[r * k..(r + 1) * k].to_vec();
+                            v[id] = Some(Tensor::from_vec(&node.out_shape, row)?);
+                        }
+                    } else {
+                        // Multi-token per-request inputs (e.g. [T, C]):
+                        // already amortized within the request.
+                        for (r, v) in values.iter_mut().enumerate() {
+                            let x = v[node.inputs[0]].as_ref().expect("topological order");
+                            let (t, per_token) = self.run_fc(l, p, x)?;
+                            per_request[r] += per_token.iter().sum::<u64>();
+                            v[id] = Some(t);
+                        }
+                    }
+                }
+                _ => {
+                    for v in values.iter_mut() {
+                        let out = reference_op(node, |i| {
+                            v[node.inputs[i]].as_ref().expect("topological order")
+                        })?;
+                        v[id] = Some(out);
+                    }
+                }
+            }
+        }
+        let output = graph.output();
+        values
+            .into_iter()
+            .zip(per_request)
+            .map(|(mut v, cycles)| {
+                Ok(EmulatedRun {
+                    output: v[output].take().expect("output computed"),
+                    matmul_compute_cycles: cycles,
+                })
+            })
+            .collect()
+    }
+
+    /// Runs one prepared Conv2d layer batch-major over `inputs` (one
+    /// tensor per request), returning per-request outputs and
+    /// per-request emulated compute cycles. Each tile's packed weights
+    /// (and pre-decoded decimation table) are staged into the
+    /// scratchpad **once per batch** and all requests sweep through the
+    /// held staging, only the tile input buffer rewritten between
+    /// requests — the conv analogue of [`run_fc`](Self::run_fc)'s
+    /// per-token path. A single [`run`](Self::run) is the B = 1 case of
+    /// the same code path.
     fn run_conv(
         &self,
         layer: &ConvLayer,
         p: &PreparedConv,
-        input: &Tensor<i8>,
-    ) -> Result<(Tensor<i8>, u64)> {
+        inputs: &[&Tensor<i8>],
+    ) -> Result<(Vec<Tensor<i8>>, Vec<u64>)> {
         let geom = &layer.geom;
         let cluster = self.opts.cluster();
-        // Materialize the zero-padded input once per layer, row-wise
-        // (the 2-D DMA does this on the real platform when fetching halo
-        // tiles).
+        let b = inputs.len();
+        // Materialize each request's zero-padded input once per layer,
+        // row-wise (the 2-D DMA does this on the real platform when
+        // fetching halo tiles). Padding is inherently per-request work;
+        // the weight staging below is not.
         let px = geom.ix + 2 * geom.pad;
         let row = geom.ix * geom.c;
-        let mut padded = vec![0i8; (geom.iy + 2 * geom.pad) * px * geom.c];
-        for y in 0..geom.iy {
-            let dst = ((y + geom.pad) * px + geom.pad) * geom.c;
-            padded[dst..dst + row].copy_from_slice(&input.data()[y * row..(y + 1) * row]);
-        }
+        let padded: Vec<Vec<i8>> = inputs
+            .iter()
+            .map(|input| {
+                let mut pad = vec![0i8; (geom.iy + 2 * geom.pad) * px * geom.c];
+                for y in 0..geom.iy {
+                    let dst = ((y + geom.pad) * px + geom.pad) * geom.c;
+                    pad[dst..dst + row].copy_from_slice(&input.data()[y * row..(y + 1) * row]);
+                }
+                pad
+            })
+            .collect();
 
-        let exec_tile = |mem: &mut Scratchpad, i: usize| -> Result<(u64, Vec<u8>)> {
+        let exec_tile = |mem: &mut Scratchpad, i: usize| -> Result<(Vec<u64>, Vec<u8>)> {
             let spec = &p.specs[i];
             let tg = spec.geom;
             let row0 = spec.oy0 * geom.stride;
-            let tile_input = &padded[row0 * px * geom.c..(row0 + tg.iy) * px * geom.c];
+            let tile_inputs: Vec<&[i8]> = padded
+                .iter()
+                .map(|pad| &pad[row0 * px * geom.c..(row0 + tg.iy) * px * geom.c])
+                .collect();
+            let batch = ConvBatch {
+                inputs: &tile_inputs,
+            };
             mem.reset();
-            let (stats, output) = match &p.tiles[i] {
+            let run = match &p.tiles[i] {
                 TileWeights::Dense(range) => {
                     let bufs = stage_conv_dense(
                         mem,
                         &tg,
-                        tile_input,
+                        tile_inputs[0],
                         &layer.weights[range.clone()],
                         self.opts.cores,
                     )?;
@@ -417,14 +618,16 @@ impl<'g> PreparedGraph<'g> {
                         bufs,
                     };
                     let mut ctx = tile_ctx(mem, &self.opts);
-                    let stats = match p.choice {
-                        KernelChoice::ConvDense1x2 => conv_dense_1x2(&mut ctx, &job, &cluster)?,
-                        _ => conv_dense_4x2(&mut ctx, &job, &cluster)?,
-                    };
-                    (stats, bufs.output)
+                    match p.choice {
+                        KernelChoice::ConvDense1x2 => {
+                            conv_dense_1x2_batch(&mut ctx, &job, &cluster, &batch)?
+                        }
+                        _ => conv_dense_4x2_batch(&mut ctx, &job, &cluster, &batch)?,
+                    }
                 }
                 TileWeights::Sparse { weights, program } => {
-                    let bufs = stage_conv_sparse(mem, &tg, tile_input, weights, self.opts.cores)?;
+                    let bufs =
+                        stage_conv_sparse(mem, &tg, tile_inputs[0], weights, self.opts.cores)?;
                     let job = SparseConvJob {
                         conv: ConvJob {
                             geom: tg,
@@ -434,47 +637,58 @@ impl<'g> PreparedGraph<'g> {
                         nm: weights.nm(),
                     };
                     let mut ctx = tile_ctx(mem, &self.opts);
-                    let stats = match p.choice {
-                        KernelChoice::ConvSparseSw(_) => {
-                            conv_sparse_sw_prepared(&mut ctx, &job, &cluster, program.as_ref())?
-                        }
-                        _ => conv_sparse_isa_prepared(&mut ctx, &job, &cluster, program.as_ref())?,
-                    };
-                    (stats, bufs.output)
+                    match p.choice {
+                        KernelChoice::ConvSparseSw(_) => conv_sparse_sw_prepared_batch(
+                            &mut ctx,
+                            &job,
+                            &cluster,
+                            program.as_ref(),
+                            &batch,
+                        )?,
+                        _ => conv_sparse_isa_prepared_batch(
+                            &mut ctx,
+                            &job,
+                            &cluster,
+                            program.as_ref(),
+                            &batch,
+                        )?,
+                    }
                 }
             };
-            let out = mem
-                .slice(output, tg.output_elems())
-                .expect("staged output in range")
-                .to_vec();
-            Ok((stats.cycles(), out))
+            Ok((run.stats.iter().map(|s| s.cycles()).collect(), run.outputs))
         };
         let results = self.run_items(p.specs.len(), exec_tile)?;
 
-        // Scatter every tile's HWC output into the full tensor, row-wise.
-        let mut out = vec![0i8; geom.output_elems()];
-        let mut cycles = 0;
-        for (spec, (cyc, bytes)) in p.specs.iter().zip(results) {
-            cycles += cyc;
+        // Scatter every tile's per-request HWC output into each
+        // request's full tensor, row-wise.
+        let mut outs = vec![vec![0i8; geom.output_elems()]; b];
+        let mut cycles = vec![0u64; b];
+        for (spec, (cycs, bytes)) in p.specs.iter().zip(results) {
             let tg = spec.geom;
-            if spec.k0 == 0 && tg.k == geom.k {
-                // K-untiled: the tile rows are contiguous in the output.
-                let dst = spec.oy0 * geom.ox() * geom.k;
-                copy_bytes_to_i8(&mut out[dst..dst + bytes.len()], &bytes);
-            } else {
-                for y in 0..tg.oy() {
-                    for x in 0..tg.ox() {
-                        let src = &bytes[(y * tg.ox() + x) * tg.k..][..tg.k];
-                        let dst = ((spec.oy0 + y) * geom.ox() + x) * geom.k + spec.k0;
-                        copy_bytes_to_i8(&mut out[dst..dst + tg.k], src);
+            let out_elems = tg.output_elems();
+            for (r, out) in outs.iter_mut().enumerate() {
+                cycles[r] += cycs[r];
+                let bytes = &bytes[r * out_elems..(r + 1) * out_elems];
+                if spec.k0 == 0 && tg.k == geom.k {
+                    // K-untiled: the tile rows are contiguous in the output.
+                    let dst = spec.oy0 * geom.ox() * geom.k;
+                    copy_bytes_to_i8(&mut out[dst..dst + bytes.len()], bytes);
+                } else {
+                    for y in 0..tg.oy() {
+                        for x in 0..tg.ox() {
+                            let src = &bytes[(y * tg.ox() + x) * tg.k..][..tg.k];
+                            let dst = ((spec.oy0 + y) * geom.ox() + x) * geom.k + spec.k0;
+                            copy_bytes_to_i8(&mut out[dst..dst + tg.k], src);
+                        }
                     }
                 }
             }
         }
-        Ok((
-            Tensor::from_vec(&[geom.oy(), geom.ox(), geom.k], out)?,
-            cycles,
-        ))
+        let tensors = outs
+            .into_iter()
+            .map(|o| Tensor::from_vec(&[geom.oy(), geom.ox(), geom.k], o))
+            .collect::<Result<Vec<_>>>()?;
+        Ok((tensors, cycles))
     }
 
     /// Runs one prepared Linear layer, returning the output and the
@@ -697,6 +911,36 @@ impl<'g> PreparedGraph<'g> {
     fn checkin(&self, mem: Scratchpad) {
         self.pool.checkin(mem);
     }
+}
+
+/// Executes one non-matmul node with the reference implementations —
+/// shared by [`PreparedGraph::run`] and the per-request arm of the
+/// conv-batch-major walk. `get(i)` resolves the node's `i`-th input
+/// value. Conv2d/Linear/Input are the caller's job.
+fn reference_op<'v>(node: &Node, get: impl Fn(usize) -> &'v Tensor<i8>) -> Result<Tensor<i8>> {
+    Ok(match &node.op {
+        OpKind::Attention(a) => nnexec::attention(get(0), a),
+        OpKind::Relu => ops::relu(get(0)),
+        OpKind::Gelu => ops::gelu(get(0)),
+        OpKind::LayerNorm => ops::layer_norm(get(0)),
+        OpKind::MaxPool { k, s } => ops::max_pool(get(0), *k, *s),
+        OpKind::AvgPool { k, s } => ops::avg_pool(get(0), *k, *s),
+        OpKind::GlobalAvgPool => ops::global_avg_pool(get(0)),
+        OpKind::Add => ops::add(get(0), get(1)),
+        OpKind::Flatten => {
+            let t = get(0).clone();
+            let len = t.len();
+            t.reshape(&[len])?
+        }
+        OpKind::Tokens => {
+            let t = get(0).clone();
+            let shape = node.out_shape.clone();
+            t.reshape(&shape)?
+        }
+        OpKind::Input | OpKind::Conv2d(_) | OpKind::Linear(_) => {
+            unreachable!("matmul and input nodes are executed by the caller")
+        }
+    })
 }
 
 /// Compiles every Conv/Linear node of `graph` into its tile program —

@@ -747,6 +747,253 @@ fn conv_pair_outputs_impl<const CHECKED: bool>(
     write_out(mem, job.bufs.output + (pos * kt) as u32, outs);
 }
 
+/// Request-inner uncharged batch sweep for the sparse conv families:
+/// computes the outputs of `inputs` (the batch requests after the first)
+/// for every output position in one walk. Per position the transposed
+/// patch block ([`crate::im2col::patch_transposed`]) makes each
+/// decimation-table entry's activations contiguous across requests, so
+/// every weight byte and table index is loaded **once** and feeds
+/// `inputs.len()` multiply-adds in a vectorizable inner loop — this is
+/// where batch-major serving beats a sequential per-request loop, whose
+/// gather walk reloads the index/weight streams for every request.
+///
+/// Wrapping `i32` accumulation is associative and commutative and the
+/// product multiset per (request, channel, position) matches
+/// [`indexed_dot`] exactly, so outputs are bit-identical to running each
+/// request alone. Request `r`'s output tile lands at
+/// `out[r * output_elems()..]`. Charging is none by construction — the
+/// caller reuses request 0's statistics (see `conv::drive_conv_batch`).
+///
+/// `in_range` as in [`conv_pair_outputs`]: pass `true` only when
+/// [`table_below`]`(table, patch_len)` held.
+pub(crate) fn conv_sweep_sparse(
+    mem: &nm_platform::Scratchpad,
+    job: &crate::conv::ConvJob,
+    nz: usize,
+    table: &[u32],
+    in_range: bool,
+    inputs: &[&[i8]],
+    out: &mut [u8],
+) {
+    if in_range {
+        sweep_requests::<false>(mem, job, nz, Tables::PerChannel(table), inputs, out);
+    } else {
+        sweep_requests::<true>(mem, job, nz, Tables::PerChannel(table), inputs, out);
+    }
+}
+
+/// [`conv_sweep_sparse`] for the dense conv families: the "table" is the
+/// identity (every patch element participates), shared by every output
+/// channel, so the walk is a dense dot against the transposed patch
+/// block with the same once-per-weight load amortization. Bit-identity
+/// vs [`dense_dot`] for the same reason as the sparse sweep (same
+/// product multiset, wrapping addition).
+pub(crate) fn conv_sweep_dense(
+    mem: &nm_platform::Scratchpad,
+    job: &crate::conv::ConvJob,
+    inputs: &[&[i8]],
+    out: &mut [u8],
+) {
+    let plen = job.geom.patch_len();
+    let identity: Vec<u32> = (0..plen as u32).collect();
+    // The identity is below `plen` by construction, so the unchecked
+    // gather contract holds.
+    sweep_requests::<false>(mem, job, plen, Tables::Shared(&identity), inputs, out);
+}
+
+/// Lane width of the request-inner sweep: one SSE2 register pair of
+/// `i32` accumulators, and the transposed patch row size.
+pub(crate) const SWEEP_WIDTH: usize = 8;
+
+/// Fewest live requests per chunk worth padding to [`SWEEP_WIDTH`]: with
+/// fewer live lanes the dead-lane compute exceeds what per-request
+/// fallback drives would cost, so `conv::drive_conv_batch` routes
+/// remainders below this through the fallback loop instead.
+pub(crate) const SWEEP_MIN: usize = 5;
+
+/// Per-channel gather indices for the sweep: the sparse families have
+/// `nz` entries per output channel, the dense families share one
+/// identity walk across all channels.
+enum Tables<'a> {
+    PerChannel(&'a [u32]),
+    Shared(&'a [u32]),
+}
+
+impl Tables<'_> {
+    #[inline(always)]
+    fn channel(&self, k: usize, nz: usize) -> &[u32] {
+        match self {
+            Tables::PerChannel(t) => &t[k * nz..(k + 1) * nz],
+            Tables::Shared(t) => t,
+        }
+    }
+}
+
+/// Chunked driver: walks `inputs` in [`SWEEP_WIDTH`]-wide chunks (a
+/// short final chunk pads by duplicating its last request and discards
+/// the dead lanes). The fixed width is what keeps the inner
+/// multiply-add at a compile-time trip count — see [`dot8`].
+fn sweep_requests<const CHECKED: bool>(
+    mem: &nm_platform::Scratchpad,
+    job: &crate::conv::ConvJob,
+    nz: usize,
+    tables: Tables<'_>,
+    inputs: &[&[i8]],
+    out: &mut [u8],
+) {
+    let out_elems = job.geom.output_elems();
+    let mut done = 0;
+    while done < inputs.len() {
+        let take = (inputs.len() - done).min(SWEEP_WIDTH);
+        sweep_chunk::<CHECKED>(
+            mem,
+            job,
+            nz,
+            &tables,
+            &inputs[done..done + take],
+            &mut out[done * out_elems..(done + take) * out_elems],
+        );
+        done += take;
+    }
+}
+
+/// One [`SWEEP_WIDTH`]-wide request chunk of the uncharged batch sweep:
+/// up to 8 live requests (short chunks pad by repeating the last input;
+/// padded lanes compute but never store). Each weight byte and gather
+/// index is loaded once per position and feeds all 8 lanes.
+fn sweep_chunk<const CHECKED: bool>(
+    mem: &nm_platform::Scratchpad,
+    job: &crate::conv::ConvJob,
+    nz: usize,
+    tables: &Tables<'_>,
+    live: &[&[i8]],
+    out: &mut [u8],
+) {
+    let geom = &job.geom;
+    let plen = geom.patch_len();
+    let kt = geom.k;
+    let out_elems = geom.output_elems();
+    debug_assert!(!live.is_empty() && live.len() <= SWEEP_WIDTH);
+    debug_assert_eq!(out.len(), live.len() * out_elems);
+    let padded: [&[i8]; SWEEP_WIDTH] = core::array::from_fn(|r| live[r.min(live.len() - 1)]);
+    let values = mem
+        .slice(job.bufs.weights, kt * nz)
+        .expect("scratchpad is zero-copy");
+    let mut patches = vec![0u8; plen * SWEEP_WIDTH];
+    for pos in 0..geom.oy() * geom.ox() {
+        crate::im2col::patch_transposed::<SWEEP_WIDTH>(geom, &padded, pos, &mut patches);
+        for (k, v) in values.chunks_exact(nz).enumerate() {
+            let acc = dot8::<CHECKED>(v, tables.channel(k, nz), &patches);
+            for (r, &a) in acc.iter().enumerate().take(live.len()) {
+                out[r * out_elems + pos * kt + k] = job.requant.apply(a) as u8;
+            }
+        }
+    }
+}
+
+/// 8-lane gathered dot: `acc[r] = Σ_i w[i] * patches[t[i] * 8 + r]`
+/// (wrapping `i32`), one transposed-patch row per weight feeding all 8
+/// request lanes.
+///
+/// The x86-64 path pairs weights through `pmaddwd`, which computes
+/// `w0*a0 + w1*a1` exactly in `i32` (products of two `i8` values stay
+/// within ±16384, so neither the pair sum nor the instruction's sole
+/// saturation case `(-32768)·(-32768)` can occur) — pairing only
+/// reassociates the wrapping-`i32` sum, so the result is bit-identical
+/// to the scalar walk and to [`indexed_dot`].
+#[inline(always)]
+fn dot8<const CHECKED: bool>(v: &[u8], t: &[u32], patches: &[u8]) -> [i32; 8] {
+    debug_assert_eq!(v.len(), t.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        dot8_sse2::<CHECKED>(v, t, patches)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let mut acc = [0i32; 8];
+        for (&wv, &ti) in v.iter().zip(t) {
+            let row = patch_row::<CHECKED>(patches, ti as usize);
+            let w = i16::from(wv as i8);
+            for j in 0..8 {
+                acc[j] = acc[j].wrapping_add(i32::from(w * i16::from(row[j] as i8)));
+            }
+        }
+        acc
+    }
+}
+
+/// [`dot8`]'s SSE2 body (baseline on x86-64, no feature detection
+/// needed): two `__m128i` accumulators hold the 8 `i32` lanes; each
+/// step sign-extends two 8-byte patch rows to `i16`, interleaves them
+/// per lane, and `pmaddwd`s against the broadcast `[w0, w1]` pair.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn dot8_sse2<const CHECKED: bool>(v: &[u8], t: &[u32], patches: &[u8]) -> [i32; 8] {
+    use core::arch::x86_64::*;
+    #[inline(always)]
+    fn extend(r: &[u8; 8]) -> __m128i {
+        // SAFETY: SSE2 is part of the x86-64 baseline ABI.
+        unsafe {
+            let x = _mm_loadl_epi64(r.as_ptr().cast());
+            _mm_srai_epi16::<8>(_mm_unpacklo_epi8(_mm_setzero_si128(), x))
+        }
+    }
+    let wpair =
+        |w0: u8, w1: u8| (u32::from(w1 as i8 as u16) << 16 | u32::from(w0 as i8 as u16)) as i32;
+    // SAFETY: SSE2 is part of the x86-64 baseline ABI.
+    unsafe {
+        let mut lo = _mm_setzero_si128();
+        let mut hi = _mm_setzero_si128();
+        let mut i = 0;
+        while i + 1 < v.len() {
+            let r0 = extend(patch_row::<CHECKED>(patches, t[i] as usize));
+            let r1 = extend(patch_row::<CHECKED>(patches, t[i + 1] as usize));
+            let w = _mm_set1_epi32(wpair(v[i], v[i + 1]));
+            lo = _mm_add_epi32(lo, _mm_madd_epi16(_mm_unpacklo_epi16(r0, r1), w));
+            hi = _mm_add_epi32(hi, _mm_madd_epi16(_mm_unpackhi_epi16(r0, r1), w));
+            i += 2;
+        }
+        if i < v.len() {
+            // Odd tail: pair with a zero weight (the duplicated row's
+            // products vanish exactly).
+            let r0 = extend(patch_row::<CHECKED>(patches, t[i] as usize));
+            let w = _mm_set1_epi32(wpair(v[i], 0));
+            lo = _mm_add_epi32(lo, _mm_madd_epi16(_mm_unpacklo_epi16(r0, r0), w));
+            hi = _mm_add_epi32(hi, _mm_madd_epi16(_mm_unpackhi_epi16(r0, r0), w));
+        }
+        let mut acc = [0i32; 8];
+        _mm_storeu_si128(acc.as_mut_ptr().cast(), lo);
+        _mm_storeu_si128(acc.as_mut_ptr().add(4).cast(), hi);
+        acc
+    }
+}
+
+/// One transposed-patch row (the [`SWEEP_WIDTH`] activations of patch
+/// element `i`), checked or pre-validated unchecked (same contract as
+/// [`at`]).
+#[inline(always)]
+fn patch_row<const CHECKED: bool>(patches: &[u8], i: usize) -> &[u8; SWEEP_WIDTH] {
+    if CHECKED {
+        patches[i * SWEEP_WIDTH..(i + 1) * SWEEP_WIDTH]
+            .try_into()
+            .expect("exact row width")
+    } else {
+        debug_assert!(
+            (i + 1) * SWEEP_WIDTH <= patches.len(),
+            "pre-validated row range"
+        );
+        // SAFETY: instantiated with `CHECKED = false` only after
+        // `table_below` proved every table entry `< patch_len` and the
+        // buffer holds `patch_len * SWEEP_WIDTH` bytes.
+        unsafe {
+            &*patches
+                .as_ptr()
+                .add(i * SWEEP_WIDTH)
+                .cast::<[u8; SWEEP_WIDTH]>()
+        }
+    }
+}
+
 /// Batched equivalent of one `outer_loop_iter(); alu_n(extra);
 /// hwloop_setup()` scaffold iteration of a kernel's channel loop.
 pub(crate) fn loop_scaffold(costs: &CostModel, extra_alu: u64) -> InstrBlock {

@@ -1,12 +1,74 @@
 //! Dense convolution baselines: the 1×2 kernel and the PULP-NN 4×2
 //! kernel (paper Sec. 4.1.1, Fig. 2 / Fig. 4 left).
 
-use super::{drive, ConvJob, EPILOGUE_ALU};
+use super::{drive, drive_conv_batch, BatchInner, ConvBatch, ConvBatchRun, ConvJob, EPILOGUE_ALU};
 use crate::bulk::dense_dot;
 use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::Result;
 use nm_isa::{Core, InstrBlock, InstrClass, Memory};
 use nm_platform::Cluster;
+
+/// The 1×2 kernel's channel loop over one position pair, shared by the
+/// single-run and batch-major entry points.
+fn loop_1x2(job: &ConvJob) -> impl FnMut(&mut Core, &mut Ctx<'_>, usize, usize, u32, bool) + '_ {
+    let geom = job.geom;
+    let plen = geom.patch_len();
+    let (chunks, tail) = (plen / 4, plen % 4);
+    move |core, ctx, pos, n_patches, buf, charge| {
+        for k in 0..geom.k {
+            if charge {
+                core.outer_loop_iter();
+                core.alu_n(2);
+                core.hwloop_setup();
+            }
+            let wrow = job.bufs.weights + (k * plen) as u32;
+            channel_1xn(
+                core, ctx, job, pos, n_patches, buf, k, wrow, chunks, tail, charge,
+            );
+        }
+    }
+}
+
+/// The 4×2 kernel's channel loop (quads + 1×2 leftovers), shared by the
+/// single-run and batch-major entry points.
+fn loop_4x2(job: &ConvJob) -> impl FnMut(&mut Core, &mut Ctx<'_>, usize, usize, u32, bool) + '_ {
+    let geom = job.geom;
+    let plen = geom.patch_len();
+    let (chunks, tail) = (plen / 4, plen % 4);
+    let quads = geom.k / 4;
+    move |core, ctx, pos, n_patches, buf, charge| {
+        for q in 0..quads {
+            if charge {
+                core.outer_loop_iter();
+                core.alu_n(5);
+                core.hwloop_setup();
+            }
+            quad_channels(
+                core,
+                ctx,
+                job,
+                pos,
+                n_patches,
+                buf,
+                q * 4,
+                chunks,
+                tail,
+                charge,
+            );
+        }
+        for k in quads * 4..geom.k {
+            if charge {
+                core.outer_loop_iter();
+                core.alu_n(2);
+                core.hwloop_setup();
+            }
+            let wrow = job.bufs.weights + (k * plen) as u32;
+            channel_1xn(
+                core, ctx, job, pos, n_patches, buf, k, wrow, chunks, tail, charge,
+            );
+        }
+    }
+}
 
 /// The 1×2-unrolled dense kernel: one output channel × two patches per
 /// inner block. Inner iteration: 1 weight word load + 2 activation word
@@ -17,24 +79,39 @@ use nm_platform::Cluster;
 /// Currently infallible; returns `Result` for signature uniformity with
 /// the sparse kernels.
 pub fn conv_dense_1x2(ctx: &mut Ctx<'_>, job: &ConvJob, cluster: &Cluster) -> Result<KernelStats> {
-    let geom = job.geom;
-    let plen = geom.patch_len();
-    let (chunks, tail) = (plen / 4, plen % 4);
     Ok(drive(
         "conv-dense-1x2".into(),
         ctx,
         job,
         cluster,
-        |core, ctx, pos, n_patches, buf| {
-            for k in 0..geom.k {
-                core.outer_loop_iter();
-                core.alu_n(2);
-                core.hwloop_setup();
-                let wrow = job.bufs.weights + (k * plen) as u32;
-                channel_1xn(core, ctx, job, pos, n_patches, buf, k, wrow, chunks, tail);
-            }
-        },
+        loop_1x2(job),
     ))
+}
+
+/// [`conv_dense_1x2`] swept batch-major over `batch.inputs`: the staged
+/// weights are held in L1 while each request's input rewrites the input
+/// buffer, yielding per-request statistics and outputs bit-identical to
+/// staging and running each request alone
+/// (see `drive_conv_batch`).
+///
+/// # Errors
+/// [`nm_core::Error::ShapeMismatch`] if a request's input length
+/// disagrees with the tile geometry.
+pub fn conv_dense_1x2_batch(
+    ctx: &mut Ctx<'_>,
+    job: &ConvJob,
+    cluster: &Cluster,
+    batch: &ConvBatch<'_>,
+) -> Result<ConvBatchRun> {
+    drive_conv_batch(
+        "conv-dense-1x2",
+        ctx,
+        job,
+        cluster,
+        batch,
+        Some(BatchInner::Dense),
+        loop_1x2(job),
+    )
 }
 
 /// The PULP-NN 4×2 kernel: four output channels × two patches. Inner
@@ -46,37 +123,44 @@ pub fn conv_dense_1x2(ctx: &mut Ctx<'_>, job: &ConvJob, cluster: &Cluster) -> Re
 /// # Errors
 /// Currently infallible; returns `Result` for signature uniformity.
 pub fn conv_dense_4x2(ctx: &mut Ctx<'_>, job: &ConvJob, cluster: &Cluster) -> Result<KernelStats> {
-    let geom = job.geom;
-    let plen = geom.patch_len();
-    let (chunks, tail) = (plen / 4, plen % 4);
-    let quads = geom.k / 4;
     Ok(drive(
         "conv-dense-4x2".into(),
         ctx,
         job,
         cluster,
-        |core, ctx, pos, n_patches, buf| {
-            for q in 0..quads {
-                core.outer_loop_iter();
-                core.alu_n(5);
-                core.hwloop_setup();
-                quad_channels(core, ctx, job, pos, n_patches, buf, q * 4, chunks, tail);
-            }
-            for k in quads * 4..geom.k {
-                core.outer_loop_iter();
-                core.alu_n(2);
-                core.hwloop_setup();
-                let wrow = job.bufs.weights + (k * plen) as u32;
-                channel_1xn(core, ctx, job, pos, n_patches, buf, k, wrow, chunks, tail);
-            }
-        },
+        loop_4x2(job),
     ))
+}
+
+/// [`conv_dense_4x2`] swept batch-major over `batch.inputs` — the 4×2
+/// analogue of [`conv_dense_1x2_batch`].
+///
+/// # Errors
+/// [`nm_core::Error::ShapeMismatch`] if a request's input length
+/// disagrees with the tile geometry.
+pub fn conv_dense_4x2_batch(
+    ctx: &mut Ctx<'_>,
+    job: &ConvJob,
+    cluster: &Cluster,
+    batch: &ConvBatch<'_>,
+) -> Result<ConvBatchRun> {
+    drive_conv_batch(
+        "conv-dense-4x2",
+        ctx,
+        job,
+        cluster,
+        batch,
+        Some(BatchInner::Dense),
+        loop_4x2(job),
+    )
 }
 
 /// One output channel over `n_patches` im2col buffers (the 1×2 / 1×1
 /// inner loop), in both execution modes. `wrow` addresses the channel's
 /// dense weight row in L1 (unused in analytic mode) — passed explicitly
 /// so the per-channel mixed kernel can address heterogeneous rows.
+/// `charge` can only be false on the bulk path (batch-major requests
+/// after the first, whose statistics are reused from request 0).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn channel_1xn(
     core: &mut Core,
@@ -89,6 +173,7 @@ pub(crate) fn channel_1xn(
     wrow: u32,
     chunks: usize,
     tail: usize,
+    charge: bool,
 ) {
     let geom = &job.geom;
     let plen = geom.patch_len();
@@ -108,15 +193,17 @@ pub(crate) fn channel_1xn(
             for (p, &out) in outs.iter().enumerate().take(n_patches) {
                 mem.store_i8(job.bufs.output + ((pos + p) * geom.k + k) as u32, out);
             }
-            let per_chunk = InstrBlock::new().loads(1 + np).sdotp(np);
-            let per_tail = InstrBlock::new().loads(1 + np).mac(np);
-            let epilogue = InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(np);
-            core.charge_block(
-                &per_chunk
-                    .repeat(chunks as u64)
-                    .then(per_tail.repeat(tail as u64))
-                    .then(epilogue),
-            );
+            if charge {
+                let per_chunk = InstrBlock::new().loads(1 + np).sdotp(np);
+                let per_tail = InstrBlock::new().loads(1 + np).mac(np);
+                let epilogue = InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(np);
+                core.charge_block(
+                    &per_chunk
+                        .repeat(chunks as u64)
+                        .then(per_tail.repeat(tail as u64))
+                        .then(epilogue),
+                );
+            }
         }
         ExecPath::Reference(mem) => {
             let mut acc = [0i32; 2];
@@ -154,7 +241,7 @@ pub(crate) fn channel_1xn(
 }
 
 /// Four output channels over `n_patches` buffers (the PULP-NN 4×2 inner
-/// loop).
+/// loop). `charge` as in [`channel_1xn`].
 #[allow(clippy::too_many_arguments)]
 fn quad_channels(
     core: &mut Core,
@@ -166,6 +253,7 @@ fn quad_channels(
     k0: usize,
     chunks: usize,
     tail: usize,
+    charge: bool,
 ) {
     let geom = &job.geom;
     let plen = geom.patch_len();
@@ -196,15 +284,17 @@ fn quad_channels(
                     out,
                 );
             }
-            let per_chunk = InstrBlock::new().loads(4 + np).sdotp(4 * np);
-            let per_tail = InstrBlock::new().loads(4 + np).mac(4 * np);
-            let epilogue = InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(4 * np);
-            core.charge_block(
-                &per_chunk
-                    .repeat(chunks as u64)
-                    .then(per_tail.repeat(tail as u64))
-                    .then(epilogue),
-            );
+            if charge {
+                let per_chunk = InstrBlock::new().loads(4 + np).sdotp(4 * np);
+                let per_tail = InstrBlock::new().loads(4 + np).mac(4 * np);
+                let epilogue = InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(4 * np);
+                core.charge_block(
+                    &per_chunk
+                        .repeat(chunks as u64)
+                        .then(per_tail.repeat(tail as u64))
+                        .then(epilogue),
+                );
+            }
         }
         ExecPath::Reference(mem) => {
             let mut acc = [[0i32; 2]; 4];

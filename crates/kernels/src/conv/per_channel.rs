@@ -143,7 +143,9 @@ pub fn conv_channel_mixed(
         ctx,
         &job.conv,
         cluster,
-        |core, ctx, pos, n_patches, buf| {
+        // The mixed kernel has no batch-major entry point, so `drive`
+        // always runs it charged (the flag is true by contract).
+        |core, ctx, pos, n_patches, buf, charge| {
             for k in 0..geom.k {
                 core.outer_loop_iter();
                 let (wrow, seg) = job.row_addr(k);
@@ -162,6 +164,7 @@ pub fn conv_channel_mixed(
                             wrow,
                             dense_chunks,
                             dense_tail,
+                            charge,
                         );
                     }
                     Some(nm) => {

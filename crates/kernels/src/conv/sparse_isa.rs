@@ -14,7 +14,9 @@
 //! the two im2col buffers of the 1×2 unrolling.
 
 use super::sparse_sw::SparseConvJob;
-use super::{drive, DecimProgram, EPILOGUE_ALU};
+use super::{
+    drive, drive_conv_batch, BatchInner, ConvBatch, ConvBatchRun, DecimProgram, EPILOGUE_ALU,
+};
 use crate::bulk::{
     conv_pair_outputs, decim_table, loop_scaffold, nm_gather_dot, offsets_len, table_below,
 };
@@ -25,6 +27,7 @@ use nm_core::sparsity::Nm;
 use nm_core::Result;
 use nm_isa::{Core, DecimateMode, InstrBlock, InstrClass, Memory};
 use nm_platform::Cluster;
+use std::borrow::Cow;
 
 /// The `xDecimate` flavour for a pattern.
 ///
@@ -76,28 +79,83 @@ pub fn conv_sparse_isa_prepared(
     program: Option<&DecimProgram>,
 ) -> Result<KernelStats> {
     job.validate()?;
-    let geom = job.conv.geom;
-    let nz = job.nz_per_channel();
-    let seg_dup = nm_segment_bytes(job.nm, nz, OffsetLayout::Duplicated) as u32;
-    let mode = decimate_mode(job.nm);
-    let name = format!("conv-sparse-isa-{}", job.nm);
-    // Bulk fast path: decode every channel's duplicated offsets (entry
-    // 2b carries block b) once — reused by every output position pair. A
-    // prepared program is that same decode done at compile time.
+    let seg_dup = nm_segment_bytes(job.nm, job.nz_per_channel(), OffsetLayout::Duplicated) as u32;
     if let Some(p) = program {
         // Validated regardless of execution path, so a stale program is
         // rejected even on runs that would not consume it.
         p.check(job, OffsetLayout::Duplicated)?;
     }
-    let built;
-    let (table, in_range): (Option<&[u32]>, bool) = match ctx.path() {
+    let (table, in_range) = duplicated_table(ctx, job, program, seg_dup);
+    Ok(drive(
+        format!("conv-sparse-isa-{}", job.nm),
+        ctx,
+        &job.conv,
+        cluster,
+        isa_channel_loop(job, table.as_deref(), in_range, seg_dup),
+    ))
+}
+
+/// [`conv_sparse_isa_prepared`] swept batch-major over `batch.inputs` —
+/// the `xDecimate` analogue of
+/// [`super::sparse_sw::conv_sparse_sw_prepared_batch`]: table decoded
+/// (or validated) once for the whole batch, weights held staged, one
+/// input rewrite per request.
+///
+/// # Errors
+/// As [`conv_sparse_isa_prepared`]; additionally
+/// [`nm_core::Error::ShapeMismatch`] if a request's input length
+/// disagrees with the tile geometry.
+pub fn conv_sparse_isa_prepared_batch(
+    ctx: &mut Ctx<'_>,
+    job: &SparseConvJob,
+    cluster: &Cluster,
+    program: Option<&DecimProgram>,
+    batch: &ConvBatch<'_>,
+) -> Result<ConvBatchRun> {
+    job.validate()?;
+    let seg_dup = nm_segment_bytes(job.nm, job.nz_per_channel(), OffsetLayout::Duplicated) as u32;
+    if let Some(p) = program {
+        p.check(job, OffsetLayout::Duplicated)?;
+    }
+    let (table, in_range) = duplicated_table(ctx, job, program, seg_dup);
+    let name = format!("conv-sparse-isa-{}", job.nm);
+    let inner = table.as_deref().map(|table| BatchInner::Sparse {
+        nz: job.nz_per_channel(),
+        table,
+        in_range,
+    });
+    drive_conv_batch(
+        &name,
+        ctx,
+        &job.conv,
+        cluster,
+        batch,
+        inner,
+        isa_channel_loop(job, table.as_deref(), in_range, seg_dup),
+    )
+}
+
+/// The bulk path's decimation table for the duplicated offset stream
+/// (entry `2b` carries block `b`): borrowed from a prepared program when
+/// one is passed, else decoded from the staged offsets — reused by every
+/// output position pair (and, batch-major, by every request). `None` off
+/// the bulk path.
+fn duplicated_table<'p>(
+    ctx: &mut Ctx<'_>,
+    job: &SparseConvJob,
+    program: Option<&'p DecimProgram>,
+    seg_dup: u32,
+) -> (Option<Cow<'p, [u32]>>, bool) {
+    let geom = job.conv.geom;
+    let nz = job.nz_per_channel();
+    match ctx.path() {
         ExecPath::Bulk(mem) => match program {
-            Some(p) => (Some(p.table()), p.in_range()),
+            Some(p) => (Some(Cow::Borrowed(p.table())), p.in_range()),
             None => {
                 let offs = mem
                     .slice(job.conv.bufs.offsets, geom.k * seg_dup as usize)
                     .expect("scratchpad is zero-copy");
-                built = decim_table(
+                let built = decim_table(
                     offs,
                     geom.k,
                     seg_dup as usize,
@@ -108,40 +166,49 @@ pub fn conv_sparse_isa_prepared(
                     2,
                 );
                 let in_range = table_below(&built, geom.patch_len());
-                (Some(built.as_slice()), in_range)
+                (Some(Cow::Owned(built)), in_range)
             }
         },
         _ => (None, false),
-    };
+    }
+}
+
+/// The ISA kernel's channel loop over one position pair, shared by the
+/// single-run and batch-major entry points.
+fn isa_channel_loop<'a>(
+    job: &'a SparseConvJob,
+    table: Option<&'a [u32]>,
+    in_range: bool,
+    seg_dup: u32,
+) -> impl FnMut(&mut Core, &mut Ctx<'_>, usize, usize, u32, bool) + 'a {
+    let geom = job.conv.geom;
+    let nz = job.nz_per_channel();
+    let mode = decimate_mode(job.nm);
     let (chunks, tail) = (nz / 4, nz % 4);
     let mut outs = Vec::new(); // reused per pair by the bulk arm
-    Ok(drive(
-        name,
-        ctx,
-        &job.conv,
-        cluster,
-        |core, ctx, pos, n_patches, buf| {
-            if let ExecPath::Bulk(mem) = ctx.path() {
-                let table = table.expect("table built for the bulk path");
-                conv_pair_outputs(
-                    mem, &job.conv, nz, table, in_range, pos, n_patches, buf, &mut outs,
-                );
+    move |core, ctx, pos, n_patches, buf, charge| {
+        if let ExecPath::Bulk(mem) = ctx.path() {
+            let table = table.expect("table built for the bulk path");
+            conv_pair_outputs(
+                mem, &job.conv, nz, table, in_range, pos, n_patches, buf, &mut outs,
+            );
+            if charge {
                 let np = n_patches as u64;
                 let per_channel =
                     loop_scaffold(core.costs(), 3).then(channel_block(chunks, tail, np));
                 core.charge_block(&per_channel.repeat(geom.k as u64));
-            } else {
-                for k in 0..geom.k {
-                    core.outer_loop_iter();
-                    core.alu_n(3);
-                    core.hwloop_setup();
-                    let wrow = job.conv.bufs.weights + (k * nz) as u32;
-                    let krow = job.conv.bufs.offsets + k as u32 * seg_dup;
-                    channel_sparse_isa(core, ctx, job, mode, pos, n_patches, buf, k, wrow, krow);
-                }
             }
-        },
-    ))
+        } else {
+            for k in 0..geom.k {
+                core.outer_loop_iter();
+                core.alu_n(3);
+                core.hwloop_setup();
+                let wrow = job.conv.bufs.weights + (k * nz) as u32;
+                let krow = job.conv.bufs.offsets + k as u32 * seg_dup;
+                channel_sparse_isa(core, ctx, job, mode, pos, n_patches, buf, k, wrow, krow);
+            }
+        }
+    }
 }
 
 /// The accounting block of one `xDecimate` conv channel over `np`

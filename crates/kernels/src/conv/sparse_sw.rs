@@ -14,7 +14,10 @@
 //! * 1:4 — 23 instructions (2 more maskings, one less load: the four
 //!   2-bit offsets arrive with a single byte load). Peak 0.35.
 
-use super::{drive, ConvJob, DecimProgram, EPILOGUE_ALU};
+use super::{
+    drive, drive_conv_batch, BatchInner, ConvBatch, ConvBatchRun, ConvJob, DecimProgram,
+    EPILOGUE_ALU,
+};
 use crate::bulk::{
     conv_pair_outputs, decim_table, loop_scaffold, nm_gather_dot, offsets_len, table_below,
 };
@@ -25,6 +28,7 @@ use nm_core::sparsity::Nm;
 use nm_core::{Error, Result};
 use nm_isa::{Core, InstrBlock, InstrClass, Memory};
 use nm_platform::{Cluster, Scratchpad};
+use std::borrow::Cow;
 
 /// A sparse convolution job: the dense job description plus the pattern.
 #[derive(Debug, Clone, Copy)]
@@ -94,27 +98,83 @@ pub fn conv_sparse_sw_prepared(
     program: Option<&DecimProgram>,
 ) -> Result<KernelStats> {
     job.validate()?;
-    let geom = job.conv.geom;
-    let nz = job.nz_per_channel();
-    let seg = nm_segment_bytes(job.nm, nz, OffsetLayout::Plain) as u32;
-    let name = format!("conv-sparse-sw-{}", job.nm);
-    // Bulk fast path: decode every channel's offsets once — each table
-    // entry is reused by every output position pair. A prepared program
-    // is that same decode done at compile time.
+    let seg = nm_segment_bytes(job.nm, job.nz_per_channel(), OffsetLayout::Plain) as u32;
     if let Some(p) = program {
         // Validated regardless of execution path, so a stale program is
         // rejected even on runs that would not consume it.
         p.check(job, OffsetLayout::Plain)?;
     }
-    let built;
-    let (table, in_range): (Option<&[u32]>, bool) = match ctx.path() {
+    let (table, in_range) = plain_table(ctx, job, program, seg);
+    Ok(drive(
+        format!("conv-sparse-sw-{}", job.nm),
+        ctx,
+        &job.conv,
+        cluster,
+        sw_channel_loop(job, table.as_deref(), in_range, seg),
+    ))
+}
+
+/// [`conv_sparse_sw_prepared`] swept batch-major over `batch.inputs`:
+/// the packed values, offsets and the decimation table (decoded — or
+/// validated, when prepared — **once for the whole batch**) stay staged
+/// while each request's input rewrites the input buffer. Per-request
+/// statistics and outputs are bit-identical to staging and running each
+/// request alone (see `drive_conv_batch`).
+///
+/// # Errors
+/// As [`conv_sparse_sw_prepared`]; additionally
+/// [`Error::ShapeMismatch`] if a request's input length disagrees with
+/// the tile geometry.
+pub fn conv_sparse_sw_prepared_batch(
+    ctx: &mut Ctx<'_>,
+    job: &SparseConvJob,
+    cluster: &Cluster,
+    program: Option<&DecimProgram>,
+    batch: &ConvBatch<'_>,
+) -> Result<ConvBatchRun> {
+    job.validate()?;
+    let seg = nm_segment_bytes(job.nm, job.nz_per_channel(), OffsetLayout::Plain) as u32;
+    if let Some(p) = program {
+        p.check(job, OffsetLayout::Plain)?;
+    }
+    let (table, in_range) = plain_table(ctx, job, program, seg);
+    let name = format!("conv-sparse-sw-{}", job.nm);
+    let inner = table.as_deref().map(|table| BatchInner::Sparse {
+        nz: job.nz_per_channel(),
+        table,
+        in_range,
+    });
+    drive_conv_batch(
+        &name,
+        ctx,
+        &job.conv,
+        cluster,
+        batch,
+        inner,
+        sw_channel_loop(job, table.as_deref(), in_range, seg),
+    )
+}
+
+/// The bulk path's decimation table: borrowed from a prepared program
+/// when one is passed, else decoded from the staged offsets — each table
+/// entry is reused by every output position pair (and, batch-major, by
+/// every request). `None` off the bulk path.
+fn plain_table<'p>(
+    ctx: &mut Ctx<'_>,
+    job: &SparseConvJob,
+    program: Option<&'p DecimProgram>,
+    seg: u32,
+) -> (Option<Cow<'p, [u32]>>, bool) {
+    let geom = job.conv.geom;
+    let nz = job.nz_per_channel();
+    match ctx.path() {
         ExecPath::Bulk(mem) => match program {
-            Some(p) => (Some(p.table()), p.in_range()),
+            Some(p) => (Some(Cow::Borrowed(p.table())), p.in_range()),
             None => {
                 let offs = mem
                     .slice(job.conv.bufs.offsets, geom.k * seg as usize)
                     .expect("scratchpad is zero-copy");
-                built = decim_table(
+                let built = decim_table(
                     offs,
                     geom.k,
                     seg as usize,
@@ -125,41 +185,49 @@ pub fn conv_sparse_sw_prepared(
                     1,
                 );
                 let in_range = table_below(&built, geom.patch_len());
-                (Some(built.as_slice()), in_range)
+                (Some(Cow::Owned(built)), in_range)
             }
         },
         _ => (None, false),
-    };
+    }
+}
+
+/// The software kernel's channel loop over one position pair, shared by
+/// the single-run and batch-major entry points.
+fn sw_channel_loop<'a>(
+    job: &'a SparseConvJob,
+    table: Option<&'a [u32]>,
+    in_range: bool,
+    seg: u32,
+) -> impl FnMut(&mut Core, &mut Ctx<'_>, usize, usize, u32, bool) + 'a {
+    let geom = job.conv.geom;
+    let nz = job.nz_per_channel();
     let bits = job.nm.offset_bits();
     let (chunks, tail) = (nz / 4, nz % 4);
     let mut outs = Vec::new(); // reused per pair by the bulk arm
-    Ok(drive(
-        name,
-        ctx,
-        &job.conv,
-        cluster,
-        |core, ctx, pos, n_patches, buf| {
-            if let ExecPath::Bulk(mem) = ctx.path() {
-                let table = table.expect("table built for the bulk path");
-                conv_pair_outputs(
-                    mem, &job.conv, nz, table, in_range, pos, n_patches, buf, &mut outs,
-                );
+    move |core, ctx, pos, n_patches, buf, charge| {
+        if let ExecPath::Bulk(mem) = ctx.path() {
+            let table = table.expect("table built for the bulk path");
+            conv_pair_outputs(
+                mem, &job.conv, nz, table, in_range, pos, n_patches, buf, &mut outs,
+            );
+            if charge {
                 let np = n_patches as u64;
                 let per_channel =
                     loop_scaffold(core.costs(), 3).then(channel_block(bits, chunks, tail, np));
                 core.charge_block(&per_channel.repeat(geom.k as u64));
-            } else {
-                for k in 0..geom.k {
-                    core.outer_loop_iter();
-                    core.alu_n(3);
-                    core.hwloop_setup();
-                    let wrow = job.conv.bufs.weights + (k * nz) as u32;
-                    let krow = job.conv.bufs.offsets + k as u32 * seg;
-                    channel_sparse_sw(core, ctx, job, pos, n_patches, buf, k, wrow, krow);
-                }
             }
-        },
-    ))
+        } else {
+            for k in 0..geom.k {
+                core.outer_loop_iter();
+                core.alu_n(3);
+                core.hwloop_setup();
+                let wrow = job.conv.bufs.weights + (k * nz) as u32;
+                let krow = job.conv.bufs.offsets + k as u32 * seg;
+                channel_sparse_sw(core, ctx, job, pos, n_patches, buf, k, wrow, krow);
+            }
+        }
+    }
 }
 
 /// The accounting block of one software-decimation conv channel over

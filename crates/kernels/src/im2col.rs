@@ -129,6 +129,47 @@ fn row_split(geom: &ConvGeom, oy: usize, ox: usize, ky: usize) -> RowSplit {
     }
 }
 
+/// Builds the *transposed* im2col patch block for output position `pos`
+/// across `NR` batch request inputs: element `i` of request `r`'s patch
+/// lands at `dst[i * NR + r]` (`dst.len() == patch_len() * NR`).
+/// Host-side data movement only — the uncharged batch sweep
+/// (`conv::drive_conv_batch`) uses this layout so each gathered patch
+/// element is contiguous across requests and the request-inner dot loop
+/// vectorizes at a compile-time width. Row decomposition goes through
+/// the same [`row_split`] as every other im2col consumer, so the
+/// per-request bytes are exactly what a per-request materialization
+/// would produce.
+pub(crate) fn patch_transposed<const NR: usize>(
+    geom: &ConvGeom,
+    inputs: &[&[i8]; NR],
+    pos: usize,
+    dst: &mut [u8],
+) {
+    let c = geom.c;
+    let row_bytes = geom.fx * c;
+    debug_assert_eq!(dst.len(), geom.patch_len() * NR);
+    let (oy, ox) = (pos / geom.ox(), pos % geom.ox());
+    for ky in 0..geom.fy {
+        let s = row_split(geom, oy, ox, ky);
+        let base = ky * row_bytes;
+        let Some(y) = s.y else {
+            dst[base * NR..(base + row_bytes) * NR].fill(0);
+            continue;
+        };
+        let (left, span) = (s.left * c, s.span * c);
+        dst[base * NR..(base + left) * NR].fill(0);
+        dst[(base + left + span) * NR..(base + row_bytes) * NR].fill(0);
+        let src0 = (y * geom.ix + s.x) * c;
+        let span_dst = &mut dst[(base + left) * NR..(base + left + span) * NR];
+        for (r, input) in inputs.iter().enumerate() {
+            let src = &input[src0..src0 + span];
+            for (i, &v) in src.iter().enumerate() {
+                span_dst[i * NR + r] = v as u8;
+            }
+        }
+    }
+}
+
 /// Charges (and, when emulating, performs) a copy of `len` bytes from
 /// `src` to `dst` using word accesses plus a byte tail.
 fn copy_bytes(core: &mut Core, ctx: &mut Ctx<'_>, src: u32, dst: u32, len: usize) {
@@ -416,6 +457,29 @@ impl PatchState {
             self.logical[p] = Some(flat);
         }
         core.charge_block(&block);
+    }
+
+    /// Records the slots' new logical contents without charging anything
+    /// — the uncharged twin of [`PatchState::fill`]. Batch-major sweeps
+    /// use it for requests after the first, whose statistics are reused
+    /// from request 0 (kernel charging depends only on geometry and
+    /// weights, never on activation values), so only the data movement
+    /// of [`PatchState::materialize`] / [`PatchState::finish`] remains.
+    ///
+    /// # Panics
+    /// Panics if `n_patches` is not 1 or 2 or positions run past the
+    /// output (mirroring [`PatchState::fill`]).
+    pub fn record(&mut self, geom: &ConvGeom, pos: usize, n_patches: usize) {
+        assert!(
+            n_patches == 1 || n_patches == 2,
+            "kernels unroll over at most two patches"
+        );
+        let ox_total = geom.ox();
+        for p in 0..n_patches {
+            let flat = pos + p;
+            assert!(flat < ox_total * geom.oy(), "output position out of range");
+            self.logical[p] = Some(flat);
+        }
     }
 
     /// Brings the scratchpad buffers up to date with the logical slot

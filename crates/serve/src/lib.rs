@@ -9,9 +9,12 @@
 //! many requests share one prepared model (weights packed and kernel
 //! programs decoded exactly once per (model, format, options) cache
 //! key), a bounded submission queue applies backpressure by shedding,
-//! and a worker pool coalesces same-model requests into multi-token
-//! batches so Linear tile weights stage once per batch instead of once
-//! per request.
+//! and a worker pool coalesces same-model requests into batches that
+//! execute under the model's [`BatchPlan`]: Linear/activation chains
+//! stack into one multi-token pass, conv graphs run layer-major with
+//! each conv tile's packed weights staged once per batch, and
+//! everything else runs sequentially — with the executed plan reported
+//! on every result ([`InferenceResult::mode`]).
 //!
 //! ```no_run
 //! # use nm_serve::{Service, ServiceConfig};
@@ -47,20 +50,32 @@
 //!   execution state (scratchpads come from a per-model
 //!   `nm_platform::ScratchpadPool` that resets pads to the fresh state
 //!   on checkin);
-//! * batch coalescing routes through
-//!   [`PreparedGraph::run_batch`], whose multi-token pass runs each
-//!   request as its own sequence of kernel invocations on the shared
-//!   staged weights — kernel cycle counts depend only on geometry and
-//!   weights, and per-request cycles are attributed per token;
+//! * batch coalescing routes through [`PreparedGraph::run_batch`],
+//!   which executes the graph's [`BatchPlan`]
+//!   ([`PreparedGraph::batch_plan`]). Under
+//!   [`BatchPlan::TokenCoalesced`] each request is its own token of one
+//!   stacked multi-token pass; under [`BatchPlan::ConvBatchMajor`] each
+//!   request is its own sweep over every conv tile's held weight
+//!   staging, with per-request kernel statistics threaded out of the
+//!   batched kernels. Either way each request is a separate sequence of
+//!   kernel invocations on the shared staged weights — kernel cycle
+//!   counts depend only on geometry and weights, never on activation
+//!   values — so per-request outputs and cycle attribution match the
+//!   sequential run bit for bit. [`BatchPlan::Sequential`] *is* the
+//!   sequential loop;
 //! * scheduling affects only *wall-clock* quantities, which are
 //!   reported separately ([`InferenceResult::latency`],
 //!   [`InferenceResult::batch_size`]) and carry no simulated meaning.
+//!   The plan a batch actually executed under is reported as
+//!   [`InferenceResult::mode`] — `batch_size > 1` alone does not imply
+//!   shared work (see [`BatchPlan::shares_work`]).
 //!
 //! The contract is enforced end to end by the repo's differential test
 //! (`tests/tests/serve_parity.rs`): random graphs × random
 //! interleavings × worker counts {1, 2, 3, 8} × batch limits
 //! {1, 4, 16} × both bulk settings, compared request-by-request against
-//! the sequential loop.
+//! the sequential loop — plus a conv sweep serving the pruned ResNet-18
+//! model under [`BatchPlan::ConvBatchMajor`] across the same grid.
 //!
 //! ## Overload and shutdown
 //!
@@ -137,6 +152,10 @@ pub use service::{
     InferenceResult, ModelId, ServeError, Service, ServiceConfig, ServiceStats, SubmitError, Ticket,
 };
 
+/// Re-exported from `nm_compiler` so serving callers can match on
+/// [`InferenceResult::mode`] without a direct compiler dependency.
+pub use nm_compiler::BatchPlan;
+
 #[allow(unused_imports)] // doc links above resolve through this import
 use nm_compiler::PreparedGraph;
 
@@ -189,6 +208,7 @@ mod tests {
             assert_eq!(got.output, want.output);
             assert_eq!(got.sim_cycles, want.matmul_compute_cycles);
             assert_eq!(got.batch_size, 4, "8 queued requests over max_batch 4");
+            assert_eq!(got.mode, BatchPlan::TokenCoalesced, "MLP chain coalesces");
         }
         let stats = service.shutdown();
         assert_eq!(stats.submitted, 8);
@@ -284,6 +304,7 @@ mod tests {
         for t in tickets {
             let r = t.wait().unwrap();
             assert_eq!(r.batch_size, 8, "aliased ids must share one batch");
+            assert!(r.mode.shares_work(), "a shared batch reports its plan");
         }
         let stats = service.shutdown();
         assert_eq!(stats.batches, 1);

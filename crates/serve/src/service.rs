@@ -7,7 +7,7 @@ use crate::cache::ModelCache;
 use crate::fault::{FaultAction, FaultPlan, FaultPoint};
 use crate::queue::{BoundedQueue, Popped, PushError};
 use crate::supervisor::Supervisor;
-use nm_compiler::{Options, PreparedGraph};
+use nm_compiler::{BatchPlan, Options, PreparedGraph};
 use nm_core::{Error, Tensor};
 use nm_nn::graph::Graph;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -142,10 +142,16 @@ pub struct InferenceResult {
     /// Deterministic per-request simulated compute cycles — identical
     /// to a sequential run's, whatever batch the request rode in.
     pub sim_cycles: u64,
-    /// Requests coalesced into the batch that served this one
+    /// Requests that rode in the batch that served this one
     /// (informational; `1` when the request was re-run individually
-    /// after a batch-level panic).
+    /// after a batch-level panic). A batch size above one does **not**
+    /// by itself mean any work was shared — `mode` is the authority on
+    /// that.
     pub batch_size: usize,
+    /// The [`BatchPlan`] the batch actually executed under:
+    /// [`BatchPlan::Sequential`] (with the reason) when the requests
+    /// ran one by one, the sharing plan otherwise.
+    pub mode: BatchPlan,
     /// Wall-clock submit-to-completion latency (informational,
     /// host-dependent — the deterministic quantity is `sim_cycles`).
     pub latency: Duration,
@@ -741,6 +747,7 @@ fn run_batch_isolated(inner: &ServiceInner, batch: Vec<Pending>, injected: Optio
                     output: run.output,
                     sim_cycles: run.matmul_compute_cycles,
                     batch_size: n,
+                    mode: prepared.batch_plan().executed(n),
                     latency: pending.submitted.elapsed(),
                 };
                 pending.fulfill(Ok(result));
@@ -783,6 +790,7 @@ fn run_batch_isolated(inner: &ServiceInner, batch: Vec<Pending>, injected: Optio
                             output: run.output,
                             sim_cycles: run.matmul_compute_cycles,
                             batch_size: 1,
+                            mode: prepared.batch_plan().executed(1),
                             latency: pending.submitted.elapsed(),
                         };
                         pending.fulfill(Ok(result));

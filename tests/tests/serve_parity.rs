@@ -5,12 +5,12 @@
 //! `PreparedGraph::run` loop over the same requests — the determinism
 //! contract documented at the top of `nm-serve`.
 
-use nm_compiler::{Options, PreparedGraph, Target};
+use nm_compiler::{BatchPlan, Options, PreparedGraph, Target};
 use nm_core::quant::Requant;
 use nm_core::sparsity::Nm;
 use nm_core::{FcGeom, Tensor};
 use nm_integration::{make_exact_nm, random_i8, sparse_conv_fc_graph};
-use nm_models::mlp_serve_sparse;
+use nm_models::{mlp_serve_sparse, resnet18_cifar_serve_sparse};
 use nm_nn::graph::Graph;
 use nm_nn::layer::LinearLayer;
 use nm_nn::rng::XorShift;
@@ -18,13 +18,14 @@ use nm_nn::GraphBuilder;
 use nm_serve::{Service, ServiceConfig};
 use std::sync::Arc;
 
-/// A small conv+fc graph — **not** token-batchable, so the service's
-/// batch path must fall back to the sequential per-request loop.
+/// A small conv+fc graph — not a Linear chain, so its batch plan is the
+/// conv-batch-major walk (conv tiles staged once per batch).
 fn conv_fc_graph(nm: Nm) -> Arc<Graph> {
     Arc::new(sparse_conv_fc_graph(10, 6, nm, 3))
 }
 
-/// A token-batchable sparse MLP — the coalescing path's subject.
+/// A token-coalescible sparse MLP — the stacked multi-token plan's
+/// subject.
 fn mlp_graph(nm: Nm) -> Arc<Graph> {
     Arc::new(mlp_serve_sparse(&[64, 48, 32], nm, 5).unwrap())
 }
@@ -141,7 +142,7 @@ fn coalesced_k_tiled_mlp_matches_sequential() {
         opts.bulk_emulation = bulk;
         opts.l1_budget = 512; // forces K-tiling of every layer
         let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
-        assert!(prepared.token_batchable());
+        assert_eq!(prepared.batch_plan(), BatchPlan::TokenCoalesced);
         let xs = random_inputs(graph.input_shape(), 16, 33);
         let expected: Vec<_> = xs.iter().map(|x| prepared.run(x).unwrap()).collect();
 
@@ -173,32 +174,41 @@ fn coalesced_k_tiled_mlp_matches_sequential() {
 }
 
 /// `run_batch` itself (no service): the batched entry point must equal
-/// per-request `run` calls for both a coalescible and a fallback graph,
-/// and reject shape mismatches atomically.
+/// per-request `run` calls under both work-sharing plans, and reject
+/// shape mismatches atomically — naming the failing request.
 #[test]
 fn run_batch_matches_individual_runs() {
     let nm = Nm::ONE_OF_EIGHT;
-    for (graph, batchable) in [(mlp_graph(nm), true), (conv_fc_graph(nm), false)] {
+    for (graph, plan) in [
+        (mlp_graph(nm), BatchPlan::TokenCoalesced),
+        (conv_fc_graph(nm), BatchPlan::ConvBatchMajor),
+    ] {
         let opts = Options::new(Target::SparseIsa);
         let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
-        assert_eq!(prepared.token_batchable(), batchable);
+        assert_eq!(prepared.batch_plan(), plan);
+        let label = plan.label();
         let xs = random_inputs(graph.input_shape(), 5, 77);
         let refs: Vec<&Tensor<i8>> = xs.iter().collect();
         let batched = prepared.run_batch(&refs).unwrap();
         assert_eq!(batched.len(), xs.len());
         for (x, b) in xs.iter().zip(&batched) {
             let solo = prepared.run(x).unwrap();
-            assert_eq!(b.output, solo.output, "batchable={batchable}");
+            assert_eq!(b.output, solo.output, "plan={label}");
             assert_eq!(
                 b.matmul_compute_cycles, solo.matmul_compute_cycles,
-                "batchable={batchable}"
+                "plan={label}"
             );
         }
-        // A wrong-shaped rider poisons the whole batch up front.
+        // A wrong-shaped rider poisons the whole batch up front, and
+        // the error names which request it was.
         let bad = Tensor::from_vec(&[3], vec![0i8; 3]).unwrap();
         let mut with_bad = refs.clone();
         with_bad.push(&bad);
-        assert!(prepared.run_batch(&with_bad).is_err());
+        let err = prepared.run_batch(&with_bad).unwrap_err();
+        assert!(
+            err.to_string().contains("batch request 5"),
+            "error must name the failing request: {err}"
+        );
     }
 }
 
@@ -224,8 +234,9 @@ fn linear_dag_is_not_coalesced_but_still_batches_correctly() {
     let opts = Options::new(Target::SparseIsa);
     let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
     assert!(
-        !prepared.token_batchable(),
-        "a non-chain Linear DAG must not be coalesced"
+        matches!(prepared.batch_plan(), BatchPlan::Sequential { .. }),
+        "a non-chain Linear DAG must plan sequential execution, got {:?}",
+        prepared.batch_plan()
     );
     let xs = random_inputs(&[c], 4, 47);
     let refs: Vec<&Tensor<i8>> = xs.iter().collect();
@@ -233,6 +244,84 @@ fn linear_dag_is_not_coalesced_but_still_batches_correctly() {
         let solo = prepared.run(x).unwrap();
         assert_eq!(run.output, solo.output);
         assert_eq!(run.matmul_compute_cycles, solo.matmul_compute_cycles);
+    }
+}
+
+// The conv-batch-major plan at model scale: the pruned ResNet-18
+// serving model (16 sparse convs, residual Adds, pools, a final FC)
+// served across worker counts × batch limits × both emulation paths,
+// every request's output and cycle total compared bit-for-bit against
+// the sequential baseline. This is the configuration where conv tile
+// weights genuinely stage once per batch — the tentpole determinism
+// contract end to end.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "serves ResNet-18 many times; runs in release CI (cargo test --release)"
+)]
+fn resnet_conv_batch_major_matches_sequential() {
+    let nm = Nm::ONE_OF_EIGHT;
+    let graph = Arc::new(resnet18_cifar_serve_sparse(10, nm, 1).unwrap());
+    let per_wave = 16;
+    for bulk in [true, false] {
+        let mut opts = Options::new(Target::SparseIsa);
+        opts.bulk_emulation = bulk;
+        let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
+        assert_eq!(prepared.batch_plan(), BatchPlan::ConvBatchMajor);
+        let xs = random_inputs(graph.input_shape(), per_wave, 200 + u64::from(bulk));
+        let expected: Vec<_> = xs.iter().map(|x| prepared.run(x).unwrap()).collect();
+
+        for workers in [1, 2, 8] {
+            for max_batch in [1, 4, 16] {
+                let service = Service::start(ServiceConfig {
+                    queue_capacity: 2 * per_wave,
+                    max_batch,
+                    workers,
+                    ..ServiceConfig::default()
+                });
+                let model = service.register("resnet18", &graph, &opts).unwrap();
+                // Queue the whole wave before the workers see any of it
+                // so batch limits, not arrival timing, shape the batches.
+                service.pause();
+                let tickets: Vec<_> = xs
+                    .iter()
+                    .map(|x| service.submit(model, x.clone()).unwrap())
+                    .collect();
+                service.resume();
+                for (ticket, want) in tickets.into_iter().zip(&expected) {
+                    let got = ticket.wait().unwrap();
+                    assert_eq!(
+                        got.output, want.output,
+                        "output diverged: workers={workers} max_batch={max_batch} bulk={bulk}"
+                    );
+                    assert_eq!(
+                        got.sim_cycles, want.matmul_compute_cycles,
+                        "cycles diverged: workers={workers} max_batch={max_batch} bulk={bulk}"
+                    );
+                    match got.mode {
+                        BatchPlan::ConvBatchMajor => assert!(got.batch_size > 1),
+                        BatchPlan::Sequential { .. } => assert!(
+                            got.batch_size <= 1 || max_batch == 1,
+                            "sequential mode with a shared batch: workers={workers} \
+                             max_batch={max_batch} batch_size={}",
+                            got.batch_size
+                        ),
+                        BatchPlan::TokenCoalesced => {
+                            panic!("a conv graph cannot token-coalesce")
+                        }
+                    }
+                }
+                let stats = service.shutdown();
+                assert_eq!(stats.completed, per_wave as u64);
+                assert_eq!(stats.shed, 0, "queue was sized to admit everything");
+                if workers == 1 && max_batch == 16 {
+                    assert_eq!(
+                        stats.max_coalesced, 16,
+                        "one worker over a paused full wave coalesces it whole (bulk={bulk})"
+                    );
+                }
+            }
+        }
     }
 }
 
