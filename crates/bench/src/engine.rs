@@ -61,11 +61,22 @@ pub enum Path {
     Bulk,
     /// Charge-only analytic mode (`Ctx::Analytic`).
     Analytic,
+    /// Native execution tier (`ExecTier::Native`): same kernel bodies
+    /// as bulk with charging compiled out — outputs only, no simulated
+    /// cycles. Measured on the gated `*-native` network rows;
+    /// `sim_cycles` is 0 there and `sim_macs_per_sec` is a pure
+    /// wall-clock quantity.
+    Native,
 }
 
 impl Path {
-    /// All measured paths.
-    pub const ALL: [Path; 3] = [Path::Reference, Path::Bulk, Path::Analytic];
+    /// All path names that can appear in a report.
+    pub const ALL: [Path; 4] = [Path::Reference, Path::Bulk, Path::Analytic, Path::Native];
+
+    /// The cycle-simulating paths every kernel workload is measured on
+    /// (the native tier is measured on the dedicated `*-native` network
+    /// workloads instead).
+    pub const SIMULATED: [Path; 3] = [Path::Reference, Path::Bulk, Path::Analytic];
 
     /// Stable name used in the JSON report.
     pub fn name(self) -> &'static str {
@@ -73,12 +84,25 @@ impl Path {
             Path::Reference => "reference",
             Path::Bulk => "bulk",
             Path::Analytic => "analytic",
+            Path::Native => "native",
         }
     }
 
     /// Inverse of [`Path::name`] (for re-ingesting parsed reports).
     pub fn from_name(name: &str) -> Option<Path> {
         Path::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// The [`nm_compiler::ExecTier`] a network/serving measurement on
+    /// this path runs under ([`Path::Analytic`] is a planner mode, not
+    /// an executor mode, and has no tier).
+    pub fn tier(self) -> Option<nm_compiler::ExecTier> {
+        match self {
+            Path::Reference => Some(nm_compiler::ExecTier::Reference),
+            Path::Bulk => Some(nm_compiler::ExecTier::Bulk),
+            Path::Native => Some(nm_compiler::ExecTier::Native),
+            Path::Analytic => None,
+        }
     }
 }
 
@@ -190,15 +214,45 @@ impl EngineReport {
             ));
         }
         out.push_str("  ],\n  \"speedup_bulk_vs_reference\": {\n");
-        let kernels = self.kernels();
-        for (i, k) in kernels.iter().enumerate() {
-            let s = self.speedup_vs_reference(k).unwrap_or(f64::NAN);
+        // Kernels without a reference/bulk pair (the `*-native` rows)
+        // have no bulk-vs-reference speedup and are skipped here.
+        let pairs: Vec<(String, f64)> = self
+            .kernels()
+            .into_iter()
+            .filter_map(|k| {
+                let s = self.speedup_vs_reference(&k)?;
+                Some((k, s))
+            })
+            .collect();
+        for (i, (k, s)) in pairs.iter().enumerate() {
             out.push_str(&format!(
                 "    \"{}\": {:.2}{}\n",
                 k,
                 s,
-                if i + 1 == kernels.len() { "" } else { "," }
+                if i + 1 == pairs.len() { "" } else { "," }
             ));
+        }
+        // The native rows' only meaningful cross-tier number: per-rep
+        // bulk wall-clock over per-rep native wall-clock of the same
+        // network (no cycles are simulated on the native tier).
+        let native: Vec<(String, f64)> = self
+            .kernels()
+            .into_iter()
+            .filter_map(|k| {
+                let s = self.speedup_native_vs_bulk(&k)?;
+                Some((k, s))
+            })
+            .collect();
+        if !native.is_empty() {
+            out.push_str("  },\n  \"speedup_native_vs_bulk\": {\n");
+            for (i, (k, s)) in native.iter().enumerate() {
+                out.push_str(&format!(
+                    "    \"{}\": {:.2}{}\n",
+                    k,
+                    s,
+                    if i + 1 == native.len() { "" } else { "," }
+                ));
+            }
         }
         // The seed-baseline comparison only makes sense when every seed
         // kernel was measured; a filtered run just omits the section.
@@ -251,6 +305,22 @@ impl EngineReport {
         ));
         out.push_str("  }\n}\n");
         out
+    }
+
+    /// Wall-clock-per-rep speedup of a `*-native` network row over its
+    /// base workload's bulk row — the charging overhead the native tier
+    /// removes. `None` unless `native_kernel` ends in `-native` and
+    /// both rows are present (rep counts may differ; the comparison is
+    /// per invocation).
+    pub fn speedup_native_vs_bulk(&self, native_kernel: &str) -> Option<f64> {
+        let base = native_kernel.strip_suffix("-native")?;
+        let per_rep = |k: &str, p: Path| {
+            self.rows
+                .iter()
+                .find(|r| r.kernel == k && r.path == p)
+                .map(|r| r.wall_s / f64::from(r.reps))
+        };
+        Some(per_rep(base, Path::Bulk)? / per_rep(native_kernel, Path::Native)?)
     }
 
     /// Bulk wall-clock speedup of `kernel` over the recorded seed
@@ -311,6 +381,7 @@ fn ctx_for<'a>(path: Path, l1: &'a mut Scratchpad) -> Ctx<'a> {
         Path::Reference => Ctx::Mem(l1),
         Path::Bulk => Ctx::MemBulk(l1),
         Path::Analytic => Ctx::Analytic,
+        Path::Native => Ctx::MemNative(l1),
     }
 }
 
@@ -318,7 +389,7 @@ fn time_paths<F>(rows: &mut Vec<EngineRow>, l1: &Scratchpad, reps: u32, run: F)
 where
     F: Fn(&mut Ctx<'_>) -> KernelStats,
 {
-    for path in Path::ALL {
+    for path in Path::SIMULATED {
         let mut scratch = l1.clone();
         // One warm-up invocation, also the source of name/stats.
         let stats = run(&mut ctx_for(path, &mut scratch));
@@ -345,7 +416,7 @@ where
 /// names `--filter` matches against. `run_suite_filtered` asserts the
 /// registry against this list, so it cannot drift from the measured
 /// kernel names.
-pub const WORKLOAD_NAMES: [&str; 19] = [
+pub const WORKLOAD_NAMES: [&str; 21] = [
     "fc-dense-1x2",
     "fc-sparse-sw-1:8",
     "fc-sparse-isa-1:8",
@@ -358,7 +429,9 @@ pub const WORKLOAD_NAMES: [&str; 19] = [
     "im2col-3x3s1p1",
     "im2col-5x5s2p2",
     "net-resnet18-cifar",
+    "net-resnet18-cifar-native",
     "net-vit-tiny",
+    "net-vit-tiny-native",
     "net-serve-resnet18-b1",
     "net-serve-resnet18-b4",
     "net-serve-resnet18-b16",
@@ -393,20 +466,29 @@ pub const SERVE_REQUESTS: usize = 16;
 /// rep counts only make sense in the snapshot-refresh run.
 pub const NET_SERVE_REPS_DIVISOR: u32 = 25;
 
-/// Times [`PreparedGraph::run`] per inference on the reference and bulk
-/// paths (the analytic path is a planner mode, not an executor mode —
-/// network rows have no analytic measurement). The prepare step runs
-/// once outside the timed loop: these rows measure the compile-once /
-/// run-many split serving pays, with packing fully amortized.
-fn time_network(rows: &mut Vec<EngineRow>, name: &str, graph: &Graph, target: Target, reps: u32) {
+/// Times [`PreparedGraph::run`] per inference on each of `paths` (the
+/// analytic path is a planner mode, not an executor mode — network rows
+/// have no analytic measurement). The prepare step runs once outside
+/// the timed loop: these rows measure the compile-once / run-many split
+/// serving pays, with packing fully amortized. On [`Path::Native`] the
+/// row's `sim_cycles` is 0 (cycles are not simulated on that tier) and
+/// the measurement is wall-clock only.
+fn time_network(
+    rows: &mut Vec<EngineRow>,
+    name: &str,
+    graph: &Graph,
+    target: Target,
+    reps: u32,
+    paths: &[Path],
+) {
     let mut rng = XorShift::new(11);
     let shape = graph.input_shape().to_vec();
     let elems: usize = shape.iter().product();
     let input = Tensor::from_vec(&shape, rng.fill_weights(elems, 50)).unwrap();
     let dense_macs = graph.dense_macs() as u64;
-    for path in [Path::Reference, Path::Bulk] {
+    for &path in paths {
         let mut opts = Options::new(target);
-        opts.bulk_emulation = path == Path::Bulk;
+        opts.tier = path.tier().expect("network paths are executor tiers");
         let prepared = PreparedGraph::prepare(graph, &opts).expect("network compiles");
         // One warm-up inference, also the source of the cycle total.
         let warm = prepared.run(&input).expect("network runs");
@@ -426,6 +508,48 @@ fn time_network(rows: &mut Vec<EngineRow>, name: &str, graph: &Graph, target: Ta
             sim_cycles: warm.matmul_compute_cycles,
         });
     }
+}
+
+/// Snapshot-under-chaos guard: rows measured with chaos fault injection
+/// armed are not perf-comparable (sheds and isolation re-runs change
+/// the work done), so a JSON/snapshot-producing run must hard-error
+/// instead of quietly emitting a contaminated report. Pass the current
+/// values of `NM_SERVE_CHAOS_SEED` / `NM_SERVE_CHAOS_FAULTS`; the
+/// returned error names the offending variable. Pure so the guard is
+/// unit-testable without mutating the process environment — the
+/// `engine` binary feeds it `std::env::var` (see also
+/// [`snapshot_chaos_guard_from_env`]).
+///
+/// # Errors
+/// The refusal message, naming the armed environment variable, when
+/// either value is set.
+pub fn snapshot_chaos_guard(seed: Option<&str>, faults: Option<&str>) -> Result<(), String> {
+    let knobs = [
+        ("NM_SERVE_CHAOS_SEED", seed),
+        ("NM_SERVE_CHAOS_FAULTS", faults),
+    ];
+    for (var, value) in knobs {
+        if let Some(v) = value {
+            return Err(format!(
+                "refusing to emit a JSON report: chaos fault injection is armed \
+                 ({var}={v}); rows measured under chaos are not perf-comparable \
+                 and must never reach BENCH_engine.json or the perf gate — \
+                 unset {var} and rerun"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// [`snapshot_chaos_guard`] over the live process environment.
+///
+/// # Errors
+/// As [`snapshot_chaos_guard`].
+pub fn snapshot_chaos_guard_from_env() -> Result<(), String> {
+    snapshot_chaos_guard(
+        std::env::var("NM_SERVE_CHAOS_SEED").ok().as_deref(),
+        std::env::var("NM_SERVE_CHAOS_FAULTS").ok().as_deref(),
+    )
 }
 
 /// The serving rows' chaos knobs: `Some((seed, faults))` when
@@ -486,7 +610,6 @@ fn time_serve(
     let chaos = serve_chaos_env();
     for path in [Path::Reference, Path::Bulk] {
         let mut opts = Options::new(target);
-        opts.bulk_emulation = path == Path::Bulk;
         opts.host_threads = 1;
         let plan = chaos.map(|(seed, n)| Arc::new(FaultPlan::seeded(seed, n)));
         let service = Service::start(ServiceConfig {
@@ -495,6 +618,9 @@ fn time_serve(
             queue_capacity: SERVE_REQUESTS,
             max_batch,
             workers: 1,
+            // The measured emulation path is the service's tier (the
+            // service overrides `opts.tier` at registration).
+            tier: path.tier().expect("serve paths are executor tiers"),
             // The soak must survive even a plan whose every spec kills
             // a worker: budget comfortably above the fault count.
             restart_budget: chaos.map_or(8, |(_, n)| n as u32 + 4),
@@ -553,6 +679,7 @@ fn time_serve(
                     Ok(r) => {
                         mode.set(r.mode.label());
                         r.sim_cycles
+                            .expect("serve rows run on cycle-accurate tiers")
                     }
                     Err(ServeError::DeadlineExceeded) => {
                         expired.set(expired.get() + 1);
@@ -685,10 +812,13 @@ pub fn run_suite_filtered(reps: u32, filter: Option<&str>) -> EngineReport {
         (l1, job)
     };
 
-    // The serving families' graphs, built (and pruned) once and shared
-    // by each family's three batch-size rows — lazily, so filtered runs
-    // that skip a family don't pay its build. Declared before the
-    // registry so the row closures can borrow them.
+    // The network and serving families' graphs, built (and pruned) once
+    // and shared by each family's rows (the `*-native` rows reuse their
+    // base workload's graph) — lazily, so filtered runs that skip a
+    // family don't pay its build. Declared before the registry so the
+    // row closures can borrow them.
+    let net_resnet: std::cell::OnceCell<Graph> = std::cell::OnceCell::new();
+    let net_vit: std::cell::OnceCell<Graph> = std::cell::OnceCell::new();
     let serve_resnet: std::cell::OnceCell<Arc<Graph>> = std::cell::OnceCell::new();
     let serve_mlp: std::cell::OnceCell<Arc<Graph>> = std::cell::OnceCell::new();
 
@@ -872,30 +1002,64 @@ pub fn run_suite_filtered(reps: u32, filter: Option<&str>) -> EngineReport {
         // End-to-end networks through the compile-once executor: the
         // paper's CIFAR ResNet18 pruned to 1:8 on the `xDecimate`
         // target, and the multi-token tiny ViT with 1:8 feed-forward
-        // layers (attention stays dense) — prepare once, run many.
+        // layers (attention stays dense) — prepare once, run many. Each
+        // network also has a gated `*-native` row: the same prepared
+        // graph on `ExecTier::Native` (identical outputs, no simulated
+        // cycles), whose wall-clock speedup over the bulk row is the
+        // charging overhead the native tier removes.
         (
             "net-resnet18-cifar",
             Box::new(|rows, reps| {
-                let g = resnet18_cifar_sparse(100, nm, 1).unwrap();
+                let g = net_resnet.get_or_init(|| resnet18_cifar_sparse(100, nm, 1).unwrap());
                 time_network(
                     rows,
                     "net-resnet18-cifar",
-                    &g,
+                    g,
                     Target::SparseIsa,
                     reps.div_ceil(NET_REPS_DIVISOR),
+                    &[Path::Reference, Path::Bulk],
+                );
+            }),
+        ),
+        (
+            "net-resnet18-cifar-native",
+            Box::new(|rows, reps| {
+                let g = net_resnet.get_or_init(|| resnet18_cifar_sparse(100, nm, 1).unwrap());
+                time_network(
+                    rows,
+                    "net-resnet18-cifar-native",
+                    g,
+                    Target::SparseIsa,
+                    reps.div_ceil(NET_REPS_DIVISOR),
+                    &[Path::Native],
                 );
             }),
         ),
         (
             "net-vit-tiny",
             Box::new(|rows, reps| {
-                let g = vit_tiny_sparse_for_tests(nm, 4).unwrap();
+                let g = net_vit.get_or_init(|| vit_tiny_sparse_for_tests(nm, 4).unwrap());
                 time_network(
                     rows,
                     "net-vit-tiny",
-                    &g,
+                    g,
                     Target::SparseIsa,
                     reps.saturating_mul(NET_LIGHT_REPS_FACTOR),
+                    &[Path::Reference, Path::Bulk],
+                );
+            }),
+        ),
+        (
+            "net-vit-tiny-native",
+            Box::new(|rows, reps| {
+                let g = net_vit.get_or_init(|| vit_tiny_sparse_for_tests(nm, 4).unwrap());
+                time_network(
+                    rows,
+                    "net-vit-tiny-native",
+                    g,
+                    Target::SparseIsa,
+                    reps.saturating_mul(NET_LIGHT_REPS_FACTOR),
+                    &[Path::Native],
                 );
             }),
         ),
@@ -974,15 +1138,15 @@ pub fn run_suite_filtered(reps: u32, filter: Option<&str>) -> EngineReport {
 mod tests {
     use super::*;
 
-    /// The registry covers nineteen workloads with stable names. The
+    /// The registry covers twenty-one workloads with stable names. The
     /// full suite is exercised in release (snapshot + CI perf gate);
     /// here the debug-mode test executes cheap subsets — the FC kernels
     /// for three-path coverage and the tiny-ViT network for the net-row
     /// shape — instead of paying for a per-instruction ResNet18
     /// emulation on every `cargo test`.
     #[test]
-    fn suite_covers_nineteen_workloads() {
-        assert_eq!(WORKLOAD_NAMES.len(), 19);
+    fn suite_covers_twenty_one_workloads() {
+        assert_eq!(WORKLOAD_NAMES.len(), 21);
         for k in [
             "fc-csr",
             "fc-dcsr",
@@ -990,7 +1154,9 @@ mod tests {
             "im2col-3x3s1p1",
             "im2col-5x5s2p2",
             "net-resnet18-cifar",
+            "net-resnet18-cifar-native",
             "net-vit-tiny",
+            "net-vit-tiny-native",
             "net-serve-resnet18-b1",
             "net-serve-resnet18-b4",
             "net-serve-resnet18-b16",
@@ -1018,15 +1184,47 @@ mod tests {
             assert!(cycles.windows(2).all(|w| w[0] == w[1]), "{k}: {cycles:?}");
         }
 
-        // Network rows: reference + bulk only (no analytic executor
-        // mode), identical cycle totals across the two paths — this
-        // pins the whole compiled executor's cross-path parity.
+        // Network rows: reference + bulk (no analytic executor mode)
+        // with identical cycle totals across the two paths — pinning
+        // the whole compiled executor's cross-path parity — plus the
+        // gated `*-native` row, a wall-clock-only measurement with no
+        // simulated cycles.
         let net = run_suite_filtered(1, Some("net-vit-tiny"));
-        assert_eq!(net.rows.len(), 2);
+        assert_eq!(net.rows.len(), 3, "reference, bulk and native rows");
         assert_eq!(net.rows[0].path, Path::Reference);
         assert_eq!(net.rows[1].path, Path::Bulk);
         assert_eq!(net.rows[0].sim_cycles, net.rows[1].sim_cycles);
         assert!(net.speedup_vs_reference("net-vit-tiny").unwrap() > 0.0);
+        assert_eq!(net.rows[2].kernel, "net-vit-tiny-native");
+        assert_eq!(net.rows[2].path, Path::Native);
+        assert_eq!(net.rows[2].sim_cycles, 0, "no cycles on native");
+        assert!(net
+            .speedup_native_vs_bulk("net-vit-tiny-native")
+            .unwrap()
+            .is_finite());
+        let json = net.to_json();
+        assert!(json.contains("\"speedup_native_vs_bulk\""));
+        assert!(
+            !json.contains("NaN"),
+            "native-only kernels must not emit NaN speedups"
+        );
+    }
+
+    /// The snapshot-under-chaos guard: a JSON-producing run refuses to
+    /// start when either chaos env var is armed, naming the variable in
+    /// the error; unarmed runs pass.
+    #[test]
+    fn snapshot_chaos_guard_names_the_armed_variable() {
+        assert_eq!(snapshot_chaos_guard(None, None), Ok(()));
+        let err = snapshot_chaos_guard(Some("42"), None).unwrap_err();
+        assert!(err.contains("NM_SERVE_CHAOS_SEED=42"), "{err}");
+        assert!(err.contains("BENCH_engine.json"), "{err}");
+        let err = snapshot_chaos_guard(None, Some("8")).unwrap_err();
+        assert!(err.contains("NM_SERVE_CHAOS_FAULTS=8"), "{err}");
+        // Both set: the first armed knob is named (one actionable
+        // variable at a time beats a concatenated list).
+        let err = snapshot_chaos_guard(Some("1"), Some("2")).unwrap_err();
+        assert!(err.contains("NM_SERVE_CHAOS_SEED"), "{err}");
     }
 
     /// Serving rows: reference + bulk per batch size, and — the

@@ -34,7 +34,9 @@ pub struct EmulatedRun {
     /// The network output (bit-exact int8).
     pub output: Tensor<i8>,
     /// Total emulated compute cycles of the Conv/Linear tiles — must
-    /// equal the analytic plan's compute cycles.
+    /// equal the analytic plan's compute cycles on the reference and
+    /// bulk tiers. On [`nm_kernels::ExecTier::Native`] cycles are not
+    /// simulated and this is `0`.
     pub matmul_compute_cycles: u64,
 }
 
@@ -52,7 +54,7 @@ pub enum BaselineFormat {
 
 /// Runs one FC layer through a related-work baseline format on the
 /// simulated cluster. Like the N:M tiles of [`run_emulated`], the
-/// emulation context is selected by [`Options::bulk_emulation`], so
+/// emulation context is selected by [`Options::tier`], so
 /// format-comparison sweeps pay the same (fast) emulation rates on both
 /// sides of the comparison.
 ///
@@ -190,12 +192,13 @@ mod tests {
         check_target(None, Target::DensePulpNn);
     }
 
-    /// The baseline-format executor must honor `Options::bulk_emulation`
-    /// exactly like the N:M tiles: identical outputs and cycles on both
-    /// paths, and (since every format here round-trips the weights)
-    /// outputs identical to the dense kernel's.
+    /// The baseline-format executor must honor `Options::tier` exactly
+    /// like the N:M tiles: identical outputs and cycles on the reference
+    /// and bulk tiers, identical outputs (cycles 0) on the native tier,
+    /// and (since every format here round-trips the weights) outputs
+    /// identical to the dense kernel's.
     #[test]
-    fn fc_baselines_match_dense_and_respect_bulk_emulation() {
+    fn fc_baselines_match_dense_and_respect_exec_tier() {
         let fcg = FcGeom::new(64, 12).unwrap();
         let mut rng = XorShift::new(17);
         let mut w = rng.fill_weights(fcg.weight_elems(), 30);
@@ -219,15 +222,21 @@ mod tests {
             BaselineFormat::Dcsr,
             BaselineFormat::Blockwise,
         ] {
-            assert!(opts.bulk_emulation, "bulk path is the default");
+            assert_eq!(opts.tier, nm_kernels::ExecTier::Bulk, "bulk is the default");
             let mut reference = Options::new(Target::Dense1x2);
-            reference.bulk_emulation = false;
+            reference.tier = nm_kernels::ExecTier::Reference;
+            let mut native = Options::new(Target::Dense1x2);
+            native.tier = nm_kernels::ExecTier::Native;
             let (fast_out, fast_cycles) = run_fc_baseline(&layer, &input, format, &opts).unwrap();
             let (ref_out, ref_cycles) =
                 run_fc_baseline(&layer, &input, format, &reference).unwrap();
+            let (native_out, native_cycles) =
+                run_fc_baseline(&layer, &input, format, &native).unwrap();
             assert_eq!(fast_out, ref_out, "{format:?} outputs");
             assert_eq!(fast_cycles, ref_cycles, "{format:?} cycles");
             assert_eq!(fast_out, dense_out, "{format:?} vs dense");
+            assert_eq!(native_out, fast_out, "{format:?} native outputs");
+            assert_eq!(native_cycles, 0, "{format:?} native cycles are undefined");
         }
     }
 

@@ -38,6 +38,7 @@ pub mod prepack;
 pub mod profile;
 pub mod tiling;
 
+pub use nm_kernels::ExecTier;
 pub use patterns::{KernelChoice, Target};
 pub use plan::{compile, LayerPlan, ModelReport, Options};
 pub use prepack::{BatchPlan, PreparedGraph};

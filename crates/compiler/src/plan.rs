@@ -16,7 +16,7 @@ use nm_kernels::fc::dense::fc_dense;
 use nm_kernels::fc::sparse_isa::fc_sparse_isa;
 use nm_kernels::fc::sparse_sw::{fc_sparse_sw, SparseFcJob};
 use nm_kernels::fc::FcJob;
-use nm_kernels::Ctx;
+use nm_kernels::{Ctx, ExecTier};
 use nm_nn::graph::{Graph, NodeId, OpKind};
 use nm_platform::pipeline::{double_buffered_cycles, TileCost};
 use nm_platform::soc::L1_BYTES;
@@ -39,11 +39,13 @@ pub struct Options {
     pub cores: usize,
     /// Cycle-cost model.
     pub costs: CostModel,
-    /// Emulate tiles on the bulk fast path (`Ctx::MemBulk`, the default)
-    /// instead of the per-instruction reference path. Both are bit-exact
-    /// and cycle-exact — the kernel parity tests pin them together — but
-    /// the bulk path makes end-to-end emulation several times faster.
-    pub bulk_emulation: bool,
+    /// Execution tier for emulated tiles ([`ExecTier::Bulk`] is the
+    /// default). `Reference` charges per instruction, `Bulk` charges
+    /// batched blocks (bit- and cycle-exact with `Reference`, several
+    /// times faster), and `Native` runs the same kernel bodies with the
+    /// charging compiled out entirely — outputs stay bit-identical to
+    /// `Bulk`, but cycle/instret statistics are reported as zero.
+    pub tier: ExecTier,
     /// Host worker threads for the compiled executor's parallel tile
     /// execution ([`crate::prepack::PreparedGraph`]): `0` (the default)
     /// sizes to the host's available parallelism, `1` forces sequential
@@ -62,7 +64,7 @@ impl Options {
             l1_budget: L1_BYTES,
             cores: 8,
             costs: CostModel::default(),
-            bulk_emulation: true,
+            tier: ExecTier::Bulk,
             host_threads: 0,
         }
     }

@@ -218,13 +218,9 @@ pub struct PreparedGraph<'g> {
     pool: ScratchpadPool,
 }
 
-/// The emulation context selected by [`Options::bulk_emulation`].
+/// The emulation context selected by [`Options::tier`].
 pub(crate) fn tile_ctx<'a>(mem: &'a mut Scratchpad, opts: &Options) -> nm_kernels::Ctx<'a> {
-    if opts.bulk_emulation {
-        nm_kernels::Ctx::MemBulk(mem)
-    } else {
-        nm_kernels::Ctx::Mem(mem)
-    }
+    nm_kernels::Ctx::tiered(opts.tier, mem)
 }
 
 impl<'g> PreparedGraph<'g> {
@@ -1033,8 +1029,9 @@ fn pack_tile(
             let nm = choice.nm().expect("sparse choice has a pattern");
             let weights = NmMatrix::from_dense(w_rows, k, row_len, nm, layout)?;
             // The decimation program only exists for the conv kernels'
-            // bulk path; reference-path runs decode per instruction.
-            let program = (conv && opts.bulk_emulation)
+            // bulk and native paths; reference-path runs decode per
+            // instruction.
+            let program = (conv && opts.tier != nm_kernels::ExecTier::Reference)
                 .then(|| DecimProgram::from_matrix(&weights))
                 .transpose()?;
             Ok(TileWeights::Sparse { weights, program })

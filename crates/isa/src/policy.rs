@@ -1,0 +1,101 @@
+//! Compile-time charge policies: one kernel body, two instantiations.
+//!
+//! Kernels on the bulk fast path separate *compute* (outputs from
+//! zero-copy memory views) from *accounting* (one [`InstrBlock`] charged
+//! per straight-line region). [`ChargePolicy`] makes that accounting a
+//! type parameter of the shared kernel body:
+//!
+//! * [`Charged`] — [`ChargePolicy::charge_block`] builds the block and
+//!   charges it via [`Core::charge_block`]; this is the cycle-accurate
+//!   bulk tier, bit- and cycle-identical to the per-instruction
+//!   reference path.
+//! * [`Uncharged`] — the `CHARGED` constant is `false`, so the charge
+//!   call (and the block-builder closure, which is never invoked)
+//!   compiles out of the monomorphized body entirely. This is the
+//!   native tier: identical outputs, no statistics, no bookkeeping in
+//!   the hot loop.
+//!
+//! Because the block builder is a closure evaluated only when
+//! `Self::CHARGED` holds, the `Uncharged` instantiation contains no
+//! [`InstrBlock`] construction, no per-class counter stores and no
+//! calls into the accounting state — the compute code is the *same
+//! code* as the charged tier, monomorphized without the bookkeeping.
+
+use crate::block::InstrBlock;
+use crate::core::Core;
+
+/// A zero-sized policy deciding whether a shared kernel body charges
+/// instruction blocks into its [`Core`].
+pub trait ChargePolicy: Copy + Send + Sync + 'static {
+    /// `true` on the cycle-accounted (bulk) instantiation, `false` on
+    /// the native instantiation. Usable in `if` conditions that the
+    /// optimizer folds per monomorphization.
+    const CHARGED: bool;
+
+    /// Charges the block produced by `build` — or nothing at all: on an
+    /// uncharged policy `build` is never called, so block construction
+    /// is dead code in that instantiation.
+    #[inline(always)]
+    fn charge_block(core: &mut Core, build: impl FnOnce() -> InstrBlock) {
+        Self::charge_block_if(core, true, build);
+    }
+
+    /// Conditionally charges the block produced by `build`. Kernel
+    /// drivers with a runtime `charge` flag (batch-major tail requests
+    /// reuse request 0's stats) route through this so the native
+    /// instantiation folds the whole branch away.
+    #[inline(always)]
+    fn charge_block_if(core: &mut Core, cond: bool, build: impl FnOnce() -> InstrBlock) {
+        if Self::CHARGED && cond {
+            core.charge_block(&build());
+        }
+    }
+}
+
+/// Cycle-accounted policy: blocks are charged (bulk tier).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Charged;
+
+/// No-accounting policy: charging compiles out (native tier).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uncharged;
+
+impl ChargePolicy for Charged {
+    const CHARGED: bool = true;
+}
+
+impl ChargePolicy for Uncharged {
+    const CHARGED: bool = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn charged_policy_charges() {
+        let mut core = Core::new(CostModel::default());
+        Charged::charge_block(&mut core, || InstrBlock::new().loads(3).mac(2));
+        assert_eq!(core.instret(), 5);
+        assert_eq!(core.stats().macs, 2);
+    }
+
+    #[test]
+    fn uncharged_policy_is_a_no_op_and_never_builds() {
+        let mut core = Core::new(CostModel::default());
+        Uncharged::charge_block(&mut core, || unreachable!("builder must not run"));
+        assert_eq!(core.instret(), 0);
+        assert_eq!(core.cycles(), 0);
+    }
+
+    #[test]
+    fn conditional_charge_respects_both_gates() {
+        let mut core = Core::new(CostModel::default());
+        Charged::charge_block_if(&mut core, false, || InstrBlock::new().alu(10));
+        assert_eq!(core.instret(), 0);
+        Charged::charge_block_if(&mut core, true, || InstrBlock::new().alu(10));
+        assert_eq!(core.instret(), 10);
+        Uncharged::charge_block_if(&mut core, true, || unreachable!());
+    }
+}

@@ -12,8 +12,9 @@ use crate::bulk::{blockwise_rows_out, loop_scaffold, u16_indices_below, write_ou
 use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::BlockwiseMatrix;
 use nm_core::{Error, Result};
-use nm_isa::{InstrBlock, InstrClass, Memory};
+use nm_isa::{ChargePolicy, Charged, Core, InstrBlock, InstrClass, Memory, Uncharged};
 use nm_platform::{chunk_range, Cluster, Scratchpad};
+use std::ops::Range;
 
 /// L1 addresses for the blockwise kernel.
 #[derive(Debug, Clone, Copy, Default)]
@@ -126,57 +127,78 @@ pub fn fc_blockwise(
     for k in 0..geom.k {
         row_start[k + 1] = row_start[k] + job.blocks_per_row[k];
     }
+    // One core's worth of blockwise rows: the single shared kernel body
+    // for the bulk and native tiers. 4-wide block dots from zero-copy
+    // slices of the flat value/index streams, one aggregated accounting
+    // block per core (never built on `Uncharged`).
+    fn core_body<P: ChargePolicy>(
+        mem: &mut Scratchpad,
+        core: &mut Core,
+        job: &BlockwiseFcJob,
+        row_start: &[usize],
+        range: Range<usize>,
+    ) {
+        let geom = job.fc.geom;
+        let total = row_start[geom.k];
+        {
+            // As in the CSR kernel, the activation window runs to
+            // the end of the scratchpad (capped at the largest
+            // 4-byte window a 16-bit block index can address):
+            // out-of-range indices read what the reference path's
+            // raw loads would, and a window covering the whole
+            // index range needs no validation scan.
+            let full = 4 * usize::from(u16::MAX) + 4;
+            let win = (mem.size() - job.bufs.input as usize).min(full);
+            let input = mem
+                .slice(job.bufs.input, win)
+                .expect("scratchpad is zero-copy");
+            let values = mem
+                .slice(job.bufs.values, 4 * total)
+                .expect("scratchpad is zero-copy");
+            let idx = mem
+                .slice(job.bufs.block_idx, 2 * total)
+                .expect("scratchpad is zero-copy");
+            let (s0, e0) = (row_start[range.start], row_start[range.end]);
+            let safe = win == full || u16_indices_below(&idx[2 * s0..2 * e0], win / 4);
+            let starts = &row_start[range.start..=range.end];
+            let outs = if safe {
+                blockwise_rows_out::<false>(values, idx, input, starts, job.fc.requant)
+            } else {
+                blockwise_rows_out::<true>(values, idx, input, starts, job.fc.requant)
+            };
+            write_out(mem, job.bufs.output + range.start as u32, &outs);
+        }
+        let costs = *core.costs();
+        P::charge_block(core, || {
+            let blocks_range = (row_start[range.end] - row_start[range.start]) as u64;
+            let per_channel =
+                loop_scaffold(&costs, 3).then(InstrBlock::new().alu(EPILOGUE_ALU).stores(1));
+            per_channel.repeat(range.len() as u64).then(
+                InstrBlock::new()
+                    .loads(3)
+                    .alu(1)
+                    .sdotp(1)
+                    .repeat(blocks_range),
+            )
+        });
+    }
+
+    let native = ctx.is_native();
     Ok(run_fc(
         "fc-blockwise-1x4".into(),
         &geom,
         cluster,
+        native,
         |core_id, core| {
             let range = chunk_range(geom.k, cluster.n_cores(), core_id);
-            if let ExecPath::Bulk(mem) = ctx.path() {
-                // Driver-level fast path: 4-wide block dots from zero-copy
-                // slices of the flat value/index streams, one aggregated
-                // accounting block per core.
-                let total = row_start[geom.k];
-                {
-                    // As in the CSR kernel, the activation window runs to
-                    // the end of the scratchpad (capped at the largest
-                    // 4-byte window a 16-bit block index can address):
-                    // out-of-range indices read what the reference path's
-                    // raw loads would, and a window covering the whole
-                    // index range needs no validation scan.
-                    let full = 4 * usize::from(u16::MAX) + 4;
-                    let win = (mem.size() - job.bufs.input as usize).min(full);
-                    let input = mem
-                        .slice(job.bufs.input, win)
-                        .expect("scratchpad is zero-copy");
-                    let values = mem
-                        .slice(job.bufs.values, 4 * total)
-                        .expect("scratchpad is zero-copy");
-                    let idx = mem
-                        .slice(job.bufs.block_idx, 2 * total)
-                        .expect("scratchpad is zero-copy");
-                    let (s0, e0) = (row_start[range.start], row_start[range.end]);
-                    let safe = win == full || u16_indices_below(&idx[2 * s0..2 * e0], win / 4);
-                    let starts = &row_start[range.start..=range.end];
-                    let outs = if safe {
-                        blockwise_rows_out::<false>(values, idx, input, starts, job.fc.requant)
-                    } else {
-                        blockwise_rows_out::<true>(values, idx, input, starts, job.fc.requant)
-                    };
-                    write_out(mem, job.bufs.output + range.start as u32, &outs);
+            match ctx.path() {
+                ExecPath::Bulk(mem) => {
+                    return core_body::<Charged>(mem, core, job, &row_start, range)
                 }
-                let blocks_range = (row_start[range.end] - row_start[range.start]) as u64;
-                let per_channel = loop_scaffold(core.costs(), 3)
-                    .then(InstrBlock::new().alu(EPILOGUE_ALU).stores(1));
-                let block = per_channel.repeat(range.len() as u64).then(
-                    InstrBlock::new()
-                        .loads(3)
-                        .alu(1)
-                        .sdotp(1)
-                        .repeat(blocks_range),
-                );
-                core.charge_block(&block);
-                return;
+                ExecPath::Native(mem) => {
+                    return core_body::<Uncharged>(mem, core, job, &row_start, range)
+                }
+                _ => {}
             }
             for k in range {
                 core.outer_loop_iter();

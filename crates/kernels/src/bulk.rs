@@ -49,26 +49,77 @@ pub(crate) fn offsets_len(entries: usize, bits: usize) -> usize {
 }
 
 /// Wrapping int8 dot product of two equal-length byte slices — the dense
-/// inner loop (SIMD chunks + scalar tail) in one pass. Explicitly chunked
-/// into 16 lane-parallel `i16`-widening accumulator chains — the shape
-/// the backend lowers to packed multiply-add (`pmaddwd`-style) vector
-/// code instead of a serial scalar reduction (measured ~1.4× over the
-/// plain zip loop, which only partially vectorized). Wrapping addition is
-/// associative and commutative, so the reassociation is bit-exact.
+/// inner loop (SIMD chunks + scalar tail) in one pass.
+///
+/// On x86-64 the 16-byte chunks run through explicit SSE2 `pmaddwd`
+/// (sign-extend both operands to `i16`, multiply-add pairs — exact, see
+/// [`dot8`]); elsewhere the loop stays as 16 lane-parallel
+/// `i16`-widening accumulator chains, the shape the backend
+/// auto-vectorizes. Wrapping `i32` addition is associative and
+/// commutative, so either reassociation is bit-exact.
 #[inline]
 pub(crate) fn dense_dot(w: &[u8], a: &[u8]) -> i32 {
     debug_assert_eq!(w.len(), a.len());
-    let mut acc = [0i32; 16];
-    let chunks = w.len() / 16;
-    for (wc, ac) in w.chunks_exact(16).zip(a.chunks_exact(16)) {
-        for j in 0..16 {
-            acc[j] = madd(acc[j], wc[j], ac[j]);
+    #[cfg(target_arch = "x86_64")]
+    {
+        dense_dot_sse2(w, a)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let mut acc = [0i32; 16];
+        let chunks = w.len() / 16;
+        for (wc, ac) in w.chunks_exact(16).zip(a.chunks_exact(16)) {
+            for j in 0..16 {
+                acc[j] = madd(acc[j], wc[j], ac[j]);
+            }
+        }
+        let mut sum = 0i32;
+        for lane in acc {
+            sum = sum.wrapping_add(lane);
+        }
+        for (&wv, &av) in w[16 * chunks..].iter().zip(&a[16 * chunks..]) {
+            sum = madd(sum, wv, av);
+        }
+        sum
+    }
+}
+
+/// [`dense_dot`]'s SSE2 body (baseline on x86-64, no feature detection
+/// needed): each 16-byte step sign-extends both operand halves to `i16`
+/// and `pmaddwd`s them into one `i32x4` accumulator. `i8 × i8` products
+/// stay within ±16384, so neither the pair sum nor `pmaddwd`'s sole
+/// saturation case can occur — the fold is a pure reassociation of the
+/// wrapping-`i32` sum and bit-identical to the scalar walk.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn dense_dot_sse2(w: &[u8], a: &[u8]) -> i32 {
+    use core::arch::x86_64::*;
+    #[inline(always)]
+    fn extend_halves(p: *const u8) -> (__m128i, __m128i) {
+        // SAFETY: the caller guarantees 16 readable bytes at `p`; SSE2
+        // is part of the x86-64 baseline ABI.
+        unsafe {
+            let x = _mm_loadu_si128(p.cast());
+            let lo = _mm_srai_epi16::<8>(_mm_unpacklo_epi8(_mm_setzero_si128(), x));
+            let hi = _mm_srai_epi16::<8>(_mm_unpackhi_epi8(_mm_setzero_si128(), x));
+            (lo, hi)
         }
     }
-    let mut sum = 0i32;
-    for lane in acc {
-        sum = sum.wrapping_add(lane);
-    }
+    let chunks = w.len() / 16;
+    // SAFETY: SSE2 is part of the x86-64 baseline ABI; every load stays
+    // within the first `16 * chunks` bytes of both slices.
+    let mut sum = unsafe {
+        let mut acc = _mm_setzero_si128();
+        for c in 0..chunks {
+            let (wl, wh) = extend_halves(w.as_ptr().add(16 * c));
+            let (al, ah) = extend_halves(a.as_ptr().add(16 * c));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(wl, al));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(wh, ah));
+        }
+        let mut lanes = [0i32; 4];
+        _mm_storeu_si128(lanes.as_mut_ptr().cast(), acc);
+        lanes.iter().fold(0i32, |s, &l| s.wrapping_add(l))
+    };
     for (&wv, &av) in w[16 * chunks..].iter().zip(&a[16 * chunks..]) {
         sum = madd(sum, wv, av);
     }
@@ -431,20 +482,72 @@ pub(crate) fn table_below(table: &[u32], limit: usize) -> bool {
 /// Wrapping dot of packed values against one activation buffer through a
 /// pre-decoded index table. Instantiate `CHECKED = false` only after
 /// [`table_below`]`(tab, act.len())` held (same contract as [`at`]).
+///
+/// On x86-64 the gathers land in an 8-byte stack buffer that feeds SSE2
+/// `pmaddwd` (exact for `i8 × i8`, see [`dot8`]); elsewhere a two-chain
+/// scalar walk. Both are reassociations of the same wrapping-`i32` sum,
+/// so the result is bit-identical either way.
 #[inline]
 pub(crate) fn indexed_dot<const CHECKED: bool>(values: &[u8], tab: &[u32], act: &[u8]) -> i32 {
-    let mut acc0 = 0i32;
-    let mut acc1 = 0i32;
-    let pairs = values.chunks_exact(2);
-    let rem = pairs.remainder();
-    for (v, t) in pairs.zip(tab.chunks_exact(2)) {
-        acc0 = madd(acc0, v[0], at::<CHECKED>(act, t[0] as usize));
-        acc1 = madd(acc1, v[1], at::<CHECKED>(act, t[1] as usize));
+    #[cfg(target_arch = "x86_64")]
+    {
+        indexed_dot_sse2::<CHECKED>(values, tab, act)
     }
-    if let [v] = rem {
-        acc0 = madd(acc0, *v, act[tab[values.len() - 1] as usize]);
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let mut acc0 = 0i32;
+        let mut acc1 = 0i32;
+        let pairs = values.chunks_exact(2);
+        let rem = pairs.remainder();
+        for (v, t) in pairs.zip(tab.chunks_exact(2)) {
+            acc0 = madd(acc0, v[0], at::<CHECKED>(act, t[0] as usize));
+            acc1 = madd(acc1, v[1], at::<CHECKED>(act, t[1] as usize));
+        }
+        if let [v] = rem {
+            acc0 = madd(acc0, *v, act[tab[values.len() - 1] as usize]);
+        }
+        acc0.wrapping_add(acc1)
     }
-    acc0.wrapping_add(acc1)
+}
+
+/// [`indexed_dot`]'s SSE2 body: 8 table-gathered activation bytes per
+/// step, sign-extended alongside the matching weight bytes and folded
+/// through `pmaddwd` into one `i32x4` accumulator; the sub-8 tail stays
+/// scalar. The gather itself is serial either way (no SSE2 gather
+/// instruction exists) — the win is the 8-wide multiply-add.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn indexed_dot_sse2<const CHECKED: bool>(values: &[u8], tab: &[u32], act: &[u8]) -> i32 {
+    use core::arch::x86_64::*;
+    #[inline(always)]
+    fn extend(r: &[u8; 8]) -> __m128i {
+        // SAFETY: SSE2 is part of the x86-64 baseline ABI.
+        unsafe {
+            let x = _mm_loadl_epi64(r.as_ptr().cast());
+            _mm_srai_epi16::<8>(_mm_unpacklo_epi8(_mm_setzero_si128(), x))
+        }
+    }
+    let chunks = values.len() / 8;
+    let mut gathered = [0u8; 8];
+    // SAFETY: SSE2 is part of the x86-64 baseline ABI; operands are
+    // stack arrays and in-bounds 8-byte slices.
+    let mut sum = unsafe {
+        let mut acc = _mm_setzero_si128();
+        for c in 0..chunks {
+            for (j, g) in gathered.iter_mut().enumerate() {
+                *g = at::<CHECKED>(act, tab[8 * c + j] as usize);
+            }
+            let v: &[u8; 8] = values[8 * c..8 * c + 8].try_into().expect("exact chunk");
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(extend(v), extend(&gathered)));
+        }
+        let mut lanes = [0i32; 4];
+        _mm_storeu_si128(lanes.as_mut_ptr().cast(), acc);
+        lanes.iter().fold(0i32, |s, &l| s.wrapping_add(l))
+    };
+    for i in 8 * chunks..values.len() {
+        sum = madd(sum, values[i], at::<CHECKED>(act, tab[i] as usize));
+    }
+    sum
 }
 
 /// [`indexed_dot`] over two patch buffers in one table walk (the 1×2

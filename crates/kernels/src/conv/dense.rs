@@ -5,8 +5,8 @@ use super::{drive, drive_conv_batch, BatchInner, ConvBatch, ConvBatchRun, ConvJo
 use crate::bulk::dense_dot;
 use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::Result;
-use nm_isa::{Core, InstrBlock, InstrClass, Memory};
-use nm_platform::Cluster;
+use nm_isa::{ChargePolicy, Charged, Core, InstrBlock, InstrClass, Memory, Uncharged};
+use nm_platform::{Cluster, Scratchpad};
 
 /// The 1×2 kernel's channel loop over one position pair, shared by the
 /// single-run and batch-major entry points.
@@ -175,36 +175,79 @@ pub(crate) fn channel_1xn(
     tail: usize,
     charge: bool,
 ) {
+    match ctx.path() {
+        ExecPath::Bulk(mem) => channel_1xn_body::<Charged>(
+            mem, core, job, pos, n_patches, buf, k, wrow, chunks, tail, charge,
+        ),
+        ExecPath::Native(mem) => channel_1xn_body::<Uncharged>(
+            mem, core, job, pos, n_patches, buf, k, wrow, chunks, tail, false,
+        ),
+        path => channel_1xn_slow(path, core, job, pos, n_patches, buf, k, wrow, chunks, tail),
+    }
+}
+
+/// The shared 1×N bulk/native kernel body: compute from zero-copy slices,
+/// accounting via the charge policy (compiled out on [`Uncharged`]).
+#[allow(clippy::too_many_arguments)]
+fn channel_1xn_body<P: ChargePolicy>(
+    mem: &mut Scratchpad,
+    core: &mut Core,
+    job: &ConvJob,
+    pos: usize,
+    n_patches: usize,
+    buf: u32,
+    k: usize,
+    wrow: u32,
+    chunks: usize,
+    tail: usize,
+    charge: bool,
+) {
     let geom = &job.geom;
     let plen = geom.patch_len();
     let np = n_patches as u64;
-    match ctx.path() {
-        ExecPath::Bulk(mem) => {
-            let mut outs = [0i8; 2];
-            {
-                let w = mem.slice(wrow, plen).expect("scratchpad is zero-copy");
-                for (p, out) in outs.iter_mut().enumerate().take(n_patches) {
-                    let a = mem
-                        .slice(buf + (p * plen) as u32, plen)
-                        .expect("scratchpad is zero-copy");
-                    *out = job.requant.apply(dense_dot(w, a));
-                }
-            }
-            for (p, &out) in outs.iter().enumerate().take(n_patches) {
-                mem.store_i8(job.bufs.output + ((pos + p) * geom.k + k) as u32, out);
-            }
-            if charge {
-                let per_chunk = InstrBlock::new().loads(1 + np).sdotp(np);
-                let per_tail = InstrBlock::new().loads(1 + np).mac(np);
-                let epilogue = InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(np);
-                core.charge_block(
-                    &per_chunk
-                        .repeat(chunks as u64)
-                        .then(per_tail.repeat(tail as u64))
-                        .then(epilogue),
-                );
-            }
+    let mut outs = [0i8; 2];
+    {
+        let w = mem.slice(wrow, plen).expect("scratchpad is zero-copy");
+        for (p, out) in outs.iter_mut().enumerate().take(n_patches) {
+            let a = mem
+                .slice(buf + (p * plen) as u32, plen)
+                .expect("scratchpad is zero-copy");
+            *out = job.requant.apply(dense_dot(w, a));
         }
+    }
+    for (p, &out) in outs.iter().enumerate().take(n_patches) {
+        mem.store_i8(job.bufs.output + ((pos + p) * geom.k + k) as u32, out);
+    }
+    P::charge_block_if(core, charge, || {
+        let per_chunk = InstrBlock::new().loads(1 + np).sdotp(np);
+        let per_tail = InstrBlock::new().loads(1 + np).mac(np);
+        let epilogue = InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(np);
+        per_chunk
+            .repeat(chunks as u64)
+            .then(per_tail.repeat(tail as u64))
+            .then(epilogue)
+    });
+}
+
+/// The reference/analytic arms of [`channel_1xn`].
+#[allow(clippy::too_many_arguments)]
+fn channel_1xn_slow(
+    path: ExecPath<'_>,
+    core: &mut Core,
+    job: &ConvJob,
+    pos: usize,
+    n_patches: usize,
+    buf: u32,
+    k: usize,
+    wrow: u32,
+    chunks: usize,
+    tail: usize,
+) {
+    let geom = &job.geom;
+    let plen = geom.patch_len();
+    let np = n_patches as u64;
+    match path {
+        ExecPath::Bulk(_) | ExecPath::Native(_) => unreachable!("handled by channel_1xn_body"),
         ExecPath::Reference(mem) => {
             let mut acc = [0i32; 2];
             for j in 0..chunks {
@@ -255,47 +298,84 @@ fn quad_channels(
     tail: usize,
     charge: bool,
 ) {
+    match ctx.path() {
+        ExecPath::Bulk(mem) => quad_channels_body::<Charged>(
+            mem, core, job, pos, n_patches, buf, k0, chunks, tail, charge,
+        ),
+        ExecPath::Native(mem) => quad_channels_body::<Uncharged>(
+            mem, core, job, pos, n_patches, buf, k0, chunks, tail, false,
+        ),
+        path => quad_channels_slow(path, core, job, pos, n_patches, buf, k0, chunks, tail),
+    }
+}
+
+/// The shared 4×N bulk/native kernel body (charge policy as in
+/// [`channel_1xn_body`]).
+#[allow(clippy::too_many_arguments)]
+fn quad_channels_body<P: ChargePolicy>(
+    mem: &mut Scratchpad,
+    core: &mut Core,
+    job: &ConvJob,
+    pos: usize,
+    n_patches: usize,
+    buf: u32,
+    k0: usize,
+    chunks: usize,
+    tail: usize,
+    charge: bool,
+) {
     let geom = &job.geom;
     let plen = geom.patch_len();
     let np = n_patches as u64;
-    match ctx.path() {
-        ExecPath::Bulk(mem) => {
-            // One patch-buffer view per patch (not per channel), and the
-            // four contiguous output channels stored as one slice write
-            // per patch instead of four byte stores.
-            let mut outs = [[0i8; 4]; 2];
-            {
-                for (p, out) in outs.iter_mut().enumerate().take(n_patches) {
-                    let a = mem
-                        .slice(buf + (p * plen) as u32, plen)
-                        .expect("scratchpad is zero-copy");
-                    for (f, o) in out.iter_mut().enumerate() {
-                        let w = mem
-                            .slice(job.bufs.weights + ((k0 + f) * plen) as u32, plen)
-                            .expect("scratchpad is zero-copy");
-                        *o = job.requant.apply(dense_dot(w, a));
-                    }
-                }
-            }
-            for (p, out) in outs.iter().enumerate().take(n_patches) {
-                crate::bulk::write_out(
-                    mem,
-                    job.bufs.output + ((pos + p) * geom.k + k0) as u32,
-                    out,
-                );
-            }
-            if charge {
-                let per_chunk = InstrBlock::new().loads(4 + np).sdotp(4 * np);
-                let per_tail = InstrBlock::new().loads(4 + np).mac(4 * np);
-                let epilogue = InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(4 * np);
-                core.charge_block(
-                    &per_chunk
-                        .repeat(chunks as u64)
-                        .then(per_tail.repeat(tail as u64))
-                        .then(epilogue),
-                );
+    // One patch-buffer view per patch (not per channel), and the
+    // four contiguous output channels stored as one slice write
+    // per patch instead of four byte stores.
+    let mut outs = [[0i8; 4]; 2];
+    {
+        for (p, out) in outs.iter_mut().enumerate().take(n_patches) {
+            let a = mem
+                .slice(buf + (p * plen) as u32, plen)
+                .expect("scratchpad is zero-copy");
+            for (f, o) in out.iter_mut().enumerate() {
+                let w = mem
+                    .slice(job.bufs.weights + ((k0 + f) * plen) as u32, plen)
+                    .expect("scratchpad is zero-copy");
+                *o = job.requant.apply(dense_dot(w, a));
             }
         }
+    }
+    for (p, out) in outs.iter().enumerate().take(n_patches) {
+        crate::bulk::write_out(mem, job.bufs.output + ((pos + p) * geom.k + k0) as u32, out);
+    }
+    P::charge_block_if(core, charge, || {
+        let per_chunk = InstrBlock::new().loads(4 + np).sdotp(4 * np);
+        let per_tail = InstrBlock::new().loads(4 + np).mac(4 * np);
+        let epilogue = InstrBlock::new().alu(EPILOGUE_ALU).stores(1).repeat(4 * np);
+        per_chunk
+            .repeat(chunks as u64)
+            .then(per_tail.repeat(tail as u64))
+            .then(epilogue)
+    });
+}
+
+/// The reference/analytic arms of [`quad_channels`].
+#[allow(clippy::too_many_arguments)]
+fn quad_channels_slow(
+    path: ExecPath<'_>,
+    core: &mut Core,
+    job: &ConvJob,
+    pos: usize,
+    n_patches: usize,
+    buf: u32,
+    k0: usize,
+    chunks: usize,
+    tail: usize,
+) {
+    let geom = &job.geom;
+    let plen = geom.patch_len();
+    let np = n_patches as u64;
+    match path {
+        ExecPath::Bulk(_) | ExecPath::Native(_) => unreachable!("handled by quad_channels_body"),
         ExecPath::Reference(mem) => {
             let mut acc = [[0i32; 2]; 4];
             for j in 0..chunks {

@@ -143,16 +143,21 @@ pub fn conv_channel_mixed(
         ctx,
         &job.conv,
         cluster,
-        // The mixed kernel has no batch-major entry point, so `drive`
-        // always runs it charged (the flag is true by contract).
+        // The mixed kernel has no batch-major entry point, so `charge`
+        // is true by contract everywhere except the native tier (where
+        // `drive_conv` clears it and the scaffold charges are skipped).
         |core, ctx, pos, n_patches, buf, charge| {
             for k in 0..geom.k {
-                core.outer_loop_iter();
+                if charge {
+                    core.outer_loop_iter();
+                }
                 let (wrow, seg) = job.row_addr(k);
                 match job.patterns[k] {
                     None => {
-                        core.alu_n(2);
-                        core.hwloop_setup();
+                        if charge {
+                            core.alu_n(2);
+                            core.hwloop_setup();
+                        }
                         channel_1xn(
                             core,
                             ctx,
@@ -168,8 +173,10 @@ pub fn conv_channel_mixed(
                         );
                     }
                     Some(nm) => {
-                        core.alu_n(3);
-                        core.hwloop_setup();
+                        if charge {
+                            core.alu_n(3);
+                            core.hwloop_setup();
+                        }
                         let sparse = super::sparse_sw::SparseConvJob { conv: job.conv, nm };
                         match engine {
                             ChannelEngine::Software => {

@@ -25,8 +25,10 @@ use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::OffsetLayout;
 use nm_core::sparsity::Nm;
 use nm_core::Result;
-use nm_isa::{Core, DecimateMode, InstrBlock, InstrClass, Memory};
-use nm_platform::Cluster;
+use nm_isa::{
+    ChargePolicy, Charged, Core, DecimateMode, InstrBlock, InstrClass, Memory, Uncharged,
+};
+use nm_platform::{Cluster, Scratchpad};
 use std::borrow::Cow;
 
 /// The `xDecimate` flavour for a pattern.
@@ -139,7 +141,7 @@ pub fn conv_sparse_isa_prepared_batch(
 /// (entry `2b` carries block `b`): borrowed from a prepared program when
 /// one is passed, else decoded from the staged offsets — reused by every
 /// output position pair (and, batch-major, by every request). `None` off
-/// the bulk path.
+/// the bulk/native paths.
 fn duplicated_table<'p>(
     ctx: &mut Ctx<'_>,
     job: &SparseConvJob,
@@ -149,7 +151,7 @@ fn duplicated_table<'p>(
     let geom = job.conv.geom;
     let nz = job.nz_per_channel();
     match ctx.path() {
-        ExecPath::Bulk(mem) => match program {
+        ExecPath::Bulk(mem) | ExecPath::Native(mem) => match program {
             Some(p) => (Some(Cow::Borrowed(p.table())), p.in_range()),
             None => {
                 let offs = mem
@@ -184,28 +186,53 @@ fn isa_channel_loop<'a>(
     let geom = job.conv.geom;
     let nz = job.nz_per_channel();
     let mode = decimate_mode(job.nm);
-    let (chunks, tail) = (nz / 4, nz % 4);
-    let mut outs = Vec::new(); // reused per pair by the bulk arm
+    let mut outs = Vec::new(); // reused per pair by the bulk/native arm
     move |core, ctx, pos, n_patches, buf, charge| {
-        if let ExecPath::Bulk(mem) = ctx.path() {
-            let table = table.expect("table built for the bulk path");
+        // The shared bulk/native pair body (charge policy compiled out on
+        // the native instantiation).
+        #[allow(clippy::too_many_arguments)]
+        fn pair_body<P: ChargePolicy>(
+            mem: &mut Scratchpad,
+            core: &mut Core,
+            job: &SparseConvJob,
+            table: Option<&[u32]>,
+            in_range: bool,
+            pos: usize,
+            n_patches: usize,
+            buf: u32,
+            outs: &mut Vec<i8>,
+            charge: bool,
+        ) {
+            let nz = job.nz_per_channel();
+            let table = table.expect("table built for the bulk/native path");
             conv_pair_outputs(
-                mem, &job.conv, nz, table, in_range, pos, n_patches, buf, &mut outs,
+                mem, &job.conv, nz, table, in_range, pos, n_patches, buf, outs,
             );
-            if charge {
+            let costs = *core.costs();
+            P::charge_block_if(core, charge, || {
+                let (chunks, tail) = (nz / 4, nz % 4);
                 let np = n_patches as u64;
-                let per_channel =
-                    loop_scaffold(core.costs(), 3).then(channel_block(chunks, tail, np));
-                core.charge_block(&per_channel.repeat(geom.k as u64));
-            }
-        } else {
-            for k in 0..geom.k {
-                core.outer_loop_iter();
-                core.alu_n(3);
-                core.hwloop_setup();
-                let wrow = job.conv.bufs.weights + (k * nz) as u32;
-                let krow = job.conv.bufs.offsets + k as u32 * seg_dup;
-                channel_sparse_isa(core, ctx, job, mode, pos, n_patches, buf, k, wrow, krow);
+                loop_scaffold(&costs, 3)
+                    .then(channel_block(chunks, tail, np))
+                    .repeat(job.conv.geom.k as u64)
+            });
+        }
+        match ctx.path() {
+            ExecPath::Bulk(mem) => pair_body::<Charged>(
+                mem, core, job, table, in_range, pos, n_patches, buf, &mut outs, charge,
+            ),
+            ExecPath::Native(mem) => pair_body::<Uncharged>(
+                mem, core, job, table, in_range, pos, n_patches, buf, &mut outs, false,
+            ),
+            _ => {
+                for k in 0..geom.k {
+                    core.outer_loop_iter();
+                    core.alu_n(3);
+                    core.hwloop_setup();
+                    let wrow = job.conv.bufs.weights + (k * nz) as u32;
+                    let krow = job.conv.bufs.offsets + k as u32 * seg_dup;
+                    channel_sparse_isa(core, ctx, job, mode, pos, n_patches, buf, k, wrow, krow);
+                }
             }
         }
     }
@@ -262,34 +289,57 @@ pub(crate) fn channel_sparse_isa(
     let entries_per_word = job.nm.offsets_per_word(); // 8 (4-bit) or 16 (2-bit)
     let np = n_patches as u64;
 
+    // The shared bulk/native channel body (charge policy as in the pair
+    // body above).
+    #[allow(clippy::too_many_arguments)]
+    fn channel_body<P: ChargePolicy>(
+        mem: &mut Scratchpad,
+        core: &mut Core,
+        job: &SparseConvJob,
+        pos: usize,
+        n_patches: usize,
+        buf: u32,
+        k: usize,
+        wrow: u32,
+        seg: u32,
+    ) {
+        let geom = &job.conv.geom;
+        let plen = geom.patch_len();
+        let nz = job.nz_per_channel();
+        let m = job.nm.m();
+        let bits = job.nm.offset_bits();
+        let mut outs = [0i8; 2];
+        {
+            let values = mem.slice(wrow, nz).expect("scratchpad is zero-copy");
+            // Duplicated stream: entries 2b and 2b + 1 both carry
+            // block b's offset — the csr walk of the reference's
+            // paired xDecimate executions reads 2b for buffer 0 and
+            // 2b + 1 for buffer 1, so entry 2b serves every patch.
+            let offs = mem
+                .slice(seg, offsets_len(2 * nz, bits))
+                .expect("scratchpad is zero-copy");
+            for (p, out) in outs.iter_mut().enumerate().take(n_patches) {
+                let a = mem
+                    .slice(buf + (p * plen) as u32, plen)
+                    .expect("scratchpad is zero-copy");
+                *out = job
+                    .conv
+                    .requant
+                    .apply(nm_gather_dot(values, a, offs, bits, m, 0, 2));
+            }
+        }
+        for (p, &out) in outs.iter().enumerate().take(n_patches) {
+            mem.store_i8(job.conv.bufs.output + ((pos + p) * geom.k + k) as u32, out);
+        }
+        P::charge_block(core, || channel_block(nz / 4, nz % 4, n_patches as u64));
+    }
+
     match ctx.path() {
         ExecPath::Bulk(mem) => {
-            let m = job.nm.m();
-            let bits = job.nm.offset_bits();
-            let mut outs = [0i8; 2];
-            {
-                let values = mem.slice(wrow, nz).expect("scratchpad is zero-copy");
-                // Duplicated stream: entries 2b and 2b + 1 both carry
-                // block b's offset — the csr walk of the reference's
-                // paired xDecimate executions reads 2b for buffer 0 and
-                // 2b + 1 for buffer 1, so entry 2b serves every patch.
-                let offs = mem
-                    .slice(seg, offsets_len(2 * nz, bits))
-                    .expect("scratchpad is zero-copy");
-                for (p, out) in outs.iter_mut().enumerate().take(n_patches) {
-                    let a = mem
-                        .slice(buf + (p * plen) as u32, plen)
-                        .expect("scratchpad is zero-copy");
-                    *out = job
-                        .conv
-                        .requant
-                        .apply(nm_gather_dot(values, a, offs, bits, m, 0, 2));
-                }
-            }
-            for (p, &out) in outs.iter().enumerate().take(n_patches) {
-                mem.store_i8(job.conv.bufs.output + ((pos + p) * geom.k + k) as u32, out);
-            }
-            core.charge_block(&channel_block(chunks, tail, np));
+            channel_body::<Charged>(mem, core, job, pos, n_patches, buf, k, wrow, seg)
+        }
+        ExecPath::Native(mem) => {
+            channel_body::<Uncharged>(mem, core, job, pos, n_patches, buf, k, wrow, seg)
         }
         ExecPath::Reference(mem) => {
             core.xdecimate_clear();

@@ -7,8 +7,9 @@ use super::{run_fc, FcJob, EPILOGUE_ALU};
 use crate::bulk::{dense_dot, loop_scaffold, write_out};
 use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::Result;
-use nm_isa::{Core, InstrBlock, InstrClass, Memory};
-use nm_platform::{chunk_range, Cluster};
+use nm_isa::{ChargePolicy, Charged, Core, InstrBlock, InstrClass, Memory, Uncharged};
+use nm_platform::{chunk_range, Cluster, Scratchpad};
+use std::ops::Range;
 
 /// Runs the dense 1×2 FC kernel (multicore over K).
 ///
@@ -17,56 +18,74 @@ use nm_platform::{chunk_range, Cluster};
 /// the sparse kernels.
 pub fn fc_dense(ctx: &mut Ctx<'_>, job: &FcJob, cluster: &Cluster) -> Result<KernelStats> {
     let geom = job.geom;
+    let native = ctx.is_native();
     Ok(run_fc(
         "fc-dense-1x2".into(),
         &geom,
         cluster,
+        native,
         |core_id, core| {
             let range = chunk_range(geom.k, cluster.n_cores(), core_id);
-            if let ExecPath::Bulk(mem) = ctx.path() {
-                // Driver-level fast path: one repeated accounting block per
-                // core (channel pairs plus an odd single), slices once.
-                let c = geom.c;
-                let out0 = job.bufs.output + range.start as u32;
-                {
-                    let input = mem
-                        .slice(job.bufs.input, c)
-                        .expect("scratchpad is zero-copy");
-                    let weights = mem
-                        .slice(job.bufs.weights, geom.k * c)
-                        .expect("scratchpad is zero-copy");
-                    let outs: Vec<i8> = range
-                        .clone()
-                        .map(|k| {
-                            job.requant
-                                .apply(dense_dot(&weights[k * c..(k + 1) * c], input))
-                        })
-                        .collect();
-                    write_out(mem, out0, &outs);
-                }
-                let (chunks, tail) = (c / 4, c % 4);
-                let n_pairs = (range.len() / 2) as u64;
-                let odd = (range.len() % 2) as u64;
-                let scaffold = loop_scaffold(core.costs(), 2);
-                let block = scaffold
-                    .then(channels_block(chunks, tail, 2))
-                    .repeat(n_pairs)
-                    .then(scaffold.then(channels_block(chunks, tail, 1)).repeat(odd));
-                core.charge_block(&block);
-            } else {
-                let mut k = range.start;
-                while k < range.end {
-                    let nk = (range.end - k).min(2);
-                    core.outer_loop_iter();
-                    core.alu_n(2);
-                    core.hwloop_setup();
-                    let wrow = job.bufs.weights + (k * geom.c) as u32;
-                    channels(core, ctx, job, k, wrow, nk);
-                    k += nk;
+            match ctx.path() {
+                ExecPath::Bulk(mem) => core_body::<Charged>(mem, core, job, range),
+                ExecPath::Native(mem) => core_body::<Uncharged>(mem, core, job, range),
+                _ => {
+                    let mut k = range.start;
+                    while k < range.end {
+                        let nk = (range.end - k).min(2);
+                        core.outer_loop_iter();
+                        core.alu_n(2);
+                        core.hwloop_setup();
+                        let wrow = job.bufs.weights + (k * geom.c) as u32;
+                        channels(core, ctx, job, k, wrow, nk);
+                        k += nk;
+                    }
                 }
             }
         },
     ))
+}
+
+/// One core's worth of dense FC channels: the single shared kernel body
+/// for the bulk and native tiers. Compute is identical; `P` decides
+/// whether the batched accounting block is charged at all (on
+/// [`Uncharged`] the whole block construction folds away).
+fn core_body<P: ChargePolicy>(
+    mem: &mut Scratchpad,
+    core: &mut Core,
+    job: &FcJob,
+    range: Range<usize>,
+) {
+    let geom = job.geom;
+    let c = geom.c;
+    let out0 = job.bufs.output + range.start as u32;
+    let n_channels = range.len();
+    {
+        let input = mem
+            .slice(job.bufs.input, c)
+            .expect("scratchpad is zero-copy");
+        let weights = mem
+            .slice(job.bufs.weights, geom.k * c)
+            .expect("scratchpad is zero-copy");
+        let outs: Vec<i8> = range
+            .map(|k| {
+                job.requant
+                    .apply(dense_dot(&weights[k * c..(k + 1) * c], input))
+            })
+            .collect();
+        write_out(mem, out0, &outs);
+    }
+    let costs = *core.costs();
+    P::charge_block(core, || {
+        let (chunks, tail) = (c / 4, c % 4);
+        let n_pairs = (n_channels / 2) as u64;
+        let odd = (n_channels % 2) as u64;
+        let scaffold = loop_scaffold(&costs, 2);
+        scaffold
+            .then(channels_block(chunks, tail, 2))
+            .repeat(n_pairs)
+            .then(scaffold.then(channels_block(chunks, tail, 1)).repeat(odd))
+    });
 }
 
 /// The accounting block of `nk` dense FC channels (the exact batched
@@ -95,27 +114,37 @@ pub(crate) fn channels(
     let c = job.geom.c;
     let (chunks, tail) = (c / 4, c % 4);
     let nku = nk as u64;
-    match ctx.path() {
-        ExecPath::Bulk(mem) => {
-            // Outputs from zero-copy slices; one accounting call for the
-            // whole channel group.
-            let mut outs = [0i8; 2];
-            {
-                let input = mem
-                    .slice(job.bufs.input, c)
+    // Outputs from zero-copy slices; one accounting call for the whole
+    // channel group (compiled out entirely on the native tier).
+    fn group_body<P: ChargePolicy>(
+        mem: &mut Scratchpad,
+        core: &mut Core,
+        job: &FcJob,
+        k: usize,
+        wrow: u32,
+        nk: usize,
+    ) {
+        let c = job.geom.c;
+        let mut outs = [0i8; 2];
+        {
+            let input = mem
+                .slice(job.bufs.input, c)
+                .expect("scratchpad is zero-copy");
+            for (q, out) in outs.iter_mut().enumerate().take(nk) {
+                let w = mem
+                    .slice(wrow + (q * c) as u32, c)
                     .expect("scratchpad is zero-copy");
-                for (q, out) in outs.iter_mut().enumerate().take(nk) {
-                    let w = mem
-                        .slice(wrow + (q * c) as u32, c)
-                        .expect("scratchpad is zero-copy");
-                    *out = job.requant.apply(dense_dot(w, input));
-                }
+                *out = job.requant.apply(dense_dot(w, input));
             }
-            for (q, &out) in outs.iter().enumerate().take(nk) {
-                mem.store_i8(job.bufs.output + (k + q) as u32, out);
-            }
-            core.charge_block(&channels_block(chunks, tail, nku));
         }
+        for (q, &out) in outs.iter().enumerate().take(nk) {
+            mem.store_i8(job.bufs.output + (k + q) as u32, out);
+        }
+        P::charge_block(core, || channels_block(c / 4, c % 4, nk as u64));
+    }
+    match ctx.path() {
+        ExecPath::Bulk(mem) => group_body::<Charged>(mem, core, job, k, wrow, nk),
+        ExecPath::Native(mem) => group_body::<Uncharged>(mem, core, job, k, wrow, nk),
         ExecPath::Reference(mem) => {
             let mut acc = [0i32; 2];
             for j in 0..chunks {

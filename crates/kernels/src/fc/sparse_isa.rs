@@ -23,8 +23,11 @@ use crate::layout::nm_segment_bytes;
 use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::OffsetLayout;
 use nm_core::{Error, Result};
-use nm_isa::{Core, DecimateMode, InstrBlock, InstrClass, Memory};
-use nm_platform::{chunk_range, Cluster};
+use nm_isa::{
+    ChargePolicy, Charged, Core, DecimateMode, InstrBlock, InstrClass, Memory, Uncharged,
+};
+use nm_platform::{chunk_range, Cluster, Scratchpad};
+use std::ops::Range;
 
 /// Runs the ISA-extended sparse FC kernel. Weights must be staged in the
 /// [`OffsetLayout::Interleaved`] N:M format.
@@ -51,55 +54,75 @@ pub fn fc_sparse_isa(
     let mode = decimate_mode(job.nm);
     let name = format!("fc-sparse-isa-{}", job.nm);
     let n_pairs = geom.k / 2;
-    Ok(run_fc(name, &geom, cluster, |core_id, core| {
+    let native = ctx.is_native();
+    Ok(run_fc(name, &geom, cluster, native, |core_id, core| {
         let range = chunk_range(n_pairs, cluster.n_cores(), core_id);
-        if let ExecPath::Bulk(mem) = ctx.path() {
-            // Driver-level fast path: uniform channel pairs, one repeated
-            // accounting block per core, operand slices taken once.
-            let m = job.nm.m();
-            let bits = job.nm.offset_bits();
-            let nz = job.nz_per_channel();
-            let pairs = range.len() as u64;
-            let out0 = job.fc.bufs.output + (2 * range.start) as u32;
-            {
-                let input = mem
-                    .slice(job.fc.bufs.input, geom.c)
-                    .expect("scratchpad is zero-copy");
-                let values = mem
-                    .slice(job.fc.bufs.weights, geom.k * nz)
-                    .expect("scratchpad is zero-copy");
-                let offs = mem
-                    .slice(job.fc.bufs.offsets, n_pairs * seg as usize)
-                    .expect("scratchpad is zero-copy");
-                let outs: Vec<i8> = range
-                    .clone()
-                    .flat_map(|pair| {
-                        let k = 2 * pair;
-                        let (a0, a1) = gather_dot2_pair(
-                            &values[k * nz..(k + 1) * nz],
-                            &values[(k + 1) * nz..(k + 2) * nz],
-                            input,
-                            &offs[pair * seg as usize..],
-                            bits,
-                            m,
-                        );
-                        [job.fc.requant.apply(a0), job.fc.requant.apply(a1)]
-                    })
-                    .collect();
-                write_out(mem, out0, &outs);
-            }
-            let (chunks, tail) = (nz / 4, nz % 4);
-            let per_pair = loop_scaffold(core.costs(), 4).then(pair_block(chunks, tail));
-            core.charge_block(&per_pair.repeat(pairs));
-        } else {
-            for pair in range {
-                core.outer_loop_iter();
-                core.alu_n(4);
-                core.hwloop_setup();
-                channel_pair(core, ctx, job, mode, pair, seg);
+        match ctx.path() {
+            ExecPath::Bulk(mem) => core_body::<Charged>(mem, core, job, seg, range),
+            ExecPath::Native(mem) => core_body::<Uncharged>(mem, core, job, seg, range),
+            _ => {
+                for pair in range {
+                    core.outer_loop_iter();
+                    core.alu_n(4);
+                    core.hwloop_setup();
+                    channel_pair(core, ctx, job, mode, pair, seg);
+                }
             }
         }
     }))
+}
+
+/// One core's worth of `xDecimate` FC channel pairs: the single shared
+/// kernel body for the bulk and native tiers. Uniform channel pairs, one
+/// repeated accounting block per core (never built on [`Uncharged`]),
+/// operand slices taken once.
+fn core_body<P: ChargePolicy>(
+    mem: &mut Scratchpad,
+    core: &mut Core,
+    job: &SparseFcJob,
+    seg: u32,
+    range: Range<usize>,
+) {
+    let geom = job.fc.geom;
+    let n_pairs = geom.k / 2;
+    let m = job.nm.m();
+    let bits = job.nm.offset_bits();
+    let nz = job.nz_per_channel();
+    let pairs = range.len() as u64;
+    let out0 = job.fc.bufs.output + (2 * range.start) as u32;
+    {
+        let input = mem
+            .slice(job.fc.bufs.input, geom.c)
+            .expect("scratchpad is zero-copy");
+        let values = mem
+            .slice(job.fc.bufs.weights, geom.k * nz)
+            .expect("scratchpad is zero-copy");
+        let offs = mem
+            .slice(job.fc.bufs.offsets, n_pairs * seg as usize)
+            .expect("scratchpad is zero-copy");
+        let outs: Vec<i8> = range
+            .flat_map(|pair| {
+                let k = 2 * pair;
+                let (a0, a1) = gather_dot2_pair(
+                    &values[k * nz..(k + 1) * nz],
+                    &values[(k + 1) * nz..(k + 2) * nz],
+                    input,
+                    &offs[pair * seg as usize..],
+                    bits,
+                    m,
+                );
+                [job.fc.requant.apply(a0), job.fc.requant.apply(a1)]
+            })
+            .collect();
+        write_out(mem, out0, &outs);
+    }
+    let costs = *core.costs();
+    P::charge_block(core, || {
+        let (chunks, tail) = (nz / 4, nz % 4);
+        loop_scaffold(&costs, 4)
+            .then(pair_block(chunks, tail))
+            .repeat(pairs)
+    });
 }
 
 /// The accounting block of one `xDecimate` FC channel pair (the exact
@@ -139,37 +162,50 @@ fn channel_pair(
     let entries_per_word = job.nm.offsets_per_word();
     let k = 2 * pair;
 
-    match ctx.path() {
-        ExecPath::Bulk(mem) => {
-            let m = job.nm.m();
-            let bits = job.nm.offset_bits();
-            let seg = job.fc.bufs.offsets + pair as u32 * seg_bytes;
-            let mut outs = [0i8; 2];
-            {
-                let input = mem
-                    .slice(job.fc.bufs.input, nz * m)
+    // Shared bulk/native pair body; `P` decides whether the pair's
+    // accounting block exists at all.
+    fn pair_body<P: ChargePolicy>(
+        mem: &mut Scratchpad,
+        core: &mut Core,
+        job: &SparseFcJob,
+        pair: usize,
+        seg_bytes: u32,
+    ) {
+        let nz = job.nz_per_channel();
+        let k = 2 * pair;
+        let m = job.nm.m();
+        let bits = job.nm.offset_bits();
+        let seg = job.fc.bufs.offsets + pair as u32 * seg_bytes;
+        let mut outs = [0i8; 2];
+        {
+            let input = mem
+                .slice(job.fc.bufs.input, nz * m)
+                .expect("scratchpad is zero-copy");
+            // Interleaved stream: entry 2b + q is block b of channel
+            // k + q, exactly what the csr walk of the reference's
+            // xDecimate sequence selects.
+            let offs = mem
+                .slice(seg, offsets_len(2 * nz, bits))
+                .expect("scratchpad is zero-copy");
+            for (q, out) in outs.iter_mut().enumerate() {
+                let values = mem
+                    .slice(job.fc.bufs.weights + ((k + q) * nz) as u32, nz)
                     .expect("scratchpad is zero-copy");
-                // Interleaved stream: entry 2b + q is block b of channel
-                // k + q, exactly what the csr walk of the reference's
-                // xDecimate sequence selects.
-                let offs = mem
-                    .slice(seg, offsets_len(2 * nz, bits))
-                    .expect("scratchpad is zero-copy");
-                for (q, out) in outs.iter_mut().enumerate() {
-                    let values = mem
-                        .slice(job.fc.bufs.weights + ((k + q) * nz) as u32, nz)
-                        .expect("scratchpad is zero-copy");
-                    *out = job
-                        .fc
-                        .requant
-                        .apply(nm_gather_dot(values, input, offs, bits, m, q, 2));
-                }
+                *out = job
+                    .fc
+                    .requant
+                    .apply(nm_gather_dot(values, input, offs, bits, m, q, 2));
             }
-            for (q, &out) in outs.iter().enumerate() {
-                mem.store_i8(job.fc.bufs.output + (k + q) as u32, out);
-            }
-            core.charge_block(&pair_block(chunks, tail));
         }
+        for (q, &out) in outs.iter().enumerate() {
+            mem.store_i8(job.fc.bufs.output + (k + q) as u32, out);
+        }
+        P::charge_block(core, || pair_block(nz / 4, nz % 4));
+    }
+
+    match ctx.path() {
+        ExecPath::Bulk(mem) => pair_body::<Charged>(mem, core, job, pair, seg_bytes),
+        ExecPath::Native(mem) => pair_body::<Uncharged>(mem, core, job, pair, seg_bytes),
         ExecPath::Reference(mem) => {
             core.xdecimate_clear();
             let vrow = [

@@ -17,8 +17,9 @@ use crate::stats::{Ctx, ExecPath, KernelStats};
 use nm_core::format::OffsetLayout;
 use nm_core::sparsity::Nm;
 use nm_core::{Error, Result};
-use nm_isa::{Core, InstrBlock, InstrClass, Memory};
-use nm_platform::{chunk_range, Cluster};
+use nm_isa::{ChargePolicy, Charged, Core, InstrBlock, InstrClass, Memory, Uncharged};
+use nm_platform::{chunk_range, Cluster, Scratchpad};
+use std::ops::Range;
 
 /// A sparse FC job: the dense job description plus the pattern.
 #[derive(Debug, Clone, Copy)]
@@ -69,57 +70,77 @@ pub fn fc_sparse_sw(
     let nz = job.nz_per_channel();
     let seg = nm_segment_bytes(job.nm, nz, OffsetLayout::Plain) as u32;
     let name = format!("fc-sparse-sw-{}", job.nm);
-    Ok(run_fc(name, &geom, cluster, |core_id, core| {
+    let native = ctx.is_native();
+    Ok(run_fc(name, &geom, cluster, native, |core_id, core| {
         let range = chunk_range(geom.k, cluster.n_cores(), core_id);
-        if let ExecPath::Bulk(mem) = ctx.path() {
-            // Driver-level fast path: every channel has the same shape,
-            // so the whole range charges as one repeated block and the
-            // operand slices are taken once per core.
-            let m = job.nm.m();
-            let bits = job.nm.offset_bits();
-            let channels = range.len() as u64;
-            let out0 = job.fc.bufs.output + range.start as u32;
-            {
-                let input = mem
-                    .slice(job.fc.bufs.input, geom.c)
-                    .expect("scratchpad is zero-copy");
-                let values = mem
-                    .slice(job.fc.bufs.weights, geom.k * nz)
-                    .expect("scratchpad is zero-copy");
-                let offs = mem
-                    .slice(job.fc.bufs.offsets, geom.k * seg as usize)
-                    .expect("scratchpad is zero-copy");
-                let outs: Vec<i8> = range
-                    .clone()
-                    .map(|k| {
-                        let acc = nm_gather_dot(
-                            &values[k * nz..(k + 1) * nz],
-                            input,
-                            &offs[k * seg as usize..],
-                            bits,
-                            m,
-                            0,
-                            1,
-                        );
-                        job.fc.requant.apply(acc)
-                    })
-                    .collect();
-                write_out(mem, out0, &outs);
-            }
-            let (chunks, tail) = (nz / 4, nz % 4);
-            let per_channel = loop_scaffold(core.costs(), 3).then(channel_block(chunks, tail));
-            core.charge_block(&per_channel.repeat(channels));
-        } else {
-            for k in range {
-                core.outer_loop_iter();
-                core.alu_n(3);
-                core.hwloop_setup();
-                let wrow = job.fc.bufs.weights + (k * nz) as u32;
-                let krow = job.fc.bufs.offsets + k as u32 * seg;
-                channel(core, ctx, job, k, wrow, krow);
+        match ctx.path() {
+            ExecPath::Bulk(mem) => core_body::<Charged>(mem, core, job, seg, range),
+            ExecPath::Native(mem) => core_body::<Uncharged>(mem, core, job, seg, range),
+            _ => {
+                for k in range {
+                    core.outer_loop_iter();
+                    core.alu_n(3);
+                    core.hwloop_setup();
+                    let wrow = job.fc.bufs.weights + (k * nz) as u32;
+                    let krow = job.fc.bufs.offsets + k as u32 * seg;
+                    channel(core, ctx, job, k, wrow, krow);
+                }
             }
         }
     }))
+}
+
+/// One core's worth of software-decimation FC channels: the single
+/// shared kernel body for the bulk and native tiers. Every channel has
+/// the same shape, so the whole range charges as one repeated block and
+/// the operand slices are taken once per core; on [`Uncharged`] the
+/// accounting block is never even built.
+fn core_body<P: ChargePolicy>(
+    mem: &mut Scratchpad,
+    core: &mut Core,
+    job: &SparseFcJob,
+    seg: u32,
+    range: Range<usize>,
+) {
+    let geom = job.fc.geom;
+    let nz = job.nz_per_channel();
+    let m = job.nm.m();
+    let bits = job.nm.offset_bits();
+    let channels = range.len() as u64;
+    let out0 = job.fc.bufs.output + range.start as u32;
+    {
+        let input = mem
+            .slice(job.fc.bufs.input, geom.c)
+            .expect("scratchpad is zero-copy");
+        let values = mem
+            .slice(job.fc.bufs.weights, geom.k * nz)
+            .expect("scratchpad is zero-copy");
+        let offs = mem
+            .slice(job.fc.bufs.offsets, geom.k * seg as usize)
+            .expect("scratchpad is zero-copy");
+        let outs: Vec<i8> = range
+            .map(|k| {
+                let acc = nm_gather_dot(
+                    &values[k * nz..(k + 1) * nz],
+                    input,
+                    &offs[k * seg as usize..],
+                    bits,
+                    m,
+                    0,
+                    1,
+                );
+                job.fc.requant.apply(acc)
+            })
+            .collect();
+        write_out(mem, out0, &outs);
+    }
+    let costs = *core.costs();
+    P::charge_block(core, || {
+        let (chunks, tail) = (nz / 4, nz % 4);
+        loop_scaffold(&costs, 3)
+            .then(channel_block(chunks, tail))
+            .repeat(channels)
+    });
 }
 
 /// The accounting block of one software-decimation FC channel (the exact
@@ -152,23 +173,38 @@ pub(crate) fn channel(
     let nz = job.nz_per_channel();
     let (chunks, tail) = (nz / 4, nz % 4);
 
+    // Shared bulk/native channel body; `P` decides whether the channel's
+    // accounting block exists at all.
+    fn channel_body<P: ChargePolicy>(
+        mem: &mut Scratchpad,
+        core: &mut Core,
+        job: &SparseFcJob,
+        k: usize,
+        wrow: u32,
+        seg: u32,
+    ) {
+        let m = job.nm.m();
+        let bits = job.nm.offset_bits();
+        let nz = job.nz_per_channel();
+        let out = {
+            let input = mem
+                .slice(job.fc.bufs.input, nz * m)
+                .expect("scratchpad is zero-copy");
+            let values = mem.slice(wrow, nz).expect("scratchpad is zero-copy");
+            let offs = mem
+                .slice(seg, offsets_len(nz, bits))
+                .expect("scratchpad is zero-copy");
+            job.fc
+                .requant
+                .apply(nm_gather_dot(values, input, offs, bits, m, 0, 1))
+        };
+        mem.store_i8(job.fc.bufs.output + k as u32, out);
+        P::charge_block(core, || channel_block(nz / 4, nz % 4));
+    }
+
     match ctx.path() {
-        ExecPath::Bulk(mem) => {
-            let out = {
-                let input = mem
-                    .slice(job.fc.bufs.input, nz * m)
-                    .expect("scratchpad is zero-copy");
-                let values = mem.slice(wrow, nz).expect("scratchpad is zero-copy");
-                let offs = mem
-                    .slice(seg, offsets_len(nz, bits))
-                    .expect("scratchpad is zero-copy");
-                job.fc
-                    .requant
-                    .apply(nm_gather_dot(values, input, offs, bits, m, 0, 1))
-            };
-            mem.store_i8(job.fc.bufs.output + k as u32, out);
-            core.charge_block(&channel_block(chunks, tail));
-        }
+        ExecPath::Bulk(mem) => channel_body::<Charged>(mem, core, job, k, wrow, seg),
+        ExecPath::Native(mem) => channel_body::<Uncharged>(mem, core, job, k, wrow, seg),
         ExecPath::Reference(mem) => {
             let vrow = wrow;
             let mut acc = 0i32;

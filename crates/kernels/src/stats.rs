@@ -2,9 +2,60 @@
 
 use nm_platform::{ClusterStats, Scratchpad};
 
+/// The execution tier a caller selects for emulated runs.
+///
+/// * [`ExecTier::Reference`] — golden per-instruction model: every
+///   charged operation performs its architectural effect one
+///   instruction at a time. Slowest, fully cycle-accurate.
+/// * [`ExecTier::Bulk`] — fast path: outputs from zero-copy scratchpad
+///   slices, accounting via whole [`nm_isa::InstrBlock`] charges.
+///   **Bit- and cycle-identical** to `Reference` (enforced by
+///   `tests/bulk_parity.rs`).
+/// * [`ExecTier::Native`] — deployment-speed path: the *same* kernel
+///   bodies as `Bulk`, monomorphized with [`nm_isa::Uncharged`] so all
+///   accounting compiles out. Outputs stay bit-identical to `Bulk`
+///   (enforced by `tests/native_parity.rs`); cycles/instret are
+///   **undefined** (reported as zero) on this tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecTier {
+    /// Per-instruction reference emulation.
+    Reference,
+    /// Bulk fast-path emulation (slices + block charging).
+    #[default]
+    Bulk,
+    /// Uncharged native execution (outputs only, no statistics).
+    Native,
+}
+
+impl ExecTier {
+    /// Whether this tier produces defined cycle/instret statistics.
+    pub fn is_cycle_accurate(self) -> bool {
+        !matches!(self, ExecTier::Native)
+    }
+
+    /// Parses the tier names used by benches and configs.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "reference" => Some(ExecTier::Reference),
+            "bulk" => Some(ExecTier::Bulk),
+            "native" => Some(ExecTier::Native),
+            _ => None,
+        }
+    }
+
+    /// The bench/config name of this tier.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecTier::Reference => "reference",
+            ExecTier::Bulk => "bulk",
+            ExecTier::Native => "native",
+        }
+    }
+}
+
 /// Execution context: emulation against a real L1 scratchpad (bit-exact
-/// outputs) on the per-instruction reference path or the bulk fast path,
-/// or analytic mode (cycle charging only, no memory traffic).
+/// outputs) on one of the three [`ExecTier`]s, or analytic mode (cycle
+/// charging only, no memory traffic).
 ///
 /// [`Ctx::Mem`] is the golden reference: every charged operation performs
 /// its architectural effect one instruction at a time. [`Ctx::MemBulk`]
@@ -12,14 +63,19 @@ use nm_platform::{ClusterStats, Scratchpad};
 /// the parity tests in `tests/bulk_parity.rs`) but computes outputs from
 /// zero-copy scratchpad slices and charges whole instruction blocks via
 /// [`nm_isa::Core::charge_block`], which makes host emulation several
-/// times faster. Use `Mem` when validating the model, `MemBulk` for
-/// sweeps and end-to-end runs.
+/// times faster. [`Ctx::MemNative`] runs the same bulk kernel bodies
+/// with charging compiled out ([`nm_isa::Uncharged`]): identical outputs,
+/// zero statistics, fastest wall-clock. Use `Mem` when validating the
+/// model, `MemBulk` for sweeps and gated benches, `MemNative` for
+/// serving traffic that only wants outputs.
 #[derive(Debug)]
 pub enum Ctx<'a> {
     /// Emulate per-instruction against this L1 scratchpad (reference).
     Mem(&'a mut Scratchpad),
     /// Emulate against this L1 scratchpad on the bulk fast path.
     MemBulk(&'a mut Scratchpad),
+    /// Run uncharged against this L1 scratchpad (outputs only).
+    MemNative(&'a mut Scratchpad),
     /// Charge cycles without touching memory.
     Analytic,
 }
@@ -31,20 +87,36 @@ pub enum ExecPath<'m> {
     Reference(&'m mut Scratchpad),
     /// Bulk fast-path emulation (slices + block charging).
     Bulk(&'m mut Scratchpad),
+    /// Uncharged native execution (slices, no accounting).
+    Native(&'m mut Scratchpad),
     /// No memory: charge only.
     Analytic,
 }
 
 impl<'a> Ctx<'a> {
-    /// Whether this context carries a memory (either emulation path).
-    pub fn is_mem(&self) -> bool {
-        matches!(self, Ctx::Mem(_) | Ctx::MemBulk(_))
+    /// The emulation context for `tier` over `mem`.
+    pub fn tiered(tier: ExecTier, mem: &'a mut Scratchpad) -> Self {
+        match tier {
+            ExecTier::Reference => Ctx::Mem(mem),
+            ExecTier::Bulk => Ctx::MemBulk(mem),
+            ExecTier::Native => Ctx::MemNative(mem),
+        }
     }
 
-    /// The scratchpad, if emulating (either path).
+    /// Whether this context carries a memory (any emulation tier).
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Ctx::Mem(_) | Ctx::MemBulk(_) | Ctx::MemNative(_))
+    }
+
+    /// Whether this context runs the uncharged native tier.
+    pub fn is_native(&self) -> bool {
+        matches!(self, Ctx::MemNative(_))
+    }
+
+    /// The scratchpad, if emulating (any tier).
     pub fn mem(&mut self) -> Option<&mut Scratchpad> {
         match self {
-            Ctx::Mem(m) | Ctx::MemBulk(m) => Some(m),
+            Ctx::Mem(m) | Ctx::MemBulk(m) | Ctx::MemNative(m) => Some(m),
             Ctx::Analytic => None,
         }
     }
@@ -55,6 +127,7 @@ impl<'a> Ctx<'a> {
         match self {
             Ctx::Mem(m) => ExecPath::Reference(m),
             Ctx::MemBulk(m) => ExecPath::Bulk(m),
+            Ctx::MemNative(m) => ExecPath::Native(m),
             Ctx::Analytic => ExecPath::Analytic,
         }
     }
@@ -137,9 +210,38 @@ mod tests {
         assert!(ctx.is_mem());
         assert!(ctx.mem().is_some());
         assert!(matches!(ctx.path(), ExecPath::Bulk(_)));
+        let mut ctx = Ctx::MemNative(&mut l1);
+        assert!(ctx.is_mem());
+        assert!(ctx.is_native());
+        assert!(ctx.mem().is_some());
+        assert!(matches!(ctx.path(), ExecPath::Native(_)));
         let mut ctx = Ctx::Analytic;
         assert!(!ctx.is_mem());
         assert!(ctx.mem().is_none());
         assert!(matches!(ctx.path(), ExecPath::Analytic));
+    }
+
+    #[test]
+    fn tiered_constructor_and_names() {
+        let mut l1 = Scratchpad::new("l1", 16);
+        assert!(matches!(
+            Ctx::tiered(ExecTier::Reference, &mut l1),
+            Ctx::Mem(_)
+        ));
+        assert!(matches!(
+            Ctx::tiered(ExecTier::Bulk, &mut l1),
+            Ctx::MemBulk(_)
+        ));
+        assert!(matches!(
+            Ctx::tiered(ExecTier::Native, &mut l1),
+            Ctx::MemNative(_)
+        ));
+        for tier in [ExecTier::Reference, ExecTier::Bulk, ExecTier::Native] {
+            assert_eq!(ExecTier::from_name(tier.name()), Some(tier));
+        }
+        assert_eq!(ExecTier::from_name("analytic"), None);
+        assert_eq!(ExecTier::default(), ExecTier::Bulk);
+        assert!(ExecTier::Bulk.is_cycle_accurate());
+        assert!(!ExecTier::Native.is_cycle_accurate());
     }
 }

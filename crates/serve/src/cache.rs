@@ -42,6 +42,7 @@ pub struct ModelCache {
     entries: Mutex<Vec<CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    failed_prepares: AtomicU64,
     /// Deterministic fault injection ([`FaultPoint::Prepare`],
     /// [`FaultPoint::CacheInsert`]); `None` in production.
     faults: Option<Arc<FaultPlan>>,
@@ -98,6 +99,7 @@ impl ModelCache {
         if let Some(plan) = &self.faults {
             match plan.check(FaultPoint::Prepare) {
                 Some(FaultAction::Error) => {
+                    self.failed_prepares.fetch_add(1, Ordering::Relaxed);
                     return Err(nm_core::Error::Unsupported(
                         "injected fault: prepare".to_string(),
                     ));
@@ -122,8 +124,17 @@ impl ModelCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(prepared));
         }
+        // A failed preparation is not a miss: `misses` counts lookups
+        // that *paid* a preparation, so the counter moves only once
+        // `prepare_shared` succeeds; failures land in `failed_prepares`.
+        let prepared = match PreparedGraph::prepare_shared(Arc::clone(graph), opts) {
+            Ok(prepared) => Arc::new(prepared),
+            Err(e) => {
+                self.failed_prepares.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let prepared = Arc::new(PreparedGraph::prepare_shared(Arc::clone(graph), opts)?);
         if let Some(plan) = &self.faults {
             match plan.check(FaultPoint::CacheInsert) {
                 Some(FaultAction::Error) => {
@@ -166,9 +177,16 @@ impl ModelCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lookups that paid a preparation.
+    /// Lookups that paid a *successful* preparation.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups whose preparation failed (nothing was cached). Tracked
+    /// separately from [`misses`](Self::misses) so hit-rate math stays
+    /// meaningful when a model repeatedly fails to prepare.
+    pub fn failed_prepares(&self) -> u64 {
+        self.failed_prepares.load(Ordering::Relaxed)
     }
 }
 
@@ -230,9 +248,9 @@ mod tests {
         let graph = tiny_graph();
         let opts = Options::new(Target::DensePulpNn);
         let a = cache.get_or_prepare("m", &graph, &opts).unwrap();
-        // Same model, different emulation path: distinct artifact.
+        // Same model, different execution tier: distinct artifact.
         let mut ref_path = opts;
-        ref_path.bulk_emulation = false;
+        ref_path.tier = nm_compiler::ExecTier::Reference;
         let b = cache.get_or_prepare("m", &graph, &ref_path).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         // Different name, same options: also distinct.
@@ -267,6 +285,38 @@ mod tests {
         cache.get_or_prepare("b", &graph, &opts).unwrap();
         assert_eq!(cache.len(), 2);
         assert_eq!(plan.fired(), 2);
+        // The injected prepare error counted as a failed prepare, not a
+        // miss; the cache_insert error prepared successfully (a miss).
+        assert_eq!(cache.failed_prepares(), 1);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    /// Regression test: a *failed* preparation must not count as a cache
+    /// miss — `misses` only moves for lookups that paid a successful
+    /// prepare, failures land in `failed_prepares`.
+    #[test]
+    fn failed_prepares_are_counted_separately_from_misses() {
+        let cache = ModelCache::new();
+        let graph = tiny_graph();
+        let mut bad = Options::new(Target::DensePulpNn);
+        bad.l1_budget = 8; // no tile can fit: preparation fails
+        cache.get_or_prepare("m", &graph, &bad).unwrap_err();
+        cache.get_or_prepare("m", &graph, &bad).unwrap_err();
+        assert_eq!(
+            (cache.hits(), cache.misses(), cache.failed_prepares()),
+            (0, 0, 2),
+            "failed prepares must not inflate the miss counter"
+        );
+        assert!(cache.is_empty(), "nothing was cached");
+        // A successful registration afterwards: one miss, then a hit;
+        // the failure counter stays put.
+        let opts = Options::new(Target::DensePulpNn);
+        cache.get_or_prepare("m", &graph, &opts).unwrap();
+        cache.get_or_prepare("m", &graph, &opts).unwrap();
+        assert_eq!(
+            (cache.hits(), cache.misses(), cache.failed_prepares()),
+            (1, 1, 2)
+        );
     }
 
     /// A *panicking* preparation poisons the entries lock in the

@@ -29,7 +29,9 @@
 //!     .collect();
 //! for t in tickets {
 //!     let r = t.wait().unwrap();
-//!     println!("request {}: {} sim cycles", r.id, r.sim_cycles);
+//!     // `sim_cycles` is `Some` on the cycle-accurate tiers, `None`
+//!     // when the service runs on `ExecTier::Native`.
+//!     println!("request {}: {:?} sim cycles", r.id, r.sim_cycles);
 //! }
 //! service.shutdown();
 //! # }
@@ -38,12 +40,29 @@
 //! ## Determinism contract
 //!
 //! Concurrency and batching are **amortizations, never semantic
-//! changes**. For any interleaving of submissions, any worker count,
-//! any batch limit and either emulation path, every request's output
-//! tensor and simulated cycle total ([`InferenceResult::output`],
-//! [`InferenceResult::sim_cycles`]) are bit-identical to running the
-//! same input through a sequential [`PreparedGraph::run`] loop on the
-//! same prepared model. This holds because:
+//! changes**. A service runs on exactly one execution tier
+//! ([`ServiceConfig::tier`], an [`ExecTier`]), and the contract is
+//! tiered to match:
+//!
+//! * **Outputs are gated on every tier.** For any interleaving of
+//!   submissions, any worker count, any batch limit and any tier,
+//!   every request's output tensor ([`InferenceResult::output`]) is
+//!   bit-identical to running the same input through a sequential
+//!   [`PreparedGraph::run`] loop on the same prepared model — and the
+//!   native tier's outputs are bit-identical to the bulk tier's, since
+//!   both tiers execute the *same* kernel bodies (charging is a
+//!   zero-sized policy parameter compiled out on native, never a
+//!   forked copy of the loop).
+//! * **Cycles are gated on the cycle-accurate tiers only.** On
+//!   [`ExecTier::Reference`] and [`ExecTier::Bulk`], every request's
+//!   simulated cycle total ([`InferenceResult::sim_cycles`], `Some`)
+//!   is bit-identical to the sequential run's and to the analytic
+//!   plan. On [`ExecTier::Native`] cycles are not simulated at all:
+//!   `sim_cycles` is `None`, and the only timing quantities are
+//!   wall-clock ([`InferenceResult::latency`]) — faster, but carrying
+//!   no simulated meaning.
+//!
+//! The per-request determinism holds because:
 //!
 //! * requests are independent — a request's result is a pure function
 //!   of (model, options, input), and workers never share mutable
@@ -73,9 +92,11 @@
 //! The contract is enforced end to end by the repo's differential test
 //! (`tests/tests/serve_parity.rs`): random graphs × random
 //! interleavings × worker counts {1, 2, 3, 8} × batch limits
-//! {1, 4, 16} × both bulk settings, compared request-by-request against
-//! the sequential loop — plus a conv sweep serving the pruned ResNet-18
-//! model under [`BatchPlan::ConvBatchMajor`] across the same grid.
+//! {1, 4, 16} × execution tiers, compared request-by-request against
+//! the sequential loop (outputs on every tier, cycles on the
+//! cycle-accurate ones) — plus a conv sweep serving the pruned
+//! ResNet-18 model under [`BatchPlan::ConvBatchMajor`] across the same
+//! grid.
 //!
 //! ## Overload and shutdown
 //!
@@ -156,6 +177,10 @@ pub use service::{
 /// [`InferenceResult::mode`] without a direct compiler dependency.
 pub use nm_compiler::BatchPlan;
 
+/// Re-exported from `nm_compiler` so serving callers can pick
+/// [`ServiceConfig::tier`] without a direct compiler dependency.
+pub use nm_compiler::ExecTier;
+
 #[allow(unused_imports)] // doc links above resolve through this import
 use nm_compiler::PreparedGraph;
 
@@ -206,7 +231,7 @@ mod tests {
         for (ticket, want) in tickets.into_iter().zip(&expected) {
             let got = ticket.wait().unwrap();
             assert_eq!(got.output, want.output);
-            assert_eq!(got.sim_cycles, want.matmul_compute_cycles);
+            assert_eq!(got.sim_cycles, Some(want.matmul_compute_cycles));
             assert_eq!(got.batch_size, 4, "8 queued requests over max_batch 4");
             assert_eq!(got.mode, BatchPlan::TokenCoalesced, "MLP chain coalesces");
         }
@@ -216,6 +241,32 @@ mod tests {
         assert_eq!(stats.shed, 0);
         assert_eq!(stats.batches, 2);
         assert_eq!(stats.max_coalesced, 4, "coalescing is exact when shaped");
+    }
+
+    /// A service on [`ExecTier::Native`] serves outputs bit-identical
+    /// to the bulk sequential baseline and reports no simulated cycles.
+    #[test]
+    fn native_tier_service_matches_bulk_outputs_without_cycles() {
+        let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], Nm::ONE_OF_EIGHT, 5).unwrap());
+        let opts = Options::new(Target::SparseIsa);
+        let prepared = PreparedGraph::prepare(&graph, &opts).unwrap(); // bulk tier
+        let xs = inputs(6, 64, 31);
+        let expected: Vec<_> = xs.iter().map(|x| prepared.run(x).unwrap()).collect();
+        let service = Service::start(ServiceConfig {
+            tier: ExecTier::Native,
+            ..ServiceConfig::default()
+        });
+        let model = service.register("mlp", &graph, &opts).unwrap();
+        let tickets: Vec<_> = xs
+            .iter()
+            .map(|x| service.submit(model, x.clone()).unwrap())
+            .collect();
+        for (t, want) in tickets.into_iter().zip(&expected) {
+            let r = t.wait().unwrap();
+            assert_eq!(r.output, want.output, "native outputs == bulk outputs");
+            assert_eq!(r.sim_cycles, None, "cycles are undefined on native");
+        }
+        service.shutdown();
     }
 
     #[test]
@@ -313,7 +364,9 @@ mod tests {
 
     /// Registering the same (name, options) twice shares one prepared
     /// artifact through the cache; a different options key prepares a
-    /// second one.
+    /// second one. The tier is *not* part of the caller-visible key:
+    /// [`ServiceConfig::tier`] overrides it at registration, so options
+    /// differing only in tier alias one artifact.
     #[test]
     fn registration_routes_through_the_model_cache() {
         let graph = Arc::new(mlp_serve_sparse(&[64, 48, 32], Nm::ONE_OF_EIGHT, 5).unwrap());
@@ -323,11 +376,18 @@ mod tests {
         let b = service.register("mlp", &graph, &opts).unwrap();
         assert_ne!(a, b, "ids are distinct handles");
         assert_eq!(service.cache_counters(), (1, 1), "one prepare, one hit");
-        let mut ref_path = opts;
-        ref_path.bulk_emulation = false;
-        service.register("mlp", &graph, &ref_path).unwrap();
-        assert_eq!(service.cache_counters(), (1, 2));
-        assert_eq!(service.model_count(), 3);
+        let mut tiered = opts;
+        tiered.tier = ExecTier::Reference;
+        service.register("mlp", &graph, &tiered).unwrap();
+        assert_eq!(
+            service.cache_counters(),
+            (2, 1),
+            "the service tier overrides Options::tier in the cache key"
+        );
+        let other = Options::new(Target::SparseSw);
+        service.register("mlp", &graph, &other).unwrap();
+        assert_eq!(service.cache_counters(), (2, 2));
+        assert_eq!(service.model_count(), 4);
         service.shutdown();
     }
 

@@ -7,7 +7,7 @@ use crate::cache::ModelCache;
 use crate::fault::{FaultAction, FaultPlan, FaultPoint};
 use crate::queue::{BoundedQueue, Popped, PushError};
 use crate::supervisor::Supervisor;
-use nm_compiler::{BatchPlan, Options, PreparedGraph};
+use nm_compiler::{BatchPlan, ExecTier, Options, PreparedGraph};
 use nm_core::{Error, Tensor};
 use nm_nn::graph::Graph;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -31,6 +31,15 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// Worker threads executing batches.
     pub workers: usize,
+    /// The [`ExecTier`] every model in this service executes on. It is
+    /// authoritative: [`Service::register`] overrides `Options::tier`
+    /// with this value, so the cache key, the prepared artifact and
+    /// every result of one service agree on a single tier. On
+    /// [`ExecTier::Reference`]/[`ExecTier::Bulk`] results carry
+    /// simulated cycles ([`InferenceResult::sim_cycles`] is `Some`); on
+    /// [`ExecTier::Native`] cycles are not simulated and `sim_cycles`
+    /// is `None`.
+    pub tier: ExecTier,
     /// Worker respawns allowed over the service lifetime. Per-batch
     /// panics are contained without touching this budget; it is spent
     /// only when a worker *thread* dies (a panic escaping the batch
@@ -53,6 +62,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             max_batch: 8,
             workers: 2,
+            tier: ExecTier::Bulk,
             restart_budget: 8,
             restart_backoff: Duration::from_millis(1),
             fault_plan: None,
@@ -141,7 +151,11 @@ pub struct InferenceResult {
     pub output: Tensor<i8>,
     /// Deterministic per-request simulated compute cycles — identical
     /// to a sequential run's, whatever batch the request rode in.
-    pub sim_cycles: u64,
+    /// `Some` on the cycle-accurate tiers ([`ExecTier::Reference`],
+    /// [`ExecTier::Bulk`]); `None` on [`ExecTier::Native`], where
+    /// cycles are not simulated (wall-clock [`InferenceResult::latency`]
+    /// is the only timing quantity there).
+    pub sim_cycles: Option<u64>,
     /// Requests that rode in the batch that served this one
     /// (informational; `1` when the request was re-run individually
     /// after a batch-level panic). A batch size above one does **not**
@@ -426,7 +440,10 @@ impl Service {
     /// Registers `graph` under `name` with compilation `opts`, preparing
     /// it through the service's model cache (a re-registration with the
     /// same name and options reuses the cached artifact and returns a
-    /// new id aliasing it).
+    /// new id aliasing it). `opts.tier` is overridden by
+    /// [`ServiceConfig::tier`] — one service runs one execution tier —
+    /// so two registrations differing only in tier alias the same
+    /// cached artifact.
     ///
     /// # Errors
     /// Propagates preparation failures (e.g. [`Error::OutOfMemory`] for
@@ -439,7 +456,9 @@ impl Service {
         graph: &Arc<Graph>,
         opts: &Options,
     ) -> Result<ModelId, Error> {
-        let prepared = self.inner.cache.get_or_prepare(name, graph, opts)?;
+        let mut opts = *opts;
+        opts.tier = self.inner.config.tier;
+        let prepared = self.inner.cache.get_or_prepare(name, graph, &opts)?;
         let mut models = self
             .inner
             .models
@@ -607,9 +626,16 @@ impl Service {
     }
 
     /// Prepared-artifact cache hit/miss counters, keyed by
-    /// (model, format, options).
+    /// (model, format, options). A registration whose prepare *fails*
+    /// counts in neither — see [`Service::failed_prepares`].
     pub fn cache_counters(&self) -> (u64, u64) {
         (self.inner.cache.hits(), self.inner.cache.misses())
+    }
+
+    /// Registrations whose prepare failed (never cached, never counted
+    /// as misses).
+    pub fn failed_prepares(&self) -> u64 {
+        self.inner.cache.failed_prepares()
     }
 
     /// Never panics: runs during `Drop`, which may itself run during
@@ -720,6 +746,9 @@ fn run_batch_isolated(inner: &ServiceInner, batch: Vec<Pending>, injected: Optio
     let n = batch.len();
     let Some(first) = batch.first() else { return };
     let prepared = Arc::clone(&first.prepared);
+    // Cycles are only defined on the cycle-accurate tiers; the native
+    // tier reports `None` rather than a meaningless zero.
+    let cycle_accurate = inner.config.tier.is_cycle_accurate();
     inner.stats.batches.fetch_add(1, Ordering::SeqCst);
     inner
         .stats
@@ -745,7 +774,7 @@ fn run_batch_isolated(inner: &ServiceInner, batch: Vec<Pending>, injected: Optio
                     id: pending.id,
                     model: pending.model,
                     output: run.output,
-                    sim_cycles: run.matmul_compute_cycles,
+                    sim_cycles: cycle_accurate.then_some(run.matmul_compute_cycles),
                     batch_size: n,
                     mode: prepared.batch_plan().executed(n),
                     latency: pending.submitted.elapsed(),
@@ -788,7 +817,7 @@ fn run_batch_isolated(inner: &ServiceInner, batch: Vec<Pending>, injected: Optio
                             id: pending.id,
                             model: pending.model,
                             output: run.output,
-                            sim_cycles: run.matmul_compute_cycles,
+                            sim_cycles: cycle_accurate.then_some(run.matmul_compute_cycles),
                             batch_size: 1,
                             mode: prepared.batch_plan().executed(1),
                             latency: pending.submitted.elapsed(),

@@ -567,7 +567,7 @@ fn per_channel_mixed_bulk_parity() {
 #[test]
 fn compiled_executor_bulk_parity() {
     use nm_compiler::exec::run_emulated;
-    use nm_compiler::{Options, Target};
+    use nm_compiler::{ExecTier, Options, Target};
     use nm_core::Tensor;
     use nm_integration::{make_exact_nm, random_i8};
     use nm_nn::layer::{ConvLayer, LinearLayer};
@@ -601,9 +601,9 @@ fn compiled_executor_bulk_parity() {
     let input = Tensor::from_vec(&[6, 6, 8], random_i8(6 * 6 * 8, 71)).unwrap();
     for target in [Target::SparseSw, Target::SparseIsa, Target::DensePulpNn] {
         let fast = Options::new(target);
-        assert!(fast.bulk_emulation, "bulk path is the default");
+        assert_eq!(fast.tier, ExecTier::Bulk, "bulk tier is the default");
         let mut reference = Options::new(target);
-        reference.bulk_emulation = false;
+        reference.tier = ExecTier::Reference;
         let fast_run = run_emulated(&g, &input, &fast).unwrap();
         let ref_run = run_emulated(&g, &input, &reference).unwrap();
         assert_eq!(fast_run.output, ref_run.output, "{target:?} outputs");
@@ -631,7 +631,7 @@ fn compiled_executor_bulk_parity() {
     for target in [Target::SparseSw, Target::SparseIsa, Target::DensePulpNn] {
         let fast = Options::new(target);
         let mut reference = Options::new(target);
-        reference.bulk_emulation = false;
+        reference.tier = ExecTier::Reference;
         let fast_run = run_emulated(&g, &input, &fast).unwrap();
         let ref_run = run_emulated(&g, &input, &reference).unwrap();
         assert_eq!(fast_run.output, ref_run.output, "padded {target:?} outputs");

@@ -192,9 +192,10 @@ fn serve_registration_surfaces_oom_without_wedging_the_cache() {
     let input = nm_core::Tensor::from_vec(&[64], vec![1i8; 64]).unwrap();
     let ticket = service.submit(model, input).unwrap();
     ticket.wait().expect("the good model serves");
-    // Both attempts were cache misses (a miss is counted when the
-    // lookup falls through to preparation); only one artifact exists.
-    assert_eq!(service.cache_counters(), (0, 2));
+    // The starved attempt is a *failed prepare*, not a miss (a miss is
+    // only counted once preparation succeeds); one artifact exists.
+    assert_eq!(service.cache_counters(), (0, 1));
+    assert_eq!(service.failed_prepares(), 1);
     assert_eq!(service.model_count(), 1);
     service.shutdown();
 }

@@ -6,7 +6,7 @@
 use nm_compiler::exec::run_emulated;
 use nm_compiler::plan::compile;
 use nm_compiler::tiling::tile_conv;
-use nm_compiler::{KernelChoice, Options, PreparedGraph, Target};
+use nm_compiler::{ExecTier, KernelChoice, Options, PreparedGraph, Target};
 use nm_core::quant::Requant;
 use nm_core::sparsity::Nm;
 use nm_core::{ConvGeom, FcGeom, Tensor};
@@ -81,32 +81,33 @@ fn planned_cycles(g: &Graph, opts: &Options) -> u64 {
 
 /// Prepare once, run twice: both runs bit-identical to each other, to a
 /// fresh `run_emulated`, and cycle-identical to the analytic plan — on
-/// both `bulk_emulation` settings.
+/// both cycle-accurate tiers (the native tier's output parity lives in
+/// `native_parity.rs`).
 #[test]
 fn prepared_runs_are_reusable_and_match_run_emulated() {
     let (g, input) = conv_fc_graph(Nm::ONE_OF_EIGHT);
     for target in [Target::SparseIsa, Target::SparseSw, Target::DensePulpNn] {
-        for bulk in [true, false] {
+        for tier in [ExecTier::Bulk, ExecTier::Reference] {
             let mut opts = Options::new(target);
-            opts.bulk_emulation = bulk;
+            opts.tier = tier;
             let prepared = PreparedGraph::prepare(&g, &opts).unwrap();
             let first = prepared.run(&input).unwrap();
             let second = prepared.run(&input).unwrap();
-            assert_eq!(first.output, second.output, "{target:?} bulk={bulk} reuse");
+            assert_eq!(first.output, second.output, "{target:?} {tier:?} reuse");
             assert_eq!(
                 first.matmul_compute_cycles, second.matmul_compute_cycles,
-                "{target:?} bulk={bulk} reuse cycles"
+                "{target:?} {tier:?} reuse cycles"
             );
             let fresh = run_emulated(&g, &input, &opts).unwrap();
-            assert_eq!(first.output, fresh.output, "{target:?} bulk={bulk}");
+            assert_eq!(first.output, fresh.output, "{target:?} {tier:?}");
             assert_eq!(
                 first.matmul_compute_cycles, fresh.matmul_compute_cycles,
-                "{target:?} bulk={bulk} cycles"
+                "{target:?} {tier:?} cycles"
             );
             assert_eq!(
                 first.matmul_compute_cycles,
                 planned_cycles(&g, &opts),
-                "{target:?} bulk={bulk} vs plan"
+                "{target:?} {tier:?} vs plan"
             );
         }
     }
@@ -129,10 +130,10 @@ fn parallel_tiles_match_sequential_for_uneven_thread_counts() {
         n_tiles >= 5 && n_tiles % 2 == 1,
         "budget no longer yields an odd multi-tile schedule: {n_tiles} tiles"
     );
-    for bulk in [true, false] {
+    for tier in [ExecTier::Bulk, ExecTier::Reference] {
         let mut opts = Options::new(Target::SparseIsa);
         opts.l1_budget = TILING_L1_BUDGET;
-        opts.bulk_emulation = bulk;
+        opts.tier = tier;
         opts.host_threads = 1;
         let sequential = PreparedGraph::prepare(&g, &opts)
             .unwrap()
@@ -146,11 +147,11 @@ fn parallel_tiles_match_sequential_for_uneven_thread_counts() {
                 let run = prepared.run(&input).unwrap();
                 assert_eq!(
                     run.output, sequential.output,
-                    "threads={threads} bulk={bulk} rep={rep}"
+                    "threads={threads} {tier:?} rep={rep}"
                 );
                 assert_eq!(
                     run.matmul_compute_cycles, sequential.matmul_compute_cycles,
-                    "threads={threads} bulk={bulk} rep={rep} cycles"
+                    "threads={threads} {tier:?} rep={rep} cycles"
                 );
             }
         }
@@ -166,19 +167,19 @@ fn multi_token_linear_matches_reference_plan_and_thread_counts() {
     let (g, input, base) = multi_token_graph(Nm::ONE_OF_EIGHT);
     let reference = nm_nn::execute(&g, &input).unwrap();
     let planned = planned_cycles(&g, &base);
-    for bulk in [true, false] {
+    for tier in [ExecTier::Bulk, ExecTier::Reference] {
         let mut opts = base;
-        opts.bulk_emulation = bulk;
+        opts.tier = tier;
         for threads in [1, 3, 4, 7] {
             opts.host_threads = threads;
             let prepared = PreparedGraph::prepare(&g, &opts).unwrap();
             let first = prepared.run(&input).unwrap();
             let second = prepared.run(&input).unwrap();
-            assert_eq!(first.output, reference, "bulk={bulk} threads={threads}");
-            assert_eq!(first.output, second.output, "bulk={bulk} threads={threads}");
+            assert_eq!(first.output, reference, "{tier:?} threads={threads}");
+            assert_eq!(first.output, second.output, "{tier:?} threads={threads}");
             assert_eq!(
                 first.matmul_compute_cycles, planned,
-                "bulk={bulk} threads={threads} cycles"
+                "{tier:?} threads={threads} cycles"
             );
             assert_eq!(first.matmul_compute_cycles, second.matmul_compute_cycles);
         }
@@ -196,14 +197,14 @@ fn vit_tiny_prepared_parity_across_paths() {
     let input = Tensor::from_vec(&[16, 16, 3], rng.fill_weights(16 * 16 * 3, 50)).unwrap();
     let reference = nm_nn::execute(&g, &input).unwrap();
     let mut cycles = Vec::new();
-    for bulk in [true, false] {
+    for tier in [ExecTier::Bulk, ExecTier::Reference] {
         let mut opts = Options::new(Target::SparseIsa);
-        opts.bulk_emulation = bulk;
+        opts.tier = tier;
         let prepared = PreparedGraph::prepare(&g, &opts).unwrap();
         let a = prepared.run(&input).unwrap();
         let b = prepared.run(&input).unwrap();
-        assert_eq!(a.output, reference, "bulk={bulk}");
-        assert_eq!(a.output, b.output, "bulk={bulk} reuse");
+        assert_eq!(a.output, reference, "{tier:?}");
+        assert_eq!(a.output, b.output, "{tier:?} reuse");
         assert_eq!(a.matmul_compute_cycles, b.matmul_compute_cycles);
         cycles.push(a.matmul_compute_cycles);
     }
@@ -223,15 +224,15 @@ fn zero_token_linear_returns_empty_output() {
     let out = b.linear(b.input(), l).unwrap();
     let g = b.finish(out).unwrap();
     let input = Tensor::from_vec(&[0, c], vec![]).unwrap();
-    for bulk in [true, false] {
+    for tier in [ExecTier::Bulk, ExecTier::Reference, ExecTier::Native] {
         let mut opts = Options::new(Target::SparseIsa);
-        opts.bulk_emulation = bulk;
+        opts.tier = tier;
         let run = PreparedGraph::prepare(&g, &opts)
             .unwrap()
             .run(&input)
             .unwrap();
-        assert_eq!(run.output.shape(), &[0, k], "bulk={bulk}");
-        assert_eq!(run.matmul_compute_cycles, 0, "bulk={bulk}");
+        assert_eq!(run.output.shape(), &[0, k], "{tier:?}");
+        assert_eq!(run.matmul_compute_cycles, 0, "{tier:?}");
     }
 }
 

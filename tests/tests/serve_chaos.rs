@@ -18,7 +18,7 @@
 //! Runs in CI's release profile as a named step; the request counts are
 //! sized to also pass in debug on one core.
 
-use nm_compiler::{Options, PreparedGraph, Target};
+use nm_compiler::{ExecTier, Options, PreparedGraph, Target};
 use nm_core::sparsity::Nm;
 use nm_core::Tensor;
 use nm_integration::sparse_conv_fc_graph;
@@ -88,6 +88,7 @@ fn seeded_faults_spare_survivors_and_account_for_every_casualty() {
         workers: 2,
         restart_budget: 4,
         restart_backoff: Duration::from_millis(1),
+        tier: ExecTier::Bulk,
         fault_plan: Some(Arc::clone(&plan)),
     });
     let ids: Vec<_> = graphs
@@ -102,7 +103,7 @@ fn seeded_faults_spare_survivors_and_account_for_every_casualty() {
         usize,
         usize,
         bool,
-        Result<(Tensor<i8>, u64), ServeError>,
+        Result<(Tensor<i8>, Option<u64>), ServeError>,
     );
 
     let (outcomes, full_sheds) = std::thread::scope(|scope| {
@@ -215,7 +216,11 @@ fn seeded_faults_spare_survivors_and_account_for_every_casualty() {
                 let input = request_input(graphs[*m].input_shape(), *t, *i, *m);
                 let want = prepared[*m].run(&input).unwrap();
                 assert_eq!(output, &want.output, "t={t} i={i} m={m}");
-                assert_eq!(*sim_cycles, want.matmul_compute_cycles, "t={t} i={i} m={m}");
+                assert_eq!(
+                    *sim_cycles,
+                    Some(want.matmul_compute_cycles),
+                    "t={t} i={i} m={m}"
+                );
                 ok += 1;
             }
             Err(ServeError::DeadlineExceeded) => {
@@ -276,6 +281,7 @@ fn restart_budget_exhaustion_poisons_without_hanging_anyone() {
         workers: 1,
         restart_budget: 0,
         restart_backoff: Duration::from_millis(1),
+        tier: ExecTier::Bulk,
         fault_plan: Some(Arc::new(FaultPlan::new().fail_nth(
             FaultPoint::BatchRun,
             0,
@@ -339,6 +345,7 @@ fn batch_panic_isolation_is_exact_when_scheduling_is_pinned() {
         workers: 1,
         restart_budget: 2,
         restart_backoff: Duration::from_millis(1),
+        tier: ExecTier::Bulk,
         fault_plan: Some(Arc::new(
             FaultPlan::new()
                 .fail_nth(FaultPoint::BatchRun, 0, FaultAction::Panic)
@@ -360,7 +367,7 @@ fn batch_panic_isolation_is_exact_when_scheduling_is_pinned() {
                 assert_ne!(i, 1, "request 1's re-run must panic");
                 let want = prepared.run(&request_input(&[64], 0, i, 0)).unwrap();
                 assert_eq!(r.output, want.output, "survivor {i} diverged");
-                assert_eq!(r.sim_cycles, want.matmul_compute_cycles);
+                assert_eq!(r.sim_cycles, Some(want.matmul_compute_cycles));
                 assert_eq!(r.batch_size, 1, "survivors came from re-runs");
             }
             Err(ServeError::WorkerPanic(msg)) => {

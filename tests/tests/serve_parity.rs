@@ -1,11 +1,12 @@
 //! Differential property tests for the batched inference service: for
-//! any request interleaving, worker count, batch limit and emulation
-//! path, every request's output and simulated cycle total through
-//! `nm_serve::Service` must be bit-identical to a sequential
-//! `PreparedGraph::run` loop over the same requests — the determinism
-//! contract documented at the top of `nm-serve`.
+//! any request interleaving, worker count, batch limit and execution
+//! tier, every request's output through `nm_serve::Service` must be
+//! bit-identical to a sequential `PreparedGraph::run` loop over the
+//! same requests — and on the cycle-accurate tiers the simulated cycle
+//! totals too. This is the determinism contract documented at the top
+//! of `nm-serve`.
 
-use nm_compiler::{BatchPlan, Options, PreparedGraph, Target};
+use nm_compiler::{BatchPlan, ExecTier, Options, PreparedGraph, Target};
 use nm_core::quant::Requant;
 use nm_core::sparsity::Nm;
 use nm_core::{FcGeom, Tensor};
@@ -57,18 +58,18 @@ fn interleaving(counts: &[usize], seed: u64) -> Vec<usize> {
 }
 
 /// The full differential sweep: two models (one coalescible, one not)
-/// served concurrently under every worker count / batch limit / bulk
-/// setting combination, with a different pseudo-random interleaving per
-/// configuration, compared request-by-request against sequential
-/// `PreparedGraph::run` baselines.
+/// served concurrently under every worker count / batch limit /
+/// cycle-accurate tier combination, with a different pseudo-random
+/// interleaving per configuration, compared request-by-request against
+/// sequential `PreparedGraph::run` baselines.
 #[test]
 fn service_matches_sequential_runs_for_any_configuration() {
     let nm = Nm::ONE_OF_EIGHT;
     let graphs = [mlp_graph(nm), conv_fc_graph(nm)];
     let per_model = 8;
-    for bulk in [true, false] {
+    for tier in [ExecTier::Bulk, ExecTier::Reference] {
         let mut opts = Options::new(Target::SparseIsa);
-        opts.bulk_emulation = bulk;
+        opts.tier = tier;
         // Sequential ground truth, one prepared model per graph.
         let inputs: Vec<Vec<Tensor<i8>>> = graphs
             .iter()
@@ -90,6 +91,7 @@ fn service_matches_sequential_runs_for_any_configuration() {
                     queue_capacity: 2 * graphs.len() * per_model,
                     max_batch,
                     workers,
+                    tier,
                     ..ServiceConfig::default()
                 });
                 let ids: Vec<_> = graphs
@@ -99,7 +101,10 @@ fn service_matches_sequential_runs_for_any_configuration() {
                     .collect();
                 // A configuration-specific interleaving of the two
                 // request streams.
-                let seed = 1000 + workers as u64 * 100 + max_batch as u64 * 10 + u64::from(bulk);
+                let seed = 1000
+                    + workers as u64 * 100
+                    + max_batch as u64 * 10
+                    + u64::from(tier == ExecTier::Bulk);
                 let mut next = vec![0usize; graphs.len()];
                 let mut tickets = Vec::new();
                 for m in interleaving(&[per_model; 2], seed) {
@@ -113,12 +118,13 @@ fn service_matches_sequential_runs_for_any_configuration() {
                     assert_eq!(
                         got.output, want.output,
                         "output diverged: model {m} req {i} workers={workers} \
-                         max_batch={max_batch} bulk={bulk}"
+                         max_batch={max_batch} {tier:?}"
                     );
                     assert_eq!(
-                        got.sim_cycles, want.matmul_compute_cycles,
+                        got.sim_cycles,
+                        Some(want.matmul_compute_cycles),
                         "cycles diverged: model {m} req {i} workers={workers} \
-                         max_batch={max_batch} bulk={bulk}"
+                         max_batch={max_batch} {tier:?}"
                     );
                 }
                 let stats = service.shutdown();
@@ -137,9 +143,9 @@ fn service_matches_sequential_runs_for_any_configuration() {
 fn coalesced_k_tiled_mlp_matches_sequential() {
     let nm = Nm::ONE_OF_EIGHT;
     let graph = mlp_graph(nm);
-    for bulk in [true, false] {
+    for tier in [ExecTier::Bulk, ExecTier::Reference] {
         let mut opts = Options::new(Target::SparseIsa);
-        opts.bulk_emulation = bulk;
+        opts.tier = tier;
         opts.l1_budget = 512; // forces K-tiling of every layer
         let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
         assert_eq!(prepared.batch_plan(), BatchPlan::TokenCoalesced);
@@ -150,6 +156,7 @@ fn coalesced_k_tiled_mlp_matches_sequential() {
             queue_capacity: 32,
             max_batch: 16,
             workers: 1,
+            tier,
             ..ServiceConfig::default()
         });
         let model = service.register("mlp-ktiled", &graph, &opts).unwrap();
@@ -165,9 +172,47 @@ fn coalesced_k_tiled_mlp_matches_sequential() {
         service.resume();
         for (ticket, want) in tickets.into_iter().zip(&expected) {
             let got = ticket.wait().unwrap();
-            assert_eq!(got.output, want.output, "bulk={bulk}");
-            assert_eq!(got.sim_cycles, want.matmul_compute_cycles, "bulk={bulk}");
-            assert_eq!(got.batch_size, 16, "bulk={bulk}: one full coalesced batch");
+            assert_eq!(got.output, want.output, "{tier:?}");
+            assert_eq!(got.sim_cycles, Some(want.matmul_compute_cycles), "{tier:?}");
+            assert_eq!(got.batch_size, 16, "{tier:?}: one full coalesced batch");
+        }
+        service.shutdown();
+    }
+}
+
+/// The native tier through the service: outputs stay bit-identical to
+/// the bulk-tier sequential baseline for both batch plans, but no cycle
+/// assertions are possible — `sim_cycles` is `None` on every response
+/// because the native tier compiles simulation charging out.
+#[test]
+fn native_tier_service_matches_bulk_outputs() {
+    let nm = Nm::ONE_OF_EIGHT;
+    for graph in [mlp_graph(nm), conv_fc_graph(nm)] {
+        let opts = Options::new(Target::SparseIsa);
+        assert_eq!(opts.tier, ExecTier::Bulk, "bulk tier is the default");
+        let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
+        let xs = random_inputs(graph.input_shape(), 8, 91);
+        let expected: Vec<_> = xs.iter().map(|x| prepared.run(x).unwrap()).collect();
+
+        let service = Service::start(ServiceConfig {
+            queue_capacity: 16,
+            max_batch: 4,
+            workers: 2,
+            tier: ExecTier::Native,
+            ..ServiceConfig::default()
+        });
+        let model = service.register("native-model", &graph, &opts).unwrap();
+        let tickets: Vec<_> = xs
+            .iter()
+            .map(|x| service.submit(model, x.clone()).unwrap())
+            .collect();
+        for (i, (ticket, want)) in tickets.into_iter().zip(&expected).enumerate() {
+            let got = ticket.wait().unwrap();
+            assert_eq!(got.output, want.output, "native output diverged: req {i}");
+            assert_eq!(
+                got.sim_cycles, None,
+                "native tier must not report simulated cycles: req {i}"
+            );
         }
         service.shutdown();
     }
@@ -249,11 +294,11 @@ fn linear_dag_is_not_coalesced_but_still_batches_correctly() {
 
 // The conv-batch-major plan at model scale: the pruned ResNet-18
 // serving model (16 sparse convs, residual Adds, pools, a final FC)
-// served across worker counts × batch limits × both emulation paths,
-// every request's output and cycle total compared bit-for-bit against
-// the sequential baseline. This is the configuration where conv tile
-// weights genuinely stage once per batch — the tentpole determinism
-// contract end to end.
+// served across worker counts × batch limits × both cycle-accurate
+// tiers, every request's output and cycle total compared bit-for-bit
+// against the sequential baseline. This is the configuration where conv
+// tile weights genuinely stage once per batch — the tentpole
+// determinism contract end to end.
 #[test]
 #[cfg_attr(
     debug_assertions,
@@ -263,12 +308,13 @@ fn resnet_conv_batch_major_matches_sequential() {
     let nm = Nm::ONE_OF_EIGHT;
     let graph = Arc::new(resnet18_cifar_serve_sparse(10, nm, 1).unwrap());
     let per_wave = 16;
-    for bulk in [true, false] {
+    for tier in [ExecTier::Bulk, ExecTier::Reference] {
         let mut opts = Options::new(Target::SparseIsa);
-        opts.bulk_emulation = bulk;
+        opts.tier = tier;
         let prepared = PreparedGraph::prepare(&graph, &opts).unwrap();
         assert_eq!(prepared.batch_plan(), BatchPlan::ConvBatchMajor);
-        let xs = random_inputs(graph.input_shape(), per_wave, 200 + u64::from(bulk));
+        let seed = 200 + u64::from(tier == ExecTier::Bulk);
+        let xs = random_inputs(graph.input_shape(), per_wave, seed);
         let expected: Vec<_> = xs.iter().map(|x| prepared.run(x).unwrap()).collect();
 
         for workers in [1, 2, 8] {
@@ -277,6 +323,7 @@ fn resnet_conv_batch_major_matches_sequential() {
                     queue_capacity: 2 * per_wave,
                     max_batch,
                     workers,
+                    tier,
                     ..ServiceConfig::default()
                 });
                 let model = service.register("resnet18", &graph, &opts).unwrap();
@@ -292,11 +339,12 @@ fn resnet_conv_batch_major_matches_sequential() {
                     let got = ticket.wait().unwrap();
                     assert_eq!(
                         got.output, want.output,
-                        "output diverged: workers={workers} max_batch={max_batch} bulk={bulk}"
+                        "output diverged: workers={workers} max_batch={max_batch} {tier:?}"
                     );
                     assert_eq!(
-                        got.sim_cycles, want.matmul_compute_cycles,
-                        "cycles diverged: workers={workers} max_batch={max_batch} bulk={bulk}"
+                        got.sim_cycles,
+                        Some(want.matmul_compute_cycles),
+                        "cycles diverged: workers={workers} max_batch={max_batch} {tier:?}"
                     );
                     match got.mode {
                         BatchPlan::ConvBatchMajor => assert!(got.batch_size > 1),
@@ -317,7 +365,7 @@ fn resnet_conv_batch_major_matches_sequential() {
                 if workers == 1 && max_batch == 16 {
                     assert_eq!(
                         stats.max_coalesced, 16,
-                        "one worker over a paused full wave coalesces it whole (bulk={bulk})"
+                        "one worker over a paused full wave coalesces it whole ({tier:?})"
                     );
                 }
             }
