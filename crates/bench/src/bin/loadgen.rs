@@ -1,0 +1,17 @@
+//! Overload chaos soak for the serving stack: Zipf model popularity ×
+//! Poisson arrivals past capacity, with mid-run worker kills — see
+//! `nm_bench::loadgen` for the contracts it asserts and
+//! `crates/bench/README.md` for the `NM_LOADGEN_*` knobs. Exits
+//! non-zero (assertion failure) when a robustness contract is violated.
+
+fn main() {
+    let cfg = nm_bench::loadgen::OverloadConfig::from_env();
+    eprintln!(
+        "[loadgen] seed={} requests={} rate_multiple={}",
+        cfg.seed, cfg.requests, cfg.rate_multiple
+    );
+    let report = nm_bench::loadgen::run_overload(&cfg);
+    eprintln!("[loadgen] {}", report.summary());
+    report.check();
+    eprintln!("[loadgen] all overload contracts hold");
+}

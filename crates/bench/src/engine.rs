@@ -541,14 +541,55 @@ pub fn snapshot_chaos_guard(seed: Option<&str>, faults: Option<&str>) -> Result<
     Ok(())
 }
 
-/// [`snapshot_chaos_guard`] over the live process environment.
+/// Snapshot-under-overload guard: the companion to
+/// [`snapshot_chaos_guard`] for the Zipf/Poisson load generator
+/// (`nm-bench`'s `loadgen` module). A load-generated run drives the
+/// service past capacity on purpose — rows timed while it is armed
+/// measure shedding and eviction churn, not kernels — so a
+/// JSON-producing run must refuse. Pass the current values of the
+/// `NM_LOADGEN_*` knobs; pure for the same unit-testability reason as
+/// the chaos guard.
 ///
 /// # Errors
-/// As [`snapshot_chaos_guard`].
+/// The refusal message, naming the armed environment variable, when
+/// any value is set.
+pub fn snapshot_overload_guard(
+    seed: Option<&str>,
+    requests: Option<&str>,
+    rate: Option<&str>,
+) -> Result<(), String> {
+    let knobs = [
+        ("NM_LOADGEN_SEED", seed),
+        ("NM_LOADGEN_REQUESTS", requests),
+        ("NM_LOADGEN_RATE", rate),
+    ];
+    for (var, value) in knobs {
+        if let Some(v) = value {
+            return Err(format!(
+                "refusing to emit a JSON report: the overload load generator is \
+                 armed ({var}={v}); rows measured past capacity measure shedding, \
+                 not kernels, and must never reach BENCH_engine.json or the perf \
+                 gate — unset {var} and rerun"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// [`snapshot_chaos_guard`] and [`snapshot_overload_guard`] over the
+/// live process environment.
+///
+/// # Errors
+/// As [`snapshot_chaos_guard`] / [`snapshot_overload_guard`].
 pub fn snapshot_chaos_guard_from_env() -> Result<(), String> {
     snapshot_chaos_guard(
         std::env::var("NM_SERVE_CHAOS_SEED").ok().as_deref(),
         std::env::var("NM_SERVE_CHAOS_FAULTS").ok().as_deref(),
+    )?;
+    snapshot_overload_guard(
+        std::env::var("NM_LOADGEN_SEED").ok().as_deref(),
+        std::env::var("NM_LOADGEN_REQUESTS").ok().as_deref(),
+        std::env::var("NM_LOADGEN_RATE").ok().as_deref(),
     )
 }
 
@@ -663,7 +704,12 @@ fn time_serve(
                 .enumerate()
                 .filter_map(|(i, x)| {
                     let deadline = (chaos.is_some() && i % 8 == 7).then(Instant::now);
-                    match service.submit_with_deadline(model, x.clone(), deadline) {
+                    match service.submit_with_deadline(
+                        model,
+                        x.clone(),
+                        deadline,
+                        nm_serve::Priority::Batch,
+                    ) {
                         Ok(t) => Some(t),
                         Err(e) => {
                             assert!(chaos.is_some(), "queue fits the wave: {e:?}");
@@ -719,7 +765,11 @@ fn time_serve(
                 failed.get(),
             );
             assert_eq!(
-                stats.completed + stats.failed + stats.shed_expired + stats.shed_canceled,
+                stats.completed
+                    + stats.failed
+                    + stats.shed_expired
+                    + stats.shed_canceled
+                    + stats.shed_preempted,
                 stats.submitted,
                 "chaos accounting reconciles for {name} {path:?}"
             );
@@ -1225,6 +1275,21 @@ mod tests {
         // variable at a time beats a concatenated list).
         let err = snapshot_chaos_guard(Some("1"), Some("2")).unwrap_err();
         assert!(err.contains("NM_SERVE_CHAOS_SEED"), "{err}");
+    }
+
+    // The snapshot-under-overload guard: a JSON-producing run refuses
+    // to start when any load-generator knob is armed, naming the
+    // variable; unarmed runs pass.
+    #[test]
+    fn snapshot_overload_guard_names_the_armed_variable() {
+        assert_eq!(snapshot_overload_guard(None, None, None), Ok(()));
+        let err = snapshot_overload_guard(Some("42"), None, None).unwrap_err();
+        assert!(err.contains("NM_LOADGEN_SEED=42"), "{err}");
+        assert!(err.contains("BENCH_engine.json"), "{err}");
+        let err = snapshot_overload_guard(None, Some("600"), None).unwrap_err();
+        assert!(err.contains("NM_LOADGEN_REQUESTS=600"), "{err}");
+        let err = snapshot_overload_guard(None, None, Some("2.0")).unwrap_err();
+        assert!(err.contains("NM_LOADGEN_RATE=2.0"), "{err}");
     }
 
     /// Serving rows: reference + bulk per batch size, and — the

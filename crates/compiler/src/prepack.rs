@@ -269,6 +269,42 @@ impl<'g> PreparedGraph<'g> {
         self.graph.get()
     }
 
+    /// Host-resident footprint of this compiled artifact in bytes:
+    /// every tile's packed weights (N:M values + offsets for sparse
+    /// tiles, the staged dense row range otherwise), the pre-decoded
+    /// conv decimation tables, and the scratchpad pool's pad size (its
+    /// steady-state high-water — pads are checked out at full size and
+    /// reused, so one pad per concurrent runner is the resident cost).
+    ///
+    /// This is a pure function of `(graph, opts)`: preparing the same
+    /// graph with the same options always reports the same bytes, which
+    /// is what lets a byte-budgeted model cache make deterministic
+    /// eviction decisions.
+    pub fn resident_bytes(&self) -> usize {
+        let tile_bytes = |tiles: &[TileWeights]| -> usize {
+            tiles
+                .iter()
+                .map(|t| match t {
+                    TileWeights::Dense(range) => range.len(),
+                    TileWeights::Sparse { weights, program } => {
+                        weights.memory_bytes()
+                            + program.as_ref().map_or(0, DecimProgram::table_bytes)
+                    }
+                })
+                .sum()
+        };
+        let weights: usize = self
+            .layers
+            .iter()
+            .flatten()
+            .map(|m| match m {
+                PreparedMatmul::Conv(p) => tile_bytes(&p.tiles),
+                PreparedMatmul::Fc(p) => tile_bytes(&p.tiles),
+            })
+            .sum();
+        weights + self.pool.pad_size()
+    }
+
     /// Executes one inference with the precompiled tile programs:
     /// Conv/Linear tiles run (in parallel) on the simulated cluster from
     /// the prepacked weights, everything else uses the reference

@@ -124,6 +124,13 @@ impl DecimProgram {
         &self.table
     }
 
+    /// Host-resident bytes of the pre-decoded table — the memory a
+    /// compile-once cache pays to keep this program warm (the serving
+    /// layer's byte-budget accounting sums it per prepared model).
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u32>()
+    }
+
     /// Whether the table passed bounds validation (entries below the
     /// patch length), enabling the unchecked gather loops.
     pub(crate) fn in_range(&self) -> bool {

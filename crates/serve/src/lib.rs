@@ -101,10 +101,13 @@
 //! ## Overload and shutdown
 //!
 //! The queue is bounded ([`ServiceConfig::queue_capacity`]); a submit
-//! against a full queue is **shed**: the caller gets
-//! [`SubmitError::Shed`] and the shed is counted in
+//! against a full queue first tries to **displace** a queued request of
+//! a strictly lower [`Priority`] class (the victim resolves
+//! [`ServeError::Preempted`]) and is otherwise **shed**: the caller
+//! gets [`SubmitError::Shed`] and the shed is counted in
 //! [`ServiceStats::shed`] — requests are refused loudly, never dropped
-//! after acceptance. [`Service::drain`] waits for the queue and every
+//! after acceptance. Dispatch is earliest-deadline-first within
+//! priority bands. [`Service::drain`] waits for the queue and every
 //! in-flight batch; [`Service::shutdown`] (and `Drop`) closes
 //! admissions, drains, joins the workers and leaves the queue provably
 //! empty.
@@ -112,8 +115,11 @@
 //! ## Failure model
 //!
 //! The service promises that **every accepted request resolves** — to a
-//! result or a documented error, never a hang — and that **failures are
-//! isolated to the requests they touch**. Concretely:
+//! result or a documented error, never a hang — that **failures are
+//! isolated to the requests they touch**, and that **degradation under
+//! pressure is by design**: overload sheds the least valuable work
+//! first, and memory pressure evicts the coldest idle model, never
+//! in-flight work. Concretely:
 //!
 //! * **A panic during batch execution fails at most its own request.**
 //!   Batches run under `catch_unwind`; when a batch pass panics, every
@@ -130,17 +136,43 @@
 //!   ([`ServiceStats::restarts`]). Only exhausting the budget (or
 //!   failing to spawn a replacement) **poisons** the service
 //!   ([`Service::is_poisoned`]): admissions close, queued requests
-//!   cancel, and the service stays safe to query and shut down.
-//! * **Overload and lateness shed, loudly, in three classes.** `full`:
-//!   a submit against a full queue is refused with [`SubmitError::Shed`]
-//!   ([`ServiceStats::shed`]). `expired`: a request whose
-//!   [`Service::submit_with_deadline`] deadline passes while queued is
-//!   shed at dispatch with [`ServeError::DeadlineExceeded`]
-//!   ([`ServiceStats::shed_expired`]). `canceled`: a request accepted
-//!   but never executed — worker death, poisoning, shutdown race —
-//!   resolves [`ServeError::Canceled`] ([`ServiceStats::shed_canceled`]).
-//!   After a drain, `submitted == completed + failed + shed_expired +
-//!   shed_canceled` — nothing is ever silently lost.
+//!   cancel, and the service stays safe to query and shut down —
+//!   further submits return [`SubmitError::Poisoned`], distinct from
+//!   the orderly [`SubmitError::Closed`].
+//! * **Overload and lateness shed, loudly, by priority.** Requests
+//!   carry a [`Priority`] class (`Interactive` > `Batch` >
+//!   `BestEffort`); the shed taxonomy is:
+//!   `full` — a submit against a queue full of same-or-higher-priority
+//!   work is refused with [`SubmitError::Shed`] ([`ServiceStats::shed`],
+//!   per class in [`ServiceStats::shed_full_by_class`]); capacity
+//!   pressure takes lower classes first, so an `Interactive` request is
+//!   never shed while `BestEffort` work occupies a queue slot.
+//!   `preempted` — the displaced victim of such a submit resolves
+//!   [`ServeError::Preempted`] ([`ServiceStats::shed_preempted`]).
+//!   `expired` — a request whose [`Service::submit_with_deadline`]
+//!   deadline passes while queued is shed at dispatch with
+//!   [`ServeError::DeadlineExceeded`] ([`ServiceStats::shed_expired`]).
+//!   `canceled` — a request accepted but never executed (worker death,
+//!   poisoning, shutdown race) resolves [`ServeError::Canceled`]
+//!   ([`ServiceStats::shed_canceled`]). After a drain, `submitted ==
+//!   completed + failed + shed_expired + shed_canceled +
+//!   shed_preempted` — nothing is ever silently lost.
+//! * **Memory pressure evicts idle models, never in-flight work.** With
+//!   a cache byte budget ([`ServiceConfig::cache_budget`]), each
+//!   prepared artifact's resident cost (`PreparedGraph::resident_bytes`)
+//!   is accounted and inserts evict least-recently-used **unpinned**
+//!   entries. The pinning rule: an entry is pinned while any `Arc` to
+//!   its artifact lives outside the cache — queued and executing
+//!   requests hold one — and eviction only ever drops the cache's own
+//!   reference, so running work is never invalidated; an evicted idle
+//!   model is transparently re-prepared (a cache miss, possibly
+//!   evicting colder models) on its next submit. A model that cannot
+//!   fit even after evicting everything unpinned is refused:
+//!   [`ServeError::CacheOverBudget`] at registration, or
+//!   [`SubmitError::ModelUnavailable`] when re-resolving at submit.
+//!   Eviction decisions are a deterministic function of the lookup
+//!   sequence ([`CacheStats`] counts `evictions`, `resident_bytes` and
+//!   the high-water mark).
 //! * **Registration failures don't wedge the service.** A model whose
 //!   preparation fails (e.g. [`nm_core::Error::OutOfMemory`] when its
 //!   minimum tile exceeds the L1 budget) or panics leaves the cache and
@@ -157,8 +189,10 @@
 //!
 //! The model is exercised deterministically by the [`fault`] module's
 //! seeded, counted-occurrence injection plans
-//! ([`ServiceConfig::fault_plan`]) and the chaos suite in
-//! `tests/tests/serve_chaos.rs`.
+//! ([`ServiceConfig::fault_plan`]), the chaos suite in
+//! `tests/tests/serve_chaos.rs`, and the Zipf/Poisson overload soak in
+//! `tests/tests/serve_overload.rs` (driven by `nm-bench`'s load
+//! generator).
 
 pub mod cache;
 pub mod fault;
@@ -166,11 +200,12 @@ pub mod queue;
 pub mod service;
 mod supervisor;
 
-pub use cache::{ModelCache, ModelKey};
+pub use cache::{CacheError, CacheStats, ModelCache, ModelKey};
 pub use fault::{FaultAction, FaultPlan, FaultPoint};
 pub use queue::{BoundedQueue, Popped, PushError};
 pub use service::{
-    InferenceResult, ModelId, ServeError, Service, ServiceConfig, ServiceStats, SubmitError, Ticket,
+    ConfigError, InferenceResult, ModelId, Priority, ServeError, Service, ServiceConfig,
+    ServiceStats, SubmitError, Ticket,
 };
 
 /// Re-exported from `nm_compiler` so serving callers can match on
@@ -375,18 +410,24 @@ mod tests {
         let a = service.register("mlp", &graph, &opts).unwrap();
         let b = service.register("mlp", &graph, &opts).unwrap();
         assert_ne!(a, b, "ids are distinct handles");
-        assert_eq!(service.cache_counters(), (1, 1), "one prepare, one hit");
+        let stats = service.cache_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1), "one prepare, one hit");
+        assert!(stats.resident_bytes > 0, "the artifact's bytes are gauged");
+        assert_eq!(stats.resident_high_water, stats.resident_bytes);
         let mut tiered = opts;
         tiered.tier = ExecTier::Reference;
         service.register("mlp", &graph, &tiered).unwrap();
+        let stats = service.cache_stats();
         assert_eq!(
-            service.cache_counters(),
-            (2, 1),
+            (stats.misses, stats.hits),
+            (1, 2),
             "the service tier overrides Options::tier in the cache key"
         );
         let other = Options::new(Target::SparseSw);
         service.register("mlp", &graph, &other).unwrap();
-        assert_eq!(service.cache_counters(), (2, 2));
+        let stats = service.cache_stats();
+        assert_eq!((stats.misses, stats.hits), (2, 2));
+        assert_eq!(stats.evictions, 0, "unbounded cache never evicts");
         assert_eq!(service.model_count(), 4);
         service.shutdown();
     }

@@ -1,13 +1,23 @@
-//! The bounded submission queue: backpressure by shedding, same-key
-//! batch coalescing on the pop side, and an idle/drain protocol.
+//! The bounded submission queue: backpressure by shedding (lowest class
+//! first), ordered same-key batch coalescing on the pop side, and an
+//! idle/drain protocol.
 //!
 //! The queue is the service's only admission point. Capacity is a hard
 //! bound — a push against a full queue is **shed** (the item is handed
 //! back to the caller, never silently dropped), which is how the service
-//! reports overload instead of buffering without limit. Workers pop
-//! *batches*: the front item plus the consecutive run of items with the
-//! same key (same model), up to a batch limit — the coalescing step that
-//! lets the executor stage a model's tile weights once per batch.
+//! reports overload instead of buffering without limit. Under capacity
+//! pressure, [`push_or_displace`] first tries to make room by displacing
+//! a queued item of a strictly *lower* class (higher class number) —
+//! BestEffort work yields its slot to Interactive work — and only sheds
+//! the incoming item when no lower-class item is queued. Workers pop
+//! *batches*: the caller supplies a total dispatch order (the service
+//! uses priority class, then earliest deadline); the most urgent item
+//! leads the batch and further items sharing its key (same prepared
+//! model) join in urgency order, up to a batch limit — the coalescing
+//! step that lets the executor stage a model's tile weights once per
+//! batch. Coalescing trades strict urgency order *across* keys for
+//! staging reuse within one key, which is sound because batch members
+//! execute independently and bit-identically to sequential runs.
 //!
 //! Drain/shutdown: [`close`] stops admissions while letting workers
 //! finish what is queued (a closed, empty queue returns `None` from
@@ -33,12 +43,14 @@
 //! single `VecDeque` operations and the counters are adjusted next to
 //! them — so a panic elsewhere on a thread that once held the lock must
 //! not take the whole service down with it. The one documented
-//! exception: the `key`/`expired` closures run under the lock and must
-//! not panic (the service's closures are trivial field reads).
+//! exception: the `key`/`expired`/`order`/`class` closures run under
+//! the lock and must not panic (the service's closures are trivial
+//! field reads).
 //!
 //! [`close`]: BoundedQueue::close
 //! [`pop_batch`]: BoundedQueue::pop_batch
 //! [`pop_batch_or_shed`]: BoundedQueue::pop_batch_or_shed
+//! [`push_or_displace`]: BoundedQueue::push_or_displace
 //! [`wait_idle`]: BoundedQueue::wait_idle
 //! [`task_done`]: BoundedQueue::task_done
 
@@ -62,9 +74,10 @@ pub enum PushError<T> {
 /// acknowledge for `batch.len() + expired.len()` items.
 #[derive(Debug)]
 pub struct Popped<T> {
-    /// The front item and its consecutive same-key run, up to the batch
-    /// limit. Empty only when the sweep shed everything that was
-    /// waiting (then `expired` is non-empty).
+    /// The most urgent item (per the caller's dispatch order) and every
+    /// queued item sharing its key in urgency order, up to the batch
+    /// limit, returned in arrival order. Empty only when the sweep shed
+    /// everything that was waiting (then `expired` is non-empty).
     pub batch: Vec<T>,
     /// Items removed by the expiry predicate, in queue order; the
     /// caller must resolve them (they were accepted, so they are owed
@@ -138,35 +151,107 @@ impl<T> BoundedQueue<T> {
         Ok(state.items.len())
     }
 
+    /// [`push`](Self::push) with class-aware displacement: when the
+    /// queue is at capacity, a queued item of a strictly *lower* class
+    /// (a numerically higher `class` value) is removed to make room and
+    /// handed back as the `Option<T>` for the caller to resolve — the
+    /// victim is the lowest-class queued item, breaking ties by the
+    /// largest `order` key (the least urgent), then the latest arrival.
+    /// The structural guarantee this buys the service: a push can only
+    /// fail [`PushError::Full`] when **no** strictly-lower-class item
+    /// occupies a slot — an Interactive request is never shed while
+    /// BestEffort work is queued.
+    ///
+    /// # Errors
+    /// [`PushError::Full`] when the queue is at capacity and every
+    /// queued item is of the same or a more urgent class;
+    /// [`PushError::Closed`] after [`close`](Self::close). The incoming
+    /// item is returned in both cases.
+    pub fn push_or_displace<C, G, O>(
+        &self,
+        item: T,
+        class: C,
+        order: G,
+    ) -> Result<(usize, Option<T>), PushError<T>>
+    where
+        C: Fn(&T) -> usize,
+        G: Fn(&T) -> O,
+        O: Ord,
+    {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() < self.capacity {
+            state.items.push_back(item);
+            self.not_empty.notify_one();
+            return Ok((state.items.len(), None));
+        }
+        let incoming = class(&item);
+        let victim = (0..state.items.len())
+            .filter(|&i| class(&state.items[i]) > incoming)
+            .max_by(|&a, &b| {
+                (class(&state.items[a]), order(&state.items[a]), a).cmp(&(
+                    class(&state.items[b]),
+                    order(&state.items[b]),
+                    b,
+                ))
+            });
+        if let Some(i) = victim {
+            if let Some(displaced) = state.items.remove(i) {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok((state.items.len(), Some(displaced)));
+            }
+        }
+        Err(PushError::Full(item))
+    }
+
     /// Blocks until work is available (and the queue is not paused),
-    /// then pops a coalesced batch: the front item plus following items
-    /// while `key` matches the front's, up to `max` items. Returns
-    /// `None` once the queue is closed *and* empty — the worker exit
-    /// signal; a close overrides a pause so shutdown always drains. The
-    /// batch counts as in-flight until [`task_done`](Self::task_done)
-    /// acknowledges it.
+    /// then pops a coalesced batch in arrival order: the front item
+    /// plus every later item whose `key` matches it, up to `max` items.
+    /// Returns `None` once the queue is closed *and* empty — the worker
+    /// exit signal; a close overrides a pause so shutdown always
+    /// drains. The batch counts as in-flight until
+    /// [`task_done`](Self::task_done) acknowledges it.
     pub fn pop_batch<K, F>(&self, max: usize, key: F) -> Option<Vec<T>>
     where
         F: Fn(&T) -> K,
         K: PartialEq,
     {
-        // The never-expiring predicate guarantees an empty `expired`.
-        self.pop_batch_or_shed(max, key, |_| false).map(|p| p.batch)
+        // The never-expiring predicate guarantees an empty `expired`;
+        // the unit order key makes urgency degenerate to arrival order.
+        self.pop_batch_or_shed(max, key, |_| false, |_| ())
+            .map(|p| p.batch)
     }
 
-    /// [`pop_batch`](Self::pop_batch) with deadline shedding: once work
-    /// is available, every queued item matching `expired` is swept out
-    /// (in queue order) *before* the dispatch batch is coalesced from
-    /// what remains. Swept items are returned in [`Popped::expired`]
-    /// for the caller to resolve; batch and swept items together count
-    /// as in-flight until acknowledged. When the sweep empties the
-    /// queue, [`Popped::batch`] is empty and the caller should resolve
-    /// the expired items, acknowledge, and pop again.
-    pub fn pop_batch_or_shed<K, F, E>(&self, max: usize, key: F, expired: E) -> Option<Popped<T>>
+    /// [`pop_batch`](Self::pop_batch) with deadline shedding and a
+    /// caller-supplied dispatch order: once work is available, every
+    /// queued item matching `expired` is swept out (in queue order)
+    /// *before* the dispatch batch is formed. Of what remains, the item
+    /// with the smallest `order` key (ties broken by arrival) leads the
+    /// batch — the service's key is `(priority class, deadline)`, which
+    /// makes this earliest-deadline-first within priority bands — and
+    /// further items sharing the leader's `key` join in urgency order
+    /// up to `max`; the batch itself is returned in arrival order.
+    /// Swept items are returned in [`Popped::expired`] for the caller
+    /// to resolve; batch and swept items together count as in-flight
+    /// until acknowledged. When the sweep empties the queue,
+    /// [`Popped::batch`] is empty and the caller should resolve the
+    /// expired items, acknowledge, and pop again.
+    pub fn pop_batch_or_shed<K, F, E, G, O>(
+        &self,
+        max: usize,
+        key: F,
+        expired: E,
+        order: G,
+    ) -> Option<Popped<T>>
     where
         F: Fn(&T) -> K,
         K: PartialEq,
         E: Fn(&T) -> bool,
+        G: Fn(&T) -> O,
+        O: Ord,
     {
         let mut state = self.lock();
         loop {
@@ -196,17 +281,35 @@ impl<T> BoundedQueue<T> {
             }
         }
         let mut batch = Vec::new();
-        if let Some(front) = state.items.pop_front() {
-            let k = key(&front);
-            batch.push(front);
-            while batch.len() < max.max(1) {
-                match state.items.front() {
-                    Some(next) if key(next) == k => {
-                        if let Some(next) = state.items.pop_front() {
-                            batch.push(next);
-                        }
-                    }
-                    _ => break,
+        if !state.items.is_empty() {
+            // Urgency order: the caller's key, ties broken by arrival
+            // position so equal-urgency traffic stays FIFO and two
+            // identical queues always dispatch identically.
+            let mut by_urgency: Vec<usize> = (0..state.items.len()).collect();
+            by_urgency.sort_by(|&a, &b| {
+                order(&state.items[a])
+                    .cmp(&order(&state.items[b]))
+                    .then(a.cmp(&b))
+            });
+            let leader = by_urgency[0];
+            let k = key(&state.items[leader]);
+            let mut selected = vec![false; state.items.len()];
+            let mut taken = 0usize;
+            for &i in &by_urgency {
+                if taken >= max.max(1) {
+                    break;
+                }
+                if key(&state.items[i]) == k {
+                    selected[i] = true;
+                    taken += 1;
+                }
+            }
+            let drained = std::mem::take(&mut state.items);
+            for (i, item) in drained.into_iter().enumerate() {
+                if selected[i] {
+                    batch.push(item);
+                } else {
+                    state.items.push_back(item);
                 }
             }
         }
@@ -331,19 +434,90 @@ mod tests {
     }
 
     #[test]
-    fn pop_batch_coalesces_consecutive_same_key_items() {
+    fn pop_batch_coalesces_same_key_items_across_the_queue() {
         let q = BoundedQueue::new(8);
         for item in [(0, 'a'), (0, 'b'), (1, 'c'), (0, 'd')] {
             q.push(item).unwrap();
         }
-        // Front run of model 0, capped by max.
+        // The front item leads; every queued model-0 item joins its
+        // batch (in arrival order), capped by max — a same-key item
+        // behind a different key is pulled forward for staging reuse.
         let batch = q.pop_batch(4, |&(m, _)| m).unwrap();
-        assert_eq!(batch, vec![(0, 'a'), (0, 'b')]);
-        // The different-key item was not reordered past.
+        assert_eq!(batch, vec![(0, 'a'), (0, 'b'), (0, 'd')]);
         let batch = q.pop_batch(4, |&(m, _)| m).unwrap();
         assert_eq!(batch, vec![(1, 'c')]);
-        let batch = q.pop_batch(1, |&(m, _)| m).unwrap();
-        assert_eq!(batch, vec![(0, 'd')]);
+        // `max` still caps the coalesced run.
+        for item in [(2, 'x'), (2, 'y'), (2, 'z')] {
+            q.push(item).unwrap();
+        }
+        let batch = q.pop_batch(2, |&(m, _)| m).unwrap();
+        assert_eq!(batch, vec![(2, 'x'), (2, 'y')]);
+    }
+
+    // The caller's dispatch order picks the batch leader: with a
+    // (class, deadline) key the most urgent item runs first even from
+    // the back of the queue, and its same-key peers join the batch.
+    #[test]
+    fn pop_batch_or_shed_dispatches_in_priority_then_deadline_order() {
+        let q = BoundedQueue::new(8);
+        // (model, class, deadline)
+        for item in [(0, 1, 50), (1, 0, 90), (0, 1, 10), (1, 0, 20)] {
+            q.push(item).unwrap();
+        }
+        let order = |&(_, c, d): &(u32, u32, u32)| (c, d);
+        let key = |&(m, _, _): &(u32, u32, u32)| m;
+        // Class 0 wins over class 1 despite arriving later; both model-1
+        // items coalesce into the leader's batch, in arrival order.
+        let p = q.pop_batch_or_shed(8, key, |_| false, order).unwrap();
+        assert_eq!(p.batch, vec![(1, 0, 90), (1, 0, 20)]);
+        q.task_done(2);
+        // Within the remaining class, the earlier deadline leads.
+        let p = q.pop_batch_or_shed(1, key, |_| false, order).unwrap();
+        assert_eq!(p.batch, vec![(0, 1, 10)]);
+        q.task_done(1);
+        let p = q.pop_batch_or_shed(1, key, |_| false, order).unwrap();
+        assert_eq!(p.batch, vec![(0, 1, 50)]);
+        q.task_done(1);
+    }
+
+    // Displacement: a full queue makes room for a more urgent class by
+    // handing back the least-urgent lowest-class item, and only reports
+    // Full when no strictly-lower-class item is queued.
+    #[test]
+    fn push_or_displace_sheds_lowest_class_first() {
+        let q = BoundedQueue::new(2);
+        let class = |&(c, _): &(u32, u32)| c as usize;
+        let order = |&(c, d): &(u32, u32)| (c, d);
+        // (class, deadline)
+        q.push((2, 10)).unwrap();
+        q.push((2, 30)).unwrap();
+        // Full; an incoming class-0 item displaces the least urgent
+        // class-2 item (the later deadline).
+        let (depth, displaced) = q.push_or_displace((0, 99), class, order).unwrap();
+        assert_eq!(depth, 2);
+        assert_eq!(displaced, Some((2, 30)));
+        // An incoming class-1 item displaces the remaining class-2 one.
+        let (_, displaced) = q.push_or_displace((1, 5), class, order).unwrap();
+        assert_eq!(displaced, Some((2, 10)));
+        // Queue now holds classes {0, 1}: a class-1 push finds no
+        // strictly lower class and is shed, a class-0 push displaces
+        // the class-1 item.
+        match q.push_or_displace((1, 1), class, order) {
+            Err(PushError::Full(item)) => assert_eq!(item, (1, 1)),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        let (_, displaced) = q.push_or_displace((0, 1), class, order).unwrap();
+        assert_eq!(displaced, Some((1, 5)));
+        // Top class among equals: never displaced, only shed.
+        match q.push_or_displace((0, 0), class, order) {
+            Err(PushError::Full(item)) => assert_eq!(item, (0, 0)),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Below capacity it is a plain push: nothing displaced.
+        let p = q.pop_batch_or_shed(8, |_| (), |_| false, order).unwrap();
+        q.task_done(p.batch.len());
+        let (_, displaced) = q.push_or_displace((2, 7), class, order).unwrap();
+        assert_eq!(displaced, None);
     }
 
     #[test]
@@ -462,7 +636,7 @@ mod tests {
             q.push(item).unwrap();
         }
         let p = q
-            .pop_batch_or_shed(8, |&(k, _): &(u32, bool)| k, |&(_, e)| e)
+            .pop_batch_or_shed(8, |&(k, _): &(u32, bool)| k, |&(_, e)| e, |_| ())
             .unwrap();
         assert_eq!(p.expired, vec![(0, true), (1, true)], "queue-order sweep");
         assert_eq!(p.batch, vec![(0, false), (0, false)], "front run survives");
@@ -480,7 +654,7 @@ mod tests {
         let q = BoundedQueue::new(4);
         q.push(1u32).unwrap();
         q.push(2).unwrap();
-        let p = q.pop_batch_or_shed(4, |&k| k, |_| true).unwrap();
+        let p = q.pop_batch_or_shed(4, |&k| k, |_| true, |_| ()).unwrap();
         assert!(p.batch.is_empty());
         assert_eq!(p.expired, vec![1, 2]);
         assert_eq!(q.in_flight(), 2);

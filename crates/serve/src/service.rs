@@ -3,7 +3,7 @@
 //! with per-batch panic isolation, and the drain/shutdown protocol. See
 //! the crate docs for the determinism contract and the failure model.
 
-use crate::cache::ModelCache;
+use crate::cache::{CacheError, CacheStats, ModelCache};
 use crate::fault::{FaultAction, FaultPlan, FaultPoint};
 use crate::queue::{BoundedQueue, Popped, PushError};
 use crate::supervisor::Supervisor;
@@ -12,7 +12,7 @@ use nm_core::{Error, Tensor};
 use nm_nn::graph::Graph;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock, Weak};
 use std::time::{Duration, Instant};
 
 /// Handle to a registered model (an index into the service's model
@@ -54,6 +54,14 @@ pub struct ServiceConfig {
     /// Deterministic fault injection plan ([`crate::fault`]); `None`
     /// (the default) costs nothing and injects nothing.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Resident-byte budget for the prepared-model cache
+    /// ([`crate::ModelCache`]); `None` (the default) is unbounded. With
+    /// a budget, registering or re-resolving a model may evict the
+    /// least-recently-used *unpinned* cached artifact — in-flight work
+    /// keeps its own `Arc` and is never invalidated — and a model that
+    /// cannot fit at all is refused with
+    /// [`ServeError::CacheOverBudget`].
+    pub cache_budget: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +74,76 @@ impl Default for ServiceConfig {
             restart_budget: 8,
             restart_backoff: Duration::from_millis(1),
             fault_plan: None,
+            cache_budget: None,
+        }
+    }
+}
+
+/// A [`ServiceConfig`] value [`Service::try_start`] refuses: each
+/// variant names the field that would deadlock the service or reject
+/// every request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: nothing would ever pop the queue.
+    ZeroWorkers,
+    /// `max_batch == 0`: no dispatch could carry a request.
+    ZeroMaxBatch,
+    /// `queue_capacity == 0`: every submit would shed.
+    ZeroQueueCapacity,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "need at least one worker"),
+            ConfigError::ZeroMaxBatch => write!(f, "batch limit must be positive"),
+            ConfigError::ZeroQueueCapacity => write!(f, "queue capacity must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A request's scheduling class. Dispatch is earliest-deadline-first
+/// *within* a class, classes in this order; under capacity pressure the
+/// queue sheds strictly lower classes first — a full queue displaces
+/// queued [`BestEffort`](Priority::BestEffort) work to admit an
+/// [`Interactive`](Priority::Interactive) request
+/// ([`ServeError::Preempted`] for the victim), and an Interactive
+/// request is only ever shed when no lower-class request occupies a
+/// slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive foreground traffic: dispatched first, shed
+    /// last.
+    Interactive,
+    /// The default class — plain [`Service::submit`] traffic.
+    #[default]
+    Batch,
+    /// Opportunistic background work: first to yield its queue slot.
+    BestEffort,
+}
+
+impl Priority {
+    /// Every class, most to least urgent.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::BestEffort];
+
+    /// The class's scheduling band: 0 is most urgent. Also the index
+    /// into [`ServiceStats::shed_full_by_class`].
+    pub fn rank(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+            Priority::BestEffort => 2,
+        }
+    }
+
+    /// Short stable label for logs and bench summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::BestEffort => "best-effort",
         }
     }
 }
@@ -74,19 +152,37 @@ impl Default for ServiceConfig {
 /// caller — the service never accepts a request it will not answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The bounded queue is full; the request was shed (backpressure).
-    /// Counted in [`ServiceStats::shed`] (the `full` shed class).
+    /// The bounded queue is full of same-or-higher-priority work; the
+    /// request was shed (backpressure). Counted in
+    /// [`ServiceStats::shed`] (the `full` shed class, broken down per
+    /// priority in [`ServiceStats::shed_full_by_class`]). A full queue
+    /// holding strictly lower-priority work displaces a victim instead
+    /// of shedding the newcomer.
     Shed {
         /// The queue bound that was hit.
         capacity: usize,
     },
-    /// The service is shutting down (or was poisoned by restart-budget
-    /// exhaustion) and admits no new work.
+    /// The service is shutting down cleanly and admits no new work.
     Closed,
+    /// The service poisoned itself (restart-budget exhaustion or a
+    /// failed respawn): admissions are closed for good and queued work
+    /// was canceled. Distinct from [`Closed`](SubmitError::Closed) so
+    /// a caller can tell orderly shutdown from a service that died
+    /// under it.
+    Poisoned,
     /// The input does not match the model's input shape.
     InvalidInput(String),
     /// No model is registered under this id.
     UnknownModel(ModelId),
+    /// The model is registered but its evicted artifact could not be
+    /// re-prepared at submit time (the cache's byte budget is fully
+    /// pinned, or preparation failed). The request was not accepted.
+    ModelUnavailable {
+        /// The model whose artifact could not be resolved.
+        model: ModelId,
+        /// Why the re-preparation failed.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -96,8 +192,12 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "request shed: queue at capacity {capacity}")
             }
             SubmitError::Closed => write!(f, "service closed"),
+            SubmitError::Poisoned => write!(f, "service poisoned: restart budget exhausted"),
             SubmitError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             SubmitError::UnknownModel(id) => write!(f, "unknown model {id:?}"),
+            SubmitError::ModelUnavailable { model, reason } => {
+                write!(f, "model {model:?} unavailable: {reason}")
+            }
         }
     }
 }
@@ -124,6 +224,22 @@ pub enum ServeError {
     /// queue, counted in [`ServiceStats::shed_expired`]) — or, from
     /// [`Ticket::wait_timeout`], the caller's wait bound elapsed first.
     DeadlineExceeded,
+    /// The request's queue slot was displaced by a strictly
+    /// higher-priority submit under capacity pressure (counted in
+    /// [`ServiceStats::shed_preempted`]). The request never ran;
+    /// resubmitting later (or at a higher class) is the caller's call.
+    Preempted,
+    /// Registration-time refusal: the prepared model cannot fit the
+    /// cache's byte budget ([`ServiceConfig::cache_budget`]) even after
+    /// evicting every unpinned entry. Returned by [`Service::register`];
+    /// an accepted request never resolves to this.
+    CacheOverBudget {
+        /// Resident bytes the refused model needs
+        /// (`PreparedGraph::resident_bytes`).
+        required: usize,
+        /// The configured cache budget.
+        budget: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -133,11 +249,28 @@ impl std::fmt::Display for ServeError {
             ServeError::Canceled => write!(f, "request canceled before execution"),
             ServeError::WorkerPanic(msg) => write!(f, "execution panicked: {msg}"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::Preempted => {
+                write!(f, "queue slot displaced by a higher-priority request")
+            }
+            ServeError::CacheOverBudget { required, budget } => write!(
+                f,
+                "model needs {required} resident bytes but the cache budget is {budget}"
+            ),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Maps a cache refusal onto the service's error vocabulary.
+fn serve_error_from_cache(e: CacheError) -> ServeError {
+    match e {
+        CacheError::Prepare(e) => ServeError::Run(e),
+        CacheError::OverBudget { required, budget } => {
+            ServeError::CacheOverBudget { required, budget }
+        }
+    }
+}
 
 /// One fulfilled request.
 #[derive(Debug, Clone)]
@@ -287,9 +420,26 @@ pub(crate) struct Pending {
     submitted: Instant,
     /// Shed the request instead of dispatching it past this instant.
     deadline: Option<Instant>,
+    /// Scheduling class: dispatch order and shed policy (see
+    /// [`Priority`]).
+    priority: Priority,
     /// Shared counters, so the drop guard can record the cancellation
     /// wherever it fires (worker unwind, queue cancel, service drop).
     stats: Arc<AtomicStats>,
+}
+
+/// The queue dispatch order: priority class first, then
+/// earliest-deadline-first within the class (deadline-less requests
+/// rank after deadlined ones of their class, FIFO by submit time), with
+/// the unique request id as the final tiebreak so the order is total
+/// and two identical queues always dispatch identically.
+fn dispatch_order(p: &Pending) -> (usize, bool, Instant, u64) {
+    (
+        p.priority.rank(),
+        p.deadline.is_none(),
+        p.deadline.unwrap_or(p.submitted),
+        p.id,
+    )
 }
 
 impl Pending {
@@ -316,11 +466,11 @@ impl Drop for Pending {
 /// individually accurate but may straddle a batch).
 ///
 /// Accounting invariant (after a drain): every *accepted* request lands
-/// in exactly one of `completed`, `failed`, `shed_expired` or
-/// `shed_canceled`, so
-/// `submitted == completed + failed + shed_expired + shed_canceled`;
-/// rejected submissions are the caller's tally (`shed` for the `full`
-/// class, plus the returned `Closed`/validation errors).
+/// in exactly one of `completed`, `failed`, `shed_expired`,
+/// `shed_canceled` or `shed_preempted`, so `submitted == completed +
+/// failed + shed_expired + shed_canceled + shed_preempted`; rejected
+/// submissions are the caller's tally (`shed` for the `full` class,
+/// plus the returned `Closed`/`Poisoned`/validation errors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceStats {
     /// Requests accepted into the queue.
@@ -333,6 +483,11 @@ pub struct ServiceStats {
     /// Shed class `full`: requests refused at the full queue (reported
     /// to the submitter, see [`SubmitError::Shed`]; never accepted).
     pub shed: u64,
+    /// `shed` broken down by the rejected request's [`Priority`]
+    /// (indexed by [`Priority::rank`]). The displacement policy makes
+    /// `shed_full_by_class[0]` structurally zero while any lower class
+    /// occupies a queue slot — the overload soak pins exactly that.
+    pub shed_full_by_class: [u64; 3],
     /// Shed class `expired`: accepted requests shed at dispatch because
     /// their deadline had passed ([`ServeError::DeadlineExceeded`]).
     pub shed_expired: u64,
@@ -340,6 +495,9 @@ pub struct ServiceStats {
     /// [`ServeError::Canceled`] (worker death with the batch in hand,
     /// poisoning, or shutdown racing the queue).
     pub shed_canceled: u64,
+    /// Shed class `preempted`: accepted requests whose queue slot was
+    /// displaced by a higher-priority submit ([`ServeError::Preempted`]).
+    pub shed_preempted: u64,
     /// Panics caught by the per-batch isolation (batch passes and
     /// individual re-runs).
     pub worker_panics: u64,
@@ -357,8 +515,10 @@ pub(crate) struct AtomicStats {
     completed: AtomicU64,
     failed: AtomicU64,
     shed: AtomicU64,
+    shed_full_by_class: [AtomicU64; 3],
     shed_expired: AtomicU64,
     shed_canceled: AtomicU64,
+    shed_preempted: AtomicU64,
     worker_panics: AtomicU64,
     pub(crate) restarts: AtomicU64,
     batches: AtomicU64,
@@ -372,8 +532,14 @@ impl AtomicStats {
             completed: self.completed.load(Ordering::SeqCst),
             failed: self.failed.load(Ordering::SeqCst),
             shed: self.shed.load(Ordering::SeqCst),
+            shed_full_by_class: [
+                self.shed_full_by_class[0].load(Ordering::SeqCst),
+                self.shed_full_by_class[1].load(Ordering::SeqCst),
+                self.shed_full_by_class[2].load(Ordering::SeqCst),
+            ],
             shed_expired: self.shed_expired.load(Ordering::SeqCst),
             shed_canceled: self.shed_canceled.load(Ordering::SeqCst),
+            shed_preempted: self.shed_preempted.load(Ordering::SeqCst),
             worker_panics: self.worker_panics.load(Ordering::SeqCst),
             restarts: self.restarts.load(Ordering::SeqCst),
             batches: self.batches.load(Ordering::SeqCst),
@@ -382,9 +548,18 @@ impl AtomicStats {
     }
 }
 
+/// One registered model. The table keeps everything needed to
+/// *re-resolve* the artifact — name, graph, final options — and only a
+/// [`Weak`] to the artifact itself, so an idle registered model does
+/// not pin its cache entry: the cache's byte budget governs artifact
+/// lifetime, and a model evicted while idle is transparently
+/// re-prepared (a cache miss) on its next submit.
 #[derive(Debug)]
 struct ModelSlot {
-    prepared: Arc<PreparedGraph<'static>>,
+    name: String,
+    graph: Arc<Graph>,
+    opts: Options,
+    prepared: Mutex<Weak<PreparedGraph<'static>>>,
 }
 
 #[derive(Debug)]
@@ -416,15 +591,43 @@ impl Service {
     ///
     /// # Panics
     /// Panics on a zero `workers`, `max_batch` or `queue_capacity` —
-    /// all three would deadlock or reject everything — and if the
-    /// initial worker threads cannot be spawned at all.
+    /// all three would deadlock or reject everything; use
+    /// [`try_start`](Self::try_start) to get the refusal as a
+    /// [`ConfigError`] instead — and if the initial worker threads
+    /// cannot be spawned at all.
     pub fn start(config: ServiceConfig) -> Self {
-        assert!(config.workers > 0, "need at least one worker");
-        assert!(config.max_batch > 0, "batch limit must be positive");
+        match Self::try_start(config) {
+            Ok(service) => service,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`start`](Self::start) that reports an unusable configuration as
+    /// a [`ConfigError`] instead of panicking — the embeddable entry
+    /// point for hosts that assemble configs from external input.
+    ///
+    /// # Errors
+    /// One [`ConfigError`] variant per refused field; nothing is
+    /// spawned on failure.
+    ///
+    /// # Panics
+    /// Still panics if the initial worker threads cannot be spawned at
+    /// all (thread creation failing at startup is an environment
+    /// failure, not a configuration one).
+    pub fn try_start(config: ServiceConfig) -> Result<Self, ConfigError> {
+        if config.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if config.max_batch == 0 {
+            return Err(ConfigError::ZeroMaxBatch);
+        }
+        if config.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
         let inner = Arc::new(ServiceInner {
             queue: BoundedQueue::new(config.queue_capacity),
             models: RwLock::new(Vec::new()),
-            cache: ModelCache::with_faults(config.fault_plan.clone()),
+            cache: ModelCache::configured(config.cache_budget, config.fault_plan.clone()),
             next_id: AtomicU64::new(0),
             stats: Arc::new(AtomicStats::default()),
             supervisor: Supervisor::new(),
@@ -434,7 +637,7 @@ impl Service {
             Supervisor::spawn_worker(&inner, Duration::ZERO)
                 .unwrap_or_else(|e| panic!("spawn initial worker: {e}"));
         }
-        Service { inner }
+        Ok(Service { inner })
     }
 
     /// Registers `graph` under `name` with compilation `opts`, preparing
@@ -446,45 +649,102 @@ impl Service {
     /// cached artifact.
     ///
     /// # Errors
-    /// Propagates preparation failures (e.g. [`Error::OutOfMemory`] for
-    /// a model whose minimum tile exceeds the L1 budget); nothing is
-    /// registered then, and the cache and model table stay fully usable
+    /// [`ServeError::Run`] propagates preparation failures (e.g.
+    /// [`Error::OutOfMemory`] for a model whose minimum tile exceeds
+    /// the L1 budget); [`ServeError::CacheOverBudget`] refuses a model
+    /// that cannot fit [`ServiceConfig::cache_budget`] even after
+    /// evicting every unpinned cached artifact. Nothing is registered
+    /// in either case, and the cache and model table stay fully usable
     /// for subsequent registrations.
     pub fn register(
         &self,
         name: &str,
         graph: &Arc<Graph>,
         opts: &Options,
-    ) -> Result<ModelId, Error> {
+    ) -> Result<ModelId, ServeError> {
         let mut opts = *opts;
         opts.tier = self.inner.config.tier;
-        let prepared = self.inner.cache.get_or_prepare(name, graph, &opts)?;
+        let prepared = self
+            .inner
+            .cache
+            .get_or_prepare(name, graph, &opts)
+            .map_err(serve_error_from_cache)?;
         let mut models = self
             .inner
             .models
             .write()
             .unwrap_or_else(PoisonError::into_inner);
-        models.push(ModelSlot { prepared });
+        models.push(ModelSlot {
+            name: name.to_string(),
+            graph: Arc::clone(graph),
+            opts,
+            // Downgraded on purpose: a registered-but-idle model keeps
+            // no strong ref, so the cache may evict it under budget
+            // pressure; `resolve` re-prepares on demand.
+            prepared: Mutex::new(Arc::downgrade(&prepared)),
+        });
         Ok(ModelId(models.len() - 1))
     }
 
-    /// Submits one inference request, returning a [`Ticket`] to wait on.
+    /// The model's prepared artifact, upgraded from the slot's weak ref
+    /// or — after an eviction — re-resolved through the cache (a miss
+    /// that may itself evict colder models). The slot mutex serializes
+    /// concurrent re-resolves of one model so an eviction storm costs
+    /// one prepare, not one per waiter. Lock order is always models →
+    /// slot → cache; the cache never takes the model table lock, so
+    /// this cannot deadlock with `register`.
+    fn resolve(&self, model: ModelId) -> Result<Arc<PreparedGraph<'static>>, SubmitError> {
+        let models = self
+            .inner
+            .models
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let slot = models
+            .get(model.0)
+            .ok_or(SubmitError::UnknownModel(model))?;
+        let mut weak = slot.prepared.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(prepared) = weak.upgrade() {
+            return Ok(prepared);
+        }
+        match self
+            .inner
+            .cache
+            .get_or_prepare(&slot.name, &slot.graph, &slot.opts)
+        {
+            Ok(prepared) => {
+                *weak = Arc::downgrade(&prepared);
+                Ok(prepared)
+            }
+            Err(e) => Err(SubmitError::ModelUnavailable {
+                model,
+                reason: e.to_string(),
+            }),
+        }
+    }
+
+    /// Submits one inference request at the default [`Priority::Batch`]
+    /// class, returning a [`Ticket`] to wait on.
     ///
     /// # Errors
     /// See [`SubmitError`]; in particular a full queue sheds the request
-    /// (reported, counted, never silently dropped).
+    /// (reported, counted, never silently dropped) unless displacing a
+    /// strictly lower-priority queued request can make room.
     pub fn submit(&self, model: ModelId, input: Tensor<i8>) -> Result<Ticket, SubmitError> {
-        self.submit_with_deadline(model, input, None)
+        self.submit_with_deadline(model, input, None, Priority::Batch)
     }
 
-    /// [`submit`](Service::submit) with an optional deadline: a request
-    /// still queued when `deadline` passes is shed at the next dispatch
-    /// instead of executed — its ticket resolves
-    /// [`ServeError::DeadlineExceeded`] and the shed lands in the
-    /// `expired` class ([`ServiceStats::shed_expired`]). A request
-    /// already handed to a worker runs to completion (dispatch is the
-    /// shed point, not a preemption point). Pair with
-    /// [`Ticket::wait_timeout`] to bound the caller side too.
+    /// [`submit`](Service::submit) with an optional deadline and an
+    /// explicit [`Priority`] class. A request still queued when
+    /// `deadline` passes is shed at the next dispatch instead of
+    /// executed — its ticket resolves [`ServeError::DeadlineExceeded`]
+    /// and the shed lands in the `expired` class
+    /// ([`ServiceStats::shed_expired`]). A request already handed to a
+    /// worker runs to completion (dispatch is the shed point, not a
+    /// preemption point). Dispatch is earliest-deadline-first within
+    /// priority bands; a full queue displaces a strictly lower-priority
+    /// queued request (resolved [`ServeError::Preempted`], counted in
+    /// [`ServiceStats::shed_preempted`]) before shedding the newcomer.
+    /// Pair with [`Ticket::wait_timeout`] to bound the caller side too.
     ///
     /// # Errors
     /// See [`SubmitError`]. An already-expired deadline is still
@@ -496,18 +756,9 @@ impl Service {
         model: ModelId,
         input: Tensor<i8>,
         deadline: Option<Instant>,
+        priority: Priority,
     ) -> Result<Ticket, SubmitError> {
-        let prepared = {
-            let models = self
-                .inner
-                .models
-                .read()
-                .unwrap_or_else(PoisonError::into_inner);
-            let slot = models
-                .get(model.0)
-                .ok_or(SubmitError::UnknownModel(model))?;
-            Arc::clone(&slot.prepared)
-        };
+        let prepared = self.resolve(model)?;
         if input.shape() != prepared.graph().input_shape() {
             return Err(SubmitError::InvalidInput(format!(
                 "input shape {:?} != model input {:?}",
@@ -525,11 +776,26 @@ impl Service {
             slot: Some(Arc::clone(&slot)),
             submitted: Instant::now(),
             deadline,
+            priority,
             stats: Arc::clone(&self.inner.stats),
         };
-        match self.inner.queue.push(pending) {
-            Ok(_) => {
+        let push =
+            self.inner
+                .queue
+                .push_or_displace(pending, |p| p.priority.rank(), dispatch_order);
+        match push {
+            Ok((_, displaced)) => {
                 self.inner.stats.submitted.fetch_add(1, Ordering::SeqCst);
+                if let Some(victim) = displaced {
+                    // The victim was accepted earlier (counted
+                    // submitted); it resolves Preempted here, keeping
+                    // the accounting invariant exact.
+                    self.inner
+                        .stats
+                        .shed_preempted
+                        .fetch_add(1, Ordering::SeqCst);
+                    victim.fulfill(Err(ServeError::Preempted));
+                }
                 Ok(Ticket { id, model, slot })
             }
             Err(PushError::Full(rejected)) => {
@@ -539,6 +805,7 @@ impl Service {
                 let mut rejected = rejected;
                 rejected.slot = None;
                 self.inner.stats.shed.fetch_add(1, Ordering::SeqCst);
+                self.inner.stats.shed_full_by_class[priority.rank()].fetch_add(1, Ordering::SeqCst);
                 Err(SubmitError::Shed {
                     capacity: self.inner.config.queue_capacity,
                 })
@@ -546,7 +813,11 @@ impl Service {
             Err(PushError::Closed(rejected)) => {
                 let mut rejected = rejected;
                 rejected.slot = None;
-                Err(SubmitError::Closed)
+                if self.inner.supervisor.is_poisoned() {
+                    Err(SubmitError::Poisoned)
+                } else {
+                    Err(SubmitError::Closed)
+                }
             }
         }
     }
@@ -625,17 +896,13 @@ impl Service {
         self.inner.queue.len()
     }
 
-    /// Prepared-artifact cache hit/miss counters, keyed by
-    /// (model, format, options). A registration whose prepare *fails*
-    /// counts in neither — see [`Service::failed_prepares`].
-    pub fn cache_counters(&self) -> (u64, u64) {
-        (self.inner.cache.hits(), self.inner.cache.misses())
-    }
-
-    /// Registrations whose prepare failed (never cached, never counted
-    /// as misses).
-    pub fn failed_prepares(&self) -> u64 {
-        self.inner.cache.failed_prepares()
+    /// Prepared-artifact cache counters and byte gauges, keyed by
+    /// (model, format, options) — see [`CacheStats`] for the field
+    /// semantics (a registration whose prepare *fails* counts in
+    /// `failed_prepares`, never as a miss). Replaces the old positional
+    /// `cache_counters() -> (u64, u64)` tuple.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
     }
 
     /// Never panics: runs during `Drop`, which may itself run during
@@ -711,6 +978,7 @@ pub(crate) fn worker_loop(inner: &ServiceInner) {
         inner.config.max_batch,
         |p: &Pending| Arc::as_ptr(&p.prepared),
         |p: &Pending| p.deadline.is_some_and(|d| Instant::now() >= d),
+        dispatch_order,
     ) {
         let Popped { batch, expired } = popped;
         let ack = AckOnDrop {
@@ -881,6 +1149,7 @@ mod tests {
                     slot: Some(slot),
                     submitted: Instant::now(),
                     deadline: None,
+                    priority: Priority::Batch,
                     stats: Arc::clone(stats),
                 })
                 .is_ok(),
@@ -929,5 +1198,57 @@ mod tests {
         // observe nothing panics with the ticket side already gone.
         cancel_queued(&queue);
         assert_eq!(stats.snapshot().shed_canceled, 1);
+    }
+
+    /// One regression per refused field: `try_start` names the exact
+    /// zero knob instead of panicking, and a valid config still starts.
+    #[test]
+    fn try_start_refuses_each_zero_field_by_name() {
+        let base = ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        };
+        let cases = [
+            (
+                ServiceConfig {
+                    workers: 0,
+                    ..base.clone()
+                },
+                ConfigError::ZeroWorkers,
+            ),
+            (
+                ServiceConfig {
+                    max_batch: 0,
+                    ..base.clone()
+                },
+                ConfigError::ZeroMaxBatch,
+            ),
+            (
+                ServiceConfig {
+                    queue_capacity: 0,
+                    ..base.clone()
+                },
+                ConfigError::ZeroQueueCapacity,
+            ),
+        ];
+        for (config, want) in cases {
+            match Service::try_start(config) {
+                Err(got) => assert_eq!(got, want),
+                Ok(_) => panic!("expected {want:?}"),
+            }
+        }
+        let service = Service::try_start(base).expect("valid config starts");
+        drop(service); // orderly shutdown of the zero-model service
+    }
+
+    /// `start` routes through `try_start`: a zero field still panics
+    /// (the documented legacy contract) with the ConfigError's message.
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn start_panics_on_zero_workers() {
+        let _ = Service::start(ServiceConfig {
+            workers: 0,
+            ..ServiceConfig::default()
+        });
     }
 }

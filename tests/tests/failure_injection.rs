@@ -174,10 +174,10 @@ fn serve_registration_surfaces_oom_without_wedging_the_cache() {
     let mut starved = Options::new(Target::SparseIsa);
     starved.l1_budget = 64;
     match service.register("starved", &graph, &starved) {
-        Err(Error::OutOfMemory {
+        Err(nm_serve::ServeError::Run(Error::OutOfMemory {
             requested,
             available,
-        }) => {
+        })) => {
             assert!(requested > available);
             assert!(available <= 64);
         }
@@ -194,8 +194,12 @@ fn serve_registration_surfaces_oom_without_wedging_the_cache() {
     ticket.wait().expect("the good model serves");
     // The starved attempt is a *failed prepare*, not a miss (a miss is
     // only counted once preparation succeeds); one artifact exists.
-    assert_eq!(service.cache_counters(), (0, 1));
-    assert_eq!(service.failed_prepares(), 1);
+    let cache = service.cache_stats();
+    assert_eq!(cache.hits, 0);
+    assert_eq!(cache.misses, 1);
+    assert_eq!(cache.failed_prepares, 1);
+    assert_eq!(cache.evictions, 0, "an unbudgeted cache never evicts");
+    assert!(cache.resident_bytes > 0, "the good artifact is resident");
     assert_eq!(service.model_count(), 1);
     service.shutdown();
 }
@@ -220,7 +224,10 @@ fn serve_registration_survives_injected_prepare_fault() {
     });
     let opts = Options::new(Target::SparseIsa);
     let err = service.register("m", &graph, &opts).unwrap_err();
-    assert!(matches!(err, Error::Unsupported(_)), "{err:?}");
+    assert!(
+        matches!(err, nm_serve::ServeError::Run(Error::Unsupported(_))),
+        "{err:?}"
+    );
     // The one-shot fault is spent; the same registration now works.
     let model = service.register("m", &graph, &opts).unwrap();
     let input = nm_core::Tensor::from_vec(&[64], vec![1i8; 64]).unwrap();

@@ -25,7 +25,7 @@ use nm_integration::sparse_conv_fc_graph;
 use nm_models::mlp_serve_sparse;
 use nm_nn::rng::XorShift;
 use nm_serve::{
-    FaultAction, FaultPlan, FaultPoint, ServeError, Service, ServiceConfig, SubmitError,
+    FaultAction, FaultPlan, FaultPoint, Priority, ServeError, Service, ServiceConfig, SubmitError,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -90,6 +90,7 @@ fn seeded_faults_spare_survivors_and_account_for_every_casualty() {
         restart_backoff: Duration::from_millis(1),
         tier: ExecTier::Bulk,
         fault_plan: Some(Arc::clone(&plan)),
+        ..ServiceConfig::default()
     });
     let ids: Vec<_> = graphs
         .iter()
@@ -122,7 +123,8 @@ fn seeded_faults_spare_survivors_and_account_for_every_casualty() {
                         // class if accepted at all.
                         let late = i % 10 == 9;
                         let deadline = late.then(Instant::now);
-                        match service.submit_with_deadline(ids[m], input, deadline) {
+                        match service.submit_with_deadline(ids[m], input, deadline, Priority::Batch)
+                        {
                             Ok(ticket) => tickets.push((t, i, m, late, ticket)),
                             Err(SubmitError::Shed { capacity }) => {
                                 assert_eq!(capacity, 8);
@@ -156,7 +158,7 @@ fn seeded_faults_spare_survivors_and_account_for_every_casualty() {
         std::thread::sleep(Duration::from_millis(2));
         let doomed = service.register("doomed", &graphs[0], &opts);
         match doomed {
-            Err(nm_core::Error::Unsupported(msg)) => {
+            Err(ServeError::Run(nm_core::Error::Unsupported(msg))) => {
                 assert!(msg.contains("injected fault"), "{msg}")
             }
             other => panic!("doomed registration must fail injected, got {other:?}"),
@@ -256,9 +258,17 @@ fn seeded_faults_spare_survivors_and_account_for_every_casualty() {
     assert_eq!(stats.shed_canceled, canceled);
     assert_eq!(stats.failed, panicked, "only WorkerPanic fails here");
     assert_eq!(
-        stats.completed + stats.failed + stats.shed_expired + stats.shed_canceled,
+        stats.completed
+            + stats.failed
+            + stats.shed_expired
+            + stats.shed_canceled
+            + stats.shed_preempted,
         stats.submitted,
-        "accepted requests partition exactly into the four ledgers"
+        "accepted requests partition exactly into the shed/failure ledgers"
+    );
+    assert_eq!(
+        stats.shed_preempted, 0,
+        "uniform-priority traffic never displaces anything"
     );
     // Two thread deaths (worker_spawn panic at startup + the kill),
     // both respawned within budget; at least the two armed in-isolation
@@ -287,6 +297,7 @@ fn restart_budget_exhaustion_poisons_without_hanging_anyone() {
             0,
             FaultAction::KillWorker,
         ))),
+        ..ServiceConfig::default()
     });
     let model = service.register("m", &graph, &opts).unwrap();
     // Shape one batch holding all three requests, then let the sole
@@ -315,11 +326,37 @@ fn restart_budget_exhaustion_poisons_without_hanging_anyone() {
         );
         std::thread::sleep(Duration::from_millis(1));
     }
+    // Satellite pin: a poisoned service is *distinguishable* from an
+    // orderly-closed one. Both submission entry points must report
+    // `Poisoned` — not `Closed`, and certainly not `Shed` — so a client
+    // can stop retrying a service that died under it.
     let input = request_input(&[64], 0, 9, 0);
     assert!(matches!(
         service.submit(model, input),
-        Err(SubmitError::Closed)
+        Err(SubmitError::Poisoned)
     ));
+    let input = request_input(&[64], 0, 10, 0);
+    assert!(matches!(
+        service.submit_with_deadline(
+            model,
+            input,
+            Some(Instant::now() + Duration::from_secs(1)),
+            Priority::Interactive,
+        ),
+        Err(SubmitError::Poisoned)
+    ));
+    // And the books still balance after the refusals: the poisoned
+    // submissions were never accepted, so they appear in no ledger.
+    let stats = service.stats();
+    assert_eq!(
+        stats.completed
+            + stats.failed
+            + stats.shed_expired
+            + stats.shed_canceled
+            + stats.shed_preempted,
+        stats.submitted,
+        "a poisoned service still reconciles exactly"
+    );
     let stats = service.shutdown();
     assert_eq!(stats.shed_canceled, 3, "the held batch, nothing else");
     assert_eq!(stats.restarts, 0);
@@ -351,6 +388,7 @@ fn batch_panic_isolation_is_exact_when_scheduling_is_pinned() {
                 .fail_nth(FaultPoint::BatchRun, 0, FaultAction::Panic)
                 .fail_nth(FaultPoint::BatchRun, 2, FaultAction::Panic),
         )),
+        ..ServiceConfig::default()
     });
     let model = service.register("m", &graph, &opts).unwrap();
     service.pause();

@@ -1,0 +1,301 @@
+//! Overload-resilience suite for the serving layer: the Zipf×Poisson
+//! load-generator soak (`nm_bench::loadgen`) plus pinned structural
+//! scenarios for the priority-shed policy and the memory-budgeted
+//! model cache. What must hold under any scheduling:
+//!
+//! * the accounting reconciles exactly even when most of the offered
+//!   load is shed and workers are killed mid-overload;
+//! * an `Interactive` request is never full-shed while lower-class
+//!   work occupies queue slots — it displaces a victim instead
+//!   (`Preempted`), and only an all-Interactive queue can refuse one;
+//! * cache eviction churn (more live models than the byte budget
+//!   holds) never corrupts results: every completed request stays
+//!   bit+cycle identical to a sequential `PreparedGraph::run`;
+//! * a model that cannot fit the budget at all is refused at
+//!   registration (`CacheOverBudget`), leaving the service fully
+//!   usable.
+//!
+//! The full soak runs in CI's release profile as a named step
+//! (`serve_overload`); a smaller smoke configuration keeps the same
+//! contracts exercised in debug.
+
+use nm_bench::loadgen::{run_overload, OverloadConfig};
+use nm_compiler::{Options, PreparedGraph, Target};
+use nm_core::sparsity::Nm;
+use nm_core::Tensor;
+use nm_models::mlp_serve_sparse;
+use nm_nn::graph::Graph;
+use nm_nn::rng::XorShift;
+use nm_serve::{Priority, ServeError, Service, ServiceConfig, SubmitError};
+use std::sync::Arc;
+use std::time::Duration;
+
+const HANG_BOUND: Duration = Duration::from_secs(60);
+
+fn mlp(dims: &[usize], seed: u64) -> Arc<Graph> {
+    Arc::new(mlp_serve_sparse(dims, Nm::ONE_OF_EIGHT, seed).unwrap())
+}
+
+fn input_for(shape: &[usize], seed: u64) -> Tensor<i8> {
+    let elems: usize = shape.iter().product();
+    Tensor::from_vec(shape, XorShift::new(seed).fill_weights(elems, 50)).unwrap()
+}
+
+/// Resident bytes the service's cache will account for `graph` (the
+/// service overrides `opts.tier` with its own, which defaults to the
+/// same Bulk tier used here).
+fn artifact_bytes(graph: &Arc<Graph>, opts: &Options) -> usize {
+    PreparedGraph::prepare_shared(Arc::clone(graph), opts)
+        .unwrap()
+        .resident_bytes()
+}
+
+/// The full seeded soak at release scale: 600 Zipf×Poisson arrivals at
+/// twice the drain-capacity upper bound, four models over a
+/// three-model cache budget, two mid-run worker kills. Every
+/// robustness contract is asserted by `OverloadReport::check`.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-scale soak; the debug smoke below runs the same contracts"
+)]
+fn overload_soak_holds_every_robustness_contract() {
+    let report = run_overload(&OverloadConfig::default());
+    eprintln!("[serve_overload] {}", report.summary());
+    report.check();
+}
+
+/// The same soak shrunk for debug CI: fewer arrivals, same contracts —
+/// reconciliation, interactive protection, eviction-correctness and
+/// worker-kill recovery all still fire.
+#[test]
+fn overload_smoke_reconciles_in_debug() {
+    let cfg = OverloadConfig {
+        requests: 150,
+        ..OverloadConfig::default()
+    };
+    let report = run_overload(&cfg);
+    eprintln!("[serve_overload smoke] {}", report.summary());
+    report.check();
+}
+
+/// The structural priority guarantee, pinned without load-generator
+/// randomness: a full queue of `BestEffort` work admits `Interactive`
+/// requests by displacement (each victim resolves `Preempted`), and an
+/// Interactive request is only ever full-shed once the queue holds
+/// nothing of lower class. The paused pool makes every step exact.
+#[test]
+fn interactive_never_sheds_while_best_effort_occupies_slots() {
+    let capacity = 8;
+    let graph = mlp(&[64, 48, 32], 5);
+    let opts = Options::new(Target::SparseIsa);
+    let service = Service::start(ServiceConfig {
+        queue_capacity: capacity,
+        max_batch: 4,
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let model = service.register("m", &graph, &opts).unwrap();
+    service.pause();
+
+    // Fill every slot with best-effort work.
+    let best_effort: Vec<_> = (0..capacity)
+        .map(|i| {
+            service
+                .submit_with_deadline(
+                    model,
+                    input_for(&[64], 100 + i as u64),
+                    None,
+                    Priority::BestEffort,
+                )
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(service.queue_depth(), capacity);
+
+    // Every Interactive submit against the full queue is admitted by
+    // displacing one best-effort victim — never shed.
+    let interactive: Vec<_> = (0..capacity)
+        .map(|i| {
+            service
+                .submit_with_deadline(
+                    model,
+                    input_for(&[64], 200 + i as u64),
+                    None,
+                    Priority::Interactive,
+                )
+                .unwrap_or_else(|e| {
+                    panic!("interactive {i} shed while best-effort held slots: {e:?}")
+                })
+        })
+        .collect();
+    assert_eq!(service.queue_depth(), capacity, "displacement is 1-for-1");
+
+    // All eight victims were preempted, promptly and with the
+    // documented error.
+    for (i, t) in best_effort.into_iter().enumerate() {
+        match t.wait_timeout(HANG_BOUND) {
+            Err(ServeError::Preempted) => {}
+            other => panic!("victim {i} resolved strangely: {other:?}"),
+        }
+    }
+
+    // The queue now holds only Interactive work: the next Interactive
+    // arrival has no lower class to displace, so *this* one is shed —
+    // the only circumstance in which the class can be.
+    match service.submit_with_deadline(model, input_for(&[64], 300), None, Priority::Interactive) {
+        Err(SubmitError::Shed { capacity: c }) => assert_eq!(c, capacity),
+        other => panic!("an all-interactive full queue must shed: {other:?}"),
+    }
+
+    service.resume();
+    for (i, t) in interactive.into_iter().enumerate() {
+        t.wait_timeout(HANG_BOUND)
+            .unwrap_or_else(|e| panic!("admitted interactive {i} must complete: {e:?}"));
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, 2 * capacity as u64);
+    assert_eq!(stats.completed, capacity as u64);
+    assert_eq!(stats.shed_preempted, capacity as u64);
+    assert_eq!(
+        stats.shed_full_by_class,
+        [1, 0, 0],
+        "exactly the one boundary shed, and it was counted per class"
+    );
+    assert_eq!(
+        stats.completed
+            + stats.failed
+            + stats.shed_expired
+            + stats.shed_canceled
+            + stats.shed_preempted,
+        stats.submitted,
+        "displacement accounting reconciles exactly"
+    );
+}
+
+/// Eviction churn at the service level: three models contend for a
+/// budget holding two, driven by an identical sequential request
+/// sequence on two independent services. Every response must match the
+/// sequential oracle bit+cycle (whatever the cache evicted underneath),
+/// and both services must evict at least once (the third registration
+/// alone overflows the budget deterministically).
+#[test]
+fn eviction_churn_is_deterministic_at_the_service_level() {
+    let dims: [&[usize]; 3] = [&[64, 64, 48, 32], &[64, 64, 40, 24], &[64, 64, 56, 16]];
+    let graphs: Vec<Arc<Graph>> = dims
+        .iter()
+        .enumerate()
+        .map(|(i, d)| mlp(d, 11 + i as u64))
+        .collect();
+    let opts = Options::new(Target::SparseIsa);
+    let bytes: Vec<usize> = graphs.iter().map(|g| artifact_bytes(g, &opts)).collect();
+    let mut sorted = bytes.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let budget: usize = sorted[..2].iter().sum();
+    let oracles: Vec<_> = graphs
+        .iter()
+        .map(|g| PreparedGraph::prepare_shared(Arc::clone(g), &opts).unwrap())
+        .collect();
+
+    let sequence = [0usize, 1, 2, 0, 2, 1, 0, 0, 2, 1, 2, 0];
+    let run_once = || -> Vec<(Tensor<i8>, Option<u64>)> {
+        let service = Service::start(ServiceConfig {
+            queue_capacity: 16,
+            max_batch: 4,
+            workers: 1,
+            cache_budget: Some(budget),
+            ..ServiceConfig::default()
+        });
+        let ids: Vec<_> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| service.register(&format!("m{i}"), g, &opts).unwrap())
+            .collect();
+        let mut got = Vec::new();
+        for (step, &m) in sequence.iter().enumerate() {
+            let ticket = service
+                .submit(ids[m], input_for(&[64], 900 + step as u64))
+                .unwrap_or_else(|e| panic!("step {step} model {m}: {e:?}"));
+            let r = ticket.wait_timeout(HANG_BOUND).unwrap();
+            got.push((r.output, r.sim_cycles));
+            // One request at a time: nothing is pinned between steps,
+            // so resolve-time eviction always has a victim available.
+            service.drain();
+        }
+        let cache = service.cache_stats();
+        assert!(
+            cache.evictions >= 1,
+            "three models over a two-model budget must evict (evictions={})",
+            cache.evictions
+        );
+        assert!(
+            cache.resident_bytes <= budget as u64,
+            "the resident gauge respects the budget"
+        );
+        service.shutdown();
+        got
+    };
+
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(
+        first, second,
+        "identical sequences produce identical results"
+    );
+    for (step, ((output, sim_cycles), &m)) in first.iter().zip(&sequence).enumerate() {
+        let want = oracles[m]
+            .run(&input_for(&[64], 900 + step as u64))
+            .unwrap();
+        assert_eq!(output, &want.output, "step {step} diverged from the oracle");
+        assert_eq!(
+            *sim_cycles,
+            Some(want.matmul_compute_cycles),
+            "step {step} cycles diverged"
+        );
+    }
+}
+
+/// Registration-time budget refusal at the service level: a model
+/// larger than the whole budget is refused with `CacheOverBudget` (the
+/// error carries both sides of the comparison), nothing is registered,
+/// and a model that does fit then registers and serves on the same
+/// service.
+#[test]
+fn register_refuses_a_model_that_cannot_fit_the_budget() {
+    let big = mlp(&[64, 64, 64, 48, 32], 21);
+    let small = mlp(&[64, 48, 32], 22);
+    let opts = Options::new(Target::SparseIsa);
+    let big_bytes = artifact_bytes(&big, &opts);
+    let small_bytes = artifact_bytes(&small, &opts);
+    assert!(small_bytes < big_bytes, "the fixture needs distinct sizes");
+    let budget = big_bytes - 1;
+
+    let service = Service::start(ServiceConfig {
+        cache_budget: Some(budget),
+        ..ServiceConfig::default()
+    });
+    match service.register("too-big", &big, &opts) {
+        Err(ServeError::CacheOverBudget {
+            required,
+            budget: b,
+        }) => {
+            assert_eq!(required, big_bytes);
+            assert_eq!(b, budget);
+        }
+        other => panic!("expected CacheOverBudget, got {other:?}"),
+    }
+    assert_eq!(service.model_count(), 0, "the refusal registered nothing");
+
+    let model = service.register("fits", &small, &opts).unwrap();
+    let ticket = service.submit(model, input_for(&[64], 33)).unwrap();
+    ticket
+        .wait_timeout(HANG_BOUND)
+        .expect("the fitting model serves");
+    let cache = service.cache_stats();
+    // The refused model still cost a miss (it prepared successfully
+    // before failing the budget check) — but never became resident.
+    assert_eq!(cache.misses, 2);
+    assert_eq!(cache.evictions, 0, "nothing was resident to evict");
+    assert_eq!(cache.resident_bytes, small_bytes as u64);
+    service.shutdown();
+}

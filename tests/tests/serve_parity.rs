@@ -135,6 +135,105 @@ fn service_matches_sequential_runs_for_any_configuration() {
     }
 }
 
+/// The determinism contract across priority classes: priority-band /
+/// earliest-deadline-first dispatch reorders *when* a request runs,
+/// never *what* it computes. A wave mixing all three [`Priority`]
+/// classes with assorted (far-future or absent) deadlines — enqueued
+/// against a paused pool so the EDF sort sees the whole wave at once —
+/// must complete every request with outputs and cycle totals
+/// bit-identical to the sequential baseline, across worker counts and
+/// batch limits. The queue admits the entire wave, so no shed class is
+/// exercised: scheduling policy alone is under test.
+#[test]
+fn priority_mixes_preserve_bit_and_cycle_determinism() {
+    use nm_serve::Priority;
+    use std::time::{Duration, Instant};
+
+    let nm = Nm::ONE_OF_EIGHT;
+    let graphs = [mlp_graph(nm), conv_fc_graph(nm)];
+    let per_model = 9;
+    let mut opts = Options::new(Target::SparseIsa);
+    opts.tier = ExecTier::Bulk;
+    let inputs: Vec<Vec<Tensor<i8>>> = graphs
+        .iter()
+        .enumerate()
+        .map(|(m, g)| random_inputs(g.input_shape(), per_model, 500 + m as u64))
+        .collect();
+    let expected: Vec<Vec<_>> = graphs
+        .iter()
+        .zip(&inputs)
+        .map(|(g, xs)| {
+            let prepared = PreparedGraph::prepare(g, &opts).unwrap();
+            xs.iter().map(|x| prepared.run(x).unwrap()).collect()
+        })
+        .collect();
+
+    for workers in [1, 2] {
+        for max_batch in [1, 4] {
+            let service = Service::start(ServiceConfig {
+                queue_capacity: 2 * graphs.len() * per_model,
+                max_batch,
+                workers,
+                tier: ExecTier::Bulk,
+                ..ServiceConfig::default()
+            });
+            let ids: Vec<_> = graphs
+                .iter()
+                .enumerate()
+                .map(|(m, g)| service.register(&format!("model-{m}"), g, &opts).unwrap())
+                .collect();
+            // Pause so the whole mixed wave is queued before dispatch:
+            // the priority/deadline sort then reorders maximally.
+            service.pause();
+            let far = Instant::now() + Duration::from_secs(3600);
+            let farther = Instant::now() + Duration::from_secs(7200);
+            let mut next = vec![0usize; graphs.len()];
+            let mut tickets = Vec::new();
+            for m in interleaving(
+                &[per_model; 2],
+                4242 + workers as u64 * 10 + max_batch as u64,
+            ) {
+                let i = next[m];
+                next[m] += 1;
+                let priority = Priority::ALL[(m + i) % Priority::ALL.len()];
+                // Deadlines are generous or absent: ordering hints, not
+                // shed triggers.
+                let deadline = match i % 3 {
+                    0 => Some(far),
+                    1 => Some(farther),
+                    _ => None,
+                };
+                let x = inputs[m][i].clone();
+                let ticket = service
+                    .submit_with_deadline(ids[m], x, deadline, priority)
+                    .unwrap();
+                tickets.push((m, i, ticket));
+            }
+            service.resume();
+            for (m, i, ticket) in tickets {
+                let got = ticket.wait().unwrap();
+                let want = &expected[m][i];
+                assert_eq!(
+                    got.output, want.output,
+                    "output diverged: model {m} req {i} workers={workers} \
+                     max_batch={max_batch}"
+                );
+                assert_eq!(
+                    got.sim_cycles,
+                    Some(want.matmul_compute_cycles),
+                    "cycles diverged: model {m} req {i} workers={workers} \
+                     max_batch={max_batch}"
+                );
+            }
+            let stats = service.shutdown();
+            assert_eq!(stats.completed, (graphs.len() * per_model) as u64);
+            assert_eq!(stats.shed, 0, "the queue admits the whole wave");
+            assert_eq!(stats.shed_preempted, 0, "nothing was displaced");
+            assert_eq!(stats.shed_expired, 0, "deadlines were generous");
+        }
+    }
+}
+
 /// The coalesced multi-token path with K-tiling forced (small L1
 /// budget): batched execution through the service must still match the
 /// sequential loop exactly — this is the configuration where weights
