@@ -13,5 +13,8 @@ fn main() {
     let report = nm_bench::loadgen::run_overload(&cfg);
     eprintln!("[loadgen] {}", report.summary());
     report.check();
+    // The post-drain scrape, already asserted equal to the ledgers by
+    // `check()` — printed to stdout as the soak's scrapeable artifact.
+    print!("{}", report.metrics_final);
     eprintln!("[loadgen] all overload contracts hold");
 }

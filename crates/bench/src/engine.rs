@@ -538,6 +538,10 @@ pub fn snapshot_chaos_guard(seed: Option<&str>, faults: Option<&str>) -> Result<
             ));
         }
     }
+    // Note the serve metrics export rides behind this same refusal: the
+    // `[metrics]` text `time_serve` emits goes to stderr only and never
+    // into `EngineRow`, so a guarded `--json` run cannot leak it into
+    // the snapshot either.
     Ok(())
 }
 
@@ -746,8 +750,26 @@ fn time_serve(
             std::hint::black_box(wave());
         }
         let wall_s = t.elapsed().as_secs_f64();
+        // Scrape before shutdown consumes the service; the wave loop
+        // fully drained (every ticket resolved), so this is a quiesced
+        // export and must reconcile with the ledgers exactly. Gate it
+        // on every serve row — chaos or not — and keep the text on
+        // stderr only: metrics never enter EngineRow or the JSON
+        // snapshot (the `--json` env guards cover this path too).
+        let metrics_text = service.metrics_text();
+        let pre_shutdown_stats = service.stats();
+        let pre_shutdown_cache = service.cache_stats();
+        let metrics = nm_serve::metrics::parse_text(&metrics_text)
+            .unwrap_or_else(|e| panic!("serve metrics export must parse for {name} {path:?}: {e}"));
+        metrics
+            .check_quiesced(&pre_shutdown_stats, &pre_shutdown_cache)
+            .unwrap_or_else(|e| {
+                panic!("serve metrics export must reconcile for {name} {path:?}: {e}")
+            });
         let stats = service.shutdown();
         if let Some((seed, n)) = chaos {
+            // Under chaos the full export is the debugging artifact.
+            eprintln!("[metrics] {name} {path:?}:\n{metrics_text}");
             let fired = plan.as_ref().map_or(0, |p| p.fired());
             eprintln!(
                 "[chaos] {name} {path:?}: mode={} seed={seed} armed={n} fired={fired} \
@@ -777,6 +799,16 @@ fn time_serve(
             eprintln!(
                 "[serve] {name} {path:?}: mode={} batch_limit={max_batch}",
                 mode.get()
+            );
+            // One-line digest of the (already-gated) export; the full
+            // text is only worth stderr space under chaos.
+            eprintln!(
+                "[metrics] {name} {path:?}: export reconciled \
+                 (submitted={} completed={} models={} queue_high_water={})",
+                metrics.service.submitted,
+                metrics.service.completed,
+                metrics.models.len(),
+                metrics.queue_depth_high_water,
             );
         }
         rows.push(EngineRow {
@@ -1263,6 +1295,10 @@ mod tests {
     /// The snapshot-under-chaos guard: a JSON-producing run refuses to
     /// start when either chaos env var is armed, naming the variable in
     /// the error; unarmed runs pass.
+    /// The refusal also fences the serve metrics path: `time_serve`
+    /// prints its `[metrics]` export to stderr only (never into
+    /// `EngineRow`), so with the guard holding, a `--json` run can
+    /// neither run under chaos nor leak metrics text into the snapshot.
     #[test]
     fn snapshot_chaos_guard_names_the_armed_variable() {
         assert_eq!(snapshot_chaos_guard(None, None), Ok(()));

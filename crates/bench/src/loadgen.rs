@@ -43,6 +43,7 @@ use nm_core::Tensor;
 use nm_models::serve::mlp_serve_sparse;
 use nm_nn::graph::Graph;
 use nm_nn::rng::XorShift;
+use nm_serve::metrics::parse_text;
 use nm_serve::{
     CacheStats, FaultAction, FaultPlan, FaultPoint, Priority, ServeError, Service, ServiceConfig,
     ServiceStats, SubmitError, Ticket,
@@ -233,6 +234,14 @@ pub struct OverloadReport {
     pub kills_armed: u32,
     /// Faults that actually fired (must equal `kills_armed`).
     pub kills_fired: u32,
+    /// `Service::metrics_text` scraped mid-soak (after half the
+    /// arrivals), while workers were live — [`check`](Self::check)
+    /// asserts it parses and is internally consistent (never torn).
+    pub metrics_mid: String,
+    /// `Service::metrics_text` scraped after the post-soak drain, with
+    /// nothing in flight — [`check`](Self::check) asserts the parsed
+    /// export equals the final ledgers exactly.
+    pub metrics_final: String,
 }
 
 impl OverloadReport {
@@ -299,6 +308,22 @@ impl OverloadReport {
             s.shed + s.shed_expired + s.shed_preempted > 0,
             "the generated load actually exceeded capacity (something was shed)"
         );
+
+        // The metrics export is gated, not eyeballed. Mid-soak the
+        // scrape raced live workers: it must still parse and satisfy
+        // every internal-consistency invariant (a torn scrape — e.g. a
+        // terminal counter exceeding `submitted` — fails here).
+        let mid = parse_text(&self.metrics_mid)
+            .unwrap_or_else(|e| panic!("mid-soak metrics export must parse: {e}"));
+        mid.check_internal()
+            .unwrap_or_else(|e| panic!("mid-soak metrics scrape is torn: {e}"));
+        // The final scrape was taken after the drain with nothing in
+        // flight: parsing it back must reproduce the ledgers exactly,
+        // including the five-term reconciliation on exported numbers.
+        let fin = parse_text(&self.metrics_final)
+            .unwrap_or_else(|e| panic!("final metrics export must parse: {e}"));
+        fin.check_quiesced(&self.stats, &self.cache)
+            .unwrap_or_else(|e| panic!("final metrics export does not reconcile: {e}"));
     }
 
     /// One-line human summary for logs.
@@ -489,7 +514,13 @@ pub fn run_overload(cfg: &OverloadConfig) -> OverloadReport {
     let mut downgraded = 0u64;
     let start = Instant::now();
     let mut next_at = 0.0f64;
-    for _ in 0..cfg.requests {
+    let mut metrics_mid = String::new();
+    for i in 0..cfg.requests {
+        // Mid-soak scrape, racing live workers on purpose: the report
+        // asserts it is internally consistent, never torn.
+        if i == cfg.requests / 2 {
+            metrics_mid = service.metrics_text();
+        }
         next_at += exp_sample(rate, unit_f64(&mut rng));
         let model = zipf.sample(unit_f64(&mut rng));
         let input = Tensor::from_vec(&shape, rng.fill_weights(elems, 50)).expect("request input");
@@ -543,6 +574,12 @@ pub fn run_overload(cfg: &OverloadConfig) -> OverloadReport {
     }
     drop(tx);
     let ledger = collector.join().expect("collector thread exits cleanly");
+    // Quiesce before the final scrape: with every ticket resolved and
+    // the queue drained, nothing can move a counter between the scrape
+    // and the ledgers captured below — so the report can assert exact
+    // equality on the export.
+    service.drain();
+    let metrics_final = service.metrics_text();
     let cache = service.cache_stats();
     let stats = service.shutdown();
     OverloadReport {
@@ -561,6 +598,8 @@ pub fn run_overload(cfg: &OverloadConfig) -> OverloadReport {
         client_failed: ledger.failed,
         kills_armed: cfg.worker_kills,
         kills_fired: plan.fired() as u32,
+        metrics_mid,
+        metrics_final,
     }
 }
 

@@ -92,6 +92,14 @@ impl std::error::Error for CacheError {
 
 /// A named snapshot of the cache's counters (replaces the old positional
 /// `(hits, misses)` tuple, which was ambiguous at call sites and grew).
+///
+/// Every field is exported verbatim by the service's metrics surface
+/// (`Service::metrics_text`) as `nm_serve_cache_hits_total`,
+/// `nm_serve_cache_misses_total`, `nm_serve_cache_failed_prepares_total`,
+/// `nm_serve_cache_evictions_total` and the
+/// `nm_serve_cache_resident_bytes{,_high_water}` gauges — the export is
+/// asserted equal to this struct, so the names here and there describe
+/// one ledger.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served from the cache.

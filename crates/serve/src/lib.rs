@@ -193,15 +193,58 @@
 //! `tests/tests/serve_chaos.rs`, and the Zipf/Poisson overload soak in
 //! `tests/tests/serve_overload.rs` (driven by `nm-bench`'s load
 //! generator).
+//!
+//! ## Observability
+//!
+//! [`Service::metrics_text`] exports everything the service counts in
+//! the Prometheus text exposition format — and the export is *gated*:
+//! [`metrics::parse_text`] parses it back into a [`MetricsSnapshot`],
+//! and the serving suites assert the parsed ledgers equal
+//! [`Service::stats`]/[`Service::cache_stats`] exactly, with the
+//! five-term shed reconciliation holding on the exported numbers.
+//!
+//! The exported families:
+//!
+//! * `nm_serve_requests_{submitted,completed,failed}_total`,
+//!   `nm_serve_shed_{full,expired,canceled,preempted}_total` and
+//!   `nm_serve_shed_full_by_class_total{class=…}` — the
+//!   [`ServiceStats`] ledger, plus `nm_serve_worker_panics_total`,
+//!   `nm_serve_worker_restarts_total`, `nm_serve_batches_total` and
+//!   the `nm_serve_batch_max_coalesced` gauge;
+//! * `nm_serve_cache_{hits,misses,failed_prepares,evictions}_total`
+//!   and the `nm_serve_cache_resident_bytes{,_high_water}` gauges —
+//!   the [`CacheStats`] ledger;
+//! * `nm_serve_queue_depth{,_high_water}` — sampled inside the queue
+//!   mutex ([`BoundedQueue::depth_stats`]), never a racy re-count;
+//! * `nm_serve_model_requests_{submitted,completed,failed}_total{model=…}`
+//!   and `nm_serve_model_shed_{expired,canceled,preempted}_total{model=…}`
+//!   — per-model breakdowns, keyed by registered name (aliased
+//!   registrations merge into one series);
+//! * `nm_serve_request_latency_seconds` — per-model histograms of
+//!   wall-clock submit-to-fulfill latency over the static log-spaced
+//!   bounds in [`metrics::LATENCY_BUCKETS`] (100 µs → 10 s on a
+//!   1–2.5–5 ladder, plus `+Inf`).
+//!
+//! Determinism caveat: counter values mirror the exactly-reconciling
+//! ledgers and the bucket *bounds* are compile-time constants, so for a
+//! given request set every line except the histogram *counts* and
+//! `_sum` is deterministic; the histogram observations are wall-clock
+//! and therefore host-dependent. A scrape may race live traffic — the
+//! crate's increment/read ordering guarantees such a scrape is
+//! internally consistent ([`MetricsSnapshot::check_internal`]), and a
+//! post-drain scrape reconciles exactly
+//! ([`MetricsSnapshot::check_quiesced`]).
 
 pub mod cache;
 pub mod fault;
+pub mod metrics;
 pub mod queue;
 pub mod service;
 mod supervisor;
 
 pub use cache::{CacheError, CacheStats, ModelCache, ModelKey};
 pub use fault::{FaultAction, FaultPlan, FaultPoint};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, ModelMetricsSnapshot, LATENCY_BUCKETS};
 pub use queue::{BoundedQueue, Popped, PushError};
 pub use service::{
     ConfigError, InferenceResult, ModelId, Priority, ServeError, Service, ServiceConfig,

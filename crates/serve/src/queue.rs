@@ -95,6 +95,11 @@ struct QueueState<T> {
     paused: bool,
     /// Items popped by workers but not yet acknowledged done.
     in_flight: usize,
+    /// Highest `items.len()` ever reached, maintained at the push sites
+    /// (inside the same critical section, so it can never lag a depth
+    /// the queue actually held). Read by
+    /// [`BoundedQueue::depth_stats`] for the exported gauge.
+    high_water: usize,
 }
 
 /// A bounded MPMC queue with shed-on-full admission, coalescing batch
@@ -121,6 +126,7 @@ impl<T> BoundedQueue<T> {
                 closed: false,
                 paused: false,
                 in_flight: 0,
+                high_water: 0,
             }),
             not_empty: Condvar::new(),
             idle: Condvar::new(),
@@ -147,6 +153,7 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full(item));
         }
         state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
         self.not_empty.notify_one();
         Ok(state.items.len())
     }
@@ -184,6 +191,7 @@ impl<T> BoundedQueue<T> {
         }
         if state.items.len() < self.capacity {
             state.items.push_back(item);
+            state.high_water = state.high_water.max(state.items.len());
             self.not_empty.notify_one();
             return Ok((state.items.len(), None));
         }
@@ -200,6 +208,9 @@ impl<T> BoundedQueue<T> {
         if let Some(i) = victim {
             if let Some(displaced) = state.items.remove(i) {
                 state.items.push_back(item);
+                // Depth is unchanged (1-for-1 swap), but keep the
+                // invariant maintenance uniform across push sites.
+                state.high_water = state.high_water.max(state.items.len());
                 self.not_empty.notify_one();
                 return Ok((state.items.len(), Some(displaced)));
             }
@@ -385,6 +396,15 @@ impl<T> BoundedQueue<T> {
     /// Waiting items (excludes in-flight batches).
     pub fn len(&self) -> usize {
         self.lock().items.len()
+    }
+
+    /// `(depth, high_water)` under **one** lock acquisition — the
+    /// exported queue gauge. The pair is mutually consistent (depth can
+    /// never exceed the high-water mark in the same reading), which a
+    /// separate `len()` + racy re-count could not guarantee.
+    pub fn depth_stats(&self) -> (usize, usize) {
+        let state = self.lock();
+        (state.items.len(), state.high_water)
     }
 
     /// Whether no items are waiting.
@@ -660,6 +680,33 @@ mod tests {
         assert_eq!(q.in_flight(), 2);
         q.task_done(2);
         q.wait_idle();
+    }
+
+    /// The depth gauge pair: high-water tracks the maximum depth ever
+    /// held (through pops it does not decay), the two values come from
+    /// one lock acquisition, and a displacement at capacity (a 1-for-1
+    /// swap) does not inflate it.
+    #[test]
+    fn depth_stats_tracks_high_water_through_pops_and_displacement() {
+        let q = BoundedQueue::new(3);
+        assert_eq!(q.depth_stats(), (0, 0));
+        q.push((2u32, 1u32)).unwrap();
+        q.push((2, 2)).unwrap();
+        assert_eq!(q.depth_stats(), (2, 2));
+        let batch = q.pop_batch(8, |_| ()).unwrap();
+        q.task_done(batch.len());
+        assert_eq!(q.depth_stats(), (0, 2), "high water survives the drain");
+        // Refill to capacity, then displace: depth stays at capacity and
+        // the high-water mark does not overshoot it.
+        let class = |&(c, _): &(u32, u32)| c as usize;
+        let order = |&(c, d): &(u32, u32)| (c, d);
+        for d in 0..3 {
+            q.push((2, d)).unwrap();
+        }
+        assert_eq!(q.depth_stats(), (3, 3));
+        let (_, displaced) = q.push_or_displace((0, 9), class, order).unwrap();
+        assert!(displaced.is_some());
+        assert_eq!(q.depth_stats(), (3, 3), "a 1-for-1 swap adds no depth");
     }
 
     /// A panic on a thread holding the queue lock must not wedge every

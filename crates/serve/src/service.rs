@@ -5,6 +5,7 @@
 
 use crate::cache::{CacheError, CacheStats, ModelCache};
 use crate::fault::{FaultAction, FaultPlan, FaultPoint};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, ModelMetrics};
 use crate::queue::{BoundedQueue, Popped, PushError};
 use crate::supervisor::Supervisor;
 use nm_compiler::{BatchPlan, ExecTier, Options, PreparedGraph};
@@ -301,6 +302,19 @@ pub struct InferenceResult {
     pub mode: BatchPlan,
     /// Wall-clock submit-to-completion latency (informational,
     /// host-dependent — the deterministic quantity is `sim_cycles`).
+    ///
+    /// Attribution is the same on every fulfill path: measured at
+    /// fulfill time, so it covers the queue wait plus the *whole*
+    /// coalesced batch's compute — every rider of one batch is charged
+    /// the full batch pass, not a per-request slice. On the
+    /// panic-isolation path the re-run's latency additionally includes
+    /// the failed batch pass and any earlier re-runs of the same batch.
+    /// Within one batch, requests fulfill in queue order, so their
+    /// fulfill instants (submit time plus latency) are monotone
+    /// non-decreasing in fulfill order; each latency is trivially
+    /// non-negative (`Instant::elapsed` saturates). The same reading
+    /// feeds the per-model histogram exported by
+    /// [`Service::metrics_text`].
     pub latency: Duration,
 }
 
@@ -375,7 +389,12 @@ impl Ticket {
     /// As [`wait`](Ticket::wait), plus [`ServeError::DeadlineExceeded`]
     /// on timeout.
     pub fn wait_timeout(self, timeout: Duration) -> Result<InferenceResult, ServeError> {
-        let give_up = Instant::now() + timeout;
+        // A timeout too large to represent as an instant (`Duration::MAX`
+        // as "no timeout") saturates to an unbounded wait instead of
+        // overflowing — `Instant + Duration` would panic here.
+        let Some(give_up) = Instant::now().checked_add(timeout) else {
+            return self.wait();
+        };
         let mut slot = self
             .slot
             .result
@@ -385,6 +404,11 @@ impl Ticket {
             if let Some(result) = slot.take() {
                 return result;
             }
+            // Spurious-wakeup discipline: the predicate re-checks above
+            // and the *remaining* time is recomputed from the absolute
+            // deadline — a storm of stray notifies can never extend the
+            // wait past `timeout` (pinned by
+            // `spurious_wakeups_do_not_extend_the_timeout`).
             let now = Instant::now();
             if now >= give_up {
                 return Err(ServeError::DeadlineExceeded);
@@ -426,6 +450,10 @@ pub(crate) struct Pending {
     /// Shared counters, so the drop guard can record the cancellation
     /// wherever it fires (worker unwind, queue cancel, service drop).
     stats: Arc<AtomicStats>,
+    /// The request's per-model metric slot (same lifetime rationale as
+    /// `stats`: the drop guard and the fulfill paths count into it
+    /// wherever they run).
+    metrics: Arc<ModelMetrics>,
 }
 
 /// The queue dispatch order: priority class first, then
@@ -454,6 +482,7 @@ impl Drop for Pending {
     fn drop(&mut self) {
         if let Some(slot) = self.slot.take() {
             self.stats.shed_canceled.fetch_add(1, Ordering::SeqCst);
+            self.metrics.record_canceled();
             *slot.result.lock().unwrap_or_else(PoisonError::into_inner) =
                 Some(Err(ServeError::Canceled));
             slot.done.notify_all();
@@ -527,23 +556,41 @@ pub(crate) struct AtomicStats {
 
 impl AtomicStats {
     fn snapshot(&self) -> ServiceStats {
+        // Read order matters for a mid-flight snapshot: terminal classes
+        // before `submitted` (which writers pre-increment), and the
+        // per-class breakdown before the `shed` aggregate — so the
+        // snapshot can undercount late arrivals but never shows a
+        // terminal sum exceeding `submitted` or a breakdown exceeding
+        // its aggregate.
+        let completed = self.completed.load(Ordering::SeqCst);
+        let failed = self.failed.load(Ordering::SeqCst);
+        let shed_full_by_class = [
+            self.shed_full_by_class[0].load(Ordering::SeqCst),
+            self.shed_full_by_class[1].load(Ordering::SeqCst),
+            self.shed_full_by_class[2].load(Ordering::SeqCst),
+        ];
+        let shed = self.shed.load(Ordering::SeqCst);
+        let shed_expired = self.shed_expired.load(Ordering::SeqCst);
+        let shed_canceled = self.shed_canceled.load(Ordering::SeqCst);
+        let shed_preempted = self.shed_preempted.load(Ordering::SeqCst);
+        let worker_panics = self.worker_panics.load(Ordering::SeqCst);
+        let restarts = self.restarts.load(Ordering::SeqCst);
+        let batches = self.batches.load(Ordering::SeqCst);
+        let max_coalesced = self.max_coalesced.load(Ordering::SeqCst);
+        let submitted = self.submitted.load(Ordering::SeqCst);
         ServiceStats {
-            submitted: self.submitted.load(Ordering::SeqCst),
-            completed: self.completed.load(Ordering::SeqCst),
-            failed: self.failed.load(Ordering::SeqCst),
-            shed: self.shed.load(Ordering::SeqCst),
-            shed_full_by_class: [
-                self.shed_full_by_class[0].load(Ordering::SeqCst),
-                self.shed_full_by_class[1].load(Ordering::SeqCst),
-                self.shed_full_by_class[2].load(Ordering::SeqCst),
-            ],
-            shed_expired: self.shed_expired.load(Ordering::SeqCst),
-            shed_canceled: self.shed_canceled.load(Ordering::SeqCst),
-            shed_preempted: self.shed_preempted.load(Ordering::SeqCst),
-            worker_panics: self.worker_panics.load(Ordering::SeqCst),
-            restarts: self.restarts.load(Ordering::SeqCst),
-            batches: self.batches.load(Ordering::SeqCst),
-            max_coalesced: self.max_coalesced.load(Ordering::SeqCst),
+            submitted,
+            completed,
+            failed,
+            shed,
+            shed_full_by_class,
+            shed_expired,
+            shed_canceled,
+            shed_preempted,
+            worker_panics,
+            restarts,
+            batches,
+            max_coalesced,
         }
     }
 }
@@ -560,6 +607,10 @@ struct ModelSlot {
     graph: Arc<Graph>,
     opts: Options,
     prepared: Mutex<Weak<PreparedGraph<'static>>>,
+    /// The per-model metric slot, shared with every in-flight request
+    /// of this model. Keyed by name in the registry, so aliased
+    /// registrations feed one series.
+    metrics: Arc<ModelMetrics>,
 }
 
 #[derive(Debug)]
@@ -570,6 +621,7 @@ pub(crate) struct ServiceInner {
     cache: ModelCache,
     next_id: AtomicU64,
     pub(crate) stats: Arc<AtomicStats>,
+    pub(crate) metrics: MetricsRegistry,
     pub(crate) supervisor: Supervisor,
 }
 
@@ -630,6 +682,7 @@ impl Service {
             cache: ModelCache::configured(config.cache_budget, config.fault_plan.clone()),
             next_id: AtomicU64::new(0),
             stats: Arc::new(AtomicStats::default()),
+            metrics: MetricsRegistry::default(),
             supervisor: Supervisor::new(),
             config,
         });
@@ -682,6 +735,7 @@ impl Service {
             // no strong ref, so the cache may evict it under budget
             // pressure; `resolve` re-prepares on demand.
             prepared: Mutex::new(Arc::downgrade(&prepared)),
+            metrics: self.inner.metrics.handle(name),
         });
         Ok(ModelId(models.len() - 1))
     }
@@ -693,7 +747,10 @@ impl Service {
     /// one prepare, not one per waiter. Lock order is always models →
     /// slot → cache; the cache never takes the model table lock, so
     /// this cannot deadlock with `register`.
-    fn resolve(&self, model: ModelId) -> Result<Arc<PreparedGraph<'static>>, SubmitError> {
+    fn resolve(
+        &self,
+        model: ModelId,
+    ) -> Result<(Arc<PreparedGraph<'static>>, Arc<ModelMetrics>), SubmitError> {
         let models = self
             .inner
             .models
@@ -702,9 +759,10 @@ impl Service {
         let slot = models
             .get(model.0)
             .ok_or(SubmitError::UnknownModel(model))?;
+        let metrics = Arc::clone(&slot.metrics);
         let mut weak = slot.prepared.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(prepared) = weak.upgrade() {
-            return Ok(prepared);
+            return Ok((prepared, metrics));
         }
         match self
             .inner
@@ -713,7 +771,7 @@ impl Service {
         {
             Ok(prepared) => {
                 *weak = Arc::downgrade(&prepared);
-                Ok(prepared)
+                Ok((prepared, metrics))
             }
             Err(e) => Err(SubmitError::ModelUnavailable {
                 model,
@@ -758,7 +816,7 @@ impl Service {
         deadline: Option<Instant>,
         priority: Priority,
     ) -> Result<Ticket, SubmitError> {
-        let prepared = self.resolve(model)?;
+        let (prepared, metrics) = self.resolve(model)?;
         if input.shape() != prepared.graph().input_shape() {
             return Err(SubmitError::InvalidInput(format!(
                 "input shape {:?} != model input {:?}",
@@ -778,14 +836,22 @@ impl Service {
             deadline,
             priority,
             stats: Arc::clone(&self.inner.stats),
+            metrics: Arc::clone(&metrics),
         };
+        // `submitted` is pre-incremented (global before per-model)
+        // *before* the push: once the request is in the queue a worker
+        // may complete it immediately, and a scrape racing that must
+        // never see a terminal counter exceed `submitted`. A rejected
+        // push undoes the increments in the opposite order (per-model
+        // before global), keeping per-model <= global at every instant.
+        self.inner.stats.submitted.fetch_add(1, Ordering::SeqCst);
+        metrics.record_submitted();
         let push =
             self.inner
                 .queue
                 .push_or_displace(pending, |p| p.priority.rank(), dispatch_order);
         match push {
             Ok((_, displaced)) => {
-                self.inner.stats.submitted.fetch_add(1, Ordering::SeqCst);
                 if let Some(victim) = displaced {
                     // The victim was accepted earlier (counted
                     // submitted); it resolves Preempted here, keeping
@@ -794,6 +860,7 @@ impl Service {
                         .stats
                         .shed_preempted
                         .fetch_add(1, Ordering::SeqCst);
+                    victim.metrics.record_preempted();
                     victim.fulfill(Err(ServeError::Preempted));
                 }
                 Ok(Ticket { id, model, slot })
@@ -804,6 +871,8 @@ impl Service {
                 // and reported, never silent.
                 let mut rejected = rejected;
                 rejected.slot = None;
+                metrics.unrecord_submitted();
+                self.inner.stats.submitted.fetch_sub(1, Ordering::SeqCst);
                 self.inner.stats.shed.fetch_add(1, Ordering::SeqCst);
                 self.inner.stats.shed_full_by_class[priority.rank()].fetch_add(1, Ordering::SeqCst);
                 Err(SubmitError::Shed {
@@ -813,6 +882,8 @@ impl Service {
             Err(PushError::Closed(rejected)) => {
                 let mut rejected = rejected;
                 rejected.slot = None;
+                metrics.unrecord_submitted();
+                self.inner.stats.submitted.fetch_sub(1, Ordering::SeqCst);
                 if self.inner.supervisor.is_poisoned() {
                     Err(SubmitError::Poisoned)
                 } else {
@@ -871,6 +942,41 @@ impl Service {
     /// caveats while requests are in flight).
     pub fn stats(&self) -> ServiceStats {
         self.inner.stats.snapshot()
+    }
+
+    /// One consistent scrape of everything the service exports: the
+    /// per-model counters and latency histograms, the queue-depth
+    /// gauges (sampled under the queue mutex), the cache ledger and the
+    /// service ledger. The read order (per-model first, `submitted`
+    /// last) pairs with the increment order so even a scrape racing
+    /// live traffic satisfies
+    /// [`MetricsSnapshot::check_internal`]; after a
+    /// [`drain`](Self::drain) the snapshot reconciles exactly
+    /// ([`MetricsSnapshot::check_quiesced`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let models = self.inner.metrics.snapshot_models();
+        let (depth, high_water) = self.inner.queue.depth_stats();
+        let cache = self.inner.cache.stats();
+        let service = self.inner.stats.snapshot();
+        MetricsSnapshot {
+            models,
+            queue_depth: depth as u64,
+            queue_depth_high_water: high_water as u64,
+            cache,
+            service,
+        }
+    }
+
+    /// [`metrics_snapshot`](Self::metrics_snapshot) rendered in the
+    /// Prometheus text exposition format — the scrapeable surface. The
+    /// export is *gated*, not just printed:
+    /// [`parse_text`](crate::metrics::parse_text) recovers the snapshot
+    /// from the text, and the serving test suites assert the parsed
+    /// ledgers equal [`stats`](Self::stats)/[`cache_stats`](Self::cache_stats)
+    /// exactly. See the crate-level "Observability" section for the
+    /// metric names and determinism caveats.
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().render()
     }
 
     /// Whether a worker death exhausted
@@ -987,6 +1093,7 @@ pub(crate) fn worker_loop(inner: &ServiceInner) {
         };
         for pending in expired {
             inner.stats.shed_expired.fetch_add(1, Ordering::SeqCst);
+            pending.metrics.record_expired();
             pending.fulfill(Err(ServeError::DeadlineExceeded));
         }
         if !batch.is_empty() {
@@ -1037,7 +1144,13 @@ fn run_batch_isolated(inner: &ServiceInner, batch: Vec<Pending>, injected: Optio
     match outcome {
         Ok(Ok(runs)) => {
             for (pending, run) in batch.into_iter().zip(runs) {
+                // One reading per request: the same latency feeds the
+                // result and the per-model histogram (global counter
+                // first, then the per-model slot — the torn-scrape
+                // write order).
+                let latency = pending.submitted.elapsed();
                 inner.stats.completed.fetch_add(1, Ordering::SeqCst);
+                pending.metrics.record_completed(latency);
                 let result = InferenceResult {
                     id: pending.id,
                     model: pending.model,
@@ -1045,7 +1158,7 @@ fn run_batch_isolated(inner: &ServiceInner, batch: Vec<Pending>, injected: Optio
                     sim_cycles: cycle_accurate.then_some(run.matmul_compute_cycles),
                     batch_size: n,
                     mode: prepared.batch_plan().executed(n),
-                    latency: pending.submitted.elapsed(),
+                    latency,
                 };
                 pending.fulfill(Ok(result));
             }
@@ -1056,6 +1169,7 @@ fn run_batch_isolated(inner: &ServiceInner, batch: Vec<Pending>, injected: Optio
             // learns about it.
             for pending in batch {
                 inner.stats.failed.fetch_add(1, Ordering::SeqCst);
+                pending.metrics.record_failed();
                 pending.fulfill(Err(ServeError::Run(e.clone())));
             }
         }
@@ -1080,7 +1194,13 @@ fn run_batch_isolated(inner: &ServiceInner, batch: Vec<Pending>, injected: Optio
                 }));
                 match one {
                     Ok(Ok(run)) => {
+                        // Same attribution as the batch path: measured
+                        // at fulfill, so it additionally covers the
+                        // failed batch pass and earlier re-runs of the
+                        // same batch (see `InferenceResult::latency`).
+                        let latency = pending.submitted.elapsed();
                         inner.stats.completed.fetch_add(1, Ordering::SeqCst);
+                        pending.metrics.record_completed(latency);
                         let result = InferenceResult {
                             id: pending.id,
                             model: pending.model,
@@ -1088,17 +1208,19 @@ fn run_batch_isolated(inner: &ServiceInner, batch: Vec<Pending>, injected: Optio
                             sim_cycles: cycle_accurate.then_some(run.matmul_compute_cycles),
                             batch_size: 1,
                             mode: prepared.batch_plan().executed(1),
-                            latency: pending.submitted.elapsed(),
+                            latency,
                         };
                         pending.fulfill(Ok(result));
                     }
                     Ok(Err(e)) => {
                         inner.stats.failed.fetch_add(1, Ordering::SeqCst);
+                        pending.metrics.record_failed();
                         pending.fulfill(Err(ServeError::Run(e)));
                     }
                     Err(payload) => {
                         inner.stats.worker_panics.fetch_add(1, Ordering::SeqCst);
                         inner.stats.failed.fetch_add(1, Ordering::SeqCst);
+                        pending.metrics.record_failed();
                         pending.fulfill(Err(ServeError::WorkerPanic(panic_message(&*payload))));
                     }
                 }
@@ -1151,6 +1273,7 @@ mod tests {
                     deadline: None,
                     priority: Priority::Batch,
                     stats: Arc::clone(stats),
+                    metrics: MetricsRegistry::default().handle("test"),
                 })
                 .is_ok(),
             "queue admits the request"
@@ -1198,6 +1321,69 @@ mod tests {
         // observe nothing panics with the ticket side already gone.
         cancel_queued(&queue);
         assert_eq!(stats.snapshot().shed_canceled, 1);
+    }
+
+    /// Regression for the `Instant + Duration` overflow panic:
+    /// `wait_timeout(Duration::MAX)` must behave as "no timeout" — the
+    /// waiter blocks (no panic at call time) until the request resolves.
+    /// Here the resolution is a cancellation arriving well after the
+    /// call, proving the waiter survived the interval where the old
+    /// code had already panicked.
+    #[test]
+    fn wait_timeout_duration_max_means_wait_forever() {
+        let queue: BoundedQueue<Pending> = BoundedQueue::new(4);
+        let stats = Arc::new(AtomicStats::default());
+        let ticket = queued_pending(&queue, &stats, 42);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(move || ticket.wait_timeout(Duration::MAX));
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(!waiter.is_finished(), "the huge timeout must not fire");
+            cancel_queued(&queue);
+            assert!(matches!(waiter.join().unwrap(), Err(ServeError::Canceled)));
+        });
+    }
+
+    /// Pins the spurious-wakeup discipline of `wait_timeout`: a waiter
+    /// bombarded with stray notifies (no result stored) must still time
+    /// out on the original schedule — each wakeup re-checks the
+    /// predicate and re-waits only the *remaining* time, never the full
+    /// timeout again.
+    #[test]
+    fn spurious_wakeups_do_not_extend_the_timeout() {
+        let slot = Arc::new(TicketSlot::default());
+        let ticket = Ticket {
+            id: 9,
+            model: ModelId(0),
+            slot: Arc::clone(&slot),
+        };
+        let timeout = Duration::from_millis(100);
+        std::thread::scope(|scope| {
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let notifier = {
+                let slot = Arc::clone(&slot);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        slot.done.notify_all();
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                })
+            };
+            let start = Instant::now();
+            let got = ticket.wait_timeout(timeout);
+            let waited = start.elapsed();
+            stop.store(true, Ordering::SeqCst);
+            notifier.join().expect("notifier exits");
+            assert!(matches!(got, Err(ServeError::DeadlineExceeded)));
+            assert!(waited >= timeout, "timed out early at {waited:?}");
+            // ~50 notifies land during the wait; re-waiting the full
+            // timeout per notify would take seconds. Generous bound for
+            // loaded CI hosts.
+            assert!(
+                waited < Duration::from_secs(5),
+                "stray notifies extended the wait to {waited:?}"
+            );
+        });
     }
 
     /// One regression per refused field: `try_start` names the exact

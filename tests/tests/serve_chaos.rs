@@ -249,6 +249,16 @@ fn seeded_faults_spare_survivors_and_account_for_every_casualty() {
         "kill-worker must cancel its held batch only, canceled={canceled}"
     );
 
+    // Tentpole gate: the drain above quiesced the service, so the
+    // Prometheus export must parse back to the exact ledgers — under
+    // the full five-spec fault plan, not just on the happy path.
+    let metrics_text = service.metrics_text();
+    let parsed = nm_serve::metrics::parse_text(&metrics_text)
+        .unwrap_or_else(|e| panic!("chaos-soak metrics export must parse: {e}"));
+    parsed
+        .check_quiesced(&service.stats(), &service.cache_stats())
+        .unwrap_or_else(|e| panic!("chaos-soak metrics export must reconcile exactly: {e}"));
+
     let stats = service.shutdown();
     let accepted = outcomes.len() as u64;
     assert_eq!(stats.submitted, accepted);
@@ -357,6 +367,15 @@ fn restart_budget_exhaustion_poisons_without_hanging_anyone() {
         stats.submitted,
         "a poisoned service still reconciles exactly"
     );
+    // And so does its metrics export: poisoning closes admissions but
+    // must not tear the observability surface — the scrape still
+    // parses and still matches the ledgers it refuses to grow.
+    let metrics_text = service.metrics_text();
+    let parsed = nm_serve::metrics::parse_text(&metrics_text)
+        .unwrap_or_else(|e| panic!("a poisoned service's export must still parse: {e}"));
+    parsed
+        .check_quiesced(&stats, &service.cache_stats())
+        .unwrap_or_else(|e| panic!("a poisoned service's export must still reconcile: {e}"));
     let stats = service.shutdown();
     assert_eq!(stats.shed_canceled, 3, "the held batch, nothing else");
     assert_eq!(stats.restarts, 0);

@@ -1,0 +1,454 @@
+//! Metrics-export suite for the serving layer's observability surface
+//! (`nm_serve::metrics`): the Prometheus text export must be a *lossless
+//! window* onto the service's ledgers, not a best-effort approximation.
+//! What must hold:
+//!
+//! * parsing `Service::metrics_text()` back (`parse_text`) reproduces
+//!   the `ServiceStats`/`CacheStats` ledgers **exactly**, and the
+//!   five-term reconciliation (`submitted == completed + failed +
+//!   shed_expired + shed_canceled + shed_preempted`) holds on the
+//!   exported numbers — globally and per model;
+//! * every terminal outcome class (completion, deadline expiry,
+//!   displacement, cancellation) lands in its per-model series;
+//! * the queue-depth gauge is a consistent sample taken inside the
+//!   queue mutex, never a racy re-count — depth and high-water agree;
+//! * `Ticket::wait_timeout(Duration::MAX)` means "wait forever"
+//!   end-to-end (the satellite regression: the old deadline arithmetic
+//!   panicked on overflow);
+//! * `InferenceResult::latency` is monotone-consistent in fulfill order
+//!   on *both* fulfill paths — the batch path and the re-run-after-panic
+//!   path — and covers the queued wait;
+//! * the export text is byte-deterministic for a pinned request set,
+//!   outside the wall-clock histogram family.
+//!
+//! Runs in CI's release profile as a named step (`serve_metrics`);
+//! everything here is sized to also pass in debug on one core.
+
+use nm_compiler::{ExecTier, Options, Target};
+use nm_core::sparsity::Nm;
+use nm_core::Tensor;
+use nm_models::mlp_serve_sparse;
+use nm_nn::graph::Graph;
+use nm_nn::rng::XorShift;
+use nm_serve::metrics::parse_text;
+use nm_serve::{FaultAction, FaultPlan, FaultPoint, Priority, ServeError, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const HANG_BOUND: Duration = Duration::from_secs(60);
+
+fn mlp(dims: &[usize], seed: u64) -> Arc<Graph> {
+    Arc::new(mlp_serve_sparse(dims, Nm::ONE_OF_EIGHT, seed).unwrap())
+}
+
+fn input_for(shape: &[usize], seed: u64) -> Tensor<i8> {
+    let elems: usize = shape.iter().product();
+    Tensor::from_vec(shape, XorShift::new(seed).fill_weights(elems, 50)).unwrap()
+}
+
+/// The tentpole gate: a workload that exercises completion, deadline
+/// expiry and displacement at once, then asserts (a) the export parses,
+/// (b) re-rendering the parse reproduces the text byte for byte,
+/// (c) `check_quiesced` finds the exported numbers equal to the
+/// ledgers, and (d) the expected per-class/per-model counts.
+#[test]
+fn mixed_outcome_export_round_trips_exactly() {
+    let graph = mlp(&[64, 48, 32], 5);
+    let opts = Options::new(Target::SparseIsa);
+    let service = Service::start(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 4,
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let model = service.register("mixed", &graph, &opts).unwrap();
+    service.pause();
+
+    // Four batch-class completions…
+    let completions: Vec<_> = (0..4)
+        .map(|i| {
+            service
+                .submit_with_deadline(model, input_for(&[64], 100 + i), None, Priority::Batch)
+                .unwrap()
+        })
+        .collect();
+    // …one request born past its deadline (sheds at dispatch)…
+    let expired = service
+        .submit_with_deadline(
+            model,
+            input_for(&[64], 200),
+            Some(Instant::now()),
+            Priority::Batch,
+        )
+        .unwrap();
+    // …three best-effort slots that three Interactive submits displace.
+    let victims: Vec<_> = (0..3)
+        .map(|i| {
+            service
+                .submit_with_deadline(model, input_for(&[64], 300 + i), None, Priority::BestEffort)
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(service.queue_depth(), 8, "the queue is exactly full");
+    let interactive: Vec<_> = (0..3)
+        .map(|i| {
+            service
+                .submit_with_deadline(
+                    model,
+                    input_for(&[64], 400 + i),
+                    None,
+                    Priority::Interactive,
+                )
+                .unwrap()
+        })
+        .collect();
+
+    service.resume();
+    for t in completions {
+        t.wait_timeout(HANG_BOUND).expect("batch-class completes");
+    }
+    assert!(matches!(
+        expired.wait_timeout(HANG_BOUND),
+        Err(ServeError::DeadlineExceeded)
+    ));
+    for t in victims {
+        assert!(matches!(
+            t.wait_timeout(HANG_BOUND),
+            Err(ServeError::Preempted)
+        ));
+    }
+    for t in interactive {
+        t.wait_timeout(HANG_BOUND).expect("interactive completes");
+    }
+    service.drain();
+
+    let text = service.metrics_text();
+    let parsed = parse_text(&text).unwrap_or_else(|e| panic!("export must parse: {e}"));
+    // Lossless: the parse re-renders to the identical byte string.
+    assert_eq!(parsed.render(), text, "render∘parse must be the identity");
+    // Exact: the exported numbers ARE the ledgers, and they reconcile.
+    parsed
+        .check_quiesced(&service.stats(), &service.cache_stats())
+        .unwrap_or_else(|e| panic!("export must reconcile with the ledgers: {e}"));
+
+    assert_eq!(parsed.service.submitted, 11);
+    assert_eq!(parsed.service.completed, 7);
+    assert_eq!(parsed.service.shed_expired, 1);
+    assert_eq!(parsed.service.shed_preempted, 3);
+    assert_eq!(parsed.service.failed, 0);
+    assert_eq!(parsed.service.shed, 0, "nothing was refused at submit");
+    let m = &parsed.models[0];
+    assert_eq!(m.model, "mixed");
+    assert_eq!(m.submitted, 11);
+    assert_eq!(m.completed, 7);
+    assert_eq!(m.shed_expired, 1);
+    assert_eq!(m.shed_preempted, 3);
+    assert_eq!(
+        m.latency_count, 7,
+        "exactly one histogram observation per completion"
+    );
+    service.shutdown();
+}
+
+/// Cancellation is the one terminal class the mixed test above cannot
+/// shape deterministically — it takes a worker dying with the batch in
+/// hand. Kill the sole worker with no restart budget: the service
+/// poisons, the three held requests cancel, and the *poisoned*
+/// service's export still parses and still reconciles, with the
+/// cancellations in the per-model series.
+#[test]
+fn poisoned_service_still_exports_reconciled_cancellations() {
+    let graph = mlp(&[64, 48, 32], 5);
+    let opts = Options::new(Target::SparseIsa);
+    let service = Service::start(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 8,
+        workers: 1,
+        restart_budget: 0,
+        restart_backoff: Duration::from_millis(1),
+        tier: ExecTier::Bulk,
+        fault_plan: Some(Arc::new(FaultPlan::new().fail_nth(
+            FaultPoint::BatchRun,
+            0,
+            FaultAction::KillWorker,
+        ))),
+        ..ServiceConfig::default()
+    });
+    let model = service.register("doomed", &graph, &opts).unwrap();
+    service.pause();
+    let tickets: Vec<_> = (0..3)
+        .map(|i| service.submit(model, input_for(&[64], 500 + i)).unwrap())
+        .collect();
+    service.resume();
+    for t in tickets {
+        assert!(matches!(
+            t.wait_timeout(HANG_BOUND),
+            Err(ServeError::Canceled)
+        ));
+    }
+    // The cancellations land during the unwind, slightly before the
+    // supervisor records the poisoning — bounded spin (same idiom as
+    // the chaos suite).
+    let t = Instant::now();
+    while !service.is_poisoned() {
+        assert!(
+            t.elapsed() < Duration::from_secs(10),
+            "poisoning never landed"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let parsed = parse_text(&service.metrics_text())
+        .unwrap_or_else(|e| panic!("a poisoned export must still parse: {e}"));
+    parsed
+        .check_quiesced(&service.stats(), &service.cache_stats())
+        .unwrap_or_else(|e| panic!("a poisoned export must still reconcile: {e}"));
+    assert_eq!(parsed.service.shed_canceled, 3);
+    assert_eq!(
+        parsed.models[0].shed_canceled, 3,
+        "the held batch lands in the per-model canceled series"
+    );
+    assert_eq!(parsed.models[0].completed, 0);
+    service.shutdown();
+}
+
+/// Satellite regression, end-to-end: `wait_timeout(Duration::MAX)` must
+/// mean "wait forever" — the old code computed `now + timeout` and
+/// panicked on the overflow. The waiter must neither panic nor time
+/// out while the service is paused, and must then receive the result.
+#[test]
+fn wait_timeout_duration_max_waits_forever_then_delivers() {
+    let graph = mlp(&[64, 48, 32], 5);
+    let opts = Options::new(Target::SparseIsa);
+    let service = Service::start(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 4,
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let model = service.register("m", &graph, &opts).unwrap();
+    service.pause();
+    let ticket = service.submit(model, input_for(&[64], 600)).unwrap();
+    let waiter = std::thread::spawn(move || ticket.wait_timeout(Duration::MAX));
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        !waiter.is_finished(),
+        "Duration::MAX must not fire early (nor panic computing a deadline)"
+    );
+    service.resume();
+    let r = waiter
+        .join()
+        .expect("the waiter must not panic")
+        .expect("the request completes once resumed");
+    // The 50ms pause sat entirely between submit and fulfill, so the
+    // recorded latency must cover it.
+    assert!(
+        r.latency >= Duration::from_millis(50),
+        "latency {:?} must cover the paused wait",
+        r.latency
+    );
+    service.shutdown();
+}
+
+/// Satellite 3's contract on both fulfill paths. Submit instants are
+/// bracketed (`before_i ≤ submitted_i ≤ after_i`), so each fulfill
+/// instant is pinned to `[before_i + latency_i, after_i + latency_i]`.
+/// With one worker and a pre-loaded FIFO queue, fulfills happen in
+/// submit order — the reconstructed instants must be monotone
+/// non-decreasing within the bracketing slack, and every latency must
+/// cover the paused wait.
+fn assert_latency_contract(fault_plan: Option<Arc<FaultPlan>>, rerun_path: bool) {
+    let graph = mlp(&[64, 48, 32], 5);
+    let opts = Options::new(Target::SparseIsa);
+    let service = Service::start(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 4,
+        workers: 1,
+        restart_budget: 2,
+        restart_backoff: Duration::from_millis(1),
+        tier: ExecTier::Bulk,
+        fault_plan,
+        ..ServiceConfig::default()
+    });
+    let model = service.register("lat", &graph, &opts).unwrap();
+    service.pause();
+    let mut tickets = Vec::new();
+    for i in 0..4u64 {
+        let before = Instant::now();
+        let t = service.submit(model, input_for(&[64], 700 + i)).unwrap();
+        tickets.push((before, Instant::now(), t));
+    }
+    let resume_at = Instant::now();
+    service.resume();
+
+    let mut fulfill_bounds = Vec::new();
+    for (i, (before, after, t)) in tickets.into_iter().enumerate() {
+        let r = t
+            .wait_timeout(HANG_BOUND)
+            .unwrap_or_else(|e| panic!("request {i} must complete: {e:?}"));
+        assert_eq!(
+            r.batch_size == 1,
+            rerun_path,
+            "request {i}: wrong fulfill path (batch_size={})",
+            r.batch_size
+        );
+        // fulfill = submitted + latency and submitted ≤ after, so
+        // `after + latency` is an upper-bracket witness that the
+        // fulfill did not predate the resume.
+        assert!(
+            after + r.latency >= resume_at,
+            "request {i}: latency {:?} cannot predate the resume",
+            r.latency
+        );
+        fulfill_bounds.push((before + r.latency, after + r.latency));
+    }
+    // Monotone fulfill instants, within the bracketing slack: the
+    // lower bound of fulfill i never exceeds the upper bound of
+    // fulfill i+1.
+    for (i, w) in fulfill_bounds.windows(2).enumerate() {
+        assert!(
+            w[0].0 <= w[1].1,
+            "fulfill instants went backwards between requests {i} and {}",
+            i + 1
+        );
+    }
+
+    // The histogram saw exactly the four completions.
+    service.drain();
+    let parsed =
+        parse_text(&service.metrics_text()).unwrap_or_else(|e| panic!("export must parse: {e}"));
+    parsed
+        .check_quiesced(&service.stats(), &service.cache_stats())
+        .unwrap_or_else(|e| panic!("export must reconcile: {e}"));
+    assert_eq!(parsed.models[0].latency_count, 4);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.worker_panics, u64::from(rerun_path));
+}
+
+#[test]
+fn latencies_are_monotone_consistent_on_the_batch_path() {
+    assert_latency_contract(None, false);
+}
+
+#[test]
+fn latencies_are_monotone_consistent_on_the_rerun_after_panic_path() {
+    // Occurrence 0 is the whole batch's pass (panic → isolate); the
+    // four individual re-runs take occurrences 1..=4 and all succeed.
+    assert_latency_contract(
+        Some(Arc::new(FaultPlan::new().fail_nth(
+            FaultPoint::BatchRun,
+            0,
+            FaultAction::Panic,
+        ))),
+        true,
+    );
+}
+
+/// The queue gauge is a *sample* taken inside the queue mutex: with the
+/// pool paused and five requests queued, the export must say depth 5 /
+/// high-water 5 (a consistent pair), and after the drain depth 0 with
+/// the high-water mark sticky.
+#[test]
+fn queue_depth_gauge_is_a_consistent_sample() {
+    let graph = mlp(&[64, 48, 32], 5);
+    let opts = Options::new(Target::SparseIsa);
+    let service = Service::start(ServiceConfig {
+        queue_capacity: 8,
+        max_batch: 4,
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let model = service.register("m", &graph, &opts).unwrap();
+    service.pause();
+    let tickets: Vec<_> = (0..5)
+        .map(|i| service.submit(model, input_for(&[64], 800 + i)).unwrap())
+        .collect();
+
+    let parsed = parse_text(&service.metrics_text())
+        .unwrap_or_else(|e| panic!("mid-run export must parse: {e}"));
+    parsed
+        .check_internal()
+        .unwrap_or_else(|e| panic!("mid-run export must be internally consistent: {e}"));
+    assert_eq!(parsed.queue_depth, 5);
+    assert_eq!(parsed.queue_depth_high_water, 5);
+
+    service.resume();
+    for t in tickets {
+        t.wait_timeout(HANG_BOUND).expect("completes");
+    }
+    service.drain();
+    let parsed = parse_text(&service.metrics_text())
+        .unwrap_or_else(|e| panic!("drained export must parse: {e}"));
+    assert_eq!(parsed.queue_depth, 0, "the queue drained");
+    assert_eq!(
+        parsed.queue_depth_high_water, 5,
+        "the high-water mark is sticky"
+    );
+    service.shutdown();
+}
+
+/// Determinism: two fresh services fed the identical pinned workload
+/// must export byte-identical text outside the wall-clock histogram
+/// family (`nm_serve_request_latency_seconds`), whose *values* are
+/// host-dependent by design — counters, gauges, model order, family
+/// order and label escaping are all pinned.
+#[test]
+fn export_is_byte_deterministic_outside_the_histogram() {
+    let run_once = || -> String {
+        let graphs = [mlp(&[64, 48, 32], 5), mlp(&[64, 40, 24], 6)];
+        let opts = Options::new(Target::SparseIsa);
+        let service = Service::start(ServiceConfig {
+            queue_capacity: 16,
+            max_batch: 4,
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let ids: Vec<_> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| service.register(&format!("det-{i}"), g, &opts).unwrap())
+            .collect();
+        service.pause();
+        let mut tickets = Vec::new();
+        for i in 0..6usize {
+            let m = i % 2;
+            let input = input_for(graphs[m].input_shape(), 900 + i as u64);
+            tickets.push(service.submit(ids[m], input).unwrap());
+        }
+        // One born-expired request so a shed class is exercised too.
+        let late = service
+            .submit_with_deadline(
+                ids[0],
+                input_for(graphs[0].input_shape(), 990),
+                Some(Instant::now()),
+                Priority::Batch,
+            )
+            .unwrap();
+        service.resume();
+        for t in tickets {
+            t.wait_timeout(HANG_BOUND).expect("completes");
+        }
+        assert!(matches!(
+            late.wait_timeout(HANG_BOUND),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        service.drain();
+        let text = service.metrics_text();
+        service.shutdown();
+        text
+    };
+    let strip_histogram = |text: &str| -> String {
+        text.lines()
+            .filter(|l| !l.contains("nm_serve_request_latency_seconds"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (first, second) = (run_once(), run_once());
+    assert_eq!(
+        strip_histogram(&first),
+        strip_histogram(&second),
+        "everything outside the histogram family must be byte-identical"
+    );
+}

@@ -153,6 +153,33 @@ fn interactive_never_sheds_while_best_effort_occupies_slots() {
         t.wait_timeout(HANG_BOUND)
             .unwrap_or_else(|e| panic!("admitted interactive {i} must complete: {e:?}"));
     }
+
+    // Tentpole gate on the pinned scenario: the export carries the same
+    // exact story the ledgers tell — the one boundary shed counted in
+    // its class, all eight victims in the per-model preempted series,
+    // and the five-term reconciliation on the *exported* numbers.
+    service.drain();
+    let parsed = nm_serve::metrics::parse_text(&service.metrics_text())
+        .unwrap_or_else(|e| panic!("pinned-scenario metrics export must parse: {e}"));
+    parsed
+        .check_quiesced(&service.stats(), &service.cache_stats())
+        .unwrap_or_else(|e| panic!("pinned-scenario export must reconcile: {e}"));
+    assert_eq!(
+        parsed.service.shed_full_by_class,
+        [1, 0, 0],
+        "the boundary shed survives the export round trip per class"
+    );
+    let m = parsed
+        .models
+        .iter()
+        .find(|m| m.model == "m")
+        .expect("the registered model exports a series");
+    assert_eq!(
+        m.shed_preempted, capacity as u64,
+        "all eight displacement victims land in the per-model series"
+    );
+    assert_eq!(m.completed, capacity as u64);
+
     let stats = service.shutdown();
     assert_eq!(stats.submitted, 2 * capacity as u64);
     assert_eq!(stats.completed, capacity as u64);
